@@ -1,0 +1,403 @@
+//! Deterministic finite automata: subset construction, minimisation,
+//! complement, and decision procedures for language inclusion/equivalence.
+//!
+//! DFAs are used for the *language-level* checks of the reproduction:
+//! `CRPQ_fin` classification cross-checks, regression tests of the regex
+//! pipeline, and the reduction validators (e.g. checking that the PCP
+//! encoding languages are the intended ones).
+
+use crate::nfa::{Nfa, StateId};
+use crpq_util::{BitSet, FxHashMap, Symbol};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A complete DFA over a fixed, dense alphabet.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dfa {
+    /// Alphabet symbols; transitions are indexed by position in this vector.
+    alphabet: Vec<Symbol>,
+    /// `transitions[q][a]` = successor state (complete by construction).
+    transitions: Vec<Vec<u32>>,
+    initial: u32,
+    finals: BitSet,
+}
+
+impl Dfa {
+    /// Subset construction from an NFA, over an explicit alphabet.
+    ///
+    /// The alphabet must cover every symbol used by the NFA; symbols outside
+    /// `alphabet` would make the result unsound, so this is checked.
+    pub fn from_nfa(nfa: &Nfa, alphabet: &[Symbol]) -> Dfa {
+        let mut sorted: Vec<Symbol> = alphabet.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for sym in nfa.symbols() {
+            assert!(sorted.contains(&sym), "alphabet missing {sym:?} used by NFA");
+        }
+
+        let mut index: FxHashMap<BitSet, u32> = FxHashMap::default();
+        let mut transitions: Vec<Vec<u32>> = Vec::new();
+        let mut finals_list: Vec<u32> = Vec::new();
+        let mut queue: VecDeque<BitSet> = VecDeque::new();
+
+        let start = nfa.initials().clone();
+        index.insert(start.clone(), 0);
+        transitions.push(vec![u32::MAX; sorted.len()]);
+        if start.intersects(nfa.finals()) {
+            finals_list.push(0);
+        }
+        queue.push_back(start);
+
+        while let Some(states) = queue.pop_front() {
+            let id = index[&states];
+            for (ai, &sym) in sorted.iter().enumerate() {
+                let image = nfa.delta_set(&states, sym);
+                let next = *index.entry(image.clone()).or_insert_with(|| {
+                    let nid = transitions.len() as u32;
+                    transitions.push(vec![u32::MAX; sorted.len()]);
+                    if image.intersects(nfa.finals()) {
+                        finals_list.push(nid);
+                    }
+                    queue.push_back(image);
+                    nid
+                });
+                transitions[id as usize][ai] = next;
+            }
+        }
+
+        let n = transitions.len();
+        let mut finals = BitSet::new(n);
+        for f in finals_list {
+            finals.insert(f as usize);
+        }
+        Dfa { alphabet: sorted, transitions, initial: 0, finals }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The alphabet (sorted).
+    pub fn alphabet(&self) -> &[Symbol] {
+        &self.alphabet
+    }
+
+    fn sym_index(&self, sym: Symbol) -> Option<usize> {
+        self.alphabet.binary_search(&sym).ok()
+    }
+
+    /// Whether the DFA accepts `word` (symbols outside the alphabet reject).
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut q = self.initial;
+        for &sym in word {
+            match self.sym_index(sym) {
+                Some(ai) => q = self.transitions[q as usize][ai],
+                None => return false,
+            }
+        }
+        self.finals.contains(q as usize)
+    }
+
+    /// Complement over the same alphabet.
+    pub fn complement(&self) -> Dfa {
+        let mut finals = BitSet::new(self.num_states());
+        for q in 0..self.num_states() {
+            if !self.finals.contains(q) {
+                finals.insert(q);
+            }
+        }
+        Dfa { alphabet: self.alphabet.clone(), transitions: self.transitions.clone(), initial: self.initial, finals }
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty_language(&self) -> bool {
+        let mut seen = BitSet::new(self.num_states());
+        seen.insert(self.initial as usize);
+        let mut queue = VecDeque::from([self.initial]);
+        while let Some(q) = queue.pop_front() {
+            if self.finals.contains(q as usize) {
+                return false;
+            }
+            for &t in &self.transitions[q as usize] {
+                if seen.insert(t as usize) {
+                    queue.push_back(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the language is all of `Σ*`.
+    pub fn is_universal(&self) -> bool {
+        self.complement().is_empty_language()
+    }
+
+    /// Product with `other` (same alphabet required), keeping states
+    /// reachable from the initial pair; final states chosen by `accept`.
+    fn product_with<F: Fn(bool, bool) -> bool>(&self, other: &Dfa, accept: F) -> Dfa {
+        assert_eq!(self.alphabet, other.alphabet, "product requires equal alphabets");
+        let mut index: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        let mut transitions: Vec<Vec<u32>> = Vec::new();
+        let mut finals_list = Vec::new();
+        let mut queue = VecDeque::new();
+        index.insert((self.initial, other.initial), 0);
+        transitions.push(vec![u32::MAX; self.alphabet.len()]);
+        queue.push_back((self.initial, other.initial));
+        while let Some((a, b)) = queue.pop_front() {
+            let id = index[&(a, b)];
+            if accept(self.finals.contains(a as usize), other.finals.contains(b as usize)) {
+                finals_list.push(id);
+            }
+            for ai in 0..self.alphabet.len() {
+                let key = (self.transitions[a as usize][ai], other.transitions[b as usize][ai]);
+                let next = *index.entry(key).or_insert_with(|| {
+                    transitions.push(vec![u32::MAX; self.alphabet.len()]);
+                    queue.push_back(key);
+                    (transitions.len() - 1) as u32
+                });
+                transitions[id as usize][ai] = next;
+            }
+        }
+        let n = transitions.len();
+        let mut finals = BitSet::new(n);
+        for f in finals_list {
+            finals.insert(f as usize);
+        }
+        Dfa { alphabet: self.alphabet.clone(), transitions, initial: 0, finals }
+    }
+
+    /// Intersection.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product_with(other, |a, b| a && b)
+    }
+
+    /// Union.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product_with(other, |a, b| a || b)
+    }
+
+    /// Whether `L(self) ⊆ L(other)`.
+    pub fn is_subset_of(&self, other: &Dfa) -> bool {
+        self.product_with(other, |a, b| a && !b).is_empty_language()
+    }
+
+    /// The transition function of the `i`-th alphabet symbol as a dense
+    /// state-indexed vector (`row[q] = δ(q, alphabet[i])`) — the generator
+    /// functions of the transition monoid.
+    pub fn letter_function(&self, sym_index: usize) -> Vec<u32> {
+        self.transitions.iter().map(|row| row[sym_index]).collect()
+    }
+
+    /// Whether the two DFAs recognise the same language.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        self.is_subset_of(other) && other.is_subset_of(self)
+    }
+
+    /// Moore partition-refinement minimisation (complete DFAs).
+    pub fn minimized(&self) -> Dfa {
+        let n = self.num_states();
+        // Restrict to reachable states first.
+        let mut reachable = BitSet::new(n);
+        reachable.insert(self.initial as usize);
+        let mut queue = VecDeque::from([self.initial]);
+        while let Some(q) = queue.pop_front() {
+            for &t in &self.transitions[q as usize] {
+                if reachable.insert(t as usize) {
+                    queue.push_back(t);
+                }
+            }
+        }
+
+        // class[q]: initial split final / non-final.
+        let mut class = vec![0u32; n];
+        for (q, c) in class.iter_mut().enumerate() {
+            *c = u32::from(self.finals.contains(q));
+        }
+        let mut num_classes = 2;
+        loop {
+            // signature of q = (class[q], class of each successor)
+            let mut sig_index: FxHashMap<(u32, Vec<u32>), u32> = FxHashMap::default();
+            let mut new_class = vec![0u32; n];
+            let mut next_id = 0u32;
+            for q in 0..n {
+                if !reachable.contains(q) {
+                    continue;
+                }
+                let sig: Vec<u32> =
+                    self.transitions[q].iter().map(|&t| class[t as usize]).collect();
+                let key = (class[q], sig);
+                let id = *sig_index.entry(key).or_insert_with(|| {
+                    let id = next_id;
+                    next_id += 1;
+                    id
+                });
+                new_class[q] = id;
+            }
+            if next_id as usize == num_classes {
+                class = new_class;
+                break;
+            }
+            num_classes = next_id as usize;
+            class = new_class;
+        }
+
+        let k = num_classes.max(1);
+        let mut transitions = vec![vec![u32::MAX; self.alphabet.len()]; k];
+        let mut finals = BitSet::new(k);
+        for q in 0..n {
+            if !reachable.contains(q) {
+                continue;
+            }
+            let c = class[q] as usize;
+            for ai in 0..self.alphabet.len() {
+                transitions[c][ai] = class[self.transitions[q][ai] as usize];
+            }
+            if self.finals.contains(q) {
+                finals.insert(c);
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions,
+            initial: class[self.initial as usize],
+            finals,
+        }
+    }
+
+    /// Converts back to an NFA (identity on structure).
+    pub fn to_nfa(&self) -> Nfa {
+        let transitions: Vec<Vec<(Symbol, StateId)>> = self
+            .transitions
+            .iter()
+            .map(|row| {
+                row.iter().enumerate().map(|(ai, &t)| (self.alphabet[ai], t)).collect()
+            })
+            .collect();
+        Nfa::from_parts(
+            transitions,
+            [self.initial],
+            self.finals.iter().map(|q| q as u32),
+        )
+    }
+}
+
+/// Convenience: whether `L(a) ⊆ L(b)` for NFAs over a shared alphabet.
+pub fn nfa_subset(a: &Nfa, b: &Nfa, alphabet: &[Symbol]) -> bool {
+    Dfa::from_nfa(a, alphabet).is_subset_of(&Dfa::from_nfa(b, alphabet))
+}
+
+/// Convenience: whether `L(a) = L(b)` for NFAs over a shared alphabet.
+pub fn nfa_equivalent(a: &Nfa, b: &Nfa, alphabet: &[Symbol]) -> bool {
+    Dfa::from_nfa(a, alphabet).equivalent(&Dfa::from_nfa(b, alphabet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_regex;
+    use crpq_util::Interner;
+
+    fn setup(exprs: &[&str]) -> (Vec<Dfa>, Vec<Symbol>) {
+        let mut it = Interner::new();
+        let regexes: Vec<_> =
+            exprs.iter().map(|e| parse_regex(e, &mut it).unwrap()).collect();
+        let alphabet: Vec<Symbol> = (0..it.len() as u32).map(Symbol).collect();
+        let dfas = regexes.iter().map(|r| Dfa::from_nfa(&Nfa::from_regex(r), &alphabet)).collect();
+        (dfas, alphabet)
+    }
+
+    fn w(ids: &[u32]) -> Vec<Symbol> {
+        ids.iter().map(|&i| Symbol(i)).collect()
+    }
+
+    #[test]
+    fn subset_construction_accepts() {
+        let (dfas, _) = setup(&["(a+b)* a"]);
+        let d = &dfas[0];
+        assert!(d.accepts(&w(&[0])));
+        assert!(d.accepts(&w(&[1, 1, 0])));
+        assert!(!d.accepts(&w(&[0, 1])));
+        assert!(!d.accepts(&[]));
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let (dfas, _) = setup(&["a b"]);
+        let c = dfas[0].complement();
+        assert!(!c.accepts(&w(&[0, 1])));
+        assert!(c.accepts(&w(&[0])));
+        assert!(c.accepts(&[]));
+        assert!(c.accepts(&w(&[1, 0])));
+    }
+
+    #[test]
+    fn inclusion_and_equivalence() {
+        let (dfas, _) = setup(&["a b", "(a+b)(a+b)", "a b + b a", "(a+b)(b+a)"]);
+        let (ab, any2, abba, any2bis) = (&dfas[0], &dfas[1], &dfas[2], &dfas[3]);
+        assert!(ab.is_subset_of(any2));
+        assert!(!any2.is_subset_of(ab));
+        assert!(ab.is_subset_of(abba));
+        assert!(any2.equivalent(any2bis));
+        assert!(!ab.equivalent(abba));
+    }
+
+    #[test]
+    fn minimisation_shrinks_and_preserves() {
+        // (a+b)(a+b)* via subset construction has redundant states;
+        // minimal complete DFA has 3 states (start, accept-loop, none needed for sink? start->accept, accept->accept; complete over {a,b}: 2 states!)
+        let (dfas, _) = setup(&["(a+b)(a+b)*"]);
+        let m = dfas[0].minimized();
+        assert!(m.num_states() <= dfas[0].num_states());
+        assert_eq!(m.num_states(), 2);
+        assert!(m.equivalent(&dfas[0]));
+        assert!(m.accepts(&w(&[0, 1, 1])));
+        assert!(!m.accepts(&[]));
+    }
+
+    #[test]
+    fn minimisation_of_empty_and_universal() {
+        let (dfas, _) = setup(&["∅ a + ∅ b", "(a+b)*"]);
+        let empty = dfas[0].minimized();
+        assert!(empty.is_empty_language());
+        assert_eq!(empty.num_states(), 1);
+        let uni = dfas[1].minimized();
+        assert!(uni.is_universal());
+        assert_eq!(uni.num_states(), 1);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let (dfas, _) = setup(&["a (a+b)*", "(a+b)* b"]);
+        let (starts_a, ends_b) = (&dfas[0], &dfas[1]);
+        let both = starts_a.intersect(ends_b);
+        assert!(both.accepts(&w(&[0, 1])));
+        assert!(!both.accepts(&w(&[0])));
+        assert!(!both.accepts(&w(&[1, 1])));
+        let either = starts_a.union(ends_b);
+        assert!(either.accepts(&w(&[0])));
+        assert!(either.accepts(&w(&[1, 1])));
+        assert!(!either.accepts(&w(&[1, 0])));
+    }
+
+    #[test]
+    fn nfa_roundtrip() {
+        let (dfas, alphabet) = setup(&["(a b)* + c"]);
+        let n = dfas[0].to_nfa();
+        let d2 = Dfa::from_nfa(&n, &alphabet);
+        assert!(d2.equivalent(&dfas[0]));
+    }
+
+    #[test]
+    fn nfa_level_helpers() {
+        let mut it = Interner::new();
+        let r1 = parse_regex("a a*", &mut it).unwrap();
+        let r2 = parse_regex("a*", &mut it).unwrap();
+        let alphabet: Vec<Symbol> = (0..it.len() as u32).map(Symbol).collect();
+        let (n1, n2) = (Nfa::from_regex(&r1), Nfa::from_regex(&r2));
+        assert!(nfa_subset(&n1, &n2, &alphabet));
+        assert!(!nfa_subset(&n2, &n1, &alphabet));
+        assert!(!nfa_equivalent(&n1, &n2, &alphabet));
+        assert!(nfa_equivalent(&n2, &n2, &alphabet));
+    }
+}

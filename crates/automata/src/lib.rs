@@ -1,0 +1,32 @@
+//! # crpq-automata
+//!
+//! Regular-language toolkit built from scratch for the CRPQ reproduction:
+//! regular expression ASTs and a parser, Thompson NFA construction,
+//! ε-elimination, subset-construction DFAs, minimisation, boolean language
+//! algebra (product, union, complement), emptiness/finiteness/universality
+//! tests, and shortlex word enumeration.
+//!
+//! The paper manipulates the languages of CRPQ atoms in several ways that
+//! this crate supports directly:
+//!
+//! * expansions pick *words* from atom languages → [`Nfa::words_up_to`]
+//!   enumerates them in shortlex order;
+//! * `CRPQ_fin` is the star-free fragment → [`Regex::is_star_free`] and
+//!   [`Nfa::is_finite`] classify queries;
+//! * ε-elimination of queries needs `ε ∈ L` and `L \ {ε}` →
+//!   [`Nfa::accepts_epsilon`] and [`Nfa::without_epsilon`];
+//! * the Appendix-C abstraction machinery needs complete **and co-complete**
+//!   automata with disjoint state spaces → [`Nfa::completed`] and
+//!   [`Nfa::co_completed`].
+
+pub mod dfa;
+pub mod nfa;
+pub mod parser;
+pub mod regex;
+pub mod tractability;
+
+pub use dfa::Dfa;
+pub use nfa::{Nfa, StateId};
+pub use parser::{parse_regex, ParseError};
+pub use regex::Regex;
+pub use tractability::{classify as classify_simple_path, SimplePathClass};

@@ -1,0 +1,333 @@
+//! Regular expression parser.
+//!
+//! Concrete syntax follows the paper's conventions:
+//!
+//! * `+` (or `|`) is **union** — as in `(a+b)`;
+//! * juxtaposition is concatenation — `a b`, `ab` is *not* one identifier
+//!   unless interned as such, so multi-letter labels are identifiers and
+//!   single-letter sequences must be whitespace- or paren-separated;
+//! * postfix `*` is Kleene star, postfix `^+` is Kleene plus (the paper's
+//!   superscript `+`), postfix `?` is option;
+//! * `ε` / `eps` is the empty word, `∅` / `empty` the empty language;
+//! * identifiers are `[A-Za-z_][A-Za-z0-9_]*` or any single non-operator,
+//!   non-whitespace character (so alphabets like `{#, □, â}` parse).
+//!
+//! Grammar:
+//! ```text
+//! alt    := concat (("+" | "|") concat)*
+//! concat := repeat+
+//! repeat := atom ("*" | "?" | "^+")*
+//! atom   := IDENT | "(" alt ")" | "ε" | "∅"
+//! ```
+
+use crate::regex::Regex;
+use crpq_util::Interner;
+use std::fmt;
+
+/// Error produced by [`parse_regex`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Union,
+    Star,
+    Caret,
+    Question,
+    LParen,
+    RParen,
+    Epsilon,
+    Empty,
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    tokens: Vec<(Token, usize)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn lex(input: &'a str) -> Result<Vec<(Token, usize)>, ParseError> {
+        let mut lx = Lexer { input, tokens: Vec::new() };
+        lx.run()?;
+        Ok(lx.tokens)
+    }
+
+    fn run(&mut self) -> Result<(), ParseError> {
+        let mut chars = self.input.char_indices().peekable();
+        while let Some((pos, c)) = chars.next() {
+            let token = match c {
+                c if c.is_whitespace() => continue,
+                '+' | '|' => Token::Union,
+                '*' => Token::Star,
+                '?' => Token::Question,
+                '(' => Token::LParen,
+                ')' => Token::RParen,
+                '^' => Token::Caret,
+                'ε' => Token::Epsilon,
+                '∅' => Token::Empty,
+                c if c.is_alphanumeric() || c == '_' => {
+                    let mut end = pos + c.len_utf8();
+                    // ASCII identifier continuation only; a lone unicode
+                    // letter like `â` is a single-symbol token.
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        while let Some(&(p, nc)) = chars.peek() {
+                            // `⁻` continues identifiers so two-way labels
+                            // like `knows⁻` are single tokens.
+                            if nc.is_ascii_alphanumeric() || nc == '_' || nc == '⁻' {
+                                end = p + nc.len_utf8();
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    let word = &self.input[pos..end];
+                    match word {
+                        "eps" => Token::Epsilon,
+                        "empty" => Token::Empty,
+                        _ => Token::Ident(word.to_owned()),
+                    }
+                }
+                other => Token::Ident(other.to_string()),
+            };
+            self.tokens.push((token, pos));
+        }
+        Ok(())
+    }
+}
+
+struct Parser<'a> {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    interner: &'a mut Interner,
+    input_len: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.input_len, |(_, p)| *p)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), position: self.here() }
+    }
+
+    fn alt(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.concat()?];
+        while matches!(self.peek(), Some(Token::Union)) {
+            self.bump();
+            parts.push(self.concat()?);
+        }
+        Ok(Regex::alt(parts))
+    }
+
+    fn concat(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.repeat()?];
+        while matches!(
+            self.peek(),
+            Some(Token::Ident(_) | Token::LParen | Token::Epsilon | Token::Empty)
+        ) {
+            parts.push(self.repeat()?);
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn repeat(&mut self) -> Result<Regex, ParseError> {
+        let mut base = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.bump();
+                    base = Regex::star(base);
+                }
+                Some(Token::Question) => {
+                    self.bump();
+                    base = Regex::optional(base);
+                }
+                Some(Token::Caret) => {
+                    self.bump();
+                    match self.bump() {
+                        Some(Token::Union) => base = Regex::plus(base),
+                        _ => return Err(self.err("expected `+` after `^` (Kleene plus is `^+`)")),
+                    }
+                }
+                _ => return Ok(base),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(name)) => Ok(Regex::Literal(self.interner.intern(&name))),
+            Some(Token::Epsilon) => Ok(Regex::Epsilon),
+            Some(Token::Empty) => Ok(Regex::Empty),
+            Some(Token::LParen) => {
+                let inner = self.alt()?;
+                match self.bump() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(self.err("expected `)`")),
+                }
+            }
+            Some(tok) => Err(self.err(format!("unexpected token {tok:?}"))),
+            None => Err(self.err("unexpected end of expression")),
+        }
+    }
+}
+
+/// Parses a regular expression, interning letters into `interner`.
+///
+/// ```
+/// use crpq_automata::{parse_regex, Nfa};
+/// use crpq_util::Interner;
+///
+/// let mut sigma = Interner::new();
+/// let r = parse_regex("(a b)* + c", &mut sigma).unwrap();
+/// let nfa = Nfa::from_regex(&r);
+/// let (a, b, c) = (sigma.get("a").unwrap(), sigma.get("b").unwrap(), sigma.get("c").unwrap());
+/// assert!(nfa.accepts(&[a, b, a, b]));
+/// assert!(nfa.accepts(&[c]));
+/// assert!(!nfa.accepts(&[a, c]));
+/// ```
+pub fn parse_regex(input: &str, interner: &mut Interner) -> Result<Regex, ParseError> {
+    let tokens = Lexer::lex(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError { message: "empty expression".into(), position: 0 });
+    }
+    let mut parser = Parser { tokens, pos: 0, interner, input_len: input.len() };
+    let regex = parser.alt()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.err("trailing input"));
+    }
+    Ok(regex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crpq_util::Symbol;
+
+    fn parse(s: &str) -> (Regex, Interner) {
+        let mut it = Interner::new();
+        let r = parse_regex(s, &mut it).unwrap();
+        (r, it)
+    }
+
+    #[test]
+    fn paper_examples_parse() {
+        let (r, it) = parse("(a+b)(a+b)*");
+        assert_eq!(format!("{}", r.display(&it)), "(a+b) (a+b)*");
+
+        let (r, it) = parse("(a b)*");
+        assert_eq!(format!("{}", r.display(&it)), "(a b)*");
+
+        let (r, it) = parse("c*");
+        assert_eq!(format!("{}", r.display(&it)), "c*");
+    }
+
+    #[test]
+    fn kleene_plus_via_caret() {
+        let (r, _) = parse("(a+b)^+");
+        assert!(matches!(r, Regex::Plus(_)));
+        // `+` alone is union:
+        let (r, _) = parse("a+b");
+        assert!(matches!(r, Regex::Alt(_)));
+    }
+
+    #[test]
+    fn multi_char_identifiers() {
+        let (r, it) = parse("knows likes*");
+        match &r {
+            Regex::Concat(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert_eq!(format!("{}", r.display(&it)), "knows likes*");
+            }
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_single_symbols() {
+        let (r, it) = parse("# □ â");
+        if let Regex::Concat(parts) = &r {
+            assert_eq!(parts.len(), 3);
+        } else {
+            panic!("expected concat");
+        }
+        assert_eq!(format!("{}", r.display(&it)), "# □ â");
+    }
+
+    #[test]
+    fn epsilon_and_empty() {
+        let (r, _) = parse("ε");
+        assert_eq!(r, Regex::Epsilon);
+        let (r, _) = parse("eps + a");
+        assert!(r.nullable());
+        let (r, _) = parse("∅");
+        assert_eq!(r, Regex::Empty);
+        let (r, _) = parse("empty + a");
+        assert!(matches!(r, Regex::Literal(_)));
+    }
+
+    #[test]
+    fn pipe_is_union_too() {
+        let (r1, _) = parse("a|b|c");
+        let (r2, _) = parse("a+b+c");
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn precedence_star_binds_tightest() {
+        let (r, it) = parse("a b* + c");
+        assert_eq!(format!("{}", r.display(&it)), "a b*+c");
+        // i.e. (a·b*) + c — union of a concat and a literal.
+        assert!(matches!(r, Regex::Alt(ref parts) if parts.len() == 2));
+    }
+
+    #[test]
+    fn errors() {
+        let mut it = Interner::new();
+        assert!(parse_regex("", &mut it).is_err());
+        assert!(parse_regex("(a", &mut it).is_err());
+        assert!(parse_regex("a)", &mut it).is_err());
+        assert!(parse_regex("*a", &mut it).is_err());
+        assert!(parse_regex("a^b", &mut it).is_err());
+    }
+
+    #[test]
+    fn interner_shared_across_parses() {
+        let mut it = Interner::new();
+        let _ = parse_regex("a b", &mut it).unwrap();
+        let r2 = parse_regex("b a", &mut it).unwrap();
+        assert_eq!(it.len(), 2);
+        if let Regex::Concat(parts) = r2 {
+            assert_eq!(parts[0], Regex::Literal(Symbol(1)));
+            assert_eq!(parts[1], Regex::Literal(Symbol(0)));
+        } else {
+            panic!("expected concat");
+        }
+    }
+}

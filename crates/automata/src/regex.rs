@@ -1,0 +1,393 @@
+//! Regular expression ASTs.
+//!
+//! The paper writes atom languages as regular expressions over the edge
+//! alphabet, e.g. `(a+b)+`, `(ab)*`, `c*`. We keep the AST small and provide
+//! smart constructors that perform the obvious simplifications (so that
+//! e.g. ε-removal and reductions produce readable expressions).
+
+use crpq_util::{FxHashSet, Interner, Symbol};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A regular expression over interned alphabet symbols.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Regex {
+    /// The empty language `∅`.
+    Empty,
+    /// The language `{ε}`.
+    Epsilon,
+    /// A single letter.
+    Literal(Symbol),
+    /// Concatenation `r₁ r₂ … rₙ` (n ≥ 2 after smart construction).
+    Concat(Vec<Regex>),
+    /// Union `r₁ + r₂ + … + rₙ` (the paper's `+`; n ≥ 2 after smart construction).
+    Alt(Vec<Regex>),
+    /// Kleene star `r*`.
+    Star(Box<Regex>),
+    /// Kleene plus `r⁺` (= `r r*`); kept primitive so `(a+b)+` pretty-prints.
+    Plus(Box<Regex>),
+    /// Option `r?` (= `r + ε`).
+    Optional(Box<Regex>),
+}
+
+impl Regex {
+    /// Literal letter.
+    pub fn lit(sym: Symbol) -> Regex {
+        Regex::Literal(sym)
+    }
+
+    /// A word `a₁a₂…aₙ` as a concatenation of literals (`ε` when empty).
+    pub fn word(word: &[Symbol]) -> Regex {
+        Regex::concat(word.iter().map(|&s| Regex::Literal(s)).collect())
+    }
+
+    /// Smart concatenation: drops `ε` factors, collapses to `∅` if any factor
+    /// is `∅`, and flattens nested concatenations.
+    pub fn concat(parts: Vec<Regex>) -> Regex {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Empty => return Regex::Empty,
+                Regex::Epsilon => {}
+                Regex::Concat(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Regex::Epsilon,
+            1 => flat.pop().unwrap(),
+            _ => Regex::Concat(flat),
+        }
+    }
+
+    /// Smart union: drops `∅` alternatives, flattens, dedups.
+    pub fn alt(parts: Vec<Regex>) -> Regex {
+        let mut flat: Vec<Regex> = Vec::with_capacity(parts.len());
+        let mut seen: FxHashSet<Regex> = FxHashSet::default();
+        let push = |r: Regex, flat: &mut Vec<Regex>, seen: &mut FxHashSet<Regex>| {
+            if seen.insert(r.clone()) {
+                flat.push(r);
+            }
+        };
+        let mut stack: Vec<Regex> = parts.into_iter().rev().collect();
+        while let Some(p) = stack.pop() {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(inner) => stack.extend(inner.into_iter().rev()),
+                other => push(other, &mut flat, &mut seen),
+            }
+        }
+        match flat.len() {
+            0 => Regex::Empty,
+            1 => flat.pop().unwrap(),
+            _ => Regex::Alt(flat),
+        }
+    }
+
+    /// Union over an iterator of words (a finite language).
+    pub fn finite_language<'a, I: IntoIterator<Item = &'a [Symbol]>>(words: I) -> Regex {
+        Regex::alt(words.into_iter().map(Regex::word).collect())
+    }
+
+    /// Smart star.
+    pub fn star(inner: Regex) -> Regex {
+        match inner {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            Regex::Star(r) => Regex::Star(r),
+            Regex::Plus(r) => Regex::Star(r),
+            Regex::Optional(r) => Regex::Star(r),
+            other => Regex::Star(Box::new(other)),
+        }
+    }
+
+    /// Smart plus.
+    pub fn plus(inner: Regex) -> Regex {
+        match inner {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Star(r) => Regex::Star(r),
+            Regex::Plus(r) => Regex::Plus(r),
+            other => Regex::Plus(Box::new(other)),
+        }
+    }
+
+    /// Smart option.
+    pub fn optional(inner: Regex) -> Regex {
+        match inner {
+            Regex::Empty => Regex::Epsilon,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Star(r) => Regex::Star(r),
+            Regex::Optional(r) => Regex::Optional(r),
+            other => Regex::Optional(Box::new(other)),
+        }
+    }
+
+    /// Whether `ε` belongs to the language (nullability).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Literal(_) | Regex::Plus(_) => match self {
+                Regex::Plus(r) => r.nullable(),
+                _ => false,
+            },
+            Regex::Epsilon | Regex::Star(_) | Regex::Optional(_) => true,
+            Regex::Concat(parts) => parts.iter().all(Regex::nullable),
+            Regex::Alt(parts) => parts.iter().any(Regex::nullable),
+        }
+    }
+
+    /// Whether the expression is star-free (no `*`/`⁺`), i.e. denotes a
+    /// finite language — the paper's `CRPQ_fin` criterion.
+    pub fn is_star_free(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Literal(_) => true,
+            Regex::Concat(parts) | Regex::Alt(parts) => parts.iter().all(Regex::is_star_free),
+            Regex::Star(_) | Regex::Plus(_) => false,
+            Regex::Optional(r) => r.is_star_free(),
+        }
+    }
+
+    /// Whether the language is `∅` (syntactic check, exact thanks to smart
+    /// constructors collapsing `∅` upward).
+    pub fn is_empty_language(&self) -> bool {
+        match self {
+            Regex::Empty => true,
+            Regex::Epsilon | Regex::Literal(_) => false,
+            Regex::Concat(parts) => parts.iter().any(Regex::is_empty_language),
+            Regex::Alt(parts) => parts.iter().all(Regex::is_empty_language),
+            Regex::Star(_) | Regex::Optional(_) => false,
+            Regex::Plus(r) => r.is_empty_language(),
+        }
+    }
+
+    /// All alphabet symbols that occur in the expression.
+    pub fn symbols(&self) -> FxHashSet<Symbol> {
+        let mut out = FxHashSet::default();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut FxHashSet<Symbol>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Literal(s) => {
+                out.insert(*s);
+            }
+            Regex::Concat(parts) | Regex::Alt(parts) => {
+                parts.iter().for_each(|p| p.collect_symbols(out))
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Optional(r) => r.collect_symbols(out),
+        }
+    }
+
+    /// Renders the expression using `interner` for symbol names.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> RegexDisplay<'a> {
+        RegexDisplay { regex: self, interner }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, interner: &Interner, prec: u8) -> fmt::Result {
+        // precedence: alt(0) < concat(1) < postfix(2)
+        match self {
+            Regex::Empty => write!(f, "∅"),
+            Regex::Epsilon => write!(f, "ε"),
+            Regex::Literal(s) => write!(f, "{}", interner.resolve(*s)),
+            Regex::Alt(parts) => {
+                let need = prec > 0;
+                if need {
+                    write!(f, "(")?;
+                }
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "+")?;
+                    }
+                    p.fmt_prec(f, interner, 1)?;
+                }
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Regex::Concat(parts) => {
+                let need = prec > 1;
+                if need {
+                    write!(f, "(")?;
+                }
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    p.fmt_prec(f, interner, 2)?;
+                }
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Regex::Star(r) => {
+                r.fmt_prec(f, interner, 2)?;
+                write!(f, "*")
+            }
+            Regex::Plus(r) => {
+                // Render r⁺ as (r r*)-equivalent sugar `r^+` to avoid
+                // ambiguity with the union operator `+`.
+                r.fmt_prec(f, interner, 2)?;
+                write!(f, "^+")
+            }
+            Regex::Optional(r) => {
+                r.fmt_prec(f, interner, 2)?;
+                write!(f, "?")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Empty => write!(f, "∅"),
+            Regex::Epsilon => write!(f, "ε"),
+            Regex::Literal(s) => write!(f, "{s:?}"),
+            Regex::Concat(p) => {
+                write!(f, "(")?;
+                for (i, r) in p.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "·")?;
+                    }
+                    write!(f, "{r:?}")?;
+                }
+                write!(f, ")")
+            }
+            Regex::Alt(p) => {
+                write!(f, "(")?;
+                for (i, r) in p.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "+")?;
+                    }
+                    write!(f, "{r:?}")?;
+                }
+                write!(f, ")")
+            }
+            Regex::Star(r) => write!(f, "{r:?}*"),
+            Regex::Plus(r) => write!(f, "{r:?}^+"),
+            Regex::Optional(r) => write!(f, "{r:?}?"),
+        }
+    }
+}
+
+/// Pretty-printer returned by [`Regex::display`].
+pub struct RegexDisplay<'a> {
+    regex: &'a Regex,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for RegexDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.regex.fmt_prec(f, self.interner, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(n: u32) -> Vec<Symbol> {
+        (0..n).map(Symbol).collect()
+    }
+
+    #[test]
+    fn smart_concat_simplifies() {
+        let s = syms(3);
+        assert_eq!(Regex::concat(vec![]), Regex::Epsilon);
+        assert_eq!(Regex::concat(vec![Regex::lit(s[0])]), Regex::lit(s[0]));
+        assert_eq!(
+            Regex::concat(vec![Regex::Epsilon, Regex::lit(s[0]), Regex::Epsilon]),
+            Regex::lit(s[0])
+        );
+        assert_eq!(Regex::concat(vec![Regex::lit(s[0]), Regex::Empty]), Regex::Empty);
+        // flattening
+        let nested = Regex::concat(vec![
+            Regex::concat(vec![Regex::lit(s[0]), Regex::lit(s[1])]),
+            Regex::lit(s[2]),
+        ]);
+        assert_eq!(
+            nested,
+            Regex::Concat(vec![Regex::lit(s[0]), Regex::lit(s[1]), Regex::lit(s[2])])
+        );
+    }
+
+    #[test]
+    fn smart_alt_simplifies() {
+        let s = syms(2);
+        assert_eq!(Regex::alt(vec![]), Regex::Empty);
+        assert_eq!(Regex::alt(vec![Regex::Empty, Regex::lit(s[0])]), Regex::lit(s[0]));
+        // dedup
+        assert_eq!(Regex::alt(vec![Regex::lit(s[0]), Regex::lit(s[0])]), Regex::lit(s[0]));
+        let a = Regex::alt(vec![Regex::lit(s[0]), Regex::lit(s[1])]);
+        assert_eq!(a, Regex::Alt(vec![Regex::lit(s[0]), Regex::lit(s[1])]));
+    }
+
+    #[test]
+    fn star_plus_option_normalise() {
+        let a = Regex::lit(Symbol(0));
+        assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
+        assert_eq!(Regex::star(Regex::star(a.clone())), Regex::star(a.clone()));
+        assert_eq!(Regex::star(Regex::plus(a.clone())), Regex::star(a.clone()));
+        assert_eq!(Regex::plus(Regex::star(a.clone())), Regex::star(a.clone()));
+        assert_eq!(Regex::optional(Regex::star(a.clone())), Regex::star(a.clone()));
+        assert_eq!(Regex::plus(Regex::Empty), Regex::Empty);
+        assert_eq!(Regex::optional(Regex::Empty), Regex::Epsilon);
+    }
+
+    #[test]
+    fn nullability() {
+        let a = Regex::lit(Symbol(0));
+        assert!(!a.nullable());
+        assert!(Regex::Epsilon.nullable());
+        assert!(Regex::star(a.clone()).nullable());
+        assert!(!Regex::plus(a.clone()).nullable());
+        assert!(Regex::optional(a.clone()).nullable());
+        assert!(!Regex::concat(vec![a.clone(), Regex::star(a.clone())]).nullable());
+        assert!(Regex::alt(vec![a.clone(), Regex::Epsilon]).nullable());
+    }
+
+    #[test]
+    fn star_free_classification() {
+        let a = Regex::lit(Symbol(0));
+        let b = Regex::lit(Symbol(1));
+        assert!(Regex::concat(vec![a.clone(), b.clone()]).is_star_free());
+        assert!(Regex::alt(vec![a.clone(), b.clone()]).is_star_free());
+        assert!(!Regex::star(a.clone()).is_star_free());
+        assert!(!Regex::plus(a.clone()).is_star_free());
+        assert!(Regex::optional(a.clone()).is_star_free());
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        let a = Regex::lit(Symbol(0));
+        assert!(Regex::Empty.is_empty_language());
+        assert!(!Regex::Epsilon.is_empty_language());
+        assert!(!Regex::star(a.clone()).is_empty_language());
+        assert!(Regex::Concat(vec![a.clone(), Regex::Empty]).is_empty_language());
+    }
+
+    #[test]
+    fn display_roundtrips_syntax() {
+        let mut it = Interner::new();
+        let (a, b, c) = (it.intern("a"), it.intern("b"), it.intern("c"));
+        let r = Regex::concat(vec![
+            Regex::star(Regex::concat(vec![Regex::lit(a), Regex::lit(b)])),
+            Regex::alt(vec![Regex::lit(b), Regex::lit(c)]),
+        ]);
+        assert_eq!(format!("{}", r.display(&it)), "(a b)* (b+c)");
+    }
+
+    #[test]
+    fn symbols_collected() {
+        let r = Regex::alt(vec![
+            Regex::word(&[Symbol(0), Symbol(1)]),
+            Regex::star(Regex::lit(Symbol(2))),
+        ]);
+        let syms = r.symbols();
+        assert_eq!(syms.len(), 3);
+        assert!(syms.contains(&Symbol(2)));
+    }
+}

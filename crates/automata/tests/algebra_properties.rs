@@ -1,0 +1,158 @@
+//! Property tests for the automata algebra: language-level laws that every
+//! operation must respect.
+
+use crpq_automata::{dfa, Dfa, Nfa, Regex};
+use crpq_util::Symbol;
+use proptest::prelude::*;
+
+fn regex_strategy(k: u32) -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        (0..k).prop_map(|i| Regex::Literal(Symbol(i))),
+        Just(Regex::Epsilon),
+        Just(Regex::Empty),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::star),
+            inner.clone().prop_map(Regex::plus),
+            inner.prop_map(Regex::optional),
+        ]
+    })
+}
+
+fn all_words(k: u32, len: usize) -> Vec<Vec<Symbol>> {
+    let mut out: Vec<Vec<Symbol>> = vec![Vec::new()];
+    let mut frontier: Vec<Vec<Symbol>> = vec![Vec::new()];
+    for _ in 0..len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for s in 0..k {
+                let mut w2 = w.clone();
+                w2.push(Symbol(s));
+                out.push(w2.clone());
+                next.push(w2);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+const ALPHABET: [Symbol; 2] = [Symbol(0), Symbol(1)];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Product recognises exactly the intersection.
+    #[test]
+    fn product_is_intersection(r1 in regex_strategy(2), r2 in regex_strategy(2)) {
+        let (n1, n2) = (Nfa::from_regex(&r1), Nfa::from_regex(&r2));
+        let p = n1.product(&n2);
+        for w in all_words(2, 4) {
+            prop_assert_eq!(p.accepts(&w), n1.accepts(&w) && n2.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    /// Disjoint union recognises exactly the union.
+    #[test]
+    fn disjoint_union_is_union(r1 in regex_strategy(2), r2 in regex_strategy(2)) {
+        let (n1, n2) = (Nfa::from_regex(&r1), Nfa::from_regex(&r2));
+        let (u, _) = Nfa::disjoint_union(&[&n1, &n2]);
+        for w in all_words(2, 4) {
+            prop_assert_eq!(u.accepts(&w), n1.accepts(&w) || n2.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    /// DFA complement flips membership exactly.
+    #[test]
+    fn complement_flips(r in regex_strategy(2)) {
+        let d = Dfa::from_nfa(&Nfa::from_regex(&r), &ALPHABET);
+        let c = d.complement();
+        for w in all_words(2, 4) {
+            prop_assert_eq!(d.accepts(&w), !c.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    /// Completion and co-completion preserve the language.
+    #[test]
+    fn completions_preserve_language(r in regex_strategy(2)) {
+        let n = Nfa::from_regex(&r);
+        let comp = n.completed(&ALPHABET);
+        let cocomp = n.co_completed(&ALPHABET);
+        let both = comp.co_completed(&ALPHABET);
+        for w in all_words(2, 4) {
+            let expect = n.accepts(&w);
+            prop_assert_eq!(comp.accepts(&w), expect, "completed, word {:?}", w);
+            prop_assert_eq!(cocomp.accepts(&w), expect, "co-completed, word {:?}", w);
+            prop_assert_eq!(both.accepts(&w), expect, "both, word {:?}", w);
+        }
+    }
+
+    /// Trimming preserves the language.
+    #[test]
+    fn trim_preserves_language(r in regex_strategy(2)) {
+        let n = Nfa::from_regex(&r);
+        let t = n.trimmed();
+        for w in all_words(2, 4) {
+            prop_assert_eq!(n.accepts(&w), t.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    /// Reversal recognises exactly the mirror language.
+    #[test]
+    fn reverse_is_mirror(r in regex_strategy(2)) {
+        let n = Nfa::from_regex(&r);
+        let rev = n.reverse();
+        for w in all_words(2, 4) {
+            let mut m = w.clone();
+            m.reverse();
+            prop_assert_eq!(rev.accepts(&w), n.accepts(&m), "word {:?}", w);
+        }
+    }
+
+    /// `max_word_len` is exact on finite languages.
+    #[test]
+    fn max_word_len_exact(r in regex_strategy(2)) {
+        let n = Nfa::from_regex(&r);
+        if let Some(max) = n.max_word_len() {
+            // no accepted word longer than max (sample up to max+2)
+            let longer = n.words_up_to(max + 2, usize::MAX);
+            prop_assert!(longer.iter().all(|w| w.len() <= max));
+            if !n.is_empty_language() {
+                // some word of exactly max length exists
+                prop_assert!(
+                    n.words_up_to(max, usize::MAX).iter().any(|w| w.len() == max),
+                    "no word of maximal length {}", max
+                );
+            }
+        }
+    }
+
+    /// Equivalence is reflexive and inclusion is antisymmetric on samples.
+    #[test]
+    fn inclusion_laws(r1 in regex_strategy(2), r2 in regex_strategy(2)) {
+        let (n1, n2) = (Nfa::from_regex(&r1), Nfa::from_regex(&r2));
+        prop_assert!(dfa::nfa_equivalent(&n1, &n1, &ALPHABET));
+        let fwd = dfa::nfa_subset(&n1, &n2, &ALPHABET);
+        let bwd = dfa::nfa_subset(&n2, &n1, &ALPHABET);
+        let eq = dfa::nfa_equivalent(&n1, &n2, &ALPHABET);
+        prop_assert_eq!(eq, fwd && bwd);
+    }
+
+    /// Shortest word is indeed shortest and accepted.
+    #[test]
+    fn shortest_word_minimal(r in regex_strategy(2)) {
+        let n = Nfa::from_regex(&r);
+        match n.shortest_word() {
+            None => prop_assert!(n.is_empty_language()),
+            Some(w) => {
+                prop_assert!(n.accepts(&w));
+                for shorter in all_words(2, w.len().saturating_sub(1)) {
+                    prop_assert!(!n.accepts(&shorter) || shorter.len() >= w.len());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! E1 — Figure 1: containment decision time per class-pair × semantics.
+//!
+//! Regenerates the *shape* of the complexity table: decision times per cell
+//! on crafted families, with the ∀-side blowup visible for the Π₂ᵖ cells
+//! and the abstraction engine carrying the PSpace cells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crpq_containment::{contain, Semantics};
+use crpq_util::Interner;
+use crpq_workloads::figure1::{instance, ClassPair};
+use std::time::Duration;
+
+fn bench_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_figure1");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for pair in ClassPair::ALL {
+        for sem in Semantics::ALL {
+            // The a-inj ∀-side enumerates quotients: keep n tiny there.
+            let n = if sem == Semantics::AtomInjective { 2 } else { 3 };
+            let mut it = Interner::new();
+            let inst = instance(pair, n, true, &mut it);
+            let id = BenchmarkId::new(
+                format!("{}::{}", pair.name(), sem.short_name()),
+                n,
+            );
+            group.bench_function(id, |bench| {
+                bench.iter(|| contain(std::hint::black_box(&inst.q1), &inst.q2, sem))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_forall_blowup(c: &mut Criterion) {
+    // The expansion-count blowup of the ∀-side: CRPQfin/CRPQfin with 2^n
+    // expansions.
+    let mut group = c.benchmark_group("e1_expansion_blowup");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for n in [2usize, 4, 6, 8] {
+        let mut it = Interner::new();
+        let inst = instance(ClassPair::CrpqFinCrpqFin, n, true, &mut it);
+        group.bench_with_input(BenchmarkId::new("st", n), &n, |b, _| {
+            b.iter(|| contain(&inst.q1, &inst.q2, Semantics::Standard))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cells, bench_forall_blowup);
+criterion_main!(benches);

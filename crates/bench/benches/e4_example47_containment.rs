@@ -1,0 +1,41 @@
+//! E4 — Example 4.7: the four containment facts (q-inj/a-inj
+//! incomparability) decided by the engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crpq_containment::{contain, Semantics};
+use crpq_util::Interner;
+use crpq_workloads::paper_examples::example47_queries;
+use std::time::Duration;
+
+fn bench_example47(c: &mut Criterion) {
+    let mut sigma = Interner::new();
+    let (q1, q2, q1p, q2p) = example47_queries(&mut sigma);
+    let mut group = c.benchmark_group("e4_example47");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("Q1_sube_qinj_Q2", |b| {
+        b.iter(|| {
+            assert!(contain(&q1, &q2, Semantics::QueryInjective).is_contained());
+        })
+    });
+    group.bench_function("Q1_not_sube_ainj_Q2", |b| {
+        b.iter(|| {
+            assert!(contain(&q1, &q2, Semantics::AtomInjective).is_not_contained());
+        })
+    });
+    group.bench_function("Q1p_sube_ainj_Q2p", |b| {
+        b.iter(|| {
+            assert!(contain(&q1p, &q2p, Semantics::AtomInjective).is_contained());
+        })
+    });
+    group.bench_function("Q1p_not_sube_qinj_Q2p", |b| {
+        b.iter(|| {
+            assert!(contain(&q1p, &q2p, Semantics::QueryInjective).is_not_contained());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_example47);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E5 — Theorem 5.1 / Appendix C: the PSpace abstraction engine versus the
+//! naive expansion engine, including the cases only the abstraction engine
+//! can decide (infinite left-hand languages).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crpq_automata::Regex;
+use crpq_containment::abstraction::try_contain_qinj;
+use crpq_containment::{contain, Semantics};
+use crpq_query::{Crpq, CrpqAtom, Var};
+use crpq_util::Interner;
+use std::time::Duration;
+
+/// `Q1(k)` = chain of `k` starred atoms `x_{i} -[a_i a_i*]-> x_{i+1}`,
+/// `Q2(k)` = the single-atom fusion — contained, decided by abstraction.
+fn star_chain_pair(k: usize, it: &mut Interner) -> (Crpq, Crpq) {
+    let syms: Vec<_> = (0..k).map(|i| it.intern(&format!("a{i}"))).collect();
+    let atoms = (0..k)
+        .map(|i| CrpqAtom {
+            src: Var(i as u32),
+            dst: Var(i as u32 + 1),
+            regex: Regex::plus(Regex::lit(syms[i])),
+        })
+        .collect();
+    let q1 = Crpq::with_free(atoms, vec![Var(0), Var(k as u32)]);
+    let fused = Regex::concat((0..k).map(|i| Regex::plus(Regex::lit(syms[i]))).collect());
+    let q2 = Crpq::with_free(
+        vec![CrpqAtom { src: Var(0), dst: Var(1), regex: fused }],
+        vec![Var(0), Var(1)],
+    );
+    (q1, q2)
+}
+
+fn bench_abstraction_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_abstraction");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for k in [1usize, 2, 3] {
+        let mut it = Interner::new();
+        let (q1, q2) = star_chain_pair(k, &mut it);
+        group.bench_with_input(BenchmarkId::new("abstraction", k), &k, |b, _| {
+            b.iter(|| {
+                assert_eq!(try_contain_qinj(&q1, &q2), Some(true));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_naive(c: &mut Criterion) {
+    // Finite instance decided by both engines.
+    let mut it = Interner::new();
+    let q1 = crpq_query::parse_crpq("x -[a b + b a]-> y", &mut it).unwrap();
+    let q2 = crpq_query::parse_crpq("x -[(a+b)(a+b)]-> y", &mut it).unwrap();
+    let mut group = c.benchmark_group("e5_engines");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("naive_finite", |b| {
+        b.iter(|| contain(&q1, &q2, Semantics::QueryInjective))
+    });
+    group.bench_function("abstraction_finite", |b| {
+        b.iter(|| try_contain_qinj(&q1, &q2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_abstraction_scaling, bench_vs_naive);
+criterion_main!(benches);

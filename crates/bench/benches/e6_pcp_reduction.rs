@@ -1,0 +1,70 @@
+//! E6 — Theorem 5.2 / Figures 4–5: the PCP reduction pipeline — encoding
+//! construction, witness building, and the I-Î condition check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crpq_reductions::pcp::{
+    pcp_to_ainj_containment, satisfies_wellformedness, witness_expansion,
+};
+use crpq_reductions::{pcp_brute_force, PcpInstance};
+use crpq_util::Interner;
+use std::time::Duration;
+
+fn solvable() -> PcpInstance {
+    PcpInstance { pairs: vec![("ab".into(), "a".into()), ("c".into(), "bc".into())] }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let inst = solvable();
+    let mut group = c.benchmark_group("e6_pcp");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut it = Interner::new();
+            pcp_to_ainj_containment(&inst, &mut it)
+        })
+    });
+    group.bench_function("solve_bounded", |b| {
+        b.iter(|| pcp_brute_force(&inst, 6).unwrap())
+    });
+    let mut it = Interner::new();
+    let red = pcp_to_ainj_containment(&inst, &mut it);
+    let sol = pcp_brute_force(&inst, 6).unwrap();
+    group.bench_function("witness_and_check", |b| {
+        b.iter(|| {
+            let w = witness_expansion(&red, &inst, &sol, false);
+            assert!(satisfies_wellformedness(&red, &w));
+        })
+    });
+    group.finish();
+}
+
+fn bench_witness_scaling(c: &mut Criterion) {
+    // Longer pumped solutions (repeating the base solution) scale the
+    // witness-check cost.
+    let inst = solvable();
+    let mut it = Interner::new();
+    let red = pcp_to_ainj_containment(&inst, &mut it);
+    let base = pcp_brute_force(&inst, 6).unwrap();
+    let mut group = c.benchmark_group("e6_witness_scaling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for reps in [1usize, 2, 4] {
+        let sol: Vec<usize> =
+            std::iter::repeat_n(base.clone(), reps).flatten().collect();
+        // Repetition of a solution is again a solution.
+        assert!(inst.is_solution(&sol));
+        group.bench_with_input(BenchmarkId::from_parameter(reps), &reps, |b, _| {
+            b.iter(|| {
+                let w = witness_expansion(&red, &inst, &sol, false);
+                satisfies_wellformedness(&red, &w)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_witness_scaling);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E7 — Theorem 6.1 / Figure 6: GCP2 via the q-inj containment engine
+//! versus brute force, scaling in graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crpq_containment::{contain, Semantics};
+use crpq_reductions::{gcp2_brute_force, gcp2_to_qinj_containment, Gcp2Instance};
+use crpq_util::Interner;
+use std::time::Duration;
+
+fn cycle_instance(n: usize) -> Gcp2Instance {
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Gcp2Instance::new(n, &edges, 2)
+}
+
+fn bench_gcp2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_gcp2");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for n in [3usize, 4, 5] {
+        let inst = cycle_instance(n);
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| gcp2_brute_force(&inst))
+        });
+        group.bench_with_input(BenchmarkId::new("via_reduction", n), &n, |b, _| {
+            b.iter(|| {
+                let mut it = Interner::new();
+                let (q1, q2, _) = gcp2_to_qinj_containment(&inst, &mut it);
+                let out = contain(&q1, &q2, Semantics::QueryInjective);
+                // Cn is 2-colourable iff n even: positive ⟺ not contained.
+                assert_eq!(out.as_bool(), Some(n % 2 == 1));
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gcp2);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E8 — Theorem 6.2 / Figure 7: ∀∃-QBF via the a-inj machinery — clean
+//! quotient validation and the tiny full-engine cases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crpq_reductions::qbf::{
+    check_reduction_clean_quotients, clean_quotient, qbf_to_ainj_containment,
+};
+use crpq_reductions::{qbf_brute_force, Literal, QbfInstance};
+use crpq_util::Interner;
+use std::time::Duration;
+
+fn xor_instance(n: usize) -> QbfInstance {
+    // ∀x₁…xₙ ∃y: (x₁ ∨ y)(¬x₁ ∨ ¬y) ∧ tautological padding per extra x.
+    let mut clauses = vec![
+        vec![Literal::X(0, true), Literal::Y(0, true)],
+        vec![Literal::X(0, false), Literal::Y(0, false)],
+    ];
+    for i in 1..n {
+        clauses.push(vec![Literal::X(i, true), Literal::X(i, false)]);
+    }
+    QbfInstance { num_universal: n, num_existential: 1, clauses }
+}
+
+fn bench_qbf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_qbf");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for n in [1usize, 2, 3] {
+        let inst = xor_instance(n);
+        assert!(qbf_brute_force(&inst));
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| qbf_brute_force(&inst))
+        });
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
+            b.iter(|| {
+                let mut it = Interner::new();
+                qbf_to_ainj_containment(&inst, &mut it)
+            })
+        });
+        let mut it = Interner::new();
+        let red = qbf_to_ainj_containment(&inst, &mut it);
+        group.bench_with_input(BenchmarkId::new("clean_quotients", n), &n, |b, _| {
+            b.iter(|| assert!(check_reduction_clean_quotients(&inst, &red)))
+        });
+        group.bench_with_input(BenchmarkId::new("single_quotient", n), &n, |b, _| {
+            let xs = vec![true; n];
+            b.iter(|| clean_quotient(&red, &xs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qbf);
+criterion_main!(benches);

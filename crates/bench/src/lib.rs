@@ -1,0 +1,1 @@
+//! Benchmark helpers live in the bench targets; see benches/.

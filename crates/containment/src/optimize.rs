@@ -1,0 +1,224 @@
+//! Containment-based **static optimisation**: equivalence testing and
+//! redundant-atom elimination.
+//!
+//! The paper's §1 motivates containment as "a means for query
+//! optimization"; this module is that payoff. Both tools inherit the
+//! three-valued honesty of the underlying engines: verdicts are certified
+//! exactly when the relevant containments are decided exhaustively.
+//!
+//! Atom removal is *monotone* under all three semantics (dropping an atom
+//! drops constraints — witnesses survive), so atom `i` is redundant iff
+//! `Q∖{i} ⊆★ Q`. Removal keeps the variable set intact: dropping orphaned
+//! existential variables is **not** equivalence-preserving under
+//! query-injective semantics (injectivity needs as many distinct nodes as
+//! variables), so we never do it silently.
+//!
+//! ```
+//! use crpq_containment::optimize::{minimize_atoms, equivalent, Equivalence};
+//! use crpq_containment::Semantics;
+//! use crpq_query::parse_crpq;
+//! use crpq_util::Interner;
+//!
+//! let mut sigma = Interner::new();
+//! // The second atom asks for an a- or ab-path, which the a-edge of the
+//! // first atom always provides: redundant under every semantics.
+//! let q = parse_crpq("(x, y) <- x -[a]-> y, x -[a + a b]-> y", &mut sigma).unwrap();
+//! let result = minimize_atoms(&q, Semantics::Standard);
+//! assert_eq!(result.removed, vec![1]);
+//! assert_eq!(result.query.atoms.len(), 1);
+//!
+//! // Example 4.7: x -[a b]-> y and its two-atom unfolding are equivalent
+//! // under standard and query-injective semantics, but not atom-injective.
+//! let q1 = parse_crpq("(x, z) <- x -[a]-> y, y -[b]-> z", &mut sigma).unwrap();
+//! let q2 = parse_crpq("(x, z) <- x -[a b]-> z", &mut sigma).unwrap();
+//! assert!(matches!(equivalent(&q1, &q2, Semantics::Standard), Equivalence::Equivalent));
+//! assert!(matches!(equivalent(&q1, &q2, Semantics::QueryInjective), Equivalence::Equivalent));
+//! assert!(matches!(
+//!     equivalent(&q1, &q2, Semantics::AtomInjective),
+//!     Equivalence::LeftNotContained(_)
+//! ));
+//! ```
+
+use crate::analysis::contain;
+use crate::naive::{CounterExample, Outcome};
+use crpq_core::Semantics;
+use crpq_query::Crpq;
+
+/// Verdict of [`equivalent`].
+#[derive(Clone, Debug)]
+pub enum Equivalence {
+    /// `Q₁ ≡★ Q₂`, both containments certified.
+    Equivalent,
+    /// `Q₁ ⊄★ Q₂` (a tuple of `Q₁` escapes `Q₂`).
+    LeftNotContained(Box<CounterExample>),
+    /// `Q₂ ⊄★ Q₁`.
+    RightNotContained(Box<CounterExample>),
+    /// Neither direction refuted, at least one not certified.
+    Inconclusive,
+}
+
+/// Decides `Q₁ ≡★ Q₂` as two containments.
+pub fn equivalent(q1: &Crpq, q2: &Crpq, sem: Semantics) -> Equivalence {
+    match contain(q1, q2, sem) {
+        Outcome::NotContained(c) => return Equivalence::LeftNotContained(Box::new(c)),
+        Outcome::Contained => match contain(q2, q1, sem) {
+            Outcome::NotContained(c) => Equivalence::RightNotContained(Box::new(c)),
+            Outcome::Contained => Equivalence::Equivalent,
+            Outcome::Inconclusive { .. } => Equivalence::Inconclusive,
+        },
+        Outcome::Inconclusive { .. } => match contain(q2, q1, sem) {
+            Outcome::NotContained(c) => Equivalence::RightNotContained(Box::new(c)),
+            _ => Equivalence::Inconclusive,
+        },
+    }
+}
+
+/// Result of [`minimize_atoms`].
+#[derive(Clone, Debug)]
+pub struct MinimizeResult {
+    /// The minimised query (variables untouched, atoms possibly fewer).
+    pub query: Crpq,
+    /// Indices (w.r.t. the *original* atom list) of removed atoms.
+    pub removed: Vec<usize>,
+    /// Whether every removal was certified (exhaustive containment); when
+    /// `false`, only certified removals were applied anyway — the flag
+    /// records that some candidate removals were skipped as inconclusive.
+    pub certified: bool,
+}
+
+/// Whether atom `i` is redundant: `Q∖{i} ⊆★ Q` (the converse inclusion
+/// always holds by monotonicity).
+pub fn atom_redundant(q: &Crpq, i: usize, sem: Semantics) -> Outcome {
+    let without = remove_atom(q, i);
+    contain(&without, q, sem)
+}
+
+/// Greedily removes atoms whose redundancy is *certified*, scanning until a
+/// fixpoint. Inconclusive candidates are kept (sound: the result is always
+/// ★-equivalent to the input).
+pub fn minimize_atoms(q: &Crpq, sem: Semantics) -> MinimizeResult {
+    let mut current = q.clone();
+    // Map current atom positions back to original indices.
+    let mut origin: Vec<usize> = (0..q.atoms.len()).collect();
+    let mut removed = Vec::new();
+    let mut certified = true;
+    let mut progress = true;
+    while progress {
+        progress = false;
+        let mut i = 0;
+        while i < current.atoms.len() {
+            match atom_redundant(&current, i, sem) {
+                Outcome::Contained => {
+                    removed.push(origin.remove(i));
+                    current = remove_atom(&current, i);
+                    progress = true;
+                }
+                Outcome::NotContained(_) => i += 1,
+                Outcome::Inconclusive { .. } => {
+                    certified = false;
+                    i += 1;
+                }
+            }
+        }
+    }
+    removed.sort_unstable();
+    MinimizeResult { query: current, removed, certified }
+}
+
+/// `Q` without atom `i`; the variable set and free tuple are unchanged.
+fn remove_atom(q: &Crpq, i: usize) -> Crpq {
+    let mut atoms = q.atoms.clone();
+    atoms.remove(i);
+    Crpq { atoms, num_vars: q.num_vars, free: q.free.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crpq_query::parse_crpq;
+    use crpq_util::Interner;
+
+    fn q(text: &str) -> Crpq {
+        let mut sigma = Interner::new();
+        parse_crpq(text, &mut sigma).unwrap()
+    }
+
+    #[test]
+    fn redundant_atom_removed_under_all_semantics() {
+        let query = q("(x, y) <- x -[a]-> y, x -[a + a b]-> y");
+        for sem in Semantics::ALL {
+            let result = minimize_atoms(&query, sem);
+            assert_eq!(result.removed, vec![1], "under {sem}");
+            assert!(result.certified);
+        }
+    }
+
+    #[test]
+    fn non_redundant_atoms_kept() {
+        // Two genuinely different constraints.
+        let query = q("(x, y) <- x -[a]-> y, x -[b]-> y");
+        for sem in Semantics::ALL {
+            let result = minimize_atoms(&query, sem);
+            assert!(result.removed.is_empty(), "under {sem}");
+            assert_eq!(result.query.atoms.len(), 2);
+        }
+    }
+
+    #[test]
+    fn duplicate_atom_redundancy_depends_on_semantics() {
+        // Two copies of the same atom between the same variables: the copy
+        // is redundant under st and a-inj (same path reused) and also under
+        // q-inj: both atoms may use the same single-edge path (no internal
+        // nodes to share).
+        let query = q("(x, y) <- x -[a]-> y, x -[a]-> y");
+        for sem in Semantics::ALL {
+            let result = minimize_atoms(&query, sem);
+            assert_eq!(result.removed.len(), 1, "under {sem}");
+        }
+        // With 2-letter words the duplicated atom needs a *second* disjoint
+        // internal node under q-inj, so removal is NOT sound there…
+        let query = q("(x, y) <- x -[a b]-> y, x -[a b]-> y");
+        let st = minimize_atoms(&query, Semantics::Standard);
+        assert_eq!(st.removed.len(), 1);
+        let qi = minimize_atoms(&query, Semantics::QueryInjective);
+        assert!(
+            qi.removed.is_empty(),
+            "duplicate 2-letter atoms are not redundant under q-inj"
+        );
+    }
+
+    #[test]
+    fn equivalence_follows_example_4_7() {
+        let q1 = q("(x, z) <- x -[a]-> y, y -[b]-> z");
+        let q2 = q("(x, z) <- x -[a b]-> z");
+        assert!(matches!(equivalent(&q1, &q2, Semantics::Standard), Equivalence::Equivalent));
+        assert!(matches!(
+            equivalent(&q1, &q2, Semantics::QueryInjective),
+            Equivalence::Equivalent
+        ));
+        assert!(matches!(
+            equivalent(&q1, &q2, Semantics::AtomInjective),
+            Equivalence::LeftNotContained(_)
+        ));
+    }
+
+    #[test]
+    fn equivalence_detects_right_failure() {
+        let q1 = q("(x, y) <- x -[a]-> y");
+        let q2 = q("(x, y) <- x -[a + b]-> y");
+        // Q1 ⊆ Q2 but Q2 ⊄ Q1 (the b-edge escapes).
+        assert!(matches!(
+            equivalent(&q1, &q2, Semantics::Standard),
+            Equivalence::RightNotContained(_)
+        ));
+    }
+
+    #[test]
+    fn minimization_reaches_fixpoint_across_passes() {
+        // Chain of implications: removing one atom can expose another.
+        let query = q("(x, y) <- x -[a]-> y, x -[a + a b]-> y, x -[a + a b + a c]-> y");
+        let result = minimize_atoms(&query, Semantics::Standard);
+        assert_eq!(result.removed, vec![1, 2]);
+        assert_eq!(result.query.atoms.len(), 1);
+    }
+}

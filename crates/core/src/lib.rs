@@ -1,0 +1,39 @@
+//! # crpq-core
+//!
+//! The paper's primary contribution as an executable library: evaluation of
+//! CRPQs under the three semantics of §2.1 —
+//!
+//! * **standard** (`st`): atoms are witnessed by arbitrary paths;
+//! * **atom-injective** (`a-inj`): each atom by a simple path (simple cycle
+//!   for `x -L-> x` atoms), paths of different atoms may overlap;
+//! * **query-injective** (`q-inj`): additionally, the variable assignment is
+//!   injective and paths of distinct atoms share no internal nodes.
+//!
+//! Two independent evaluators are provided:
+//!
+//! * [`eval`] — the *direct* engine: backtracking over variable assignments
+//!   with RPQ-reachability pruning, then per-atom path checks (arbitrary /
+//!   simple / jointly-disjoint);
+//! * [`expansion_eval`] — the *characterisation* engine implementing
+//!   Prop 2.2/2.3 and Cor 4.5 literally: search an expansion
+//!   `E ∈ Exp(Q)` with an (ordinary / atom-injective / injective)
+//!   homomorphism into `(G, v̄)`.
+//!
+//! They must agree — that agreement is property-tested and is the deepest
+//! internal consistency check of the reproduction.
+
+pub mod eval;
+pub mod expansion_eval;
+pub mod hierarchy;
+pub mod parallel;
+pub mod trail;
+pub mod witness;
+
+pub use eval::{
+    eval, eval_boolean, eval_contains, eval_contains_analyzed, eval_tuples,
+    eval_tuples_analyzed, Semantics,
+};
+pub use expansion_eval::{eval_contains_via_expansions, EvalOutcome};
+pub use hierarchy::check_hierarchy;
+pub use trail::{eval_boolean_trail, eval_contains_trail, eval_tuples_trail, TrailSemantics};
+pub use witness::{eval_witness, verify_witness, Witness, WitnessError};

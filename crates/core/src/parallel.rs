@@ -1,0 +1,113 @@
+//! Parallel evaluation helpers.
+//!
+//! Tuple-space sweeps (`|V|^arity` membership tests) parallelise trivially;
+//! this module fans them out over `crossbeam` scoped threads with a
+//! `parking_lot`-guarded result set. Used by the benchmark harness for the
+//! larger data-complexity experiments (E9).
+
+use crate::eval::{eval_contains, Semantics};
+use crpq_graph::{GraphDb, NodeId};
+use crpq_query::Crpq;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+/// Parallel version of [`crate::eval::eval_tuples`].
+///
+/// `threads = 0` means one thread per available CPU (capped at 16).
+pub fn eval_tuples_parallel(
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    threads: usize,
+) -> Vec<Vec<NodeId>> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get().min(16))
+    } else {
+        threads
+    };
+    let arity = q.free.len();
+    if arity == 0 {
+        return if eval_contains(q, g, &[], sem) { vec![Vec::new()] } else { Vec::new() };
+    }
+    let n = g.num_nodes();
+    let total: usize = n.pow(arity as u32);
+    let results: Mutex<BTreeSet<Vec<NodeId>>> = Mutex::new(BTreeSet::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut local: Vec<Vec<NodeId>> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= total {
+                        break;
+                    }
+                    let tuple = decode_tuple(idx, n, arity);
+                    if eval_contains(q, g, &tuple, sem) {
+                        local.push(tuple);
+                    }
+                }
+                if !local.is_empty() {
+                    results.lock().extend(local);
+                }
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+
+    results.into_inner().into_iter().collect()
+}
+
+/// Decodes tuple index `idx` in base `n` into node ids (most significant
+/// position first, matching the sequential enumeration order).
+fn decode_tuple(mut idx: usize, n: usize, arity: usize) -> Vec<NodeId> {
+    let mut tuple = vec![NodeId(0); arity];
+    for pos in (0..arity).rev() {
+        tuple[pos] = NodeId((idx % n) as u32);
+        idx /= n;
+    }
+    tuple
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_tuples;
+    use crpq_graph::generators;
+    use crpq_query::parse_crpq;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut g = generators::random_graph(7, 18, &["a", "b", "c"], 11);
+        let q =
+            parse_crpq("(x, y) <- x -[(a+b)(a+b)*]-> y, y -[c*]-> x", g.alphabet_mut())
+                .unwrap();
+        for sem in Semantics::ALL {
+            let seq = eval_tuples(&q, &g, sem);
+            let par = eval_tuples_parallel(&q, &g, sem, 4);
+            assert_eq!(seq, par, "mismatch under {sem}");
+        }
+    }
+
+    #[test]
+    fn boolean_parallel() {
+        let mut g = generators::labelled_path(4, &["a"]);
+        let q = parse_crpq("x -[a a]-> y", g.alphabet_mut()).unwrap();
+        let res = eval_tuples_parallel(&q, &g, Semantics::Standard, 2);
+        assert_eq!(res, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn decode_tuple_roundtrip() {
+        let n = 5usize;
+        let arity = 3;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..n.pow(arity as u32) {
+            let t = decode_tuple(idx, n, arity);
+            assert_eq!(t.len(), arity);
+            assert!(seen.insert(t));
+        }
+        assert_eq!(seen.len(), 125);
+    }
+}

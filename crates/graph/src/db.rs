@@ -1,0 +1,329 @@
+//! The graph database store.
+//!
+//! A graph database over a finite alphabet `A` is a finite edge-labelled
+//! directed graph `G = (V, E)` with `E ⊆ V × A × V` (paper §2). Nodes are
+//! dense `u32` ids; labels are interned [`Symbol`]s shared with the query
+//! layer through the same [`Interner`].
+
+use crpq_util::{BitSet, Interner, Symbol};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense node identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An immutable edge-labelled directed graph with forward and backward
+/// adjacency indexes (both sorted for binary search).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GraphDb {
+    labels: Interner,
+    node_names: Vec<String>,
+    /// `out[v]` = sorted `(label, target)` pairs.
+    out: Vec<Vec<(Symbol, NodeId)>>,
+    /// `inc[v]` = sorted `(label, source)` pairs.
+    inc: Vec<Vec<(Symbol, NodeId)>>,
+    num_edges: usize,
+}
+
+impl GraphDb {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of labelled edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The edge-label alphabet.
+    pub fn alphabet(&self) -> &Interner {
+        &self.labels
+    }
+
+    /// Mutable access to the alphabet (append-only; existing ids are stable).
+    /// Useful to parse queries mentioning labels the graph does not use.
+    pub fn alphabet_mut(&mut self) -> &mut Interner {
+        &mut self.labels
+    }
+
+    /// All alphabet symbols in id order.
+    pub fn symbols(&self) -> Vec<Symbol> {
+        self.labels.iter().map(|(s, _)| s).collect()
+    }
+
+    /// The name of `node`.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.index()]
+    }
+
+    /// Looks up a node by name (linear scan; intended for tests/examples).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.node_names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Outgoing `(label, target)` pairs of `v`, sorted by label then target.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
+        &self.out[v.index()]
+    }
+
+    /// Incoming `(label, source)` pairs of `v`, sorted by label then source.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
+        &self.inc[v.index()]
+    }
+
+    /// Targets of `v`'s outgoing `label`-edges.
+    pub fn successors(&self, v: NodeId, label: Symbol) -> impl Iterator<Item = NodeId> + '_ {
+        let row = &self.out[v.index()];
+        let start = row.partition_point(|&(s, _)| s < label);
+        row[start..].iter().take_while(move |&&(s, _)| s == label).map(|&(_, t)| t)
+    }
+
+    /// Sources of `v`'s incoming `label`-edges.
+    pub fn predecessors(&self, v: NodeId, label: Symbol) -> impl Iterator<Item = NodeId> + '_ {
+        let row = &self.inc[v.index()];
+        let start = row.partition_point(|&(s, _)| s < label);
+        row[start..].iter().take_while(move |&&(s, _)| s == label).map(|&(_, t)| t)
+    }
+
+    /// Whether the edge `u -label-> v` exists.
+    pub fn has_edge(&self, u: NodeId, label: Symbol, v: NodeId) -> bool {
+        self.out[u.index()].binary_search(&(label, v)).is_ok()
+    }
+
+    /// All edges as `(source, label, target)` triples, in source order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, Symbol, NodeId)> + '_ {
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, row)| row.iter().map(move |&(s, v)| (NodeId(u as u32), s, v)))
+    }
+
+    /// A fresh bitset sized for this graph's nodes.
+    pub fn node_set(&self) -> BitSet {
+        BitSet::new(self.num_nodes())
+    }
+
+    /// The reversed graph: every edge `u -l-> v` becomes `v -l-> u`.
+    ///
+    /// Combined with [`crpq_automata::Nfa::reverse`], this supports backward
+    /// RPQ reachability (`{src : dst reachable from src}`) without a
+    /// dedicated backward search.
+    pub fn reversed(&self) -> GraphDb {
+        GraphDb {
+            labels: self.labels.clone(),
+            node_names: self.node_names.clone(),
+            out: self.inc.clone(),
+            inc: self.out.clone(),
+            num_edges: self.num_edges,
+        }
+    }
+
+    /// Converts back into a builder (e.g. to extend a generated graph).
+    pub fn into_builder(self) -> GraphBuilder {
+        let mut b = GraphBuilder::with_alphabet(self.labels.clone());
+        for name in &self.node_names {
+            b.node(name);
+        }
+        for (u, s, v) in self.edges() {
+            b.edge_ids(u, s, v);
+        }
+        b
+    }
+}
+
+/// Mutable builder for [`GraphDb`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    labels: Interner,
+    node_names: Vec<String>,
+    node_index: crpq_util::FxHashMap<String, NodeId>,
+    edges: Vec<(NodeId, Symbol, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder with an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder reusing an existing alphabet (so symbol ids line up with
+    /// already-parsed queries).
+    pub fn with_alphabet(labels: Interner) -> Self {
+        Self { labels, ..Self::default() }
+    }
+
+    /// The alphabet under construction.
+    pub fn alphabet(&self) -> &Interner {
+        &self.labels
+    }
+
+    /// Mutable alphabet access.
+    pub fn alphabet_mut(&mut self) -> &mut Interner {
+        &mut self.labels
+    }
+
+    /// Interns a label.
+    pub fn label(&mut self, name: &str) -> Symbol {
+        self.labels.intern(name)
+    }
+
+    /// Returns the node named `name`, creating it if needed.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.node_index.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len() as u32);
+        self.node_names.push(name.to_owned());
+        self.node_index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Creates a fresh anonymous node.
+    pub fn fresh_node(&mut self) -> NodeId {
+        let name = format!("_n{}", self.node_names.len());
+        self.node(&name)
+    }
+
+    /// Number of nodes so far.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Adds the edge `u -label-> v` by names, creating nodes/labels as needed.
+    pub fn edge(&mut self, u: &str, label: &str, v: &str) -> &mut Self {
+        let (u, v) = (self.node(u), self.node(v));
+        let l = self.labels.intern(label);
+        self.edges.push((u, l, v));
+        self
+    }
+
+    /// Adds the edge by pre-interned ids.
+    pub fn edge_ids(&mut self, u: NodeId, label: Symbol, v: NodeId) -> &mut Self {
+        debug_assert!(u.index() < self.node_names.len() && v.index() < self.node_names.len());
+        self.edges.push((u, label, v));
+        self
+    }
+
+    /// Finalises into an immutable, index-sorted [`GraphDb`].
+    /// Duplicate edges are deduplicated.
+    pub fn finish(self) -> GraphDb {
+        let n = self.node_names.len();
+        let mut out: Vec<Vec<(Symbol, NodeId)>> = vec![Vec::new(); n];
+        let mut inc: Vec<Vec<(Symbol, NodeId)>> = vec![Vec::new(); n];
+        for &(u, l, v) in &self.edges {
+            out[u.index()].push((l, v));
+            inc[v.index()].push((l, u));
+        }
+        let mut num_edges = 0;
+        for row in &mut out {
+            row.sort_unstable();
+            row.dedup();
+            num_edges += row.len();
+        }
+        for row in &mut inc {
+            row.sort_unstable();
+            row.dedup();
+        }
+        GraphDb { labels: self.labels, node_names: self.node_names, out, inc, num_edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> GraphDb {
+        // u -a-> v -b-> w, u -b-> x -a-> w
+        let mut b = GraphBuilder::new();
+        b.edge("u", "a", "v");
+        b.edge("v", "b", "w");
+        b.edge("u", "b", "x");
+        b.edge("x", "a", "w");
+        b.finish()
+    }
+
+    #[test]
+    fn build_and_query_adjacency() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        let (u, v, w) = (
+            g.node_by_name("u").unwrap(),
+            g.node_by_name("v").unwrap(),
+            g.node_by_name("w").unwrap(),
+        );
+        let a = g.alphabet().get("a").unwrap();
+        let b = g.alphabet().get("b").unwrap();
+        assert!(g.has_edge(u, a, v));
+        assert!(!g.has_edge(u, a, w));
+        assert_eq!(g.successors(u, a).collect::<Vec<_>>(), vec![v]);
+        assert_eq!(g.predecessors(w, b).collect::<Vec<_>>(), vec![v]);
+        assert_eq!(g.node_name(u), "u");
+    }
+
+    #[test]
+    fn duplicate_edges_are_dedup() {
+        let mut b = GraphBuilder::new();
+        b.edge("u", "a", "v");
+        b.edge("u", "a", "v");
+        let g = b.finish();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parallel_labels_coexist() {
+        let mut b = GraphBuilder::new();
+        b.edge("u", "a", "v");
+        b.edge("u", "b", "v");
+        let g = b.finish();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_edges(g.node_by_name("u").unwrap()).len(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrip() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        let rebuilt = g.clone().into_builder().finish();
+        assert_eq!(rebuilt.num_edges(), g.num_edges());
+        assert_eq!(rebuilt.num_nodes(), g.num_nodes());
+        for (u, s, v) in g.edges() {
+            assert!(rebuilt.has_edge(u, s, v));
+        }
+    }
+
+    #[test]
+    fn fresh_nodes_are_distinct() {
+        let mut b = GraphBuilder::new();
+        let n1 = b.fresh_node();
+        let n2 = b.fresh_node();
+        assert_ne!(n1, n2);
+        let named = b.node("hello");
+        assert_ne!(named, n1);
+        assert_eq!(b.num_nodes(), 3);
+    }
+}

@@ -1,0 +1,263 @@
+//! Graph serialisation: a line-oriented text format and a compact binary
+//! snapshot format.
+//!
+//! Text format (one edge per line, `#` comments, blank lines ignored):
+//!
+//! ```text
+//! # nodes are created on first mention
+//! u a v
+//! v b w
+//! node isolated    # declares a node without edges
+//! ```
+//!
+//! The binary format is a length-prefixed encoding built on [`bytes`],
+//! suitable for snapshotting generated benchmark graphs.
+
+use crate::db::{GraphBuilder, GraphDb};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Error from graph parsing/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// Description of the failure.
+    pub message: String,
+    /// Line number (1-based) for text input, 0 for binary.
+    pub line: usize,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph format error (line {}): {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Parses the text format described in the module docs.
+///
+/// ```
+/// use crpq_graph::format::{parse_graph_text, to_graph_text};
+///
+/// let g = parse_graph_text("u knows v\nv knows w\nnode loner").unwrap();
+/// assert_eq!(g.num_nodes(), 4);
+/// assert_eq!(g.num_edges(), 2);
+/// let back = parse_graph_text(&to_graph_text(&g)).unwrap();
+/// assert_eq!(back.num_edges(), 2);
+/// ```
+pub fn parse_graph_text(input: &str) -> Result<GraphDb, FormatError> {
+    let mut b = GraphBuilder::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["node", name] => {
+                b.node(name);
+            }
+            [u, l, v] => {
+                b.edge(u, l, v);
+            }
+            _ => {
+                return Err(FormatError {
+                    message: format!("expected `src label dst` or `node name`, got `{line}`"),
+                    line: idx + 1,
+                })
+            }
+        }
+    }
+    Ok(b.finish())
+}
+
+/// Renders a graph in the text format (stable order).
+pub fn to_graph_text(g: &GraphDb) -> String {
+    let mut out = String::new();
+    let mut isolated: Vec<&str> = Vec::new();
+    for v in g.nodes() {
+        if g.out_edges(v).is_empty() && g.in_edges(v).is_empty() {
+            isolated.push(g.node_name(v));
+        }
+    }
+    for name in isolated {
+        out.push_str("node ");
+        out.push_str(name);
+        out.push('\n');
+    }
+    for (u, s, v) in g.edges() {
+        out.push_str(g.node_name(u));
+        out.push(' ');
+        out.push_str(g.alphabet().resolve(s));
+        out.push(' ');
+        out.push_str(g.node_name(v));
+        out.push('\n');
+    }
+    out
+}
+
+const MAGIC: &[u8; 4] = b"CRPQ";
+const VERSION: u8 = 1;
+
+/// Encodes a graph into the binary snapshot format.
+pub fn to_binary(g: &GraphDb) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    // labels
+    buf.put_u32_le(g.alphabet().len() as u32);
+    for (_, name) in g.alphabet().iter() {
+        put_str(&mut buf, name);
+    }
+    // nodes
+    buf.put_u32_le(g.num_nodes() as u32);
+    for v in g.nodes() {
+        put_str(&mut buf, g.node_name(v));
+    }
+    // edges
+    buf.put_u64_le(g.num_edges() as u64);
+    for (u, s, v) in g.edges() {
+        buf.put_u32_le(u.0);
+        buf.put_u32_le(s.0);
+        buf.put_u32_le(v.0);
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary snapshot.
+pub fn from_binary(mut data: Bytes) -> Result<GraphDb, FormatError> {
+    let err = |m: &str| FormatError { message: m.to_owned(), line: 0 };
+    if data.remaining() < 5 || &data.copy_to_bytes(4)[..] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if data.get_u8() != VERSION {
+        return Err(err("unsupported version"));
+    }
+    let mut b = GraphBuilder::new();
+    let num_labels = checked_u32(&mut data, "label count")?;
+    let mut labels = Vec::with_capacity(num_labels as usize);
+    for _ in 0..num_labels {
+        let name = get_str(&mut data)?;
+        labels.push(b.label(&name));
+    }
+    let num_nodes = checked_u32(&mut data, "node count")?;
+    let mut nodes = Vec::with_capacity(num_nodes as usize);
+    for _ in 0..num_nodes {
+        let name = get_str(&mut data)?;
+        nodes.push(b.node(&name));
+    }
+    if data.remaining() < 8 {
+        return Err(err("truncated edge count"));
+    }
+    let num_edges = data.get_u64_le();
+    for _ in 0..num_edges {
+        let u = checked_u32(&mut data, "edge src")? as usize;
+        let l = checked_u32(&mut data, "edge label")? as usize;
+        let v = checked_u32(&mut data, "edge dst")? as usize;
+        let (&u, &l, &v) = (
+            nodes.get(u).ok_or_else(|| err("edge src out of range"))?,
+            labels.get(l).ok_or_else(|| err("edge label out of range"))?,
+            nodes.get(v).ok_or_else(|| err("edge dst out of range"))?,
+        );
+        b.edge_ids(u, l, v);
+    }
+    Ok(b.finish())
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(data: &mut Bytes) -> Result<String, FormatError> {
+    let len = checked_u32(data, "string length")? as usize;
+    if data.remaining() < len {
+        return Err(FormatError { message: "truncated string".into(), line: 0 });
+    }
+    String::from_utf8(data.copy_to_bytes(len).to_vec())
+        .map_err(|_| FormatError { message: "invalid utf-8".into(), line: 0 })
+}
+
+fn checked_u32(data: &mut Bytes, what: &str) -> Result<u32, FormatError> {
+    if data.remaining() < 4 {
+        return Err(FormatError { message: format!("truncated {what}"), line: 0 });
+    }
+    Ok(data.get_u32_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a small sample
+u a v
+v b w   # chain
+node lonely
+
+w c u
+";
+
+    #[test]
+    fn parse_text() {
+        let g = parse_graph_text(SAMPLE).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.node_by_name("lonely").is_some());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = parse_graph_text(SAMPLE).unwrap();
+        let text = to_graph_text(&g);
+        let g2 = parse_graph_text(&text).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        let e1: Vec<_> = g
+            .edges()
+            .map(|(u, s, v)| {
+                (g.node_name(u).to_owned(), g.alphabet().resolve(s).to_owned(), g.node_name(v).to_owned())
+            })
+            .collect();
+        let e2: Vec<_> = g2
+            .edges()
+            .map(|(u, s, v)| {
+                (g2.node_name(u).to_owned(), g2.alphabet().resolve(s).to_owned(), g2.node_name(v).to_owned())
+            })
+            .collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_graph_text("u a").is_err());
+        assert!(parse_graph_text("u a v extra").is_err());
+        let err = parse_graph_text("ok a b\nbroken").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = parse_graph_text(SAMPLE).unwrap();
+        let bytes = to_binary(&g);
+        let g2 = from_binary(bytes).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, s, v) in g.edges() {
+            let u2 = g2.node_by_name(g.node_name(u)).unwrap();
+            let v2 = g2.node_by_name(g.node_name(v)).unwrap();
+            let s2 = g2.alphabet().get(g.alphabet().resolve(s)).unwrap();
+            assert!(g2.has_edge(u2, s2, v2));
+        }
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(from_binary(Bytes::from_static(b"nope")).is_err());
+        assert!(from_binary(Bytes::from_static(b"CRPQ\x02")).is_err());
+        let g = parse_graph_text("u a v").unwrap();
+        let mut bytes = to_binary(&g).to_vec();
+        bytes.truncate(bytes.len() - 3);
+        assert!(from_binary(Bytes::from(bytes)).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Deterministic graph generators for tests, examples and benchmarks.
+//!
+//! All generators are seeded and reproducible. They produce the graph
+//! families used throughout the experiment suite: labelled paths and cycles
+//! (the paper's running examples are built on these), grids (road-network
+//! style), cliques (hardness instances), and labelled Erdős–Rényi random
+//! graphs (data-complexity scaling).
+
+use crate::db::{GraphBuilder, GraphDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed path `v0 -l0-> v1 -l1-> …` with labels cycling through `labels`.
+pub fn labelled_path(n: usize, labels: &[&str]) -> GraphDb {
+    assert!(!labels.is_empty());
+    let mut b = GraphBuilder::new();
+    for i in 0..n.saturating_sub(1) {
+        b.edge(&format!("v{i}"), labels[i % labels.len()], &format!("v{}", i + 1));
+    }
+    if n == 1 {
+        b.node("v0");
+    }
+    b.finish()
+}
+
+/// A directed cycle of `n` nodes with labels cycling through `labels`.
+pub fn labelled_cycle(n: usize, labels: &[&str]) -> GraphDb {
+    assert!(n >= 1 && !labels.is_empty());
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.edge(&format!("v{i}"), labels[i % labels.len()], &format!("v{}", (i + 1) % n));
+    }
+    b.finish()
+}
+
+/// An `rows × cols` grid with `right`-labelled horizontal edges and
+/// `down`-labelled vertical edges (road-network style).
+pub fn grid(rows: usize, cols: usize, right: &str, down: &str) -> GraphDb {
+    let mut b = GraphBuilder::new();
+    let name = |r: usize, c: usize| format!("g{r}_{c}");
+    for r in 0..rows {
+        for c in 0..cols {
+            b.node(&name(r, c));
+            if c + 1 < cols {
+                b.edge(&name(r, c), right, &name(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.edge(&name(r, c), down, &name(r + 1, c));
+            }
+        }
+    }
+    b.finish()
+}
+
+/// A bidirectional clique on `n` nodes: `u -label-> v` for all `u ≠ v`.
+pub fn clique(n: usize, label: &str) -> GraphDb {
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.node(&format!("v{i}"));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                b.edge(&format!("v{i}"), label, &format!("v{j}"));
+            }
+        }
+    }
+    b.finish()
+}
+
+/// A labelled Erdős–Rényi-style random graph: `n` nodes, `m` edges drawn
+/// uniformly (with replacement, then dedup) with uniformly random labels.
+pub fn random_graph(n: usize, m: usize, labels: &[&str], seed: u64) -> GraphDb {
+    assert!(n >= 1 && !labels.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.node(&format!("v{i}"));
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        let l = labels[rng.gen_range(0..labels.len())];
+        b.edge(&format!("v{u}"), l, &format!("v{v}"));
+    }
+    b.finish()
+}
+
+/// A two-level "social network": `communities` clusters of `size` members
+/// with dense intra-cluster `knows` edges (probability `p_in`) and sparse
+/// inter-cluster `follows` bridges (probability `p_out`).
+pub fn social_network(
+    communities: usize,
+    size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> GraphDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let name = |c: usize, i: usize| format!("p{c}_{i}");
+    for c in 0..communities {
+        for i in 0..size {
+            b.node(&name(c, i));
+        }
+    }
+    for c in 0..communities {
+        for i in 0..size {
+            for j in 0..size {
+                if i != j && rng.gen_bool(p_in) {
+                    b.edge(&name(c, i), "knows", &name(c, j));
+                }
+            }
+        }
+    }
+    for c1 in 0..communities {
+        for c2 in 0..communities {
+            if c1 == c2 {
+                continue;
+            }
+            for i in 0..size {
+                for j in 0..size {
+                    if rng.gen_bool(p_out) {
+                        b.edge(&name(c1, i), "follows", &name(c2, j));
+                    }
+                }
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpq;
+    use crpq_automata::{parse_regex, Nfa};
+
+    #[test]
+    fn path_shape() {
+        let g = labelled_path(5, &["a", "b"]);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        // Labels alternate a b a b.
+        let labels: Vec<&str> =
+            g.edges().map(|(_, s, _)| g.alphabet().resolve(s)).collect();
+        assert_eq!(labels, vec!["a", "b", "a", "b"]);
+        let single = labelled_path(1, &["a"]);
+        assert_eq!(single.num_nodes(), 1);
+        assert_eq!(single.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = labelled_cycle(4, &["a"]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        // Every node has out-degree 1 and in-degree 1.
+        for v in g.nodes() {
+            assert_eq!(g.out_edges(v).len(), 1);
+            assert_eq!(g.in_edges(v).len(), 1);
+        }
+    }
+
+    #[test]
+    fn grid_shape_and_reachability() {
+        let mut g = grid(3, 4, "r", "d");
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // rights + downs
+        let r = parse_regex("(r+d)(r+d)*", g.alphabet_mut()).unwrap();
+        let nfa = Nfa::from_regex(&r);
+        let (start, end) = (g.node_by_name("g0_0").unwrap(), g.node_by_name("g2_3").unwrap());
+        assert!(rpq::rpq_exists(&g, &nfa, start, end));
+        assert!(!rpq::rpq_exists(&g, &nfa, end, start), "grid edges are one-way");
+    }
+
+    #[test]
+    fn clique_is_complete() {
+        let g = clique(4, "e");
+        assert_eq!(g.num_edges(), 12);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u != v {
+                    let e = g.alphabet().get("e").unwrap();
+                    assert!(g.has_edge(u, e, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        let g1 = random_graph(20, 60, &["a", "b"], 42);
+        let g2 = random_graph(20, 60, &["a", "b"], 42);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+        let g3 = random_graph(20, 60, &["a", "b"], 43);
+        assert_ne!(
+            g1.edges().collect::<Vec<_>>(),
+            g3.edges().collect::<Vec<_>>(),
+            "different seed, different graph (w.h.p.)"
+        );
+    }
+
+    #[test]
+    fn social_network_has_both_relations() {
+        let g = social_network(3, 5, 0.8, 0.05, 7);
+        assert_eq!(g.num_nodes(), 15);
+        assert!(g.alphabet().get("knows").is_some());
+        assert!(g.alphabet().get("follows").is_some());
+        assert!(g.num_edges() > 0);
+    }
+}

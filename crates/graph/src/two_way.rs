@@ -1,0 +1,101 @@
+//! Two-way navigation (the `C2RPQ` direction of the paper's outlook, §7).
+//!
+//! A 2RPQ atom may traverse edges backwards (`a⁻`). The standard reduction
+//! to plain RPQs materialises the inverse relation: for every edge
+//! `u -a-> v` add `v -a⁻-> u`. Queries over `Σ ∪ Σ⁻` then run unchanged on
+//! the augmented graph — under *all* semantics, since the augmentation
+//! preserves nodes (simple paths/trails translate 1:1; note that under
+//! trail semantics an edge and its inverse count as distinct edges, the
+//! usual convention for directed trails).
+
+use crate::db::GraphDb;
+use crpq_util::{FxHashMap, Symbol};
+
+/// Suffix used for inverse label names (`knows` → `knows⁻`).
+pub const INVERSE_SUFFIX: &str = "⁻";
+
+/// Returns the two-way augmentation of `g` and the label map
+/// `a ↦ a⁻` for all original labels.
+pub fn augment_with_inverses(g: &GraphDb) -> (GraphDb, FxHashMap<Symbol, Symbol>) {
+    let mut b = g.clone().into_builder();
+    let mut inverse: FxHashMap<Symbol, Symbol> = FxHashMap::default();
+    let originals: Vec<(Symbol, String)> = g
+        .alphabet()
+        .iter()
+        .filter(|(_, name)| !name.ends_with(INVERSE_SUFFIX))
+        .map(|(s, n)| (s, n.to_owned()))
+        .collect();
+    for (sym, name) in &originals {
+        let inv = b.label(&format!("{name}{INVERSE_SUFFIX}"));
+        inverse.insert(*sym, inv);
+    }
+    for (u, s, v) in g.edges() {
+        if let Some(&inv) = inverse.get(&s) {
+            b.edge_ids(v, inv, u);
+        }
+    }
+    (b.finish(), inverse)
+}
+
+/// Looks up the inverse symbol of `label` by name in an augmented graph.
+pub fn inverse_of(g: &GraphDb, label: &str) -> Option<Symbol> {
+    g.alphabet().get(&format!("{label}{INVERSE_SUFFIX}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::GraphBuilder;
+    use crate::rpq;
+    use crpq_automata::{parse_regex, Nfa};
+
+    fn chain() -> GraphDb {
+        let mut b = GraphBuilder::new();
+        b.edge("u", "a", "v");
+        b.edge("v", "b", "w");
+        b.finish()
+    }
+
+    #[test]
+    fn augmentation_adds_exactly_the_inverses() {
+        let g = chain();
+        let (g2, map) = augment_with_inverses(&g);
+        assert_eq!(g2.num_edges(), 4);
+        assert_eq!(map.len(), 2);
+        let a = g.alphabet().get("a").unwrap();
+        let a_inv = map[&a];
+        let (u, v) = (g2.node_by_name("u").unwrap(), g2.node_by_name("v").unwrap());
+        assert!(g2.has_edge(v, a_inv, u));
+        assert!(!g2.has_edge(u, a_inv, v));
+        assert_eq!(inverse_of(&g2, "a"), Some(a_inv));
+    }
+
+    #[test]
+    fn two_way_reachability() {
+        // w can reach u only with inverse steps: b⁻ a⁻.
+        let g = chain();
+        let (mut g2, _) = augment_with_inverses(&g);
+        let regex = parse_regex("b⁻ a⁻", g2.alphabet_mut()).unwrap();
+        let nfa = Nfa::from_regex(&regex);
+        let (u, w) = (g2.node_by_name("u").unwrap(), g2.node_by_name("w").unwrap());
+        assert!(rpq::rpq_exists(&g2, &nfa, w, u));
+        assert!(rpq::simple_path_exists(&g2, &nfa, w, u, &g2.node_set()));
+        // Without inverses, no path back.
+        let mut g1 = chain();
+        let fwd_only = parse_regex("(a+b)(a+b)*", g1.alphabet_mut()).unwrap();
+        let nfa1 = Nfa::from_regex(&fwd_only);
+        let (u1, w1) = (g1.node_by_name("u").unwrap(), g1.node_by_name("w").unwrap());
+        assert!(!rpq::rpq_exists(&g1, &nfa1, w1, u1));
+    }
+
+    #[test]
+    fn double_augmentation_is_idempotent_on_labels() {
+        let g = chain();
+        let (g2, _) = augment_with_inverses(&g);
+        let (g3, map3) = augment_with_inverses(&g2);
+        // Only the two original labels have inverses; re-adding their
+        // (already present) inverse edges deduplicates to a no-op.
+        assert_eq!(map3.len(), 2);
+        assert_eq!(g3.num_edges(), g2.num_edges());
+    }
+}

@@ -1,0 +1,194 @@
+//! Atom-injective expansions `Exp_a-inj(Q)` (paper §4.1).
+//!
+//! An a-inj-expansion of `Q` is obtained from an ordinary expansion `E` by
+//! identifying variables that are **not** φ-atom-related (the conjunction
+//! `J` of equality atoms), then collapsing. Lemma 4.4 shows these quotients
+//! characterise atom-injective homomorphisms via plain injective ones, and
+//! Prop 4.6 builds the containment characterisation on them.
+
+use crate::cq::{Cq, Var};
+use crate::crpq::Crpq;
+use crate::expansion::{enumerate_expansions, EnumerationOutcome, Expansion, ExpansionLimits};
+use crpq_util::partition::partitions_with;
+use std::ops::ControlFlow;
+
+/// An a-inj-expansion `F ∈ Exp_a-inj(Q)`: a quotient of an ordinary
+/// expansion by a partition that never merges atom-related variables.
+#[derive(Clone, Debug)]
+pub struct AInjExpansion {
+    /// The quotient CQ.
+    pub cq: Cq,
+    /// The underlying ordinary expansion.
+    pub base: Expansion,
+    /// Canonical renaming `Φ`: variable of `base.cq` → variable of `cq`.
+    pub renaming: Vec<usize>,
+}
+
+impl AInjExpansion {
+    /// Number of merged classes (0 for the discrete partition, i.e. when the
+    /// a-inj-expansion is the ordinary expansion itself).
+    pub fn merges(&self) -> usize {
+        self.base.cq.num_vars - self.cq.num_vars
+    }
+}
+
+/// Enumerates the a-inj-expansions of a single ordinary expansion: all
+/// quotients by partitions separating atom-related pairs (the ordinary
+/// expansion itself appears as the discrete partition).
+pub fn a_inj_expansions_of<F>(base: &Expansion, mut visit: F) -> bool
+where
+    F: FnMut(&AInjExpansion) -> ControlFlow<()>,
+{
+    let related = base.atom_related_pairs();
+    let n = base.cq.num_vars;
+    partitions_with(
+        n,
+        |a, b| related.contains(&(Var(a as u32), Var(b as u32))),
+        |partition| {
+            let quotient = base.cq.quotient(&partition.assignment, partition.num_blocks());
+            let aexp = AInjExpansion {
+                cq: quotient,
+                base: base.clone(),
+                renaming: partition.assignment.clone(),
+            };
+            visit(&aexp)
+        },
+    )
+}
+
+/// Enumerates `Exp_a-inj(Q)` within `limits`: for every ordinary expansion,
+/// every admissible quotient. `limits.max_expansions` caps the number of
+/// *a-inj*-expansions visited.
+pub fn enumerate_a_inj_expansions<F>(
+    query: &Crpq,
+    limits: ExpansionLimits,
+    mut visit: F,
+) -> EnumerationOutcome
+where
+    F: FnMut(&AInjExpansion) -> ControlFlow<()>,
+{
+    let mut count = 0usize;
+    let base_outcome = enumerate_expansions(query, limits, |exp| {
+        let completed = a_inj_expansions_of(exp, |aexp| {
+            count += 1;
+            if visit(aexp).is_break() || count >= limits.max_expansions {
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        });
+        // An inner break (visitor stop or cap) aborts the outer enumeration,
+        // which records incompleteness in `base_outcome`.
+        if completed {
+            ControlFlow::Continue(())
+        } else {
+            ControlFlow::Break(())
+        }
+    });
+    EnumerationOutcome { complete: base_outcome.complete, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crpq::CrpqAtom;
+    use crpq_automata::parse_regex;
+    use crpq_util::Interner;
+
+    fn atom(s: u32, expr: &str, d: u32, it: &mut Interner) -> CrpqAtom {
+        CrpqAtom { src: Var(s), dst: Var(d), regex: parse_regex(expr, it).unwrap() }
+    }
+
+    fn collect_all(q: &Crpq, limits: ExpansionLimits) -> Vec<AInjExpansion> {
+        let mut out = Vec::new();
+        enumerate_a_inj_expansions(q, limits, |a| {
+            out.push(a.clone());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn example_4_7_a_inj_expansion() {
+        // Q1 = x -a-> y ∧ y -b-> z; identifying x and z (not atom-related)
+        // yields the a-inj-expansion F of Example 4.7.
+        let mut it = Interner::new();
+        let q = Crpq::boolean(vec![atom(0, "a", 1, &mut it), atom(1, "b", 2, &mut it)]);
+        let aexps = collect_all(&q, ExpansionLimits::default());
+        // Partitions of {x,y,z} separating (x,y) and (y,z):
+        // discrete + merge{x,z} = 2.
+        assert_eq!(aexps.len(), 2);
+        assert!(aexps.iter().any(|a| a.merges() == 0), "discrete partition present");
+        let merged = aexps.iter().find(|a| a.merges() == 1).unwrap();
+        assert_eq!(merged.cq.num_vars, 2);
+        // The merged query is x -a-> y ∧ y -b-> x (a 2-cycle shape).
+        assert_eq!(merged.cq.atoms.len(), 2);
+        assert_eq!(merged.renaming[0], merged.renaming[2]);
+    }
+
+    #[test]
+    fn atom_internal_variables_never_merge() {
+        // Single atom x -[a a]-> y: its expansion path x, z, y is fully
+        // atom-related; the only a-inj-expansion is the expansion itself.
+        let mut it = Interner::new();
+        let q = Crpq::boolean(vec![atom(0, "a a", 1, &mut it)]);
+        let aexps = collect_all(&q, ExpansionLimits::default());
+        assert_eq!(aexps.len(), 1);
+        assert_eq!(aexps[0].merges(), 0);
+    }
+
+    #[test]
+    fn cross_atom_internals_can_merge() {
+        // x -[a a]-> y ∧ x -[b b]-> y: internals z1 (a-path) and z2 (b-path)
+        // are unrelated and may merge.
+        let mut it = Interner::new();
+        let q = Crpq::boolean(vec![atom(0, "a a", 1, &mut it), atom(0, "b b", 1, &mut it)]);
+        let aexps = collect_all(&q, ExpansionLimits::default());
+        // Partitions of {x, y, z1, z2} separating within-atom pairs:
+        // atom1 relates (x,z1),(x,y),(z1,y); atom2 relates (x,z2),(x,y),(z2,y).
+        // Only z1/z2 may merge: discrete + {z1,z2} = 2.
+        assert_eq!(aexps.len(), 2);
+        let merged = aexps.iter().find(|a| a.merges() == 1).unwrap();
+        assert_eq!(merged.cq.num_vars, 3);
+    }
+
+    #[test]
+    fn enumeration_counts_across_expansions() {
+        // x -[a+b]-> y: two expansions, each a single edge (no merges
+        // possible: endpoints are atom-related).
+        let mut it = Interner::new();
+        let q = Crpq::boolean(vec![atom(0, "a+b", 1, &mut it)]);
+        let aexps = collect_all(&q, ExpansionLimits::default());
+        assert_eq!(aexps.len(), 2);
+    }
+
+    #[test]
+    fn cap_respected() {
+        let mut it = Interner::new();
+        let q = Crpq::boolean(vec![atom(0, "a", 1, &mut it), atom(2, "b", 3, &mut it)]);
+        let mut seen = 0;
+        let outcome = enumerate_a_inj_expansions(
+            &q,
+            ExpansionLimits { max_word_len: 3, max_expansions: 2 },
+            |_| {
+                seen += 1;
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(seen, 2);
+        assert_eq!(outcome.count, 2);
+        assert!(!outcome.complete);
+    }
+
+    #[test]
+    fn free_variables_follow_quotient() {
+        let mut it = Interner::new();
+        let q = Crpq::with_free(
+            vec![atom(0, "a", 1, &mut it), atom(1, "b", 2, &mut it)],
+            vec![Var(0), Var(2)],
+        );
+        let aexps = collect_all(&q, ExpansionLimits::default());
+        let merged = aexps.iter().find(|a| a.merges() == 1).unwrap();
+        // free tuple (x, z) collapses to (v, v)
+        assert_eq!(merged.cq.free[0], merged.cq.free[1]);
+    }
+}

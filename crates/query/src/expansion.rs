@@ -1,0 +1,355 @@
+//! Expansions of CRPQs (paper §2.2).
+//!
+//! A `w`-expansion of an atom `x -[L]-> y` replaces the atom by a path of
+//! fresh variables spelling `w ∈ L`; an expansion of a CRPQ chooses one word
+//! per atom (the *expansion profile*) and is a CQ. ε-handling happens
+//! upstream: expansions are taken over the ε-free variants produced by
+//! [`Crpq::epsilon_free_union`], so every chosen word is non-empty and no
+//! equality collapsing is needed at this layer — exactly the paper's scheme
+//! of defining semantics on ε-free queries first.
+
+use crate::cq::{Cq, CqAtom, Var};
+use crate::crpq::Crpq;
+use crpq_util::{FxHashSet, Symbol};
+use std::ops::ControlFlow;
+
+/// An expansion `E ∈ Exp(Q)`: the expanded CQ plus provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Expansion {
+    /// The expansion as a CQ. Variables `0..variant_vars` are the variables
+    /// of the ε-free variant; the rest are fresh internal path variables.
+    pub cq: Cq,
+    /// Number of variables of the ε-free variant query.
+    pub variant_vars: usize,
+    /// The chosen word per atom of the variant query (all non-empty).
+    pub profile: Vec<Vec<Symbol>>,
+    /// Per atom: the variable path `[src, z₁, …, z_{k-1}, dst]` in `cq`.
+    pub atom_paths: Vec<Vec<Var>>,
+    /// Index of the ε-free variant within `epsilon_free_union()` that
+    /// produced this expansion (set by [`enumerate_expansions`]).
+    pub variant_index: usize,
+}
+
+impl Expansion {
+    /// Builds the expansion of an **ε-free** query from one non-empty word
+    /// per atom.
+    pub fn build(query: &Crpq, words: &[Vec<Symbol>]) -> Expansion {
+        assert_eq!(words.len(), query.atoms.len());
+        assert!(words.iter().all(|w| !w.is_empty()), "expansion words must be non-empty");
+        let mut next_var = query.num_vars as u32;
+        let mut atoms = Vec::new();
+        let mut atom_paths = Vec::with_capacity(query.atoms.len());
+        for (atom, word) in query.atoms.iter().zip(words) {
+            let mut path = Vec::with_capacity(word.len() + 1);
+            path.push(atom.src);
+            for _ in 0..word.len() - 1 {
+                path.push(Var(next_var));
+                next_var += 1;
+            }
+            path.push(atom.dst);
+            for (i, &sym) in word.iter().enumerate() {
+                atoms.push(CqAtom { src: path[i], label: sym, dst: path[i + 1] });
+            }
+            atom_paths.push(path);
+        }
+        let cq = Cq { num_vars: next_var as usize, atoms, free: query.free.clone() };
+        Expansion {
+            cq,
+            variant_vars: query.num_vars,
+            profile: words.to_vec(),
+            atom_paths,
+            variant_index: 0,
+        }
+    }
+
+    /// Pairs of distinct variables that are φ-atom-related (occur in the
+    /// same atom expansion), as canonical `(min, max)` pairs.
+    ///
+    /// These are exactly the pairs an atom-injective homomorphism must keep
+    /// apart (§2.2), and the pairs `Exp_a-inj` quotients may never merge
+    /// (§4.1).
+    pub fn atom_related_pairs(&self) -> FxHashSet<(Var, Var)> {
+        let mut out = FxHashSet::default();
+        for path in &self.atom_paths {
+            for i in 0..path.len() {
+                for j in i + 1..path.len() {
+                    let (a, b) = (path[i].min(path[j]), path[i].max(path[j]));
+                    if a != b {
+                        out.insert((a, b));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total size (number of CQ atoms) of the expansion.
+    pub fn size(&self) -> usize {
+        self.cq.atoms.len()
+    }
+}
+
+/// Bounds for expansion enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpansionLimits {
+    /// Maximum word length considered per atom.
+    pub max_word_len: usize,
+    /// Maximum number of expansions visited across all variants.
+    pub max_expansions: usize,
+}
+
+impl Default for ExpansionLimits {
+    fn default() -> Self {
+        Self { max_word_len: 6, max_expansions: 100_000 }
+    }
+}
+
+/// Result of an enumeration run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnumerationOutcome {
+    /// Whether the set of visited expansions is provably all of `Exp(Q)`
+    /// (every atom language finite with all words within the length bound,
+    /// and no cap/early-exit was hit).
+    pub complete: bool,
+    /// Number of expansions visited.
+    pub count: usize,
+}
+
+/// Enumerates `Exp(Q)` (over all ε-free variants), in order of variant then
+/// lexicographic word choice, within `limits`. The visitor may break early.
+///
+/// Returns an [`EnumerationOutcome`] whose `complete` flag is the engine's
+/// completeness certificate: when `true`, every expansion of `Q` was visited.
+pub fn enumerate_expansions<F>(
+    query: &Crpq,
+    limits: ExpansionLimits,
+    mut visit: F,
+) -> EnumerationOutcome
+where
+    F: FnMut(&Expansion) -> ControlFlow<()>,
+{
+    let variants = query.epsilon_free_union();
+    let mut complete = true;
+    let mut count = 0usize;
+
+    'variants: for (vi, variant) in variants.iter().enumerate() {
+        // Per-atom candidate words in shortlex order.
+        let mut word_lists: Vec<Vec<Vec<Symbol>>> = Vec::with_capacity(variant.atoms.len());
+        let mut variant_sat = true;
+        for atom in &variant.atoms {
+            let nfa = atom.nfa();
+            match nfa.max_word_len() {
+                Some(max) if max <= limits.max_word_len => {
+                    // finite language fully within bounds
+                }
+                Some(_) | None => {
+                    // Either finite-but-longer or infinite: bounded slice.
+                    complete = false;
+                }
+            }
+            let cap = limits.max_expansions.saturating_add(1);
+            let mut words = nfa.words_up_to(limits.max_word_len, cap);
+            if words.len() > limits.max_expansions {
+                // Truncated word list: cannot certify exhaustiveness.
+                complete = false;
+                words.truncate(limits.max_expansions);
+            }
+            if words.is_empty() {
+                // No word within bound: variant contributes nothing here.
+                variant_sat = false;
+            }
+            word_lists.push(words);
+        }
+        if !variant_sat {
+            continue;
+        }
+        // Cartesian product over atoms.
+        let mut choice = vec![0usize; variant.atoms.len()];
+        loop {
+            let words: Vec<Vec<Symbol>> =
+                choice.iter().enumerate().map(|(i, &c)| word_lists[i][c].clone()).collect();
+            let mut exp = Expansion::build(variant, &words);
+            exp.variant_index = vi;
+            count += 1;
+            if visit(&exp).is_break() {
+                complete = false;
+                break 'variants;
+            }
+            if count >= limits.max_expansions {
+                // Reaching the cap is only incompleteness if more remain
+                // (in this variant or any later one).
+                if next_choice(&mut choice, &word_lists) || vi + 1 < variants.len() {
+                    complete = false;
+                }
+                break 'variants;
+            }
+            if !next_choice(&mut choice, &word_lists) {
+                break;
+            }
+        }
+    }
+    EnumerationOutcome { complete, count }
+}
+
+/// Advances a mixed-radix counter; returns `false` when wrapped (done).
+fn next_choice(choice: &mut [usize], lists: &[Vec<Vec<Symbol>>]) -> bool {
+    for i in (0..choice.len()).rev() {
+        choice[i] += 1;
+        if choice[i] < lists[i].len() {
+            return true;
+        }
+        choice[i] = 0;
+    }
+    // Wrapped around (including the empty-atom query's single choice).
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crpq::CrpqAtom;
+    use crpq_automata::parse_regex;
+    use crpq_util::Interner;
+
+    fn atom(s: u32, expr: &str, d: u32, it: &mut Interner) -> CrpqAtom {
+        CrpqAtom { src: Var(s), dst: Var(d), regex: parse_regex(expr, it).unwrap() }
+    }
+
+    fn collect(q: &Crpq, limits: ExpansionLimits) -> (Vec<Expansion>, EnumerationOutcome) {
+        let mut out = Vec::new();
+        let outcome = enumerate_expansions(q, limits, |e| {
+            out.push(e.clone());
+            ControlFlow::Continue(())
+        });
+        (out, outcome)
+    }
+
+    #[test]
+    fn build_single_atom() {
+        let mut it = Interner::new();
+        let q = Crpq::with_free(vec![atom(0, "a b a", 1, &mut it)], vec![Var(0), Var(1)]);
+        let word: Vec<Symbol> = vec![Symbol(0), Symbol(1), Symbol(0)];
+        let e = Expansion::build(&q, std::slice::from_ref(&word));
+        assert_eq!(e.cq.num_vars, 4); // x0, x1 + two internals
+        assert_eq!(e.cq.atoms.len(), 3);
+        assert_eq!(e.atom_paths[0].len(), 4);
+        assert_eq!(e.atom_paths[0][0], Var(0));
+        assert_eq!(e.atom_paths[0][3], Var(1));
+        assert_eq!(e.profile, vec![word]);
+        assert_eq!(e.cq.free, vec![Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn self_loop_atom_expansion() {
+        // x -[a a]-> x gives path x, z, x and atoms x-a->z, z-a->x.
+        let mut it = Interner::new();
+        let q = Crpq::boolean(vec![atom(0, "a a", 0, &mut it)]);
+        let e = Expansion::build(&q, &[vec![Symbol(0), Symbol(0)]]);
+        assert_eq!(e.cq.num_vars, 2);
+        assert_eq!(e.atom_paths[0], vec![Var(0), Var(1), Var(0)]);
+        // atom-related pairs: only (x0, z)
+        let rel = e.atom_related_pairs();
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(&(Var(0), Var(1))));
+    }
+
+    #[test]
+    fn atom_related_pairs_do_not_span_atoms() {
+        let mut it = Interner::new();
+        let q = Crpq::boolean(vec![atom(0, "a a", 1, &mut it), atom(0, "b b", 2, &mut it)]);
+        let e = Expansion::build(
+            &q,
+            &[vec![Symbol(0), Symbol(0)], vec![Symbol(1), Symbol(1)]],
+        );
+        let rel = e.atom_related_pairs();
+        // path1 = [x0, z3, x1], path2 = [x0, z4, x2]
+        // pairs: (x0,z3),(x0,x1),(z3,x1) + (x0,z4),(x0,x2),(z4,x2)
+        assert_eq!(rel.len(), 6);
+        // the two internals are NOT related (different atoms)
+        assert!(!rel.contains(&(Var(3), Var(4))));
+        // endpoints of different atoms are not related either
+        assert!(!rel.contains(&(Var(1), Var(2))));
+    }
+
+    #[test]
+    fn enumerate_finite_query_is_complete() {
+        let mut it = Interner::new();
+        let q = Crpq::boolean(vec![atom(0, "a+b c", 1, &mut it)]);
+        let (exps, outcome) = collect(&q, ExpansionLimits::default());
+        assert!(outcome.complete);
+        assert_eq!(outcome.count, 2); // words: a, bc
+        assert_eq!(exps.len(), 2);
+        assert_eq!(exps[0].profile[0], vec![Symbol(0)]);
+        assert_eq!(exps[1].profile[0], vec![Symbol(1), Symbol(2)]);
+    }
+
+    #[test]
+    fn enumerate_star_is_incomplete_but_bounded() {
+        let mut it = Interner::new();
+        let q = Crpq::boolean(vec![atom(0, "a*", 1, &mut it)]);
+        let (exps, outcome) = collect(&q, ExpansionLimits { max_word_len: 3, max_expansions: 100 });
+        assert!(!outcome.complete);
+        // Variants: keep (a^+ words a, aa, aaa) + collapse (no atoms → 1 expansion).
+        assert_eq!(exps.len(), 4);
+        let empty_variant = exps.iter().find(|e| e.cq.atoms.is_empty()).unwrap();
+        assert_eq!(empty_variant.cq.num_vars, 1);
+    }
+
+    #[test]
+    fn enumerate_cartesian_product() {
+        let mut it = Interner::new();
+        let q = Crpq::boolean(vec![
+            atom(0, "a+b", 1, &mut it),
+            atom(1, "a+b", 2, &mut it),
+        ]);
+        let (exps, outcome) = collect(&q, ExpansionLimits::default());
+        assert!(outcome.complete);
+        assert_eq!(exps.len(), 4);
+    }
+
+    #[test]
+    fn cap_marks_incomplete() {
+        let mut it = Interner::new();
+        let q = Crpq::boolean(vec![
+            atom(0, "a+b", 1, &mut it),
+            atom(1, "a+b", 2, &mut it),
+        ]);
+        let (exps, outcome) = collect(&q, ExpansionLimits { max_word_len: 4, max_expansions: 3 });
+        assert_eq!(exps.len(), 3);
+        assert!(!outcome.complete);
+    }
+
+    #[test]
+    fn early_break_marks_incomplete() {
+        let mut it = Interner::new();
+        let q = Crpq::boolean(vec![atom(0, "a+b", 1, &mut it)]);
+        let mut seen = 0;
+        let outcome = enumerate_expansions(&q, ExpansionLimits::default(), |_| {
+            seen += 1;
+            ControlFlow::Break(())
+        });
+        assert_eq!(seen, 1);
+        assert!(!outcome.complete);
+    }
+
+    #[test]
+    fn atomless_query_single_expansion() {
+        let q = Crpq::with_free(vec![], vec![Var(0)]);
+        let (exps, outcome) = collect(&q, ExpansionLimits::default());
+        assert!(outcome.complete);
+        assert_eq!(exps.len(), 1);
+        assert_eq!(exps[0].cq.num_vars, 1);
+    }
+
+    #[test]
+    fn epsilon_union_feeds_enumeration() {
+        // x -[a?]-> y: variants are x -[a]-> y and collapse(x=y).
+        let mut it = Interner::new();
+        let q = Crpq::with_free(vec![atom(0, "a?", 1, &mut it)], vec![Var(0), Var(1)]);
+        let (exps, outcome) = collect(&q, ExpansionLimits::default());
+        assert!(outcome.complete);
+        assert_eq!(exps.len(), 2);
+        let collapsed = exps.iter().find(|e| e.cq.atoms.is_empty()).unwrap();
+        assert_eq!(collapsed.cq.free, vec![Var(0), Var(0)]);
+    }
+}

@@ -1,0 +1,428 @@
+//! The homomorphism engine.
+//!
+//! One backtracking solver covers the three homomorphism notions the paper
+//! uses (§2, Lemma 4.4):
+//!
+//! * **ordinary** homomorphisms `Q → (G, v̄)` — no disequality constraints;
+//! * **injective** homomorphisms `Q -inj-> (G, v̄)` — all variable pairs
+//!   distinct;
+//! * **atom-injective** homomorphisms `E -a-inj-> (G, v̄)` — exactly the
+//!   φ-atom-related pairs distinct.
+//!
+//! The solver does forward-checked backtracking with a fail-first
+//! (minimum-remaining-values) variable order. Candidate domains are seeded
+//! from label-degree indexes, pre-assignments pin free variables.
+
+use crate::cq::{Cq, Var};
+use crpq_graph::{GraphDb, NodeId};
+use crpq_util::{BitSet, FxHashSet};
+use std::ops::ControlFlow;
+
+/// Which variable pairs must be mapped to distinct nodes.
+#[derive(Clone, Debug)]
+pub enum DistinctSpec {
+    /// No disequality constraints (ordinary homomorphism).
+    None,
+    /// All pairs distinct (injective homomorphism).
+    AllPairs,
+    /// Exactly these pairs distinct (atom-injective homomorphism); pairs are
+    /// canonical `(min, max)`.
+    Pairs(FxHashSet<(Var, Var)>),
+}
+
+impl DistinctSpec {
+    fn must_differ(&self, a: Var, b: Var) -> bool {
+        if a == b {
+            return false;
+        }
+        match self {
+            DistinctSpec::None => false,
+            DistinctSpec::AllPairs => true,
+            DistinctSpec::Pairs(pairs) => pairs.contains(&(a.min(b), a.max(b))),
+        }
+    }
+}
+
+/// Finds a homomorphism from `source` into `target` extending the partial
+/// assignment `pre` and satisfying `distinct`. Returns the full assignment
+/// (indexed by variable) if one exists.
+pub fn find_hom(
+    source: &Cq,
+    target: &GraphDb,
+    pre: &[(Var, NodeId)],
+    distinct: &DistinctSpec,
+) -> Option<Vec<NodeId>> {
+    let mut result = None;
+    for_each_hom(source, target, pre, distinct, |assignment| {
+        result = Some(assignment.to_vec());
+        ControlFlow::Break(())
+    });
+    result
+}
+
+/// Whether a homomorphism exists (see [`find_hom`]).
+pub fn hom_exists(
+    source: &Cq,
+    target: &GraphDb,
+    pre: &[(Var, NodeId)],
+    distinct: &DistinctSpec,
+) -> bool {
+    find_hom(source, target, pre, distinct).is_some()
+}
+
+/// Enumerates all homomorphisms; `visit` receives the assignment indexed by
+/// variable. Returns `true` if enumeration ran to completion.
+pub fn for_each_hom<F>(
+    source: &Cq,
+    target: &GraphDb,
+    pre: &[(Var, NodeId)],
+    distinct: &DistinctSpec,
+    mut visit: F,
+) -> bool
+where
+    F: FnMut(&[NodeId]) -> ControlFlow<()>,
+{
+    let n_vars = source.num_vars;
+    if n_vars == 0 {
+        // The empty query has the empty homomorphism.
+        return visit(&[]).is_continue();
+    }
+    let n_nodes = target.num_nodes();
+
+    // Per-variable static domains from label-degree requirements.
+    let mut domains: Vec<BitSet> = vec![BitSet::full(n_nodes); n_vars];
+    for atom in &source.atoms {
+        let mut out_ok = BitSet::new(n_nodes);
+        let mut in_ok = BitSet::new(n_nodes);
+        for v in target.nodes() {
+            if target.successors(v, atom.label).next().is_some() {
+                out_ok.insert(v.index());
+            }
+            if target.predecessors(v, atom.label).next().is_some() {
+                in_ok.insert(v.index());
+            }
+        }
+        domains[atom.src.index()].intersect_with(&out_ok);
+        domains[atom.dst.index()].intersect_with(&in_ok);
+    }
+    for &(v, node) in pre {
+        if node.index() >= n_nodes || !domains[v.index()].contains(node.index()) {
+            return true; // pre-assignment infeasible: zero homs, completed
+        }
+        let mut only = BitSet::new(n_nodes);
+        only.insert(node.index());
+        domains[v.index()] = only;
+    }
+    // Check pre-assignment consistency against `distinct` immediately.
+    for &(a, na) in pre {
+        for &(b, nb) in pre {
+            if a != b && na == nb && distinct.must_differ(a, b) {
+                return true;
+            }
+        }
+    }
+
+    // Adjacency of the constraint network: per var, atoms touching it.
+    let mut var_atoms: Vec<Vec<usize>> = vec![Vec::new(); n_vars];
+    for (i, atom) in source.atoms.iter().enumerate() {
+        var_atoms[atom.src.index()].push(i);
+        if atom.dst != atom.src {
+            var_atoms[atom.dst.index()].push(i);
+        }
+    }
+
+    let mut assignment: Vec<Option<NodeId>> = vec![None; n_vars];
+    let mut search = Search {
+        source,
+        target,
+        distinct,
+        domains: &domains,
+        var_atoms: &var_atoms,
+        visit: &mut visit,
+    };
+    search.go(&mut assignment).is_continue()
+}
+
+struct Search<'a, F> {
+    source: &'a Cq,
+    target: &'a GraphDb,
+    distinct: &'a DistinctSpec,
+    domains: &'a [BitSet],
+    var_atoms: &'a [Vec<usize>],
+    visit: &'a mut F,
+}
+
+impl<F> Search<'_, F>
+where
+    F: FnMut(&[NodeId]) -> ControlFlow<()>,
+{
+    fn go(&mut self, assignment: &mut Vec<Option<NodeId>>) -> ControlFlow<()> {
+        // Pick the unassigned variable with fewest consistent candidates.
+        let mut best: Option<(Var, Vec<NodeId>)> = None;
+        for v in 0..assignment.len() {
+            if assignment[v].is_some() {
+                continue;
+            }
+            let cands = self.candidates(Var(v as u32), assignment);
+            if cands.is_empty() {
+                return ControlFlow::Continue(()); // dead branch
+            }
+            let better = best.as_ref().is_none_or(|(_, c)| cands.len() < c.len());
+            if better {
+                let single = cands.len() == 1;
+                best = Some((Var(v as u32), cands));
+                if single {
+                    break;
+                }
+            }
+        }
+        let Some((var, cands)) = best else {
+            // All variables assigned: emit.
+            let full: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect();
+            return (self.visit)(&full);
+        };
+        for node in cands {
+            assignment[var.index()] = Some(node);
+            self.go(assignment)?;
+            assignment[var.index()] = None;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Candidate nodes for `var` consistent with the current partial
+    /// assignment (edge constraints to assigned neighbours + disequalities).
+    fn candidates(&self, var: Var, assignment: &[Option<NodeId>]) -> Vec<NodeId> {
+        let mut cands: Option<Vec<NodeId>> = None;
+        let restrict = |cands: &mut Option<Vec<NodeId>>, allowed: Vec<NodeId>| {
+            *cands = Some(match cands.take() {
+                None => allowed,
+                Some(prev) => {
+                    let set: FxHashSet<NodeId> = allowed.into_iter().collect();
+                    prev.into_iter().filter(|n| set.contains(n)).collect()
+                }
+            });
+        };
+
+        for &ai in &self.var_atoms[var.index()] {
+            let atom = &self.source.atoms[ai];
+            if atom.src == var {
+                if let Some(dst_node) = assignment[atom.dst.index()] {
+                    let preds: Vec<NodeId> =
+                        self.target.predecessors(dst_node, atom.label).collect();
+                    restrict(&mut cands, preds);
+                }
+            }
+            if atom.dst == var {
+                if let Some(src_node) = assignment[atom.src.index()] {
+                    let succs: Vec<NodeId> =
+                        self.target.successors(src_node, atom.label).collect();
+                    restrict(&mut cands, succs);
+                }
+            }
+            // Self-loop atoms on var with var unassigned on both ends are
+            // handled by the static domain + final edge check below.
+        }
+
+        let base = &self.domains[var.index()];
+        let mut out: Vec<NodeId> = match cands {
+            Some(list) => {
+                let mut list: Vec<NodeId> =
+                    list.into_iter().filter(|n| base.contains(n.index())).collect();
+                list.sort_unstable();
+                list.dedup();
+                list
+            }
+            None => base.iter().map(|i| NodeId(i as u32)).collect(),
+        };
+
+        // Self-loop atoms `var -l-> var` require a loop edge at the node.
+        for &ai in &self.var_atoms[var.index()] {
+            let atom = &self.source.atoms[ai];
+            if atom.src == var && atom.dst == var {
+                out.retain(|&n| self.target.has_edge(n, atom.label, n));
+            }
+        }
+
+        // Disequality constraints against assigned variables.
+        for (other, assigned) in assignment.iter().enumerate() {
+            if let Some(node) = assigned {
+                if self.distinct.must_differ(var, Var(other as u32)) {
+                    out.retain(|n| n != node);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Counts homomorphisms (careful: can be exponential; meant for tests).
+pub fn count_homs(
+    source: &Cq,
+    target: &GraphDb,
+    pre: &[(Var, NodeId)],
+    distinct: &DistinctSpec,
+) -> usize {
+    let mut count = 0;
+    for_each_hom(source, target, pre, distinct, |_| {
+        count += 1;
+        ControlFlow::Continue(())
+    });
+    count
+}
+
+/// Pins the free tuple of `source` to the nodes `tuple` (positionally).
+/// Returns `None` if the tuple length mismatches or a repeated free variable
+/// would be pinned to two different nodes.
+pub fn pin_free_tuple(source: &Cq, tuple: &[NodeId]) -> Option<Vec<(Var, NodeId)>> {
+    if source.free.len() != tuple.len() {
+        return None;
+    }
+    let mut pre: Vec<(Var, NodeId)> = Vec::with_capacity(tuple.len());
+    for (&v, &n) in source.free.iter().zip(tuple) {
+        if let Some(&(_, prev)) = pre.iter().find(|&&(pv, _)| pv == v) {
+            if prev != n {
+                return None;
+            }
+        } else {
+            pre.push((v, n));
+        }
+    }
+    Some(pre)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqAtom;
+    use crpq_graph::GraphBuilder;
+    use crpq_util::{Interner, Symbol};
+
+    fn triangle() -> (GraphDb, Symbol) {
+        let mut b = GraphBuilder::new();
+        b.edge("u", "e", "v");
+        b.edge("v", "e", "w");
+        b.edge("w", "e", "u");
+        let g = b.finish();
+        let e = g.alphabet().get("e").unwrap();
+        (g, e)
+    }
+
+    fn path_query(len: usize, label: Symbol) -> Cq {
+        let atoms = (0..len)
+            .map(|i| CqAtom { src: Var(i as u32), label, dst: Var(i as u32 + 1) })
+            .collect();
+        Cq::boolean(atoms)
+    }
+
+    #[test]
+    fn plain_hom_wraps_cycle() {
+        let (g, e) = triangle();
+        // A 6-path maps around the triangle twice.
+        let q = path_query(6, e);
+        assert!(hom_exists(&q, &g, &[], &DistinctSpec::None));
+        // Injectively impossible: 7 variables, 3 nodes.
+        assert!(!hom_exists(&q, &g, &[], &DistinctSpec::AllPairs));
+    }
+
+    #[test]
+    fn injective_hom_needs_capacity() {
+        let (g, e) = triangle();
+        let q = path_query(2, e);
+        assert!(hom_exists(&q, &g, &[], &DistinctSpec::AllPairs));
+        let q3 = path_query(3, e); // 4 vars > 3 nodes
+        assert!(!hom_exists(&q3, &g, &[], &DistinctSpec::AllPairs));
+        // But plain homomorphism exists (wrap around).
+        assert!(hom_exists(&q3, &g, &[], &DistinctSpec::None));
+    }
+
+    #[test]
+    fn selected_pairs_constraint() {
+        let (g, e) = triangle();
+        let q = path_query(3, e);
+        // Only require x0 ≠ x1: satisfiable (wrap may reuse other nodes).
+        let mut pairs = FxHashSet::default();
+        pairs.insert((Var(0), Var(1)));
+        assert!(hom_exists(&q, &g, &[], &DistinctSpec::Pairs(pairs)));
+        // Require x0 ≠ x3: on a 3-cycle a 3-path returns to start, so x0=x3
+        // is forced; the constraint kills it.
+        let mut pairs = FxHashSet::default();
+        pairs.insert((Var(0), Var(3)));
+        assert!(!hom_exists(&q, &g, &[], &DistinctSpec::Pairs(pairs)));
+    }
+
+    #[test]
+    fn pre_assignment_pins_variables() {
+        let (g, e) = triangle();
+        let q = path_query(1, e);
+        let u = g.node_by_name("u").unwrap();
+        let v = g.node_by_name("v").unwrap();
+        let w = g.node_by_name("w").unwrap();
+        assert!(hom_exists(&q, &g, &[(Var(0), u), (Var(1), v)], &DistinctSpec::None));
+        assert!(!hom_exists(&q, &g, &[(Var(0), u), (Var(1), w)], &DistinctSpec::None));
+    }
+
+    #[test]
+    fn count_homs_on_triangle() {
+        let (g, e) = triangle();
+        // Single edge: 3 homs (one per edge).
+        let q = path_query(1, e);
+        assert_eq!(count_homs(&q, &g, &[], &DistinctSpec::None), 3);
+        // Edge with distinct endpoints: still 3 (no self-loops present).
+        assert_eq!(count_homs(&q, &g, &[], &DistinctSpec::AllPairs), 3);
+    }
+
+    #[test]
+    fn self_loop_atoms() {
+        let mut b = GraphBuilder::new();
+        b.edge("u", "e", "u");
+        b.edge("u", "e", "v");
+        let g = b.finish();
+        let e = g.alphabet().get("e").unwrap();
+        let q = Cq::boolean(vec![CqAtom { src: Var(0), label: e, dst: Var(0) }]);
+        let homs = count_homs(&q, &g, &[], &DistinctSpec::None);
+        assert_eq!(homs, 1, "only u has a self-loop");
+    }
+
+    #[test]
+    fn empty_query_has_empty_hom() {
+        let (g, _) = triangle();
+        let q = Cq::boolean(vec![]);
+        assert!(hom_exists(&q, &g, &[], &DistinctSpec::AllPairs));
+    }
+
+    #[test]
+    fn isolated_variables_range_over_all_nodes() {
+        let (g, _) = triangle();
+        let q = Cq::with_free(vec![], vec![Var(0), Var(1)]);
+        assert_eq!(count_homs(&q, &g, &[], &DistinctSpec::None), 9);
+        assert_eq!(count_homs(&q, &g, &[], &DistinctSpec::AllPairs), 6);
+    }
+
+    #[test]
+    fn pin_free_tuple_handles_repeats() {
+        let mut it = Interner::new();
+        let a = it.intern("a");
+        let q = Cq::with_free(
+            vec![CqAtom { src: Var(0), label: a, dst: Var(1) }],
+            vec![Var(0), Var(0)],
+        );
+        let n0 = NodeId(0);
+        let n1 = NodeId(1);
+        assert!(pin_free_tuple(&q, &[n0, n0]).is_some());
+        assert!(pin_free_tuple(&q, &[n0, n1]).is_none(), "repeated var, different nodes");
+        assert!(pin_free_tuple(&q, &[n0]).is_none(), "arity mismatch");
+    }
+
+    #[test]
+    fn directed_edges_matter() {
+        let mut b = GraphBuilder::new();
+        b.edge("u", "e", "v");
+        let g = b.finish();
+        let e = g.alphabet().get("e").unwrap();
+        let q = path_query(1, e);
+        let u = g.node_by_name("u").unwrap();
+        let v = g.node_by_name("v").unwrap();
+        assert!(hom_exists(&q, &g, &[(Var(0), u)], &DistinctSpec::None));
+        assert!(!hom_exists(&q, &g, &[(Var(0), v)], &DistinctSpec::None));
+    }
+}

@@ -1,0 +1,31 @@
+//! # crpq-query
+//!
+//! The query model of the paper (§2):
+//!
+//! * [`Cq`] — conjunctive queries over edge-labelled graphs, with free-variable
+//!   tuples that may repeat variables;
+//! * [`Crpq`] — conjunctive regular path queries, atoms `x -[L]-> y` with a
+//!   regular language per atom; classification into the paper's classes
+//!   `CQ ⊆ CRPQ_fin ⊆ CRPQ` ([`QueryClass`]);
+//! * ε-elimination into a union of ε-free CRPQs (§2.1);
+//! * expansions `Exp(Q)` with their expansion profiles (§2.2), and
+//!   atom-injective expansions `Exp_a-inj(Q)` (§4.1);
+//! * a single homomorphism engine parameterised by disequality constraints,
+//!   covering ordinary, injective, and atom-injective homomorphisms
+//!   (Prop 2.2/2.3, Lemma 4.4).
+
+pub mod aexp;
+pub mod cq;
+pub mod crpq;
+pub mod expansion;
+pub mod hom;
+pub mod parser;
+pub mod union;
+
+pub use aexp::{enumerate_a_inj_expansions, AInjExpansion};
+pub use cq::{Cq, CqAtom, Var};
+pub use crpq::{Crpq, CrpqAtom, QueryClass};
+pub use expansion::{enumerate_expansions, Expansion, ExpansionLimits};
+pub use hom::{find_hom, DistinctSpec};
+pub use parser::{parse_crpq, QueryParseError};
+pub use union::UnionCrpq;

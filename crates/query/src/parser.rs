@@ -1,0 +1,264 @@
+//! CRPQ text syntax.
+//!
+//! ```text
+//! query  := (tuple "<-")? atoms
+//! tuple  := "(" [ var ("," var)* ] ")"
+//! atoms  := atom ("," atom)* | "true"
+//! atom   := var "-[" regex "]->" var
+//! ```
+//!
+//! Examples (the paper's running queries):
+//!
+//! * `x -[(a b)*]-> y, y -[c*]-> x` — Boolean form of Example 2.1's Q;
+//! * `(x, y) <- x -[(a b)*]-> y, y -[c*]-> x` — with free tuple `(x, y)`;
+//! * `(x, x) <- true` — atomless query with a repeated free variable.
+//!
+//! The regex between `-[` and `]->` uses the syntax of
+//! [`crpq_automata::parse_regex`] (union `+`/`|`, star `*`, plus `^+`,
+//! option `?`, `ε`, `∅`).
+
+use crate::cq::Var;
+use crate::crpq::{Crpq, CrpqAtom};
+use crpq_automata::parse_regex;
+use crpq_util::{FxHashMap, Interner};
+use std::fmt;
+
+/// Error from [`parse_crpq`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+fn err(message: impl Into<String>) -> QueryParseError {
+    QueryParseError { message: message.into() }
+}
+
+/// Parses a CRPQ; atom labels are interned into `alphabet`.
+///
+/// Grammar: an optional free tuple `(x, y) <-` followed by comma-separated
+/// atoms `x -[regex]-> y`. Without a tuple the query is Boolean. Regexes
+/// use `+` for alternation, juxtaposition for concatenation, `*`
+/// (postfix) for Kleene star, `ε` and `∅` for the trivial languages.
+///
+/// ```
+/// use crpq_query::parse_crpq;
+/// use crpq_util::Interner;
+///
+/// let mut sigma = Interner::new();
+/// let q = parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", &mut sigma).unwrap();
+/// assert_eq!(q.free.len(), 2);
+/// assert_eq!(q.atoms.len(), 2);
+/// assert!(parse_crpq("x -[a]->", &mut sigma).is_err());
+/// ```
+pub fn parse_crpq(input: &str, alphabet: &mut Interner) -> Result<Crpq, QueryParseError> {
+    let input = input.trim();
+    let (tuple_part, body) = match input.split_once("<-") {
+        Some((head, rest)) if head.trim_start().starts_with('(') => {
+            (Some(head.trim()), rest.trim())
+        }
+        _ => (None, input),
+    };
+
+    let mut vars: FxHashMap<String, Var> = FxHashMap::default();
+    let var_of = |name: &str, vars: &mut FxHashMap<String, Var>| -> Var {
+        if let Some(&v) = vars.get(name) {
+            return v;
+        }
+        let v = Var(vars.len() as u32);
+        vars.insert(name.to_owned(), v);
+        v
+    };
+
+    // Free tuple first so free variables get the smallest ids.
+    let mut free: Vec<Var> = Vec::new();
+    if let Some(tuple) = tuple_part {
+        let inner = tuple
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or_else(|| err("free tuple must be parenthesised, e.g. `(x, y) <- …`"))?
+            .trim();
+        if !inner.is_empty() {
+            for name in inner.split(',') {
+                let name = name.trim();
+                if name.is_empty() || !is_var_name(name) {
+                    return Err(err(format!("bad free variable name `{name}`")));
+                }
+                free.push(var_of(name, &mut vars));
+            }
+        }
+    }
+
+    let mut atoms = Vec::new();
+    let body = body.trim();
+    if body != "true" && !body.is_empty() {
+        for raw_atom in split_atoms(body)? {
+            let atom = raw_atom.trim();
+            let (src_name, rest) =
+                atom.split_once("-[").ok_or_else(|| err(format!("missing `-[` in `{atom}`")))?;
+            let (regex_text, dst_name) =
+                rest.rsplit_once("]->").ok_or_else(|| err(format!("missing `]->` in `{atom}`")))?;
+            let (src_name, dst_name) = (src_name.trim(), dst_name.trim());
+            if !is_var_name(src_name) || !is_var_name(dst_name) {
+                return Err(err(format!("bad variable names in `{atom}`")));
+            }
+            let regex = parse_regex(regex_text, alphabet)
+                .map_err(|e| err(format!("in atom `{atom}`: {e}")))?;
+            let src = var_of(src_name, &mut vars);
+            let dst = var_of(dst_name, &mut vars);
+            atoms.push(CrpqAtom { src, dst, regex });
+        }
+    } else if body.is_empty() && tuple_part.is_none() {
+        return Err(err("empty query (use `true` for the atomless body)"));
+    }
+
+    let num_vars = vars.len();
+    Ok(Crpq { num_vars, atoms, free })
+}
+
+fn is_var_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
+}
+
+/// Splits the body on commas that are not inside `[...]` brackets.
+fn split_atoms(body: &str) -> Result<Vec<&str>, QueryParseError> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err(err("unbalanced `]`"));
+                }
+            }
+            ',' if depth == 0 => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(err("unbalanced `[`"));
+    }
+    out.push(&body[start..]);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crpq::QueryClass;
+
+    #[test]
+    fn boolean_query() {
+        let mut it = Interner::new();
+        let q = parse_crpq("x -[(a b)*]-> y, y -[c*]-> x", &mut it).unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.num_vars, 2);
+        assert_eq!(q.atoms.len(), 2);
+        assert_eq!(q.classify(), QueryClass::Crpq);
+        assert_eq!(q.atoms[0].src, Var(0));
+        assert_eq!(q.atoms[0].dst, Var(1));
+        assert_eq!(q.atoms[1].src, Var(1));
+        assert_eq!(q.atoms[1].dst, Var(0));
+    }
+
+    #[test]
+    fn free_tuple_query() {
+        let mut it = Interner::new();
+        let q = parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", &mut it).unwrap();
+        assert_eq!(q.free, vec![Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn repeated_free_vars() {
+        let mut it = Interner::new();
+        let q = parse_crpq("(x, x) <- x -[a]-> y", &mut it).unwrap();
+        assert_eq!(q.free, vec![Var(0), Var(0)]);
+        assert_eq!(q.num_vars, 2);
+    }
+
+    #[test]
+    fn atomless_query() {
+        let mut it = Interner::new();
+        let q = parse_crpq("(x) <- true", &mut it).unwrap();
+        assert!(q.atoms.is_empty());
+        assert_eq!(q.num_vars, 1);
+    }
+
+    #[test]
+    fn commas_inside_regex_are_not_separators() {
+        // No commas in regex syntax, but `+` unions with parens shouldn't
+        // confuse the splitter.
+        let mut it = Interner::new();
+        let q = parse_crpq("x -[(a+b) c]-> y, y -[d]-> z", &mut it).unwrap();
+        assert_eq!(q.atoms.len(), 2);
+    }
+
+    #[test]
+    fn self_loop_atom() {
+        let mut it = Interner::new();
+        let q = parse_crpq("x -[a^+]-> x", &mut it).unwrap();
+        assert_eq!(q.atoms[0].src, q.atoms[0].dst);
+    }
+
+    #[test]
+    fn paper_example_query_classification() {
+        let mut it = Interner::new();
+        // Q'1 = x -a-> y ∧ x -b-> y (Example 4.7): a CQ.
+        let q = parse_crpq("x -[a]-> y, x -[b]-> y", &mut it).unwrap();
+        assert_eq!(q.classify(), QueryClass::Cq);
+        // Q2 = x -[a b]-> y: CRPQ_fin.
+        let q = parse_crpq("x -[a b]-> y", &mut it).unwrap();
+        assert_eq!(q.classify(), QueryClass::CrpqFin);
+    }
+
+    #[test]
+    fn errors() {
+        let mut it = Interner::new();
+        assert!(parse_crpq("", &mut it).is_err());
+        assert!(parse_crpq("x -[a] y", &mut it).is_err());
+        assert!(parse_crpq("x a y", &mut it).is_err());
+        assert!(parse_crpq("x -[(a]-> y", &mut it).is_err());
+        assert!(parse_crpq("(x y) <- x -[a]-> y", &mut it).is_err());
+        assert!(parse_crpq("x -[a]-> y, ", &mut it).is_err());
+    }
+
+    #[test]
+    fn primed_variables() {
+        // Example 4.7 uses x' and y'.
+        let mut it = Interner::new();
+        let q = parse_crpq("x -[a]-> y, x' -[b]-> y'", &mut it).unwrap();
+        assert_eq!(q.num_vars, 4);
+    }
+
+    #[test]
+    fn shared_alphabet_ids() {
+        let mut it = Interner::new();
+        let q1 = parse_crpq("x -[a]-> y", &mut it).unwrap();
+        let q2 = parse_crpq("x -[b a]-> y", &mut it).unwrap();
+        // `a` has the same symbol in both queries.
+        let a = it.get("a").unwrap();
+        match (&q1.atoms[0].regex, &q2.atoms[0].regex) {
+            (crpq_automata::Regex::Literal(s1), crpq_automata::Regex::Concat(parts)) => {
+                assert_eq!(*s1, a);
+                assert_eq!(parts[1], crpq_automata::Regex::Literal(a));
+            }
+            other => panic!("unexpected shapes {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Unions of CRPQs (UCRPQs).
+//!
+//! The paper uses unions in two places: ε-elimination produces a union of
+//! ε-free CRPQs (§2.1), and the PCP reduction's right-hand side is
+//! `Q⟳ ∨ Q→` before being folded into a single query (Thm 5.2). §7 lists
+//! UC2RPQs as the natural next class. Union semantics is the union of
+//! branch results; containment treats the left side ∀-branch-wise and the
+//! right side ∃-branch-wise.
+
+use crate::crpq::{Crpq, QueryClass};
+use serde::{Deserialize, Serialize};
+
+/// A union of CRPQs with a common free-tuple arity.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UnionCrpq {
+    /// The branches (disjuncts); non-empty.
+    pub branches: Vec<Crpq>,
+}
+
+impl UnionCrpq {
+    /// Wraps branches, checking arity agreement.
+    pub fn new(branches: Vec<Crpq>) -> UnionCrpq {
+        assert!(!branches.is_empty(), "a union needs at least one branch");
+        let arity = branches[0].free.len();
+        assert!(
+            branches.iter().all(|b| b.free.len() == arity),
+            "all union branches must share the free-tuple arity"
+        );
+        UnionCrpq { branches }
+    }
+
+    /// A single-branch union.
+    pub fn single(q: Crpq) -> UnionCrpq {
+        UnionCrpq { branches: vec![q] }
+    }
+
+    /// Free-tuple arity.
+    pub fn arity(&self) -> usize {
+        self.branches[0].free.len()
+    }
+
+    /// The most general class among the branches.
+    pub fn classify(&self) -> QueryClass {
+        self.branches.iter().map(Crpq::classify).max().unwrap_or(QueryClass::Cq)
+    }
+
+    /// Whether every branch is Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.arity() == 0
+    }
+}
+
+impl From<Crpq> for UnionCrpq {
+    fn from(q: Crpq) -> UnionCrpq {
+        UnionCrpq::single(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_crpq;
+    use crpq_util::Interner;
+
+    #[test]
+    fn union_construction() {
+        let mut it = Interner::new();
+        let q1 = parse_crpq("x -[a]-> y", &mut it).unwrap();
+        let q2 = parse_crpq("x -[b b]-> y", &mut it).unwrap();
+        let u = UnionCrpq::new(vec![q1, q2]);
+        assert_eq!(u.arity(), 0);
+        assert!(u.is_boolean());
+        assert_eq!(u.classify(), QueryClass::CrpqFin);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the free-tuple arity")]
+    fn arity_mismatch_rejected() {
+        let mut it = Interner::new();
+        let q1 = parse_crpq("(x) <- x -[a]-> y", &mut it).unwrap();
+        let q2 = parse_crpq("x -[b]-> y", &mut it).unwrap();
+        let _ = UnionCrpq::new(vec![q1, q2]);
+    }
+
+    #[test]
+    fn classify_takes_max() {
+        let mut it = Interner::new();
+        let cq = parse_crpq("x -[a]-> y", &mut it).unwrap();
+        let star = parse_crpq("x -[a a*]-> y", &mut it).unwrap();
+        let u = UnionCrpq::new(vec![cq, star]);
+        assert_eq!(u.classify(), QueryClass::Crpq);
+    }
+}

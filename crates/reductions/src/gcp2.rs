@@ -1,0 +1,284 @@
+//! Theorem 6.1 (Figure 6): GCP2 ≤ query-injective non-containment for
+//! `CRPQ_fin`/CQ.
+//!
+//! **Generalized Two-Coloring Problem (GCP2)**: given an undirected graph
+//! `G` and `n ∈ ℕ`, is there a partition `V₁ ∪ V₂` of `V(G)` such that
+//! neither induced subgraph contains an `n`-clique?
+//!
+//! The reduction builds Boolean queries over `A = {E, 1, 2, #}`:
+//!
+//! * `Q₁` = `(12)-ext(Q_G) -#-> (1+2)-ext(Q_G) -#-> (12)-ext(Q_G)` — three
+//!   copies of the graph query chained by complete bipartite `#`-atoms; the
+//!   side copies carry both a 1-loop and a 2-loop on every variable, the
+//!   middle copy carries a `(1+2)`-loop whose expansion chooses the colour.
+//! * `Q₂` = `1-ext(K_n) -#-> 2-ext(K_n)` — the `n`-clique with 1-loops,
+//!   `#`-connected to the `n`-clique with 2-loops.
+//!
+//! An expansion of `Q₁` fixes a colouring of the middle copy; `Q₂` maps
+//! injectively iff one of the clique gadgets fits inside a monochromatic
+//! middle class (the other parks in an adjacent both-loop side copy). Hence
+//! `Q₁ ⊄q-inj Q₂` iff the GCP2 instance is positive.
+
+use crpq_automata::Regex;
+use crpq_query::{Crpq, CrpqAtom, Var};
+use crpq_util::{Interner, Symbol};
+
+/// A GCP2 instance: an undirected graph (adjacency by vertex index) and the
+/// clique size `n`.
+#[derive(Clone, Debug)]
+pub struct Gcp2Instance {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Undirected edges as `(u, v)` with `u < v`.
+    pub edges: Vec<(usize, usize)>,
+    /// Forbidden clique size.
+    pub clique: usize,
+}
+
+impl Gcp2Instance {
+    /// Normalises edges (dedup, u < v, no loops).
+    pub fn new(num_vertices: usize, edges: &[(usize, usize)], clique: usize) -> Self {
+        let mut es: Vec<(usize, usize)> = edges
+            .iter()
+            .filter(|&&(u, v)| u != v && u < num_vertices && v < num_vertices)
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        es.sort_unstable();
+        es.dedup();
+        Self { num_vertices, edges: es, clique }
+    }
+
+    fn adjacent(&self, u: usize, v: usize) -> bool {
+        let (a, b) = (u.min(v), u.max(v));
+        self.edges.binary_search(&(a, b)).is_ok()
+    }
+}
+
+/// Labels used by the reduction.
+pub struct Gcp2Labels {
+    /// The graph edge relation.
+    pub e: Symbol,
+    /// Colour-1 loop label.
+    pub one: Symbol,
+    /// Colour-2 loop label.
+    pub two: Symbol,
+    /// The inter-gadget connector.
+    pub hash: Symbol,
+}
+
+/// Builds `(Q₁, Q₂)` with `Q₁ ∈ CRPQ_fin` (one-letter-word languages) and
+/// `Q₂ ∈ CQ`, such that `Q₁ ⊄q-inj Q₂` iff the instance is positive.
+pub fn gcp2_to_qinj_containment(
+    instance: &Gcp2Instance,
+    alphabet: &mut Interner,
+) -> (Crpq, Crpq, Gcp2Labels) {
+    let labels = Gcp2Labels {
+        e: alphabet.intern("E"),
+        one: alphabet.intern("1"),
+        two: alphabet.intern("2"),
+        hash: alphabet.intern("#"),
+    };
+    let nv = instance.num_vertices;
+
+    // ----- Q1: three graph-copies chained by # ---------------------------
+    // vars: copy c ∈ {0,1,2}, vertex v → var c*nv + v
+    let var1 = |c: usize, v: usize| Var((c * nv + v) as u32);
+    let mut atoms1 = Vec::new();
+    for c in 0..3 {
+        for &(u, v) in &instance.edges {
+            // undirected edge = both directions
+            atoms1.push(atom(var1(c, u), Regex::lit(labels.e), var1(c, v)));
+            atoms1.push(atom(var1(c, v), Regex::lit(labels.e), var1(c, u)));
+        }
+        for v in 0..nv {
+            match c {
+                1 => {
+                    // middle copy: (1+2)-ext
+                    let alt =
+                        Regex::alt(vec![Regex::lit(labels.one), Regex::lit(labels.two)]);
+                    atoms1.push(atom(var1(c, v), alt, var1(c, v)));
+                }
+                _ => {
+                    // side copies: (12)-ext — both loops
+                    atoms1.push(atom(var1(c, v), Regex::lit(labels.one), var1(c, v)));
+                    atoms1.push(atom(var1(c, v), Regex::lit(labels.two), var1(c, v)));
+                }
+            }
+        }
+    }
+    // complete bipartite # between copy 0 → copy 1 and copy 1 → copy 2
+    for (ca, cb) in [(0usize, 1usize), (1, 2)] {
+        for u in 0..nv {
+            for v in 0..nv {
+                atoms1.push(atom(var1(ca, u), Regex::lit(labels.hash), var1(cb, v)));
+            }
+        }
+    }
+    let q1 = Crpq::boolean(atoms1);
+
+    // ----- Q2: 1-ext(K_n) -#-> 2-ext(K_n) --------------------------------
+    let n = instance.clique;
+    let var2 = |g: usize, v: usize| Var((g * n + v) as u32);
+    let mut atoms2 = Vec::new();
+    for g in 0..2 {
+        let loop_label = if g == 0 { labels.one } else { labels.two };
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    atoms2.push(atom(var2(g, u), Regex::lit(labels.e), var2(g, v)));
+                }
+            }
+            atoms2.push(atom(var2(g, u), Regex::lit(loop_label), var2(g, u)));
+        }
+    }
+    for u in 0..n {
+        for v in 0..n {
+            atoms2.push(atom(var2(0, u), Regex::lit(labels.hash), var2(1, v)));
+        }
+    }
+    let q2 = Crpq::boolean(atoms2);
+
+    (q1, q2, labels)
+}
+
+fn atom(src: Var, regex: Regex, dst: Var) -> CrpqAtom {
+    CrpqAtom { src, dst, regex }
+}
+
+/// Brute-force GCP2: tries all `2^|V|` partitions, checking both sides for
+/// an `n`-clique. Ground truth for small instances.
+pub fn gcp2_brute_force(instance: &Gcp2Instance) -> bool {
+    let nv = instance.num_vertices;
+    assert!(nv < 24, "brute force is exponential in |V|");
+    'parts: for mask in 0u32..(1u32 << nv) {
+        for side in 0..2 {
+            let members: Vec<usize> = (0..nv)
+                .filter(|&v| ((mask >> v) & 1 == 1) == (side == 0))
+                .collect();
+            if has_clique(instance, &members, instance.clique) {
+                continue 'parts;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Whether `members` contains a clique of size `k` in the instance graph.
+fn has_clique(instance: &Gcp2Instance, members: &[usize], k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    if k == 1 {
+        return !members.is_empty();
+    }
+    fn rec(inst: &Gcp2Instance, members: &[usize], current: &mut Vec<usize>, k: usize, from: usize) -> bool {
+        if current.len() == k {
+            return true;
+        }
+        for idx in from..members.len() {
+            let cand = members[idx];
+            if current.iter().all(|&c| inst.adjacent(c, cand)) {
+                current.push(cand);
+                if rec(inst, members, current, k, idx + 1) {
+                    return true;
+                }
+                current.pop();
+            }
+        }
+        false
+    }
+    rec(instance, members, &mut Vec::new(), k, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crpq_containment::{contain, Semantics};
+
+    fn decide_via_reduction(instance: &Gcp2Instance) -> bool {
+        let mut it = Interner::new();
+        let (q1, q2, _) = gcp2_to_qinj_containment(instance, &mut it);
+        let out = contain(&q1, &q2, Semantics::QueryInjective);
+        // positive GCP2 ⟺ NOT contained
+        match out.as_bool() {
+            Some(contained) => !contained,
+            None => panic!("Q1 is CRPQ_fin: the engine must be exact"),
+        }
+    }
+
+    #[test]
+    fn triangle_with_clique_2() {
+        // Triangle, n = 2: forbidding an edge inside each class = proper
+        // 2-colouring; a triangle is not 2-colourable → negative.
+        let inst = Gcp2Instance::new(3, &[(0, 1), (1, 2), (0, 2)], 2);
+        assert!(!gcp2_brute_force(&inst));
+        assert!(!decide_via_reduction(&inst));
+    }
+
+    #[test]
+    fn path_with_clique_2() {
+        // A path is 2-colourable → positive.
+        let inst = Gcp2Instance::new(3, &[(0, 1), (1, 2)], 2);
+        assert!(gcp2_brute_force(&inst));
+        assert!(decide_via_reduction(&inst));
+    }
+
+    #[test]
+    fn triangle_with_clique_3() {
+        // n = 3: either class may contain edges but no triangle; splitting
+        // one vertex off destroys the triangle → positive.
+        let inst = Gcp2Instance::new(3, &[(0, 1), (1, 2), (0, 2)], 3);
+        assert!(gcp2_brute_force(&inst));
+        assert!(decide_via_reduction(&inst));
+    }
+
+    #[test]
+    fn k4_with_clique_2() {
+        // K4 is not 2-colourable (contains odd cycles) → negative.
+        let inst =
+            Gcp2Instance::new(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], 2);
+        assert!(!gcp2_brute_force(&inst));
+        assert!(!decide_via_reduction(&inst));
+    }
+
+    #[test]
+    fn square_with_clique_2() {
+        // C4 is bipartite → positive.
+        let inst = Gcp2Instance::new(4, &[(0, 1), (1, 2), (2, 3), (0, 3)], 2);
+        assert!(gcp2_brute_force(&inst));
+        assert!(decide_via_reduction(&inst));
+    }
+
+    #[test]
+    fn random_instances_agree() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2023);
+        for trial in 0..6 {
+            let nv = 3 + (trial % 2); // 3 or 4 vertices
+            let mut edges = Vec::new();
+            for u in 0..nv {
+                for v in u + 1..nv {
+                    if rng.gen_bool(0.6) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let inst = Gcp2Instance::new(nv, &edges, 2);
+            assert_eq!(
+                gcp2_brute_force(&inst),
+                decide_via_reduction(&inst),
+                "disagreement on {inst:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn brute_force_clique_detection() {
+        let inst = Gcp2Instance::new(4, &[(0, 1), (1, 2), (0, 2), (2, 3)], 3);
+        assert!(has_clique(&inst, &[0, 1, 2, 3], 3));
+        assert!(!has_clique(&inst, &[0, 1, 3], 3));
+        assert!(has_clique(&inst, &[1, 2], 2));
+    }
+}

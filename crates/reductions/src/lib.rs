@@ -1,0 +1,26 @@
+//! # crpq-reductions
+//!
+//! The paper's hardness reductions, implemented as instance generators with
+//! brute-force ground-truth solvers for cross-validation:
+//!
+//! * [`subgraph`] — Prop 3.1: subgraph isomorphism ≤ evaluation under
+//!   injective semantics (the `Q⁺`/`G⁺` construction with the fresh `R`
+//!   relation);
+//! * [`gcp2`] — Thm 6.1 (Figure 6): the Generalized Two-Coloring Problem
+//!   ≤ q-inj non-containment for `CRPQ_fin`/CQ, plus a brute-force GCP2
+//!   solver;
+//! * [`qbf`] — Thm 6.2 (Figure 7): ∀∃-QBF ≤ a-inj containment for
+//!   CQ/`CRPQ_fin`, plus a brute-force ∀∃-QBF evaluator;
+//! * [`pcp`] — Thm 5.2 (Figures 4–5): Post Correspondence Problem ≤ a-inj
+//!   non-containment (the undecidability construction), plus a bounded PCP
+//!   solver.
+
+pub mod gcp2;
+pub mod pcp;
+pub mod qbf;
+pub mod subgraph;
+
+pub use gcp2::{gcp2_brute_force, gcp2_to_qinj_containment, Gcp2Instance};
+pub use pcp::{pcp_brute_force, pcp_to_ainj_containment, PcpInstance, PcpReduction};
+pub use qbf::{qbf_brute_force, qbf_to_ainj_containment, Literal, QbfInstance, QbfReduction};
+pub use subgraph::{subgraph_iso_brute_force, subgraph_to_evaluation};

@@ -1,0 +1,140 @@
+//! String interning.
+//!
+//! Edge labels and query variables are referenced extremely often during
+//! homomorphism search; interning them to dense `u32` ids lets the hot paths
+//! operate on integers and index into flat arrays.
+
+use crate::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense id for an interned string.
+///
+/// `Symbol`s are only meaningful relative to the [`Interner`] that produced
+/// them. Ids are assigned consecutively from zero, so they double as indices
+/// into per-symbol tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The dense index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string interner mapping strings to dense [`Symbol`] ids.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Interner {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: FxHashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(name) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.names.len()).expect("interner overflow"));
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a previously interned string.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        if self.index.is_empty() && !self.names.is_empty() {
+            // Deserialized interner: fall back to linear scan (rare path).
+            return self.names.iter().position(|n| n == name).map(|i| Symbol(i as u32));
+        }
+        self.index.get(name).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbols were interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(symbol, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+
+    /// Rebuilds the lookup index (needed after deserialisation).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), Symbol(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = Interner::new();
+        let a = it.intern("a");
+        let b = it.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(it.intern("a"), a);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut it = Interner::new();
+        for name in ["knows", "likes", "follows"] {
+            let s = it.intern(name);
+            assert_eq!(it.resolve(s), name);
+            assert_eq!(it.get(name), Some(s));
+        }
+        assert_eq!(it.get("absent"), None);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut it = Interner::new();
+        for i in 0..100 {
+            let s = it.intern(&format!("label{i}"));
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut it = Interner::new();
+        it.intern("x");
+        it.intern("y");
+        let pairs: Vec<_> = it.iter().map(|(s, n)| (s.0, n.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+}

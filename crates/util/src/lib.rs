@@ -1,0 +1,21 @@
+//! Shared low-level utilities for the `crpq` workspace.
+//!
+//! Everything here is dependency-free (apart from `serde` derives) and built
+//! from scratch: a fast non-cryptographic hasher, a string interner, compact
+//! bitsets, square boolean matrices (used by the containment profile
+//! simulation) and constrained set-partition enumeration (used by
+//! atom-injective expansions).
+
+pub mod bitset;
+pub mod hash;
+pub mod interner;
+pub mod matrix;
+pub mod partition;
+pub mod unionfind;
+
+pub use bitset::BitSet;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use interner::{Interner, Symbol};
+pub use matrix::BoolMatrix;
+pub use partition::{partitions_with, Partition};
+pub use unionfind::UnionFind;

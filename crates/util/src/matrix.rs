@@ -1,0 +1,175 @@
+//! Square boolean matrices.
+//!
+//! The Appendix-C profile simulation tracks, while reading an expansion word
+//! left to right, several `Q × Q` relations over NFA states (run matrix,
+//! split matrix, gap matrix, infix matrix). These are relational
+//! compositions and unions of boolean matrices, implemented here with
+//! bitset rows so composition is word-parallel.
+
+use crate::bitset::BitSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense `n × n` boolean matrix with bitset rows.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BoolMatrix {
+    n: usize,
+    rows: Vec<BitSet>,
+}
+
+impl BoolMatrix {
+    /// The all-zero `n × n` matrix.
+    pub fn zero(n: usize) -> Self {
+        Self { n, rows: vec![BitSet::new(n); n] }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n);
+        for i in 0..n {
+            m.set(i, i);
+        }
+        m
+    }
+
+    /// Dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Sets entry `(i, j)` to true.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize) {
+        self.rows[i].insert(j);
+    }
+
+    /// Entry test.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.rows[i].contains(j)
+    }
+
+    /// Row `i` as a bitset of columns.
+    #[inline]
+    pub fn row(&self, i: usize) -> &BitSet {
+        &self.rows[i]
+    }
+
+    /// Relational composition `self ∘ other`:
+    /// `(i, k)` is set iff ∃j with `self[i][j]` and `other[j][k]`.
+    pub fn compose(&self, other: &BoolMatrix) -> BoolMatrix {
+        debug_assert_eq!(self.n, other.n);
+        let mut out = BoolMatrix::zero(self.n);
+        for i in 0..self.n {
+            let out_row = &mut out.rows[i];
+            for j in self.rows[i].iter() {
+                out_row.union_with(&other.rows[j]);
+            }
+        }
+        out
+    }
+
+    /// In-place union; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BoolMatrix) -> bool {
+        debug_assert_eq!(self.n, other.n);
+        let mut changed = false;
+        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+            changed |= a.union_with(b);
+        }
+        changed
+    }
+
+    /// Whether any entry is set.
+    pub fn any(&self) -> bool {
+        self.rows.iter().any(|r| !r.is_empty())
+    }
+
+    /// Number of set entries.
+    pub fn count(&self) -> usize {
+        self.rows.iter().map(BitSet::len).sum()
+    }
+
+    /// Iterates over set entries `(i, j)` in row-major order.
+    pub fn iter_set(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.rows.iter().enumerate().flat_map(|(i, row)| row.iter().map(move |j| (i, j)))
+    }
+
+    /// Reflexive-transitive closure (Warshall).
+    pub fn transitive_closure(&self) -> BoolMatrix {
+        let mut m = self.clone();
+        m.union_with(&BoolMatrix::identity(self.n));
+        for k in 0..self.n {
+            for i in 0..self.n {
+                if m.get(i, k) {
+                    let row_k = m.rows[k].clone();
+                    m.rows[i].union_with(&row_k);
+                }
+            }
+        }
+        m
+    }
+}
+
+impl fmt::Debug for BoolMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BoolMatrix({}x{}) {{", self.n, self.n)?;
+        for (i, j) in self.iter_set() {
+            writeln!(f, "  ({i},{j})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_matches_relations() {
+        // R = {(0,1),(1,2)}, S = {(1,1),(2,0)}; R∘S = {(0,1),(1,0)}.
+        let mut r = BoolMatrix::zero(3);
+        r.set(0, 1);
+        r.set(1, 2);
+        let mut s = BoolMatrix::zero(3);
+        s.set(1, 1);
+        s.set(2, 0);
+        let rs = r.compose(&s);
+        assert!(rs.get(0, 1));
+        assert!(rs.get(1, 0));
+        assert_eq!(rs.count(), 2);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut r = BoolMatrix::zero(4);
+        r.set(0, 3);
+        r.set(2, 1);
+        let id = BoolMatrix::identity(4);
+        assert_eq!(r.compose(&id), r);
+        assert_eq!(id.compose(&r), r);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BoolMatrix::zero(2);
+        let mut b = BoolMatrix::zero(2);
+        b.set(1, 0);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert!(a.any());
+        assert_eq!(a.iter_set().collect::<Vec<_>>(), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn closure_of_chain() {
+        // 0 -> 1 -> 2: closure must contain (0,2) and the diagonal.
+        let mut m = BoolMatrix::zero(3);
+        m.set(0, 1);
+        m.set(1, 2);
+        let c = m.transitive_closure();
+        assert!(c.get(0, 2));
+        assert!(c.get(0, 0) && c.get(1, 1) && c.get(2, 2));
+        assert!(!c.get(2, 0));
+    }
+}

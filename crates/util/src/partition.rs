@@ -1,0 +1,193 @@
+//! Enumeration of set partitions subject to *separation constraints*.
+//!
+//! Atom-injective expansions (`Exp_a-inj(Q)`, §4.1 of the paper) are obtained
+//! from ordinary expansions by identifying variables that are **not**
+//! φ-atom-related. Enumerating them is exactly enumerating the partitions of
+//! the variable set in which certain pairs (the atom-related ones) may never
+//! share a block.
+//!
+//! Partitions are enumerated canonically via restricted-growth strings:
+//! element `i` either joins one of the blocks opened by elements `< i` or
+//! opens the next fresh block, which guarantees each partition is produced
+//! exactly once.
+
+use std::ops::ControlFlow;
+
+/// A partition of `0..n`, represented as a block assignment
+/// (`assignment[i]` is the dense block index of element `i`) plus the block
+/// contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// `assignment[i]` = block index of element `i`; block indices are dense
+    /// and ordered by first occurrence.
+    pub assignment: Vec<usize>,
+    /// `blocks[b]` = elements of block `b` in increasing order.
+    pub blocks: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// The discrete partition (all singletons).
+    pub fn discrete(n: usize) -> Self {
+        Self { assignment: (0..n).collect(), blocks: (0..n).map(|i| vec![i]).collect() }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether elements `a` and `b` share a block.
+    pub fn same_block(&self, a: usize, b: usize) -> bool {
+        self.assignment[a] == self.assignment[b]
+    }
+}
+
+/// Enumerates every partition of `0..n` in which no pair `(a, b)` with
+/// `separated(a, b) == true` shares a block, invoking `visit` on each.
+///
+/// `visit` may stop the enumeration early by returning
+/// [`ControlFlow::Break`]. Returns `true` if enumeration ran to completion,
+/// `false` if it was stopped early.
+///
+/// The `separated` predicate is only consulted with `a < b`.
+pub fn partitions_with<S, V>(n: usize, mut separated: S, mut visit: V) -> bool
+where
+    S: FnMut(usize, usize) -> bool,
+    V: FnMut(&Partition) -> ControlFlow<()>,
+{
+    // Precompute the conflict sets so the inner loop is a scan.
+    let mut conflicts: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (b, conflicts_b) in conflicts.iter_mut().enumerate() {
+        for a in 0..b {
+            if separated(a, b) {
+                conflicts_b.push(a);
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    rec(0, n, &conflicts, &mut assignment, &mut blocks, &mut visit)
+}
+
+fn rec<V>(
+    i: usize,
+    n: usize,
+    conflicts: &[Vec<usize>],
+    assignment: &mut Vec<usize>,
+    blocks: &mut Vec<Vec<usize>>,
+    visit: &mut V,
+) -> bool
+where
+    V: FnMut(&Partition) -> ControlFlow<()>,
+{
+    if i == n {
+        let p = Partition { assignment: assignment.clone(), blocks: blocks.clone() };
+        return visit(&p).is_continue();
+    }
+    // Try joining each existing block (in order), then a fresh block.
+    for b in 0..blocks.len() {
+        let clash = blocks[b].iter().any(|&m| conflicts[i].contains(&m));
+        if clash {
+            continue;
+        }
+        assignment[i] = b;
+        blocks[b].push(i);
+        let cont = rec(i + 1, n, conflicts, assignment, blocks, visit);
+        blocks[b].pop();
+        if !cont {
+            return false;
+        }
+    }
+    assignment[i] = blocks.len();
+    blocks.push(vec![i]);
+    let cont = rec(i + 1, n, conflicts, assignment, blocks, visit);
+    blocks.pop();
+    cont
+}
+
+/// Counts the partitions satisfying the separation constraints
+/// (Bell number when unconstrained).
+pub fn count_partitions<S: FnMut(usize, usize) -> bool>(n: usize, separated: S) -> usize {
+    let mut count = 0usize;
+    partitions_with(n, separated, |_| {
+        count += 1;
+        ControlFlow::Continue(())
+    });
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_numbers_unconstrained() {
+        // B(0..=6) = 1, 1, 2, 5, 15, 52, 203
+        let bell = [1usize, 1, 2, 5, 15, 52, 203];
+        for (n, &expected) in bell.iter().enumerate() {
+            assert_eq!(count_partitions(n, |_, _| false), expected, "B({n})");
+        }
+    }
+
+    #[test]
+    fn full_separation_yields_discrete_only() {
+        let mut seen = Vec::new();
+        partitions_with(4, |_, _| true, |p| {
+            seen.push(p.clone());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0], Partition::discrete(4));
+    }
+
+    #[test]
+    fn pairwise_constraint_respected() {
+        // Separate 0 and 1: partitions of {0,1,2} without {0,1} in one block.
+        // All partitions: {012},{01|2},{02|1},{0|12},{0|1|2} -> forbidden: first two.
+        let mut count = 0;
+        partitions_with(3, |a, b| (a, b) == (0, 1), |p| {
+            assert!(!p.same_block(0, 1));
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn early_stop() {
+        let mut count = 0;
+        let completed = partitions_with(5, |_, _| false, |_| {
+            count += 1;
+            if count == 7 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(!completed);
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let mut seen = std::collections::HashSet::new();
+        partitions_with(5, |_, _| false, |p| {
+            assert!(seen.insert(p.assignment.clone()), "duplicate partition {:?}", p.assignment);
+            ControlFlow::Continue(())
+        });
+        assert_eq!(seen.len(), 52);
+    }
+
+    #[test]
+    fn blocks_consistent_with_assignment() {
+        partitions_with(4, |a, b| a + b == 3, |p| {
+            for (bidx, block) in p.blocks.iter().enumerate() {
+                for &m in block {
+                    assert_eq!(p.assignment[m], bidx);
+                }
+            }
+            ControlFlow::Continue(())
+        });
+    }
+}

@@ -1,0 +1,130 @@
+//! Union-find (disjoint sets) with path compression and union by rank.
+//!
+//! Used to collapse equality atoms of CQs-with-equalities into canonical
+//! variables (the paper's `Q ↦ Q≡` transformation and its canonical
+//! renaming `Φ`).
+
+/// A classic disjoint-set forest over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Representative without mutation (no compression).
+    pub fn find_const(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `false` if already merged.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Produces a dense renaming: element -> class index in `0..k`,
+    /// numbering classes by first occurrence. Returns `(renaming, k)`.
+    pub fn dense_classes(&mut self) -> (Vec<usize>, usize) {
+        let n = self.len();
+        let mut class_of_root = vec![usize::MAX; n];
+        let mut renaming = vec![0usize; n];
+        let mut k = 0;
+        for (x, slot) in renaming.iter_mut().enumerate() {
+            let r = self.find(x);
+            if class_of_root[r] == usize::MAX {
+                class_of_root[r] = k;
+                k += 1;
+            }
+            *slot = class_of_root[r];
+        }
+        (renaming, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        uf.union(1, 3);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(4, 5));
+    }
+
+    #[test]
+    fn dense_classes_number_by_first_occurrence() {
+        let mut uf = UnionFind::new(5);
+        uf.union(3, 1); // {1,3}
+        uf.union(4, 2); // {2,4}
+        let (ren, k) = uf.dense_classes();
+        assert_eq!(k, 3);
+        // classes by first occurrence: 0 -> 0, 1 -> 1, 2 -> 2, 3 -> 1, 4 -> 2
+        assert_eq!(ren, vec![0, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn find_const_matches_find() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 3);
+        let fc = uf.find_const(3);
+        assert_eq!(fc, uf.find(3));
+    }
+}

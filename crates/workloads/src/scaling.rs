@@ -1,0 +1,98 @@
+//! Scaling families for experiment E9 (evaluation complexity, Prop 3.1/3.2).
+//!
+//! * **data complexity**: a fixed small query evaluated over growing random
+//!   graphs — standard semantics stays polynomial (product reachability),
+//!   the injective semantics hit the NP wall (simple-path search);
+//! * **combined complexity**: a growing chain query over a fixed graph.
+
+use crpq_graph::{generators, GraphDb};
+use crpq_query::{parse_crpq, Crpq, CrpqAtom, Var};
+use crpq_util::Interner;
+use crpq_automata::Regex;
+
+/// A fixed 2-atom query exercising all three semantics
+/// (`Q(x,y) = x -(ab)*-> y ∧ y -c*-> x`).
+pub fn data_complexity_query(alphabet: &mut Interner) -> Crpq {
+    parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", alphabet).unwrap()
+}
+
+/// Growing graph for the data-complexity sweep: `n` nodes, `3n` edges over
+/// `{a, b, c}`.
+pub fn data_complexity_graph(n: usize, seed: u64) -> GraphDb {
+    generators::random_graph(n, 3 * n, &["a", "b", "c"], seed)
+}
+
+/// Growing chain query for the combined-complexity sweep: `k` atoms
+/// `xᵢ -[a+b]-> xᵢ₊₁` (Boolean).
+pub fn combined_complexity_query(k: usize, alphabet: &mut Interner) -> Crpq {
+    let a = alphabet.intern("a");
+    let b = alphabet.intern("b");
+    let atoms = (0..k)
+        .map(|i| CrpqAtom {
+            src: Var(i as u32),
+            dst: Var(i as u32 + 1),
+            regex: Regex::alt(vec![Regex::lit(a), Regex::lit(b)]),
+        })
+        .collect();
+    Crpq::boolean(atoms)
+}
+
+/// Fixed graph for the combined-complexity sweep.
+pub fn combined_complexity_graph(seed: u64) -> GraphDb {
+    generators::random_graph(12, 40, &["a", "b"], seed)
+}
+
+/// A worst-case family for simple-path search: a ladder of diamonds where
+/// the number of simple paths is exponential in `n`.
+pub fn diamond_ladder(n: usize) -> GraphDb {
+    let mut b = crpq_graph::GraphBuilder::new();
+    for i in 0..n {
+        let (s, t) = (format!("s{i}"), format!("s{}", i + 1));
+        b.edge(&s, "a", &format!("up{i}"));
+        b.edge(&format!("up{i}"), "a", &t);
+        b.edge(&s, "a", &format!("dn{i}"));
+        b.edge(&format!("dn{i}"), "a", &t);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crpq_core::{eval_boolean, eval_contains, Semantics};
+
+    #[test]
+    fn data_family_evaluates() {
+        let mut it = Interner::new();
+        let q = data_complexity_query(&mut it);
+        let g = data_complexity_graph(8, 5);
+        let u = crpq_graph::NodeId(0);
+        for sem in Semantics::ALL {
+            let _ = eval_contains(&q, &g, &[u, u], sem); // diagonal always true via ε
+        }
+    }
+
+    #[test]
+    fn combined_family_evaluates() {
+        let mut it = Interner::new();
+        let q = combined_complexity_query(4, &mut it);
+        let g = combined_complexity_graph(1);
+        for sem in Semantics::ALL {
+            let _ = eval_boolean(&q, &g, sem);
+        }
+    }
+
+    #[test]
+    fn diamond_ladder_shape() {
+        let g = diamond_ladder(3);
+        assert_eq!(g.num_nodes(), 3 * 2 + 4); // 2 per rung + 4 spine
+        assert_eq!(g.num_edges(), 12);
+        // a^{2n} path exists from s0 to sn:
+        let mut g2 = g.clone();
+        let regex = crpq_automata::parse_regex("a a a a a a", g2.alphabet_mut()).unwrap();
+        let nfa = crpq_automata::Nfa::from_regex(&regex);
+        let s0 = g.node_by_name("s0").unwrap();
+        let s3 = g.node_by_name("s3").unwrap();
+        assert!(crpq_graph::rpq::simple_path_exists(&g2, &nfa, s0, s3, &g2.node_set()));
+    }
+}

@@ -1,0 +1,77 @@
+//! Containment as a query-optimisation primitive (§1: "checking containment
+//! … can be a means for query optimization").
+//!
+//! Two optimisations are demonstrated, and both are *semantics-sensitive*:
+//! a rewrite that is sound under standard semantics can be unsound under an
+//! injective semantics, which is exactly why the paper studies containment
+//! per semantics.
+//!
+//! ```sh
+//! cargo run --example query_optimizer
+//! ```
+
+use crpq::prelude::*;
+
+fn main() {
+    let mut sigma = Interner::new();
+
+    // ------------------------------------------------------------------
+    // 1. Redundant-atom elimination.
+    //    Q  = x -a-> y ∧ x -[a+b]-> y   — is the second atom redundant?
+    //    Q' = x -a-> y
+    //    Sound iff Q ≡ Q' (both containments).
+    // ------------------------------------------------------------------
+    let q = parse_crpq("x -[a]-> y, x -[a+b]-> y", &mut sigma).unwrap();
+    let qp = parse_crpq("x -[a]-> y", &mut sigma).unwrap();
+    println!("redundant-atom elimination Q ≡ Q' ?");
+    for sem in Semantics::ALL {
+        let fwd = contain(&q, &qp, sem).as_bool();
+        let bwd = contain(&qp, &q, sem).as_bool();
+        let verdict = match (fwd, bwd) {
+            (Some(true), Some(true)) => "sound (equivalent)",
+            (Some(_), Some(_)) => "UNSOUND (not equivalent)",
+            _ => "undetermined within budget",
+        };
+        println!("  {:>6}: forward {:?}, backward {:?} → {}", sem.to_string(), fwd, bwd, verdict);
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Atom fusion (Remark C.1): x -a-> m ∧ m -b-> y  ⇒  x -[a b]-> y
+    //    when m is existential with degree (1,1).
+    //    Sound under st and q-inj; UNSOUND under a-inj (Example 4.7!).
+    // ------------------------------------------------------------------
+    let chain = parse_crpq("x -[a]-> m, m -[b]-> y", &mut sigma).unwrap();
+    let fused = parse_crpq("x -[a b]-> y", &mut sigma).unwrap();
+    println!("\natom fusion (x-a->m ∧ m-b->y ⇒ x-[ab]->y)?");
+    for sem in Semantics::ALL {
+        let fwd = contain(&chain, &fused, sem).as_bool();
+        let bwd = contain(&fused, &chain, sem).as_bool();
+        let sound = fwd == Some(true) && bwd == Some(true);
+        println!(
+            "  {:>6}: {}",
+            sem.to_string(),
+            if sound { "sound" } else { "UNSOUND — keep the join variable!" }
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Subsumption pruning in a query log: drop queries contained in
+    //    an already-answered one.
+    // ------------------------------------------------------------------
+    let log = [
+        "x -[knows knows*]-> y",
+        "x -[knows]-> y",
+        "x -[knows knows]-> y",
+        "x -[likes]-> y",
+    ];
+    println!("\nsubsumption pruning under standard semantics:");
+    let parsed: Vec<Crpq> =
+        log.iter().map(|t| parse_crpq(t, &mut sigma).unwrap()).collect();
+    for (i, qi) in parsed.iter().enumerate() {
+        for (j, qj) in parsed.iter().enumerate() {
+            if i != j && contain(qi, qj, Semantics::Standard).is_contained() {
+                println!("  `{}` ⊆st `{}` → prune", log[i], log[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Route planning on a grid: simple paths (no revisited junction) versus
+//! arbitrary walks, and the exponential cost of simple-path search
+//! (Prop 3.2: NP-completeness in data complexity).
+//!
+//! ```sh
+//! cargo run --example route_planning
+//! ```
+
+use crpq::graph::{generators, rpq};
+use crpq::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // A one-way street grid: `r` goes east, `d` goes south.
+    let mut g = generators::grid(4, 5, "r", "d");
+    println!("city grid: {} junctions, {} one-way streets", g.num_nodes(), g.num_edges());
+
+    let start = g.node_by_name("g0_0").unwrap();
+    let goal = g.node_by_name("g3_4").unwrap();
+
+    // Any route east/south, arbitrary length.
+    let route = parse_regex_nfa("(r+d)(r+d)*", &mut g);
+    println!(
+        "\nreachable at all?           {}",
+        rpq::rpq_exists(&g, &route, start, goal)
+    );
+    println!(
+        "reachable via simple path?  {}",
+        rpq::simple_path_exists(&g, &route, start, goal, &g.node_set())
+    );
+
+    // Count simple routes (each visits every junction at most once).
+    let mut count = 0usize;
+    rpq::for_each_simple_path(&g, &route, start, goal, &g.node_set(), |_| {
+        count += 1;
+        std::ops::ControlFlow::Continue(())
+    });
+    println!("number of simple routes:    {count}");
+
+    // A detour constraint: exactly 9 street segments.
+    let nine = parse_regex_nfa("(r+d) (r+d) (r+d) (r+d) (r+d) (r+d) (r+d) (r+d) (r+d)", &mut g);
+    println!(
+        "9-segment simple route?     {}",
+        rpq::simple_path_exists(&g, &nine, start, goal, &g.node_set())
+    );
+
+    // The NP wall: diamond ladders have exponentially many simple paths;
+    // forcing a *failed* search explores them all.
+    println!("\nsimple-path search cost on diamond ladders (failing query):");
+    for n in [6usize, 8, 10, 12] {
+        let mut ladder = crpq::workloads::scaling::diamond_ladder(n);
+        // a^{2n+1} does not exist (all s0→sn paths have length 2n).
+        let expr = vec!["a"; 2 * n + 1].join(" ");
+        let nfa = parse_regex_nfa(&expr, &mut ladder);
+        let (s, t) = (
+            ladder.node_by_name("s0").unwrap(),
+            ladder.node_by_name(&format!("s{n}")).unwrap(),
+        );
+        let t0 = Instant::now();
+        let found = rpq::simple_path_exists(&ladder, &nfa, s, t, &ladder.node_set());
+        println!(
+            "  n={n:>2}: {} simple paths explored in {:?} (found={found})",
+            1u64 << n,
+            t0.elapsed()
+        );
+        assert!(!found);
+    }
+}
+
+/// Helper: parse a regex against the graph's alphabet and compile it.
+fn parse_regex_nfa(expr: &str, g: &mut GraphDb) -> Nfa {
+    let regex = parse_regex(expr, g.alphabet_mut()).unwrap();
+    Nfa::from_regex(&regex)
+}

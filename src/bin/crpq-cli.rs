@@ -1,0 +1,354 @@
+//! `crpq-cli` — command-line front end for the library.
+//!
+//! ```sh
+//! crpq-cli eval     --graph g.txt --query "(x,y) <- x -[a b]-> y" --semantics q-inj
+//! crpq-cli contain  --q1 "x -[a]-> y, y -[b]-> z" --q2 "x -[a b]-> y" --semantics a-inj
+//! crpq-cli classify --query "x -[(a b)*]-> y"
+//! crpq-cli graph-info --graph g.txt
+//! ```
+//!
+//! Graphs use the text format of `crpq::graph::format` (one `src label dst`
+//! edge per line). Semantics names: `st`, `a-inj`, `q-inj`, `a-trail`,
+//! `q-trail`.
+
+use crpq::core::{eval_contains_trail, eval_tuples_trail, TrailSemantics};
+use crpq::graph::format::parse_graph_text;
+use crpq::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  crpq-cli eval       --graph FILE --query Q [--semantics S] [--tuple n1,n2,…] [--witness]
+  crpq-cli contain    --q1 Q --q2 Q [--semantics S]
+  crpq-cli classify   --query Q
+  crpq-cli bounded    --query Q [--max-level K]
+  crpq-cli graph-info --graph FILE
+semantics S: st | a-inj | q-inj | a-trail | q-trail (default: st)";
+
+/// Either a paper semantics or a §7 trail semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AnySemantics {
+    Core(Semantics),
+    Trail(TrailSemantics),
+}
+
+fn parse_semantics(name: &str) -> Result<AnySemantics, String> {
+    Ok(match name {
+        "st" | "standard" => AnySemantics::Core(Semantics::Standard),
+        "a-inj" | "atom-injective" => AnySemantics::Core(Semantics::AtomInjective),
+        "q-inj" | "query-injective" => AnySemantics::Core(Semantics::QueryInjective),
+        "a-trail" => AnySemantics::Trail(TrailSemantics::AtomTrail),
+        "q-trail" => AnySemantics::Trail(TrailSemantics::QueryTrail),
+        other => return Err(format!("unknown semantics `{other}`")),
+    })
+}
+
+/// Minimal `--flag value` parser.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == format!("--{name}"))
+        .map(|w| w[1].as_str())
+}
+
+fn require<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
+    flag(args, name).ok_or_else(|| format!("missing --{name}"))
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "eval" => cmd_eval(&args[1..]),
+        "contain" => cmd_contain(&args[1..]),
+        "classify" => cmd_classify(&args[1..]),
+        "bounded" => cmd_bounded(&args[1..]),
+        "graph-info" => cmd_graph_info(&args[1..]),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_graph(path: &str) -> Result<GraphDb, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read graph file `{path}`: {e}"))?;
+    parse_graph_text(&text).map_err(|e| e.to_string())
+}
+
+fn cmd_eval(args: &[String]) -> Result<String, String> {
+    let mut g = load_graph(require(args, "graph")?)?;
+    let query_text = require(args, "query")?;
+    let q = parse_crpq(query_text, g.alphabet_mut()).map_err(|e| e.to_string())?;
+    let sem = parse_semantics(flag(args, "semantics").unwrap_or("st"))?;
+
+    if let Some(tuple_text) = flag(args, "tuple") {
+        let tuple: Vec<NodeId> = tuple_text
+            .split(',')
+            .map(|name| {
+                g.node_by_name(name.trim())
+                    .ok_or_else(|| format!("unknown node `{name}`"))
+            })
+            .collect::<Result<_, _>>()?;
+        if args.iter().any(|a| a == "--witness") {
+            let AnySemantics::Core(s) = sem else {
+                return Err("--witness is implemented for st/a-inj/q-inj".into());
+            };
+            return Ok(match eval_witness(&q, &g, &tuple, s) {
+                None => format!("({tuple_text}) ∉ Q(G)"),
+                Some(w) => {
+                    let mut out = format!("({tuple_text}) ∈ Q(G); witness paths:\n");
+                    for (i, path) in w.atom_paths.iter().enumerate() {
+                        let names: Vec<&str> =
+                            path.iter().map(|&n| g.node_name(n)).collect();
+                        out.push_str(&format!("  atom {i}: {}\n", names.join(" → ")));
+                    }
+                    out.trim_end().to_owned()
+                }
+            });
+        }
+        let member = match sem {
+            AnySemantics::Core(s) => eval_contains(&q, &g, &tuple, s),
+            AnySemantics::Trail(s) => eval_contains_trail(&q, &g, &tuple, s),
+        };
+        return Ok(format!("({tuple_text}) ∈ Q(G): {member}"));
+    }
+
+    let tuples = match sem {
+        AnySemantics::Core(s) => eval_tuples(&q, &g, s),
+        AnySemantics::Trail(s) => eval_tuples_trail(&q, &g, s),
+    };
+    let mut out = format!("{} result(s):\n", tuples.len());
+    for t in &tuples {
+        let names: Vec<&str> = t.iter().map(|&n| g.node_name(n)).collect();
+        out.push_str(&format!("  ({})\n", names.join(", ")));
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+fn cmd_contain(args: &[String]) -> Result<String, String> {
+    let mut sigma = Interner::new();
+    let q1 = parse_crpq(require(args, "q1")?, &mut sigma).map_err(|e| e.to_string())?;
+    let q2 = parse_crpq(require(args, "q2")?, &mut sigma).map_err(|e| e.to_string())?;
+    let sem = match parse_semantics(flag(args, "semantics").unwrap_or("st"))? {
+        AnySemantics::Core(s) => s,
+        AnySemantics::Trail(_) => {
+            return Err("containment is implemented for st/a-inj/q-inj".into())
+        }
+    };
+    let out = contain(&q1, &q2, sem);
+    Ok(match out {
+        Outcome::Contained => format!("Q1 ⊆{} Q2", sem.short_name()),
+        Outcome::NotContained(ce) => format!(
+            "Q1 ⊄{} Q2 (counter-example with {} atoms, {} merges)",
+            sem.short_name(),
+            ce.witness.atoms.len(),
+            ce.merges
+        ),
+        Outcome::Inconclusive { limits } => format!(
+            "inconclusive within budget (max word length {}): no counter-example found",
+            limits.max_word_len
+        ),
+    })
+}
+
+fn cmd_classify(args: &[String]) -> Result<String, String> {
+    use crpq::automata::tractability::{classify, AnalysisLimits};
+    let mut sigma = Interner::new();
+    let q = parse_crpq(require(args, "query")?, &mut sigma).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "class: {}\natoms: {}\nvariables: {}\nfree arity: {}\nconnected: {}\nε-atoms: {}",
+        q.classify(),
+        q.atoms.len(),
+        q.num_vars,
+        q.free.len(),
+        q.is_connected(),
+        q.has_epsilon_atoms(),
+    );
+    out.push_str("\nsimple-path classes:");
+    for (i, atom) in q.atoms.iter().enumerate() {
+        let nfa = atom.nfa();
+        let verdict = match classify(&nfa, &nfa.symbols(), AnalysisLimits::default()) {
+            Some(SimplePathClass::Finite { max_len }) => {
+                format!("finite (≤ {max_len}; AC0-style)")
+            }
+            Some(SimplePathClass::DeletionClosed) => {
+                "deletion-closed (reachability fast path)".into()
+            }
+            Some(SimplePathClass::ParityHard) => "parity-hard (NP-style)".into(),
+            Some(SimplePathClass::Frontier) => "frontier (no guarantee)".into(),
+            None => "inconclusive (monoid cap)".into(),
+        };
+        out.push_str(&format!("\n  atom {i}: {verdict}"));
+    }
+    Ok(out)
+}
+
+fn cmd_bounded(args: &[String]) -> Result<String, String> {
+    let mut sigma = Interner::new();
+    let q = parse_crpq(require(args, "query")?, &mut sigma).map_err(|e| e.to_string())?;
+    let mut config = BoundednessConfig::default();
+    if let Some(k) = flag(args, "max-level") {
+        config.max_level = k.parse().map_err(|e| format!("bad --max-level: {e}"))?;
+    }
+    Ok(match check_boundedness(&q, config) {
+        Boundedness::Bounded { level, union } => format!(
+            "bounded (certified): equivalent to a union of {} CQ(s) at level {level}",
+            union.len()
+        ),
+        Boundedness::BoundedUpTo { level, limits } => format!(
+            "bounded up to budget (word length ≤ {}): Q ≡ Q^(≤{level}) held on every candidate",
+            limits.max_word_len
+        ),
+        Boundedness::Refuted { level, .. } => {
+            format!("unbounded evidence: every truncation level ≤ {level} refuted")
+        }
+    })
+}
+
+fn cmd_graph_info(args: &[String]) -> Result<String, String> {
+    let g = load_graph(require(args, "graph")?)?;
+    let labels: Vec<&str> = g.alphabet().iter().map(|(_, n)| n).collect();
+    Ok(format!(
+        "nodes: {}\nedges: {}\nlabels: {}",
+        g.num_nodes(),
+        g.num_edges(),
+        labels.join(", ")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = a(&["--q1", "x -[a]-> y", "--semantics", "q-inj"]);
+        assert_eq!(flag(&args, "q1"), Some("x -[a]-> y"));
+        assert_eq!(flag(&args, "semantics"), Some("q-inj"));
+        assert_eq!(flag(&args, "missing"), None);
+        assert!(require(&args, "q2").is_err());
+    }
+
+    #[test]
+    fn semantics_names() {
+        assert_eq!(
+            parse_semantics("st").unwrap(),
+            AnySemantics::Core(Semantics::Standard)
+        );
+        assert_eq!(
+            parse_semantics("q-trail").unwrap(),
+            AnySemantics::Trail(TrailSemantics::QueryTrail)
+        );
+        assert!(parse_semantics("bogus").is_err());
+    }
+
+    #[test]
+    fn contain_command_end_to_end() {
+        let out = run(&a(&[
+            "contain",
+            "--q1",
+            "x -[a]-> y, y -[b]-> z",
+            "--q2",
+            "x -[a b]-> y",
+            "--semantics",
+            "a-inj",
+        ]))
+        .unwrap();
+        assert!(out.contains('⊄'), "{out}");
+        let out = run(&a(&[
+            "contain",
+            "--q1",
+            "x -[a]-> y, y -[b]-> z",
+            "--q2",
+            "x -[a b]-> y",
+            "--semantics",
+            "q-inj",
+        ]))
+        .unwrap();
+        assert!(out.contains('⊆'), "{out}");
+    }
+
+    #[test]
+    fn classify_command() {
+        let out =
+            run(&a(&["classify", "--query", "(x, y) <- x -[(a b)*]-> y"])).unwrap();
+        assert!(out.contains("class: CRPQ"), "{out}");
+        assert!(out.contains("free arity: 2"), "{out}");
+    }
+
+    #[test]
+    fn eval_command_with_temp_graph() {
+        let dir = std::env::temp_dir().join("crpq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        std::fs::write(&path, "u a v\nv b w\n").unwrap();
+        let p = path.to_str().unwrap();
+        let out = run(&a(&["eval", "--graph", p, "--query", "(x, y) <- x -[a b]-> y"]))
+            .unwrap();
+        assert!(out.contains("1 result(s)"), "{out}");
+        assert!(out.contains("(u, w)"), "{out}");
+        let out = run(&a(&[
+            "eval", "--graph", p, "--query", "(x, y) <- x -[a b]-> y", "--tuple", "u,w",
+            "--semantics", "q-trail",
+        ]))
+        .unwrap();
+        assert!(out.contains("true"), "{out}");
+        let out = run(&a(&["graph-info", "--graph", p])).unwrap();
+        assert!(out.contains("nodes: 3"), "{out}");
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&a(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn classify_reports_simple_path_classes() {
+        let out = run(&a(&["classify", "--query", "x -[a*]-> y, x -[(a a)*]-> y"])).unwrap();
+        assert!(out.contains("deletion-closed"), "{out}");
+        assert!(out.contains("parity-hard"), "{out}");
+    }
+
+    #[test]
+    fn bounded_command() {
+        let out = run(&a(&["bounded", "--query", "(x, y) <- x -[a b + c]-> y"])).unwrap();
+        assert!(out.contains("bounded (certified)"), "{out}");
+        let out = run(&a(&[
+            "bounded", "--query", "(x, y) <- x -[a a*]-> y", "--max-level", "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("unbounded evidence"), "{out}");
+    }
+
+    #[test]
+    fn eval_witness_flag() {
+        let dir = std::env::temp_dir().join("crpq_cli_test_w");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        std::fs::write(&path, "u a v\nv b w\n").unwrap();
+        let p = path.to_str().unwrap();
+        let out = run(&a(&[
+            "eval", "--graph", p, "--query", "(x, y) <- x -[a b]-> y", "--tuple", "u,w",
+            "--semantics", "a-inj", "--witness",
+        ]))
+        .unwrap();
+        assert!(out.contains("u → v → w"), "{out}");
+    }
+}
