@@ -32,7 +32,10 @@ impl Dfa {
         sorted.sort_unstable();
         sorted.dedup();
         for sym in nfa.symbols() {
-            assert!(sorted.contains(&sym), "alphabet missing {sym:?} used by NFA");
+            assert!(
+                sorted.contains(&sym),
+                "alphabet missing {sym:?} used by NFA"
+            );
         }
 
         let mut index: FxHashMap<BitSet, u32> = FxHashMap::default();
@@ -70,7 +73,12 @@ impl Dfa {
         for f in finals_list {
             finals.insert(f as usize);
         }
-        Dfa { alphabet: sorted, transitions, initial: 0, finals }
+        Dfa {
+            alphabet: sorted,
+            transitions,
+            initial: 0,
+            finals,
+        }
     }
 
     /// Number of states.
@@ -107,7 +115,12 @@ impl Dfa {
                 finals.insert(q);
             }
         }
-        Dfa { alphabet: self.alphabet.clone(), transitions: self.transitions.clone(), initial: self.initial, finals }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions: self.transitions.clone(),
+            initial: self.initial,
+            finals,
+        }
     }
 
     /// Whether the language is empty.
@@ -136,7 +149,10 @@ impl Dfa {
     /// Product with `other` (same alphabet required), keeping states
     /// reachable from the initial pair; final states chosen by `accept`.
     fn product_with<F: Fn(bool, bool) -> bool>(&self, other: &Dfa, accept: F) -> Dfa {
-        assert_eq!(self.alphabet, other.alphabet, "product requires equal alphabets");
+        assert_eq!(
+            self.alphabet, other.alphabet,
+            "product requires equal alphabets"
+        );
         let mut index: FxHashMap<(u32, u32), u32> = FxHashMap::default();
         let mut transitions: Vec<Vec<u32>> = Vec::new();
         let mut finals_list = Vec::new();
@@ -146,11 +162,17 @@ impl Dfa {
         queue.push_back((self.initial, other.initial));
         while let Some((a, b)) = queue.pop_front() {
             let id = index[&(a, b)];
-            if accept(self.finals.contains(a as usize), other.finals.contains(b as usize)) {
+            if accept(
+                self.finals.contains(a as usize),
+                other.finals.contains(b as usize),
+            ) {
                 finals_list.push(id);
             }
             for ai in 0..self.alphabet.len() {
-                let key = (self.transitions[a as usize][ai], other.transitions[b as usize][ai]);
+                let key = (
+                    self.transitions[a as usize][ai],
+                    other.transitions[b as usize][ai],
+                );
                 let next = *index.entry(key).or_insert_with(|| {
                     transitions.push(vec![u32::MAX; self.alphabet.len()]);
                     queue.push_back(key);
@@ -164,7 +186,12 @@ impl Dfa {
         for f in finals_list {
             finals.insert(f as usize);
         }
-        Dfa { alphabet: self.alphabet.clone(), transitions, initial: 0, finals }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions,
+            initial: 0,
+            finals,
+        }
     }
 
     /// Intersection.
@@ -224,8 +251,10 @@ impl Dfa {
                 if !reachable.contains(q) {
                     continue;
                 }
-                let sig: Vec<u32> =
-                    self.transitions[q].iter().map(|&t| class[t as usize]).collect();
+                let sig: Vec<u32> = self.transitions[q]
+                    .iter()
+                    .map(|&t| class[t as usize])
+                    .collect();
                 let key = (class[q], sig);
                 let id = *sig_index.entry(key).or_insert_with(|| {
                     let id = next_id;
@@ -271,7 +300,10 @@ impl Dfa {
             .transitions
             .iter()
             .map(|row| {
-                row.iter().enumerate().map(|(ai, &t)| (self.alphabet[ai], t)).collect()
+                row.iter()
+                    .enumerate()
+                    .map(|(ai, &t)| (self.alphabet[ai], t))
+                    .collect()
             })
             .collect();
         Nfa::from_parts(
@@ -300,10 +332,15 @@ mod tests {
 
     fn setup(exprs: &[&str]) -> (Vec<Dfa>, Vec<Symbol>) {
         let mut it = Interner::new();
-        let regexes: Vec<_> =
-            exprs.iter().map(|e| parse_regex(e, &mut it).unwrap()).collect();
+        let regexes: Vec<_> = exprs
+            .iter()
+            .map(|e| parse_regex(e, &mut it).unwrap())
+            .collect();
         let alphabet: Vec<Symbol> = (0..it.len() as u32).map(Symbol).collect();
-        let dfas = regexes.iter().map(|r| Dfa::from_nfa(&Nfa::from_regex(r), &alphabet)).collect();
+        let dfas = regexes
+            .iter()
+            .map(|r| Dfa::from_nfa(&Nfa::from_regex(r), &alphabet))
+            .collect();
         (dfas, alphabet)
     }
 

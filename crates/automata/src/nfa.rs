@@ -30,14 +30,22 @@ impl Nfa {
 
     /// The automaton of the empty language.
     pub fn empty() -> Nfa {
-        Nfa { transitions: vec![Vec::new()], initials: single(0, 1), finals: BitSet::new(1) }
+        Nfa {
+            transitions: vec![Vec::new()],
+            initials: single(0, 1),
+            finals: BitSet::new(1),
+        }
     }
 
     /// The automaton of `{ε}`.
     pub fn epsilon() -> Nfa {
         let mut finals = BitSet::new(1);
         finals.insert(0);
-        Nfa { transitions: vec![Vec::new()], initials: single(0, 1), finals }
+        Nfa {
+            transitions: vec![Vec::new()],
+            initials: single(0, 1),
+            finals,
+        }
     }
 
     /// The automaton of a single word.
@@ -49,7 +57,11 @@ impl Nfa {
         }
         let mut finals = BitSet::new(n);
         finals.insert(n - 1);
-        Nfa { transitions, initials: single(0, n), finals }
+        Nfa {
+            transitions,
+            initials: single(0, n),
+            finals,
+        }
     }
 
     /// Thompson construction followed by ε-elimination.
@@ -79,7 +91,11 @@ impl Nfa {
         for q in finals {
             fin.insert(q as usize);
         }
-        Nfa { transitions, initials: init, finals: fin }
+        Nfa {
+            transitions,
+            initials: init,
+            finals: fin,
+        }
     }
 
     // ------------------------------------------------------------- accessors
@@ -121,7 +137,10 @@ impl Nfa {
     pub fn successors(&self, q: StateId, sym: Symbol) -> impl Iterator<Item = StateId> + '_ {
         let row = &self.transitions[q as usize];
         let start = row.partition_point(|&(s, _)| s < sym);
-        row[start..].iter().take_while(move |&&(s, _)| s == sym).map(|&(_, t)| t)
+        row[start..]
+            .iter()
+            .take_while(move |&&(s, _)| s == sym)
+            .map(|&(_, t)| t)
     }
 
     /// Image of a state set under `sym`.
@@ -137,8 +156,7 @@ impl Nfa {
 
     /// The set of symbols appearing on any transition, in id order.
     pub fn symbols(&self) -> Vec<Symbol> {
-        let mut syms: Vec<Symbol> =
-            self.transitions.iter().flatten().map(|&(s, _)| s).collect();
+        let mut syms: Vec<Symbol> = self.transitions.iter().flatten().map(|&(s, _)| s).collect();
         syms.sort_unstable();
         syms.dedup();
         syms
@@ -165,7 +183,10 @@ impl Nfa {
 
     /// Whether the language is empty.
     pub fn is_empty_language(&self) -> bool {
-        self.reachable_from_initials().intersects(&self.finals).then_some(()).is_none()
+        self.reachable_from_initials()
+            .intersects(&self.finals)
+            .then_some(())
+            .is_none()
     }
 
     fn reachable_from_initials(&self) -> BitSet {
@@ -223,8 +244,14 @@ impl Nfa {
                 }
             }
         }
-        let initials = useful.iter().filter(|&q| self.initials.contains(q)).map(|q| renumber[q]);
-        let finals = useful.iter().filter(|&q| self.finals.contains(q)).map(|q| renumber[q]);
+        let initials = useful
+            .iter()
+            .filter(|&q| self.initials.contains(q))
+            .map(|q| renumber[q]);
+        let finals = useful
+            .iter()
+            .filter(|&q| self.finals.contains(q))
+            .map(|q| renumber[q]);
         Nfa::from_parts(transitions, initials, finals)
     }
 
@@ -237,7 +264,11 @@ impl Nfa {
                 transitions[t as usize].push((sym, q as StateId));
             }
         }
-        Nfa::from_parts(transitions, self.finals.iter().map(|q| q as u32), self.initials.iter().map(|q| q as u32))
+        Nfa::from_parts(
+            transitions,
+            self.finals.iter().map(|q| q as u32),
+            self.initials.iter().map(|q| q as u32),
+        )
     }
 
     /// The same language minus `ε`.
@@ -448,8 +479,7 @@ impl Nfa {
                 indegree[t as usize] += 1;
             }
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&q| indegree[q] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&q| indegree[q] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(q) = queue.pop_front() {
             order.push(q as StateId);
@@ -579,7 +609,10 @@ impl ThompsonBuilder {
                 for pair in frags.windows(2) {
                     self.eps[pair[0].end as usize].push(pair[1].start);
                 }
-                Fragment { start: frags[0].start, end: frags[frags.len() - 1].end }
+                Fragment {
+                    start: frags[0].start,
+                    end: frags[frags.len() - 1].end,
+                }
             }
             Regex::Alt(parts) => {
                 let s = self.fresh();
@@ -758,7 +791,14 @@ mod tests {
         let words = n.words_up_to(2, usize::MAX);
         assert_eq!(
             words,
-            vec![w(&[0]), w(&[1]), w(&[0, 0]), w(&[0, 1]), w(&[1, 0]), w(&[1, 1])]
+            vec![
+                w(&[0]),
+                w(&[1]),
+                w(&[0, 0]),
+                w(&[0, 1]),
+                w(&[1, 0]),
+                w(&[1, 1])
+            ]
         );
         assert_eq!(n.shortest_word(), Some(w(&[0])));
 
@@ -827,7 +867,10 @@ mod tests {
         // complete: every state has successors on both symbols
         for q in 0..c.num_states() as StateId {
             for &s in &alphabet {
-                assert!(c.successors(q, s).next().is_some(), "state {q} missing {s:?}");
+                assert!(
+                    c.successors(q, s).next().is_some(),
+                    "state {q} missing {s:?}"
+                );
             }
         }
     }
@@ -844,7 +887,10 @@ mod tests {
         let rev = c.reverse();
         for q in 0..rev.num_states() as StateId {
             for &s in &alphabet {
-                assert!(rev.successors(q, s).next().is_some(), "state {q} missing incoming {s:?}");
+                assert!(
+                    rev.successors(q, s).next().is_some(),
+                    "state {q} missing incoming {s:?}"
+                );
             }
         }
     }

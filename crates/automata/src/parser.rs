@@ -35,7 +35,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -61,7 +65,10 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn lex(input: &'a str) -> Result<Vec<(Token, usize)>, ParseError> {
-        let mut lx = Lexer { input, tokens: Vec::new() };
+        let mut lx = Lexer {
+            input,
+            tokens: Vec::new(),
+        };
         lx.run()?;
         Ok(lx.tokens)
     }
@@ -123,7 +130,9 @@ impl Parser<'_> {
     }
 
     fn here(&self) -> usize {
-        self.tokens.get(self.pos).map_or(self.input_len, |(_, p)| *p)
+        self.tokens
+            .get(self.pos)
+            .map_or(self.input_len, |(_, p)| *p)
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -133,7 +142,10 @@ impl Parser<'_> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), position: self.here() }
+        ParseError {
+            message: message.into(),
+            position: self.here(),
+        }
     }
 
     fn alt(&mut self) -> Result<Regex, ParseError> {
@@ -215,9 +227,17 @@ impl Parser<'_> {
 pub fn parse_regex(input: &str, interner: &mut Interner) -> Result<Regex, ParseError> {
     let tokens = Lexer::lex(input)?;
     if tokens.is_empty() {
-        return Err(ParseError { message: "empty expression".into(), position: 0 });
+        return Err(ParseError {
+            message: "empty expression".into(),
+            position: 0,
+        });
     }
-    let mut parser = Parser { tokens, pos: 0, interner, input_len: input.len() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        interner,
+        input_len: input.len(),
+    };
     let regex = parser.alt()?;
     if parser.pos != parser.tokens.len() {
         return Err(parser.err("trailing input"));

@@ -181,7 +181,10 @@ impl Regex {
 
     /// Renders the expression using `interner` for symbol names.
     pub fn display<'a>(&'a self, interner: &'a Interner) -> RegexDisplay<'a> {
-        RegexDisplay { regex: self, interner }
+        RegexDisplay {
+            regex: self,
+            interner,
+        }
     }
 
     fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, interner: &Interner, prec: u8) -> fmt::Result {
@@ -302,7 +305,10 @@ mod tests {
             Regex::concat(vec![Regex::Epsilon, Regex::lit(s[0]), Regex::Epsilon]),
             Regex::lit(s[0])
         );
-        assert_eq!(Regex::concat(vec![Regex::lit(s[0]), Regex::Empty]), Regex::Empty);
+        assert_eq!(
+            Regex::concat(vec![Regex::lit(s[0]), Regex::Empty]),
+            Regex::Empty
+        );
         // flattening
         let nested = Regex::concat(vec![
             Regex::concat(vec![Regex::lit(s[0]), Regex::lit(s[1])]),
@@ -318,9 +324,15 @@ mod tests {
     fn smart_alt_simplifies() {
         let s = syms(2);
         assert_eq!(Regex::alt(vec![]), Regex::Empty);
-        assert_eq!(Regex::alt(vec![Regex::Empty, Regex::lit(s[0])]), Regex::lit(s[0]));
+        assert_eq!(
+            Regex::alt(vec![Regex::Empty, Regex::lit(s[0])]),
+            Regex::lit(s[0])
+        );
         // dedup
-        assert_eq!(Regex::alt(vec![Regex::lit(s[0]), Regex::lit(s[0])]), Regex::lit(s[0]));
+        assert_eq!(
+            Regex::alt(vec![Regex::lit(s[0]), Regex::lit(s[0])]),
+            Regex::lit(s[0])
+        );
         let a = Regex::alt(vec![Regex::lit(s[0]), Regex::lit(s[1])]);
         assert_eq!(a, Regex::Alt(vec![Regex::lit(s[0]), Regex::lit(s[1])]));
     }
@@ -332,7 +344,10 @@ mod tests {
         assert_eq!(Regex::star(Regex::star(a.clone())), Regex::star(a.clone()));
         assert_eq!(Regex::star(Regex::plus(a.clone())), Regex::star(a.clone()));
         assert_eq!(Regex::plus(Regex::star(a.clone())), Regex::star(a.clone()));
-        assert_eq!(Regex::optional(Regex::star(a.clone())), Regex::star(a.clone()));
+        assert_eq!(
+            Regex::optional(Regex::star(a.clone())),
+            Regex::star(a.clone())
+        );
         assert_eq!(Regex::plus(Regex::Empty), Regex::Empty);
         assert_eq!(Regex::optional(Regex::Empty), Regex::Epsilon);
     }

@@ -80,7 +80,10 @@ pub enum SimplePathClass {
 impl SimplePathClass {
     /// Whether the class comes with a polynomial-time evaluation guarantee.
     pub fn is_tractable(self) -> bool {
-        matches!(self, SimplePathClass::Finite { .. } | SimplePathClass::DeletionClosed)
+        matches!(
+            self,
+            SimplePathClass::Finite { .. } | SimplePathClass::DeletionClosed
+        )
     }
 }
 
@@ -94,19 +97,19 @@ pub struct AnalysisLimits {
 
 impl Default for AnalysisLimits {
     fn default() -> Self {
-        AnalysisLimits { max_monoid: 100_000 }
+        AnalysisLimits {
+            max_monoid: 100_000,
+        }
     }
 }
 
 /// Classifies a language; `None` when the monoid enumeration exceeds the
 /// configured cap (inconclusive).
-pub fn classify(
-    nfa: &Nfa,
-    alphabet: &[Symbol],
-    limits: AnalysisLimits,
-) -> Option<SimplePathClass> {
+pub fn classify(nfa: &Nfa, alphabet: &[Symbol], limits: AnalysisLimits) -> Option<SimplePathClass> {
     if nfa.is_finite() {
-        return Some(SimplePathClass::Finite { max_len: nfa.max_word_len().unwrap_or(0) });
+        return Some(SimplePathClass::Finite {
+            max_len: nfa.max_word_len().unwrap_or(0),
+        });
     }
     if deletion_closed(nfa, alphabet) {
         return Some(SimplePathClass::DeletionClosed);
@@ -185,8 +188,9 @@ fn reach_plus(nfa: &Nfa, q: u32) -> FxHashSet<u32> {
 pub fn insertion_closed(nfa: &Nfa, alphabet: &[Symbol], max_monoid: usize) -> Option<bool> {
     let dfa = Dfa::from_nfa(nfa, alphabet).minimized();
     let n = dfa.num_states();
-    let generators: Vec<Vec<u32>> =
-        (0..dfa.alphabet().len()).map(|i| dfa.letter_function(i)).collect();
+    let generators: Vec<Vec<u32>> = (0..dfa.alphabet().len())
+        .map(|i| dfa.letter_function(i))
+        .collect();
     // BFS closure of the generators under composition with generators.
     let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
     let mut queue: VecDeque<Vec<u32>> = VecDeque::new();
@@ -305,7 +309,10 @@ mod tests {
         assert!(as_sets.contains(&vec![Symbol(0), Symbol(2)]));
         assert!(as_sets.contains(&vec![Symbol(1), Symbol(2)]));
         assert!(as_sets.contains(&vec![Symbol(2)]));
-        assert!(!as_sets.contains(&vec![Symbol(0), Symbol(1), Symbol(2)]), "no deletion is not allowed");
+        assert!(
+            !as_sets.contains(&vec![Symbol(0), Symbol(1), Symbol(2)]),
+            "no deletion is not allowed"
+        );
         assert!(!as_sets.contains(&vec![Symbol(1)]), "b needs two deletions");
     }
 
@@ -355,7 +362,10 @@ mod tests {
                 }
             }
             if violated {
-                assert!(!closed, "{expr}: word-level violation but classified closed");
+                assert!(
+                    !closed,
+                    "{expr}: word-level violation but classified closed"
+                );
             }
         }
     }

@@ -81,8 +81,7 @@ fn bench_engines(c: &mut Criterion) {
 
 fn bench_parallel_eval(c: &mut Criterion) {
     let mut g = generators::random_graph(10, 30, &["a", "b", "c"], 9);
-    let q = parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", g.alphabet_mut())
-        .unwrap();
+    let q = parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", g.alphabet_mut()).unwrap();
     let mut group = c.benchmark_group("ablation_parallel_eval");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(300));
@@ -98,8 +97,8 @@ fn bench_parallel_eval(c: &mut Criterion) {
 
 fn bench_path_primitives(c: &mut Criterion) {
     let mut g = generators::grid(4, 4, "r", "d");
-    let regex = crpq_automata::parse_regex("(r+d)(r+d)(r+d)(r+d)(r+d)(r+d)", g.alphabet_mut())
-        .unwrap();
+    let regex =
+        crpq_automata::parse_regex("(r+d)(r+d)(r+d)(r+d)(r+d)(r+d)", g.alphabet_mut()).unwrap();
     let nfa = crpq_automata::Nfa::from_regex(&regex);
     let s = g.node_by_name("g0_0").unwrap();
     let t = g.node_by_name("g3_3").unwrap();

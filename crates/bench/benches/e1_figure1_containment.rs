@@ -18,13 +18,14 @@ fn bench_cells(c: &mut Criterion) {
     for pair in ClassPair::ALL {
         for sem in Semantics::ALL {
             // The a-inj ∀-side enumerates quotients: keep n tiny there.
-            let n = if sem == Semantics::AtomInjective { 2 } else { 3 };
+            let n = if sem == Semantics::AtomInjective {
+                2
+            } else {
+                3
+            };
             let mut it = Interner::new();
             let inst = instance(pair, n, true, &mut it);
-            let id = BenchmarkId::new(
-                format!("{}::{}", pair.name(), sem.short_name()),
-                n,
-            );
+            let id = BenchmarkId::new(format!("{}::{}", pair.name(), sem.short_name()), n);
             group.bench_function(id, |bench| {
                 bench.iter(|| contain(std::hint::black_box(&inst.q1), &inst.q2, sem))
             });

@@ -14,15 +14,18 @@ fn bench_selectivity(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(1));
     for edges in [10usize, 20, 30] {
         let mut g = generators::random_graph(8, edges, &["a", "b", "c"], 7);
-        let q = parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", g.alphabet_mut())
-            .unwrap();
-        group.bench_with_input(BenchmarkId::new("check_hierarchy", edges), &edges, |b, _| {
-            b.iter(|| {
-                let report = check_hierarchy(&q, &g);
-                assert!(report.holds());
-                report
-            })
-        });
+        let q = parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", g.alphabet_mut()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("check_hierarchy", edges),
+            &edges,
+            |b, _| {
+                b.iter(|| {
+                    let report = check_hierarchy(&q, &g);
+                    assert!(report.holds());
+                    report
+                })
+            },
+        );
         // Per-semantics evaluation cost at this density.
         for sem in Semantics::ALL {
             group.bench_with_input(

@@ -24,7 +24,11 @@ fn star_chain_pair(k: usize, it: &mut Interner) -> (Crpq, Crpq) {
     let q1 = Crpq::with_free(atoms, vec![Var(0), Var(k as u32)]);
     let fused = Regex::concat((0..k).map(|i| Regex::plus(Regex::lit(syms[i]))).collect());
     let q2 = Crpq::with_free(
-        vec![CrpqAtom { src: Var(0), dst: Var(1), regex: fused }],
+        vec![CrpqAtom {
+            src: Var(0),
+            dst: Var(1),
+            regex: fused,
+        }],
         vec![Var(0), Var(1)],
     );
     (q1, q2)

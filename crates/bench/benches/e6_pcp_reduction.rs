@@ -2,15 +2,15 @@
 //! construction, witness building, and the I-Î condition check.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use crpq_reductions::pcp::{
-    pcp_to_ainj_containment, satisfies_wellformedness, witness_expansion,
-};
+use crpq_reductions::pcp::{pcp_to_ainj_containment, satisfies_wellformedness, witness_expansion};
 use crpq_reductions::{pcp_brute_force, PcpInstance};
 use crpq_util::Interner;
 use std::time::Duration;
 
 fn solvable() -> PcpInstance {
-    PcpInstance { pairs: vec![("ab".into(), "a".into()), ("c".into(), "bc".into())] }
+    PcpInstance {
+        pairs: vec![("ab".into(), "a".into()), ("c".into(), "bc".into())],
+    }
 }
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -52,8 +52,7 @@ fn bench_witness_scaling(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
     for reps in [1usize, 2, 4] {
-        let sol: Vec<usize> =
-            std::iter::repeat_n(base.clone(), reps).flatten().collect();
+        let sol: Vec<usize> = std::iter::repeat_n(base.clone(), reps).flatten().collect();
         // Repetition of a solution is again a solution.
         assert!(inst.is_solution(&sol));
         group.bench_with_input(BenchmarkId::from_parameter(reps), &reps, |b, _| {

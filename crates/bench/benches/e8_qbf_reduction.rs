@@ -18,7 +18,11 @@ fn xor_instance(n: usize) -> QbfInstance {
     for i in 1..n {
         clauses.push(vec![Literal::X(i, true), Literal::X(i, false)]);
     }
-    QbfInstance { num_universal: n, num_existential: 1, clauses }
+    QbfInstance {
+        num_universal: n,
+        num_existential: 1,
+        clauses,
+    }
 }
 
 fn bench_qbf(c: &mut Criterion) {

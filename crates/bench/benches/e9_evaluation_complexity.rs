@@ -23,11 +23,9 @@ fn bench_data_complexity(c: &mut Criterion) {
         let g = scaling::data_complexity_graph(n, 11);
         let tuple = [NodeId(0), NodeId((n - 1) as u32)];
         for sem in Semantics::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(sem.short_name(), n),
-                &n,
-                |b, _| b.iter(|| eval_contains(&q, &g, &tuple, sem)),
-            );
+            group.bench_with_input(BenchmarkId::new(sem.short_name(), n), &n, |b, _| {
+                b.iter(|| eval_contains(&q, &g, &tuple, sem))
+            });
         }
     }
     group.finish();
@@ -43,11 +41,9 @@ fn bench_combined_complexity(c: &mut Criterion) {
         let mut sigma = Interner::new();
         let q = scaling::combined_complexity_query(k, &mut sigma);
         for sem in Semantics::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(sem.short_name(), k),
-                &k,
-                |b, _| b.iter(|| eval_boolean(&q, &g, sem)),
-            );
+            group.bench_with_input(BenchmarkId::new(sem.short_name(), k), &k, |b, _| {
+                b.iter(|| eval_boolean(&q, &g, sem))
+            });
         }
     }
     group.finish();

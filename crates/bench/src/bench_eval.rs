@@ -1,0 +1,189 @@
+//! `BENCH_eval` — wall-clock comparison of the join-based evaluator against
+//! the legacy `|V|^arity` enumeration oracle on the E2 (Example 2.1) and E9
+//! (data-complexity) workloads, written to a JSON baseline file.
+//!
+//! The JSON is hand-serialised (the workspace's `serde` is an offline no-op
+//! shim); the schema is one `rows` array with a `workload` discriminator.
+
+use crpq_core::{eval_tuples_with, EvalStrategy, Semantics};
+use crpq_graph::GraphDb;
+use crpq_query::Crpq;
+use crpq_util::Interner;
+use crpq_workloads::{paper_examples as paper, scaling};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    workload: String,
+    graph: String,
+    nodes: usize,
+    edges: usize,
+    arity: usize,
+    semantics: &'static str,
+    tuples: usize,
+    join_ms: f64,
+    legacy_ms: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.legacy_ms / self.join_ms.max(1e-9)
+    }
+}
+
+/// Times one invocation of `f`, returning milliseconds.
+fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Best-of-`n` timing, to damp scheduler noise. Both engines go through
+/// this with the same `n` — asymmetric sampling would bias the reported
+/// speedups.
+fn time_best_of<T>(n: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..n {
+        let (v, ms) = time_once(&mut f);
+        best = best.min(ms);
+        out = Some(v);
+    }
+    (out.unwrap(), best)
+}
+
+fn measure(workload: &str, graph_name: &str, q: &Crpq, g: &GraphDb, sem: Semantics) -> Row {
+    const SAMPLES: usize = 3;
+    let (join, join_ms) = time_best_of(SAMPLES, || eval_tuples_with(q, g, sem, EvalStrategy::Join));
+    let (legacy, legacy_ms) = time_best_of(SAMPLES, || {
+        eval_tuples_with(q, g, sem, EvalStrategy::Enumerate)
+    });
+    assert_eq!(
+        join, legacy,
+        "join/legacy result mismatch on {workload}/{graph_name} {sem}"
+    );
+    Row {
+        workload: workload.to_owned(),
+        graph: graph_name.to_owned(),
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        arity: q.free.len(),
+        semantics: sem.short_name(),
+        tuples: join.len(),
+        join_ms,
+        legacy_ms,
+    }
+}
+
+/// Runs the E2 + E9 evaluation comparison and writes `path`.
+///
+/// With `enforce_floor`, the ≥10× headline speedup is a hard assertion
+/// (the CI smoke gate); without it, a shortfall is only reported — the
+/// full experiment suite should finish with measurements either way.
+pub fn run_smoke(path: &str, enforce_floor: bool) {
+    println!("## BENCH_eval — join-based vs. legacy enumeration\n");
+    println!("| workload | graph | n | sem | tuples | join | legacy | speedup |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let mut rows: Vec<Row> = Vec::new();
+
+    // E2: the paper's running example, all three semantics.
+    let mut sigma = Interner::new();
+    let q = paper::example21_query(&mut sigma);
+    for (name, g) in [
+        ("G", paper::example21_g(&sigma)),
+        ("Gprime", paper::example21_gprime(&sigma)),
+        ("Gfull", paper::example21_full_separation(&sigma)),
+    ] {
+        for sem in Semantics::ALL {
+            rows.push(measure("e2_example21", name, &q, &g, sem));
+        }
+    }
+
+    // E9 data complexity: fixed arity-2 query, growing random graphs.
+    // Standard semantics scales to |V| = 10³ (the headline join-vs-legacy
+    // comparison); the injective semantics are measured at |V| = 10² where
+    // the legacy oracle still terminates quickly.
+    let mut sigma = Interner::new();
+    let q = scaling::data_complexity_query(&mut sigma);
+    for n in [100usize, 300, 1000] {
+        let g = scaling::data_complexity_graph(n, 11);
+        rows.push(measure(
+            "e9_data_complexity",
+            &format!("random({n})"),
+            &q,
+            &g,
+            Semantics::Standard,
+        ));
+        if n <= 100 {
+            for sem in [Semantics::AtomInjective, Semantics::QueryInjective] {
+                rows.push(measure(
+                    "e9_data_complexity",
+                    &format!("random({n})"),
+                    &q,
+                    &g,
+                    sem,
+                ));
+            }
+        }
+    }
+
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.3}ms | {:.3}ms | {:.1}x |",
+            r.workload,
+            r.graph,
+            r.nodes,
+            r.semantics,
+            r.tuples,
+            r.join_ms,
+            r.legacy_ms,
+            r.speedup()
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p crpq-bench --bin experiments -- --smoke\",\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"graph\": \"{}\", \"nodes\": {}, \"edges\": {}, \
+             \"arity\": {}, \"semantics\": \"{}\", \"tuples\": {}, \"join_ms\": {:.4}, \
+             \"legacy_ms\": {:.4}, \"speedup\": {:.2}}}{}",
+            r.workload,
+            r.graph,
+            r.nodes,
+            r.edges,
+            r.arity,
+            r.semantics,
+            r.tuples,
+            r.join_ms,
+            r.legacy_ms,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, &json).expect("write BENCH_eval.json");
+    println!("\nwrote {path}");
+
+    // The headline number the CI smoke asserts on: at |V| ≈ 10³, arity 2,
+    // the join engine must beat legacy enumeration by ≥ 10×.
+    let headline = rows
+        .iter()
+        .filter(|r| r.workload == "e9_data_complexity" && r.nodes >= 1000)
+        .map(|r| r.speedup())
+        .fold(f64::INFINITY, f64::min);
+    println!("headline e9 speedup at |V|=10^3: {headline:.1}x (target ≥ 10x)");
+    if enforce_floor {
+        assert!(
+            headline >= 10.0,
+            "join-based evaluator regressed below the 10x target: {headline:.1}x"
+        );
+    } else if headline < 10.0 {
+        println!("warning: headline below the 10x target (not enforced outside --smoke)");
+    }
+}

@@ -4,6 +4,14 @@
 //! ```sh
 //! cargo run --release -p crpq-bench --bin experiments
 //! ```
+//!
+//! With `--smoke`, runs only the evaluation benchmark (E2/E9 workloads,
+//! join-based engine vs. the legacy enumeration oracle) and writes the
+//! wall-clock numbers to `BENCH_eval.json` — the CI perf baseline:
+//!
+//! ```sh
+//! cargo run --release -p crpq-bench --bin experiments -- --smoke
+//! ```
 
 use crpq_containment::abstraction::try_contain_qinj;
 use crpq_containment::{contain, Semantics};
@@ -14,7 +22,13 @@ use crpq_util::Interner;
 use crpq_workloads::{figure1, paper_examples as paper, scaling};
 use std::time::Instant;
 
+use crpq_bench::bench_eval;
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        bench_eval::run_smoke("BENCH_eval.json", true);
+        return;
+    }
     println!("# crpq-injective experiment suite\n");
     e1_figure1();
     e2_example21();
@@ -26,6 +40,7 @@ fn main() {
     e8_qbf();
     e9_evaluation();
     e10_tractability();
+    bench_eval::run_smoke("BENCH_eval.json", false);
     println!("\nAll experiments completed.");
 }
 
@@ -54,8 +69,11 @@ fn e1_figure1() {
         let mut it = Interner::new();
         let inst = figure1::instance(pair, n, true, &mut it);
         let mut row = format!("| {} | {} |", pair.name(), n);
-        for sem in [Semantics::Standard, Semantics::QueryInjective, Semantics::AtomInjective]
-        {
+        for sem in [
+            Semantics::Standard,
+            Semantics::QueryInjective,
+            Semantics::AtomInjective,
+        ] {
             let (out, ms) = timed(|| contain(&inst.q1, &inst.q2, sem));
             row += &format!(" {} {:.2}ms |", verdict(out.as_bool()), ms);
         }
@@ -86,8 +104,7 @@ fn e2_example21() {
     );
     println!(
         "Q(G)_st == Q(G)_a-inj: {}\n",
-        eval_tuples(&q, &g, Semantics::Standard)
-            == eval_tuples(&q, &g, Semantics::AtomInjective)
+        eval_tuples(&q, &g, Semantics::Standard) == eval_tuples(&q, &g, Semantics::AtomInjective)
     );
 }
 
@@ -114,15 +131,15 @@ fn e3_hierarchy() {
     }
     for edges in [12usize, 24, 36] {
         let mut g = generators::random_graph(8, edges, &["a", "b", "c"], 7);
-        let q = crpq_query::parse_crpq(
-            "(x, y) <- x -[(a b)*]-> y, y -[c*]-> x",
-            g.alphabet_mut(),
-        )
-        .unwrap();
+        let q = crpq_query::parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", g.alphabet_mut())
+            .unwrap();
         let r = check_hierarchy(&q, &g);
         println!(
             "| random(8,{edges}) | {edges} | {} | {} | {} | {} |",
-            r.standard, r.atom_injective, r.query_injective, r.holds()
+            r.standard,
+            r.atom_injective,
+            r.query_injective,
+            r.holds()
         );
     }
     println!();
@@ -135,12 +152,36 @@ fn e4_example47() {
     println!("| claim | paper | measured |");
     println!("|---|---|---|");
     let rows: Vec<(&str, bool, Option<bool>)> = vec![
-        ("Q1 ⊆q-inj Q2", true, contain(&q1, &q2, Semantics::QueryInjective).as_bool()),
-        ("Q1 ⊆st Q2", true, contain(&q1, &q2, Semantics::Standard).as_bool()),
-        ("Q1 ⊆a-inj Q2", false, contain(&q1, &q2, Semantics::AtomInjective).as_bool()),
-        ("Q1′ ⊆a-inj Q2′", true, contain(&q1p, &q2p, Semantics::AtomInjective).as_bool()),
-        ("Q1′ ⊆st Q2′", true, contain(&q1p, &q2p, Semantics::Standard).as_bool()),
-        ("Q1′ ⊆q-inj Q2′", false, contain(&q1p, &q2p, Semantics::QueryInjective).as_bool()),
+        (
+            "Q1 ⊆q-inj Q2",
+            true,
+            contain(&q1, &q2, Semantics::QueryInjective).as_bool(),
+        ),
+        (
+            "Q1 ⊆st Q2",
+            true,
+            contain(&q1, &q2, Semantics::Standard).as_bool(),
+        ),
+        (
+            "Q1 ⊆a-inj Q2",
+            false,
+            contain(&q1, &q2, Semantics::AtomInjective).as_bool(),
+        ),
+        (
+            "Q1′ ⊆a-inj Q2′",
+            true,
+            contain(&q1p, &q2p, Semantics::AtomInjective).as_bool(),
+        ),
+        (
+            "Q1′ ⊆st Q2′",
+            true,
+            contain(&q1p, &q2p, Semantics::Standard).as_bool(),
+        ),
+        (
+            "Q1′ ⊆q-inj Q2′",
+            false,
+            contain(&q1p, &q2p, Semantics::QueryInjective).as_bool(),
+        ),
     ];
     for (claim, expected, got) in rows {
         println!(
@@ -196,7 +237,9 @@ fn e6_pcp() {
     let solvable = red::PcpInstance {
         pairs: vec![("ab".into(), "a".into()), ("c".into(), "bc".into())],
     };
-    let unsolvable = red::PcpInstance { pairs: vec![("a".into(), "b".into())] };
+    let unsolvable = red::PcpInstance {
+        pairs: vec![("a".into(), "b".into())],
+    };
     let (sol, ms) = timed(|| red::pcp_brute_force(&solvable, 6));
     println!("solvable instance (ab,a)(c,bc): solution {sol:?} in {ms:.2}ms");
     let (none, ms) = timed(|| red::pcp_brute_force(&unsolvable, 8));
@@ -226,11 +269,23 @@ fn e7_gcp2() {
     println!("| instance | GCP2 (brute) | reduction verdict | agrees | time |");
     println!("|---|---|---|---|---|");
     let cases: Vec<(&str, red::Gcp2Instance)> = vec![
-        ("C3, n=2", red::Gcp2Instance::new(3, &[(0, 1), (1, 2), (0, 2)], 2)),
+        (
+            "C3, n=2",
+            red::Gcp2Instance::new(3, &[(0, 1), (1, 2), (0, 2)], 2),
+        ),
         ("P3, n=2", red::Gcp2Instance::new(3, &[(0, 1), (1, 2)], 2)),
-        ("C4, n=2", red::Gcp2Instance::new(4, &[(0, 1), (1, 2), (2, 3), (0, 3)], 2)),
-        ("C5, n=2", red::Gcp2Instance::new(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)], 2)),
-        ("K3, n=3", red::Gcp2Instance::new(3, &[(0, 1), (1, 2), (0, 2)], 3)),
+        (
+            "C4, n=2",
+            red::Gcp2Instance::new(4, &[(0, 1), (1, 2), (2, 3), (0, 3)], 2),
+        ),
+        (
+            "C5, n=2",
+            red::Gcp2Instance::new(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)], 2),
+        ),
+        (
+            "K3, n=3",
+            red::Gcp2Instance::new(3, &[(0, 1), (1, 2), (0, 2)], 3),
+        ),
     ];
     for (name, inst) in cases {
         let brute = red::gcp2_brute_force(&inst);
@@ -325,8 +380,7 @@ fn e9_evaluation() {
         let nfa = crpq_automata::Nfa::from_regex(&regex);
         let s = g.node_by_name("s0").unwrap();
         let t = g.node_by_name(&format!("s{n}")).unwrap();
-        let (_, ms_simple) =
-            timed(|| rpq::simple_path_exists(&g, &nfa, s, t, &g.node_set()));
+        let (_, ms_simple) = timed(|| rpq::simple_path_exists(&g, &nfa, s, t, &g.node_set()));
         let (_, ms_std) = timed(|| rpq::rpq_exists(&g, &nfa, s, t));
         println!("| {n} | 2^{n} | {ms_simple:.2}ms | {ms_std:.3}ms |");
     }
@@ -341,11 +395,17 @@ fn e10_tractability() {
     println!("### language classification\n");
     println!("| language | class |");
     println!("|---|---|");
-    for expr in ["a*", "(a a)*", "a* b a*", "(a b)*", "a b + b a", "(a+b)* c*"] {
+    for expr in [
+        "a*",
+        "(a a)*",
+        "a* b a*",
+        "(a b)*",
+        "a b + b a",
+        "(a+b)* c*",
+    ] {
         let mut sigma = Interner::new();
-        let nfa = crpq_automata::Nfa::from_regex(
-            &crpq_automata::parse_regex(expr, &mut sigma).unwrap(),
-        );
+        let nfa =
+            crpq_automata::Nfa::from_regex(&crpq_automata::parse_regex(expr, &mut sigma).unwrap());
         let class = classify(&nfa, &nfa.symbols(), AnalysisLimits::default());
         println!("| `{expr}` | {class:?} |");
     }

@@ -1,1 +1,5 @@
-//! Benchmark helpers live in the bench targets; see benches/.
+//! Benchmark helpers shared by the bench targets and the experiments
+//! binary. The criterion benches live in `benches/`; the join-vs-legacy
+//! evaluation baseline lives in [`bench_eval`].
+
+pub mod bench_eval;

@@ -91,11 +91,7 @@ pub fn try_contain_qinj(q1: &Crpq, q2: &Crpq) -> Option<bool> {
 }
 
 /// [`try_contain_qinj`] with explicit resource caps.
-pub fn try_contain_qinj_with(
-    q1: &Crpq,
-    q2: &Crpq,
-    config: AbstractionConfig,
-) -> Option<bool> {
+pub fn try_contain_qinj_with(q1: &Crpq, q2: &Crpq, config: AbstractionConfig) -> Option<bool> {
     if q1.free.len() != q2.free.len() {
         return Some(false); // mismatched arity is never contained
     }
@@ -236,8 +232,10 @@ impl GlobalAutomaton {
             .map(|a| a.nfa().completed(alphabet).co_completed(alphabet))
             .collect();
         let total: usize = completed.iter().map(Nfa::num_states).sum();
-        let mut delta: FxHashMap<Symbol, BoolMatrix> =
-            alphabet.iter().map(|&s| (s, BoolMatrix::zero(total))).collect();
+        let mut delta: FxHashMap<Symbol, BoolMatrix> = alphabet
+            .iter()
+            .map(|&s| (s, BoolMatrix::zero(total)))
+            .collect();
         let mut initials = BitSet::new(total);
         let mut finals = BitSet::new(total);
         let mut ranges = Vec::with_capacity(completed.len());
@@ -250,7 +248,10 @@ impl GlobalAutomaton {
             let mut af = Vec::new();
             for q in 0..nfa.num_states() as u32 {
                 for &(sym, t) in nfa.transitions_from(q) {
-                    delta.get_mut(&sym).unwrap().set(offset + q as usize, offset + t as usize);
+                    delta
+                        .get_mut(&sym)
+                        .unwrap()
+                        .set(offset + q as usize, offset + t as usize);
                 }
                 if nfa.is_initial(q) {
                     initials.insert(offset + q as usize);
@@ -510,12 +511,24 @@ enum StateExpr {
 #[derive(Clone, Debug)]
 enum Constraint {
     /// Full crossing: `run(s, e)`.
-    Run { q1_atom: usize, s: StateExpr, e: StateExpr },
+    Run {
+        q1_atom: usize,
+        s: StateExpr,
+        e: StateExpr,
+    },
     /// Prefix piece meeting suffix piece at the same internal node:
     /// `split(s, e)`.
-    Split { q1_atom: usize, s: StateExpr, e: StateExpr },
+    Split {
+        q1_atom: usize,
+        s: StateExpr,
+        e: StateExpr,
+    },
     /// Prefix piece + suffix piece with a gap: `gap(s, e)`.
-    Gap { q1_atom: usize, s: StateExpr, e: StateExpr },
+    Gap {
+        q1_atom: usize,
+        s: StateExpr,
+        e: StateExpr,
+    },
     /// Dangling prefix piece: `∃q'. split(s, q')`.
     PrefixOnly { q1_atom: usize, s: StateExpr },
     /// Dangling suffix piece: `∃q. split(q, e)`.
@@ -609,8 +622,7 @@ fn enumerate_morphism_types(
 
 /// Receives candidate morphism-type placements: per-atom edge sequences
 /// `(atom-of-Q1, offset, kind)` and per-atom node sequences in `G`.
-type EmitFn<'a> =
-    dyn FnMut(&[Vec<(usize, usize, u8)>], &[Vec<usize>]) -> ControlFlow<()> + 'a;
+type EmitFn<'a> = dyn FnMut(&[Vec<(usize, usize, u8)>], &[Vec<usize>]) -> ControlFlow<()> + 'a;
 
 /// Places the path of `Q2` atom `i` (and recursively the rest), assigning
 /// variable images on demand.
@@ -769,7 +781,13 @@ fn compile_morphism_type(
             } else {
                 StateExpr::Lam(lambda_ids[&(j, end + 1)])
             };
-            segments.push(Segment { q1_atom: atom, sp, ep, start: start_expr, end: end_expr });
+            segments.push(Segment {
+                q1_atom: atom,
+                sp,
+                ep,
+                start: start_expr,
+                end: end_expr,
+            });
             k = end + 1;
         }
     }
@@ -797,7 +815,8 @@ fn compile_morphism_type(
         if fulls.len() > 1 || prefixes.len() > 1 || suffixes.len() > 1 || enclosed.len() > 1 {
             return None; // outside the supported fragment
         }
-        if !fulls.is_empty() && (!prefixes.is_empty() || !suffixes.is_empty() || !enclosed.is_empty())
+        if !fulls.is_empty()
+            && (!prefixes.is_empty() || !suffixes.is_empty() || !enclosed.is_empty())
         {
             return None;
         }
@@ -805,16 +824,24 @@ fn compile_morphism_type(
             return None;
         }
         if let Some(seg) = fulls.first() {
-            constraints.push(Constraint::Run { q1_atom, s: seg.start, e: seg.end });
+            constraints.push(Constraint::Run {
+                q1_atom,
+                s: seg.start,
+                e: seg.end,
+            });
         }
         if let Some(seg) = enclosed.first() {
             // A (1,1) segment is a whole H path inside the word.
-            if !(matches!(seg.start, StateExpr::Init(_)) && matches!(seg.end, StateExpr::Fin(_)))
-            {
+            if !(matches!(seg.start, StateExpr::Init(_)) && matches!(seg.end, StateExpr::Fin(_))) {
                 return None;
             }
-            let StateExpr::Init(j) = seg.start else { return None };
-            constraints.push(Constraint::Enclosed { q1_atom, q2_atom: j });
+            let StateExpr::Init(j) = seg.start else {
+                return None;
+            };
+            constraints.push(Constraint::Enclosed {
+                q1_atom,
+                q2_atom: j,
+            });
         }
         match (prefixes.first(), suffixes.first()) {
             (Some(p), Some(s)) => {
@@ -822,24 +849,31 @@ fn compile_morphism_type(
                 let end_idx = p.ep + 1;
                 let start_idx = s.sp;
                 match end_idx.cmp(&start_idx) {
-                    std::cmp::Ordering::Equal => constraints
-                        .push(Constraint::Split { q1_atom, s: p.start, e: s.end }),
-                    std::cmp::Ordering::Less => {
-                        constraints.push(Constraint::Gap { q1_atom, s: p.start, e: s.end })
-                    }
+                    std::cmp::Ordering::Equal => constraints.push(Constraint::Split {
+                        q1_atom,
+                        s: p.start,
+                        e: s.end,
+                    }),
+                    std::cmp::Ordering::Less => constraints.push(Constraint::Gap {
+                        q1_atom,
+                        s: p.start,
+                        e: s.end,
+                    }),
                     std::cmp::Ordering::Greater => return None,
                 }
             }
-            (Some(p), None) => {
-                constraints.push(Constraint::PrefixOnly { q1_atom, s: p.start })
-            }
-            (None, Some(s)) => {
-                constraints.push(Constraint::SuffixOnly { q1_atom, e: s.end })
-            }
+            (Some(p), None) => constraints.push(Constraint::PrefixOnly {
+                q1_atom,
+                s: p.start,
+            }),
+            (None, Some(s)) => constraints.push(Constraint::SuffixOnly { q1_atom, e: s.end }),
             (None, None) => {}
         }
     }
-    Some(MorphismType { constraints, lambda_atoms })
+    Some(MorphismType {
+        constraints,
+        lambda_atoms,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -900,11 +934,7 @@ fn constraint_ready(c: &Constraint, assigned: usize) -> bool {
     }
 }
 
-fn expr_states(
-    e: &StateExpr,
-    ga: &GlobalAutomaton,
-    lambda: &[Option<usize>],
-) -> Vec<usize> {
+fn expr_states(e: &StateExpr, ga: &GlobalAutomaton, lambda: &[Option<usize>]) -> Vec<usize> {
     match e {
         StateExpr::Lam(v) => lambda[*v].into_iter().collect(),
         StateExpr::Init(j) => ga.atom_initials[*j].clone(),
@@ -918,16 +948,14 @@ fn eval_constraint(
     ga: &GlobalAutomaton,
     lambda: &[Option<usize>],
 ) -> bool {
-    let matrix_check = |q1_atom: usize,
-                        s: &StateExpr,
-                        e: &StateExpr,
-                        pick: fn(&FactSet) -> &BoolMatrix| {
-        let facts = alpha[q1_atom];
-        let m = pick(facts);
-        expr_states(s, ga, lambda)
-            .iter()
-            .any(|&qs| expr_states(e, ga, lambda).iter().any(|&qe| m.get(qs, qe)))
-    };
+    let matrix_check =
+        |q1_atom: usize, s: &StateExpr, e: &StateExpr, pick: fn(&FactSet) -> &BoolMatrix| {
+            let facts = alpha[q1_atom];
+            let m = pick(facts);
+            expr_states(s, ga, lambda)
+                .iter()
+                .any(|&qs| expr_states(e, ga, lambda).iter().any(|&qe| m.get(qs, qe)))
+        };
     match c {
         Constraint::Run { q1_atom, s, e } => matrix_check(*q1_atom, s, e, |f| &f.run),
         Constraint::Split { q1_atom, s, e } => matrix_check(*q1_atom, s, e, |f| &f.split),
@@ -937,16 +965,13 @@ fn eval_constraint(
             .any(|&qs| !alpha[*q1_atom].split.row(qs).is_empty()),
         Constraint::SuffixOnly { q1_atom, e } => {
             let targets = expr_states(e, ga, lambda);
-            (0..ga.num_states)
-                .any(|q| targets.iter().any(|&qe| alpha[*q1_atom].split.get(q, qe)))
+            (0..ga.num_states).any(|q| targets.iter().any(|&qe| alpha[*q1_atom].split.get(q, qe)))
         }
-        Constraint::Enclosed { q1_atom, q2_atom } => ga.atom_initials[*q2_atom]
-            .iter()
-            .any(|&q0| {
-                ga.atom_finals[*q2_atom]
-                    .iter()
-                    .any(|&f| alpha[*q1_atom].infix.get(q0, f))
-            }),
+        Constraint::Enclosed { q1_atom, q2_atom } => ga.atom_initials[*q2_atom].iter().any(|&q0| {
+            ga.atom_finals[*q2_atom]
+                .iter()
+                .any(|&f| alpha[*q1_atom].infix.get(q0, f))
+        }),
     }
 }
 
@@ -995,8 +1020,11 @@ fn contain_variant(q1: &Crpq, q2: &Crpq, config: AbstractionConfig) -> Option<bo
         if checked > config.max_abstractions {
             return None;
         }
-        let alpha: Vec<&FactSet> =
-            counter.iter().enumerate().map(|(i, &c)| &per_atom[i][c]).collect();
+        let alpha: Vec<&FactSet> = counter
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| &per_atom[i][c])
+            .collect();
         if !morphism_types.iter().any(|mt| compatible(mt, &alpha, &ga)) {
             return Some(false);
         }
@@ -1039,7 +1067,11 @@ mod tests {
         let q2 = q("(x, y) <- x -[(a b)(a b)* + c]-> y", &mut it);
         assert_eq!(try_contain_qinj(&q1, &q2), Some(true));
         let q3 = q("(x, y) <- x -[(a b)(a b)(a b)*]-> y", &mut it);
-        assert_eq!(try_contain_qinj(&q1, &q3), Some(false), "ab is a counterexample");
+        assert_eq!(
+            try_contain_qinj(&q1, &q3),
+            Some(false),
+            "ab is a counterexample"
+        );
         assert_eq!(try_contain_qinj(&q3, &q1), Some(true));
     }
 
@@ -1086,7 +1118,10 @@ mod tests {
                 &q2,
                 Semantics::QueryInjective,
                 ContainmentConfig {
-                    limits: ExpansionLimits { max_word_len: 8, max_expansions: usize::MAX },
+                    limits: ExpansionLimits {
+                        max_word_len: 8,
+                        max_expansions: usize::MAX,
+                    },
                     threads: 1,
                 },
             );
@@ -1237,7 +1272,12 @@ mod tests {
                 }
             }
         }
-        FactSet { run, split, gap, infix }
+        FactSet {
+            run,
+            split,
+            gap,
+            infix,
+        }
     }
 
     #[test]
@@ -1253,8 +1293,7 @@ mod tests {
         let ga = GlobalAutomaton::build(&q2, &symbols);
         for trial in 0..40 {
             let len = rng.gen_range(1..=5);
-            let word: Vec<Symbol> =
-                (0..len).map(|_| symbols[rng.gen_range(0..2)]).collect();
+            let word: Vec<Symbol> = (0..len).map(|_| symbols[rng.gen_range(0..2)]).collect();
             let mut profile = Profile::initial(ga.num_states);
             for &sym in &word {
                 profile = profile.step(&ga, sym);

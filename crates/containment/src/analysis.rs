@@ -33,7 +33,10 @@ pub fn recommended_limits(q1: &Crpq) -> ExpansionLimits {
         }
     }
     if finite {
-        ExpansionLimits { max_word_len: max_len, max_expansions: usize::MAX }
+        ExpansionLimits {
+            max_word_len: max_len,
+            max_expansions: usize::MAX,
+        }
     } else {
         ExpansionLimits::default()
     }
@@ -136,7 +139,10 @@ mod tests {
         let q1 = parse_crpq("x -[a]-> y, y -[a]-> z", &mut it).unwrap();
         let q2 = parse_crpq("x -[a]-> y", &mut it).unwrap();
         for sem in Semantics::ALL {
-            assert!(contain(&q1, &q2, sem).as_bool().is_some(), "decidable cell {sem}");
+            assert!(
+                contain(&q1, &q2, sem).as_bool().is_some(),
+                "decidable cell {sem}"
+            );
         }
     }
 

@@ -59,7 +59,10 @@ pub struct BoundednessConfig {
 
 impl Default for BoundednessConfig {
     fn default() -> Self {
-        BoundednessConfig { max_level: 3, per_level: ContainmentConfig::default() }
+        BoundednessConfig {
+            max_level: 3,
+            per_level: ContainmentConfig::default(),
+        }
     }
 }
 
@@ -95,7 +98,10 @@ pub enum Boundedness {
 /// always exhaustive).
 pub fn truncation(q: &Crpq, k: usize, max_branches: usize) -> Vec<Cq> {
     let mut branches: Vec<Cq> = Vec::new();
-    let limits = ExpansionLimits { max_word_len: k, max_expansions: max_branches };
+    let limits = ExpansionLimits {
+        max_word_len: k,
+        max_expansions: max_branches,
+    };
     enumerate_expansions(q, limits, |exp| {
         if !branches.contains(&exp.cq) {
             branches.push(exp.cq.clone());
@@ -116,9 +122,7 @@ pub fn check_boundedness(q: &Crpq, config: BoundednessConfig) -> Boundedness {
             // treat as refuted unless Q is the empty union too.
             continue;
         }
-        let union2 = UnionCrpq::new(
-            branches.iter().map(Crpq::from_cq).collect::<Vec<_>>(),
-        );
+        let union2 = UnionCrpq::new(branches.iter().map(Crpq::from_cq).collect::<Vec<_>>());
         let mut per_level = config.per_level;
         per_level.limits.max_word_len = per_level.limits.max_word_len.max(level + 2);
         let outcome = contain_union_with(
@@ -128,20 +132,29 @@ pub fn check_boundedness(q: &Crpq, config: BoundednessConfig) -> Boundedness {
             per_level,
         );
         match outcome {
-            Outcome::Contained => return Boundedness::Bounded { level, union: branches },
-            Outcome::Inconclusive { limits } => {
-                return Boundedness::BoundedUpTo { level, limits }
+            Outcome::Contained => {
+                return Boundedness::Bounded {
+                    level,
+                    union: branches,
+                }
             }
+            Outcome::Inconclusive { limits } => return Boundedness::BoundedUpTo { level, limits },
             Outcome::NotContained(counter) => {
                 last_refutation = Some((level, counter));
             }
         }
     }
     match last_refutation {
-        Some((level, witness)) => Boundedness::Refuted { level, witness: Box::new(witness) },
+        Some((level, witness)) => Boundedness::Refuted {
+            level,
+            witness: Box::new(witness),
+        },
         // No truncation level had any branch: Q has no expansions at all
         // (empty languages) — it is equivalent to the empty union.
-        None => Boundedness::Bounded { level: 0, union: Vec::new() },
+        None => Boundedness::Bounded {
+            level: 0,
+            union: Vec::new(),
+        },
     }
 }
 
@@ -183,8 +196,10 @@ mod tests {
 
     #[test]
     fn redundant_star_is_bounded_up_to_budget() {
-        let verdict =
-            check_boundedness(&q("(x, y) <- x -[a]-> y, x -[a a*]-> y"), Default::default());
+        let verdict = check_boundedness(
+            &q("(x, y) <- x -[a]-> y, x -[a a*]-> y"),
+            Default::default(),
+        );
         assert!(
             matches!(verdict, Boundedness::BoundedUpTo { level: 1, .. }),
             "got {verdict:?}"

@@ -33,6 +33,6 @@ pub mod rpq_cq;
 
 pub use analysis::{contain, recommended_limits};
 pub use boundedness::{check_boundedness, Boundedness, BoundednessConfig};
-pub use optimize::{equivalent, minimize_atoms, Equivalence, MinimizeResult};
 pub use crpq_core::Semantics;
 pub use naive::{contain_union_with, contain_with, ContainmentConfig, CounterExample, Outcome};
+pub use optimize::{equivalent, minimize_atoms, Equivalence, MinimizeResult};

@@ -18,9 +18,9 @@ use crpq_core::{eval, Semantics};
 use crpq_graph::NodeId;
 use crpq_query::expansion::{enumerate_expansions, ExpansionLimits};
 use crpq_query::{enumerate_a_inj_expansions, Cq, Crpq};
-use parking_lot::Mutex;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Result of a containment check.
 #[derive(Clone, Debug)]
@@ -80,7 +80,10 @@ pub struct ContainmentConfig {
 
 impl Default for ContainmentConfig {
     fn default() -> Self {
-        Self { limits: ExpansionLimits::default(), threads: 1 }
+        Self {
+            limits: ExpansionLimits::default(),
+            threads: 1,
+        }
     }
 }
 
@@ -88,12 +91,7 @@ impl Default for ContainmentConfig {
 ///
 /// Both queries must have the same free-tuple arity (containment between
 /// different arities is vacuously false and rejected loudly).
-pub fn contain_with(
-    q1: &Crpq,
-    q2: &Crpq,
-    sem: Semantics,
-    config: ContainmentConfig,
-) -> Outcome {
+pub fn contain_with(q1: &Crpq, q2: &Crpq, sem: Semantics, config: ContainmentConfig) -> Outcome {
     assert_eq!(
         q1.free.len(),
         q2.free.len(),
@@ -105,7 +103,9 @@ pub fn contain_with(
     let num_symbols = alphabet_span(q1, q2);
     let mut counter: Option<CounterExample> = None;
 
-    let check = |cq: &Cq, profile: &[Vec<crpq_util::Symbol>], merges: usize,
+    let check = |cq: &Cq,
+                 profile: &[Vec<crpq_util::Symbol>],
+                 merges: usize,
                  counter: &mut Option<CounterExample>|
      -> ControlFlow<()> {
         if !is_counter_example(cq, q2, sem, num_symbols) {
@@ -133,7 +133,9 @@ pub fn contain_with(
     match counter {
         Some(c) => Outcome::NotContained(c),
         None if outcome.complete => Outcome::Contained,
-        None => Outcome::Inconclusive { limits: config.limits },
+        None => Outcome::Inconclusive {
+            limits: config.limits,
+        },
     }
 }
 
@@ -158,7 +160,11 @@ pub fn contain_union_with(
     sem: Semantics,
     config: ContainmentConfig,
 ) -> Outcome {
-    assert_eq!(u1.arity(), u2.arity(), "union containment requires equal arity");
+    assert_eq!(
+        u1.arity(),
+        u2.arity(),
+        "union containment requires equal arity"
+    );
     let num_symbols = u1
         .branches
         .iter()
@@ -171,7 +177,9 @@ pub fn contain_union_with(
     let mut inconclusive = false;
     for q1 in &u1.branches {
         let mut counter: Option<CounterExample> = None;
-        let check = |cq: &Cq, profile: &[Vec<crpq_util::Symbol>], merges: usize,
+        let check = |cq: &Cq,
+                     profile: &[Vec<crpq_util::Symbol>],
+                     merges: usize,
                      counter: &mut Option<CounterExample>|
          -> ControlFlow<()> {
             let g = cq.to_graph_anon(num_symbols);
@@ -196,11 +204,9 @@ pub fn contain_union_with(
                     check(&exp.cq, &exp.profile, 0, &mut counter)
                 })
             }
-            Semantics::AtomInjective => {
-                enumerate_a_inj_expansions(q1, config.limits, |aexp| {
-                    check(&aexp.cq, &aexp.base.profile, aexp.merges(), &mut counter)
-                })
-            }
+            Semantics::AtomInjective => enumerate_a_inj_expansions(q1, config.limits, |aexp| {
+                check(&aexp.cq, &aexp.base.profile, aexp.merges(), &mut counter)
+            }),
         };
         match counter {
             Some(c) => return Outcome::NotContained(c),
@@ -209,7 +215,9 @@ pub fn contain_union_with(
         }
     }
     if inconclusive {
-        Outcome::Inconclusive { limits: config.limits }
+        Outcome::Inconclusive {
+            limits: config.limits,
+        }
     } else {
         Outcome::Contained
     }
@@ -227,12 +235,7 @@ fn alphabet_span(q1: &Crpq, q2: &Crpq) -> usize {
 
 /// Parallel candidate checking: the enumerator batches candidates, workers
 /// evaluate them, an atomic flag short-circuits on the first counter-example.
-fn contain_parallel(
-    q1: &Crpq,
-    q2: &Crpq,
-    sem: Semantics,
-    config: ContainmentConfig,
-) -> Outcome {
+fn contain_parallel(q1: &Crpq, q2: &Crpq, sem: Semantics, config: ContainmentConfig) -> Outcome {
     const BATCH: usize = 64;
     let num_symbols = alphabet_span(q1, q2);
     let found: Mutex<Option<CounterExample>> = Mutex::new(None);
@@ -245,31 +248,36 @@ fn contain_parallel(
             return;
         }
         let (stop_ref, found_ref) = (&stop, &found);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let chunk = batch.len().div_ceil(config.threads).max(1);
             for part in batch.chunks(chunk) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for cand in part {
                         if stop_ref.load(Ordering::Relaxed) {
                             return;
                         }
                         if is_counter_example(&cand.witness, q2, sem, num_symbols) {
-                            *found_ref.lock() = Some(cand.clone());
+                            *found_ref.lock().unwrap() = Some(cand.clone());
                             stop_ref.store(true, Ordering::Relaxed);
                             return;
                         }
                     }
                 });
             }
-        })
-        .expect("containment worker panicked");
+        });
         batch.clear();
     };
 
-    let push = |cq: &Cq, profile: &[Vec<crpq_util::Symbol>], merges: usize,
-                    batch: &mut Vec<CounterExample>|
+    let push = |cq: &Cq,
+                profile: &[Vec<crpq_util::Symbol>],
+                merges: usize,
+                batch: &mut Vec<CounterExample>|
      -> ControlFlow<()> {
-        batch.push(CounterExample { witness: cq.clone(), profile: profile.to_vec(), merges });
+        batch.push(CounterExample {
+            witness: cq.clone(),
+            profile: profile.to_vec(),
+            merges,
+        });
         if batch.len() >= BATCH {
             process_batch(batch);
         }
@@ -292,11 +300,13 @@ fn contain_parallel(
     };
     process_batch(&mut batch);
 
-    let result = found.into_inner();
+    let result = found.into_inner().unwrap();
     match result {
         Some(c) => Outcome::NotContained(c),
         None if outcome.complete => Outcome::Contained,
-        None => Outcome::Inconclusive { limits: config.limits },
+        None => Outcome::Inconclusive {
+            limits: config.limits,
+        },
     }
 }
 
@@ -438,7 +448,10 @@ mod tests {
                 &q1,
                 &q2,
                 sem,
-                ContainmentConfig { limits: ExpansionLimits::default(), threads: 4 },
+                ContainmentConfig {
+                    limits: ExpansionLimits::default(),
+                    threads: 4,
+                },
             );
             assert_eq!(seq.as_bool(), par.as_bool(), "under {sem}");
         }

@@ -60,7 +60,7 @@ pub enum Equivalence {
 /// Decides `Q₁ ≡★ Q₂` as two containments.
 pub fn equivalent(q1: &Crpq, q2: &Crpq, sem: Semantics) -> Equivalence {
     match contain(q1, q2, sem) {
-        Outcome::NotContained(c) => return Equivalence::LeftNotContained(Box::new(c)),
+        Outcome::NotContained(c) => Equivalence::LeftNotContained(Box::new(c)),
         Outcome::Contained => match contain(q2, q1, sem) {
             Outcome::NotContained(c) => Equivalence::RightNotContained(Box::new(c)),
             Outcome::Contained => Equivalence::Equivalent,
@@ -122,14 +122,22 @@ pub fn minimize_atoms(q: &Crpq, sem: Semantics) -> MinimizeResult {
         }
     }
     removed.sort_unstable();
-    MinimizeResult { query: current, removed, certified }
+    MinimizeResult {
+        query: current,
+        removed,
+        certified,
+    }
 }
 
 /// `Q` without atom `i`; the variable set and free tuple are unchanged.
 fn remove_atom(q: &Crpq, i: usize) -> Crpq {
     let mut atoms = q.atoms.clone();
     atoms.remove(i);
-    Crpq { atoms, num_vars: q.num_vars, free: q.free.clone() }
+    Crpq {
+        atoms,
+        num_vars: q.num_vars,
+        free: q.free.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -191,7 +199,10 @@ mod tests {
     fn equivalence_follows_example_4_7() {
         let q1 = q("(x, z) <- x -[a]-> y, y -[b]-> z");
         let q2 = q("(x, z) <- x -[a b]-> z");
-        assert!(matches!(equivalent(&q1, &q2, Semantics::Standard), Equivalence::Equivalent));
+        assert!(matches!(
+            equivalent(&q1, &q2, Semantics::Standard),
+            Equivalence::Equivalent
+        ));
         assert!(matches!(
             equivalent(&q1, &q2, Semantics::QueryInjective),
             Equivalence::Equivalent

@@ -110,8 +110,7 @@ fn single_atom_variant_contained(variant: &Crpq, q2: &Cq) -> Option<bool> {
 
     let mut component_nfas: Vec<Nfa> = Vec::new();
     for comp in 0..num_comps {
-        let vars: Vec<usize> =
-            (0..q2.num_vars).filter(|&v| comp_of[v] == comp).collect();
+        let vars: Vec<usize> = (0..q2.num_vars).filter(|&v| comp_of[v] == comp).collect();
         let atoms: Vec<_> = q2
             .atoms
             .iter()
@@ -184,7 +183,10 @@ fn component_language(
             }
         }
     }
-    debug_assert!(vars.iter().all(|v| offset.contains_key(v)), "component connected");
+    debug_assert!(
+        vars.iter().all(|v| offset.contains_key(v)),
+        "component connected"
+    );
 
     let min = offset.values().copied().min().unwrap_or(0);
     let max = offset.values().copied().max().unwrap_or(0);
@@ -236,7 +238,12 @@ fn component_language(
         return ComponentLang::Trivial;
     }
 
-    ComponentLang::Nfa(pattern_nfa(&pattern, start_anchored, end_anchored, alphabet))
+    ComponentLang::Nfa(pattern_nfa(
+        &pattern,
+        start_anchored,
+        end_anchored,
+        alphabet,
+    ))
 }
 
 /// Builds the NFA of `[Σ*] pattern [Σ*]` with the requested anchoring.
@@ -382,7 +389,10 @@ mod tests {
     fn agrees_with_naive_on_finite_languages() {
         let mut it = Interner::new();
         let pairs = [
-            ("(x, y) <- x -[a b + b a]-> y", "(u, w) <- u -[a]-> v, v -[b]-> w"),
+            (
+                "(x, y) <- x -[a b + b a]-> y",
+                "(u, w) <- u -[a]-> v, v -[b]-> w",
+            ),
             ("x -[a b + b a]-> y", "u -[a]-> v, v -[b]-> w"),
             ("(x, y) <- x -[a a + a]-> y", "(u, w) <- u -[a]-> w"),
             ("x -[a b a]-> y", "u -[b]-> v"),
@@ -397,7 +407,10 @@ mod tests {
                 &q2,
                 Semantics::Standard,
                 ContainmentConfig {
-                    limits: ExpansionLimits { max_word_len: 8, max_expansions: usize::MAX },
+                    limits: ExpansionLimits {
+                        max_word_len: 8,
+                        max_expansions: usize::MAX,
+                    },
                     threads: 1,
                 },
             );

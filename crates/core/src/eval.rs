@@ -1,9 +1,38 @@
 //! Direct evaluation of CRPQs under the three semantics (§2.1).
 //!
-//! The engine works on the ε-free variants of the query
-//! ([`Crpq::epsilon_free_union`]) and backtracks over variable assignments.
-//! Candidate domains are pruned with (exact-for-standard, sound-for-injective)
-//! RPQ reachability; fully assigned tuples are then verified per semantics:
+//! # Two engines
+//!
+//! **Join-based (default, [`eval_tuples`]).** The engine works per ε-free
+//! variant ([`Crpq::epsilon_free_union`]) in a relation-first pipeline:
+//!
+//! 1. **Relation materialisation** — every atom's full standard-semantics
+//!    RPQ relation is computed in one multi-source product BFS over the
+//!    label-indexed CSR graph ([`crpq_graph::rpq::rpq_relation`]), indexed
+//!    both ways (`forward(u)` / `backward(v)` bitsets).
+//! 2. **Semi-join pruning** — per-variable candidate domains start at `V`
+//!    and are intersected with atom source/target sets, then shrunk to a
+//!    fixpoint: a node stays in `dom(x)` only while every atom incident to
+//!    `x` can still be matched inside the current domains.
+//! 3. **Selectivity-ordered join** — backtracking assigns the unassigned
+//!    variable with the fewest remaining candidates first (candidates =
+//!    pruned domain ∩ relation rows of already-assigned neighbours), so the
+//!    join tree stays narrow.
+//! 4. **Per-semantics verification** — the relations are *exact* for `st`,
+//!    so a join solution is a result. For `a-inj`/`q-inj` they are a sound
+//!    over-approximation (every simple path is a path): each join solution
+//!    is verified by simple-path / simple-cycle search, or the jointly
+//!    disjoint placement of [`place_atoms`] under `q-inj`. Subtrees whose
+//!    free-variable projection is already in the result set are pruned —
+//!    only existential variables could still vary there.
+//!
+//! **Enumeration oracle ([`eval_tuples_enumerate`], legacy).** Enumerates
+//! all `|V|^arity` candidate tuples and decides membership per tuple. Kept
+//! behind [`EvalStrategy`] as the differential-testing oracle for the join
+//! engine and as the baseline of the `BENCH_eval` measurements.
+//!
+//! Membership tests ([`eval_contains`]) backtrack over variable assignments
+//! with (exact-for-standard, sound-for-injective) RPQ reachability pruning;
+//! fully assigned tuples are then verified per semantics:
 //!
 //! * `st` — reachability pruning is already exact, nothing to re-check;
 //! * `a-inj` — each atom re-checked with a simple-path (or simple-cycle)
@@ -13,6 +42,7 @@
 //!   disjoint (backtracking across atoms).
 
 use crpq_automata::Nfa;
+use crpq_graph::rpq::{ReachScratch, Relation};
 use crpq_graph::{rpq, GraphDb, NodeId};
 use crpq_query::{Crpq, Var};
 use crpq_util::{BitSet, FxHashMap};
@@ -32,8 +62,11 @@ pub enum Semantics {
 
 impl Semantics {
     /// All three semantics, in hierarchy order (most restrictive last).
-    pub const ALL: [Semantics; 3] =
-        [Semantics::Standard, Semantics::AtomInjective, Semantics::QueryInjective];
+    pub const ALL: [Semantics; 3] = [
+        Semantics::Standard,
+        Semantics::AtomInjective,
+        Semantics::QueryInjective,
+    ];
 
     /// Short name as used in the paper.
     pub fn short_name(self) -> &'static str {
@@ -51,9 +84,24 @@ impl std::fmt::Display for Semantics {
     }
 }
 
+/// Which full-result engine [`eval_tuples_with`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalStrategy {
+    /// Relation-first semi-join pipeline (the default engine).
+    #[default]
+    Join,
+    /// Legacy `|V|^arity` tuple-space enumeration — the differential-testing
+    /// oracle and benchmark baseline.
+    Enumerate,
+}
+
 /// Whether `tuple ∈ Q(G)_sem`.
 pub fn eval_contains(q: &Crpq, g: &GraphDb, tuple: &[NodeId], sem: Semantics) -> bool {
-    assert_eq!(q.free.len(), tuple.len(), "tuple arity must match free tuple");
+    assert_eq!(
+        q.free.len(),
+        tuple.len(),
+        "tuple arity must match free tuple"
+    );
     q.epsilon_free_union()
         .iter()
         .any(|variant| VariantEval::new(variant, g, sem).contains(tuple))
@@ -70,26 +118,14 @@ pub fn eval_contains(q: &Crpq, g: &GraphDb, tuple: &[NodeId], sem: Semantics) ->
 /// simple-path check degenerates to reachability — the executable content
 /// of the tractable side of the trichotomy the paper cites as [3].
 pub fn eval_contains_analyzed(q: &Crpq, g: &GraphDb, tuple: &[NodeId], sem: Semantics) -> bool {
-    assert_eq!(q.free.len(), tuple.len(), "tuple arity must match free tuple");
+    assert_eq!(
+        q.free.len(),
+        tuple.len(),
+        "tuple arity must match free tuple"
+    );
     q.epsilon_free_union()
         .iter()
         .any(|variant| VariantEval::new_analyzed(variant, g, sem).contains(tuple))
-}
-
-/// [`eval_tuples`] with the deletion-closed fast path of
-/// [`eval_contains_analyzed`].
-pub fn eval_tuples_analyzed(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
-    let variants = q.epsilon_free_union();
-    let mut evals: Vec<VariantEval> =
-        variants.iter().map(|v| VariantEval::new_analyzed(v, g, sem)).collect();
-    let mut out = BTreeSet::new();
-    let mut tuple = vec![NodeId(0); q.free.len()];
-    enumerate_tuples(g, &mut tuple, 0, &mut |tuple: &[NodeId]| {
-        if evals.iter_mut().any(|e| e.contains(tuple)) {
-            out.insert(tuple.to_vec());
-        }
-    });
-    out.into_iter().collect()
 }
 
 /// Whether the Boolean query holds: `Q(G)_sem ≠ ∅` (for Boolean `Q` this is
@@ -99,17 +135,56 @@ pub fn eval_boolean(q: &Crpq, g: &GraphDb, sem: Semantics) -> bool {
     eval_contains(q, g, &[], sem)
 }
 
-/// The full result set `Q(G)_sem`, sorted and deduplicated.
-///
-/// Enumeration is by candidate free tuple (`|V|^arity` membership tests);
-/// intended for the small-to-medium instances of the experiment suite.
+/// The full result set `Q(G)_sem`, sorted and deduplicated — join-based
+/// engine (see the module docs for the pipeline).
 pub fn eval_tuples(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
+    eval_tuples_with(q, g, sem, EvalStrategy::Join)
+}
+
+/// [`eval_tuples`] with the deletion-closed fast path of
+/// [`eval_contains_analyzed`].
+pub fn eval_tuples_analyzed(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
+    let mut out = BTreeSet::new();
+    for variant in &q.epsilon_free_union() {
+        JoinPlan::build(variant, g, sem, true).search_all(&mut out);
+    }
+    out.into_iter().collect()
+}
+
+/// The full result set computed by the chosen engine. Both strategies
+/// return exactly the same set — property-tested in
+/// `tests/join_equivalence.rs` — which is what keeps the legacy enumerator
+/// useful as an oracle.
+pub fn eval_tuples_with(
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    strategy: EvalStrategy,
+) -> Vec<Vec<NodeId>> {
+    match strategy {
+        EvalStrategy::Join => {
+            let mut out = BTreeSet::new();
+            for variant in &q.epsilon_free_union() {
+                JoinPlan::build(variant, g, sem, false).search_all(&mut out);
+            }
+            out.into_iter().collect()
+        }
+        EvalStrategy::Enumerate => eval_tuples_enumerate(q, g, sem),
+    }
+}
+
+/// Legacy full-result engine: `|V|^arity` candidate tuples, one membership
+/// test each. Retained as the differential-testing oracle for the join
+/// engine and as the `BENCH_eval` baseline.
+pub fn eval_tuples_enumerate(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
     let mut out = BTreeSet::new();
     let variants = q.epsilon_free_union();
     // One evaluator per variant, shared across candidate tuples so the
     // reachability caches amortise.
-    let mut evals: Vec<VariantEval> =
-        variants.iter().map(|v| VariantEval::new(v, g, sem)).collect();
+    let mut evals: Vec<VariantEval> = variants
+        .iter()
+        .map(|v| VariantEval::new(v, g, sem))
+        .collect();
     let arity = q.free.len();
     let mut tuple = vec![NodeId(0); arity];
     enumerate_tuples(g, &mut tuple, 0, &mut |tuple: &[NodeId]| {
@@ -152,23 +227,283 @@ fn enumerate_tuples<F: FnMut(&[NodeId])>(
     }
 }
 
-struct CompiledAtom {
+pub(crate) struct CompiledAtom {
     src: Var,
     dst: Var,
     nfa: Nfa,
     nfa_rev: Nfa,
     /// `ε`-freeness is guaranteed upstream; kept as a debug invariant.
     accepts_epsilon: bool,
-    /// Whether the language is factor-deletion closed (only computed by
-    /// `VariantEval::new_analyzed`): enables the polynomial reachability
-    /// fast path for atom-injective checks.
+    /// Whether the language is factor-deletion closed (only computed under
+    /// `analyze`): enables the polynomial reachability fast path for
+    /// atom-injective checks.
     deletion_closed: bool,
 }
+
+fn compile_atoms(variant: &Crpq, analyze: bool) -> Vec<CompiledAtom> {
+    variant
+        .atoms
+        .iter()
+        .map(|a| {
+            let nfa = a.nfa();
+            debug_assert!(!nfa.accepts_epsilon(), "variants must be ε-free");
+            let deletion_closed =
+                analyze && crpq_automata::tractability::deletion_closed(&nfa, &nfa.symbols());
+            CompiledAtom {
+                src: a.src,
+                dst: a.dst,
+                nfa_rev: nfa.reverse(),
+                accepts_epsilon: nfa.accepts_epsilon(),
+                deletion_closed,
+                nfa,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Join-based engine
+// ---------------------------------------------------------------------------
+
+/// The compiled join pipeline for one ε-free variant: materialised per-atom
+/// relations plus semi-join-pruned per-variable domains. Immutable once
+/// built, so [`crate::parallel`] can share one plan across worker threads.
+pub(crate) struct JoinPlan<'a> {
+    g: &'a GraphDb,
+    q: &'a Crpq,
+    sem: Semantics,
+    atoms: Vec<CompiledAtom>,
+    /// `relations[i]` = full standard-semantics relation of atom `i`.
+    relations: Vec<Relation>,
+    /// Per-variable candidate domains after semi-join fixpoint.
+    domains: Vec<BitSet>,
+    /// Some domain is empty — the variant contributes nothing.
+    empty: bool,
+}
+
+impl<'a> JoinPlan<'a> {
+    /// Compiles atoms, materialises their relations and prunes variable
+    /// domains to the semi-join fixpoint.
+    pub(crate) fn build(variant: &'a Crpq, g: &'a GraphDb, sem: Semantics, analyze: bool) -> Self {
+        let atoms = compile_atoms(variant, analyze);
+        let mut scratch = ReachScratch::new();
+        let relations: Vec<Relation> = atoms
+            .iter()
+            .map(|a| rpq::rpq_relation(g, &a.nfa, &mut scratch))
+            .collect();
+
+        let n = g.num_nodes();
+        let mut domains = vec![BitSet::full(n); variant.num_vars];
+
+        // Initial restriction: sources/targets per incident atom; self-loop
+        // atoms keep only nodes related to themselves.
+        for (atom, rel) in atoms.iter().zip(&relations) {
+            if atom.src == atom.dst {
+                let mut dom = BitSet::new(n);
+                for v in 0..n {
+                    if rel.contains(NodeId(v as u32), NodeId(v as u32)) {
+                        dom.insert(v);
+                    }
+                }
+                domains[atom.src.index()].intersect_with(&dom);
+            } else {
+                domains[atom.src.index()].intersect_with(&rel.source_set());
+                domains[atom.dst.index()].intersect_with(&rel.target_set());
+            }
+        }
+
+        // Semi-join fixpoint: a node stays in dom(src) only while some
+        // partner in dom(dst) is still related (and vice versa).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (atom, rel) in atoms.iter().zip(&relations) {
+                if atom.src == atom.dst {
+                    continue;
+                }
+                let (s, d) = (atom.src.index(), atom.dst.index());
+                let gone: Vec<usize> = domains[s]
+                    .iter()
+                    .filter(|&u| !rel.forward(NodeId(u as u32)).intersects(&domains[d]))
+                    .collect();
+                for u in gone {
+                    domains[s].remove(u);
+                    changed = true;
+                }
+                let gone: Vec<usize> = domains[d]
+                    .iter()
+                    .filter(|&v| !rel.backward(NodeId(v as u32)).intersects(&domains[s]))
+                    .collect();
+                for v in gone {
+                    domains[d].remove(v);
+                    changed = true;
+                }
+            }
+        }
+
+        let empty = domains.iter().any(|d| d.is_empty()) && variant.num_vars > 0;
+        JoinPlan {
+            g,
+            q: variant,
+            sem,
+            atoms,
+            relations,
+            domains,
+            empty,
+        }
+    }
+
+    /// Whether the pruned plan can produce no results at all.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// Runs the join to completion, inserting every result projection
+    /// (tuple of free-variable images) into `out`.
+    pub(crate) fn search_all(&self, out: &mut BTreeSet<Vec<NodeId>>) {
+        if self.empty {
+            return;
+        }
+        let mut assignment: Vec<Option<NodeId>> = vec![None; self.q.num_vars];
+        self.search(&mut assignment, out);
+    }
+
+    /// The candidate set for `var` given the current partial assignment:
+    /// pruned domain ∩ relation rows of assigned neighbours (∖ used nodes
+    /// under `q-inj`).
+    fn candidates(&self, var: Var, assignment: &[Option<NodeId>]) -> BitSet {
+        let mut cands = self.domains[var.index()].clone();
+        for (atom, rel) in self.atoms.iter().zip(&self.relations) {
+            if atom.src == atom.dst {
+                continue; // folded into the domain at build time
+            }
+            if atom.src == var {
+                if let Some(dst_node) = assignment[atom.dst.index()] {
+                    cands.intersect_with(rel.backward(dst_node));
+                }
+            }
+            if atom.dst == var {
+                if let Some(src_node) = assignment[atom.src.index()] {
+                    cands.intersect_with(rel.forward(src_node));
+                }
+            }
+        }
+        if self.sem == Semantics::QueryInjective {
+            for node in assignment.iter().flatten() {
+                cands.remove(node.index());
+            }
+        }
+        cands
+    }
+
+    /// The free-variable projection, if every free variable is assigned.
+    fn projection(&self, assignment: &[Option<NodeId>]) -> Option<Vec<NodeId>> {
+        self.q.free.iter().map(|v| assignment[v.index()]).collect()
+    }
+
+    /// Selectivity-ordered backtracking join.
+    fn search(&self, assignment: &mut Vec<Option<NodeId>>, out: &mut BTreeSet<Vec<NodeId>>) {
+        // Prune: once all free variables are fixed, deeper levels only vary
+        // existential variables — pointless if the projection is already a
+        // known result.
+        if let Some(proj) = self.projection(assignment) {
+            if out.contains(&proj) {
+                return;
+            }
+        }
+        // Choose the unassigned variable with the fewest candidates.
+        let mut best: Option<(Var, BitSet, usize)> = None;
+        for v in 0..assignment.len() {
+            if assignment[v].is_some() {
+                continue;
+            }
+            let cands = self.candidates(Var(v as u32), assignment);
+            let size = cands.len();
+            if size == 0 {
+                return;
+            }
+            if best.as_ref().is_none_or(|&(_, _, s)| size < s) {
+                best = Some((Var(v as u32), cands, size));
+                if size == 1 {
+                    break;
+                }
+            }
+        }
+        let Some((var, cands, _)) = best else {
+            // Complete assignment: relations guaranteed it standard-wise;
+            // verify the injective side and record the projection.
+            let mu: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect();
+            if self.verify(&mu) {
+                let proj = self.projection(assignment).expect("complete assignment");
+                out.insert(proj);
+            }
+            return;
+        };
+        for node in cands.iter() {
+            assignment[var.index()] = Some(NodeId(node as u32));
+            self.search(assignment, out);
+            assignment[var.index()] = None;
+        }
+    }
+
+    /// Verifies a complete, relation-consistent assignment under the plan's
+    /// semantics. For `st` the relations are exact, so there is nothing
+    /// left to check; the injective semantics re-check paths.
+    fn verify(&self, mu: &[NodeId]) -> bool {
+        debug_assert!(self
+            .atoms
+            .iter()
+            .zip(&self.relations)
+            .all(|(atom, rel)| { rel.contains(mu[atom.src.index()], mu[atom.dst.index()]) }));
+        match self.sem {
+            Semantics::Standard => true,
+            // Deletion-closed fast path: relation membership was already
+            // enforced during the search, so `std_reach` is a constant.
+            Semantics::AtomInjective => {
+                verify_atom_injective(self.g, &self.atoms, mu, &mut |_, _, _| true)
+            }
+            Semantics::QueryInjective => verify_query_injective(self.g, &self.atoms, mu),
+        }
+    }
+
+    /// For parallel evaluation: the variable the sequential search would
+    /// assign first and its candidates, or `None` when the variant has no
+    /// variables (pure Boolean check).
+    pub(crate) fn split_candidates(&self) -> Option<(Var, Vec<NodeId>)> {
+        let var = (0..self.q.num_vars)
+            .min_by_key(|&v| self.domains[v].len())
+            .map(|v| Var(v as u32))?;
+        let cands = self.domains[var.index()]
+            .iter()
+            .map(|n| NodeId(n as u32))
+            .collect();
+        Some((var, cands))
+    }
+
+    /// For parallel evaluation: runs the join with `var` pre-assigned to
+    /// `node`, collecting projections into `out`.
+    pub(crate) fn search_with_fixed(
+        &self,
+        var: Var,
+        node: NodeId,
+        out: &mut BTreeSet<Vec<NodeId>>,
+    ) {
+        if self.empty {
+            return;
+        }
+        let mut assignment: Vec<Option<NodeId>> = vec![None; self.q.num_vars];
+        assignment[var.index()] = Some(node);
+        self.search(&mut assignment, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Membership engine (per-tuple backtracking)
+// ---------------------------------------------------------------------------
 
 /// Evaluation of a single ε-free variant.
 pub(crate) struct VariantEval<'a> {
     g: &'a GraphDb,
-    g_rev: GraphDb,
     q: &'a Crpq,
     atoms: Vec<CompiledAtom>,
     sem: Semantics,
@@ -188,29 +523,10 @@ impl<'a> VariantEval<'a> {
     }
 
     fn build(variant: &'a Crpq, g: &'a GraphDb, sem: Semantics, analyze: bool) -> Self {
-        let atoms = variant
-            .atoms
-            .iter()
-            .map(|a| {
-                let nfa = a.nfa();
-                debug_assert!(!nfa.accepts_epsilon(), "variants must be ε-free");
-                let deletion_closed = analyze
-                    && crpq_automata::tractability::deletion_closed(&nfa, &nfa.symbols());
-                CompiledAtom {
-                    src: a.src,
-                    dst: a.dst,
-                    nfa_rev: nfa.reverse(),
-                    accepts_epsilon: nfa.accepts_epsilon(),
-                    deletion_closed,
-                    nfa,
-                }
-            })
-            .collect();
         VariantEval {
             g,
-            g_rev: g.reversed(),
             q: variant,
-            atoms,
+            atoms: compile_atoms(variant, analyze),
             sem,
             reach_fwd: FxHashMap::default(),
             reach_back: FxHashMap::default(),
@@ -332,7 +648,7 @@ impl<'a> VariantEval<'a> {
 
     fn reach_back(&mut self, atom: usize, to: NodeId) -> &BitSet {
         if !self.reach_back.contains_key(&(atom, to)) {
-            let set = rpq::rpq_reach(&self.g_rev, &self.atoms[atom].nfa_rev, to);
+            let set = rpq::rpq_reach_back(self.g, &self.atoms[atom].nfa_rev, to);
             self.reach_back.insert((atom, to), set);
         }
         &self.reach_back[&(atom, to)]
@@ -396,38 +712,31 @@ impl<'a> VariantEval<'a> {
                 // atoms were checked at candidate time. Re-check everything
                 // defensively (cheap thanks to the cache).
                 (0..self.atoms.len()).all(|i| {
-                    let (s, d) =
-                        (mu[self.atoms[i].src.index()], mu[self.atoms[i].dst.index()]);
+                    let (s, d) = (mu[self.atoms[i].src.index()], mu[self.atoms[i].dst.index()]);
                     self.reach_fwd(i, s).contains(d.index())
                 })
             }
-            Semantics::AtomInjective => (0..self.atoms.len()).all(|i| {
-                let atom = &self.atoms[i];
-                let (s, d) = (mu[atom.src.index()], mu[atom.dst.index()]);
-                if atom.src == atom.dst {
-                    rpq::simple_cycle_exists(self.g, &atom.nfa, s, &self.g.node_set())
-                } else if s == d {
-                    // Simple path from a node to itself is the empty path;
-                    // atoms are ε-free, so this is unsatisfiable.
-                    atom.accepts_epsilon
-                } else if atom.deletion_closed {
-                    // Loop-pruning lemma: for deletion-closed languages a
-                    // walk witness prunes to a simple path still in the
-                    // language, so cached reachability is exact.
-                    self.reach_fwd(i, s).contains(d.index())
-                } else {
-                    rpq::simple_path_exists(self.g, &atom.nfa, s, d, &self.g.node_set())
-                }
-            }),
-            Semantics::QueryInjective => {
-                // Jointly place internally disjoint paths.
-                let mut used = self.g.node_set();
-                for &n in mu {
-                    used.insert(n.index());
-                }
-                let mut scratch = Vec::new();
-                place_atoms(self.g, &self.atoms, mu, 0, &mut used, &mut scratch)
+            Semantics::AtomInjective => {
+                // Split borrows so the deletion-closed fast path can go
+                // through the mutable reachability cache while the shared
+                // verifier reads the atoms.
+                let VariantEval {
+                    g,
+                    atoms,
+                    reach_fwd,
+                    ..
+                } = self;
+                let g: &GraphDb = g;
+                let atoms: &[CompiledAtom] = atoms.as_slice();
+                let mut std_reach = |i: usize, s: NodeId, d: NodeId| {
+                    reach_fwd
+                        .entry((i, s))
+                        .or_insert_with(|| rpq::rpq_reach(g, &atoms[i].nfa, s))
+                        .contains(d.index())
+                };
+                verify_atom_injective(g, atoms, mu, &mut std_reach)
             }
+            Semantics::QueryInjective => verify_query_injective(self.g, &self.atoms, mu),
         }
     }
 
@@ -458,10 +767,17 @@ impl<'a> VariantEval<'a> {
                             cap = Some(vec![s]);
                         }
                     } else {
-                        rpq::for_each_simple_path(self.g, &atom.nfa, s, d, &self.g.node_set(), |p| {
-                            cap = Some(p.to_vec());
-                            ControlFlow::Break(())
-                        });
+                        rpq::for_each_simple_path(
+                            self.g,
+                            &atom.nfa,
+                            s,
+                            d,
+                            &self.g.node_set(),
+                            |p| {
+                                cap = Some(p.to_vec());
+                                ControlFlow::Break(())
+                            },
+                        );
                     }
                     cap
                 })
@@ -472,11 +788,54 @@ impl<'a> VariantEval<'a> {
                     used.insert(n.index());
                 }
                 let mut paths = Vec::with_capacity(self.atoms.len());
-                place_atoms(self.g, &self.atoms, mu, 0, &mut used, &mut paths)
-                    .then_some(paths)
+                place_atoms(self.g, &self.atoms, mu, 0, &mut used, &mut paths).then_some(paths)
             }
         }
     }
+}
+
+/// Shared atom-injective verification backing both engines: every atom
+/// needs a simple path (simple cycle for `x -L-> x` atoms). `std_reach(i,
+/// s, d)` supplies the standard-reachability answer that the
+/// deletion-closed fast path relies on — a relation lookup in the join
+/// engine (already enforced during the search), a cached BFS in the
+/// membership engine. Branch order is semantics-critical; keep the two
+/// callers on this one implementation.
+fn verify_atom_injective(
+    g: &GraphDb,
+    atoms: &[CompiledAtom],
+    mu: &[NodeId],
+    std_reach: &mut dyn FnMut(usize, NodeId, NodeId) -> bool,
+) -> bool {
+    atoms.iter().enumerate().all(|(i, atom)| {
+        let (s, d) = (mu[atom.src.index()], mu[atom.dst.index()]);
+        if atom.src == atom.dst {
+            rpq::simple_cycle_exists(g, &atom.nfa, s, &g.node_set())
+        } else if s == d {
+            // Simple path from a node to itself is the empty path; atoms
+            // are ε-free, so this is unsatisfiable.
+            atom.accepts_epsilon
+        } else if atom.deletion_closed {
+            // Loop-pruning lemma: for deletion-closed languages a walk
+            // witness prunes to a simple path still in the language, so
+            // standard reachability is exact.
+            std_reach(i, s, d)
+        } else {
+            rpq::simple_path_exists(g, &atom.nfa, s, d, &g.node_set())
+        }
+    })
+}
+
+/// Shared query-injective verification backing both engines: jointly place
+/// internally disjoint simple paths for all atoms, with every μ-image
+/// blocked as a path internal.
+fn verify_query_injective(g: &GraphDb, atoms: &[CompiledAtom], mu: &[NodeId]) -> bool {
+    let mut used = g.node_set();
+    for &n in mu {
+        used.insert(n.index());
+    }
+    let mut scratch = Vec::new();
+    place_atoms(g, atoms, mu, 0, &mut used, &mut scratch)
 }
 
 /// Recursively places atom paths so that no internal node is reused
@@ -578,13 +937,24 @@ mod tests {
     /// Figure 2 reconstruction (G): u -a-> v -b-> w, w -c-> v -c-> u.
     /// Satisfies Example 2.1's claims: (u,w) ∈ a-inj \ q-inj, st = a-inj.
     fn example21_g() -> GraphDb {
-        graph(&[("u", "a", "v"), ("v", "b", "w"), ("w", "c", "v"), ("v", "c", "u")])
+        graph(&[
+            ("u", "a", "v"),
+            ("v", "b", "w"),
+            ("w", "c", "v"),
+            ("v", "c", "u"),
+        ])
     }
 
     /// Figure 2 reconstruction (G′): abab-walk from u to v repeats u;
     /// (u,v) ∈ st \ a-inj.
     fn example21_gprime() -> GraphDb {
-        graph(&[("u", "a", "w"), ("w", "b", "t"), ("t", "a", "u"), ("u", "b", "v"), ("v", "c", "u")])
+        graph(&[
+            ("u", "a", "w"),
+            ("w", "b", "t"),
+            ("t", "a", "u"),
+            ("u", "b", "v"),
+            ("v", "c", "u"),
+        ])
     }
 
     #[test]
@@ -594,7 +964,12 @@ mod tests {
         let (u, w) = (node(&g, "u"), node(&g, "w"));
         // (u, w) ∈ a-inj but ∉ q-inj:
         assert!(eval_contains(&query, &g, &[u, w], Semantics::AtomInjective));
-        assert!(!eval_contains(&query, &g, &[u, w], Semantics::QueryInjective));
+        assert!(!eval_contains(
+            &query,
+            &g,
+            &[u, w],
+            Semantics::QueryInjective
+        ));
         // st = a-inj on G:
         let st = eval_tuples(&query, &g, Semantics::Standard);
         let ainj = eval_tuples(&query, &g, Semantics::AtomInjective);
@@ -609,7 +984,12 @@ mod tests {
         // (u, v) ∈ st (walk u a w b t a u b v + c edge back) but ∉ a-inj
         // (every (ab)^k path u→v repeats u).
         assert!(eval_contains(&query, &g, &[u, v], Semantics::Standard));
-        assert!(!eval_contains(&query, &g, &[u, v], Semantics::AtomInjective));
+        assert!(!eval_contains(
+            &query,
+            &g,
+            &[u, v],
+            Semantics::AtomInjective
+        ));
     }
 
     #[test]
@@ -620,7 +1000,10 @@ mod tests {
         let query = q("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", &mut g);
         for n in g.nodes() {
             for sem in Semantics::ALL {
-                assert!(eval_contains(&query, &g, &[n, n], sem), "({n:?},{n:?}) under {sem}");
+                assert!(
+                    eval_contains(&query, &g, &[n, n], sem),
+                    "({n:?},{n:?}) under {sem}"
+                );
             }
         }
     }
@@ -630,10 +1013,7 @@ mod tests {
         // §1: Q = ∃x,y,z x -(a+b)+-> y ∧ x -(b+c)+-> z holds on a b-path
         // under a-inj (overlapping paths allowed).
         let mut g = graph(&[("n0", "b", "n1"), ("n1", "b", "n2")]);
-        let query = q(
-            "x -[(a+b)(a+b)*]-> y, x -[(b+c)(b+c)*]-> z",
-            &mut g,
-        );
+        let query = q("x -[(a+b)(a+b)*]-> y, x -[(b+c)(b+c)*]-> z", &mut g);
         assert!(eval_boolean(&query, &g, Semantics::Standard));
         assert!(eval_boolean(&query, &g, Semantics::AtomInjective));
         // Under q-inj the two paths must be internally disjoint; on a single
@@ -665,8 +1045,14 @@ mod tests {
         }
         let mut g2 = graph(&[("u", "a", "u")]);
         let query2 = q("x -[a a]-> x", &mut g2);
-        assert!(eval_boolean(&query2, &g2, Semantics::Standard), "loop twice");
-        assert!(!eval_boolean(&query2, &g2, Semantics::AtomInjective), "aa is not a simple cycle on a self-loop");
+        assert!(
+            eval_boolean(&query2, &g2, Semantics::Standard),
+            "loop twice"
+        );
+        assert!(
+            !eval_boolean(&query2, &g2, Semantics::AtomInjective),
+            "aa is not a simple cycle on a self-loop"
+        );
         assert!(!eval_boolean(&query2, &g2, Semantics::QueryInjective));
     }
 
@@ -678,9 +1064,19 @@ mod tests {
         let u = node(&g, "u");
         assert!(eval_contains(&query, &g, &[u, u], Semantics::Standard));
         // a-inj: path from u to u must be simple, i.e. empty — but `a` is not ε.
-        assert!(!eval_contains(&query, &g, &[u, u], Semantics::AtomInjective));
+        assert!(!eval_contains(
+            &query,
+            &g,
+            &[u, u],
+            Semantics::AtomInjective
+        ));
         // q-inj additionally needs μ injective: x≠y map to same node — no.
-        assert!(!eval_contains(&query, &g, &[u, u], Semantics::QueryInjective));
+        assert!(!eval_contains(
+            &query,
+            &g,
+            &[u, u],
+            Semantics::QueryInjective
+        ));
     }
 
     #[test]
@@ -692,9 +1088,61 @@ mod tests {
             for n1 in g.nodes() {
                 for n2 in g.nodes() {
                     let member = eval_contains(&query, &g, &[n1, n2], sem);
-                    assert_eq!(tuples.contains(&vec![n1, n2]), member, "{n1:?},{n2:?} {sem}");
+                    assert_eq!(
+                        tuples.contains(&vec![n1, n2]),
+                        member,
+                        "{n1:?},{n2:?} {sem}"
+                    );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn join_and_enumeration_agree_on_examples() {
+        for mut g in [example21_g(), example21_gprime()] {
+            let query = q("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", &mut g);
+            for sem in Semantics::ALL {
+                assert_eq!(
+                    eval_tuples_with(&query, &g, sem, EvalStrategy::Join),
+                    eval_tuples_with(&query, &g, sem, EvalStrategy::Enumerate),
+                    "strategy mismatch under {sem}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_handles_existential_variables() {
+        // Free y only; x, z existential: projection + dedup across
+        // existential witnesses.
+        let mut g = graph(&[
+            ("a0", "a", "m"),
+            ("a1", "a", "m"),
+            ("m", "b", "t0"),
+            ("m", "b", "t1"),
+        ]);
+        let query = q("(y) <- x -[a]-> y, y -[b]-> z", &mut g);
+        for sem in Semantics::ALL {
+            let join = eval_tuples_with(&query, &g, sem, EvalStrategy::Join);
+            let oracle = eval_tuples_with(&query, &g, sem, EvalStrategy::Enumerate);
+            assert_eq!(join, oracle, "under {sem}");
+            assert_eq!(join, vec![vec![node(&g, "m")]], "under {sem}");
+        }
+    }
+
+    #[test]
+    fn join_repeated_free_variable() {
+        // Collapsed variants produce repeated free vars; also test a query
+        // whose free tuple repeats a variable directly.
+        let mut g = graph(&[("u", "a", "u"), ("u", "a", "v")]);
+        let query = q("(x, x) <- x -[a]-> y", &mut g);
+        for sem in Semantics::ALL {
+            assert_eq!(
+                eval_tuples_with(&query, &g, sem, EvalStrategy::Join),
+                eval_tuples_with(&query, &g, sem, EvalStrategy::Enumerate),
+                "under {sem}"
+            );
         }
     }
 
@@ -714,6 +1162,7 @@ mod tests {
         let query = q("x -[a]-> y", &mut g);
         for sem in Semantics::ALL {
             assert!(!eval_boolean(&query, &g, sem));
+            assert!(eval_tuples(&query, &g, sem).is_empty());
         }
     }
 
@@ -745,7 +1194,12 @@ mod tests {
         let query = q("(x, y) <- x -[a a*]-> y", &mut g);
         let (s, t) = (node(&g, "s"), node(&g, "t"));
         assert!(eval_contains(&query, &g, &[s, t], Semantics::AtomInjective));
-        assert!(eval_contains_analyzed(&query, &g, &[s, t], Semantics::AtomInjective));
+        assert!(eval_contains_analyzed(
+            &query,
+            &g,
+            &[s, t],
+            Semantics::AtomInjective
+        ));
         // (a a)* is NOT deletion-closed: no fast path, and the parity
         // matters — s →a→ h →a→ t is the only simple even path... of length
         // 2, which exists; extend the trap so only odd simple paths exist.

@@ -53,14 +53,22 @@ pub fn complete_limits(q: &Crpq, g: &GraphDb, sem: Semantics) -> ExpansionLimits
     let n = g.num_nodes().max(1);
     let max_word_len = match sem {
         Semantics::Standard => {
-            let states: usize = q.atoms.iter().map(|a| a.nfa().num_states()).max().unwrap_or(1);
+            let states: usize = q
+                .atoms
+                .iter()
+                .map(|a| a.nfa().num_states())
+                .max()
+                .unwrap_or(1);
             n * states
         }
         // Injective witnesses visit each node at most once: a simple path
         // has ≤ n nodes hence ≤ n-1 edges; a simple cycle ≤ n edges.
         Semantics::AtomInjective | Semantics::QueryInjective => n,
     };
-    ExpansionLimits { max_word_len, max_expansions: usize::MAX }
+    ExpansionLimits {
+        max_word_len,
+        max_expansions: usize::MAX,
+    }
 }
 
 /// Evaluates `tuple ∈ Q(G)_sem` by expansion search within `limits`.
@@ -71,7 +79,11 @@ pub fn eval_contains_via_expansions(
     sem: Semantics,
     limits: ExpansionLimits,
 ) -> EvalOutcome {
-    assert_eq!(q.free.len(), tuple.len(), "tuple arity must match free tuple");
+    assert_eq!(
+        q.free.len(),
+        tuple.len(),
+        "tuple arity must match free tuple"
+    );
     let mut witnessed = false;
     let outcome = enumerate_expansions(q, limits, |exp| {
         let Some(pre) = pin_free_tuple(&exp.cq, tuple) else {
@@ -104,12 +116,7 @@ pub fn eval_contains_via_expansions(
 /// even when `Exp(Q)` is infinite (so the enumeration itself cannot be
 /// exhaustive), any membership witness has an expansion within the bound.
 /// Hence `Unknown` from the bounded search means definite non-membership.
-pub fn eval_contains_complete(
-    q: &Crpq,
-    g: &GraphDb,
-    tuple: &[NodeId],
-    sem: Semantics,
-) -> bool {
+pub fn eval_contains_complete(q: &Crpq, g: &GraphDb, tuple: &[NodeId], sem: Semantics) -> bool {
     matches!(
         eval_contains_via_expansions(q, g, tuple, sem, complete_limits(q, g, sem)),
         EvalOutcome::True
@@ -145,7 +152,10 @@ mod tests {
                 for n2 in g.nodes() {
                     let direct = eval_contains(&q, &g, &[n1, n2], sem);
                     let via_exp = eval_contains_complete(&q, &g, &[n1, n2], sem);
-                    assert_eq!(direct, via_exp, "disagreement at ({n1:?},{n2:?}) under {sem}");
+                    assert_eq!(
+                        direct, via_exp,
+                        "disagreement at ({n1:?},{n2:?}) under {sem}"
+                    );
                 }
             }
         }
@@ -168,7 +178,10 @@ mod tests {
             &g,
             &[],
             Semantics::Standard,
-            ExpansionLimits { max_word_len: 2, max_expansions: 1000 },
+            ExpansionLimits {
+                max_word_len: 2,
+                max_expansions: 1000,
+            },
         );
         // Within bound 2 the word ab IS found (n0..n2), so membership holds.
         assert_eq!(out, EvalOutcome::True);
@@ -179,7 +192,10 @@ mod tests {
             &g,
             &[],
             Semantics::Standard,
-            ExpansionLimits { max_word_len: 2, max_expansions: 1000 },
+            ExpansionLimits {
+                max_word_len: 2,
+                max_expansions: 1000,
+            },
         );
         assert_eq!(out, EvalOutcome::Unknown);
         let out = eval_contains_via_expansions(
@@ -193,13 +209,18 @@ mod tests {
     }
 
     #[test]
-    fn subgraph_isomorphism_via_qinj(){
+    fn subgraph_isomorphism_via_qinj() {
         // Prop 3.1 flavour: a triangle query maps q-injectively into a
         // triangle but not into a 6-cycle (which has a hom but no injective
         // short cycle image… actually a 3-cycle query needs a triangle).
         let mut tri = graph(&[("a1", "e", "a2"), ("a2", "e", "a3"), ("a3", "e", "a1")]);
         let q = parse_crpq("x -[e]-> y, y -[e]-> z, z -[e]-> x", tri.alphabet_mut()).unwrap();
-        assert!(eval_contains_complete(&q, &tri, &[], Semantics::QueryInjective));
+        assert!(eval_contains_complete(
+            &q,
+            &tri,
+            &[],
+            Semantics::QueryInjective
+        ));
         let mut hex = graph(&[
             ("b1", "e", "b2"),
             ("b2", "e", "b3"),
@@ -209,8 +230,16 @@ mod tests {
             ("b6", "e", "b1"),
         ]);
         let q2 = parse_crpq("x -[e]-> y, y -[e]-> z, z -[e]-> x", hex.alphabet_mut()).unwrap();
-        assert!(!eval_contains_complete(&q2, &hex, &[], Semantics::QueryInjective));
-        assert!(!eval_contains_complete(&q2, &hex, &[], Semantics::Standard), "6-cycle has no 3-cycle hom image (odd wrap impossible)");
+        assert!(!eval_contains_complete(
+            &q2,
+            &hex,
+            &[],
+            Semantics::QueryInjective
+        ));
+        assert!(
+            !eval_contains_complete(&q2, &hex, &[], Semantics::Standard),
+            "6-cycle has no 3-cycle hom image (odd wrap impossible)"
+        );
     }
 
     #[test]
@@ -218,9 +247,22 @@ mod tests {
         // §1 intro example: on a pure b-path the two atoms can share their
         // paths under a-inj but not q-inj.
         let mut g = graph(&[("n0", "b", "n1"), ("n1", "b", "n2")]);
-        let q = parse_crpq("x -[(a+b)(a+b)*]-> y, x -[(b+c)(b+c)*]-> z", g.alphabet_mut())
-            .unwrap();
-        assert!(eval_contains_complete(&q, &g, &[], Semantics::AtomInjective));
-        assert!(!eval_contains_complete(&q, &g, &[], Semantics::QueryInjective));
+        let q = parse_crpq(
+            "x -[(a+b)(a+b)*]-> y, x -[(b+c)(b+c)*]-> z",
+            g.alphabet_mut(),
+        )
+        .unwrap();
+        assert!(eval_contains_complete(
+            &q,
+            &g,
+            &[],
+            Semantics::AtomInjective
+        ));
+        assert!(!eval_contains_complete(
+            &q,
+            &g,
+            &[],
+            Semantics::QueryInjective
+        ));
     }
 }

@@ -63,13 +63,12 @@ mod tests {
     fn hierarchy_on_random_graphs() {
         for seed in 0..5 {
             let mut g = generators::random_graph(8, 20, &["a", "b", "c"], seed);
-            let q = parse_crpq(
-                "(x, y) <- x -[(a b)*]-> y, y -[c*]-> x",
-                g.alphabet_mut(),
-            )
-            .unwrap();
+            let q = parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", g.alphabet_mut()).unwrap();
             let report = check_hierarchy(&q, &g);
-            assert!(report.holds(), "hierarchy violated on seed {seed}: {report:?}");
+            assert!(
+                report.holds(),
+                "hierarchy violated on seed {seed}: {report:?}"
+            );
         }
     }
 
@@ -90,8 +89,7 @@ mod tests {
         b.edge("u2", "b", "v2");
         b.edge("v2", "c", "u2");
         let mut g = b.finish();
-        let q = parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", g.alphabet_mut())
-            .unwrap();
+        let q = parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", g.alphabet_mut()).unwrap();
         let report = check_hierarchy(&q, &g);
         assert!(report.holds());
         assert!(report.fully_separated(), "{report:?}");

@@ -30,10 +30,11 @@ pub mod trail;
 pub mod witness;
 
 pub use eval::{
-    eval, eval_boolean, eval_contains, eval_contains_analyzed, eval_tuples,
-    eval_tuples_analyzed, Semantics,
+    eval, eval_boolean, eval_contains, eval_contains_analyzed, eval_tuples, eval_tuples_analyzed,
+    eval_tuples_enumerate, eval_tuples_with, EvalStrategy, Semantics,
 };
 pub use expansion_eval::{eval_contains_via_expansions, EvalOutcome};
 pub use hierarchy::check_hierarchy;
+pub use parallel::eval_tuples_parallel;
 pub use trail::{eval_boolean_trail, eval_contains_trail, eval_tuples_trail, TrailSemantics};
 pub use witness::{eval_witness, verify_witness, Witness, WitnessError};

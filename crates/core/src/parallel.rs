@@ -1,15 +1,20 @@
 //! Parallel evaluation helpers.
 //!
-//! Tuple-space sweeps (`|V|^arity` membership tests) parallelise trivially;
-//! this module fans them out over `crossbeam` scoped threads with a
-//! `parking_lot`-guarded result set. Used by the benchmark harness for the
-//! larger data-complexity experiments (E9).
+//! The join-based engine ([`crate::eval`]) leaves an embarrassingly
+//! parallel outer loop: after semi-join pruning, the candidates of the
+//! first (most selective) join variable partition the search space. Each
+//! worker claims candidates from an atomic cursor, runs the shared
+//! immutable [`JoinPlan`] with that variable pre-assigned, and merges its
+//! local result set at the end — far better work granularity than the old
+//! `|V|^arity` tuple-space sweep, which spent most of its time rejecting
+//! tuples the pruned domains rule out up front.
 
-use crate::eval::{eval_contains, Semantics};
+use crate::eval::{eval_contains, JoinPlan, Semantics};
 use crpq_graph::{GraphDb, NodeId};
 use crpq_query::Crpq;
-use parking_lot::Mutex;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Parallel version of [`crate::eval::eval_tuples`].
 ///
@@ -25,49 +30,53 @@ pub fn eval_tuples_parallel(
     } else {
         threads
     };
-    let arity = q.free.len();
-    if arity == 0 {
-        return if eval_contains(q, g, &[], sem) { vec![Vec::new()] } else { Vec::new() };
+    if q.free.is_empty() {
+        return if eval_contains(q, g, &[], sem) {
+            vec![Vec::new()]
+        } else {
+            Vec::new()
+        };
     }
-    let n = g.num_nodes();
-    let total: usize = n.pow(arity as u32);
-    let results: Mutex<BTreeSet<Vec<NodeId>>> = Mutex::new(BTreeSet::new());
-    let next = std::sync::atomic::AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                let mut local: Vec<Vec<NodeId>> = Vec::new();
-                loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= total {
-                        break;
-                    }
-                    let tuple = decode_tuple(idx, n, arity);
-                    if eval_contains(q, g, &tuple, sem) {
-                        local.push(tuple);
-                    }
-                }
-                if !local.is_empty() {
-                    results.lock().extend(local);
-                }
-            });
+    let variants = q.epsilon_free_union();
+    let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+    for variant in &variants {
+        let plan = JoinPlan::build(variant, g, sem, false);
+        if plan.is_empty() {
+            continue;
         }
-    })
-    .expect("evaluation worker panicked");
-
-    results.into_inner().into_iter().collect()
-}
-
-/// Decodes tuple index `idx` in base `n` into node ids (most significant
-/// position first, matching the sequential enumeration order).
-fn decode_tuple(mut idx: usize, n: usize, arity: usize) -> Vec<NodeId> {
-    let mut tuple = vec![NodeId(0); arity];
-    for pos in (0..arity).rev() {
-        tuple[pos] = NodeId((idx % n) as u32);
-        idx /= n;
+        match plan.split_candidates() {
+            None => {
+                // Variable-free variant: nothing to partition.
+                plan.search_all(&mut out);
+            }
+            Some((_, cands)) if cands.len() <= 1 || threads <= 1 => {
+                // Too little work to fan out.
+                plan.search_all(&mut out);
+            }
+            Some((var, cands)) => {
+                let next = AtomicUsize::new(0);
+                let merged: Mutex<BTreeSet<Vec<NodeId>>> = Mutex::new(BTreeSet::new());
+                std::thread::scope(|scope| {
+                    for _ in 0..threads.min(cands.len()) {
+                        scope.spawn(|| {
+                            let mut local: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&node) = cands.get(i) else { break };
+                                plan.search_with_fixed(var, node, &mut local);
+                            }
+                            if !local.is_empty() {
+                                merged.lock().unwrap().extend(local);
+                            }
+                        });
+                    }
+                });
+                out.extend(merged.into_inner().unwrap());
+            }
+        }
     }
-    tuple
+    out.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -80,12 +89,25 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let mut g = generators::random_graph(7, 18, &["a", "b", "c"], 11);
-        let q =
-            parse_crpq("(x, y) <- x -[(a+b)(a+b)*]-> y, y -[c*]-> x", g.alphabet_mut())
-                .unwrap();
+        let q = parse_crpq(
+            "(x, y) <- x -[(a+b)(a+b)*]-> y, y -[c*]-> x",
+            g.alphabet_mut(),
+        )
+        .unwrap();
         for sem in Semantics::ALL {
             let seq = eval_tuples(&q, &g, sem);
             let par = eval_tuples_parallel(&q, &g, sem, 4);
+            assert_eq!(seq, par, "mismatch under {sem}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_existentials() {
+        let mut g = generators::random_graph(9, 26, &["a", "b"], 3);
+        let q = parse_crpq("(y) <- x -[a a*]-> y, y -[b]-> z", g.alphabet_mut()).unwrap();
+        for sem in Semantics::ALL {
+            let seq = eval_tuples(&q, &g, sem);
+            let par = eval_tuples_parallel(&q, &g, sem, 3);
             assert_eq!(seq, par, "mismatch under {sem}");
         }
     }
@@ -99,15 +121,15 @@ mod tests {
     }
 
     #[test]
-    fn decode_tuple_roundtrip() {
-        let n = 5usize;
-        let arity = 3;
-        let mut seen = std::collections::HashSet::new();
-        for idx in 0..n.pow(arity as u32) {
-            let t = decode_tuple(idx, n, arity);
-            assert_eq!(t.len(), arity);
-            assert!(seen.insert(t));
+    fn single_thread_degenerates_to_sequential() {
+        let mut g = generators::labelled_cycle(5, &["a", "b"]);
+        let q = parse_crpq("(x, y) <- x -[(a+b)(a+b)*]-> y", g.alphabet_mut()).unwrap();
+        for sem in Semantics::ALL {
+            assert_eq!(
+                eval_tuples(&q, &g, sem),
+                eval_tuples_parallel(&q, &g, sem, 1),
+                "mismatch under {sem}"
+            );
         }
-        assert_eq!(seen.len(), 125);
     }
 }

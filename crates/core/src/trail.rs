@@ -43,8 +43,7 @@ pub enum TrailSemantics {
 
 impl TrailSemantics {
     /// Both variants.
-    pub const ALL: [TrailSemantics; 2] =
-        [TrailSemantics::AtomTrail, TrailSemantics::QueryTrail];
+    pub const ALL: [TrailSemantics; 2] = [TrailSemantics::AtomTrail, TrailSemantics::QueryTrail];
 
     /// Short display name.
     pub fn short_name(self) -> &'static str {
@@ -78,13 +77,12 @@ impl std::fmt::Display for TrailSemantics {
 /// use crpq_core::{eval_boolean, Semantics};
 /// assert!(!eval_boolean(&q, &g, Semantics::AtomInjective));
 /// ```
-pub fn eval_contains_trail(
-    q: &Crpq,
-    g: &GraphDb,
-    tuple: &[NodeId],
-    sem: TrailSemantics,
-) -> bool {
-    assert_eq!(q.free.len(), tuple.len(), "tuple arity must match free tuple");
+pub fn eval_contains_trail(q: &Crpq, g: &GraphDb, tuple: &[NodeId], sem: TrailSemantics) -> bool {
+    assert_eq!(
+        q.free.len(),
+        tuple.len(),
+        "tuple arity must match free tuple"
+    );
     q.epsilon_free_union()
         .iter()
         .any(|variant| TrailEval::new(variant, g, sem).contains(tuple))
@@ -92,7 +90,10 @@ pub fn eval_contains_trail(
 
 /// Whether the Boolean query holds under a trail semantics.
 pub fn eval_boolean_trail(q: &Crpq, g: &GraphDb, sem: TrailSemantics) -> bool {
-    assert!(q.is_boolean(), "eval_boolean_trail requires a Boolean query");
+    assert!(
+        q.is_boolean(),
+        "eval_boolean_trail requires a Boolean query"
+    );
     eval_contains_trail(q, g, &[], sem)
 }
 
@@ -111,7 +112,10 @@ pub fn eval_tuples_trail(q: &Crpq, g: &GraphDb, sem: TrailSemantics) -> Vec<Vec<
         out: &mut BTreeSet<Vec<NodeId>>,
     ) {
         if pos == tuple.len() {
-            if variants.iter().any(|v| TrailEval::new(v, g, sem).contains(tuple)) {
+            if variants
+                .iter()
+                .any(|v| TrailEval::new(v, g, sem).contains(tuple))
+            {
                 out.insert(tuple.clone());
             }
             return;
@@ -134,7 +138,6 @@ struct TrailAtom {
 
 struct TrailEval<'a> {
     g: &'a GraphDb,
-    g_rev: GraphDb,
     q: &'a Crpq,
     atoms: Vec<TrailAtom>,
     sem: TrailSemantics,
@@ -150,12 +153,16 @@ impl<'a> TrailEval<'a> {
             .map(|a| {
                 let nfa = a.nfa();
                 debug_assert!(!nfa.accepts_epsilon(), "variants must be ε-free");
-                TrailAtom { src: a.src, dst: a.dst, nfa_rev: nfa.reverse(), nfa }
+                TrailAtom {
+                    src: a.src,
+                    dst: a.dst,
+                    nfa_rev: nfa.reverse(),
+                    nfa,
+                }
             })
             .collect();
         TrailEval {
             g,
-            g_rev: g.reversed(),
             q: variant,
             atoms,
             sem,
@@ -229,7 +236,7 @@ impl<'a> TrailEval<'a> {
 
     fn reach_back(&mut self, atom: usize, to: NodeId) -> &BitSet {
         if !self.reach_back.contains_key(&(atom, to)) {
-            let set = rpq::rpq_reach(&self.g_rev, &self.atoms[atom].nfa_rev, to);
+            let set = rpq::rpq_reach_back(self.g, &self.atoms[atom].nfa_rev, to);
             self.reach_back.insert((atom, to), set);
         }
         &self.reach_back[&(atom, to)]
@@ -347,8 +354,18 @@ mod tests {
         ]);
         let q = parse_crpq("(x, y) <- x -[a b c d]-> y", g.alphabet_mut()).unwrap();
         let (u, v) = (g.node_by_name("u").unwrap(), g.node_by_name("v").unwrap());
-        assert!(eval_contains_trail(&q, &g, &[u, v], TrailSemantics::AtomTrail));
-        assert!(eval_contains_trail(&q, &g, &[u, v], TrailSemantics::QueryTrail));
+        assert!(eval_contains_trail(
+            &q,
+            &g,
+            &[u, v],
+            TrailSemantics::AtomTrail
+        ));
+        assert!(eval_contains_trail(
+            &q,
+            &g,
+            &[u, v],
+            TrailSemantics::QueryTrail
+        ));
         assert!(!eval_contains(&q, &g, &[u, v], Semantics::AtomInjective));
     }
 
@@ -373,7 +390,12 @@ mod tests {
         let mut g = graph(&[("u", "a", "u")]);
         let q = parse_crpq("(x, y) <- x -[a]-> y", g.alphabet_mut()).unwrap();
         let u = g.node_by_name("u").unwrap();
-        assert!(eval_contains_trail(&q, &g, &[u, u], TrailSemantics::QueryTrail));
+        assert!(eval_contains_trail(
+            &q,
+            &g,
+            &[u, u],
+            TrailSemantics::QueryTrail
+        ));
         assert!(!eval_contains(&q, &g, &[u, u], Semantics::QueryInjective));
         // And even a-inj rejects (simple path u→u must be empty):
         assert!(!eval_contains(&q, &g, &[u, u], Semantics::AtomInjective));
@@ -399,11 +421,22 @@ mod tests {
         // paper's example instances and a random instance.
         for (edges, qtext) in [
             (
-                vec![("u", "a", "v"), ("v", "b", "w"), ("w", "c", "v"), ("v", "c", "u")],
+                vec![
+                    ("u", "a", "v"),
+                    ("v", "b", "w"),
+                    ("w", "c", "v"),
+                    ("v", "c", "u"),
+                ],
                 "(x, y) <- x -[(a b)*]-> y, y -[c*]-> x",
             ),
             (
-                vec![("u", "a", "w"), ("w", "b", "t"), ("t", "a", "u"), ("u", "b", "v"), ("v", "c", "u")],
+                vec![
+                    ("u", "a", "w"),
+                    ("w", "b", "t"),
+                    ("t", "a", "u"),
+                    ("u", "b", "v"),
+                    ("v", "c", "u"),
+                ],
                 "(x, y) <- x -[(a b)*]-> y, y -[c*]-> x",
             ),
         ] {
@@ -442,10 +475,14 @@ mod tests {
             ("w", "c", "v"),
             ("v", "c", "u"),
         ]);
-        let q = parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", g.alphabet_mut())
-            .unwrap();
+        let q = parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", g.alphabet_mut()).unwrap();
         let (u, w) = (g.node_by_name("u").unwrap(), g.node_by_name("w").unwrap());
-        assert!(eval_contains_trail(&q, &g, &[u, w], TrailSemantics::QueryTrail));
+        assert!(eval_contains_trail(
+            &q,
+            &g,
+            &[u, w],
+            TrailSemantics::QueryTrail
+        ));
         assert!(!eval_contains(&q, &g, &[u, w], Semantics::QueryInjective));
     }
 }

@@ -91,10 +91,16 @@ impl std::fmt::Display for WitnessError {
             WitnessError::AssignmentArity => write!(f, "assignment arity mismatch"),
             WitnessError::FreeTupleMismatch => write!(f, "free variables not mapped to the tuple"),
             WitnessError::EndpointMismatch { atom } => {
-                write!(f, "atom {atom}: path endpoints differ from the variable images")
+                write!(
+                    f,
+                    "atom {atom}: path endpoints differ from the variable images"
+                )
             }
             WitnessError::LabelNotAccepted { atom } => {
-                write!(f, "atom {atom}: no labelling of the path lies in the atom language")
+                write!(
+                    f,
+                    "atom {atom}: no labelling of the path lies in the atom language"
+                )
             }
             WitnessError::NotSimple { atom } => {
                 write!(f, "atom {atom}: path is not simple (or not a simple cycle)")
@@ -103,7 +109,10 @@ impl std::fmt::Display for WitnessError {
                 write!(f, "assignment is not injective")
             }
             WitnessError::SharedInternalNode { node } => {
-                write!(f, "internal node {node:?} shared across paths or with a variable image")
+                write!(
+                    f,
+                    "internal node {node:?} shared across paths or with a variable image"
+                )
             }
         }
     }
@@ -116,18 +125,21 @@ impl std::error::Error for WitnessError {}
 /// Returns `Some` exactly when
 /// [`eval_contains`](crate::eval_contains) returns `true`; the returned
 /// witness always passes [`verify_witness`].
-pub fn eval_witness(
-    q: &Crpq,
-    g: &GraphDb,
-    tuple: &[NodeId],
-    sem: Semantics,
-) -> Option<Witness> {
-    assert_eq!(q.free.len(), tuple.len(), "tuple arity must match free tuple");
+pub fn eval_witness(q: &Crpq, g: &GraphDb, tuple: &[NodeId], sem: Semantics) -> Option<Witness> {
+    assert_eq!(
+        q.free.len(),
+        tuple.len(),
+        "tuple arity must match free tuple"
+    );
     for (variant_index, variant) in q.epsilon_free_union().iter().enumerate() {
         if let Some((assignment, atom_paths)) =
             VariantEval::new(variant, g, sem).contains_witness(tuple)
         {
-            return Some(Witness { variant_index, assignment, atom_paths });
+            return Some(Witness {
+                variant_index,
+                assignment,
+                atom_paths,
+            });
         }
     }
     None
@@ -143,7 +155,9 @@ pub fn verify_witness(
     w: &Witness,
 ) -> Result<(), WitnessError> {
     let variants = q.epsilon_free_union();
-    let variant = variants.get(w.variant_index).ok_or(WitnessError::VariantOutOfRange)?;
+    let variant = variants
+        .get(w.variant_index)
+        .ok_or(WitnessError::VariantOutOfRange)?;
     if w.assignment.len() != variant.num_vars || w.atom_paths.len() != variant.atoms.len() {
         return Err(WitnessError::AssignmentArity);
     }
@@ -157,7 +171,10 @@ pub fn verify_witness(
     }
 
     for (i, (atom, path)) in variant.atoms.iter().zip(&w.atom_paths).enumerate() {
-        let (s, d) = (w.assignment[atom.src.index()], w.assignment[atom.dst.index()]);
+        let (s, d) = (
+            w.assignment[atom.src.index()],
+            w.assignment[atom.dst.index()],
+        );
         if path.first() != Some(&s) || path.last() != Some(&d) {
             return Err(WitnessError::EndpointMismatch { atom: i });
         }
@@ -240,7 +257,12 @@ mod tests {
     }
 
     fn example21_g() -> GraphDb {
-        graph(&[("u", "a", "v"), ("v", "b", "w"), ("w", "c", "v"), ("v", "c", "u")])
+        graph(&[
+            ("u", "a", "v"),
+            ("v", "b", "w"),
+            ("w", "c", "v"),
+            ("v", "c", "u"),
+        ])
     }
 
     fn n(g: &GraphDb, s: &str) -> NodeId {

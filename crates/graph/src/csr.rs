@@ -1,0 +1,193 @@
+//! Label-partitioned compressed-sparse-row adjacency.
+//!
+//! The evaluation hot loop asks one question over and over: *given a node
+//! `v` and an edge label `a`, which nodes does an `a`-edge reach from `v`?*
+//! With the builder's `Vec<Vec<(Symbol, NodeId)>>` representation this is a
+//! scan (or binary search) of `v`'s whole edge list per NFA transition. A
+//! [`LabelCsr`] instead stores, for every `(label, node)` pair, a
+//! **contiguous slice** of neighbour ids inside one flat array:
+//!
+//! ```text
+//! targets: [ ── label a, node 0 ──┃─ label a, node 1 ─┃ … ┃─ label b, node 0 ─┃ … ]
+//! offsets: [ 0, 3, 5, …, |E| ]      (one entry per label × node, plus one)
+//! ```
+//!
+//! `neighbors(v, a)` is then two loads and a bounds check — O(1) plus the
+//! slice itself — and iteration over the slice is a linear walk of
+//! adjacent memory, which is what the product-automaton BFS in
+//! [`crate::rpq`] spends most of its time doing. The layout is label-major
+//! so that a single-label query (the common case: one NFA transition
+//! symbol) touches one dense region of the array per node.
+//!
+//! [`GraphDb`](crate::GraphDb) keeps two of these (forward and reverse),
+//! built once in `GraphBuilder::finish`; the structure is immutable
+//! afterwards, matching the append-only life cycle of the store.
+
+use crate::db::NodeId;
+use crpq_util::Symbol;
+use serde::{Deserialize, Serialize};
+
+/// Immutable label-partitioned CSR index over the edges of a graph.
+///
+/// Stores one direction (forward *or* reverse); `GraphDb` owns one of each.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelCsr {
+    num_nodes: usize,
+    num_labels: usize,
+    /// `offsets[l * num_nodes + v] .. offsets[l * num_nodes + v + 1]` is the
+    /// range of `targets` holding the `l`-neighbours of `v`. Length
+    /// `num_labels * num_nodes + 1`.
+    offsets: Vec<u32>,
+    /// Neighbour ids, grouped by `(label, source)`, sorted within a group.
+    targets: Vec<NodeId>,
+}
+
+impl LabelCsr {
+    /// Builds the index from edges given as `(source, label, target)`
+    /// triples. Edges must already be deduplicated; they need not be sorted.
+    pub fn build(num_nodes: usize, num_labels: usize, edges: &[(NodeId, Symbol, NodeId)]) -> Self {
+        let slots = num_labels * num_nodes;
+        let slot = |l: Symbol, v: NodeId| l.index() * num_nodes + v.index();
+        // Counting sort over (label, source) slots: one pass to size, one
+        // prefix sum, one pass to place.
+        let mut offsets = vec![0u32; slots + 1];
+        for &(u, l, _) in edges {
+            offsets[slot(l, u) + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..slots].to_vec();
+        let mut targets = vec![NodeId(0); edges.len()];
+        for &(u, l, v) in edges {
+            let s = slot(l, u);
+            targets[cursor[s] as usize] = v;
+            cursor[s] += 1;
+        }
+        // Sort each per-slot group so neighbour slices are ordered (useful
+        // for binary search and deterministic iteration).
+        for s in 0..slots {
+            let (lo, hi) = (offsets[s] as usize, offsets[s + 1] as usize);
+            targets[lo..hi].sort_unstable();
+        }
+        LabelCsr {
+            num_nodes,
+            num_labels,
+            offsets,
+            targets,
+        }
+    }
+
+    /// Number of nodes this index covers.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of labels this index covers. Symbols interned after the graph
+    /// was finished (queries may mention labels the graph never uses) simply
+    /// have empty neighbour slices.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Total number of indexed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The `label`-neighbours of `v` as a sorted contiguous slice — O(1).
+    ///
+    /// Labels outside the indexed alphabet yield the empty slice, so query
+    /// symbols unknown to the graph are handled without a special case.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId, label: Symbol) -> &[NodeId] {
+        if label.index() >= self.num_labels {
+            return &[];
+        }
+        let s = label.index() * self.num_nodes + v.index();
+        let (lo, hi) = (self.offsets[s] as usize, self.offsets[s + 1] as usize);
+        &self.targets[lo..hi]
+    }
+
+    /// Number of `label`-neighbours of `v` — O(1).
+    #[inline]
+    pub fn degree(&self, v: NodeId, label: Symbol) -> usize {
+        self.neighbors(v, label).len()
+    }
+
+    /// Whether `v` has `w` as a `label`-neighbour (binary search).
+    #[inline]
+    pub fn has_edge(&self, v: NodeId, label: Symbol, w: NodeId) -> bool {
+        self.neighbors(v, label).binary_search(&w).is_ok()
+    }
+
+    /// Iterates all `(source, label, target)` triples in label-major order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, Symbol, NodeId)> + '_ {
+        (0..self.num_labels).flat_map(move |l| {
+            let label = Symbol(l as u32);
+            (0..self.num_nodes).flat_map(move |v| {
+                let v = NodeId(v as u32);
+                self.neighbors(v, label).iter().map(move |&w| (v, label, w))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(u: u32, l: u32, v: u32) -> (NodeId, Symbol, NodeId) {
+        (NodeId(u), Symbol(l), NodeId(v))
+    }
+
+    #[test]
+    fn neighbors_are_label_partitioned_and_sorted() {
+        // Deliberately unsorted input.
+        let edges = vec![e(0, 1, 2), e(0, 0, 3), e(0, 0, 1), e(1, 0, 0), e(0, 1, 0)];
+        let csr = LabelCsr::build(4, 2, &edges);
+        assert_eq!(csr.neighbors(NodeId(0), Symbol(0)), &[NodeId(1), NodeId(3)]);
+        assert_eq!(csr.neighbors(NodeId(0), Symbol(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(csr.neighbors(NodeId(1), Symbol(0)), &[NodeId(0)]);
+        assert_eq!(csr.neighbors(NodeId(1), Symbol(1)), &[] as &[NodeId]);
+        assert_eq!(csr.num_edges(), 5);
+    }
+
+    #[test]
+    fn out_of_alphabet_labels_are_empty() {
+        let csr = LabelCsr::build(2, 1, &[e(0, 0, 1)]);
+        assert_eq!(csr.neighbors(NodeId(0), Symbol(7)), &[] as &[NodeId]);
+        assert_eq!(csr.degree(NodeId(0), Symbol(7)), 0);
+        assert!(!csr.has_edge(NodeId(0), Symbol(7), NodeId(1)));
+    }
+
+    #[test]
+    fn has_edge_and_degree() {
+        let csr = LabelCsr::build(3, 2, &[e(0, 0, 1), e(0, 0, 2), e(2, 1, 0)]);
+        assert!(csr.has_edge(NodeId(0), Symbol(0), NodeId(2)));
+        assert!(!csr.has_edge(NodeId(0), Symbol(1), NodeId(2)));
+        assert_eq!(csr.degree(NodeId(0), Symbol(0)), 2);
+        assert_eq!(csr.degree(NodeId(2), Symbol(1)), 1);
+    }
+
+    #[test]
+    fn edge_iteration_roundtrip() {
+        let mut edges = vec![e(1, 1, 0), e(0, 0, 1), e(2, 0, 2)];
+        let csr = LabelCsr::build(3, 2, &edges);
+        let mut out: Vec<_> = csr.iter_edges().collect();
+        edges.sort_by_key(|&(u, l, v)| (l, u, v));
+        out.sort_by_key(|&(u, l, v)| (l, u, v));
+        assert_eq!(edges, out);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = LabelCsr::build(0, 0, &[]);
+        assert_eq!(csr.num_edges(), 0);
+        let csr = LabelCsr::build(3, 0, &[]);
+        assert_eq!(csr.neighbors(NodeId(1), Symbol(0)), &[] as &[NodeId]);
+    }
+}

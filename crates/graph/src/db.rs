@@ -4,8 +4,22 @@
 //! directed graph `G = (V, E)` with `E ⊆ V × A × V` (paper §2). Nodes are
 //! dense `u32` ids; labels are interned [`Symbol`]s shared with the query
 //! layer through the same [`Interner`].
+//!
+//! Internally the store keeps **two** immutable indexes per direction,
+//! built once in [`GraphBuilder::finish`]:
+//!
+//! * a *node-major* flat adjacency array (`(label, target)` pairs of each
+//!   node stored contiguously, sorted by label then target) serving
+//!   [`GraphDb::out_edges`] / [`GraphDb::in_edges`] / [`GraphDb::edges`];
+//! * a *label-major* [`LabelCsr`] serving [`GraphDb::successors`] /
+//!   [`GraphDb::predecessors`]: the `a`-neighbours of `v` are one O(1)
+//!   contiguous slice lookup, no scan of `v`'s other labels.
+//!
+//! The label-partitioned index is what the RPQ product searches in
+//! [`crate::rpq`] run on; see `crates/graph/src/csr.rs` for the layout.
 
-use crpq_util::{BitSet, Interner, Symbol};
+use crate::csr::LabelCsr;
+use crpq_util::{BitSet, FxHashMap, Interner, Symbol};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -27,23 +41,35 @@ impl fmt::Debug for NodeId {
     }
 }
 
-/// An immutable edge-labelled directed graph with forward and backward
-/// adjacency indexes (both sorted for binary search).
+/// An immutable edge-labelled directed graph with node-major flat adjacency
+/// and label-major CSR indexes in both directions.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GraphDb {
     labels: Interner,
     node_names: Vec<String>,
-    /// `out[v]` = sorted `(label, target)` pairs.
-    out: Vec<Vec<(Symbol, NodeId)>>,
-    /// `inc[v]` = sorted `(label, source)` pairs.
-    inc: Vec<Vec<(Symbol, NodeId)>>,
+    /// Name → id (the builder's index, retained for O(1) lookup).
+    node_index: FxHashMap<String, NodeId>,
     num_edges: usize,
+    /// `out_adj[out_offsets[v]..out_offsets[v+1]]` = sorted `(label, target)`
+    /// pairs of `v`.
+    out_offsets: Vec<u32>,
+    out_adj: Vec<(Symbol, NodeId)>,
+    /// `in_adj[in_offsets[v]..in_offsets[v+1]]` = sorted `(label, source)`
+    /// pairs of `v`.
+    in_offsets: Vec<u32>,
+    in_adj: Vec<(Symbol, NodeId)>,
+    /// Label-partitioned forward index: `fwd.neighbors(v, a)` = targets of
+    /// `v`'s outgoing `a`-edges.
+    fwd: LabelCsr,
+    /// Label-partitioned reverse index: `rev.neighbors(v, a)` = sources of
+    /// `v`'s incoming `a`-edges.
+    rev: LabelCsr,
 }
 
 impl GraphDb {
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.out.len()
+        self.node_names.len()
     }
 
     /// Number of labelled edges.
@@ -57,7 +83,8 @@ impl GraphDb {
     }
 
     /// Mutable access to the alphabet (append-only; existing ids are stable).
-    /// Useful to parse queries mentioning labels the graph does not use.
+    /// Useful to parse queries mentioning labels the graph does not use —
+    /// the CSR indexes treat such labels as having no edges.
     pub fn alphabet_mut(&mut self) -> &mut Interner {
         &mut self.labels
     }
@@ -72,9 +99,9 @@ impl GraphDb {
         &self.node_names[node.index()]
     }
 
-    /// Looks up a node by name (linear scan; intended for tests/examples).
+    /// Looks up a node by name — O(1) via the retained builder index.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.node_names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+        self.node_index.get(name).copied()
     }
 
     /// Iterator over all node ids.
@@ -85,40 +112,60 @@ impl GraphDb {
     /// Outgoing `(label, target)` pairs of `v`, sorted by label then target.
     #[inline]
     pub fn out_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
-        &self.out[v.index()]
+        let (lo, hi) = (self.out_offsets[v.index()], self.out_offsets[v.index() + 1]);
+        &self.out_adj[lo as usize..hi as usize]
     }
 
     /// Incoming `(label, source)` pairs of `v`, sorted by label then source.
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
-        &self.inc[v.index()]
+        let (lo, hi) = (self.in_offsets[v.index()], self.in_offsets[v.index() + 1]);
+        &self.in_adj[lo as usize..hi as usize]
+    }
+
+    /// Targets of `v`'s outgoing `label`-edges as a sorted slice — O(1)
+    /// lookup in the label-partitioned CSR.
+    #[inline]
+    pub fn successors_slice(&self, v: NodeId, label: Symbol) -> &[NodeId] {
+        self.fwd.neighbors(v, label)
+    }
+
+    /// Sources of `v`'s incoming `label`-edges as a sorted slice — O(1)
+    /// lookup in the label-partitioned CSR.
+    #[inline]
+    pub fn predecessors_slice(&self, v: NodeId, label: Symbol) -> &[NodeId] {
+        self.rev.neighbors(v, label)
     }
 
     /// Targets of `v`'s outgoing `label`-edges.
     pub fn successors(&self, v: NodeId, label: Symbol) -> impl Iterator<Item = NodeId> + '_ {
-        let row = &self.out[v.index()];
-        let start = row.partition_point(|&(s, _)| s < label);
-        row[start..].iter().take_while(move |&&(s, _)| s == label).map(|&(_, t)| t)
+        self.successors_slice(v, label).iter().copied()
     }
 
     /// Sources of `v`'s incoming `label`-edges.
     pub fn predecessors(&self, v: NodeId, label: Symbol) -> impl Iterator<Item = NodeId> + '_ {
-        let row = &self.inc[v.index()];
-        let start = row.partition_point(|&(s, _)| s < label);
-        row[start..].iter().take_while(move |&&(s, _)| s == label).map(|&(_, t)| t)
+        self.predecessors_slice(v, label).iter().copied()
     }
 
-    /// Whether the edge `u -label-> v` exists.
+    /// The forward label-partitioned CSR index.
+    pub fn forward_csr(&self) -> &LabelCsr {
+        &self.fwd
+    }
+
+    /// The reverse label-partitioned CSR index.
+    pub fn reverse_csr(&self) -> &LabelCsr {
+        &self.rev
+    }
+
+    /// Whether the edge `u -label-> v` exists (binary search in the CSR).
     pub fn has_edge(&self, u: NodeId, label: Symbol, v: NodeId) -> bool {
-        self.out[u.index()].binary_search(&(label, v)).is_ok()
+        self.fwd.has_edge(u, label, v)
     }
 
     /// All edges as `(source, label, target)` triples, in source order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, Symbol, NodeId)> + '_ {
-        self.out
-            .iter()
-            .enumerate()
-            .flat_map(|(u, row)| row.iter().map(move |&(s, v)| (NodeId(u as u32), s, v)))
+        self.nodes()
+            .flat_map(|u| self.out_edges(u).iter().map(move |&(s, v)| (u, s, v)))
     }
 
     /// A fresh bitset sized for this graph's nodes.
@@ -130,14 +177,20 @@ impl GraphDb {
     ///
     /// Combined with [`crpq_automata::Nfa::reverse`], this supports backward
     /// RPQ reachability (`{src : dst reachable from src}`) without a
-    /// dedicated backward search.
+    /// dedicated backward search. O(1) beyond cloning: the two index
+    /// directions swap roles.
     pub fn reversed(&self) -> GraphDb {
         GraphDb {
             labels: self.labels.clone(),
             node_names: self.node_names.clone(),
-            out: self.inc.clone(),
-            inc: self.out.clone(),
+            node_index: self.node_index.clone(),
             num_edges: self.num_edges,
+            out_offsets: self.in_offsets.clone(),
+            out_adj: self.in_adj.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_adj: self.out_adj.clone(),
+            fwd: self.rev.clone(),
+            rev: self.fwd.clone(),
         }
     }
 
@@ -159,7 +212,7 @@ impl GraphDb {
 pub struct GraphBuilder {
     labels: Interner,
     node_names: Vec<String>,
-    node_index: crpq_util::FxHashMap<String, NodeId>,
+    node_index: FxHashMap<String, NodeId>,
     edges: Vec<(NodeId, Symbol, NodeId)>,
 }
 
@@ -172,7 +225,10 @@ impl GraphBuilder {
     /// A builder reusing an existing alphabet (so symbol ids line up with
     /// already-parsed queries).
     pub fn with_alphabet(labels: Interner) -> Self {
-        Self { labels, ..Self::default() }
+        Self {
+            labels,
+            ..Self::default()
+        }
     }
 
     /// The alphabet under construction.
@@ -227,27 +283,62 @@ impl GraphBuilder {
         self
     }
 
-    /// Finalises into an immutable, index-sorted [`GraphDb`].
+    /// Finalises into an immutable, fully indexed [`GraphDb`].
     /// Duplicate edges are deduplicated.
-    pub fn finish(self) -> GraphDb {
+    pub fn finish(mut self) -> GraphDb {
         let n = self.node_names.len();
-        let mut out: Vec<Vec<(Symbol, NodeId)>> = vec![Vec::new(); n];
-        let mut inc: Vec<Vec<(Symbol, NodeId)>> = vec![Vec::new(); n];
+        // Deduplicate in (source, label, target) order — this is also the
+        // order the node-major flat arrays want.
+        self.edges.sort_unstable_by_key(|&(u, l, v)| (u, l, v));
+        self.edges.dedup();
+        let num_edges = self.edges.len();
+
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, _, _) in &self.edges {
+            out_offsets[u.index() + 1] += 1;
+        }
+        for i in 1..out_offsets.len() {
+            out_offsets[i] += out_offsets[i - 1];
+        }
+        let out_adj: Vec<(Symbol, NodeId)> = self.edges.iter().map(|&(_, l, v)| (l, v)).collect();
+
+        // Reverse flat adjacency: counting sort by target.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, _, v) in &self.edges {
+            in_offsets[v.index() + 1] += 1;
+        }
+        for i in 1..in_offsets.len() {
+            in_offsets[i] += in_offsets[i - 1];
+        }
+        let mut cursor = in_offsets[..n].to_vec();
+        let mut in_adj = vec![(Symbol(0), NodeId(0)); num_edges];
         for &(u, l, v) in &self.edges {
-            out[u.index()].push((l, v));
-            inc[v.index()].push((l, u));
+            in_adj[cursor[v.index()] as usize] = (l, u);
+            cursor[v.index()] += 1;
         }
-        let mut num_edges = 0;
-        for row in &mut out {
-            row.sort_unstable();
-            row.dedup();
-            num_edges += row.len();
+        for v in 0..n {
+            let (lo, hi) = (in_offsets[v] as usize, in_offsets[v + 1] as usize);
+            in_adj[lo..hi].sort_unstable();
         }
-        for row in &mut inc {
-            row.sort_unstable();
-            row.dedup();
+
+        let num_labels = self.labels.len();
+        let fwd = LabelCsr::build(n, num_labels, &self.edges);
+        let reversed: Vec<(NodeId, Symbol, NodeId)> =
+            self.edges.iter().map(|&(u, l, v)| (v, l, u)).collect();
+        let rev = LabelCsr::build(n, num_labels, &reversed);
+
+        GraphDb {
+            labels: self.labels,
+            node_names: self.node_names,
+            node_index: self.node_index,
+            num_edges,
+            out_offsets,
+            out_adj,
+            in_offsets,
+            in_adj,
+            fwd,
+            rev,
         }
-        GraphDb { labels: self.labels, node_names: self.node_names, out, inc, num_edges }
     }
 }
 
@@ -282,6 +373,7 @@ mod tests {
         assert_eq!(g.successors(u, a).collect::<Vec<_>>(), vec![v]);
         assert_eq!(g.predecessors(w, b).collect::<Vec<_>>(), vec![v]);
         assert_eq!(g.node_name(u), "u");
+        assert_eq!(g.node_by_name("nope"), None);
     }
 
     #[test]
@@ -325,5 +417,51 @@ mod tests {
         let named = b.node("hello");
         assert_ne!(named, n1);
         assert_eq!(b.num_nodes(), 3);
+    }
+
+    #[test]
+    fn flat_and_csr_indexes_agree() {
+        let g = diamond();
+        for v in g.nodes() {
+            for (sym, _) in g.alphabet().iter() {
+                let from_flat: Vec<NodeId> = g
+                    .out_edges(v)
+                    .iter()
+                    .filter(|&&(s, _)| s == sym)
+                    .map(|&(_, t)| t)
+                    .collect();
+                assert_eq!(g.successors_slice(v, sym), &from_flat[..]);
+                let from_flat_in: Vec<NodeId> = g
+                    .in_edges(v)
+                    .iter()
+                    .filter(|&&(s, _)| s == sym)
+                    .map(|&(_, t)| t)
+                    .collect();
+                assert_eq!(g.predecessors_slice(v, sym), &from_flat_in[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = diamond();
+        let r = g.reversed();
+        assert_eq!(r.num_edges(), g.num_edges());
+        for (u, s, v) in g.edges() {
+            assert!(r.has_edge(v, s, u));
+        }
+        let a = g.alphabet().get("a").unwrap();
+        let (u, v) = (g.node_by_name("u").unwrap(), g.node_by_name("v").unwrap());
+        assert_eq!(r.successors(v, a).collect::<Vec<_>>(), vec![u]);
+    }
+
+    #[test]
+    fn labels_interned_after_finish_have_no_edges() {
+        let mut g = diamond();
+        let zz = g.alphabet_mut().intern("zz");
+        let u = g.node_by_name("u").unwrap();
+        assert_eq!(g.successors_slice(u, zz), &[] as &[NodeId]);
+        assert_eq!(g.predecessors_slice(u, zz), &[] as &[NodeId]);
+        assert!(!g.has_edge(u, zz, u));
     }
 }

@@ -28,7 +28,11 @@ pub struct FormatError {
 
 impl fmt::Display for FormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "graph format error (line {}): {}", self.line, self.message)
+        write!(
+            f,
+            "graph format error (line {}): {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -126,7 +130,10 @@ pub fn to_binary(g: &GraphDb) -> Bytes {
 
 /// Decodes a binary snapshot.
 pub fn from_binary(mut data: Bytes) -> Result<GraphDb, FormatError> {
-    let err = |m: &str| FormatError { message: m.to_owned(), line: 0 };
+    let err = |m: &str| FormatError {
+        message: m.to_owned(),
+        line: 0,
+    };
     if data.remaining() < 5 || &data.copy_to_bytes(4)[..] != MAGIC {
         return Err(err("bad magic"));
     }
@@ -156,7 +163,9 @@ pub fn from_binary(mut data: Bytes) -> Result<GraphDb, FormatError> {
         let v = checked_u32(&mut data, "edge dst")? as usize;
         let (&u, &l, &v) = (
             nodes.get(u).ok_or_else(|| err("edge src out of range"))?,
-            labels.get(l).ok_or_else(|| err("edge label out of range"))?,
+            labels
+                .get(l)
+                .ok_or_else(|| err("edge label out of range"))?,
             nodes.get(v).ok_or_else(|| err("edge dst out of range"))?,
         );
         b.edge_ids(u, l, v);
@@ -172,15 +181,23 @@ fn put_str(buf: &mut BytesMut, s: &str) {
 fn get_str(data: &mut Bytes) -> Result<String, FormatError> {
     let len = checked_u32(data, "string length")? as usize;
     if data.remaining() < len {
-        return Err(FormatError { message: "truncated string".into(), line: 0 });
+        return Err(FormatError {
+            message: "truncated string".into(),
+            line: 0,
+        });
     }
-    String::from_utf8(data.copy_to_bytes(len).to_vec())
-        .map_err(|_| FormatError { message: "invalid utf-8".into(), line: 0 })
+    String::from_utf8(data.copy_to_bytes(len).to_vec()).map_err(|_| FormatError {
+        message: "invalid utf-8".into(),
+        line: 0,
+    })
 }
 
 fn checked_u32(data: &mut Bytes, what: &str) -> Result<u32, FormatError> {
     if data.remaining() < 4 {
-        return Err(FormatError { message: format!("truncated {what}"), line: 0 });
+        return Err(FormatError {
+            message: format!("truncated {what}"),
+            line: 0,
+        });
     }
     Ok(data.get_u32_le())
 }
@@ -216,13 +233,21 @@ w c u
         let e1: Vec<_> = g
             .edges()
             .map(|(u, s, v)| {
-                (g.node_name(u).to_owned(), g.alphabet().resolve(s).to_owned(), g.node_name(v).to_owned())
+                (
+                    g.node_name(u).to_owned(),
+                    g.alphabet().resolve(s).to_owned(),
+                    g.node_name(v).to_owned(),
+                )
             })
             .collect();
         let e2: Vec<_> = g2
             .edges()
             .map(|(u, s, v)| {
-                (g2.node_name(u).to_owned(), g2.alphabet().resolve(s).to_owned(), g2.node_name(v).to_owned())
+                (
+                    g2.node_name(u).to_owned(),
+                    g2.alphabet().resolve(s).to_owned(),
+                    g2.node_name(v).to_owned(),
+                )
             })
             .collect();
         assert_eq!(e1, e2);

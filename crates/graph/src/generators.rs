@@ -15,7 +15,11 @@ pub fn labelled_path(n: usize, labels: &[&str]) -> GraphDb {
     assert!(!labels.is_empty());
     let mut b = GraphBuilder::new();
     for i in 0..n.saturating_sub(1) {
-        b.edge(&format!("v{i}"), labels[i % labels.len()], &format!("v{}", i + 1));
+        b.edge(
+            &format!("v{i}"),
+            labels[i % labels.len()],
+            &format!("v{}", i + 1),
+        );
     }
     if n == 1 {
         b.node("v0");
@@ -28,7 +32,11 @@ pub fn labelled_cycle(n: usize, labels: &[&str]) -> GraphDb {
     assert!(n >= 1 && !labels.is_empty());
     let mut b = GraphBuilder::new();
     for i in 0..n {
-        b.edge(&format!("v{i}"), labels[i % labels.len()], &format!("v{}", (i + 1) % n));
+        b.edge(
+            &format!("v{i}"),
+            labels[i % labels.len()],
+            &format!("v{}", (i + 1) % n),
+        );
     }
     b.finish()
 }
@@ -142,8 +150,7 @@ mod tests {
         assert_eq!(g.num_nodes(), 5);
         assert_eq!(g.num_edges(), 4);
         // Labels alternate a b a b.
-        let labels: Vec<&str> =
-            g.edges().map(|(_, s, _)| g.alphabet().resolve(s)).collect();
+        let labels: Vec<&str> = g.edges().map(|(_, s, _)| g.alphabet().resolve(s)).collect();
         assert_eq!(labels, vec!["a", "b", "a", "b"]);
         let single = labelled_path(1, &["a"]);
         assert_eq!(single.num_nodes(), 1);
@@ -169,9 +176,15 @@ mod tests {
         assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // rights + downs
         let r = parse_regex("(r+d)(r+d)*", g.alphabet_mut()).unwrap();
         let nfa = Nfa::from_regex(&r);
-        let (start, end) = (g.node_by_name("g0_0").unwrap(), g.node_by_name("g2_3").unwrap());
+        let (start, end) = (
+            g.node_by_name("g0_0").unwrap(),
+            g.node_by_name("g2_3").unwrap(),
+        );
         assert!(rpq::rpq_exists(&g, &nfa, start, end));
-        assert!(!rpq::rpq_exists(&g, &nfa, end, start), "grid edges are one-way");
+        assert!(
+            !rpq::rpq_exists(&g, &nfa, end, start),
+            "grid edges are one-way"
+        );
     }
 
     #[test]

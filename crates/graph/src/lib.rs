@@ -13,10 +13,12 @@
 //! * **trails** (edge-injective; §7 outlook of the paper) —
 //!   [`rpq::trail_exists`].
 
+pub mod csr;
 pub mod db;
 pub mod format;
 pub mod generators;
 pub mod rpq;
 pub mod two_way;
 
+pub use csr::LabelCsr;
 pub use db::{GraphBuilder, GraphDb, NodeId};

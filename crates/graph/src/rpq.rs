@@ -20,39 +20,272 @@
 //! internally disjoint.
 
 use crate::db::{GraphDb, NodeId};
-use crpq_automata::Nfa;
+use crpq_automata::{Nfa, StateId};
 use crpq_util::{BitSet, FxHashSet, Symbol};
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
 
+/// Reusable scratch buffers for the product-automaton BFS.
+///
+/// A single reachability sweep needs a `|V| × |Q|` visited set and a work
+/// queue; materialising a full RPQ relation runs one sweep per source node.
+/// Allocating (and zeroing) those buffers per call dominates small-sweep
+/// cost, so `ReachScratch` keeps them alive across calls and resets the
+/// visited set in O(1) with an epoch counter: a product state is *visited*
+/// iff its stamp equals the current epoch, and bumping the epoch invalidates
+/// every stamp at once.
+#[derive(Clone, Debug, Default)]
+pub struct ReachScratch {
+    stamps: Vec<u32>,
+    epoch: u32,
+    queue: VecDeque<(NodeId, StateId)>,
+}
+
+impl ReachScratch {
+    /// A fresh, empty scratch pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares for a sweep over `size` product states: grows the stamp
+    /// array if needed and invalidates all previous stamps.
+    fn begin(&mut self, size: usize) {
+        if self.stamps.len() < size {
+            self.stamps.resize(size, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stamps from 2³² sweeps ago could alias. Hard reset.
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    /// Marks `state` visited; returns `true` if it was not visited yet.
+    #[inline]
+    fn visit(&mut self, state: usize) -> bool {
+        let fresh = self.stamps[state] != self.epoch;
+        self.stamps[state] = self.epoch;
+        fresh
+    }
+}
+
 /// Nodes reachable from `src` by a path whose label is in `L(nfa)`.
 pub fn rpq_reach(g: &GraphDb, nfa: &Nfa, src: NodeId) -> BitSet {
-    let ns = nfa.num_states();
-    // visited[(node, state)] flattened.
-    let mut visited = BitSet::new(g.num_nodes() * ns);
     let mut result = g.node_set();
-    let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+    rpq_reach_with(g, nfa, src, &mut ReachScratch::new(), &mut result);
+    result
+}
+
+/// [`rpq_reach`] with caller-provided buffers: reachable nodes are inserted
+/// into `result` (which is cleared first), and `scratch` is reused across
+/// calls without reallocation.
+///
+/// The BFS iterates NFA transitions first and graph edges second: for each
+/// frontier state `(v, q)` and each transition `q -a-> q'`, the `a`-targets
+/// of `v` come from the label-partitioned CSR as one contiguous slice
+/// ([`GraphDb::successors_slice`]), so nodes with large mixed-label edge
+/// lists are never scanned label-by-label.
+pub fn rpq_reach_with(
+    g: &GraphDb,
+    nfa: &Nfa,
+    src: NodeId,
+    scratch: &mut ReachScratch,
+    result: &mut BitSet,
+) {
+    let ns = nfa.num_states();
+    result.clear();
+    scratch.begin(g.num_nodes() * ns);
     for q in nfa.initials().iter() {
-        if visited.insert(src.index() * ns + q) {
-            queue.push_back((src, q as u32));
+        if scratch.visit(src.index() * ns + q) {
+            scratch.queue.push_back((src, q as StateId));
         }
-        if nfa.is_final(q as u32) {
+        if nfa.is_final(q as StateId) {
             result.insert(src.index());
         }
     }
-    while let Some((v, q)) = queue.pop_front() {
-        for &(sym, to) in g.out_edges(v) {
-            for q2 in nfa.successors(q, sym) {
-                if visited.insert(to.index() * ns + q2 as usize) {
+    while let Some((v, q)) = scratch.queue.pop_front() {
+        for &(sym, q2) in nfa.transitions_from(q) {
+            for &to in g.successors_slice(v, sym) {
+                if scratch.visit(to.index() * ns + q2 as usize) {
                     if nfa.is_final(q2) {
                         result.insert(to.index());
                     }
-                    queue.push_back((to, q2));
+                    scratch.queue.push_back((to, q2));
                 }
             }
         }
     }
+}
+
+/// Backward reachability without materialising a reversed graph: the nodes
+/// `u` such that some `u → dst` path has its label in `L(nfa)`, where
+/// `nfa_rev` recognises the *mirror* language ([`Nfa::reverse`]).
+///
+/// Equivalent to `rpq_reach(&g.reversed(), nfa_rev, dst)` but walks the
+/// reverse label-partitioned CSR the graph already carries
+/// ([`GraphDb::predecessors_slice`]), so callers needing both directions
+/// (e.g. bidirectional candidate pruning) avoid a full graph clone.
+pub fn rpq_reach_back(g: &GraphDb, nfa_rev: &Nfa, dst: NodeId) -> BitSet {
+    let mut result = g.node_set();
+    rpq_reach_back_with(g, nfa_rev, dst, &mut ReachScratch::new(), &mut result);
     result
+}
+
+/// [`rpq_reach_back`] with caller-provided buffers (see [`rpq_reach_with`]).
+pub fn rpq_reach_back_with(
+    g: &GraphDb,
+    nfa_rev: &Nfa,
+    dst: NodeId,
+    scratch: &mut ReachScratch,
+    result: &mut BitSet,
+) {
+    let ns = nfa_rev.num_states();
+    result.clear();
+    scratch.begin(g.num_nodes() * ns);
+    for q in nfa_rev.initials().iter() {
+        if scratch.visit(dst.index() * ns + q) {
+            scratch.queue.push_back((dst, q as StateId));
+        }
+        if nfa_rev.is_final(q as StateId) {
+            result.insert(dst.index());
+        }
+    }
+    while let Some((v, q)) = scratch.queue.pop_front() {
+        for &(sym, q2) in nfa_rev.transitions_from(q) {
+            for &from in g.predecessors_slice(v, sym) {
+                if scratch.visit(from.index() * ns + q2 as usize) {
+                    if nfa_rev.is_final(q2) {
+                        result.insert(from.index());
+                    }
+                    scratch.queue.push_back((from, q2));
+                }
+            }
+        }
+    }
+}
+
+/// A fully materialised binary relation over the nodes of a graph — the
+/// result set of an RPQ atom under standard semantics, indexed both ways:
+/// `forward(u)` is the bitset of `v` with `(u, v)` in the relation, and
+/// `backward(v)` the bitset of `u`. Both directions are what the join-based
+/// CRPQ evaluator intersects during semi-join pruning and candidate
+/// generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    fwd: Vec<BitSet>,
+    rev: Vec<BitSet>,
+    len: usize,
+}
+
+impl Relation {
+    /// The empty relation over `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Relation {
+            fwd: vec![BitSet::new(n); n],
+            rev: vec![BitSet::new(n); n],
+            len: 0,
+        }
+    }
+
+    /// Number of nodes the relation ranges over.
+    pub fn num_nodes(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Number of pairs in the relation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the relation holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test for `(u, v)` — O(1).
+    #[inline]
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.fwd[u.index()].contains(v.index())
+    }
+
+    /// All `v` with `(u, v)` in the relation.
+    #[inline]
+    pub fn forward(&self, u: NodeId) -> &BitSet {
+        &self.fwd[u.index()]
+    }
+
+    /// All `u` with `(u, v)` in the relation.
+    #[inline]
+    pub fn backward(&self, v: NodeId) -> &BitSet {
+        &self.rev[v.index()]
+    }
+
+    /// The set of sources (`u` with at least one pair).
+    pub fn source_set(&self) -> BitSet {
+        let mut out = BitSet::new(self.num_nodes());
+        for (u, row) in self.fwd.iter().enumerate() {
+            if !row.is_empty() {
+                out.insert(u);
+            }
+        }
+        out
+    }
+
+    /// The set of targets (`v` with at least one pair).
+    pub fn target_set(&self) -> BitSet {
+        let mut out = BitSet::new(self.num_nodes());
+        for (v, col) in self.rev.iter().enumerate() {
+            if !col.is_empty() {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// Iterates all pairs in `(source, target)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.fwd.iter().enumerate().flat_map(|(u, row)| {
+            row.iter()
+                .map(move |v| (NodeId(u as u32), NodeId(v as u32)))
+        })
+    }
+}
+
+/// Materialises the full RPQ relation `{(u, v) : some u→v path has its
+/// label in L(nfa)}` by a product BFS from every source in `sources`,
+/// reusing `scratch` across sweeps (no per-source reallocation beyond the
+/// output rows themselves).
+pub fn rpq_reach_all(
+    g: &GraphDb,
+    nfa: &Nfa,
+    sources: impl IntoIterator<Item = NodeId>,
+    scratch: &mut ReachScratch,
+) -> Relation {
+    let n = g.num_nodes();
+    let mut rel = Relation::empty(n);
+    for src in sources {
+        let row = &mut rel.fwd[src.index()];
+        rpq_reach_with(g, nfa, src, scratch, row);
+        rel.len += row.len();
+    }
+    // Transpose to fill the backward index.
+    for u in 0..n {
+        // Split-borrow dance: move the row out to iterate while writing rev.
+        let row = std::mem::replace(&mut rel.fwd[u], BitSet::new(0));
+        for v in row.iter() {
+            rel.rev[v].insert(u);
+        }
+        rel.fwd[u] = row;
+    }
+    rel
+}
+
+/// [`rpq_reach_all`] from every node of the graph: the atom's complete
+/// standard-semantics relation.
+pub fn rpq_relation(g: &GraphDb, nfa: &Nfa, scratch: &mut ReachScratch) -> Relation {
+    rpq_reach_all(g, nfa, g.nodes(), scratch)
 }
 
 /// Whether some (arbitrary) path from `src` to `dst` has its label in
@@ -84,8 +317,8 @@ pub fn shortest_path(g: &GraphDb, nfa: &Nfa, src: NodeId, dst: NodeId) -> Option
         }
     }
     while let Some((v, q)) = queue.pop_front() {
-        for &(sym, to) in g.out_edges(v) {
-            for q2 in nfa.successors(q, sym) {
+        for &(sym, q2) in nfa.transitions_from(q) {
+            for &to in g.successors_slice(v, sym) {
                 if visited.insert(flat(to, q2)) {
                     parent[flat(to, q2)] = Some((v, q));
                     if to == dst && nfa.is_final(q2) {
@@ -109,13 +342,9 @@ pub fn shortest_path(g: &GraphDb, nfa: &Nfa, src: NodeId, dst: NodeId) -> Option
 
 /// All pairs `(u, v)` related by the RPQ under standard semantics.
 pub fn rpq_pairs(g: &GraphDb, nfa: &Nfa) -> Vec<(NodeId, NodeId)> {
-    let mut out = Vec::new();
-    for src in g.nodes() {
-        for dst in rpq_reach(g, nfa, src).iter() {
-            out.push((src, NodeId(dst as u32)));
-        }
-    }
-    out
+    rpq_relation(g, nfa, &mut ReachScratch::new())
+        .iter()
+        .collect()
 }
 
 /// Whether a **simple path** from `src` to `dst` (all nodes pairwise
@@ -172,8 +401,18 @@ where
     let mut visited = g.node_set();
     visited.insert(src.index());
     let mut path = vec![src];
-    dfs_simple(g, nfa, dst, blocked, &useful, &mut visited, &mut path, initial, &mut visit)
-        .is_continue()
+    dfs_simple(
+        g,
+        nfa,
+        dst,
+        blocked,
+        &useful,
+        &mut visited,
+        &mut path,
+        initial,
+        &mut visit,
+    )
+    .is_continue()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -258,8 +497,18 @@ where
     let mut visited = g.node_set();
     visited.insert(at.index());
     let mut path = vec![at];
-    dfs_cycle(g, nfa, at, blocked, &useful, &mut visited, &mut path, initial, &mut visit)
-        .is_continue()
+    dfs_cycle(
+        g,
+        nfa,
+        at,
+        blocked,
+        &useful,
+        &mut visited,
+        &mut path,
+        initial,
+        &mut visit,
+    )
+    .is_continue()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -353,8 +602,10 @@ where
     }
     let mut used: FxHashSet<Edge> = FxHashSet::default();
     let mut path: Vec<Edge> = Vec::new();
-    dfs_trail(g, nfa, src, dst, &useful, blocked, &mut used, &mut path, initial, &mut visit)
-        .is_continue()
+    dfs_trail(
+        g, nfa, src, dst, &useful, blocked, &mut used, &mut path, initial, &mut visit,
+    )
+    .is_continue()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -391,8 +642,7 @@ where
         }
         used.insert(edge);
         path.push(edge);
-        let flow =
-            dfs_trail(g, nfa, to, dst, useful, blocked, used, path, image, visit);
+        let flow = dfs_trail(g, nfa, to, dst, useful, blocked, used, path, image, visit);
         path.pop();
         used.remove(&edge);
         flow?;
@@ -428,7 +678,10 @@ mod tests {
         assert!(rpq_exists(&g, &nfa, n(&g, "u"), n(&g, "v")));
         assert!(rpq_exists(&g, &nfa, n(&g, "u"), n(&g, "w")));
         assert!(!rpq_exists(&g, &nfa, n(&g, "w"), n(&g, "u")));
-        assert!(!rpq_exists(&g, &nfa, n(&g, "u"), n(&g, "u")), "a+ needs 1+ edges");
+        assert!(
+            !rpq_exists(&g, &nfa, n(&g, "u"), n(&g, "u")),
+            "a+ needs 1+ edges"
+        );
     }
 
     #[test]
@@ -446,42 +699,94 @@ mod tests {
         // u a m b u a m b v? v edge: u -a-> m, m -b-> u, m -b-> v won't need repeat…
         // Make it explicit: only walk u a m b u a m b v exists for (ab)^2 if
         // m -b-> v and we must go around once.
-        let (g, nfa) =
-            setup(&[("u", "a", "m"), ("m", "b", "u"), ("m", "b", "v")], "(a b)(a b)");
+        let (g, nfa) = setup(
+            &[("u", "a", "m"), ("m", "b", "u"), ("m", "b", "v")],
+            "(a b)(a b)",
+        );
         // abab from u to v: u a m b u a m b v — repeats u and m.
         assert!(rpq_exists(&g, &nfa, n(&g, "u"), n(&g, "v")));
         // No simple path with that label:
-        assert!(!simple_path_exists(&g, &nfa, n(&g, "u"), n(&g, "v"), &g.node_set()));
+        assert!(!simple_path_exists(
+            &g,
+            &nfa,
+            n(&g, "u"),
+            n(&g, "v"),
+            &g.node_set()
+        ));
     }
 
     #[test]
     fn simple_path_basic() {
         let (g, nfa) = setup(&[("u", "a", "v"), ("v", "b", "w")], "a b");
-        assert!(simple_path_exists(&g, &nfa, n(&g, "u"), n(&g, "w"), &g.node_set()));
-        assert!(!simple_path_exists(&g, &nfa, n(&g, "u"), n(&g, "v"), &g.node_set()));
+        assert!(simple_path_exists(
+            &g,
+            &nfa,
+            n(&g, "u"),
+            n(&g, "w"),
+            &g.node_set()
+        ));
+        assert!(!simple_path_exists(
+            &g,
+            &nfa,
+            n(&g, "u"),
+            n(&g, "v"),
+            &g.node_set()
+        ));
     }
 
     #[test]
     fn simple_path_respects_blocked() {
         let (g, nfa) = setup(
-            &[("u", "a", "v"), ("v", "a", "w"), ("u", "a", "x"), ("x", "a", "w")],
+            &[
+                ("u", "a", "v"),
+                ("v", "a", "w"),
+                ("u", "a", "x"),
+                ("x", "a", "w"),
+            ],
             "a a",
         );
         let mut blocked = g.node_set();
-        assert!(simple_path_exists(&g, &nfa, n(&g, "u"), n(&g, "w"), &blocked));
+        assert!(simple_path_exists(
+            &g,
+            &nfa,
+            n(&g, "u"),
+            n(&g, "w"),
+            &blocked
+        ));
         blocked.insert(n(&g, "v").index());
-        assert!(simple_path_exists(&g, &nfa, n(&g, "u"), n(&g, "w"), &blocked), "x route");
+        assert!(
+            simple_path_exists(&g, &nfa, n(&g, "u"), n(&g, "w"), &blocked),
+            "x route"
+        );
         blocked.insert(n(&g, "x").index());
-        assert!(!simple_path_exists(&g, &nfa, n(&g, "u"), n(&g, "w"), &blocked));
+        assert!(!simple_path_exists(
+            &g,
+            &nfa,
+            n(&g, "u"),
+            n(&g, "w"),
+            &blocked
+        ));
     }
 
     #[test]
     fn simple_path_same_endpoints_needs_epsilon() {
         let (g, nfa) = setup(&[("u", "a", "v"), ("v", "a", "u")], "a a");
         // Nonempty simple path u→u impossible (u would repeat).
-        assert!(!simple_path_exists(&g, &nfa, n(&g, "u"), n(&g, "u"), &g.node_set()));
+        assert!(!simple_path_exists(
+            &g,
+            &nfa,
+            n(&g, "u"),
+            n(&g, "u"),
+            &g.node_set()
+        ));
         let (g2, star) = setup(&[("u", "a", "v")], "a*");
-        assert!(simple_path_exists(&g2, &star, n(&g2, "u"), n(&g2, "u"), &g2.node_set()));
+        assert!(simple_path_exists(
+            &g2,
+            &star,
+            n(&g2, "u"),
+            n(&g2, "u"),
+            &g2.node_set()
+        ));
     }
 
     #[test]
@@ -502,7 +807,12 @@ mod tests {
         // ε-cycle counts:
         assert!(simple_cycle_exists(&g2, &star, n(&g2, "u"), &g2.node_set()));
         let (g3, plus) = setup(&[("u", "a", "v")], "b b*");
-        assert!(!simple_cycle_exists(&g3, &plus, n(&g3, "u"), &g3.node_set()));
+        assert!(!simple_cycle_exists(
+            &g3,
+            &plus,
+            n(&g3, "u"),
+            &g3.node_set()
+        ));
     }
 
     #[test]
@@ -510,7 +820,12 @@ mod tests {
         // u -a-> v -a-> u and v -a-> w -a-> v: cycle of length 4 through v twice
         // is not simple; aaaa should not be found, but aa should.
         let (g, four) = setup(
-            &[("u", "a", "v"), ("v", "a", "u"), ("v", "a", "w"), ("w", "a", "v")],
+            &[
+                ("u", "a", "v"),
+                ("v", "a", "u"),
+                ("v", "a", "w"),
+                ("w", "a", "v"),
+            ],
             "a a a a",
         );
         assert!(!simple_cycle_exists(&g, &four, n(&g, "u"), &g.node_set()));
@@ -523,7 +838,12 @@ mod tests {
     #[test]
     fn path_enumeration_collects_sequences() {
         let (g, nfa) = setup(
-            &[("u", "a", "v"), ("v", "a", "w"), ("u", "a", "x"), ("x", "a", "w")],
+            &[
+                ("u", "a", "v"),
+                ("v", "a", "w"),
+                ("u", "a", "x"),
+                ("x", "a", "w"),
+            ],
             "a a",
         );
         let mut paths = Vec::new();
@@ -544,11 +864,22 @@ mod tests {
         // Figure-of-eight at m: u a m, m b m', m' c m, m d v — trail abcd
         // revisits m but no edge.
         let (g, nfa) = setup(
-            &[("u", "a", "m"), ("m", "b", "m2"), ("m2", "c", "m"), ("m", "d", "v")],
+            &[
+                ("u", "a", "m"),
+                ("m", "b", "m2"),
+                ("m2", "c", "m"),
+                ("m", "d", "v"),
+            ],
             "a b c d",
         );
         assert!(trail_exists(&g, &nfa, n(&g, "u"), n(&g, "v")));
-        assert!(!simple_path_exists(&g, &nfa, n(&g, "u"), n(&g, "v"), &g.node_set()));
+        assert!(!simple_path_exists(
+            &g,
+            &nfa,
+            n(&g, "u"),
+            n(&g, "v"),
+            &g.node_set()
+        ));
         // aa over a single a-edge would repeat the edge:
         let (g2, aa) = setup(&[("u", "a", "v"), ("v", "a", "u")], "a a a");
         assert!(!trail_exists(&g2, &aa, n(&g2, "u"), n(&g2, "v")));
@@ -558,15 +889,20 @@ mod tests {
     fn empty_language_matches_nothing() {
         let (g, nfa) = setup(&[("u", "a", "v")], "∅");
         assert!(!rpq_exists(&g, &nfa, n(&g, "u"), n(&g, "v")));
-        assert!(!simple_path_exists(&g, &nfa, n(&g, "u"), n(&g, "v"), &g.node_set()));
+        assert!(!simple_path_exists(
+            &g,
+            &nfa,
+            n(&g, "u"),
+            n(&g, "v"),
+            &g.node_set()
+        ));
         assert!(!trail_exists(&g, &nfa, n(&g, "u"), n(&g, "v")));
     }
 
     #[test]
     fn shortest_path_on_chain_is_shortest() {
         // Two routes u→w: direct (a) and via v (a a); `a a* ` shortest is 1.
-        let (g, nfa) =
-            setup(&[("u", "a", "v"), ("v", "a", "w"), ("u", "a", "w")], "a a*");
+        let (g, nfa) = setup(&[("u", "a", "v"), ("v", "a", "w"), ("u", "a", "w")], "a a*");
         let p = shortest_path(&g, &nfa, n(&g, "u"), n(&g, "w")).unwrap();
         assert_eq!(p, vec![n(&g, "u"), n(&g, "w")]);
     }
@@ -574,8 +910,7 @@ mod tests {
     #[test]
     fn shortest_path_respects_language() {
         // Language forces exactly two a's, so the direct edge is not usable.
-        let (g, nfa) =
-            setup(&[("u", "a", "v"), ("v", "a", "w"), ("u", "a", "w")], "a a");
+        let (g, nfa) = setup(&[("u", "a", "v"), ("v", "a", "w"), ("u", "a", "w")], "a a");
         let p = shortest_path(&g, &nfa, n(&g, "u"), n(&g, "w")).unwrap();
         assert_eq!(p, vec![n(&g, "u"), n(&g, "v"), n(&g, "w")]);
         assert!(shortest_path(&g, &nfa, n(&g, "w"), n(&g, "u")).is_none());
@@ -585,11 +920,99 @@ mod tests {
     fn shortest_path_epsilon_and_cycles() {
         let (g, nfa) = setup(&[("u", "a", "v"), ("v", "a", "u")], "a*");
         // ε: the empty path.
-        assert_eq!(shortest_path(&g, &nfa, n(&g, "u"), n(&g, "u")).unwrap(), vec![n(&g, "u")]);
+        assert_eq!(
+            shortest_path(&g, &nfa, n(&g, "u"), n(&g, "u")).unwrap(),
+            vec![n(&g, "u")]
+        );
         // Non-ε cycle: a a back to u.
         let (g2, plus) = setup(&[("u", "a", "v"), ("v", "a", "u")], "a a* a");
         let p = shortest_path(&g2, &plus, n(&g2, "u"), n(&g2, "u")).unwrap();
         assert_eq!(p, vec![n(&g2, "u"), n(&g2, "v"), n(&g2, "u")]);
+    }
+
+    #[test]
+    fn relation_matches_per_source_reach() {
+        let (g, nfa) = setup(
+            &[
+                ("u", "a", "v"),
+                ("v", "b", "w"),
+                ("w", "a", "u"),
+                ("v", "a", "v"),
+            ],
+            "(a+b)(a+b)*",
+        );
+        let mut scratch = ReachScratch::new();
+        let rel = rpq_relation(&g, &nfa, &mut scratch);
+        for src in g.nodes() {
+            let direct = rpq_reach(&g, &nfa, src);
+            for dst in g.nodes() {
+                assert_eq!(
+                    rel.contains(src, dst),
+                    direct.contains(dst.index()),
+                    "{src:?}→{dst:?}"
+                );
+                assert_eq!(
+                    rel.contains(src, dst),
+                    rel.backward(dst).contains(src.index())
+                );
+            }
+        }
+        assert_eq!(rel.len(), rel.iter().count());
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_automata() {
+        // Reusing one scratch across different NFAs / sweeps must not leak
+        // visited state between calls.
+        let (g, ab) = setup(&[("u", "a", "v"), ("v", "b", "w")], "a b");
+        let mut it = crpq_util::Interner::new();
+        it.intern("a");
+        it.intern("b");
+        let just_a = Nfa::from_regex(&crpq_automata::parse_regex("a", &mut it).unwrap());
+        let mut scratch = ReachScratch::new();
+        let mut out = g.node_set();
+        for _ in 0..3 {
+            rpq_reach_with(&g, &ab, n(&g, "u"), &mut scratch, &mut out);
+            assert_eq!(out.iter().collect::<Vec<_>>(), vec![n(&g, "w").index()]);
+            rpq_reach_with(&g, &just_a, n(&g, "u"), &mut scratch, &mut out);
+            assert_eq!(out.iter().collect::<Vec<_>>(), vec![n(&g, "v").index()]);
+        }
+    }
+
+    #[test]
+    fn backward_reach_matches_reversed_graph() {
+        let (g, nfa) = setup(
+            &[
+                ("u", "a", "v"),
+                ("v", "b", "w"),
+                ("w", "a", "u"),
+                ("v", "a", "v"),
+            ],
+            "a (a+b)*",
+        );
+        let g_rev = g.reversed();
+        let nfa_rev = nfa.reverse();
+        for dst in g.nodes() {
+            assert_eq!(
+                rpq_reach_back(&g, &nfa_rev, dst),
+                rpq_reach(&g_rev, &nfa_rev, dst),
+                "backward reach mismatch at {dst:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn relation_source_and_target_sets() {
+        let (g, nfa) = setup(&[("u", "a", "v"), ("w", "a", "v")], "a");
+        let rel = rpq_relation(&g, &nfa, &mut ReachScratch::new());
+        let (u, v, w) = (n(&g, "u"), n(&g, "v"), n(&g, "w"));
+        assert_eq!(
+            rel.source_set().iter().collect::<Vec<_>>(),
+            vec![u.index(), w.index()]
+        );
+        assert_eq!(rel.target_set().iter().collect::<Vec<_>>(), vec![v.index()]);
+        assert_eq!(rel.len(), 2);
+        assert!(!rel.is_empty());
     }
 
     #[test]

@@ -45,7 +45,9 @@ where
         n,
         |a, b| related.contains(&(Var(a as u32), Var(b as u32))),
         |partition| {
-            let quotient = base.cq.quotient(&partition.assignment, partition.num_blocks());
+            let quotient = base
+                .cq
+                .quotient(&partition.assignment, partition.num_blocks());
             let aexp = AInjExpansion {
                 cq: quotient,
                 base: base.clone(),
@@ -84,7 +86,10 @@ where
             ControlFlow::Break(())
         }
     });
-    EnumerationOutcome { complete: base_outcome.complete, count }
+    EnumerationOutcome {
+        complete: base_outcome.complete,
+        count,
+    }
 }
 
 #[cfg(test)]
@@ -95,7 +100,11 @@ mod tests {
     use crpq_util::Interner;
 
     fn atom(s: u32, expr: &str, d: u32, it: &mut Interner) -> CrpqAtom {
-        CrpqAtom { src: Var(s), dst: Var(d), regex: parse_regex(expr, it).unwrap() }
+        CrpqAtom {
+            src: Var(s),
+            dst: Var(d),
+            regex: parse_regex(expr, it).unwrap(),
+        }
     }
 
     fn collect_all(q: &Crpq, limits: ExpansionLimits) -> Vec<AInjExpansion> {
@@ -117,7 +126,10 @@ mod tests {
         // Partitions of {x,y,z} separating (x,y) and (y,z):
         // discrete + merge{x,z} = 2.
         assert_eq!(aexps.len(), 2);
-        assert!(aexps.iter().any(|a| a.merges() == 0), "discrete partition present");
+        assert!(
+            aexps.iter().any(|a| a.merges() == 0),
+            "discrete partition present"
+        );
         let merged = aexps.iter().find(|a| a.merges() == 1).unwrap();
         assert_eq!(merged.cq.num_vars, 2);
         // The merged query is x -a-> y ∧ y -b-> x (a 2-cycle shape).
@@ -168,7 +180,10 @@ mod tests {
         let mut seen = 0;
         let outcome = enumerate_a_inj_expansions(
             &q,
-            ExpansionLimits { max_word_len: 3, max_expansions: 2 },
+            ExpansionLimits {
+                max_word_len: 3,
+                max_expansions: 2,
+            },
             |_| {
                 seen += 1;
                 ControlFlow::Continue(())

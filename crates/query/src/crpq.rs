@@ -70,7 +70,11 @@ impl Crpq {
             .map(|a| a.src.0.max(a.dst.0) as usize + 1)
             .max()
             .unwrap_or(0);
-        Crpq { num_vars, atoms, free: Vec::new() }
+        Crpq {
+            num_vars,
+            atoms,
+            free: Vec::new(),
+        }
     }
 
     /// A CRPQ with an explicit free tuple.
@@ -89,7 +93,11 @@ impl Crpq {
             atoms: cq
                 .atoms
                 .iter()
-                .map(|a| CrpqAtom { src: a.src, dst: a.dst, regex: Regex::Literal(a.label) })
+                .map(|a| CrpqAtom {
+                    src: a.src,
+                    dst: a.dst,
+                    regex: Regex::Literal(a.label),
+                })
                 .collect(),
             free: cq.free.clone(),
         }
@@ -105,7 +113,10 @@ impl Crpq {
     /// Star-free syntax implies a finite language; a query is a `CQ` when
     /// every atom is exactly one letter.
     pub fn classify(&self) -> QueryClass {
-        let all_single = self.atoms.iter().all(|a| matches!(a.regex, Regex::Literal(_)));
+        let all_single = self
+            .atoms
+            .iter()
+            .all(|a| matches!(a.regex, Regex::Literal(_)));
         if all_single {
             return QueryClass::Cq;
         }
@@ -121,13 +132,19 @@ impl Crpq {
         let mut atoms = Vec::with_capacity(self.atoms.len());
         for a in &self.atoms {
             match a.regex {
-                Regex::Literal(sym) => {
-                    atoms.push(CqAtom { src: a.src, label: sym, dst: a.dst })
-                }
+                Regex::Literal(sym) => atoms.push(CqAtom {
+                    src: a.src,
+                    label: sym,
+                    dst: a.dst,
+                }),
                 _ => return None,
             }
         }
-        Some(Cq { num_vars: self.num_vars, atoms, free: self.free.clone() })
+        Some(Cq {
+            num_vars: self.num_vars,
+            atoms,
+            free: self.free.clone(),
+        })
     }
 
     /// Whether some atom language contains ε.
@@ -208,8 +225,16 @@ impl Crpq {
             if unsat {
                 continue;
             }
-            let free = self.free.iter().map(|v| Var(renaming[v.index()] as u32)).collect();
-            out.push(Crpq { num_vars: k, atoms, free });
+            let free = self
+                .free
+                .iter()
+                .map(|v| Var(renaming[v.index()] as u32))
+                .collect();
+            out.push(Crpq {
+                num_vars: k,
+                atoms,
+                free,
+            });
         }
         out
     }
@@ -237,7 +262,13 @@ fn remove_epsilon_syntactically(regex: &Regex) -> Regex {
         Regex::Alt(parts) => Regex::alt(
             parts
                 .iter()
-                .map(|p| if p.nullable() { remove_epsilon_syntactically(p) } else { p.clone() })
+                .map(|p| {
+                    if p.nullable() {
+                        remove_epsilon_syntactically(p)
+                    } else {
+                        p.clone()
+                    }
+                })
                 .collect(),
         ),
         other => {
@@ -297,10 +328,12 @@ pub fn nfa_to_regex(nfa: &Nfa) -> Regex {
     for k in 0..n {
         let self_loop = edge[k][k].take();
         let loop_star = self_loop.map(Regex::star);
-        let preds: Vec<usize> =
-            (0..total).filter(|&i| i != k && edge[i][k].is_some()).collect();
-        let succs: Vec<usize> =
-            (0..total).filter(|&j| j != k && edge[k][j].is_some()).collect();
+        let preds: Vec<usize> = (0..total)
+            .filter(|&i| i != k && edge[i][k].is_some())
+            .collect();
+        let succs: Vec<usize> = (0..total)
+            .filter(|&j| j != k && edge[k][j].is_some())
+            .collect();
         for &i in &preds {
             for &j in &succs {
                 let mut parts = vec![edge[i][k].clone().unwrap()];
@@ -341,7 +374,13 @@ impl fmt::Display for CrpqDisplay<'_> {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "x{} -[{}]-> x{}", a.src.0, a.regex.display(self.alphabet), a.dst.0)?;
+            write!(
+                f,
+                "x{} -[{}]-> x{}",
+                a.src.0,
+                a.regex.display(self.alphabet),
+                a.dst.0
+            )?;
         }
         Ok(())
     }
@@ -354,7 +393,11 @@ mod tests {
     use crpq_util::Symbol;
 
     fn atom(s: u32, expr: &str, d: u32, it: &mut Interner) -> CrpqAtom {
-        CrpqAtom { src: Var(s), dst: Var(d), regex: parse_regex(expr, it).unwrap() }
+        CrpqAtom {
+            src: Var(s),
+            dst: Var(d),
+            regex: parse_regex(expr, it).unwrap(),
+        }
     }
 
     #[test]
@@ -375,11 +418,9 @@ mod tests {
     #[test]
     fn connectivity() {
         let mut it = Interner::new();
-        let conn =
-            Crpq::boolean(vec![atom(0, "a", 1, &mut it), atom(1, "b", 2, &mut it)]);
+        let conn = Crpq::boolean(vec![atom(0, "a", 1, &mut it), atom(1, "b", 2, &mut it)]);
         assert!(conn.is_connected());
-        let disc =
-            Crpq::boolean(vec![atom(0, "a", 1, &mut it), atom(2, "b", 3, &mut it)]);
+        let disc = Crpq::boolean(vec![atom(0, "a", 1, &mut it), atom(2, "b", 3, &mut it)]);
         assert!(!disc.is_connected());
     }
 
@@ -461,7 +502,11 @@ mod tests {
         let mut it = Interner::new();
         let a = it.intern("a");
         let cq = Cq::with_free(
-            vec![CqAtom { src: Var(0), label: a, dst: Var(1) }],
+            vec![CqAtom {
+                src: Var(0),
+                label: a,
+                dst: Var(1),
+            }],
             vec![Var(1)],
         );
         let crpq = Crpq::from_cq(&cq);

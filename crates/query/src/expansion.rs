@@ -35,7 +35,10 @@ impl Expansion {
     /// per atom.
     pub fn build(query: &Crpq, words: &[Vec<Symbol>]) -> Expansion {
         assert_eq!(words.len(), query.atoms.len());
-        assert!(words.iter().all(|w| !w.is_empty()), "expansion words must be non-empty");
+        assert!(
+            words.iter().all(|w| !w.is_empty()),
+            "expansion words must be non-empty"
+        );
         let mut next_var = query.num_vars as u32;
         let mut atoms = Vec::new();
         let mut atom_paths = Vec::with_capacity(query.atoms.len());
@@ -48,11 +51,19 @@ impl Expansion {
             }
             path.push(atom.dst);
             for (i, &sym) in word.iter().enumerate() {
-                atoms.push(CqAtom { src: path[i], label: sym, dst: path[i + 1] });
+                atoms.push(CqAtom {
+                    src: path[i],
+                    label: sym,
+                    dst: path[i + 1],
+                });
             }
             atom_paths.push(path);
         }
-        let cq = Cq { num_vars: next_var as usize, atoms, free: query.free.clone() };
+        let cq = Cq {
+            num_vars: next_var as usize,
+            atoms,
+            free: query.free.clone(),
+        };
         Expansion {
             cq,
             variant_vars: query.num_vars,
@@ -100,7 +111,10 @@ pub struct ExpansionLimits {
 
 impl Default for ExpansionLimits {
     fn default() -> Self {
-        Self { max_word_len: 6, max_expansions: 100_000 }
+        Self {
+            max_word_len: 6,
+            max_expansions: 100_000,
+        }
     }
 }
 
@@ -166,8 +180,11 @@ where
         // Cartesian product over atoms.
         let mut choice = vec![0usize; variant.atoms.len()];
         loop {
-            let words: Vec<Vec<Symbol>> =
-                choice.iter().enumerate().map(|(i, &c)| word_lists[i][c].clone()).collect();
+            let words: Vec<Vec<Symbol>> = choice
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| word_lists[i][c].clone())
+                .collect();
             let mut exp = Expansion::build(variant, &words);
             exp.variant_index = vi;
             count += 1;
@@ -212,7 +229,11 @@ mod tests {
     use crpq_util::Interner;
 
     fn atom(s: u32, expr: &str, d: u32, it: &mut Interner) -> CrpqAtom {
-        CrpqAtom { src: Var(s), dst: Var(d), regex: parse_regex(expr, it).unwrap() }
+        CrpqAtom {
+            src: Var(s),
+            dst: Var(d),
+            regex: parse_regex(expr, it).unwrap(),
+        }
     }
 
     fn collect(q: &Crpq, limits: ExpansionLimits) -> (Vec<Expansion>, EnumerationOutcome) {
@@ -287,7 +308,13 @@ mod tests {
     fn enumerate_star_is_incomplete_but_bounded() {
         let mut it = Interner::new();
         let q = Crpq::boolean(vec![atom(0, "a*", 1, &mut it)]);
-        let (exps, outcome) = collect(&q, ExpansionLimits { max_word_len: 3, max_expansions: 100 });
+        let (exps, outcome) = collect(
+            &q,
+            ExpansionLimits {
+                max_word_len: 3,
+                max_expansions: 100,
+            },
+        );
         assert!(!outcome.complete);
         // Variants: keep (a^+ words a, aa, aaa) + collapse (no atoms → 1 expansion).
         assert_eq!(exps.len(), 4);
@@ -298,10 +325,7 @@ mod tests {
     #[test]
     fn enumerate_cartesian_product() {
         let mut it = Interner::new();
-        let q = Crpq::boolean(vec![
-            atom(0, "a+b", 1, &mut it),
-            atom(1, "a+b", 2, &mut it),
-        ]);
+        let q = Crpq::boolean(vec![atom(0, "a+b", 1, &mut it), atom(1, "a+b", 2, &mut it)]);
         let (exps, outcome) = collect(&q, ExpansionLimits::default());
         assert!(outcome.complete);
         assert_eq!(exps.len(), 4);
@@ -310,11 +334,14 @@ mod tests {
     #[test]
     fn cap_marks_incomplete() {
         let mut it = Interner::new();
-        let q = Crpq::boolean(vec![
-            atom(0, "a+b", 1, &mut it),
-            atom(1, "a+b", 2, &mut it),
-        ]);
-        let (exps, outcome) = collect(&q, ExpansionLimits { max_word_len: 4, max_expansions: 3 });
+        let q = Crpq::boolean(vec![atom(0, "a+b", 1, &mut it), atom(1, "a+b", 2, &mut it)]);
+        let (exps, outcome) = collect(
+            &q,
+            ExpansionLimits {
+                max_word_len: 4,
+                max_expansions: 3,
+            },
+        );
         assert_eq!(exps.len(), 3);
         assert!(!outcome.complete);
     }

@@ -214,8 +214,7 @@ where
             }
             if atom.dst == var {
                 if let Some(src_node) = assignment[atom.src.index()] {
-                    let succs: Vec<NodeId> =
-                        self.target.successors(src_node, atom.label).collect();
+                    let succs: Vec<NodeId> = self.target.successors(src_node, atom.label).collect();
                     restrict(&mut cands, succs);
                 }
             }
@@ -226,8 +225,10 @@ where
         let base = &self.domains[var.index()];
         let mut out: Vec<NodeId> = match cands {
             Some(list) => {
-                let mut list: Vec<NodeId> =
-                    list.into_iter().filter(|n| base.contains(n.index())).collect();
+                let mut list: Vec<NodeId> = list
+                    .into_iter()
+                    .filter(|n| base.contains(n.index()))
+                    .collect();
                 list.sort_unstable();
                 list.dedup();
                 list
@@ -309,7 +310,11 @@ mod tests {
 
     fn path_query(len: usize, label: Symbol) -> Cq {
         let atoms = (0..len)
-            .map(|i| CqAtom { src: Var(i as u32), label, dst: Var(i as u32 + 1) })
+            .map(|i| CqAtom {
+                src: Var(i as u32),
+                label,
+                dst: Var(i as u32 + 1),
+            })
             .collect();
         Cq::boolean(atoms)
     }
@@ -357,8 +362,18 @@ mod tests {
         let u = g.node_by_name("u").unwrap();
         let v = g.node_by_name("v").unwrap();
         let w = g.node_by_name("w").unwrap();
-        assert!(hom_exists(&q, &g, &[(Var(0), u), (Var(1), v)], &DistinctSpec::None));
-        assert!(!hom_exists(&q, &g, &[(Var(0), u), (Var(1), w)], &DistinctSpec::None));
+        assert!(hom_exists(
+            &q,
+            &g,
+            &[(Var(0), u), (Var(1), v)],
+            &DistinctSpec::None
+        ));
+        assert!(!hom_exists(
+            &q,
+            &g,
+            &[(Var(0), u), (Var(1), w)],
+            &DistinctSpec::None
+        ));
     }
 
     #[test]
@@ -378,7 +393,11 @@ mod tests {
         b.edge("u", "e", "v");
         let g = b.finish();
         let e = g.alphabet().get("e").unwrap();
-        let q = Cq::boolean(vec![CqAtom { src: Var(0), label: e, dst: Var(0) }]);
+        let q = Cq::boolean(vec![CqAtom {
+            src: Var(0),
+            label: e,
+            dst: Var(0),
+        }]);
         let homs = count_homs(&q, &g, &[], &DistinctSpec::None);
         assert_eq!(homs, 1, "only u has a self-loop");
     }
@@ -403,13 +422,20 @@ mod tests {
         let mut it = Interner::new();
         let a = it.intern("a");
         let q = Cq::with_free(
-            vec![CqAtom { src: Var(0), label: a, dst: Var(1) }],
+            vec![CqAtom {
+                src: Var(0),
+                label: a,
+                dst: Var(1),
+            }],
             vec![Var(0), Var(0)],
         );
         let n0 = NodeId(0);
         let n1 = NodeId(1);
         assert!(pin_free_tuple(&q, &[n0, n0]).is_some());
-        assert!(pin_free_tuple(&q, &[n0, n1]).is_none(), "repeated var, different nodes");
+        assert!(
+            pin_free_tuple(&q, &[n0, n1]).is_none(),
+            "repeated var, different nodes"
+        );
         assert!(pin_free_tuple(&q, &[n0]).is_none(), "arity mismatch");
     }
 

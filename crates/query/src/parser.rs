@@ -39,7 +39,9 @@ impl fmt::Display for QueryParseError {
 impl std::error::Error for QueryParseError {}
 
 fn err(message: impl Into<String>) -> QueryParseError {
-    QueryParseError { message: message.into() }
+    QueryParseError {
+        message: message.into(),
+    }
 }
 
 /// Parses a CRPQ; atom labels are interned into `alphabet`.
@@ -102,10 +104,12 @@ pub fn parse_crpq(input: &str, alphabet: &mut Interner) -> Result<Crpq, QueryPar
     if body != "true" && !body.is_empty() {
         for raw_atom in split_atoms(body)? {
             let atom = raw_atom.trim();
-            let (src_name, rest) =
-                atom.split_once("-[").ok_or_else(|| err(format!("missing `-[` in `{atom}`")))?;
-            let (regex_text, dst_name) =
-                rest.rsplit_once("]->").ok_or_else(|| err(format!("missing `]->` in `{atom}`")))?;
+            let (src_name, rest) = atom
+                .split_once("-[")
+                .ok_or_else(|| err(format!("missing `-[` in `{atom}`")))?;
+            let (regex_text, dst_name) = rest
+                .rsplit_once("]->")
+                .ok_or_else(|| err(format!("missing `]->` in `{atom}`")))?;
             let (src_name, dst_name) = (src_name.trim(), dst_name.trim());
             if !is_var_name(src_name) || !is_var_name(dst_name) {
                 return Err(err(format!("bad variable names in `{atom}`")));
@@ -121,13 +125,22 @@ pub fn parse_crpq(input: &str, alphabet: &mut Interner) -> Result<Crpq, QueryPar
     }
 
     let num_vars = vars.len();
-    Ok(Crpq { num_vars, atoms, free })
+    Ok(Crpq {
+        num_vars,
+        atoms,
+        free,
+    })
 }
 
 fn is_var_name(name: &str) -> bool {
     !name.is_empty()
-        && name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
-        && name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        && name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
 }
 
 /// Splits the body on commas that are not inside `[...]` brackets.

@@ -41,7 +41,11 @@ impl UnionCrpq {
 
     /// The most general class among the branches.
     pub fn classify(&self) -> QueryClass {
-        self.branches.iter().map(Crpq::classify).max().unwrap_or(QueryClass::Cq)
+        self.branches
+            .iter()
+            .map(Crpq::classify)
+            .max()
+            .unwrap_or(QueryClass::Cq)
     }
 
     /// Whether every branch is Boolean.

@@ -45,7 +45,11 @@ impl Gcp2Instance {
             .collect();
         es.sort_unstable();
         es.dedup();
-        Self { num_vertices, edges: es, clique }
+        Self {
+            num_vertices,
+            edges: es,
+            clique,
+        }
     }
 
     fn adjacent(&self, u: usize, v: usize) -> bool {
@@ -94,8 +98,7 @@ pub fn gcp2_to_qinj_containment(
             match c {
                 1 => {
                     // middle copy: (1+2)-ext
-                    let alt =
-                        Regex::alt(vec![Regex::lit(labels.one), Regex::lit(labels.two)]);
+                    let alt = Regex::alt(vec![Regex::lit(labels.one), Regex::lit(labels.two)]);
                     atoms1.push(atom(var1(c, v), alt, var1(c, v)));
                 }
                 _ => {
@@ -172,7 +175,13 @@ fn has_clique(instance: &Gcp2Instance, members: &[usize], k: usize) -> bool {
     if k == 1 {
         return !members.is_empty();
     }
-    fn rec(inst: &Gcp2Instance, members: &[usize], current: &mut Vec<usize>, k: usize, from: usize) -> bool {
+    fn rec(
+        inst: &Gcp2Instance,
+        members: &[usize],
+        current: &mut Vec<usize>,
+        k: usize,
+        from: usize,
+    ) -> bool {
         if current.len() == k {
             return true;
         }
@@ -236,8 +245,7 @@ mod tests {
     #[test]
     fn k4_with_clique_2() {
         // K4 is not 2-colourable (contains odd cycles) → negative.
-        let inst =
-            Gcp2Instance::new(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], 2);
+        let inst = Gcp2Instance::new(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], 2);
         assert!(!gcp2_brute_force(&inst));
         assert!(!decide_via_reduction(&inst));
     }

@@ -107,7 +107,10 @@ pub fn pcp_brute_force(inst: &PcpInstance, max_len: usize) -> Option<Vec<usize>>
             if c.0.is_empty() {
                 return Some(vec![i]);
             }
-            let conf = Conf { surplus: c.0.clone(), top_ahead: c.1 };
+            let conf = Conf {
+                surplus: c.0.clone(),
+                top_ahead: c.1,
+            };
             if seen.insert((c.0, c.1)) {
                 queue.push_back((conf, vec![i]));
             }
@@ -125,7 +128,13 @@ pub fn pcp_brute_force(inst: &PcpInstance, max_len: usize) -> Option<Vec<usize>>
                     return Some(path2);
                 }
                 if seen.insert((c.0.clone(), c.1)) {
-                    queue.push_back((Conf { surplus: c.0, top_ahead: c.1 }, path2));
+                    queue.push_back((
+                        Conf {
+                            surplus: c.0,
+                            top_ahead: c.1,
+                        },
+                        path2,
+                    ));
                 }
             }
         }
@@ -143,9 +152,12 @@ fn step(surplus: &str, top_ahead: bool, u: &str, v: &str) -> Option<(String, boo
         (u.to_owned(), format!("{surplus}{v}"))
     };
     if top.len() >= bottom.len() {
-        top.starts_with(&bottom).then(|| (top[bottom.len()..].to_owned(), true))
+        top.starts_with(&bottom)
+            .then(|| (top[bottom.len()..].to_owned(), true))
     } else {
-        bottom.starts_with(&top).then(|| (bottom[top.len()..].to_owned(), false))
+        bottom
+            .starts_with(&top)
+            .then(|| (bottom[top.len()..].to_owned(), false))
     }
 }
 
@@ -177,7 +189,11 @@ pub struct PcpLabels {
 impl PcpLabels {
     fn sym(&self, c: char, hat: bool) -> Symbol {
         let table = if hat { &self.sigma_hat } else { &self.sigma };
-        table.iter().find(|&&(ch, _)| ch == c).expect("letter out of alphabet").1
+        table
+            .iter()
+            .find(|&&(ch, _)| ch == c)
+            .expect("letter out of alphabet")
+            .1
     }
 }
 
@@ -199,18 +215,31 @@ pub struct PcpReduction {
 /// Builds the reduction for a PCP instance.
 pub fn pcp_to_ainj_containment(inst: &PcpInstance, alphabet: &mut Interner) -> PcpReduction {
     let l = inst.len();
-    let mut chars: Vec<char> =
-        inst.pairs.iter().flat_map(|(u, v)| u.chars().chain(v.chars())).collect();
+    let mut chars: Vec<char> = inst
+        .pairs
+        .iter()
+        .flat_map(|(u, v)| u.chars().chain(v.chars()))
+        .collect();
     chars.sort_unstable();
     chars.dedup();
 
     let labels = PcpLabels {
         idx: (1..=l).map(|i| alphabet.intern(&format!("I{i}"))).collect(),
-        idx_hat: (1..=l).map(|i| alphabet.intern(&format!("Ih{i}"))).collect(),
+        idx_hat: (1..=l)
+            .map(|i| alphabet.intern(&format!("Ih{i}")))
+            .collect(),
         jdx: (1..=l).map(|i| alphabet.intern(&format!("J{i}"))).collect(),
-        jdx_hat: (1..=l).map(|i| alphabet.intern(&format!("Jh{i}"))).collect(),
-        sigma: chars.iter().map(|&c| (c, alphabet.intern(&c.to_string()))).collect(),
-        sigma_hat: chars.iter().map(|&c| (c, alphabet.intern(&format!("{c}h")))).collect(),
+        jdx_hat: (1..=l)
+            .map(|i| alphabet.intern(&format!("Jh{i}")))
+            .collect(),
+        sigma: chars
+            .iter()
+            .map(|&c| (c, alphabet.intern(&c.to_string())))
+            .collect(),
+        sigma_hat: chars
+            .iter()
+            .map(|&c| (c, alphabet.intern(&format!("{c}h"))))
+            .collect(),
         hash: alphabet.intern("#"),
         hash_hat: alphabet.intern("#h"),
         square: alphabet.intern("[]"),
@@ -256,8 +285,7 @@ pub fn pcp_to_ainj_containment(inst: &PcpInstance, alphabet: &mut Interner) -> P
             .iter()
             .enumerate()
             .map(|(i, (_, v))| {
-                let mut w: Vec<Symbol> =
-                    v.chars().map(|c| labels.sym(c, true)).collect();
+                let mut w: Vec<Symbol> = v.chars().map(|c| labels.sym(c, true)).collect();
                 w.push(labels.jdx_hat[i]);
                 Regex::word(&w)
             })
@@ -272,10 +300,26 @@ pub fn pcp_to_ainj_containment(inst: &PcpInstance, alphabet: &mut Interner) -> P
     // Q1 (Figure 4): variables y₁=0, y₂=1, x=2, z₁=3, z₂=4.
     let (y1, y2, x, z1, z2) = (Var(0), Var(1), Var(2), Var(3), Var(4));
     let q1 = Crpq::boolean(vec![
-        CrpqAtom { src: y1, dst: x, regex: l_i },
-        CrpqAtom { src: y2, dst: x, regex: lh_a },
-        CrpqAtom { src: x, dst: z1, regex: lh_i },
-        CrpqAtom { src: x, dst: z2, regex: l_a },
+        CrpqAtom {
+            src: y1,
+            dst: x,
+            regex: l_i,
+        },
+        CrpqAtom {
+            src: y2,
+            dst: x,
+            regex: lh_a,
+        },
+        CrpqAtom {
+            src: x,
+            dst: z1,
+            regex: lh_i,
+        },
+        CrpqAtom {
+            src: x,
+            dst: z2,
+            regex: l_a,
+        },
     ]);
 
     // K = K_IÎ ∪ K_Ia ∪ K_âÎ ∪ K_âa: forbidden simple cycles.
@@ -366,7 +410,13 @@ pub fn pcp_to_ainj_containment(inst: &PcpInstance, alphabet: &mut Interner) -> P
     }]);
 
     let num_symbols = alphabet.len();
-    PcpReduction { q1, q_cycle, q_path, labels, num_symbols }
+    PcpReduction {
+        q1,
+        q_cycle,
+        q_path,
+        labels,
+        num_symbols,
+    }
 }
 
 /// Mutation classes for validating the forbidden-pattern detector: each
@@ -403,8 +453,11 @@ pub fn witness_expansion(
     indices: &[usize],
     misalign: bool,
 ) -> Cq {
-    let mutation =
-        if misalign { WitnessMutation::MisalignIndex } else { WitnessMutation::Aligned };
+    let mutation = if misalign {
+        WitnessMutation::MisalignIndex
+    } else {
+        WitnessMutation::Aligned
+    };
     witness_expansion_with(red, inst, indices, mutation)
 }
 
@@ -433,7 +486,11 @@ pub fn witness_expansion_with(
     // ŵ_I (x → z₁): first index first.
     let mut wh_i: Vec<Symbol> = Vec::new();
     for (step, &ix) in indices.iter().enumerate() {
-        let ix = if misalign && step == 0 { (ix + 1) % l } else { ix };
+        let ix = if misalign && step == 0 {
+            (ix + 1) % l
+        } else {
+            ix
+        };
         wh_i.push(lbl.idx_hat[ix]);
         wh_i.push(lbl.hash_hat);
         wh_i.push(lbl.square_hat);
@@ -444,7 +501,11 @@ pub fn witness_expansion_with(
     let mut a_block_starts: Vec<usize> = Vec::new();
     let mut a_letter_edges: Vec<usize> = Vec::new();
     for (step, &ix) in indices.iter().enumerate() {
-        let ix_marker = if misalign && step == 0 { (ix + 1) % l } else { ix };
+        let ix_marker = if misalign && step == 0 {
+            (ix + 1) % l
+        } else {
+            ix
+        };
         a_block_starts.push(w_a.len());
         w_a.push(lbl.square);
         w_a.push(lbl.hash);
@@ -477,7 +538,10 @@ pub fn witness_expansion_with(
         ah_blocks.push((start, mlen, j));
     }
     // Edge offset of the v̂-letter at each 0-based solution position.
-    let n_v: usize = indices.iter().map(|&ix| inst.pairs[ix].1.chars().count()).sum();
+    let n_v: usize = indices
+        .iter()
+        .map(|&ix| inst.pairs[ix].1.chars().count())
+        .sum();
     let mut v_letter_edges = vec![0usize; n_v];
     {
         let mut pv = vec![0usize; k + 1];
@@ -573,12 +637,16 @@ mod tests {
 
     fn solvable() -> PcpInstance {
         // (ab, a), (c, bc): solution 1·2: u = ab·c, v = a·bc ✓
-        PcpInstance { pairs: vec![("ab".into(), "a".into()), ("c".into(), "bc".into())] }
+        PcpInstance {
+            pairs: vec![("ab".into(), "a".into()), ("c".into(), "bc".into())],
+        }
     }
 
     fn unsolvable() -> PcpInstance {
         // (a, b): no solution ever.
-        PcpInstance { pairs: vec![("a".into(), "b".into())] }
+        PcpInstance {
+            pairs: vec![("a".into(), "b".into())],
+        }
     }
 
     #[test]
@@ -608,9 +676,7 @@ mod tests {
         let nfa = red.q1.atoms[0].nfa();
         let lbl = &red.labels;
         assert!(nfa.accepts(&[lbl.square, lbl.hash, lbl.idx[0]]));
-        assert!(nfa.accepts(&[
-            lbl.square, lbl.hash, lbl.idx[1], lbl.square, lbl.hash, lbl.idx[0]
-        ]));
+        assert!(nfa.accepts(&[lbl.square, lbl.hash, lbl.idx[1], lbl.square, lbl.hash, lbl.idx[0]]));
         assert!(!nfa.accepts(&[lbl.hash, lbl.idx[0]]));
         assert!(!nfa.accepts(&[]));
         // L̂_I mirrors:
@@ -623,7 +689,10 @@ mod tests {
         let c = lbl.sym('c', false);
         assert!(nfa.accepts(&[lbl.square, lbl.hash, lbl.jdx[0], a, b]));
         assert!(nfa.accepts(&[lbl.square, lbl.hash, lbl.jdx[1], c]));
-        assert!(!nfa.accepts(&[lbl.square, lbl.hash, a, b]), "marker required");
+        assert!(
+            !nfa.accepts(&[lbl.square, lbl.hash, a, b]),
+            "marker required"
+        );
         assert!(
             !nfa.accepts(&[lbl.square, lbl.hash, lbl.jdx[1], a, b]),
             "marker must match the word"
@@ -665,13 +734,8 @@ mod tests {
         let mut it = Interner::new();
         let red = pcp_to_ainj_containment(&inst, &mut it);
         let sol = pcp_brute_force(&inst, 6).unwrap();
-        let expansion = crpq_query::Expansion::build(
-            &red.q1,
-            &{
-                
-                witness_words(&red, &inst, &sol)
-            },
-        );
+        let expansion =
+            crpq_query::Expansion::build(&red.q1, &{ witness_words(&red, &inst, &sol) });
         assert!(
             !satisfies_wellformedness(&red, &expansion.cq),
             "discrete expansion must violate the I-Î condition"
@@ -742,8 +806,7 @@ mod tests {
             wh_a.extend(inst.pairs[ix].1.chars().map(|c| lbl.sym(c, true)));
             wh_a.extend([lbl.jdx_hat[ix], lbl.hash_hat, lbl.square_hat]);
         }
-        let expansion =
-            crpq_query::Expansion::build(&red.q1, &[w_i, wh_a, wh_i, w_a]);
+        let expansion = crpq_query::Expansion::build(&red.q1, &[w_i, wh_a, wh_i, w_a]);
         // Apply the Figure-5 s/r identifications so only the marker is off.
         let path_i = &expansion.atom_paths[0];
         let path_ih = &expansion.atom_paths[2];
@@ -771,8 +834,7 @@ mod tests {
         let sol = pcp_brute_force(&inst, 6).unwrap();
         let n: usize = sol.iter().map(|&i| inst.pairs[i].1.len()).sum();
         for pos in 0..n {
-            let bad =
-                witness_expansion_with(&red, &inst, &sol, WitnessMutation::HatLetter(pos));
+            let bad = witness_expansion_with(&red, &inst, &sol, WitnessMutation::HatLetter(pos));
             assert!(
                 !satisfies_wellformedness(&red, &bad),
                 "mutated v̂-letter at position {pos} must violate the â-a condition"
@@ -789,8 +851,7 @@ mod tests {
         let red = pcp_to_ainj_containment(&inst, &mut it);
         let sol = pcp_brute_force(&inst, 6).unwrap();
         for block in 1..=sol.len() {
-            let bad =
-                witness_expansion_with(&red, &inst, &sol, WitnessMutation::HatMarker(block));
+            let bad = witness_expansion_with(&red, &inst, &sol, WitnessMutation::HatMarker(block));
             assert!(
                 !satisfies_wellformedness(&red, &bad),
                 "mutated Ĵ marker in block {block} must violate the â-Î condition"

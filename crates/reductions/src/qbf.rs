@@ -115,8 +115,12 @@ pub fn qbf_to_ainj_containment(inst: &QbfInstance, alphabet: &mut Interner) -> Q
     let a = alphabet.intern("a");
     let rel = alphabet.intern("r");
     let in_i: Vec<Symbol> = (0..n).map(|i| alphabet.intern(&format!("in{i}"))).collect();
-    let g1_i: Vec<Symbol> = (0..n).map(|i| alphabet.intern(&format!("g1_{i}"))).collect();
-    let g2_i: Vec<Symbol> = (0..n).map(|i| alphabet.intern(&format!("g2_{i}"))).collect();
+    let g1_i: Vec<Symbol> = (0..n)
+        .map(|i| alphabet.intern(&format!("g1_{i}")))
+        .collect();
+    let g2_i: Vec<Symbol> = (0..n)
+        .map(|i| alphabet.intern(&format!("g2_{i}")))
+        .collect();
     let lt_i: Vec<Symbol> = (0..l).map(|i| alphabet.intern(&format!("lt{i}"))).collect();
     let lf_i: Vec<Symbol> = (0..l).map(|i| alphabet.intern(&format!("lf{i}"))).collect();
 
@@ -130,8 +134,11 @@ pub fn qbf_to_ainj_containment(inst: &QbfInstance, alphabet: &mut Interner) -> Q
     let y_t: Vec<Var> = (0..l).map(|_| fresh()).collect();
     let y_f: Vec<Var> = (0..l).map(|_| fresh()).collect();
 
-    let lit_atom =
-        |s: Var, sym: Symbol, d: Var| CrpqAtom { src: s, dst: d, regex: Regex::lit(sym) };
+    let lit_atom = |s: Var, sym: Symbol, d: Var| CrpqAtom {
+        src: s,
+        dst: d,
+        regex: Regex::lit(sym),
+    };
     let mut atoms1: Vec<CrpqAtom> = Vec::new();
     for k in 1..blocks {
         atoms1.push(lit_atom(chain[k - 1], a, chain[k]));
@@ -166,7 +173,11 @@ pub fn qbf_to_ainj_containment(inst: &QbfInstance, alphabet: &mut Interner) -> Q
             }
         }
     }
-    let q1 = Crpq { num_vars: next as usize, atoms: atoms1, free: Vec::new() };
+    let q1 = Crpq {
+        num_vars: next as usize,
+        atoms: atoms1,
+        free: Vec::new(),
+    };
 
     // ---- Q2 ---------------------------------------------------------------
     let mut next2 = 0u32;
@@ -184,7 +195,11 @@ pub fn qbf_to_ainj_containment(inst: &QbfInstance, alphabet: &mut Interner) -> Q
         }
         let cnodes: Vec<Var> = (0..width).map(|_| fresh2()).collect();
         for r in 1..width {
-            atoms2.push(CrpqAtom { src: cnodes[r - 1], dst: cnodes[r], regex: Regex::lit(a) });
+            atoms2.push(CrpqAtom {
+                src: cnodes[r - 1],
+                dst: cnodes[r],
+                regex: Regex::lit(a),
+            });
         }
         for (r, lit) in lits.iter().enumerate() {
             let anchor = cnodes[r];
@@ -192,7 +207,11 @@ pub fn qbf_to_ainj_containment(inst: &QbfInstance, alphabet: &mut Interner) -> Q
                 Literal::X(i, true) => {
                     let t1 = fresh2();
                     let t2 = fresh2();
-                    atoms2.push(CrpqAtom { src: anchor, dst: t1, regex: Regex::lit(in_i[i]) });
+                    atoms2.push(CrpqAtom {
+                        src: anchor,
+                        dst: t1,
+                        regex: Regex::lit(in_i[i]),
+                    });
                     atoms2.push(CrpqAtom {
                         src: t1,
                         dst: t2,
@@ -202,8 +221,16 @@ pub fn qbf_to_ainj_containment(inst: &QbfInstance, alphabet: &mut Interner) -> Q
                 Literal::X(i, false) => {
                     let s1 = fresh2();
                     let s2 = fresh2();
-                    atoms2.push(CrpqAtom { src: anchor, dst: s1, regex: Regex::lit(in_i[i]) });
-                    atoms2.push(CrpqAtom { src: s2, dst: s1, regex: Regex::lit(g2_i[i]) });
+                    atoms2.push(CrpqAtom {
+                        src: anchor,
+                        dst: s1,
+                        regex: Regex::lit(in_i[i]),
+                    });
+                    atoms2.push(CrpqAtom {
+                        src: s2,
+                        dst: s1,
+                        regex: Regex::lit(g2_i[i]),
+                    });
                 }
                 Literal::Y(i, pos) => {
                     let label = if pos { lt_i[i] } else { lf_i[i] };
@@ -216,10 +243,19 @@ pub fn qbf_to_ainj_containment(inst: &QbfInstance, alphabet: &mut Interner) -> Q
             }
         }
     }
-    let q2 = Crpq { num_vars: next2 as usize, atoms: atoms2, free: Vec::new() };
+    let q2 = Crpq {
+        num_vars: next2 as usize,
+        atoms: atoms2,
+        free: Vec::new(),
+    };
 
     let num_symbols = alphabet.len();
-    QbfReduction { q1, q2, d_pairs, num_symbols }
+    QbfReduction {
+        q1,
+        q2,
+        d_pairs,
+        num_symbols,
+    }
 }
 
 /// The **clean quotient** of `Q₁` for a universal assignment: merge
@@ -246,8 +282,9 @@ pub fn check_reduction_clean_quotients(inst: &QbfInstance, red: &QbfReduction) -
         let g = quotient.to_graph_anon(red.num_symbols);
         let matched = eval_boolean(&red.q2, &g, Semantics::AtomInjective);
         let exists_y = (0u32..(1u32 << inst.num_existential)).any(|ymask| {
-            let ys: Vec<bool> =
-                (0..inst.num_existential).map(|i| (ymask >> i) & 1 == 1).collect();
+            let ys: Vec<bool> = (0..inst.num_existential)
+                .map(|i| (ymask >> i) & 1 == 1)
+                .collect();
             inst.phi(&xs, &ys)
         });
         if matched != exists_y {
@@ -365,7 +402,10 @@ mod tests {
             &red.q2,
             Semantics::AtomInjective,
             ContainmentConfig {
-                limits: ExpansionLimits { max_word_len: 2, max_expansions: 100_000 },
+                limits: ExpansionLimits {
+                    max_word_len: 2,
+                    max_expansions: 100_000,
+                },
                 threads: 1,
             },
         );
@@ -387,7 +427,10 @@ mod tests {
             &red.q2,
             Semantics::AtomInjective,
             ContainmentConfig {
-                limits: ExpansionLimits { max_word_len: 2, max_expansions: 100_000 },
+                limits: ExpansionLimits {
+                    max_word_len: 2,
+                    max_expansions: 100_000,
+                },
                 threads: 1,
             },
         );
@@ -416,7 +459,11 @@ mod tests {
                         .collect()
                 })
                 .collect();
-            let inst = QbfInstance { num_universal: n, num_existential: l, clauses };
+            let inst = QbfInstance {
+                num_universal: n,
+                num_existential: l,
+                clauses,
+            };
             let brute = qbf_brute_force(&inst);
             let red = reduction(&inst);
             assert!(

@@ -35,11 +35,19 @@ pub fn subgraph_to_evaluation(pattern: &Cq, g: &GraphDb) -> (Crpq, GraphDb) {
     for a in 0..pattern.num_vars as u32 {
         for b in 0..pattern.num_vars as u32 {
             if a != b {
-                atoms.push(CqAtom { src: Var(a), label: r, dst: Var(b) });
+                atoms.push(CqAtom {
+                    src: Var(a),
+                    label: r,
+                    dst: Var(b),
+                });
             }
         }
     }
-    let q_plus = Crpq::from_cq(&Cq { num_vars: pattern.num_vars, atoms, free: Vec::new() });
+    let q_plus = Crpq::from_cq(&Cq {
+        num_vars: pattern.num_vars,
+        atoms,
+        free: Vec::new(),
+    });
     (q_plus, g_plus)
 }
 
@@ -52,15 +60,14 @@ pub fn subgraph_iso_brute_force(pattern: &Cq, g: &GraphDb) -> bool {
         return false;
     }
     let mut assignment: FxHashMap<usize, NodeId> = FxHashMap::default();
-    fn rec(
-        pattern: &Cq,
-        g: &GraphDb,
-        v: usize,
-        assignment: &mut FxHashMap<usize, NodeId>,
-    ) -> bool {
+    fn rec(pattern: &Cq, g: &GraphDb, v: usize, assignment: &mut FxHashMap<usize, NodeId>) -> bool {
         if v == pattern.num_vars {
             return pattern.atoms.iter().all(|a| {
-                g.has_edge(assignment[&a.src.index()], a.label, assignment[&a.dst.index()])
+                g.has_edge(
+                    assignment[&a.src.index()],
+                    a.label,
+                    assignment[&a.dst.index()],
+                )
             });
         }
         for node in g.nodes() {
@@ -87,9 +94,21 @@ mod tests {
 
     fn cq_triangle(label: Symbol) -> Cq {
         Cq::boolean(vec![
-            CqAtom { src: Var(0), label, dst: Var(1) },
-            CqAtom { src: Var(1), label, dst: Var(2) },
-            CqAtom { src: Var(2), label, dst: Var(0) },
+            CqAtom {
+                src: Var(0),
+                label,
+                dst: Var(1),
+            },
+            CqAtom {
+                src: Var(1),
+                label,
+                dst: Var(2),
+            },
+            CqAtom {
+                src: Var(2),
+                label,
+                dst: Var(0),
+            },
         ])
     }
 
@@ -142,9 +161,21 @@ mod tests {
         let e = g.alphabet().get("e").unwrap();
         // 3-path needs 4 distinct nodes injectively.
         let q = Cq::boolean(vec![
-            CqAtom { src: Var(0), label: e, dst: Var(1) },
-            CqAtom { src: Var(1), label: e, dst: Var(2) },
-            CqAtom { src: Var(2), label: e, dst: Var(3) },
+            CqAtom {
+                src: Var(0),
+                label: e,
+                dst: Var(1),
+            },
+            CqAtom {
+                src: Var(1),
+                label: e,
+                dst: Var(2),
+            },
+            CqAtom {
+                src: Var(2),
+                label: e,
+                dst: Var(3),
+            },
         ]);
         assert!(!subgraph_iso_brute_force(&q, &g));
         let crpq = Crpq::from_cq(&q);
@@ -176,8 +207,7 @@ mod tests {
             }
             let q = Cq::boolean(atoms);
             let brute = subgraph_iso_brute_force(&q, &g);
-            let direct =
-                eval_boolean(&Crpq::from_cq(&q), &g, Semantics::QueryInjective);
+            let direct = eval_boolean(&Crpq::from_cq(&q), &g, Semantics::QueryInjective);
             assert_eq!(brute, direct, "q-inj evaluation vs brute force");
             let (q_plus, g_plus) = subgraph_to_evaluation(&q, &g);
             let reduced = eval_boolean(&q_plus, &g_plus, Semantics::AtomInjective);

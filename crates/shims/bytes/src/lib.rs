@@ -1,0 +1,189 @@
+//! Offline stand-in for `bytes`, used because the build environment has no
+//! access to crates.io. Implements the cursor-style subset the graph binary
+//! format uses: [`Bytes`] / [`BytesMut`] with the [`Buf`] / [`BufMut`]
+//! method families (little-endian integer accessors, slice append,
+//! `copy_to_bytes`, `freeze`). Backed by plain `Vec<u8>` — no shared-buffer
+//! refcounting, which the workspace does not rely on.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Remaining (unread) bytes as a slice.
+    fn rest(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// A new buffer holding the given sub-range of the unread bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.rest()[range].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.rest()
+    }
+}
+
+/// Read-cursor operations (mirror of `bytes::Buf`).
+pub trait Buf {
+    /// Number of unread bytes.
+    fn remaining(&self) -> usize;
+    /// Advances past and returns the next `len` bytes.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.remaining(), "copy_to_bytes past end of buffer");
+        let out = self.data[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Bytes { data: out, pos: 0 }
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "get_u8 past end of buffer");
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "get_u32_le past end of buffer");
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(&self.data[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_le_bytes(buf)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "get_u64_le past end of buffer");
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.data[self.pos..self.pos + 8]);
+        self.pos += 8;
+        u64::from_le_bytes(buf)
+    }
+}
+
+/// A growable byte buffer (mirror of `bytes::BytesMut`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Append operations (mirror of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_accessors() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"MAGX");
+        buf.put_u8(7);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u64_le(0x0123_4567_89ab_cdef);
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 4 + 1 + 4 + 8);
+        assert_eq!(&b.copy_to_bytes(4)[..], b"MAGX");
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xdead_beef);
+        assert_eq!(b.get_u64_le(), 0x0123_4567_89ab_cdef);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn deref_tracks_cursor() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+        b.get_u8();
+        assert_eq!(&b[..], &[2, 3, 4]);
+        assert_eq!(b.to_vec(), vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Offline stand-in for `rand`, used because the build environment has no
+//! access to crates.io. Implements the narrow API surface the workspace
+//! relies on — `StdRng::seed_from_u64`, `gen_range` over (inclusive) integer
+//! ranges, `gen_bool`, and `gen` — on top of the SplitMix64 +
+//! xoshiro256\*\* generators (Blackman & Vigna), which are deterministic,
+//! seed-reproducible and of high statistical quality.
+//!
+//! Streams differ from the real `rand::StdRng` (ChaCha12), but every
+//! consumer in this workspace uses seeds only for reproducibility, never for
+//! a specific expected stream.
+
+pub mod rngs {
+    /// Deterministic seedable RNG (xoshiro256** core, SplitMix64 seeding).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Mirror of `rand::SeedableRng`, restricted to `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 to fill the 256-bit state, as recommended by the
+        // xoshiro authors (avoids all-zero states for any seed).
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256**
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` via Lemire's multiply-shift rejection.
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection sampling over the top bits: unbiased and branch-light.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Primitive types drawable uniformly from the full domain (`rng.gen()`).
+pub trait Standard: Sized {
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types uniformly samplable from a range (mirror of
+/// `rand::distributions::uniform::SampleUniform`). The `u64` round-trip
+/// (sign-extending for signed types) lets one bounded sampler serve all of
+/// them.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(v: u64) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges usable with [`Rng::gen_range`] (mirror of `rand::SampleRange`).
+///
+/// The single blanket impl per range shape matters: it lets type inference
+/// flow *backwards* from the use site (e.g. `slice[rng.gen_range(0..2)]`
+/// infers `usize`), exactly like the real `rand` crate.
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let span = self.end.to_u64().wrapping_sub(self.start.to_u64());
+        T::from_u64(self.start.to_u64().wrapping_add(rng.bounded_u64(span)))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty inclusive range in gen_range");
+        let span = end.to_u64().wrapping_sub(start.to_u64()).wrapping_add(1);
+        if span == 0 {
+            // Full 64-bit domain.
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(start.to_u64().wrapping_add(rng.bounded_u64(span)))
+    }
+}
+
+/// Mirror of the `rand::Rng` extension trait for the methods in use.
+pub trait Rng {
+    /// Uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+    /// Uniform value over the whole domain of `T`.
+    fn gen<T: Standard>(&mut self) -> T;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        f64::sample(self) < p
+    }
+
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(va, (0..16).map(|_| c.gen::<u64>()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(1..=2);
+            assert!((1..=2).contains(&y));
+            let z: u32 = rng.gen_range(0..5u32);
+            assert!(z < 5);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform sampler missed a bucket");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!(
+            (4_000..6_000).contains(&heads),
+            "p=0.5 badly skewed: {heads}"
+        );
+    }
+}

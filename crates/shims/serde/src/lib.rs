@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`, used because the build environment has no
+//! access to crates.io. The workspace derives `Serialize` / `Deserialize`
+//! only as forward-compatible decoration (no serialisation code runs), so
+//! the traits here are empty markers and the re-exported derive macros
+//! expand to empty marker impls.
+//!
+//! If real serialisation is ever needed, replace this shim with the genuine
+//! `serde` crate by swapping the `[workspace.dependencies]` entry.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Empty marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Empty marker trait mirroring `serde::Deserialize` (lifetime elided: the
+/// shim never deserialises, so the `'de` parameter is unnecessary).
+pub trait Deserialize {}

@@ -1,0 +1,56 @@
+//! No-op stand-in for `serde_derive`, used because the build environment has
+//! no access to crates.io. The workspace only *derives* `Serialize` /
+//! `Deserialize` for forward compatibility — nothing actually serialises —
+//! so the derive macros here accept the same input (including `#[serde(...)]`
+//! field attributes) and expand to marker impls of the empty traits defined
+//! in the sibling `serde` shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(type name, generics?)` from a `struct`/`enum` item token stream.
+/// Returns the identifier following the first `struct` or `enum` keyword and
+/// whether a `<...>` generics list follows it.
+fn type_header(input: TokenStream) -> Option<(String, bool)> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    let generic = matches!(
+                        tokens.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+            }
+        }
+        // Skip attribute groups and doc comments before the keyword.
+        let _ = matches!(tt, TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket);
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    match type_header(input) {
+        // Generic types would need bounds we cannot reconstruct without a
+        // full parser; the workspace only derives on non-generic types, so
+        // emit nothing for generics (the marker traits are never required).
+        Some((name, false)) => format!("impl ::serde::{trait_name} for {name} {{}}")
+            .parse()
+            .unwrap(),
+        _ => TokenStream::new(),
+    }
+}
+
+/// Stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}

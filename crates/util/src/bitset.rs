@@ -16,7 +16,10 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set able to hold values `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        Self { words: vec![0; capacity.div_ceil(64)], capacity }
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// Creates a set containing all of `0..capacity`.
@@ -37,7 +40,11 @@ impl BitSet {
     /// Inserts `value`; returns `true` if it was newly inserted.
     #[inline]
     pub fn insert(&mut self, value: usize) -> bool {
-        debug_assert!(value < self.capacity, "bitset index {value} out of capacity {}", self.capacity);
+        debug_assert!(
+            value < self.capacity,
+            "bitset index {value} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (value / 64, value % 64);
         let newly = self.words[w] & (1 << b) == 0;
         self.words[w] |= 1 << b;
@@ -114,12 +121,19 @@ impl BitSet {
 
     /// Whether `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over elements in increasing order.
     pub fn iter(&self) -> BitSetIter<'_> {
-        BitSetIter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        BitSetIter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// The smallest element, if any.

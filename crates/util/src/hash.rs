@@ -119,6 +119,9 @@ mod tests {
     #[test]
     fn byte_streams_tail_handling() {
         // Byte slices that differ only in the non-8-aligned tail must differ.
-        assert_ne!(hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9]), hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 10]));
+        assert_ne!(
+            hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9]),
+            hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 10])
+        );
     }
 }

@@ -59,7 +59,11 @@ impl Interner {
     pub fn get(&self, name: &str) -> Option<Symbol> {
         if self.index.is_empty() && !self.names.is_empty() {
             // Deserialized interner: fall back to linear scan (rare path).
-            return self.names.iter().position(|n| n == name).map(|i| Symbol(i as u32));
+            return self
+                .names
+                .iter()
+                .position(|n| n == name)
+                .map(|i| Symbol(i as u32));
         }
         self.index.get(name).copied()
     }
@@ -81,7 +85,10 @@ impl Interner {
 
     /// Iterates over `(symbol, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (Symbol(i as u32), n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
     }
 
     /// Rebuilds the lookup index (needed after deserialisation).

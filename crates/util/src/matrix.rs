@@ -20,7 +20,10 @@ pub struct BoolMatrix {
 impl BoolMatrix {
     /// The all-zero `n × n` matrix.
     pub fn zero(n: usize) -> Self {
-        Self { n, rows: vec![BitSet::new(n); n] }
+        Self {
+            n,
+            rows: vec![BitSet::new(n); n],
+        }
     }
 
     /// The identity matrix.
@@ -92,7 +95,10 @@ impl BoolMatrix {
 
     /// Iterates over set entries `(i, j)` in row-major order.
     pub fn iter_set(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.rows.iter().enumerate().flat_map(|(i, row)| row.iter().map(move |j| (i, j)))
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().map(move |j| (i, j)))
     }
 
     /// Reflexive-transitive closure (Warshall).

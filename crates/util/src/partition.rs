@@ -28,7 +28,10 @@ pub struct Partition {
 impl Partition {
     /// The discrete partition (all singletons).
     pub fn discrete(n: usize) -> Self {
-        Self { assignment: (0..n).collect(), blocks: (0..n).map(|i| vec![i]).collect() }
+        Self {
+            assignment: (0..n).collect(),
+            blocks: (0..n).map(|i| vec![i]).collect(),
+        }
     }
 
     /// Number of blocks.
@@ -82,7 +85,10 @@ where
     V: FnMut(&Partition) -> ControlFlow<()>,
 {
     if i == n {
-        let p = Partition { assignment: assignment.clone(), blocks: blocks.clone() };
+        let p = Partition {
+            assignment: assignment.clone(),
+            blocks: blocks.clone(),
+        };
         return visit(&p).is_continue();
     }
     // Try joining each existing block (in order), then a fresh block.
@@ -133,10 +139,14 @@ mod tests {
     #[test]
     fn full_separation_yields_discrete_only() {
         let mut seen = Vec::new();
-        partitions_with(4, |_, _| true, |p| {
-            seen.push(p.clone());
-            ControlFlow::Continue(())
-        });
+        partitions_with(
+            4,
+            |_, _| true,
+            |p| {
+                seen.push(p.clone());
+                ControlFlow::Continue(())
+            },
+        );
         assert_eq!(seen.len(), 1);
         assert_eq!(seen[0], Partition::discrete(4));
     }
@@ -146,25 +156,33 @@ mod tests {
         // Separate 0 and 1: partitions of {0,1,2} without {0,1} in one block.
         // All partitions: {012},{01|2},{02|1},{0|12},{0|1|2} -> forbidden: first two.
         let mut count = 0;
-        partitions_with(3, |a, b| (a, b) == (0, 1), |p| {
-            assert!(!p.same_block(0, 1));
-            count += 1;
-            ControlFlow::Continue(())
-        });
+        partitions_with(
+            3,
+            |a, b| (a, b) == (0, 1),
+            |p| {
+                assert!(!p.same_block(0, 1));
+                count += 1;
+                ControlFlow::Continue(())
+            },
+        );
         assert_eq!(count, 3);
     }
 
     #[test]
     fn early_stop() {
         let mut count = 0;
-        let completed = partitions_with(5, |_, _| false, |_| {
-            count += 1;
-            if count == 7 {
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
-            }
-        });
+        let completed = partitions_with(
+            5,
+            |_, _| false,
+            |_| {
+                count += 1;
+                if count == 7 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
         assert!(!completed);
         assert_eq!(count, 7);
     }
@@ -172,22 +190,34 @@ mod tests {
     #[test]
     fn no_duplicates() {
         let mut seen = std::collections::HashSet::new();
-        partitions_with(5, |_, _| false, |p| {
-            assert!(seen.insert(p.assignment.clone()), "duplicate partition {:?}", p.assignment);
-            ControlFlow::Continue(())
-        });
+        partitions_with(
+            5,
+            |_, _| false,
+            |p| {
+                assert!(
+                    seen.insert(p.assignment.clone()),
+                    "duplicate partition {:?}",
+                    p.assignment
+                );
+                ControlFlow::Continue(())
+            },
+        );
         assert_eq!(seen.len(), 52);
     }
 
     #[test]
     fn blocks_consistent_with_assignment() {
-        partitions_with(4, |a, b| a + b == 3, |p| {
-            for (bidx, block) in p.blocks.iter().enumerate() {
-                for &m in block {
-                    assert_eq!(p.assignment[m], bidx);
+        partitions_with(
+            4,
+            |a, b| a + b == 3,
+            |p| {
+                for (bidx, block) in p.blocks.iter().enumerate() {
+                    for &m in block {
+                        assert_eq!(p.assignment[m], bidx);
+                    }
                 }
-            }
-            ControlFlow::Continue(())
-        });
+                ControlFlow::Continue(())
+            },
+        );
     }
 }

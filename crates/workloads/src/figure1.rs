@@ -114,12 +114,21 @@ fn word_block(n: usize, alphabet: &mut Interner) -> Crpq {
     let b = alphabet.intern("b");
     let alt = Regex::alt(vec![Regex::lit(a), Regex::lit(b)]);
     let regex = Regex::concat(vec![alt; n]);
-    Crpq::boolean(vec![CrpqAtom { src: Var(0), dst: Var(1), regex }])
+    Crpq::boolean(vec![CrpqAtom {
+        src: Var(0),
+        dst: Var(1),
+        regex,
+    }])
 }
 
 /// Builds the instance for column `pair` and size `n`. `contained` selects
 /// the positive or the planted-counter-example variant.
-pub fn instance(pair: ClassPair, n: usize, contained: bool, alphabet: &mut Interner) -> ContainmentInstance {
+pub fn instance(
+    pair: ClassPair,
+    n: usize,
+    contained: bool,
+    alphabet: &mut Interner,
+) -> ContainmentInstance {
     let n = n.max(1);
     let (q1, q2) = match pair {
         ClassPair::CqCq => {
@@ -149,7 +158,11 @@ pub fn instance(pair: ClassPair, n: usize, contained: bool, alphabet: &mut Inter
                 dst: Var(1),
                 regex: Regex::concat(vec![word, Regex::star(Regex::lit(a))]),
             }]);
-            let q2 = if contained { chain_cq(n, alphabet) } else { chain_cq(n + 1, alphabet) };
+            let q2 = if contained {
+                chain_cq(n, alphabet)
+            } else {
+                chain_cq(n + 1, alphabet)
+            };
             (q1, q2)
         }
         ClassPair::CqCrpqFin => {
@@ -158,7 +171,11 @@ pub fn instance(pair: ClassPair, n: usize, contained: bool, alphabet: &mut Inter
                 // a + aa + … + a^n as a single atom; the chain embeds.
                 let a = alphabet.intern("a");
                 let words = (1..=n).map(|k| Regex::word(&vec![a; k])).collect();
-                Crpq::boolean(vec![CrpqAtom { src: Var(0), dst: Var(1), regex: Regex::alt(words) }])
+                Crpq::boolean(vec![CrpqAtom {
+                    src: Var(0),
+                    dst: Var(1),
+                    regex: Regex::alt(words),
+                }])
             } else {
                 word_block(n + 1, alphabet)
             };
@@ -196,13 +213,21 @@ pub fn instance(pair: ClassPair, n: usize, contained: bool, alphabet: &mut Inter
                 let a = alphabet.intern("a");
                 let words: Vec<Regex> = (1..=n).map(|k| Regex::word(&vec![a; k])).collect();
                 let q1b = Crpq::with_free(
-                    vec![CrpqAtom { src: Var(0), dst: Var(1), regex: Regex::alt(words.clone()) }],
+                    vec![CrpqAtom {
+                        src: Var(0),
+                        dst: Var(1),
+                        regex: Regex::alt(words.clone()),
+                    }],
                     vec![Var(0), Var(1)],
                 );
                 return ContainmentInstance {
                     q1: q1b,
                     q2: Crpq::with_free(
-                        vec![CrpqAtom { src: Var(0), dst: Var(1), regex: Regex::alt(words) }],
+                        vec![CrpqAtom {
+                            src: Var(0),
+                            dst: Var(1),
+                            regex: Regex::alt(words),
+                        }],
                         vec![Var(0), Var(1)],
                     ),
                     family: pair.name(),
@@ -215,7 +240,11 @@ pub fn instance(pair: ClassPair, n: usize, contained: bool, alphabet: &mut Inter
                 let a = alphabet.intern("a");
                 let words = (1..=n).map(|k| Regex::word(&vec![a; k])).collect();
                 Crpq::with_free(
-                    vec![CrpqAtom { src: Var(0), dst: Var(1), regex: Regex::alt(words) }],
+                    vec![CrpqAtom {
+                        src: Var(0),
+                        dst: Var(1),
+                        regex: Regex::alt(words),
+                    }],
                     vec![Var(0), Var(1)],
                 )
             };
@@ -244,11 +273,7 @@ pub fn instance(pair: ClassPair, n: usize, contained: bool, alphabet: &mut Inter
                     .map(|i| CrpqAtom {
                         src: Var(i as u32),
                         dst: Var(i as u32 + 1),
-                        regex: Regex::alt(vec![
-                            Regex::lit(a),
-                            Regex::lit(b),
-                            Regex::lit(c),
-                        ]),
+                        regex: Regex::alt(vec![Regex::lit(a), Regex::lit(b), Regex::lit(c)]),
                     })
                     .collect();
                 Crpq::boolean(atoms)
@@ -263,8 +288,16 @@ pub fn instance(pair: ClassPair, n: usize, contained: bool, alphabet: &mut Inter
             let b = alphabet.intern("b");
             let q1 = Crpq::with_free(
                 vec![
-                    CrpqAtom { src: Var(0), dst: Var(1), regex: Regex::plus(Regex::lit(a)) },
-                    CrpqAtom { src: Var(1), dst: Var(2), regex: Regex::plus(Regex::lit(b)) },
+                    CrpqAtom {
+                        src: Var(0),
+                        dst: Var(1),
+                        regex: Regex::plus(Regex::lit(a)),
+                    },
+                    CrpqAtom {
+                        src: Var(1),
+                        dst: Var(2),
+                        regex: Regex::plus(Regex::lit(b)),
+                    },
                 ],
                 vec![Var(0), Var(2)],
             );
@@ -285,7 +318,11 @@ pub fn instance(pair: ClassPair, n: usize, contained: bool, alphabet: &mut Inter
             } else {
                 // a b only: a^2 b misses
                 Crpq::with_free(
-                    vec![CrpqAtom { src: Var(0), dst: Var(1), regex: Regex::word(&[a, b]) }],
+                    vec![CrpqAtom {
+                        src: Var(0),
+                        dst: Var(1),
+                        regex: Regex::word(&[a, b]),
+                    }],
                     vec![Var(0), Var(1)],
                 )
             };
@@ -298,7 +335,14 @@ pub fn instance(pair: ClassPair, n: usize, contained: bool, alphabet: &mut Inter
         (ClassPair::CrpqCrpq, true) => Some(false),
         _ => Some(contained),
     };
-    ContainmentInstance { q1, q2, family: pair.name(), n, expected: contained, expected_ainj }
+    ContainmentInstance {
+        q1,
+        q2,
+        family: pair.name(),
+        n,
+        expected: contained,
+        expected_ainj,
+    }
 }
 
 /// Checks the class membership promises of the family.
@@ -347,7 +391,8 @@ mod tests {
                     };
                     if let (Some(verdict), Some(expected)) = (out.as_bool(), expected) {
                         assert_eq!(
-                            verdict, expected,
+                            verdict,
+                            expected,
                             "{} n=2 contained={contained} sem={sem}",
                             pair.name()
                         );

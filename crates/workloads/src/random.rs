@@ -41,8 +41,9 @@ impl Default for RandomQueryParams {
 /// interned into `alphabet`.
 pub fn random_query(params: RandomQueryParams, alphabet: &mut Interner, seed: u64) -> Crpq {
     let mut rng = StdRng::seed_from_u64(seed);
-    let syms: Vec<Symbol> =
-        (0..params.alphabet).map(|i| alphabet.intern(&format!("s{i}"))).collect();
+    let syms: Vec<Symbol> = (0..params.alphabet)
+        .map(|i| alphabet.intern(&format!("s{i}")))
+        .collect();
     let mut atoms = Vec::with_capacity(params.num_atoms);
     for _ in 0..params.num_atoms {
         let src = Var(rng.gen_range(0..params.num_vars) as u32);
@@ -53,14 +54,20 @@ pub fn random_query(params: RandomQueryParams, alphabet: &mut Interner, seed: u6
     let free = (0..params.arity)
         .map(|_| Var(rng.gen_range(0..params.num_vars) as u32))
         .collect();
-    Crpq { num_vars: params.num_vars, atoms, free }
+    Crpq {
+        num_vars: params.num_vars,
+        atoms,
+        free,
+    }
 }
 
 fn random_regex(params: &RandomQueryParams, syms: &[Symbol], rng: &mut StdRng) -> Regex {
     let word = |rng: &mut StdRng| {
         let len = rng.gen_range(1..=params.max_word.max(1));
         Regex::word(
-            &(0..len).map(|_| syms[rng.gen_range(0..syms.len())]).collect::<Vec<_>>(),
+            &(0..len)
+                .map(|_| syms[rng.gen_range(0..syms.len())])
+                .collect::<Vec<_>>(),
         )
     };
     match params.class {
@@ -105,16 +112,25 @@ mod tests {
     #[test]
     fn random_query_class_respected() {
         let mut it = Interner::new();
-        for (seed, class) in
-            [(1, QueryClass::Cq), (2, QueryClass::CrpqFin), (3, QueryClass::Crpq)]
-        {
+        for (seed, class) in [
+            (1, QueryClass::Cq),
+            (2, QueryClass::CrpqFin),
+            (3, QueryClass::Crpq),
+        ] {
             let q = random_query(
-                RandomQueryParams { class, ..Default::default() },
+                RandomQueryParams {
+                    class,
+                    ..Default::default()
+                },
                 &mut it,
                 seed,
             );
             // Classification is monotone: a CQ also classifies as CQ, etc.
-            assert!(q.classify() <= class, "wanted {class:?}, got {:?}", q.classify());
+            assert!(
+                q.classify() <= class,
+                "wanted {class:?}, got {:?}",
+                q.classify()
+            );
             assert_eq!(q.atoms.len(), 3);
         }
     }
@@ -134,7 +150,10 @@ mod tests {
         for seed in 0..4 {
             let mut it = Interner::new();
             let q = random_query(
-                RandomQueryParams { arity: 1, ..Default::default() },
+                RandomQueryParams {
+                    arity: 1,
+                    ..Default::default()
+                },
                 &mut it,
                 seed,
             );

@@ -5,10 +5,10 @@
 //!   the injective semantics hit the NP wall (simple-path search);
 //! * **combined complexity**: a growing chain query over a fixed graph.
 
+use crpq_automata::Regex;
 use crpq_graph::{generators, GraphDb};
 use crpq_query::{parse_crpq, Crpq, CrpqAtom, Var};
 use crpq_util::Interner;
-use crpq_automata::Regex;
 
 /// A fixed 2-atom query exercising all three semantics
 /// (`Q(x,y) = x -(ab)*-> y ∧ y -c*-> x`).
@@ -93,6 +93,12 @@ mod tests {
         let nfa = crpq_automata::Nfa::from_regex(&regex);
         let s0 = g.node_by_name("s0").unwrap();
         let s3 = g.node_by_name("s3").unwrap();
-        assert!(crpq_graph::rpq::simple_path_exists(&g2, &nfa, s0, s3, &g2.node_set()));
+        assert!(crpq_graph::rpq::simple_path_exists(
+            &g2,
+            &nfa,
+            s0,
+            s3,
+            &g2.node_set()
+        ));
     }
 }

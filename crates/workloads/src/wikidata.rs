@@ -16,8 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// The property vocabulary of the synthetic knowledge graph.
-pub const PROPERTIES: [&str; 5] =
-    ["instanceOf", "subclassOf", "partOf", "locatedIn", "follows"];
+pub const PROPERTIES: [&str; 5] = ["instanceOf", "subclassOf", "partOf", "locatedIn", "follows"];
 
 /// The query-log shape classes of [7, 8], with rough log frequencies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,12 +88,20 @@ pub fn knowledge_graph(entities: usize, seed: u64) -> GraphDb {
     // taxonomy: a small binary tree of classes
     let classes = 7;
     for c in 1..classes {
-        b.edge(&format!("class{c}"), "subclassOf", &format!("class{}", (c - 1) / 2));
+        b.edge(
+            &format!("class{c}"),
+            "subclassOf",
+            &format!("class{}", (c - 1) / 2),
+        );
     }
     // places: a containment chain
     let places = 5;
     for pl in 1..places {
-        b.edge(&format!("place{pl}"), "locatedIn", &format!("place{}", pl - 1));
+        b.edge(
+            &format!("place{pl}"),
+            "locatedIn",
+            &format!("place{}", pl - 1),
+        );
         b.edge(&format!("place{pl}"), "partOf", &format!("place{}", pl - 1));
     }
     // entities
@@ -132,10 +139,14 @@ mod tests {
     fn log_distribution_is_log_like() {
         let mut sigma = Interner::new();
         let log = query_log(200, &mut sigma, 3);
-        let singles =
-            log.iter().filter(|(s, _)| *s == LogShape::SingleProperty).count();
-        let closures =
-            log.iter().filter(|(s, _)| *s == LogShape::TransitiveClosure).count();
+        let singles = log
+            .iter()
+            .filter(|(s, _)| *s == LogShape::SingleProperty)
+            .count();
+        let closures = log
+            .iter()
+            .filter(|(s, _)| *s == LogShape::TransitiveClosure)
+            .count();
         assert!(singles > 60, "singles dominate: {singles}");
         assert!(closures > 40, "closures frequent: {closures}");
     }

@@ -36,7 +36,10 @@ fn main() {
         g.alphabet_mut(),
     )
     .unwrap();
-    let (scl, bod) = (g.node_by_name("SCL").unwrap(), g.node_by_name("BOD").unwrap());
+    let (scl, bod) = (
+        g.node_by_name("SCL").unwrap(),
+        g.node_by_name("BOD").unwrap(),
+    );
 
     println!("== witnesses (disjoint routes under q-inj) ==");
     match eval_witness(&q, &g, &[scl, bod], Semantics::QueryInjective) {

@@ -23,8 +23,14 @@ fn main() {
     let mut sigma = Interner::new();
     let q = paper::intro_query(&mut sigma);
     let g = paper::intro_b_path(&sigma, 2);
-    check("holds on a b-path under a-inj", eval_boolean(&q, &g, Semantics::AtomInjective));
-    check("fails on a b-path under q-inj", !eval_boolean(&q, &g, Semantics::QueryInjective));
+    check(
+        "holds on a b-path under a-inj",
+        eval_boolean(&q, &g, Semantics::AtomInjective),
+    );
+    check(
+        "fails on a b-path under q-inj",
+        !eval_boolean(&q, &g, Semantics::QueryInjective),
+    );
 
     // ---------------------------------------------------- §2.1, Example 2.1
     println!("\n§2.1 — Example 2.1 / Figure 2 (semantics separation)");
@@ -32,34 +38,63 @@ fn main() {
     let q = paper::example21_query(&mut sigma);
     let g = paper::example21_g(&sigma);
     let (u, w) = (g.node_by_name("u").unwrap(), g.node_by_name("w").unwrap());
-    check("(u,w) ∈ Q(G)_a-inj", eval_contains(&q, &g, &[u, w], Semantics::AtomInjective));
-    check("(u,w) ∉ Q(G)_q-inj", !eval_contains(&q, &g, &[u, w], Semantics::QueryInjective));
+    check(
+        "(u,w) ∈ Q(G)_a-inj",
+        eval_contains(&q, &g, &[u, w], Semantics::AtomInjective),
+    );
+    check(
+        "(u,w) ∉ Q(G)_q-inj",
+        !eval_contains(&q, &g, &[u, w], Semantics::QueryInjective),
+    );
     check(
         "Q(G)_st = Q(G)_a-inj",
-        eval_tuples(&q, &g, Semantics::Standard)
-            == eval_tuples(&q, &g, Semantics::AtomInjective),
+        eval_tuples(&q, &g, Semantics::Standard) == eval_tuples(&q, &g, Semantics::AtomInjective),
     );
     let gp = paper::example21_gprime(&sigma);
     let (u, v) = (gp.node_by_name("u").unwrap(), gp.node_by_name("v").unwrap());
-    check("(u,v) ∈ Q(G′)_st", eval_contains(&q, &gp, &[u, v], Semantics::Standard));
-    check("(u,v) ∉ Q(G′)_a-inj", !eval_contains(&q, &gp, &[u, v], Semantics::AtomInjective));
+    check(
+        "(u,v) ∈ Q(G′)_st",
+        eval_contains(&q, &gp, &[u, v], Semantics::Standard),
+    );
+    check(
+        "(u,v) ∉ Q(G′)_a-inj",
+        !eval_contains(&q, &gp, &[u, v], Semantics::AtomInjective),
+    );
 
     // ------------------------------------------------------- Remark 2.1
     println!("\nRemark 2.1 — the hierarchy q-inj ⊆ a-inj ⊆ st");
     let full = paper::example21_full_separation(&sigma);
     let report = check_hierarchy(&q, &full);
     check("hierarchy holds", report.holds());
-    check("all three semantics separated on one graph", report.fully_separated());
+    check(
+        "all three semantics separated on one graph",
+        report.fully_separated(),
+    );
 
     // ------------------------------------------------------- Example 4.7
     println!("\n§4 — Example 4.7 (containment incomparability)");
     let mut sigma = Interner::new();
     let (q1, q2, q1p, q2p) = paper::example47_queries(&mut sigma);
-    check("Q1 ⊆q-inj Q2", contain(&q1, &q2, Semantics::QueryInjective).is_contained());
-    check("Q1 ⊆st Q2", contain(&q1, &q2, Semantics::Standard).is_contained());
-    check("Q1 ⊄a-inj Q2", contain(&q1, &q2, Semantics::AtomInjective).is_not_contained());
-    check("Q1′ ⊆a-inj Q2′", contain(&q1p, &q2p, Semantics::AtomInjective).is_contained());
-    check("Q1′ ⊆st Q2′", contain(&q1p, &q2p, Semantics::Standard).is_contained());
+    check(
+        "Q1 ⊆q-inj Q2",
+        contain(&q1, &q2, Semantics::QueryInjective).is_contained(),
+    );
+    check(
+        "Q1 ⊆st Q2",
+        contain(&q1, &q2, Semantics::Standard).is_contained(),
+    );
+    check(
+        "Q1 ⊄a-inj Q2",
+        contain(&q1, &q2, Semantics::AtomInjective).is_not_contained(),
+    );
+    check(
+        "Q1′ ⊆a-inj Q2′",
+        contain(&q1p, &q2p, Semantics::AtomInjective).is_contained(),
+    );
+    check(
+        "Q1′ ⊆st Q2′",
+        contain(&q1p, &q2p, Semantics::Standard).is_contained(),
+    );
     check(
         "Q1′ ⊄q-inj Q2′",
         contain(&q1p, &q2p, Semantics::QueryInjective).is_not_contained(),
@@ -81,8 +116,9 @@ fn main() {
 
     // ----------------------------------------------- Theorem 5.2 (PCP)
     println!("\n§5 — Theorem 5.2: the PCP reduction skeleton");
-    let inst =
-        PcpInstance { pairs: vec![("ab".into(), "a".into()), ("c".into(), "bc".into())] };
+    let inst = PcpInstance {
+        pairs: vec![("ab".into(), "a".into()), ("c".into(), "bc".into())],
+    };
     let sol = pcp_brute_force(&inst, 6).unwrap();
     check("PCP instance (ab,a)(c,bc) solved by 1·2", sol == vec![0, 1]);
     let mut sigma = Interner::new();
@@ -98,7 +134,10 @@ fn main() {
     let tri = Gcp2Instance::new(3, &[(0, 1), (1, 2), (0, 2)], 2);
     let mut sigma = Interner::new();
     let (g1, g2, _) = gcp2_to_qinj_containment(&tri, &mut sigma);
-    check("triangle not 2-colourable (brute force)", !gcp2_brute_force(&tri));
+    check(
+        "triangle not 2-colourable (brute force)",
+        !gcp2_brute_force(&tri),
+    );
     check(
         "reduction: Q1 ⊆q-inj Q2 (negative instance)",
         contain(&g1, &g2, Semantics::QueryInjective).is_contained(),

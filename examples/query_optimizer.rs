@@ -32,7 +32,13 @@ fn main() {
             (Some(_), Some(_)) => "UNSOUND (not equivalent)",
             _ => "undetermined within budget",
         };
-        println!("  {:>6}: forward {:?}, backward {:?} → {}", sem.to_string(), fwd, bwd, verdict);
+        println!(
+            "  {:>6}: forward {:?}, backward {:?} → {}",
+            sem.to_string(),
+            fwd,
+            bwd,
+            verdict
+        );
     }
 
     // ------------------------------------------------------------------
@@ -50,7 +56,11 @@ fn main() {
         println!(
             "  {:>6}: {}",
             sem.to_string(),
-            if sound { "sound" } else { "UNSOUND — keep the join variable!" }
+            if sound {
+                "sound"
+            } else {
+                "UNSOUND — keep the join variable!"
+            }
         );
     }
 
@@ -65,8 +75,10 @@ fn main() {
         "x -[likes]-> y",
     ];
     println!("\nsubsumption pruning under standard semantics:");
-    let parsed: Vec<Crpq> =
-        log.iter().map(|t| parse_crpq(t, &mut sigma).unwrap()).collect();
+    let parsed: Vec<Crpq> = log
+        .iter()
+        .map(|t| parse_crpq(t, &mut sigma).unwrap())
+        .collect();
     for (i, qi) in parsed.iter().enumerate() {
         for (j, qj) in parsed.iter().enumerate() {
             if i != j && contain(qi, qj, Semantics::Standard).is_contained() {

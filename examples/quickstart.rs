@@ -36,9 +36,7 @@ fn main() {
         let tuples = eval_tuples(&q, &g, sem);
         let rendered: Vec<String> = tuples
             .iter()
-            .map(|t| {
-                format!("({}, {})", g.node_name(t[0]), g.node_name(t[1]))
-            })
+            .map(|t| format!("({}, {})", g.node_name(t[0]), g.node_name(t[1])))
             .collect();
         println!("{:>6}: {}", sem.to_string(), rendered.join(" "));
     }

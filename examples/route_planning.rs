@@ -13,7 +13,11 @@ use std::time::Instant;
 fn main() {
     // A one-way street grid: `r` goes east, `d` goes south.
     let mut g = generators::grid(4, 5, "r", "d");
-    println!("city grid: {} junctions, {} one-way streets", g.num_nodes(), g.num_edges());
+    println!(
+        "city grid: {} junctions, {} one-way streets",
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     let start = g.node_by_name("g0_0").unwrap();
     let goal = g.node_by_name("g3_4").unwrap();
@@ -38,7 +42,10 @@ fn main() {
     println!("number of simple routes:    {count}");
 
     // A detour constraint: exactly 9 street segments.
-    let nine = parse_regex_nfa("(r+d) (r+d) (r+d) (r+d) (r+d) (r+d) (r+d) (r+d) (r+d)", &mut g);
+    let nine = parse_regex_nfa(
+        "(r+d) (r+d) (r+d) (r+d) (r+d) (r+d) (r+d) (r+d) (r+d)",
+        &mut g,
+    );
     println!(
         "9-segment simple route?     {}",
         rpq::simple_path_exists(&g, &nine, start, goal, &g.node_set())

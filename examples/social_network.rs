@@ -33,9 +33,18 @@ fn main() {
     let ai = eval_tuples(&q, &g, Semantics::AtomInjective);
     let qi = eval_tuples(&q, &g, Semantics::QueryInjective);
     println!("\npeople with two 2-hop introductions:");
-    println!("  standard        : {:>3} (chains may share everyone)", st.len());
-    println!("  atom-injective  : {:>3} (each chain is a simple path)", ai.len());
-    println!("  query-injective : {:>3} (chains are pairwise disjoint)", qi.len());
+    println!(
+        "  standard        : {:>3} (chains may share everyone)",
+        st.len()
+    );
+    println!(
+        "  atom-injective  : {:>3} (each chain is a simple path)",
+        ai.len()
+    );
+    println!(
+        "  query-injective : {:>3} (chains are pairwise disjoint)",
+        qi.len()
+    );
 
     // Show a person separating the semantics, if any.
     if let Some(t) = ai.iter().find(|t| !qi.contains(t)) {

@@ -23,7 +23,10 @@ fn main() {
 
     let mut sigma = g.alphabet().clone();
     let log = wikidata::query_log(12, &mut sigma, 99);
-    println!("\n{:<14} {:>5} {:>6} {:>6} {:>6}  analysis", "shape", "arity", "st", "a-inj", "q-inj");
+    println!(
+        "\n{:<14} {:>5} {:>6} {:>6} {:>6}  analysis",
+        "shape", "arity", "st", "a-inj", "q-inj"
+    );
     let mut totals = [0usize; 3];
     for (shape, q) in &log {
         let st = eval_tuples(q, &g, Semantics::Standard).len();
@@ -41,8 +44,19 @@ fn main() {
             classify(&nfa, &nfa.symbols(), AnalysisLimits::default())
                 .is_some_and(SimplePathClass::is_tractable)
         });
-        let note = if all_tractable { "all atoms tractable" } else { "has frontier/hard atom" };
-        println!("{:<14} {:>5} {:>6} {:>6} {:>6}  {note}", format!("{shape:?}"), q.free.len(), st, ai, qi);
+        let note = if all_tractable {
+            "all atoms tractable"
+        } else {
+            "has frontier/hard atom"
+        };
+        println!(
+            "{:<14} {:>5} {:>6} {:>6} {:>6}  {note}",
+            format!("{shape:?}"),
+            q.free.len(),
+            st,
+            ai,
+            qi
+        );
     }
     println!(
         "\ntotals: st {} ⊇ a-inj {} ⊇ q-inj {}  (Remark 2.1 on every query)",
@@ -54,7 +68,11 @@ fn main() {
     // simple-path evaluation is reachability — the common case is the
     // cheap case.
     let mut s2 = Interner::new();
-    let closure = parse_regex("(instanceOf + subclassOf)(instanceOf + subclassOf)*", &mut s2).unwrap();
+    let closure = parse_regex(
+        "(instanceOf + subclassOf)(instanceOf + subclassOf)*",
+        &mut s2,
+    )
+    .unwrap();
     let nfa = Nfa::from_regex(&closure);
     println!(
         "\n`(instanceOf+subclassOf)⁺` classifies as {:?}",

@@ -110,8 +110,7 @@ fn cmd_eval(args: &[String]) -> Result<String, String> {
                 Some(w) => {
                     let mut out = format!("({tuple_text}) ∈ Q(G); witness paths:\n");
                     for (i, path) in w.atom_paths.iter().enumerate() {
-                        let names: Vec<&str> =
-                            path.iter().map(|&n| g.node_name(n)).collect();
+                        let names: Vec<&str> = path.iter().map(|&n| g.node_name(n)).collect();
                         out.push_str(&format!("  atom {i}: {}\n", names.join(" → ")));
                     }
                     out.trim_end().to_owned()
@@ -286,8 +285,7 @@ mod tests {
 
     #[test]
     fn classify_command() {
-        let out =
-            run(&a(&["classify", "--query", "(x, y) <- x -[(a b)*]-> y"])).unwrap();
+        let out = run(&a(&["classify", "--query", "(x, y) <- x -[(a b)*]-> y"])).unwrap();
         assert!(out.contains("class: CRPQ"), "{out}");
         assert!(out.contains("free arity: 2"), "{out}");
     }
@@ -299,13 +297,26 @@ mod tests {
         let path = dir.join("g.txt");
         std::fs::write(&path, "u a v\nv b w\n").unwrap();
         let p = path.to_str().unwrap();
-        let out = run(&a(&["eval", "--graph", p, "--query", "(x, y) <- x -[a b]-> y"]))
-            .unwrap();
+        let out = run(&a(&[
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            "(x, y) <- x -[a b]-> y",
+        ]))
+        .unwrap();
         assert!(out.contains("1 result(s)"), "{out}");
         assert!(out.contains("(u, w)"), "{out}");
         let out = run(&a(&[
-            "eval", "--graph", p, "--query", "(x, y) <- x -[a b]-> y", "--tuple", "u,w",
-            "--semantics", "q-trail",
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            "(x, y) <- x -[a b]-> y",
+            "--tuple",
+            "u,w",
+            "--semantics",
+            "q-trail",
         ]))
         .unwrap();
         assert!(out.contains("true"), "{out}");
@@ -331,7 +342,11 @@ mod tests {
         let out = run(&a(&["bounded", "--query", "(x, y) <- x -[a b + c]-> y"])).unwrap();
         assert!(out.contains("bounded (certified)"), "{out}");
         let out = run(&a(&[
-            "bounded", "--query", "(x, y) <- x -[a a*]-> y", "--max-level", "2",
+            "bounded",
+            "--query",
+            "(x, y) <- x -[a a*]-> y",
+            "--max-level",
+            "2",
         ]))
         .unwrap();
         assert!(out.contains("unbounded evidence"), "{out}");
@@ -345,8 +360,16 @@ mod tests {
         std::fs::write(&path, "u a v\nv b w\n").unwrap();
         let p = path.to_str().unwrap();
         let out = run(&a(&[
-            "eval", "--graph", p, "--query", "(x, y) <- x -[a b]-> y", "--tuple", "u,w",
-            "--semantics", "a-inj", "--witness",
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            "(x, y) <- x -[a b]-> y",
+            "--tuple",
+            "u,w",
+            "--semantics",
+            "a-inj",
+            "--witness",
         ]))
         .unwrap();
         assert!(out.contains("u → v → w"), "{out}");

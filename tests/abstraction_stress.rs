@@ -20,8 +20,9 @@ fn random_connected_query(
     arity: usize,
 ) -> Crpq {
     use crpq::automata::Regex;
-    let syms: Vec<Symbol> =
-        (0..alphabet).map(|i| sigma.intern(&format!("s{i}"))).collect();
+    let syms: Vec<Symbol> = (0..alphabet)
+        .map(|i| sigma.intern(&format!("s{i}")))
+        .collect();
     let mut atoms = Vec::with_capacity(num_atoms);
     for k in 0..num_atoms {
         // Chain-ish connectivity: atom k links var k to a random earlier or
@@ -38,10 +39,20 @@ fn random_connected_query(
                 )
             })
             .collect();
-        atoms.push(CrpqAtom { src, dst, regex: Regex::alt(words) });
+        atoms.push(CrpqAtom {
+            src,
+            dst,
+            regex: Regex::alt(words),
+        });
     }
-    let free = (0..arity).map(|_| Var(rng.gen_range(0..num_vars) as u32)).collect();
-    Crpq { num_vars, atoms, free }
+    let free = (0..arity)
+        .map(|_| Var(rng.gen_range(0..num_vars) as u32))
+        .collect();
+    Crpq {
+        num_vars,
+        atoms,
+        free,
+    }
 }
 
 fn exhaustive(q1: &Crpq, q2: &Crpq) -> Option<bool> {
@@ -50,7 +61,10 @@ fn exhaustive(q1: &Crpq, q2: &Crpq) -> Option<bool> {
         q2,
         Semantics::QueryInjective,
         ContainmentConfig {
-            limits: ExpansionLimits { max_word_len: 6, max_expansions: usize::MAX },
+            limits: ExpansionLimits {
+                max_word_len: 6,
+                max_expansions: usize::MAX,
+            },
             threads: 1,
         },
     )
@@ -65,8 +79,11 @@ fn abstraction_agrees_on_adversarial_corpus() {
     for trial in 0..160 {
         let mut sigma = Interner::new();
         let arity = rng.gen_range(0..=1);
-        let (v1, a1, k1) =
-            (rng.gen_range(2..=3), rng.gen_range(1..=2), rng.gen_range(2..=3));
+        let (v1, a1, k1) = (
+            rng.gen_range(2..=3),
+            rng.gen_range(1..=2),
+            rng.gen_range(2..=3),
+        );
         let q1 = random_connected_query(&mut rng, &mut sigma, v1, a1, k1, arity);
         let (a2, k2) = (rng.gen_range(1..=2), rng.gen_range(2..=3));
         let q2 = random_connected_query(&mut rng, &mut sigma, 2, a2, k2, arity);
@@ -82,7 +99,10 @@ fn abstraction_agrees_on_adversarial_corpus() {
         }
     }
     // The fragment must actually be exercised, not vacuously skipped.
-    assert!(applied >= 40, "abstraction engine applied only {applied} times");
+    assert!(
+        applied >= 40,
+        "abstraction engine applied only {applied} times"
+    );
     assert!(decided >= 40, "cross-checked only {decided} instances");
 }
 
@@ -127,20 +147,28 @@ fn abstraction_agrees_on_starred_instances_with_planted_words() {
             }],
             vec![Var(0), Var(1)],
         );
-        let Some(abs) = try_contain_qinj(&q1, &q2) else { continue };
+        let Some(abs) = try_contain_qinj(&q1, &q2) else {
+            continue;
+        };
         checked += 1;
         let bounded = contain_with(
             &q1,
             &q2,
             Semantics::QueryInjective,
             ContainmentConfig {
-                limits: ExpansionLimits { max_word_len: 8, max_expansions: 100_000 },
+                limits: ExpansionLimits {
+                    max_word_len: 8,
+                    max_expansions: 100_000,
+                },
                 threads: 1,
             },
         );
         match bounded {
             Outcome::NotContained(_) => {
-                assert!(!abs, "bounded refutation vs abstraction `true`:\n{q1:?}\n{q2:?}")
+                assert!(
+                    !abs,
+                    "bounded refutation vs abstraction `true`:\n{q1:?}\n{q2:?}"
+                )
             }
             Outcome::Contained => {
                 assert!(abs, "exhaustive containment vs abstraction `false`")
@@ -155,7 +183,10 @@ fn abstraction_agrees_on_starred_instances_with_planted_words() {
                     &q2.atoms[0].nfa(),
                     &alphabet,
                 );
-                assert_eq!(abs, truth, "abstraction vs language inclusion:\n{q1:?}\n{q2:?}");
+                assert_eq!(
+                    abs, truth,
+                    "abstraction vs language inclusion:\n{q1:?}\n{q2:?}"
+                );
             }
         }
     }

@@ -21,7 +21,10 @@ fn epsilon_only_query_holds_on_any_nonempty_graph() {
     let mut g = graph(&[("u", "a", "v")]);
     let q = parse_query("x -[a*]-> y, y -[a*]-> x", g.alphabet_mut()).unwrap();
     for sem in Semantics::ALL {
-        assert!(eval_boolean(&q, &g, sem), "ε-collapse variant must fire under {sem}");
+        assert!(
+            eval_boolean(&q, &g, sem),
+            "ε-collapse variant must fire under {sem}"
+        );
     }
     // … but not on the empty graph.
     let empty = GraphBuilder::new().finish();
@@ -36,7 +39,10 @@ fn disconnected_query_evaluates_per_component() {
     let q = parse_query("x -[a]-> y, z -[b]-> w", g.alphabet_mut()).unwrap();
     assert!(!q.is_connected());
     for sem in Semantics::ALL {
-        assert!(eval_boolean(&q, &g, sem), "components satisfied separately under {sem}");
+        assert!(
+            eval_boolean(&q, &g, sem),
+            "components satisfied separately under {sem}"
+        );
     }
     // q-inj additionally needs the four images distinct — force a clash.
     let mut g2 = graph(&[("u", "a", "v"), ("u", "b", "v")]);
@@ -56,7 +62,10 @@ fn repeated_free_variables_constrain_tuples() {
     let u = g.node_by_name("u").unwrap();
     let v = g.node_by_name("v").unwrap();
     assert!(eval_contains(&q, &g, &[u, u], Semantics::Standard));
-    assert!(!eval_contains(&q, &g, &[u, v], Semantics::Standard), "repeated frees must agree");
+    assert!(
+        !eval_contains(&q, &g, &[u, v], Semantics::Standard),
+        "repeated frees must agree"
+    );
 }
 
 #[test]
@@ -164,7 +173,10 @@ fn graph_text_roundtrip() {
                 back.node_by_name(g.node_name(v)).unwrap(),
             );
             let bsym = back.alphabet().get(label).unwrap();
-            assert!(back.has_edge(bu, bsym, bv), "edge {u:?}-{label}->{v:?} lost");
+            assert!(
+                back.has_edge(bu, bsym, bv),
+                "edge {u:?}-{label}->{v:?} lost"
+            );
         }
     }
 }
@@ -205,7 +217,10 @@ fn parallel_edges_with_distinct_labels() {
     let q = parse_query("(x, y) <- x -[b a]-> y", g.alphabet_mut()).unwrap();
     let (u, w) = (g.node_by_name("u").unwrap(), g.node_by_name("w").unwrap());
     for sem in Semantics::ALL {
-        assert!(eval_contains(&q, &g, &[u, w], sem), "b·a path exists under {sem}");
+        assert!(
+            eval_contains(&q, &g, &[u, w], sem),
+            "b·a path exists under {sem}"
+        );
     }
 }
 
@@ -221,11 +236,17 @@ fn simple_cycle_excludes_shorter_revisits() {
     let q3 = parse_query("x -[a a a]-> x", g.alphabet_mut()).unwrap();
     let q2 = parse_query("x -[a a]-> x", g.alphabet_mut()).unwrap();
     assert!(eval_boolean(&q3, &g, Semantics::AtomInjective));
-    assert!(eval_boolean(&q2, &g, Semantics::AtomInjective), "u→v→u chord 2-cycle");
+    assert!(
+        eval_boolean(&q2, &g, Semantics::AtomInjective),
+        "u→v→u chord 2-cycle"
+    );
     // Length-4 simple cycles do not exist in this graph.
     let q4 = parse_query("x -[a a a a]-> x", g.alphabet_mut()).unwrap();
     assert!(!eval_boolean(&q4, &g, Semantics::AtomInjective));
-    assert!(eval_boolean(&q4, &g, Semantics::Standard), "walk may repeat");
+    assert!(
+        eval_boolean(&q4, &g, Semantics::Standard),
+        "walk may repeat"
+    );
 }
 
 #[test]

@@ -23,7 +23,10 @@ fn parse_evaluate_contain_pipeline() {
     let q1 = parse_crpq("x -[edge edge]-> y", &mut sigma).unwrap();
     let q2 = parse_crpq("x -[edge]-> y", &mut sigma).unwrap();
     for sem in Semantics::ALL {
-        assert!(contain(&q1, &q2, sem).is_contained(), "two hops imply one hop under {sem}");
+        assert!(
+            contain(&q1, &q2, sem).is_contained(),
+            "two hops imply one hop under {sem}"
+        );
     }
 }
 
@@ -49,8 +52,7 @@ fn direct_and_expansion_evaluators_agree() {
         for sem in Semantics::ALL {
             for node in g.nodes() {
                 let direct = eval_contains(&q, &g, &[node], sem);
-                let via_exp =
-                    expansion_eval::eval_contains_complete(&q, &g, &[node], sem);
+                let via_exp = expansion_eval::eval_contains_complete(&q, &g, &[node], sem);
                 assert_eq!(
                     direct, via_exp,
                     "engines disagree: seed={seed} node={node:?} sem={sem}"
@@ -89,8 +91,7 @@ fn abstraction_and_naive_containment_agree_on_finite() {
             seed + 1000,
         );
         let naive = contain(&q1, &q2, Semantics::QueryInjective);
-        if let (Some(abs), Some(naive)) =
-            (abstraction::try_contain_qinj(&q1, &q2), naive.as_bool())
+        if let (Some(abs), Some(naive)) = (abstraction::try_contain_qinj(&q1, &q2), naive.as_bool())
         {
             assert_eq!(abs, naive, "abstraction vs naive on seed {seed}");
         }
@@ -111,7 +112,10 @@ fn hierarchy_on_paper_and_random_instances() {
     for seed in 0..4u64 {
         let mut sigma = Interner::new();
         let q = random::random_query(
-            random::RandomQueryParams { arity: 2, ..Default::default() },
+            random::RandomQueryParams {
+                arity: 2,
+                ..Default::default()
+            },
             &mut sigma,
             seed,
         );
@@ -132,8 +136,7 @@ fn counter_examples_are_verifiable() {
         match out {
             Outcome::NotContained(ce) => {
                 let g = ce.witness.to_graph_anon(sigma.len());
-                let tuple: Vec<NodeId> =
-                    ce.witness.free.iter().map(|v| NodeId(v.0)).collect();
+                let tuple: Vec<NodeId> = ce.witness.free.iter().map(|v| NodeId(v.0)).collect();
                 assert!(
                     eval_contains(&q1, &g, &tuple, sem),
                     "witness satisfies Q1 under {sem}"
@@ -166,7 +169,10 @@ fn epsilon_queries_flow_through_everything() {
     let q2 = parse_crpq("(x, y) <- x -[a?]-> y", &mut sigma).unwrap();
     for sem in Semantics::ALL {
         assert!(contain(&q1, &q2, sem).is_contained(), "a ⊆ a? under {sem}");
-        assert!(contain(&q2, &q1, sem).is_not_contained(), "a? ⊄ a under {sem}");
+        assert!(
+            contain(&q2, &q1, sem).is_not_contained(),
+            "a? ⊄ a under {sem}"
+        );
     }
 }
 

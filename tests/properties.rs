@@ -330,7 +330,7 @@ proptest! {
         use crpq::reductions::PcpInstance;
         // Two pairs over {a, b}, word lengths 1–2, derived from the seed.
         let mut s = seed;
-        let mut word = |s: &mut u64| {
+        let word = |s: &mut u64| {
             *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let len = 1 + ((*s >> 13) % 2) as usize;
             (0..len).map(|i| if (*s >> (17 + i)) & 1 == 0 { 'a' } else { 'b' }).collect::<String>()
