@@ -26,7 +26,7 @@ pub mod regex;
 pub mod tractability;
 
 pub use dfa::Dfa;
-pub use nfa::{Nfa, StateId};
+pub use nfa::{Nfa, NfaKey, StateId};
 pub use parser::{parse_regex, ParseError};
 pub use regex::Regex;
 pub use tractability::{classify as classify_simple_path, SimplePathClass};

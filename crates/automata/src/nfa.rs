@@ -552,6 +552,87 @@ impl Nfa {
     pub fn shortest_word(&self) -> Option<Vec<Symbol>> {
         self.words_up_to(self.num_states(), 1).into_iter().next()
     }
+
+    // ---------------------------------------------------------- canonical key
+
+    /// The canonical structural key of this automaton: a hashable normal
+    /// form that drops unreachable garbage states and renumbers the rest
+    /// by BFS discovery order from the initial states (initials in
+    /// ascending id order, successor rows in their sorted
+    /// `(symbol, target)` order).
+    ///
+    /// **Soundness** (the correctness contract): equal keys imply equal
+    /// languages, which is what lets a relation catalog reuse one
+    /// materialised RPQ relation for every atom whose compiled NFA
+    /// normalises identically. **Unification** is best-effort: automata
+    /// produced by the same deterministic pipeline (e.g. `Nfa::from_regex`
+    /// on equal regexes, the planner's case) always coincide, and many
+    /// renumberings normalise away — but a permutation that reorders
+    /// same-symbol branches of one state can still change BFS discovery
+    /// order and yield distinct keys for isomorphic automata. That only
+    /// costs a duplicate materialisation, never a wrong reuse.
+    pub fn canonical_key(&self) -> NfaKey {
+        let mut renumber = vec![u32::MAX; self.num_states()];
+        let mut order: Vec<StateId> = Vec::new();
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        for q in self.initials.iter() {
+            if renumber[q] == u32::MAX {
+                renumber[q] = order.len() as u32;
+                order.push(q as StateId);
+                queue.push_back(q as StateId);
+            }
+        }
+        while let Some(q) = queue.pop_front() {
+            for &(_, t) in self.transitions_from(q) {
+                if renumber[t as usize] == u32::MAX {
+                    renumber[t as usize] = order.len() as u32;
+                    order.push(t);
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut transitions = Vec::new();
+        let mut finals = Vec::new();
+        for &old in &order {
+            let new = renumber[old as usize];
+            if self.finals.contains(old as usize) {
+                finals.push(new);
+            }
+            for &(sym, t) in self.transitions_from(old) {
+                transitions.push((new, sym, renumber[t as usize]));
+            }
+        }
+        transitions.sort_unstable();
+        transitions.dedup();
+        NfaKey {
+            num_states: order.len() as u32,
+            num_initials: self.initials.len() as u32,
+            transitions,
+            finals,
+        }
+    }
+}
+
+/// Canonical structural normal form of an [`Nfa`], produced by
+/// [`Nfa::canonical_key`]. Hashable and totally ordered, so it can key
+/// hash maps (relation catalogs, memo tables) and appear in sorted
+/// diagnostics. Equal keys guarantee equal languages.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NfaKey {
+    num_states: u32,
+    /// Initial states are exactly `0..num_initials` after BFS renumbering.
+    num_initials: u32,
+    transitions: Vec<(StateId, Symbol, StateId)>,
+    finals: Vec<StateId>,
+}
+
+impl NfaKey {
+    /// A short content fingerprint for logs and bench output (not
+    /// collision-free — use the full key for correctness).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::BuildHasher;
+        crpq_util::FxBuildHasher::default().hash_one(self)
+    }
 }
 
 fn single(q: usize, cap: usize) -> BitSet {
@@ -904,6 +985,48 @@ mod tests {
         assert_eq!(t.num_states(), 2);
         assert!(t.accepts(&w(&[0])));
         assert!(!t.accepts(&w(&[1])));
+    }
+
+    #[test]
+    fn canonical_key_invariant_under_renumbering() {
+        // a·b as states 0→1→2 versus the same automaton with ids permuted
+        // (2→0→1) and an unreachable garbage state appended.
+        let direct = Nfa::from_parts(
+            vec![vec![(Symbol(0), 1)], vec![(Symbol(1), 2)], vec![]],
+            [0],
+            [2],
+        );
+        let permuted = Nfa::from_parts(
+            vec![
+                vec![(Symbol(1), 1)],
+                vec![],
+                vec![(Symbol(0), 0)],
+                vec![(Symbol(0), 3)], // unreachable
+            ],
+            [2],
+            [1],
+        );
+        assert_eq!(direct.canonical_key(), permuted.canonical_key());
+        // Same shape, different finals: keys must differ.
+        let other_final = Nfa::from_parts(
+            vec![vec![(Symbol(0), 1)], vec![(Symbol(1), 2)], vec![]],
+            [0],
+            [1],
+        );
+        assert_ne!(direct.canonical_key(), other_final.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_same_regex_same_key() {
+        let (n1, _) = nfa("(a b)* c");
+        let (n2, _) = nfa("(a b)* c");
+        assert_eq!(n1.canonical_key(), n2.canonical_key());
+        assert_eq!(
+            n1.canonical_key().fingerprint(),
+            n2.canonical_key().fingerprint()
+        );
+        let (n3, _) = nfa("(a b)* c c");
+        assert_ne!(n1.canonical_key(), n3.canonical_key());
     }
 
     #[test]

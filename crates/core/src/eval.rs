@@ -1,14 +1,42 @@
 //! Direct evaluation of CRPQs under the three semantics (§2.1).
 //!
+//! # Planner / executor architecture
+//!
+//! Injective semantics force evaluating every ε-free variant of a query
+//! ([`Crpq::epsilon_free_union`]) — and ε-elimination copies most atoms
+//! *verbatim* into every variant, so a k-variant query used to pay for the
+//! same relation k times. Evaluation is therefore split into two phases:
+//!
+//! * **Planning** ([`plan_variant`]): each variant's atoms are compiled and
+//!   resolved against a [`RelationCatalog`] — a per-graph store of
+//!   materialised atom relations keyed by the *canonical structural key* of
+//!   the compiled NFA ([`crpq_automata::Nfa::canonical_key`]). The first
+//!   atom with a given key materialises its relation (a catalog **miss**);
+//!   every later occurrence — across variants, across semantics, across
+//!   repeated `eval_tuples` calls sharing the catalog — reuses it (a
+//!   **hit**). Hit/miss counters and materialisation wall clock are
+//!   exposed for tests and benchmarks.
+//! * **Execution** ([`JoinPlan`]): the per-variant join *borrows* catalog
+//!   entries instead of owning relations, prunes domains and runs the
+//!   backtracking join.
+//!
+//! Relations themselves use density-adaptive rows
+//! ([`crpq_graph::rpq::RelationRow`]: sorted-`u32` sparse vs. bitset
+//! dense), and the catalog can materialise with the per-source BFS sweeps
+//! partitioned across scoped threads
+//! ([`crpq_graph::rpq::rpq_relation_parallel`]).
+//!
 //! # Two engines
 //!
 //! **Join-based (default, [`eval_tuples`]).** The engine works per ε-free
-//! variant ([`Crpq::epsilon_free_union`]) in a relation-first pipeline:
+//! variant in a relation-first pipeline:
 //!
-//! 1. **Relation materialisation** — every atom's full standard-semantics
-//!    RPQ relation is computed in one multi-source product BFS over the
-//!    label-indexed CSR graph ([`crpq_graph::rpq::rpq_relation`]), indexed
-//!    both ways (`forward(u)` / `backward(v)` bitsets).
+//! 1. **Relation materialisation** — every *distinct* atom's full
+//!    standard-semantics RPQ relation is computed in one multi-source
+//!    product BFS over the label-indexed CSR graph
+//!    ([`crpq_graph::rpq::rpq_relation`]), indexed both ways
+//!    (`forward(u)` / `backward(v)` rows) and cached in the
+//!    [`RelationCatalog`].
 //! 2. **Semi-join pruning** — per-variable candidate domains start at `V`
 //!    and are intersected with atom source/target sets, then shrunk to a
 //!    fixpoint: a node stays in `dom(x)` only while every atom incident to
@@ -41,13 +69,14 @@
 //!   one by one, accumulating the set of used nodes so paths stay internally
 //!   disjoint (backtracking across atoms).
 
-use crpq_automata::Nfa;
+use crpq_automata::{Nfa, NfaKey};
 use crpq_graph::rpq::{ReachScratch, Relation};
 use crpq_graph::{rpq, GraphDb, NodeId};
 use crpq_query::{Crpq, Var};
-use crpq_util::{BitSet, FxHashMap};
+use crpq_util::{BitSet, FxHashMap, FxHashSet};
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
+use std::time::Instant;
 
 /// The three semantics of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -144,17 +173,13 @@ pub fn eval_tuples(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
 /// [`eval_tuples`] with the deletion-closed fast path of
 /// [`eval_contains_analyzed`].
 pub fn eval_tuples_analyzed(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
-    let mut out = BTreeSet::new();
-    for variant in &q.epsilon_free_union() {
-        JoinPlan::build(variant, g, sem, true).search_all(&mut out);
-    }
-    out.into_iter().collect()
+    eval_tuples_join(q, g, sem, true, &mut RelationCatalog::new(g))
 }
 
 /// The full result set computed by the chosen engine. Both strategies
 /// return exactly the same set — property-tested in
-/// `tests/join_equivalence.rs` — which is what keeps the legacy enumerator
-/// useful as an oracle.
+/// `tests/join_equivalence.rs` and `tests/catalog_equivalence.rs` — which
+/// is what keeps the legacy enumerator useful as an oracle.
 pub fn eval_tuples_with(
     q: &Crpq,
     g: &GraphDb,
@@ -162,15 +187,102 @@ pub fn eval_tuples_with(
     strategy: EvalStrategy,
 ) -> Vec<Vec<NodeId>> {
     match strategy {
-        EvalStrategy::Join => {
-            let mut out = BTreeSet::new();
-            for variant in &q.epsilon_free_union() {
-                JoinPlan::build(variant, g, sem, false).search_all(&mut out);
-            }
-            out.into_iter().collect()
-        }
+        EvalStrategy::Join => eval_tuples_join(q, g, sem, false, &mut RelationCatalog::new(g)),
         EvalStrategy::Enumerate => eval_tuples_enumerate(q, g, sem),
     }
+}
+
+/// [`eval_tuples`] against a caller-owned [`RelationCatalog`], so repeated
+/// evaluations on the same graph (other queries sharing atoms, other
+/// semantics, re-runs) reuse every relation materialised so far.
+pub fn eval_tuples_with_catalog(
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    catalog: &mut RelationCatalog,
+) -> Vec<Vec<NodeId>> {
+    eval_tuples_join(q, g, sem, false, catalog)
+}
+
+/// The catalog-backed join driver: plan every variant first (materialising
+/// each distinct atom relation once), then execute the per-variant joins
+/// against the frozen catalog.
+fn eval_tuples_join(
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    analyze: bool,
+    catalog: &mut RelationCatalog,
+) -> Vec<Vec<NodeId>> {
+    let variants = q.epsilon_free_union();
+    let plans: Vec<VariantPlan> = variants
+        .iter()
+        .map(|v| plan_variant(v, g, analyze, catalog))
+        .collect();
+    let mut out = FxHashSet::default();
+    let mut scratch = VerifyScratch::new();
+    for (variant, plan) in variants.iter().zip(plans) {
+        JoinPlan::build(variant, g, sem, plan, catalog).search_all(&mut scratch, &mut out);
+    }
+    sorted_tuples(out)
+}
+
+/// Sorts a deduplicated tuple set into the engines' canonical output
+/// order. The join engine accumulates into a hash set (insert and
+/// projection-prune lookups are much cheaper than a `BTreeSet` of boxed
+/// tuples) and pays for ordering once at the end.
+pub(crate) fn sorted_tuples(out: FxHashSet<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+    let mut tuples: Vec<Vec<NodeId>> = out.into_iter().collect();
+    tuples.sort_unstable();
+    tuples
+}
+
+/// Result-set abstraction for the join search, so the production engine
+/// can accumulate into a hash set while [`eval_tuples_join_unshared`]
+/// keeps the PR-1 `BTreeSet` accumulation it is meant to replicate.
+pub(crate) trait TupleSink {
+    /// Whether the projection is already a known result.
+    fn contains_tuple(&self, t: &[NodeId]) -> bool;
+    /// Records a verified result projection.
+    fn insert_tuple(&mut self, t: Vec<NodeId>);
+}
+
+impl TupleSink for FxHashSet<Vec<NodeId>> {
+    fn contains_tuple(&self, t: &[NodeId]) -> bool {
+        self.contains(t)
+    }
+    fn insert_tuple(&mut self, t: Vec<NodeId>) {
+        self.insert(t);
+    }
+}
+
+impl TupleSink for BTreeSet<Vec<NodeId>> {
+    fn contains_tuple(&self, t: &[NodeId]) -> bool {
+        self.contains(t)
+    }
+    fn insert_tuple(&mut self, t: Vec<NodeId>) {
+        self.insert(t);
+    }
+}
+
+/// The **pre-catalog measurement baseline**: evaluates like the original
+/// (PR 1) flat join engine — every variant rebuilds its atom relations
+/// from scratch with sequential per-source sweeps into unconditionally
+/// dense rows, no cross-variant sharing. Exists so the benchmark suite can
+/// quantify what the planner layer buys on multi-variant queries; not
+/// meant for production callers.
+pub fn eval_tuples_join_unshared(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
+    // PR 1 accumulated straight into a `BTreeSet` of tuples; keep that
+    // here so the baseline's result handling costs what the old engine's
+    // did.
+    let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+    let mut scratch = VerifyScratch::new();
+    for variant in &q.epsilon_free_union() {
+        let mut catalog = RelationCatalog::pr1_baseline(g);
+        let plan = plan_variant(variant, g, false, &mut catalog);
+        JoinPlan::build(variant, g, sem, plan, &catalog).search_all(&mut scratch, &mut out);
+    }
+    out.into_iter().collect()
 }
 
 /// Legacy full-result engine: `|V|^arity` candidate tuples, one membership
@@ -262,19 +374,232 @@ fn compile_atoms(variant: &Crpq, analyze: bool) -> Vec<CompiledAtom> {
 }
 
 // ---------------------------------------------------------------------------
-// Join-based engine
+// Planner layer: relation catalog + per-variant plans
 // ---------------------------------------------------------------------------
 
-/// The compiled join pipeline for one ε-free variant: materialised per-atom
-/// relations plus semi-join-pruned per-variable domains. Immutable once
-/// built, so [`crate::parallel`] can share one plan across worker threads.
+/// How a [`RelationCatalog`] materialises a relation on a miss.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum MaterialiseMode {
+    /// Cost-adaptive ([`rpq::rpq_relation_auto`]): per-source sweeps with
+    /// sampled cost observation, switching to the condensation bitset
+    /// closure on dense products; per-source sweeps partition across
+    /// scoped threads when more than one is configured.
+    #[default]
+    Auto,
+    /// Faithful PR-1 reproduction (per-source BFS, unconditionally dense
+    /// rows, sequential) — the `BENCH_eval` measurement baseline.
+    Pr1Baseline,
+}
+
+/// Per-graph store of materialised atom relations, keyed by the canonical
+/// structural key of the atom's compiled NFA.
+///
+/// The catalog is the unit of sharing in the planner: a k-variant query
+/// whose variants repeat the same atom language materialises that
+/// relation **once** (one miss, k−1 hits) instead of k times, and a
+/// caller-owned catalog extends the sharing across queries and repeated
+/// evaluations on the same graph. A miss materialises cost-adaptively
+/// ([`rpq::rpq_relation_auto`]): per-source BFS sweeps by default, with a
+/// sampled cost probe that escalates to the condensation bitset closure
+/// ([`rpq::rpq_relation_closure`]) on dense products where per-source
+/// exploration would be quadratically wasteful (and the closure's reach
+/// matrix fits in memory, [`rpq::closure_fits`]). Sweeps run sequentially
+/// with a pooled [`ReachScratch`] by default and partition across scoped
+/// threads when built via [`RelationCatalog::with_threads`].
+pub struct RelationCatalog {
+    /// Node count of the graph this catalog is bound to (O(1) misuse
+    /// guard on every lookup).
+    num_nodes: usize,
+    /// Sampled structural fingerprint of the bound graph (debug-build
+    /// misuse guard: a catalog must never serve relations for a different
+    /// graph with the same node count).
+    fingerprint: u64,
+    index: FxHashMap<NfaKey, usize>,
+    relations: Vec<Relation>,
+    scratch: ReachScratch,
+    threads: usize,
+    mode: MaterialiseMode,
+    hits: usize,
+    misses: usize,
+    materialise_ms: f64,
+}
+
+impl RelationCatalog {
+    /// An empty catalog for `g`, materialising on a single thread.
+    pub fn new(g: &GraphDb) -> Self {
+        Self::with_threads(g, 1)
+    }
+
+    /// An empty catalog for `g` whose per-source BFS sweeps partition
+    /// across `threads` scoped threads (`0` = one per available CPU,
+    /// capped at 16); the sampled closure escalation is unaffected.
+    pub fn with_threads(g: &GraphDb, threads: usize) -> Self {
+        RelationCatalog {
+            num_nodes: g.num_nodes(),
+            fingerprint: graph_fingerprint(g),
+            index: FxHashMap::default(),
+            relations: Vec::new(),
+            scratch: ReachScratch::new(),
+            threads: rpq::effective_threads(threads),
+            mode: MaterialiseMode::Auto,
+            hits: 0,
+            misses: 0,
+            materialise_ms: 0.0,
+        }
+    }
+
+    /// A catalog that materialises exactly like the pre-planner (PR 1)
+    /// engine: per-source BFS, unconditionally dense rows, sequential.
+    /// Only meant for `BENCH_eval`'s catalog-vs-per-variant comparison —
+    /// see [`eval_tuples_join_unshared`].
+    pub fn pr1_baseline(g: &GraphDb) -> Self {
+        RelationCatalog {
+            mode: MaterialiseMode::Pr1Baseline,
+            ..Self::new(g)
+        }
+    }
+
+    /// The id of the relation for `nfa` on `g`, materialising it on first
+    /// sight. Panics if `g` is not the graph the catalog was built for:
+    /// node count is checked in O(1) on every lookup, and debug builds
+    /// additionally verify a sampled structural fingerprint (edge count
+    /// plus a sample of edges), so a swapped graph with the same node
+    /// count is caught in tests without taxing the all-hits fast path
+    /// (`GraphDb` is structurally immutable once built).
+    pub fn get_or_materialize(&mut self, g: &GraphDb, nfa: &Nfa) -> usize {
+        assert_eq!(
+            self.num_nodes,
+            g.num_nodes(),
+            "RelationCatalog is bound to a different graph"
+        );
+        debug_assert_eq!(
+            self.fingerprint,
+            graph_fingerprint(g),
+            "RelationCatalog is bound to a different graph"
+        );
+        let key = nfa.canonical_key();
+        if let Some(&id) = self.index.get(&key) {
+            self.hits += 1;
+            return id;
+        }
+        self.misses += 1;
+        let t0 = Instant::now();
+        let rel = match self.mode {
+            MaterialiseMode::Pr1Baseline => rpq::rpq_relation_pr1_dense(g, nfa, &mut self.scratch),
+            MaterialiseMode::Auto => {
+                rpq::rpq_relation_auto(g, nfa, &mut self.scratch, self.threads)
+            }
+        };
+        self.materialise_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let id = self.relations.len();
+        self.relations.push(rel);
+        self.index.insert(key, id);
+        id
+    }
+
+    /// The materialised relation with the given id.
+    pub fn relation(&self, id: usize) -> &Relation {
+        &self.relations[id]
+    }
+
+    /// Number of distinct relations materialised so far.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether nothing has been materialised yet.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Lookups that reused an existing relation.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookups that had to materialise (= number of materialisations).
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total wall clock spent materialising relations, in milliseconds.
+    pub fn materialise_ms(&self) -> f64 {
+        self.materialise_ms
+    }
+}
+
+/// Sampled structural fingerprint of a graph: node count, edge count and
+/// up to 64 stride-sampled edges. Cheap enough to recompute on every
+/// catalog lookup, strong enough to catch the realistic misuse modes
+/// (different graph with the same node count, mutated graph).
+fn graph_fingerprint(g: &GraphDb) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = crpq_util::FxHasher::default();
+    g.num_nodes().hash(&mut h);
+    g.num_edges().hash(&mut h);
+    let n = g.num_nodes();
+    let stride = (n / 64).max(1);
+    let mut v = 0;
+    while v < n {
+        let node = NodeId(v as u32);
+        for &(sym, to) in g.out_edges(node) {
+            (v as u32, sym.0, to.0).hash(&mut h);
+        }
+        v += stride;
+    }
+    h.finish()
+}
+
+/// Planner output for one ε-free variant: compiled atoms plus the catalog
+/// ids of their relations. Turned into an executable [`JoinPlan`] once all
+/// variants are planned (so the catalog can be borrowed immutably).
+pub(crate) struct VariantPlan {
+    atoms: Vec<CompiledAtom>,
+    rel_ids: Vec<usize>,
+}
+
+/// Compiles a variant's atoms and resolves each against the catalog,
+/// materialising only relations never seen before.
+pub(crate) fn plan_variant(
+    variant: &Crpq,
+    g: &GraphDb,
+    analyze: bool,
+    catalog: &mut RelationCatalog,
+) -> VariantPlan {
+    let atoms = compile_atoms(variant, analyze);
+    let rel_ids = atoms
+        .iter()
+        .map(|a| catalog.get_or_materialize(g, &a.nfa))
+        .collect();
+    VariantPlan { atoms, rel_ids }
+}
+
+// ---------------------------------------------------------------------------
+// Join-based engine (executor)
+// ---------------------------------------------------------------------------
+
+/// The compiled join pipeline for one ε-free variant: catalog-borrowed
+/// per-atom relations plus semi-join-pruned per-variable domains.
+/// Immutable once built, so [`crate::parallel`] can share one plan across
+/// worker threads.
 pub(crate) struct JoinPlan<'a> {
     g: &'a GraphDb,
     q: &'a Crpq,
     sem: Semantics,
     atoms: Vec<CompiledAtom>,
-    /// `relations[i]` = full standard-semantics relation of atom `i`.
-    relations: Vec<Relation>,
+    /// `relations[i]` = full standard-semantics relation of atom `i`,
+    /// borrowed from the [`RelationCatalog`] it was planned against.
+    relations: Vec<&'a Relation>,
     /// Per-variable candidate domains after semi-join fixpoint.
     domains: Vec<BitSet>,
     /// Some domain is empty — the variant contributes nothing.
@@ -282,15 +607,17 @@ pub(crate) struct JoinPlan<'a> {
 }
 
 impl<'a> JoinPlan<'a> {
-    /// Compiles atoms, materialises their relations and prunes variable
-    /// domains to the semi-join fixpoint.
-    pub(crate) fn build(variant: &'a Crpq, g: &'a GraphDb, sem: Semantics, analyze: bool) -> Self {
-        let atoms = compile_atoms(variant, analyze);
-        let mut scratch = ReachScratch::new();
-        let relations: Vec<Relation> = atoms
-            .iter()
-            .map(|a| rpq::rpq_relation(g, &a.nfa, &mut scratch))
-            .collect();
+    /// Resolves a [`VariantPlan`] against the (now frozen) catalog and
+    /// prunes variable domains to the semi-join fixpoint.
+    pub(crate) fn build(
+        variant: &'a Crpq,
+        g: &'a GraphDb,
+        sem: Semantics,
+        plan: VariantPlan,
+        catalog: &'a RelationCatalog,
+    ) -> Self {
+        let VariantPlan { atoms, rel_ids } = plan;
+        let relations: Vec<&Relation> = rel_ids.iter().map(|&id| catalog.relation(id)).collect();
 
         let n = g.num_nodes();
         let mut domains = vec![BitSet::full(n); variant.num_vars];
@@ -307,8 +634,8 @@ impl<'a> JoinPlan<'a> {
                 }
                 domains[atom.src.index()].intersect_with(&dom);
             } else {
-                domains[atom.src.index()].intersect_with(&rel.source_set());
-                domains[atom.dst.index()].intersect_with(&rel.target_set());
+                domains[atom.src.index()].intersect_with(rel.source_set());
+                domains[atom.dst.index()].intersect_with(rel.target_set());
             }
         }
 
@@ -359,13 +686,15 @@ impl<'a> JoinPlan<'a> {
     }
 
     /// Runs the join to completion, inserting every result projection
-    /// (tuple of free-variable images) into `out`.
-    pub(crate) fn search_all(&self, out: &mut BTreeSet<Vec<NodeId>>) {
+    /// (tuple of free-variable images) into `out`. `scratch` pools the
+    /// verification buffers across solutions (and across variants when the
+    /// caller reuses it).
+    pub(crate) fn search_all(&self, scratch: &mut VerifyScratch, out: &mut dyn TupleSink) {
         if self.empty {
             return;
         }
         let mut assignment: Vec<Option<NodeId>> = vec![None; self.q.num_vars];
-        self.search(&mut assignment, out);
+        self.search(&mut assignment, scratch, out);
     }
 
     /// The candidate set for `var` given the current partial assignment:
@@ -379,12 +708,12 @@ impl<'a> JoinPlan<'a> {
             }
             if atom.src == var {
                 if let Some(dst_node) = assignment[atom.dst.index()] {
-                    cands.intersect_with(rel.backward(dst_node));
+                    rel.backward(dst_node).intersect_into(&mut cands);
                 }
             }
             if atom.dst == var {
                 if let Some(src_node) = assignment[atom.src.index()] {
-                    cands.intersect_with(rel.forward(src_node));
+                    rel.forward(src_node).intersect_into(&mut cands);
                 }
             }
         }
@@ -396,20 +725,36 @@ impl<'a> JoinPlan<'a> {
         cands
     }
 
-    /// The free-variable projection, if every free variable is assigned.
-    fn projection(&self, assignment: &[Option<NodeId>]) -> Option<Vec<NodeId>> {
-        self.q.free.iter().map(|v| assignment[v.index()]).collect()
+    /// Writes the free-variable projection into `buf`; `false` (buffer
+    /// contents unspecified) when some free variable is still unassigned.
+    fn projection_into(&self, assignment: &[Option<NodeId>], buf: &mut Vec<NodeId>) -> bool {
+        buf.clear();
+        for v in &self.q.free {
+            match assignment[v.index()] {
+                Some(n) => buf.push(n),
+                None => return false,
+            }
+        }
+        true
     }
 
     /// Selectivity-ordered backtracking join.
-    fn search(&self, assignment: &mut Vec<Option<NodeId>>, out: &mut BTreeSet<Vec<NodeId>>) {
+    fn search(
+        &self,
+        assignment: &mut Vec<Option<NodeId>>,
+        scratch: &mut VerifyScratch,
+        out: &mut dyn TupleSink,
+    ) {
         // Prune: once all free variables are fixed, deeper levels only vary
         // existential variables — pointless if the projection is already a
-        // known result.
-        if let Some(proj) = self.projection(assignment) {
-            if out.contains(&proj) {
-                return;
-            }
+        // known result. The projection goes through a pooled buffer; the
+        // hash set answers slice lookups without an owned tuple.
+        let mut proj = std::mem::take(&mut scratch.tuple);
+        let pruned =
+            self.projection_into(assignment, &mut proj) && out.contains_tuple(proj.as_slice());
+        scratch.tuple = proj;
+        if pruned {
+            return;
         }
         // Choose the unassigned variable with the fewest candidates.
         let mut best: Option<(Var, BitSet, usize)> = None;
@@ -431,17 +776,31 @@ impl<'a> JoinPlan<'a> {
         }
         let Some((var, cands, _)) = best else {
             // Complete assignment: relations guaranteed it standard-wise;
-            // verify the injective side and record the projection.
-            let mu: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect();
-            if self.verify(&mu) {
-                let proj = self.projection(assignment).expect("complete assignment");
-                out.insert(proj);
+            // verify the injective side and record the projection. `mu`
+            // lives in the scratch pool; an owned tuple is only allocated
+            // for solutions that actually verify.
+            let mut mu = std::mem::take(&mut scratch.mu);
+            mu.clear();
+            mu.extend(assignment.iter().map(|a| a.unwrap()));
+            let ok = self.verify(&mu, scratch);
+            scratch.mu = mu;
+            if ok {
+                // `scratch.tuple` still holds this call's projection: the
+                // entry prune filled it (the assignment is complete here,
+                // so `projection_into` returned `true`) and `verify`
+                // does not touch it.
+                debug_assert_eq!(
+                    scratch.tuple.len(),
+                    self.q.free.len(),
+                    "entry prune must have projected the complete assignment"
+                );
+                out.insert_tuple(scratch.tuple.clone());
             }
             return;
         };
         for node in cands.iter() {
             assignment[var.index()] = Some(NodeId(node as u32));
-            self.search(assignment, out);
+            self.search(assignment, scratch, out);
             assignment[var.index()] = None;
         }
     }
@@ -449,7 +808,7 @@ impl<'a> JoinPlan<'a> {
     /// Verifies a complete, relation-consistent assignment under the plan's
     /// semantics. For `st` the relations are exact, so there is nothing
     /// left to check; the injective semantics re-check paths.
-    fn verify(&self, mu: &[NodeId]) -> bool {
+    fn verify(&self, mu: &[NodeId], scratch: &mut VerifyScratch) -> bool {
         debug_assert!(self
             .atoms
             .iter()
@@ -460,9 +819,10 @@ impl<'a> JoinPlan<'a> {
             // Deletion-closed fast path: relation membership was already
             // enforced during the search, so `std_reach` is a constant.
             Semantics::AtomInjective => {
-                verify_atom_injective(self.g, &self.atoms, mu, &mut |_, _, _| true)
+                scratch.prepare(self.g.num_nodes(), 0);
+                verify_atom_injective(self.g, &self.atoms, mu, &mut |_, _, _| true, &scratch.empty)
             }
-            Semantics::QueryInjective => verify_query_injective(self.g, &self.atoms, mu),
+            Semantics::QueryInjective => verify_query_injective(self.g, &self.atoms, mu, scratch),
         }
     }
 
@@ -481,19 +841,21 @@ impl<'a> JoinPlan<'a> {
     }
 
     /// For parallel evaluation: runs the join with `var` pre-assigned to
-    /// `node`, collecting projections into `out`.
+    /// `node`, collecting projections into `out`. Each worker thread owns
+    /// its own `scratch`.
     pub(crate) fn search_with_fixed(
         &self,
         var: Var,
         node: NodeId,
-        out: &mut BTreeSet<Vec<NodeId>>,
+        scratch: &mut VerifyScratch,
+        out: &mut dyn TupleSink,
     ) {
         if self.empty {
             return;
         }
         let mut assignment: Vec<Option<NodeId>> = vec![None; self.q.num_vars];
         assignment[var.index()] = Some(node);
-        self.search(&mut assignment, out);
+        self.search(&mut assignment, scratch, out);
     }
 }
 
@@ -509,6 +871,7 @@ pub(crate) struct VariantEval<'a> {
     sem: Semantics,
     reach_fwd: FxHashMap<(usize, NodeId), BitSet>,
     reach_back: FxHashMap<(usize, NodeId), BitSet>,
+    scratch: VerifyScratch,
 }
 
 impl<'a> VariantEval<'a> {
@@ -530,6 +893,7 @@ impl<'a> VariantEval<'a> {
             sem,
             reach_fwd: FxHashMap::default(),
             reach_back: FxHashMap::default(),
+            scratch: VerifyScratch::new(),
         }
     }
 
@@ -719,24 +1083,29 @@ impl<'a> VariantEval<'a> {
             Semantics::AtomInjective => {
                 // Split borrows so the deletion-closed fast path can go
                 // through the mutable reachability cache while the shared
-                // verifier reads the atoms.
+                // verifier reads the atoms and the scratch supplies the
+                // pooled empty blocked set.
                 let VariantEval {
                     g,
                     atoms,
                     reach_fwd,
+                    scratch,
                     ..
                 } = self;
                 let g: &GraphDb = g;
                 let atoms: &[CompiledAtom] = atoms.as_slice();
+                scratch.prepare(g.num_nodes(), 0);
                 let mut std_reach = |i: usize, s: NodeId, d: NodeId| {
                     reach_fwd
                         .entry((i, s))
                         .or_insert_with(|| rpq::rpq_reach(g, &atoms[i].nfa, s))
                         .contains(d.index())
                 };
-                verify_atom_injective(g, atoms, mu, &mut std_reach)
+                verify_atom_injective(g, atoms, mu, &mut std_reach, &scratch.empty)
             }
-            Semantics::QueryInjective => verify_query_injective(self.g, &self.atoms, mu),
+            Semantics::QueryInjective => {
+                verify_query_injective(self.g, &self.atoms, mu, &mut self.scratch)
+            }
         }
     }
 
@@ -783,14 +1152,78 @@ impl<'a> VariantEval<'a> {
                 })
                 .collect(),
             Semantics::QueryInjective => {
-                let mut used = self.g.node_set();
+                self.scratch.prepare(self.g.num_nodes(), self.atoms.len());
                 for &n in mu {
-                    used.insert(n.index());
+                    self.scratch.used.insert(n.index());
                 }
                 let mut paths = Vec::with_capacity(self.atoms.len());
-                place_atoms(self.g, &self.atoms, mu, 0, &mut used, &mut paths).then_some(paths)
+                place_atoms(self.g, &self.atoms, mu, 0, &mut self.scratch, &mut paths)
+                    .then_some(paths)
             }
         }
+    }
+}
+
+/// Reusable buffers for the injective verification path.
+///
+/// `simple_path_exists`/`place_atoms` verification used to allocate a
+/// fresh `|V|`-bit blocked set per placement level plus a `Vec` of
+/// internal nodes per candidate path — per *join solution*. The scratch
+/// pools those allocations: the blocked accumulator and the per-depth
+/// snapshot/internal buffers live here and are reused across solutions,
+/// across variants, and (for long-lived callers) across evaluations.
+pub(crate) struct VerifyScratch {
+    /// Blocked-node accumulator for the q-inj joint placement.
+    used: BitSet,
+    /// Per-depth snapshots of `used` (the enumerator's blocked set).
+    blocked: Vec<BitSet>,
+    /// Per-depth internal-node buffers.
+    internals: Vec<Vec<NodeId>>,
+    /// Pooled path buffer for boolean (non-witness) verification.
+    paths: Vec<Vec<NodeId>>,
+    /// Always-empty set with graph capacity — the "nothing blocked"
+    /// argument of the a-inj per-atom checks. Never mutated after sizing.
+    empty: BitSet,
+    /// Pooled projection buffer for the duplicate-result prune.
+    tuple: Vec<NodeId>,
+    /// Pooled complete-assignment buffer handed to verification.
+    mu: Vec<NodeId>,
+}
+
+impl VerifyScratch {
+    pub(crate) fn new() -> Self {
+        VerifyScratch {
+            used: BitSet::new(0),
+            blocked: Vec::new(),
+            internals: Vec::new(),
+            paths: Vec::new(),
+            empty: BitSet::new(0),
+            tuple: Vec::new(),
+            mu: Vec::new(),
+        }
+    }
+
+    /// Sizes the pools for a graph with `n` nodes and a placement search
+    /// `depth` atoms deep, and clears the blocked accumulator.
+    fn prepare(&mut self, n: usize, depth: usize) {
+        if self.used.capacity() != n {
+            self.used = BitSet::new(n);
+            self.empty = BitSet::new(n);
+        } else {
+            self.used.clear();
+        }
+        while self.blocked.len() < depth {
+            self.blocked.push(BitSet::new(0));
+        }
+        while self.internals.len() < depth {
+            self.internals.push(Vec::new());
+        }
+    }
+}
+
+impl Default for VerifyScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -799,18 +1232,21 @@ impl<'a> VariantEval<'a> {
 /// s, d)` supplies the standard-reachability answer that the
 /// deletion-closed fast path relies on — a relation lookup in the join
 /// engine (already enforced during the search), a cached BFS in the
-/// membership engine. Branch order is semantics-critical; keep the two
-/// callers on this one implementation.
+/// membership engine. `empty` is a pooled always-empty blocked set sized
+/// for `g` (see [`VerifyScratch`]). Branch order is semantics-critical;
+/// keep the two callers on this one implementation.
 fn verify_atom_injective(
     g: &GraphDb,
     atoms: &[CompiledAtom],
     mu: &[NodeId],
     std_reach: &mut dyn FnMut(usize, NodeId, NodeId) -> bool,
+    empty: &BitSet,
 ) -> bool {
+    debug_assert!(empty.is_empty() && empty.capacity() == g.num_nodes());
     atoms.iter().enumerate().all(|(i, atom)| {
         let (s, d) = (mu[atom.src.index()], mu[atom.dst.index()]);
         if atom.src == atom.dst {
-            rpq::simple_cycle_exists(g, &atom.nfa, s, &g.node_set())
+            rpq::simple_cycle_exists(g, &atom.nfa, s, empty)
         } else if s == d {
             // Simple path from a node to itself is the empty path; atoms
             // are ε-free, so this is unsatisfiable.
@@ -821,32 +1257,42 @@ fn verify_atom_injective(
             // standard reachability is exact.
             std_reach(i, s, d)
         } else {
-            rpq::simple_path_exists(g, &atom.nfa, s, d, &g.node_set())
+            rpq::simple_path_exists(g, &atom.nfa, s, d, empty)
         }
     })
 }
 
 /// Shared query-injective verification backing both engines: jointly place
 /// internally disjoint simple paths for all atoms, with every μ-image
-/// blocked as a path internal.
-fn verify_query_injective(g: &GraphDb, atoms: &[CompiledAtom], mu: &[NodeId]) -> bool {
-    let mut used = g.node_set();
+/// blocked as a path internal. All working sets come from `scratch`.
+fn verify_query_injective(
+    g: &GraphDb,
+    atoms: &[CompiledAtom],
+    mu: &[NodeId],
+    scratch: &mut VerifyScratch,
+) -> bool {
+    scratch.prepare(g.num_nodes(), atoms.len());
     for &n in mu {
-        used.insert(n.index());
+        scratch.used.insert(n.index());
     }
-    let mut scratch = Vec::new();
-    place_atoms(g, atoms, mu, 0, &mut used, &mut scratch)
+    let mut paths = std::mem::take(&mut scratch.paths);
+    paths.clear();
+    let ok = place_atoms(g, atoms, mu, 0, scratch, &mut paths);
+    scratch.paths = paths;
+    ok
 }
 
 /// Recursively places atom paths so that no internal node is reused
 /// (query-injective joint search). On success, `paths` holds the chosen
 /// node path for every atom from `i` onwards (earlier entries untouched).
+/// Callers must have run `scratch.prepare(n, atoms.len())` and seeded
+/// `scratch.used` with the μ-images.
 fn place_atoms(
     g: &GraphDb,
     atoms: &[CompiledAtom],
     mu: &[NodeId],
     i: usize,
-    used: &mut BitSet,
+    scratch: &mut VerifyScratch,
     paths: &mut Vec<Vec<NodeId>>,
 ) -> bool {
     if i == atoms.len() {
@@ -857,17 +1303,20 @@ fn place_atoms(
     let mut placed = false;
     // Snapshot of the blocked set for the enumeration: `try_rest` restores
     // `used` to exactly this state before the enumerator resumes, so the
-    // snapshot stays accurate throughout.
-    let blocked = used.clone();
+    // snapshot stays accurate throughout. The snapshot buffer is pooled
+    // per depth; it is moved out so the closure can borrow `scratch`.
+    let mut blocked = std::mem::replace(&mut scratch.blocked[i], BitSet::new(0));
+    blocked.copy_from(&scratch.used);
     let complete = if atom.src == atom.dst {
         rpq::for_each_simple_cycle(g, &atom.nfa, s, &blocked, |path| {
-            try_rest(g, atoms, mu, i, used, path, &mut placed, paths)
+            try_rest(g, atoms, mu, i, scratch, path, &mut placed, paths)
         })
     } else {
         rpq::for_each_simple_path(g, &atom.nfa, s, d, &blocked, |path| {
-            try_rest(g, atoms, mu, i, used, path, &mut placed, paths)
+            try_rest(g, atoms, mu, i, scratch, path, &mut placed, paths)
         })
     };
+    scratch.blocked[i] = blocked;
     debug_assert!(complete || placed);
     placed
 }
@@ -878,31 +1327,36 @@ fn try_rest(
     atoms: &[CompiledAtom],
     mu: &[NodeId],
     i: usize,
-    used: &mut BitSet,
+    scratch: &mut VerifyScratch,
     path: &[NodeId],
     placed: &mut bool,
     paths: &mut Vec<Vec<NodeId>>,
 ) -> ControlFlow<()> {
-    // Internal nodes of `path` (endpoints are μ-images, already in `used`).
-    let internals: Vec<NodeId> = path[1..path.len().saturating_sub(1)]
-        .iter()
-        .copied()
-        .filter(|n| !used.contains(n.index()))
-        .collect();
+    // Internal nodes of `path` (endpoints are μ-images, already in `used`);
+    // the buffer is pooled per depth.
+    let mut internals = std::mem::take(&mut scratch.internals[i]);
+    internals.clear();
+    internals.extend(
+        path[1..path.len().saturating_sub(1)]
+            .iter()
+            .copied()
+            .filter(|n| !scratch.used.contains(n.index())),
+    );
     debug_assert_eq!(
         internals.len(),
         path.len().saturating_sub(2),
         "simple-path search must avoid used internals"
     );
     for n in &internals {
-        used.insert(n.index());
+        scratch.used.insert(n.index());
     }
     paths.truncate(i);
     paths.push(path.to_vec());
-    let ok = place_atoms(g, atoms, mu, i + 1, used, paths);
+    let ok = place_atoms(g, atoms, mu, i + 1, scratch, paths);
     for n in &internals {
-        used.remove(n.index());
+        scratch.used.remove(n.index());
     }
+    scratch.internals[i] = internals;
     if ok {
         *placed = true;
         ControlFlow::Break(())

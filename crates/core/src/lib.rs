@@ -31,7 +31,8 @@ pub mod witness;
 
 pub use eval::{
     eval, eval_boolean, eval_contains, eval_contains_analyzed, eval_tuples, eval_tuples_analyzed,
-    eval_tuples_enumerate, eval_tuples_with, EvalStrategy, Semantics,
+    eval_tuples_enumerate, eval_tuples_join_unshared, eval_tuples_with, eval_tuples_with_catalog,
+    EvalStrategy, RelationCatalog, Semantics,
 };
 pub use expansion_eval::{eval_contains_via_expansions, EvalOutcome};
 pub use hierarchy::check_hierarchy;

@@ -1,18 +1,28 @@
 //! Parallel evaluation helpers.
 //!
-//! The join-based engine ([`crate::eval`]) leaves an embarrassingly
-//! parallel outer loop: after semi-join pruning, the candidates of the
-//! first (most selective) join variable partition the search space. Each
-//! worker claims candidates from an atomic cursor, runs the shared
-//! immutable [`JoinPlan`] with that variable pre-assigned, and merges its
-//! local result set at the end — far better work granularity than the old
-//! `|V|^arity` tuple-space sweep, which spent most of its time rejecting
-//! tuples the pruned domains rule out up front.
+//! Two layers of the planner/executor pipeline parallelise independently:
+//!
+//! * **Materialisation** — the shared [`RelationCatalog`] is built with
+//!   `threads` workers, so each distinct atom relation's per-source BFS
+//!   sweeps are partitioned across scoped threads
+//!   ([`crpq_graph::rpq::rpq_relation_parallel`]); the catalog also means
+//!   a relation shared by several ε-free variants is materialised once.
+//! * **Join search** — after semi-join pruning, the candidates of the
+//!   first (most selective) join variable partition the search space.
+//!   Each worker claims candidates from an atomic cursor, runs the shared
+//!   immutable [`JoinPlan`] with that variable pre-assigned (with a
+//!   per-worker verification scratch), and merges its local result set at
+//!   the end — far better work granularity than the old `|V|^arity`
+//!   tuple-space sweep, which spent most of its time rejecting tuples the
+//!   pruned domains rule out up front.
 
-use crate::eval::{eval_contains, JoinPlan, Semantics};
-use crpq_graph::{GraphDb, NodeId};
+use crate::eval::{
+    eval_contains, plan_variant, sorted_tuples, JoinPlan, RelationCatalog, Semantics, VariantPlan,
+    VerifyScratch,
+};
+use crpq_graph::{rpq, GraphDb, NodeId};
 use crpq_query::Crpq;
-use std::collections::BTreeSet;
+use crpq_util::FxHashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -25,11 +35,7 @@ pub fn eval_tuples_parallel(
     sem: Semantics,
     threads: usize,
 ) -> Vec<Vec<NodeId>> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get().min(16))
-    } else {
-        threads
-    };
+    let threads = rpq::effective_threads(threads);
     if q.free.is_empty() {
         return if eval_contains(q, g, &[], sem) {
             vec![Vec::new()]
@@ -39,32 +45,42 @@ pub fn eval_tuples_parallel(
     }
 
     let variants = q.epsilon_free_union();
-    let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
-    for variant in &variants {
-        let plan = JoinPlan::build(variant, g, sem, false);
+    // Planning phase: one shared catalog, parallel materialisation.
+    let mut catalog = RelationCatalog::with_threads(g, threads);
+    let plans: Vec<VariantPlan> = variants
+        .iter()
+        .map(|v| plan_variant(v, g, false, &mut catalog))
+        .collect();
+    let catalog = catalog; // frozen for the execution phase
+
+    let mut out: FxHashSet<Vec<NodeId>> = FxHashSet::default();
+    let mut seq_scratch = VerifyScratch::new();
+    for (variant, vplan) in variants.iter().zip(plans) {
+        let plan = JoinPlan::build(variant, g, sem, vplan, &catalog);
         if plan.is_empty() {
             continue;
         }
         match plan.split_candidates() {
             None => {
                 // Variable-free variant: nothing to partition.
-                plan.search_all(&mut out);
+                plan.search_all(&mut seq_scratch, &mut out);
             }
             Some((_, cands)) if cands.len() <= 1 || threads <= 1 => {
                 // Too little work to fan out.
-                plan.search_all(&mut out);
+                plan.search_all(&mut seq_scratch, &mut out);
             }
             Some((var, cands)) => {
                 let next = AtomicUsize::new(0);
-                let merged: Mutex<BTreeSet<Vec<NodeId>>> = Mutex::new(BTreeSet::new());
+                let merged: Mutex<FxHashSet<Vec<NodeId>>> = Mutex::new(FxHashSet::default());
                 std::thread::scope(|scope| {
                     for _ in 0..threads.min(cands.len()) {
                         scope.spawn(|| {
-                            let mut local: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+                            let mut local: FxHashSet<Vec<NodeId>> = FxHashSet::default();
+                            let mut scratch = VerifyScratch::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(&node) = cands.get(i) else { break };
-                                plan.search_with_fixed(var, node, &mut local);
+                                plan.search_with_fixed(var, node, &mut scratch, &mut local);
                             }
                             if !local.is_empty() {
                                 merged.lock().unwrap().extend(local);
@@ -76,7 +92,7 @@ pub fn eval_tuples_parallel(
             }
         }
     }
-    out.into_iter().collect()
+    sorted_tuples(out)
 }
 
 #[cfg(test)]

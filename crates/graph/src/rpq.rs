@@ -37,6 +37,9 @@ use std::ops::ControlFlow;
 #[derive(Clone, Debug, Default)]
 pub struct ReachScratch {
     stamps: Vec<u32>,
+    /// Per-graph-node stamps for O(1) "already in the output?" checks
+    /// during collecting sweeps ([`rpq_reach_collect`]).
+    node_stamps: Vec<u32>,
     epoch: u32,
     queue: VecDeque<(NodeId, StateId)>,
 }
@@ -47,16 +50,21 @@ impl ReachScratch {
         Self::default()
     }
 
-    /// Prepares for a sweep over `size` product states: grows the stamp
-    /// array if needed and invalidates all previous stamps.
-    fn begin(&mut self, size: usize) {
+    /// Prepares for a sweep over `size` product states (and up to `nodes`
+    /// graph nodes): grows the stamp arrays if needed and invalidates all
+    /// previous stamps.
+    fn begin(&mut self, size: usize, nodes: usize) {
         if self.stamps.len() < size {
             self.stamps.resize(size, 0);
+        }
+        if self.node_stamps.len() < nodes {
+            self.node_stamps.resize(nodes, 0);
         }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Wrapped: stamps from 2³² sweeps ago could alias. Hard reset.
             self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.node_stamps.iter_mut().for_each(|s| *s = 0);
             self.epoch = 1;
         }
         self.queue.clear();
@@ -67,6 +75,14 @@ impl ReachScratch {
     fn visit(&mut self, state: usize) -> bool {
         let fresh = self.stamps[state] != self.epoch;
         self.stamps[state] = self.epoch;
+        fresh
+    }
+
+    /// Marks graph node `v` emitted; returns `true` on first emission.
+    #[inline]
+    fn visit_node(&mut self, v: usize) -> bool {
+        let fresh = self.node_stamps[v] != self.epoch;
+        self.node_stamps[v] = self.epoch;
         fresh
     }
 }
@@ -96,7 +112,7 @@ pub fn rpq_reach_with(
 ) {
     let ns = nfa.num_states();
     result.clear();
-    scratch.begin(g.num_nodes() * ns);
+    scratch.begin(g.num_nodes() * ns, 0);
     for q in nfa.initials().iter() {
         if scratch.visit(src.index() * ns + q) {
             scratch.queue.push_back((src, q as StateId));
@@ -117,6 +133,49 @@ pub fn rpq_reach_with(
             }
         }
     }
+}
+
+/// [`rpq_reach_with`] variant for bulk materialisation: reached nodes are
+/// collected (sorted, deduplicated) into `out` instead of a bitset, using
+/// per-node stamps for the dedup — so a sweep whose output is small never
+/// touches `O(|V|/64)` words of clear/scan. Returns the number of
+/// graph-edge scans the sweep performed, which the adaptive materialiser
+/// ([`rpq_relation_auto`]) uses as its observed per-source cost.
+pub fn rpq_reach_collect(
+    g: &GraphDb,
+    nfa: &Nfa,
+    src: NodeId,
+    scratch: &mut ReachScratch,
+    out: &mut Vec<u32>,
+) -> usize {
+    let ns = nfa.num_states();
+    out.clear();
+    scratch.begin(g.num_nodes() * ns, g.num_nodes());
+    let mut edge_scans = 0;
+    for q in nfa.initials().iter() {
+        if scratch.visit(src.index() * ns + q) {
+            scratch.queue.push_back((src, q as StateId));
+        }
+        if nfa.is_final(q as StateId) && scratch.visit_node(src.index()) {
+            out.push(src.0);
+        }
+    }
+    while let Some((v, q)) = scratch.queue.pop_front() {
+        for &(sym, q2) in nfa.transitions_from(q) {
+            let targets = g.successors_slice(v, sym);
+            edge_scans += targets.len();
+            for &to in targets {
+                if scratch.visit(to.index() * ns + q2 as usize) {
+                    if nfa.is_final(q2) && scratch.visit_node(to.index()) {
+                        out.push(to.0);
+                    }
+                    scratch.queue.push_back((to, q2));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    edge_scans
 }
 
 /// Backward reachability without materialising a reversed graph: the nodes
@@ -143,7 +202,7 @@ pub fn rpq_reach_back_with(
 ) {
     let ns = nfa_rev.num_states();
     result.clear();
-    scratch.begin(g.num_nodes() * ns);
+    scratch.begin(g.num_nodes() * ns, 0);
     for q in nfa_rev.initials().iter() {
         if scratch.visit(dst.index() * ns + q) {
             scratch.queue.push_back((dst, q as StateId));
@@ -166,32 +225,216 @@ pub fn rpq_reach_back_with(
     }
 }
 
+/// Borrowed view of one row of a materialised [`Relation`]: the successor
+/// (or predecessor) set of a node, stored **adaptively** — a contiguous
+/// sorted-`u32` slice of the relation's flat CSR buffer while the row is
+/// sparse, a dense bitset once it crosses the density threshold. A dense
+/// row costs `n` bits, a sparse one `32·k` bits, so the switch point is
+/// `k·32 ≥ n`; on label-sparse graphs most rows stay far below it, which
+/// is what keeps full relation materialisation affordable past
+/// `|V| = 10⁴` (dense rows alone are `O(|V|²/64)` words per relation, and
+/// per-row heap allocations would dominate sparse materialisation).
+#[derive(Clone, Copy, Debug)]
+pub enum RelationRow<'a> {
+    /// Sorted node ids (strictly ascending), borrowed from the flat store.
+    Sparse(&'a [u32]),
+    /// Bitset over all `n` nodes.
+    Dense(&'a BitSet),
+}
+
+impl<'a> RelationRow<'a> {
+    /// Number of ids in the row.
+    pub fn len(&self) -> usize {
+        match self {
+            RelationRow::Sparse(ids) => ids.len(),
+            RelationRow::Dense(b) => b.len(),
+        }
+    }
+
+    /// Whether the row is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            RelationRow::Sparse(ids) => ids.is_empty(),
+            RelationRow::Dense(b) => b.is_empty(),
+        }
+    }
+
+    /// Whether the row uses the dense representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, RelationRow::Dense(_))
+    }
+
+    /// Membership test — O(1) dense, O(log k) sparse.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        match self {
+            RelationRow::Sparse(ids) => ids.binary_search(&(v as u32)).is_ok(),
+            RelationRow::Dense(b) => b.contains(v),
+        }
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> RelationRowIter<'a> {
+        match self {
+            RelationRow::Sparse(ids) => RelationRowIter::Sparse(ids.iter()),
+            RelationRow::Dense(b) => RelationRowIter::Dense(b.iter()),
+        }
+    }
+
+    /// `acc ∩= self`, without allocating.
+    pub fn intersect_into(&self, acc: &mut BitSet) {
+        match self {
+            RelationRow::Sparse(ids) => acc.intersect_with_sorted(ids),
+            RelationRow::Dense(b) => acc.intersect_with(b),
+        }
+    }
+
+    /// Whether the row shares an id with `other`.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        match self {
+            RelationRow::Sparse(ids) => ids.iter().any(|&v| other.contains(v as usize)),
+            RelationRow::Dense(b) => b.intersects(other),
+        }
+    }
+}
+
+/// Iterator over the ids of a [`RelationRow`].
+pub enum RelationRowIter<'a> {
+    /// Sparse side.
+    Sparse(std::slice::Iter<'a, u32>),
+    /// Dense side.
+    Dense(crpq_util::bitset::BitSetIter<'a>),
+}
+
+impl Iterator for RelationRowIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            RelationRowIter::Sparse(it) => it.next().map(|&v| v as usize),
+            RelationRowIter::Dense(it) => it.next(),
+        }
+    }
+}
+
+/// Whether a row with `k` of `n` possible ids should be stored dense
+/// (`32·k ≥ n`, the memory parity point between a `u32` id list and an
+/// `n`-bit bitset).
+#[inline]
+fn dense_row(k: usize, n: usize) -> bool {
+    k * 32 >= n
+}
+
+/// One direction of a [`Relation`]: per-node adaptive rows backed by a
+/// single flat CSR id buffer (sparse rows) plus a bitset pool (dense
+/// rows) — one allocation for all sparse rows instead of one per row.
+#[derive(Clone, Debug)]
+struct RowStore {
+    kind: Vec<RowKind>,
+    flat: Vec<u32>,
+    dense: Vec<BitSet>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum RowKind {
+    Sparse { start: u32, end: u32 },
+    Dense { idx: u32 },
+}
+
+impl RowStore {
+    fn empty(n: usize) -> Self {
+        RowStore {
+            kind: vec![RowKind::Sparse { start: 0, end: 0 }; n],
+            flat: Vec::new(),
+            dense: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> RelationRow<'_> {
+        match self.kind[i] {
+            RowKind::Sparse { start, end } => {
+                RelationRow::Sparse(&self.flat[start as usize..end as usize])
+            }
+            RowKind::Dense { idx } => RelationRow::Dense(&self.dense[idx as usize]),
+        }
+    }
+
+    /// Appends a sparse row for node `i` (ids strictly ascending). The
+    /// flat buffer is indexed by `u32` offsets — 2³² ids (~16 GiB) per
+    /// direction; beyond that the relation must shard (checked, so the
+    /// limit fails loudly instead of corrupting rows).
+    fn push_sparse(&mut self, i: usize, ids: &[u32]) {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
+        assert!(
+            self.flat.len() + ids.len() <= u32::MAX as usize,
+            "relation sparse-row buffer exceeds u32 offsets — shard the relation"
+        );
+        let start = self.flat.len() as u32;
+        self.flat.extend_from_slice(ids);
+        self.kind[i] = RowKind::Sparse {
+            start,
+            end: self.flat.len() as u32,
+        };
+    }
+
+    /// Installs a dense row for node `i`.
+    fn push_dense(&mut self, i: usize, bits: BitSet) {
+        self.kind[i] = RowKind::Dense {
+            idx: self.dense.len() as u32,
+        };
+        self.dense.push(bits);
+    }
+}
+
 /// A fully materialised binary relation over the nodes of a graph — the
 /// result set of an RPQ atom under standard semantics, indexed both ways:
-/// `forward(u)` is the bitset of `v` with `(u, v)` in the relation, and
-/// `backward(v)` the bitset of `u`. Both directions are what the join-based
+/// `forward(u)` is the row of `v` with `(u, v)` in the relation, and
+/// `backward(v)` the row of `u`. Both directions are what the join-based
 /// CRPQ evaluator intersects during semi-join pruning and candidate
-/// generation.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// generation. Rows are density-adaptive and CSR-backed
+/// ([`RelationRow`]), and the source / target sets are maintained
+/// incrementally during materialisation, so [`Relation::source_set`] /
+/// [`Relation::target_set`] are O(1) lookups of cached bitsets rather
+/// than full scans.
+#[derive(Clone, Debug)]
 pub struct Relation {
-    fwd: Vec<BitSet>,
-    rev: Vec<BitSet>,
+    fwd: RowStore,
+    rev: RowStore,
     len: usize,
+    sources: BitSet,
+    targets: BitSet,
 }
+
+/// Equality is **semantic** — same pair set, regardless of row
+/// representation (sparse vs. dense) or installation order — so relations
+/// from different materialisers compare equal exactly when they denote
+/// the same RPQ result.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_nodes() == other.num_nodes()
+            && self.len == other.len
+            && (0..self.num_nodes()).all(|u| self.fwd.row(u).iter().eq(other.fwd.row(u).iter()))
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// The empty relation over `n` nodes.
     pub fn empty(n: usize) -> Self {
         Relation {
-            fwd: vec![BitSet::new(n); n],
-            rev: vec![BitSet::new(n); n],
+            fwd: RowStore::empty(n),
+            rev: RowStore::empty(n),
             len: 0,
+            sources: BitSet::new(n),
+            targets: BitSet::new(n),
         }
     }
 
     /// Number of nodes the relation ranges over.
     pub fn num_nodes(&self) -> usize {
-        self.fwd.len()
+        self.fwd.kind.len()
     }
 
     /// Number of pairs in the relation.
@@ -204,52 +447,161 @@ impl Relation {
         self.len == 0
     }
 
-    /// Membership test for `(u, v)` — O(1).
+    /// Membership test for `(u, v)`.
     #[inline]
     pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
-        self.fwd[u.index()].contains(v.index())
+        self.fwd.row(u.index()).contains(v.index())
     }
 
     /// All `v` with `(u, v)` in the relation.
     #[inline]
-    pub fn forward(&self, u: NodeId) -> &BitSet {
-        &self.fwd[u.index()]
+    pub fn forward(&self, u: NodeId) -> RelationRow<'_> {
+        self.fwd.row(u.index())
     }
 
     /// All `u` with `(u, v)` in the relation.
     #[inline]
-    pub fn backward(&self, v: NodeId) -> &BitSet {
-        &self.rev[v.index()]
+    pub fn backward(&self, v: NodeId) -> RelationRow<'_> {
+        self.rev.row(v.index())
     }
 
-    /// The set of sources (`u` with at least one pair).
-    pub fn source_set(&self) -> BitSet {
-        let mut out = BitSet::new(self.num_nodes());
-        for (u, row) in self.fwd.iter().enumerate() {
-            if !row.is_empty() {
-                out.insert(u);
-            }
-        }
-        out
+    /// The cached set of sources (`u` with at least one pair) — O(1).
+    pub fn source_set(&self) -> &BitSet {
+        &self.sources
     }
 
-    /// The set of targets (`v` with at least one pair).
-    pub fn target_set(&self) -> BitSet {
-        let mut out = BitSet::new(self.num_nodes());
-        for (v, col) in self.rev.iter().enumerate() {
-            if !col.is_empty() {
-                out.insert(v);
-            }
+    /// The cached set of targets (`v` with at least one pair) — O(1).
+    pub fn target_set(&self) -> &BitSet {
+        &self.targets
+    }
+
+    /// Fraction of forward rows stored dense (bench observability).
+    pub fn dense_row_fraction(&self) -> f64 {
+        if self.fwd.kind.is_empty() {
+            return 0.0;
         }
-        out
+        let dense = self
+            .fwd
+            .kind
+            .iter()
+            .filter(|k| matches!(k, RowKind::Dense { .. }))
+            .count();
+        dense as f64 / self.fwd.kind.len() as f64
     }
 
     /// Iterates all pairs in `(source, target)` order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.fwd.iter().enumerate().flat_map(|(u, row)| {
-            row.iter()
+        (0..self.num_nodes()).flat_map(move |u| {
+            self.fwd
+                .row(u)
+                .iter()
                 .map(move |v| (NodeId(u as u32), NodeId(v as u32)))
         })
+    }
+
+    /// Installs the forward row of `src` directly from backing words (bit
+    /// `i` of word `w` = node `w·64 + i`), as produced by the closure
+    /// materialiser's flat reachability matrix.
+    fn set_forward_row_words(&mut self, src: NodeId, words: &[u64], buf: &mut Vec<u32>) {
+        let n = self.num_nodes();
+        let k: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+        self.len += k;
+        if k == 0 {
+            return;
+        }
+        self.sources.insert(src.index());
+        if dense_row(k, n) {
+            self.fwd
+                .push_dense(src.index(), BitSet::from_words(words.to_vec(), n));
+        } else {
+            buf.clear();
+            for (wi, &w) in words.iter().enumerate() {
+                let mut w = w;
+                while w != 0 {
+                    buf.push((wi * 64) as u32 + w.trailing_zeros());
+                    w &= w - 1;
+                }
+            }
+            self.fwd.push_sparse(src.index(), buf);
+        }
+    }
+
+    /// Installs the forward row of `src` from an owned sorted id list (the
+    /// hand-off format of the parallel materialiser's worker threads).
+    fn set_forward_row_ids(&mut self, src: NodeId, ids: &[u32]) {
+        let n = self.num_nodes();
+        let k = ids.len();
+        self.len += k;
+        if k == 0 {
+            return;
+        }
+        self.sources.insert(src.index());
+        if dense_row(k, n) {
+            let mut bits = BitSet::new(n);
+            for &v in ids {
+                bits.insert(v as usize);
+            }
+            self.fwd.push_dense(src.index(), bits);
+        } else {
+            self.fwd.push_sparse(src.index(), ids);
+        }
+    }
+
+    /// Builds the backward index from the installed forward rows and fills
+    /// the cached target set: one counting pass sizes every column (and
+    /// decides its representation), one fill pass places the ids —
+    /// `O(len)` total, no per-column allocation.
+    fn finish_reverse(&mut self) {
+        let n = self.num_nodes();
+        let mut deg = vec![0u32; n];
+        for u in 0..n {
+            for v in self.fwd.row(u).iter() {
+                deg[v] += 1;
+            }
+        }
+        let mut rev = RowStore::empty(n);
+        let mut cursor = vec![0u32; n];
+        let mut flat_len: u64 = 0;
+        for v in 0..n {
+            let d = deg[v] as usize;
+            if d == 0 {
+                continue;
+            }
+            self.targets.insert(v);
+            if dense_row(d, n) {
+                rev.kind[v] = RowKind::Dense {
+                    idx: rev.dense.len() as u32,
+                };
+                rev.dense.push(BitSet::new(n));
+            } else {
+                rev.kind[v] = RowKind::Sparse {
+                    start: flat_len as u32,
+                    end: flat_len as u32 + deg[v],
+                };
+                cursor[v] = flat_len as u32;
+                flat_len += deg[v] as u64;
+                assert!(
+                    flat_len <= u32::MAX as u64,
+                    "relation sparse-row buffer exceeds u32 offsets — shard the relation"
+                );
+            }
+        }
+        rev.flat = vec![0u32; flat_len as usize];
+        for u in 0..n {
+            // Iterating u in ascending order keeps every column sorted.
+            for v in self.fwd.row(u).iter() {
+                match rev.kind[v] {
+                    RowKind::Sparse { .. } => {
+                        rev.flat[cursor[v] as usize] = u as u32;
+                        cursor[v] += 1;
+                    }
+                    RowKind::Dense { idx } => {
+                        rev.dense[idx as usize].insert(u);
+                    }
+                }
+            }
+        }
+        self.rev = rev;
     }
 }
 
@@ -265,27 +617,446 @@ pub fn rpq_reach_all(
 ) -> Relation {
     let n = g.num_nodes();
     let mut rel = Relation::empty(n);
+    let mut buf: Vec<u32> = Vec::new();
     for src in sources {
-        let row = &mut rel.fwd[src.index()];
-        rpq_reach_with(g, nfa, src, scratch, row);
-        rel.len += row.len();
+        rpq_reach_collect(g, nfa, src, scratch, &mut buf);
+        rel.set_forward_row_ids(src, &buf);
     }
-    // Transpose to fill the backward index.
-    for u in 0..n {
-        // Split-borrow dance: move the row out to iterate while writing rev.
-        let row = std::mem::replace(&mut rel.fwd[u], BitSet::new(0));
-        for v in row.iter() {
-            rel.rev[v].insert(u);
-        }
-        rel.fwd[u] = row;
-    }
+    rel.finish_reverse();
     rel
+}
+
+/// [`rpq_reach_all`] partitioned across `threads` std scoped threads, each
+/// with its own [`ReachScratch`]: per-source product BFS is embarrassingly
+/// parallel, so the sources are split into contiguous chunks and the
+/// backward index is assembled once at the end. `threads = 0` means one
+/// thread per available CPU (capped at 16); `threads ≤ 1` degenerates to
+/// the sequential [`rpq_reach_all`].
+pub fn rpq_reach_all_parallel(
+    g: &GraphDb,
+    nfa: &Nfa,
+    sources: &[NodeId],
+    threads: usize,
+) -> Relation {
+    let threads = effective_threads(threads).min(sources.len().max(1));
+    if threads <= 1 {
+        return rpq_reach_all(g, nfa, sources.iter().copied(), &mut ReachScratch::new());
+    }
+    let mut rel = Relation::empty(g.num_nodes());
+    for (src, ids) in parallel_rows(g, nfa, sources, threads) {
+        rel.set_forward_row_ids(src, &ids);
+    }
+    rel.finish_reverse();
+    rel
+}
+
+/// Runs the per-source sweeps for `sources` across scoped worker threads
+/// (one [`ReachScratch`] each) and returns the rows in source order.
+fn parallel_rows(
+    g: &GraphDb,
+    nfa: &Nfa,
+    sources: &[NodeId],
+    threads: usize,
+) -> Vec<(NodeId, Vec<u32>)> {
+    let threads = effective_threads(threads).min(sources.len().max(1));
+    let chunk = sources.len().div_ceil(threads);
+    let chunks: Vec<&[NodeId]> = sources.chunks(chunk.max(1)).collect();
+    let per_chunk: Vec<Vec<(NodeId, Vec<u32>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut scratch = ReachScratch::new();
+                    let mut buf: Vec<u32> = Vec::new();
+                    chunk
+                        .iter()
+                        .map(|&src| {
+                            rpq_reach_collect(g, nfa, src, &mut scratch, &mut buf);
+                            (src, buf.clone())
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Resolves a thread-count knob: `0` = one per available CPU, capped at 16.
+pub fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get().min(16))
+    } else {
+        threads
+    }
 }
 
 /// [`rpq_reach_all`] from every node of the graph: the atom's complete
 /// standard-semantics relation.
 pub fn rpq_relation(g: &GraphDb, nfa: &Nfa, scratch: &mut ReachScratch) -> Relation {
     rpq_reach_all(g, nfa, g.nodes(), scratch)
+}
+
+/// [`rpq_relation`] with the per-source sweeps partitioned across scoped
+/// threads ([`rpq_reach_all_parallel`]).
+pub fn rpq_relation_parallel(g: &GraphDb, nfa: &Nfa, threads: usize) -> Relation {
+    let sources: Vec<NodeId> = g.nodes().collect();
+    rpq_reach_all_parallel(g, nfa, &sources, threads)
+}
+
+/// Whether the bitset-closure materialiser ([`rpq_relation_closure`]) fits
+/// in memory for this graph × automaton: it keeps (at worst) one `|V|`-bit
+/// reachability row per product-graph SCC, `O(|V|²·|Q|)` bits, capped here
+/// at 2³⁰ bits (128 MiB). Past the cap, callers should use the per-source
+/// sweeps ([`rpq_relation`] / [`rpq_relation_parallel`]), whose adaptive
+/// sparse rows are the only `O(output)`-memory option at `|V| ≥ 10⁵`.
+pub fn closure_fits(g: &GraphDb, nfa: &Nfa) -> bool {
+    let n = g.num_nodes() as u128;
+    let pn = n * nfa.num_states() as u128;
+    pn > 0 && pn * n <= 1 << 30
+}
+
+/// **Cost-adaptive** full-relation materialiser: starts with per-source
+/// sweeps, observes their cost on a sample of sources, and switches to the
+/// condensation bitset closure when the product graph is dense enough that
+/// per-source exploration would be quadratically wasteful.
+///
+/// Per-source total cost scales with `Σ_v (edges scanned from v's product
+/// cone)` — on sparse relations that is near the output size and beats
+/// everything, but on dense ones (e.g. `a*` over one big SCC) every source
+/// re-scans the whole product, `O(|V|·|E_Π|)`. The closure pays
+/// `O(|E_Π|)` traversal + `O(|E_Π|·|V|/64)` word-ORs once, regardless.
+/// The sample's observed edge scans project the per-source total; when the
+/// projection exceeds a small multiple of the closure's traversal bound
+/// (and the closure fits in memory, [`closure_fits`]), the sampled rows
+/// are discarded and the closure runs instead. `threads > 1` additionally
+/// partitions the remaining per-source sweeps across scoped threads.
+pub fn rpq_relation_auto(
+    g: &GraphDb,
+    nfa: &Nfa,
+    scratch: &mut ReachScratch,
+    threads: usize,
+) -> Relation {
+    let n = g.num_nodes();
+    const SAMPLE: usize = 64;
+    let sample = SAMPLE.min(n);
+    let mut rel = Relation::empty(n);
+    let mut buf: Vec<u32> = Vec::new();
+    // Spread the sample evenly across the whole id range — graphs often
+    // correlate structure with id order (generators emit hubs first,
+    // loaders cluster by source), and a prefix sample would project that
+    // bias onto the whole graph. `i·n/sample` covers the full range for
+    // every n (a fixed stride would degenerate to a prefix for n just
+    // above the sample size).
+    let sampled: Vec<usize> = (0..sample).map(|i| i * n / sample.max(1)).collect();
+    let mut sampled_scans = 0usize;
+    for &v in &sampled {
+        sampled_scans += rpq_reach_collect(g, nfa, NodeId(v as u32), scratch, &mut buf);
+        rel.set_forward_row_ids(NodeId(v as u32), &buf);
+    }
+    if sample > 0 && sample < n {
+        let projected = sampled_scans.saturating_mul(n) / sample;
+        let closure_bound = (n + g.num_edges()) * nfa.num_states();
+        if projected > 4 * closure_bound && closure_fits(g, nfa) {
+            return rpq_relation_closure(g, nfa);
+        }
+    }
+    // Remaining sources: everything not in the (sorted) sample.
+    let mut next_sampled = sampled.iter().copied().peekable();
+    let rest: Vec<NodeId> = (0..n)
+        .filter(|&v| {
+            if next_sampled.peek() == Some(&v) {
+                next_sampled.next();
+                false
+            } else {
+                true
+            }
+        })
+        .map(|v| NodeId(v as u32))
+        .collect();
+    if effective_threads(threads) > 1 && rest.len() > SAMPLE {
+        let chunk_rows = parallel_rows(g, nfa, &rest, threads);
+        for (src, ids) in chunk_rows {
+            rel.set_forward_row_ids(src, &ids);
+        }
+    } else {
+        for src in rest {
+            rpq_reach_collect(g, nfa, src, scratch, &mut buf);
+            rel.set_forward_row_ids(src, &buf);
+        }
+    }
+    rel.finish_reverse();
+    rel
+}
+
+/// Materialises the full RPQ relation by **bitset closure over the
+/// product-graph condensation** instead of one BFS per source.
+///
+/// The product graph `G × A` has a node `(v, q)` per graph node and
+/// automaton state and an edge `(v, q) → (w, q′)` per graph edge
+/// `v -a-> w` with `q -a-> q′`. `row(v)` is exactly the set of graph nodes
+/// `w` such that some `(v, q₀)` with `q₀` initial reaches a `(w, q_f)`
+/// with `q_f` final. Tarjan's algorithm emits the SCCs of the product
+/// graph in reverse topological order, so one pass accumulates each SCC's
+/// reach set as the union of its members' final-state base points and its
+/// successor SCCs' already-computed sets — `O(|E_Π| · |V| / 64)` word
+/// operations total, versus `O(|V| · |E_Π|)` product-state visits for the
+/// per-source sweeps.
+///
+/// Reach sets live in one flat word matrix (a single allocation), and an
+/// SCC with no base points and exactly one distinct successor set
+/// **shares** that successor's row instead of copying it — on sparse
+/// products most SCCs are such pass-throughs, so only genuine merge
+/// points pay for a row. Memory appetite is gated by [`closure_fits`].
+pub fn rpq_relation_closure(g: &GraphDb, nfa: &Nfa) -> Relation {
+    let n = g.num_nodes();
+    let ns = nfa.num_states();
+    let pn = n * ns;
+    let mut rel = Relation::empty(n);
+    if pn == 0 {
+        return rel;
+    }
+
+    // Product-graph CSR, laid out as product node `v·ns + q`.
+    let mut off = vec![0usize; pn + 1];
+    for v in 0..n {
+        for q in 0..ns {
+            let mut deg = 0;
+            for &(sym, _) in nfa.transitions_from(q as StateId) {
+                deg += g.successors_slice(NodeId(v as u32), sym).len();
+            }
+            off[v * ns + q + 1] = deg;
+        }
+    }
+    for i in 0..pn {
+        off[i + 1] += off[i];
+    }
+    let mut adj = vec![0u32; off[pn]];
+    let mut cursor = off.clone();
+    for v in 0..n {
+        for q in 0..ns {
+            let p = v * ns + q;
+            for &(sym, q2) in nfa.transitions_from(q as StateId) {
+                for &w in g.successors_slice(NodeId(v as u32), sym) {
+                    adj[cursor[p]] = (w.index() * ns) as u32 + q2;
+                    cursor[p] += 1;
+                }
+            }
+        }
+    }
+
+    // Iterative Tarjan; SCC reach rows accumulate at pop time (successor
+    // SCCs are always popped first). `scc_row[id]` is the SCC's row in the
+    // flat reach matrix — shared with its single successor when the SCC
+    // contributes nothing of its own. A product node is *on the Tarjan
+    // stack* iff it has an index but no SCC yet, so no separate on-stack
+    // set is needed.
+    const UNSET: u32 = u32::MAX;
+    let words = n.div_ceil(64);
+    // Reach matrix rows are claimed on demand: with row sharing, only
+    // merge-point SCCs own a row, so memory stays proportional to the
+    // rows actually used instead of the worst-case `pn·n` bits.
+    let mut reach: Vec<u64> = Vec::new();
+    let mut next_row = 0usize;
+    let claim_row = |reach: &mut Vec<u64>, next_row: &mut usize| -> usize {
+        let r = *next_row;
+        *next_row += 1;
+        let need = (r + 1) * words;
+        if reach.len() < need {
+            reach.reserve(need - reach.len());
+            reach.resize(need, 0);
+        }
+        r
+    };
+    let mut zero_row: Option<u32> = None;
+    let mut scc_row: Vec<u32> = Vec::new();
+    let mut index = vec![UNSET; pn];
+    let mut lowlink = vec![0u32; pn];
+    let mut scc_id = vec![UNSET; pn];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    let mut next_index = 0u32;
+    let mut members: Vec<u32> = Vec::new();
+    let mut succ_rows: Vec<u32> = Vec::new();
+
+    for start in 0..pn as u32 {
+        if index[start as usize] != UNSET {
+            continue;
+        }
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        call.push((start, off[start as usize]));
+        'dfs: while let Some(&mut (v, ref mut ei_slot)) = call.last_mut() {
+            let v = v as usize;
+            // Drain v's edges with locally cached cursor and lowlink.
+            let mut ei = *ei_slot;
+            let end = off[v + 1];
+            let mut low = lowlink[v];
+            while ei < end {
+                let w = adj[ei] as usize;
+                ei += 1;
+                if index[w] == UNSET {
+                    // Recurse into w.
+                    *ei_slot = ei;
+                    lowlink[v] = low;
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w as u32);
+                    call.push((w as u32, off[w]));
+                    continue 'dfs;
+                }
+                if scc_id[w] == UNSET && index[w] < low {
+                    low = index[w]; // w is on the stack: lowlink update
+                }
+            }
+            lowlink[v] = low;
+            call.pop();
+            if let Some(&mut (p, _)) = call.last_mut() {
+                let p = p as usize;
+                lowlink[p] = lowlink[p].min(low);
+            }
+            if low != index[v] {
+                continue;
+            }
+            // `v` roots an SCC: pop it, gather its distinct successor rows
+            // and base points, then either share the single successor row
+            // or merge into a fresh one.
+            let id = scc_row.len() as u32;
+            members.clear();
+            loop {
+                let w = stack.pop().unwrap();
+                scc_id[w as usize] = id;
+                members.push(w);
+                if w as usize == v {
+                    break;
+                }
+            }
+            succ_rows.clear();
+            let mut has_base = false;
+            for &m in &members {
+                let m = m as usize;
+                has_base |= nfa.is_final((m % ns) as StateId);
+                for e in off[m]..off[m + 1] {
+                    let tid = scc_id[adj[e] as usize];
+                    debug_assert_ne!(tid, UNSET, "successor SCC must be popped first");
+                    if tid != id {
+                        let row = scc_row[tid as usize];
+                        if !succ_rows.contains(&row) {
+                            succ_rows.push(row);
+                        }
+                    }
+                }
+            }
+            let row = if !has_base && succ_rows.len() == 1 {
+                succ_rows[0]
+            } else if !has_base && succ_rows.is_empty() {
+                match zero_row {
+                    Some(r) => r,
+                    None => {
+                        let r = claim_row(&mut reach, &mut next_row) as u32;
+                        zero_row = Some(r);
+                        r
+                    }
+                }
+            } else {
+                let r = claim_row(&mut reach, &mut next_row);
+                let (head, tail) = reach.split_at_mut(r * words);
+                let dst = &mut tail[..words];
+                for (si, &s) in succ_rows.iter().enumerate() {
+                    let src = &head[s as usize * words..(s as usize + 1) * words];
+                    if si == 0 {
+                        dst.copy_from_slice(src);
+                    } else {
+                        for (d, &w) in dst.iter_mut().zip(src) {
+                            *d |= w;
+                        }
+                    }
+                }
+                for &m in &members {
+                    let m = m as usize;
+                    if nfa.is_final((m % ns) as StateId) {
+                        let node = m / ns;
+                        dst[node / 64] |= 1u64 << (node % 64);
+                    }
+                }
+                r as u32
+            };
+            scc_row.push(row);
+        }
+    }
+
+    // row(v) = union over initial states of the SCC reach rows.
+    let initials: Vec<usize> = nfa.initials().iter().collect();
+    let mut buf: Vec<u32> = Vec::new();
+    if initials.len() == 1 {
+        let q0 = initials[0];
+        for v in 0..n {
+            let r = scc_row[scc_id[v * ns + q0] as usize] as usize;
+            let row_words = &reach[r * words..(r + 1) * words];
+            rel.set_forward_row_words(NodeId(v as u32), row_words, &mut buf);
+        }
+    } else {
+        let mut acc = vec![0u64; words];
+        for v in 0..n {
+            acc.iter_mut().for_each(|w| *w = 0);
+            for &q0 in &initials {
+                let r = scc_row[scc_id[v * ns + q0] as usize] as usize;
+                for (a, &w) in acc.iter_mut().zip(&reach[r * words..(r + 1) * words]) {
+                    *a |= w;
+                }
+            }
+            rel.set_forward_row_words(NodeId(v as u32), &acc, &mut buf);
+        }
+    }
+    rel.finish_reverse();
+    rel
+}
+
+/// Faithful reproduction of the **pre-planner (PR 1) materialisation**:
+/// one BFS per source writing unconditionally dense `|V|`-bit rows
+/// (allocated and zeroed up front, both directions), then an `O(|V|²/64)`
+/// transpose. Kept solely as the measurement baseline for `BENCH_eval`'s
+/// catalog-vs-per-variant comparison — production callers use
+/// [`rpq_relation_closure`] / [`rpq_relation`] / [`rpq_relation_parallel`].
+pub fn rpq_relation_pr1_dense(g: &GraphDb, nfa: &Nfa, scratch: &mut ReachScratch) -> Relation {
+    let n = g.num_nodes();
+    let mut fwd = vec![BitSet::new(n); n];
+    let mut rev = vec![BitSet::new(n); n];
+    let mut len = 0;
+    let mut sources = BitSet::new(n);
+    let mut targets = BitSet::new(n);
+    for src in g.nodes() {
+        let row = &mut fwd[src.index()];
+        rpq_reach_with(g, nfa, src, scratch, row);
+        len += row.len();
+    }
+    for (u, row) in fwd.iter().enumerate() {
+        for v in row.iter() {
+            rev[v].insert(u);
+            targets.insert(v);
+        }
+        if !row.is_empty() {
+            sources.insert(u);
+        }
+    }
+    let into_store = |rows: Vec<BitSet>| {
+        let mut store = RowStore::empty(n);
+        for (i, bits) in rows.into_iter().enumerate() {
+            store.push_dense(i, bits);
+        }
+        store
+    };
+    Relation {
+        fwd: into_store(fwd),
+        rev: into_store(rev),
+        len,
+        sources,
+        targets,
+    }
 }
 
 /// Whether some (arbitrary) path from `src` to `dst` has its label in
@@ -1013,6 +1784,135 @@ mod tests {
         assert_eq!(rel.target_set().iter().collect::<Vec<_>>(), vec![v.index()]);
         assert_eq!(rel.len(), 2);
         assert!(!rel.is_empty());
+    }
+
+    #[test]
+    fn adaptive_rows_switch_representation() {
+        // 40-node a-path: every forward row of the single-step relation has
+        // ≤ 1 entry, far below the n/32 density threshold → sparse.
+        let mut g = crate::generators::labelled_path(40, &["a"]);
+        let regex = crpq_automata::parse_regex("a", g.alphabet_mut()).unwrap();
+        let nfa = Nfa::from_regex(&regex);
+        let rel = rpq_relation(&g, &nfa, &mut ReachScratch::new());
+        assert!(rel.forward(NodeId(0)).iter().eq([1usize]));
+        assert!(!rel.forward(NodeId(0)).is_dense());
+        assert!((rel.dense_row_fraction() - 0.0).abs() < 1e-9);
+        // a* on the same path: row of node 0 holds all 40 nodes → dense.
+        let star = crpq_automata::parse_regex("a*", g.alphabet_mut()).unwrap();
+        let rel = rpq_relation(&g, &Nfa::from_regex(&star), &mut ReachScratch::new());
+        assert!(rel.forward(NodeId(0)).is_dense());
+        assert_eq!(rel.forward(NodeId(0)).len(), 40);
+        assert!(rel.contains(NodeId(0), NodeId(39)));
+        assert!(!rel.contains(NodeId(39), NodeId(0)));
+    }
+
+    #[test]
+    fn parallel_relation_matches_sequential() {
+        let mut g = crate::generators::random_graph(37, 120, &["a", "b"], 5);
+        let regex = crpq_automata::parse_regex("a (a+b)*", g.alphabet_mut()).unwrap();
+        let nfa = Nfa::from_regex(&regex);
+        let seq = rpq_relation(&g, &nfa, &mut ReachScratch::new());
+        for threads in [1, 3, 8] {
+            let par = rpq_relation_parallel(&g, &nfa, threads);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+        assert_eq!(
+            seq.source_set(),
+            rpq_relation_parallel(&g, &nfa, 0).source_set()
+        );
+    }
+
+    #[test]
+    fn closure_relation_matches_per_source() {
+        for (seed, expr) in [
+            (3u64, "a (a+b)*"),
+            (9, "(a b)*"),
+            (11, "b* a"),
+            (17, "(a+b)(a+b)"),
+            (23, "∅"),
+            (29, "a*"),
+        ] {
+            let mut g = crate::generators::random_graph(23, 70, &["a", "b"], seed);
+            let regex = crpq_automata::parse_regex(expr, g.alphabet_mut()).unwrap();
+            let nfa = Nfa::from_regex(&regex);
+            assert!(closure_fits(&g, &nfa));
+            let closure = rpq_relation_closure(&g, &nfa);
+            let per_source = rpq_relation(&g, &nfa, &mut ReachScratch::new());
+            assert_eq!(closure, per_source, "seed {seed} expr {expr}");
+            // Equality is semantic, so the all-dense PR-1 layout and the
+            // adaptive layouts compare directly.
+            let pr1 = rpq_relation_pr1_dense(&g, &nfa, &mut ReachScratch::new());
+            assert_eq!(pr1, per_source, "seed {seed} expr {expr}");
+            assert_eq!(pr1.source_set(), per_source.source_set());
+            let auto = rpq_relation_auto(&g, &nfa, &mut ReachScratch::new(), 1);
+            assert_eq!(auto, per_source, "seed {seed} expr {expr}");
+        }
+    }
+
+    #[test]
+    fn row_intersection_helpers() {
+        let ids = [1u32, 5, 70];
+        let sparse = RelationRow::Sparse(&ids);
+        assert!(!sparse.is_dense());
+        let mut acc = BitSet::full(4096);
+        sparse.intersect_into(&mut acc);
+        assert_eq!(acc.iter().collect::<Vec<_>>(), vec![1, 5, 70]);
+        let mut probe = BitSet::new(4096);
+        probe.insert(5);
+        assert!(sparse.intersects(&probe));
+        probe.remove(5);
+        probe.insert(6);
+        assert!(!sparse.intersects(&probe));
+        assert!(sparse.contains(70) && !sparse.contains(71));
+
+        let evens: BitSet = {
+            let mut b = BitSet::new(256);
+            (0..200usize).step_by(2).for_each(|v| {
+                b.insert(v);
+            });
+            b
+        };
+        let dense = RelationRow::Dense(&evens);
+        assert!(dense.is_dense());
+        assert_eq!(dense.len(), 100);
+        let mut acc = BitSet::new(256);
+        (0..256usize).filter(|v| v % 3 == 0).for_each(|v| {
+            acc.insert(v);
+        });
+        dense.intersect_into(&mut acc);
+        assert!(!acc.is_empty());
+        assert!(acc.iter().all(|v| v % 6 == 0 && v < 200));
+    }
+
+    #[test]
+    fn relation_row_install_paths_agree() {
+        // The two row-install paths (raw words, owned ids) must produce
+        // identical relations.
+        let mut buf = Vec::new();
+        let mut words = vec![0u64; 2];
+        for v in [3usize, 40, 64, 77] {
+            words[v / 64] |= 1 << (v % 64);
+        }
+        let mut via_words = Relation::empty(100);
+        via_words.set_forward_row_words(NodeId(2), &words, &mut buf);
+        via_words.finish_reverse();
+
+        let mut via_ids = Relation::empty(100);
+        via_ids.set_forward_row_ids(NodeId(2), &[3, 40, 64, 77]);
+        via_ids.finish_reverse();
+
+        assert_eq!(via_words, via_ids);
+        assert_eq!(via_words.len(), 4);
+        assert!(via_words.contains(NodeId(2), NodeId(64)));
+        assert_eq!(
+            via_words.backward(NodeId(40)).iter().collect::<Vec<_>>(),
+            [2]
+        );
+        assert_eq!(via_words.source_set().iter().collect::<Vec<_>>(), [2]);
+        assert_eq!(
+            via_words.target_set().iter().collect::<Vec<_>>(),
+            [3, 40, 64, 77]
+        );
     }
 
     #[test]

@@ -28,6 +28,19 @@ impl CrpqAtom {
     pub fn nfa(&self) -> Nfa {
         Nfa::from_regex(&self.regex)
     }
+
+    /// Canonical structural key of the atom *language*
+    /// ([`Nfa::canonical_key`] of the compiled automaton).
+    ///
+    /// ε-elimination copies most atoms verbatim into every ε-free variant,
+    /// so their keys coincide across variants — the property the relation
+    /// catalog in `crpq-core` exploits to materialise each distinct atom
+    /// relation once per graph instead of once per variant. Callers that
+    /// already hold the compiled NFA should key off that instead of paying
+    /// for a second compilation here.
+    pub fn canonical_key(&self) -> crpq_automata::NfaKey {
+        self.nfa().canonical_key()
+    }
 }
 
 /// The paper's query classes, ordered by generality.

@@ -31,6 +31,20 @@ impl BitSet {
         s
     }
 
+    /// Builds a set directly from backing words (bit `i` of word `w` is
+    /// value `w·64 + i`), truncating or zero-extending to `capacity` and
+    /// masking any tail bits beyond it.
+    pub fn from_words(mut words: Vec<u64>, capacity: usize) -> Self {
+        words.resize(capacity.div_ceil(64), 0);
+        let tail = capacity % 64;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        Self { words, capacity }
+    }
+
     /// Capacity (one past the largest storable value).
     #[inline]
     pub fn capacity(&self) -> usize {
@@ -104,6 +118,39 @@ impl BitSet {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
         }
+    }
+
+    /// In-place intersection with a sorted slice of values, in
+    /// `O(words + |sorted|)` without allocating: each word is masked with
+    /// the bits of `sorted` that fall into its 64-value window.
+    pub fn intersect_with_sorted(&mut self, sorted: &[u32]) {
+        let mut i = 0;
+        for (w, word) in self.words.iter_mut().enumerate() {
+            if *word == 0 {
+                // Still have to skip this window's entries.
+                let end = ((w as u32) + 1) * 64;
+                while i < sorted.len() && sorted[i] < end {
+                    i += 1;
+                }
+                continue;
+            }
+            let end = ((w as u32) + 1) * 64;
+            let mut mask = 0u64;
+            while i < sorted.len() && sorted[i] < end {
+                mask |= 1 << (sorted[i] % 64);
+                i += 1;
+            }
+            *word &= mask;
+        }
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the existing word
+    /// buffer (no allocation when capacities match — unlike the derived
+    /// `clone`, which always allocates a fresh `Vec`).
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.capacity = other.capacity;
     }
 
     /// In-place difference (`self \ other`).

@@ -22,6 +22,20 @@ pub fn data_complexity_graph(n: usize, seed: u64) -> GraphDb {
     generators::random_graph(n, 3 * n, &["a", "b", "c"], seed)
 }
 
+/// A 3-atom triangle query whose atoms are **all** ε-bearing
+/// (`Q(x,y) = x -(ab)*-> y ∧ y -c*-> z ∧ z -(bc)*-> x`): ε-elimination
+/// yields 2³ = 8 ε-free variants over only 3 distinct atom languages, each
+/// shared by 4 variants. The multi-variant stress case for the relation
+/// catalog — a per-variant engine materialises 12 relations where the
+/// catalog materialises 3 (hit rate 3/4).
+pub fn multi_variant_query(alphabet: &mut Interner) -> Crpq {
+    parse_crpq(
+        "(x, y) <- x -[(a b)*]-> y, y -[c*]-> z, z -[(b c)*]-> x",
+        alphabet,
+    )
+    .unwrap()
+}
+
 /// Growing chain query for the combined-complexity sweep: `k` atoms
 /// `xᵢ -[a+b]-> xᵢ₊₁` (Boolean).
 pub fn combined_complexity_query(k: usize, alphabet: &mut Interner) -> Crpq {
