@@ -15,8 +15,25 @@
 //!   rebuilds its atom relations from scratch, sequentially.
 //! * **legacy** — the enumeration oracle ([`EvalStrategy::Enumerate`]).
 //!
+//! Every row also records a **peak-RSS proxy**: `index_bytes` (the graph's
+//! adjacency indexes, node-major flat arrays + both label-partitioned
+//! CSRs) and `rel_bytes` (every relation materialised by the instrumented
+//! catalog run) — the two allocation sinks that gate large-graph scaling.
+//!
+//! The **label-rich scale workload** (`scale_rows` in the JSON) evaluates
+//! [`scaling::label_rich_query`] over [`scaling::label_rich_graph`]
+//! (`4n` edges, [`scaling::LABEL_RICH_LABELS`] = 10³ Zipf-distributed
+//! labels; see `crpq_workloads::scaling` for the knobs): too large for the
+//! legacy enumeration oracle, so it records only the catalog engine's
+//! build/evaluation wall clock plus the memory proxies, and asserts the
+//! sparse per-label CSR memory contract (offsets `O(|E| + Σ_l |V_l|)`,
+//! nowhere near the dense `O(|labels|·|V|)` cross product). `--smoke`
+//! includes it at `|V| = 10⁴` for the trajectory; `--scale-smoke` runs
+//! `|V| = 10⁵` under a hard wall-clock ceiling (the CI scale gate).
+//!
 //! The JSON is hand-serialised (the workspace's `serde` is an offline no-op
-//! shim); the schema is one `rows` array with a `workload` discriminator.
+//! shim); the schema is `rows` + `scale_rows` arrays with `workload`
+//! discriminators.
 
 use crpq_core::{
     eval_tuples_join_unshared, eval_tuples_with, eval_tuples_with_catalog, EvalStrategy,
@@ -47,6 +64,10 @@ struct Row {
     mat_ms: f64,
     catalog_hits: usize,
     catalog_misses: usize,
+    /// Heap bytes of the graph's adjacency indexes (peak-RSS proxy).
+    index_bytes: usize,
+    /// Heap bytes of the catalog's materialised relations (peak-RSS proxy).
+    rel_bytes: usize,
 }
 
 impl Row {
@@ -130,7 +151,155 @@ fn measure(workload: &str, graph_name: &str, q: &Crpq, g: &GraphDb, sem: Semanti
         mat_ms: catalog.materialise_ms(),
         catalog_hits: catalog.hits(),
         catalog_misses: catalog.misses(),
+        index_bytes: g.index_bytes(),
+        rel_bytes: catalog.relation_bytes(),
     }
+}
+
+/// One row of the label-rich scale workload (`scale_rows` in the JSON).
+struct ScaleRow {
+    nodes: usize,
+    edges: usize,
+    labels: usize,
+    tuples: usize,
+    build_ms: f64,
+    eval_ms: f64,
+    mat_ms: f64,
+    index_bytes: usize,
+    rel_bytes: usize,
+    /// Offset/index bytes of the two label-partitioned CSRs — the term
+    /// that was `O(|labels|·|V|)` in the dense layout.
+    csr_offset_bytes: usize,
+    /// What the dense `label × node` layout would have paid for the same
+    /// graph (both directions).
+    dense_offset_bytes: usize,
+}
+
+/// Builds the label-rich graph at `n` nodes and evaluates the scale query
+/// once through the catalog engine, asserting the sparse-offset memory
+/// contract. With `enforce_ceiling`, build + evaluation must also finish
+/// under `ceiling_ms` — the CI scale gate.
+fn measure_scale(n: usize, ceiling_ms: f64, enforce_ceiling: bool) -> ScaleRow {
+    let (mut g, build_ms) = time_once(|| scaling::label_rich_graph(n, 5));
+    let q = scaling::label_rich_query(g.alphabet_mut());
+    let mut catalog = RelationCatalog::with_threads(&g, 0);
+    let (tuples, eval_ms) =
+        time_once(|| eval_tuples_with_catalog(&q, &g, Semantics::Standard, &mut catalog).len());
+
+    assert!(
+        tuples > 0,
+        "label-rich scale workload returned no tuples — the join is degenerate \
+         and the smoke proves nothing"
+    );
+    let (fwd, rev) = (g.forward_csr(), g.reverse_csr());
+    let csr_offset_bytes = fwd.offset_bytes() + rev.offset_bytes();
+    let dense_offset_bytes = 2 * 4 * (g.alphabet().len() * g.num_nodes() + 1);
+    // The sparse layout's contract: offsets are O(|E| + Σ_l |V_l|) —
+    // bounded by a small constant per edge/slot/label — and nowhere near
+    // the dense label × node cross product on label-rich graphs.
+    let slots = fwd.touched_slots() + rev.touched_slots();
+    let structural_bound = 4 * (2 * slots + 2 * (g.alphabet().len() + 1) + 2) + 64;
+    assert!(
+        csr_offset_bytes <= structural_bound,
+        "label-index offsets {csr_offset_bytes} B exceed the O(|E| + Σ_l |V_l|) bound \
+         {structural_bound} B"
+    );
+    assert!(
+        csr_offset_bytes * 8 <= dense_offset_bytes,
+        "label-index offsets {csr_offset_bytes} B not an 8x+ win over the dense \
+         label × node layout ({dense_offset_bytes} B)"
+    );
+    if enforce_ceiling {
+        let total = build_ms + eval_ms;
+        assert!(
+            total <= ceiling_ms,
+            "scale smoke exceeded the wall-clock ceiling: {total:.0}ms > {ceiling_ms:.0}ms"
+        );
+    }
+    ScaleRow {
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        labels: g.alphabet().len(),
+        tuples,
+        build_ms,
+        eval_ms,
+        mat_ms: catalog.materialise_ms(),
+        index_bytes: g.index_bytes(),
+        rel_bytes: catalog.relation_bytes(),
+        csr_offset_bytes,
+        dense_offset_bytes,
+    }
+}
+
+fn scale_rows_json(scale_rows: &[ScaleRow]) -> String {
+    let mut json = String::new();
+    for (i, r) in scale_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"scale_label_rich\", \"nodes\": {}, \"edges\": {}, \
+             \"labels\": {}, \"tuples\": {}, \"build_ms\": {:.4}, \"eval_ms\": {:.4}, \
+             \"mat_ms\": {:.4}, \"index_bytes\": {}, \"rel_bytes\": {}, \
+             \"csr_offset_bytes\": {}, \"dense_offset_bytes\": {}}}{}",
+            r.nodes,
+            r.edges,
+            r.labels,
+            r.tuples,
+            r.build_ms,
+            r.eval_ms,
+            r.mat_ms,
+            r.index_bytes,
+            r.rel_bytes,
+            r.csr_offset_bytes,
+            r.dense_offset_bytes,
+            if i + 1 < scale_rows.len() { "," } else { "" }
+        );
+    }
+    json
+}
+
+fn print_scale_rows(scale_rows: &[ScaleRow]) {
+    println!("\n## scale_label_rich — Zipf label-rich workload (catalog engine only)\n");
+    println!("| n | edges | labels | tuples | build | eval | mat | index MB | rel MB | csr offsets | dense offsets |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+    for r in scale_rows {
+        println!(
+            "| {} | {} | {} | {} | {:.0}ms | {:.0}ms | {:.0}ms | {:.1} | {:.1} | {} KB | {} KB |",
+            r.nodes,
+            r.edges,
+            r.labels,
+            r.tuples,
+            r.build_ms,
+            r.eval_ms,
+            r.mat_ms,
+            r.index_bytes as f64 / 1e6,
+            r.rel_bytes as f64 / 1e6,
+            r.csr_offset_bytes / 1024,
+            r.dense_offset_bytes / 1024,
+        );
+    }
+}
+
+/// The `--scale-smoke` CI gate: the `|V| = 10⁵`, 10³-label workload must
+/// complete (build + catalog evaluation) under a hard wall-clock ceiling
+/// with the sparse label-index memory contract asserted. Writes the
+/// measurements to `path` (same `scale_rows` schema as `BENCH_eval.json`).
+pub fn run_scale_smoke(path: &str) {
+    // Generous ceiling: the workload runs in a few seconds on a laptop;
+    // the ceiling only has to catch quadratic regressions (a dense
+    // label × node index rebuild alone would blow straight through it).
+    const CEILING_MS: f64 = 120_000.0;
+    let rows = vec![measure_scale(100_000, CEILING_MS, true)];
+    print_scale_rows(&rows);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p crpq-bench --bin experiments -- --scale-smoke\",\n",
+    );
+    json.push_str("  \"scale_rows\": [\n");
+    json.push_str(&scale_rows_json(&rows));
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, &json).expect("write scale smoke JSON");
+    println!("\nwrote {path}");
 }
 
 /// Runs the E2 + E9 evaluation comparison and writes `path`.
@@ -200,6 +369,12 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
         }
     }
 
+    // Label-rich scale workload at |V| = 10⁴ for the trajectory (the CI
+    // scale gate runs |V| = 10⁵ via `--scale-smoke`): records build/eval
+    // wall clock plus the index/relation memory proxies, and asserts the
+    // sparse label-index memory contract at this scale too.
+    let scale_rows = vec![measure_scale(10_000, f64::INFINITY, false)];
+
     for r in &rows {
         println!(
             "| {} | {} | {} | {} | {} | {:.3}ms | {:.3}ms | {:.3}ms | {:.3}ms | {:.0}% | {:.1}x | {:.1}x |",
@@ -218,6 +393,8 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
         );
     }
 
+    print_scale_rows(&scale_rows);
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(
@@ -231,7 +408,8 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
              \"arity\": {}, \"semantics\": \"{}\", \"tuples\": {}, \"join_ms\": {:.4}, \
              \"unshared_ms\": {:.4}, \"legacy_ms\": {:.4}, \"mat_ms\": {:.4}, \
              \"catalog_hits\": {}, \"catalog_misses\": {}, \"catalog_hit_rate\": {:.3}, \
-             \"catalog_speedup\": {:.2}, \"speedup\": {:.2}}}{}",
+             \"catalog_speedup\": {:.2}, \"speedup\": {:.2}, \"index_bytes\": {}, \
+             \"rel_bytes\": {}}}{}",
             r.workload,
             r.graph,
             r.nodes,
@@ -248,9 +426,14 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
             r.hit_rate(),
             r.catalog_speedup(),
             r.speedup(),
+            r.index_bytes,
+            r.rel_bytes,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
+    json.push_str("  ],\n");
+    json.push_str("  \"scale_rows\": [\n");
+    json.push_str(&scale_rows_json(&scale_rows));
     json.push_str("  ]\n}\n");
     std::fs::write(path, &json).expect("write BENCH_eval.json");
     println!("\nwrote {path}");

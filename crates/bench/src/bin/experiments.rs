@@ -6,11 +6,21 @@
 //! ```
 //!
 //! With `--smoke`, runs only the evaluation benchmark (E2/E9 workloads,
-//! join-based engine vs. the legacy enumeration oracle) and writes the
-//! wall-clock numbers to `BENCH_eval.json` — the CI perf baseline:
+//! join-based engine vs. the legacy enumeration oracle, plus the
+//! label-rich scale workload at |V| = 10⁴) and writes the wall-clock and
+//! index/relation-memory numbers to `BENCH_eval.json` — the CI perf
+//! baseline:
 //!
 //! ```sh
 //! cargo run --release -p crpq-bench --bin experiments -- --smoke
+//! ```
+//!
+//! With `--scale-smoke`, runs only the |V| = 10⁵, ~10³-label Zipf workload
+//! under a hard wall-clock ceiling, asserting that the label-index offsets
+//! stay O(|E| + Σ_l |V_l|) (not O(|labels|·|V|)) — the CI scale gate:
+//!
+//! ```sh
+//! cargo run --release -p crpq-bench --bin experiments -- --scale-smoke
 //! ```
 
 use crpq_containment::abstraction::try_contain_qinj;
@@ -25,6 +35,10 @@ use std::time::Instant;
 use crpq_bench::bench_eval;
 
 fn main() {
+    if std::env::args().any(|a| a == "--scale-smoke") {
+        bench_eval::run_scale_smoke("BENCH_scale.json");
+        return;
+    }
     if std::env::args().any(|a| a == "--smoke") {
         bench_eval::run_smoke("BENCH_eval.json", true);
         return;

@@ -70,7 +70,7 @@
 //!   disjoint (backtracking across atoms).
 
 use crpq_automata::{Nfa, NfaKey};
-use crpq_graph::rpq::{ReachScratch, Relation};
+use crpq_graph::rpq::{NodeSet, ReachScratch, Relation};
 use crpq_graph::{rpq, GraphDb, NodeId};
 use crpq_query::{Crpq, Var};
 use crpq_util::{BitSet, FxHashMap, FxHashSet};
@@ -402,8 +402,9 @@ enum MaterialiseMode {
 /// ([`rpq::rpq_relation_auto`]): per-source BFS sweeps by default, with a
 /// sampled cost probe that escalates to the condensation bitset closure
 /// ([`rpq::rpq_relation_closure`]) on dense products where per-source
-/// exploration would be quadratically wasteful (and the closure's reach
-/// matrix fits in memory, [`rpq::closure_fits`]). Sweeps run sequentially
+/// exploration would be quadratically wasteful (the closure is
+/// column-blocked, so its reach matrix stays within a fixed working-set
+/// budget at any product size). Sweeps run sequentially
 /// with a pooled [`ReachScratch`] by default and partition across scoped
 /// threads when built via [`RelationCatalog::with_threads`].
 pub struct RelationCatalog {
@@ -536,6 +537,12 @@ impl RelationCatalog {
     pub fn materialise_ms(&self) -> f64 {
         self.materialise_ms
     }
+
+    /// Approximate heap bytes of every relation materialised so far — the
+    /// peak-RSS proxy `BENCH_eval` records alongside wall clock.
+    pub fn relation_bytes(&self) -> usize {
+        self.relations.iter().map(Relation::heap_bytes).sum()
+    }
 }
 
 /// Sampled structural fingerprint of a graph: node count, edge count and
@@ -600,8 +607,11 @@ pub(crate) struct JoinPlan<'a> {
     /// `relations[i]` = full standard-semantics relation of atom `i`,
     /// borrowed from the [`RelationCatalog`] it was planned against.
     relations: Vec<&'a Relation>,
-    /// Per-variable candidate domains after semi-join fixpoint.
-    domains: Vec<BitSet>,
+    /// Per-variable candidate domains after semi-join fixpoint —
+    /// density-adaptive ([`NodeSet`]: sorted-`u32` sparse / bitset dense),
+    /// so domain storage and the per-backtracking-step clone+intersect are
+    /// `O(candidates)` instead of `O(|V|)` per variable.
+    domains: Vec<NodeSet>,
     /// Some domain is empty — the variant contributes nothing.
     empty: bool,
 }
@@ -620,27 +630,31 @@ impl<'a> JoinPlan<'a> {
         let relations: Vec<&Relation> = rel_ids.iter().map(|&id| catalog.relation(id)).collect();
 
         let n = g.num_nodes();
-        let mut domains = vec![BitSet::full(n); variant.num_vars];
+        let mut domains = vec![NodeSet::full(n); variant.num_vars];
 
         // Initial restriction: sources/targets per incident atom; self-loop
-        // atoms keep only nodes related to themselves.
+        // atoms keep only nodes related to themselves. Each intersection
+        // re-picks the domain's representation, so label-selective atoms
+        // collapse their variables to small sorted id lists immediately.
         for (atom, rel) in atoms.iter().zip(&relations) {
             if atom.src == atom.dst {
-                let mut dom = BitSet::new(n);
-                for v in 0..n {
-                    if rel.contains(NodeId(v as u32), NodeId(v as u32)) {
-                        dom.insert(v);
-                    }
-                }
-                domains[atom.src.index()].intersect_with(&dom);
+                let diag: Vec<u32> = rel
+                    .source_set()
+                    .iter()
+                    .filter(|&v| rel.contains(NodeId(v as u32), NodeId(v as u32)))
+                    .map(|v| v as u32)
+                    .collect();
+                domains[atom.src.index()].intersect_with_sorted(&diag);
             } else {
-                domains[atom.src.index()].intersect_with(rel.source_set());
-                domains[atom.dst.index()].intersect_with(rel.target_set());
+                domains[atom.src.index()].intersect_with_bitset(rel.source_set());
+                domains[atom.dst.index()].intersect_with_bitset(rel.target_set());
             }
         }
 
         // Semi-join fixpoint: a node stays in dom(src) only while some
-        // partner in dom(dst) is still related (and vice versa).
+        // partner in dom(dst) is still related (and vice versa). Each pass
+        // rebuilds the shrinking side from its survivors — `O(candidates)`
+        // work and memory, not `O(|V|)`.
         let mut changed = true;
         while changed {
             changed = false;
@@ -649,20 +663,22 @@ impl<'a> JoinPlan<'a> {
                     continue;
                 }
                 let (s, d) = (atom.src.index(), atom.dst.index());
-                let gone: Vec<usize> = domains[s]
+                let kept: Vec<u32> = domains[s]
                     .iter()
-                    .filter(|&u| !rel.forward(NodeId(u as u32)).intersects(&domains[d]))
+                    .filter(|&u| domains[d].intersects_row(&rel.forward(NodeId(u as u32))))
+                    .map(|u| u as u32)
                     .collect();
-                for u in gone {
-                    domains[s].remove(u);
+                if kept.len() != domains[s].len() {
+                    domains[s] = NodeSet::from_sorted_ids(kept, n);
                     changed = true;
                 }
-                let gone: Vec<usize> = domains[d]
+                let kept: Vec<u32> = domains[d]
                     .iter()
-                    .filter(|&v| !rel.backward(NodeId(v as u32)).intersects(&domains[s]))
+                    .filter(|&v| domains[s].intersects_row(&rel.backward(NodeId(v as u32))))
+                    .map(|v| v as u32)
                     .collect();
-                for v in gone {
-                    domains[d].remove(v);
+                if kept.len() != domains[d].len() {
+                    domains[d] = NodeSet::from_sorted_ids(kept, n);
                     changed = true;
                 }
             }
@@ -699,8 +715,10 @@ impl<'a> JoinPlan<'a> {
 
     /// The candidate set for `var` given the current partial assignment:
     /// pruned domain ∩ relation rows of assigned neighbours (∖ used nodes
-    /// under `q-inj`).
-    fn candidates(&self, var: Var, assignment: &[Option<NodeId>]) -> BitSet {
+    /// under `q-inj`). Cloning and intersecting a sparse domain costs
+    /// `O(candidates)`, which is what this per-backtracking-step call must
+    /// stay at for large graphs.
+    fn candidates(&self, var: Var, assignment: &[Option<NodeId>]) -> NodeSet {
         let mut cands = self.domains[var.index()].clone();
         for (atom, rel) in self.atoms.iter().zip(&self.relations) {
             if atom.src == atom.dst {
@@ -708,12 +726,12 @@ impl<'a> JoinPlan<'a> {
             }
             if atom.src == var {
                 if let Some(dst_node) = assignment[atom.dst.index()] {
-                    rel.backward(dst_node).intersect_into(&mut cands);
+                    cands.intersect_with_row(&rel.backward(dst_node));
                 }
             }
             if atom.dst == var {
                 if let Some(src_node) = assignment[atom.src.index()] {
-                    rel.forward(src_node).intersect_into(&mut cands);
+                    cands.intersect_with_row(&rel.forward(src_node));
                 }
             }
         }
@@ -757,7 +775,7 @@ impl<'a> JoinPlan<'a> {
             return;
         }
         // Choose the unassigned variable with the fewest candidates.
-        let mut best: Option<(Var, BitSet, usize)> = None;
+        let mut best: Option<(Var, NodeSet, usize)> = None;
         for v in 0..assignment.len() {
             if assignment[v].is_some() {
                 continue;

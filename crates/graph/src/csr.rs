@@ -3,21 +3,31 @@
 //! The evaluation hot loop asks one question over and over: *given a node
 //! `v` and an edge label `a`, which nodes does an `a`-edge reach from `v`?*
 //! With the builder's `Vec<Vec<(Symbol, NodeId)>>` representation this is a
-//! scan (or binary search) of `v`'s whole edge list per NFA transition. A
-//! [`LabelCsr`] instead stores, for every `(label, node)` pair, a
-//! **contiguous slice** of neighbour ids inside one flat array:
+//! scan (or binary search) of `v`'s whole edge list per NFA transition.
+//!
+//! A [`LabelCsr`] answers it from a **per-label sparse CSR**: each label
+//! owns a sorted index of only the nodes that actually carry an edge with
+//! that label, plus offsets into one flat target array:
 //!
 //! ```text
-//! targets: [ ── label a, node 0 ──┃─ label a, node 1 ─┃ … ┃─ label b, node 0 ─┃ … ]
-//! offsets: [ 0, 3, 5, …, |E| ]      (one entry per label × node, plus one)
+//! label_offsets: [ 0, |V_a|, |V_a|+|V_b|, … ]        (one entry per label, plus one)
+//! nodes:         [ ─ label a: sorted V_a ─ ┃ ─ label b: sorted V_b ─ ┃ … ]
+//! slot_offsets:  [ 0, 3, 5, …, |E| ]                  (one entry per (label, node) slot, plus one)
+//! targets:       [ ── a-edges of V_a[0] ──┃─ of V_a[1] ─┃ … ┃─ b-edges of V_b[0] ─┃ … ]
 //! ```
 //!
-//! `neighbors(v, a)` is then two loads and a bounds check — O(1) plus the
-//! slice itself — and iteration over the slice is a linear walk of
-//! adjacent memory, which is what the product-automaton BFS in
-//! [`crate::rpq`] spends most of its time doing. The layout is label-major
-//! so that a single-label query (the common case: one NFA transition
-//! symbol) touches one dense region of the array per node.
+//! `neighbors(v, a)` binary-searches `v` inside `a`'s node index (O(log
+//! |V_a|), on dense labels a handful of cache lines) and returns one
+//! contiguous, sorted slice of `targets`. Iteration over the slice is a
+//! linear walk of adjacent memory, which is what the product-automaton BFS
+//! in [`crate::rpq`] spends most of its time doing.
+//!
+//! The payoff over the earlier dense `label × node` offset table is the
+//! memory shape: offsets cost `O(|labels| + Σ_l |V_l|)` instead of
+//! `O(|labels| · |V|)`, so a Wikidata-style graph with `|V| = 10⁵` nodes
+//! and ~10³ labels keeps its index proportional to the edges that exist
+//! (a few MB) rather than the `label × node` cross product (hundreds of
+//! MB per direction).
 //!
 //! [`GraphDb`](crate::GraphDb) keeps two of these (forward and reverse),
 //! built once in `GraphBuilder::finish`; the structure is immutable
@@ -30,50 +40,93 @@ use serde::{Deserialize, Serialize};
 /// Immutable label-partitioned CSR index over the edges of a graph.
 ///
 /// Stores one direction (forward *or* reverse); `GraphDb` owns one of each.
+///
+/// # Invariants
+///
+/// * At most `u32::MAX` edges per direction — all offsets are `u32`;
+///   [`LabelCsr::build`] asserts this, so the limit fails loudly instead
+///   of silently wrapping the counting-sort accumulators.
+/// * `nodes` is sorted strictly ascending within each label group, and
+///   every listed `(label, node)` slot has at least one target — absent
+///   slots cost nothing, which is what makes the layout
+///   `O(|E| + Σ_l |V_l|)`.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LabelCsr {
     num_nodes: usize,
     num_labels: usize,
-    /// `offsets[l * num_nodes + v] .. offsets[l * num_nodes + v + 1]` is the
-    /// range of `targets` holding the `l`-neighbours of `v`. Length
-    /// `num_labels * num_nodes + 1`.
-    offsets: Vec<u32>,
-    /// Neighbour ids, grouped by `(label, source)`, sorted within a group.
+    /// `nodes[label_offsets[l] .. label_offsets[l+1]]` is the sorted index
+    /// of nodes with at least one `l`-edge. Length `num_labels + 1`.
+    label_offsets: Vec<u32>,
+    /// Per-label sorted node indexes, concatenated. Length `Σ_l |V_l|`.
+    nodes: Vec<u32>,
+    /// `targets[slot_offsets[i] .. slot_offsets[i+1]]` is the target slice
+    /// of the `i`-th `(label, node)` slot (`i` indexes `nodes`). Length
+    /// `nodes.len() + 1`.
+    slot_offsets: Vec<u32>,
+    /// Neighbour ids, grouped by `(label, source)` slot, sorted within a
+    /// group.
     targets: Vec<NodeId>,
 }
 
 impl LabelCsr {
     /// Builds the index from edges given as `(source, label, target)`
     /// triples. Edges must already be deduplicated; they need not be sorted.
+    ///
+    /// Panics if `edges.len()` exceeds `u32::MAX` (the offset arrays are
+    /// `u32`; see the struct invariants).
     pub fn build(num_nodes: usize, num_labels: usize, edges: &[(NodeId, Symbol, NodeId)]) -> Self {
-        let slots = num_labels * num_nodes;
-        let slot = |l: Symbol, v: NodeId| l.index() * num_nodes + v.index();
-        // Counting sort over (label, source) slots: one pass to size, one
-        // prefix sum, one pass to place.
-        let mut offsets = vec![0u32; slots + 1];
-        for &(u, l, _) in edges {
-            offsets[slot(l, u) + 1] += 1;
+        assert!(
+            edges.len() <= u32::MAX as usize,
+            "LabelCsr edge count exceeds u32 offsets — shard the graph"
+        );
+        // Counting sort by label: one pass to size, one prefix sum, one
+        // pass to place `(source, target)` pairs into their label group.
+        let mut label_edge_off = vec![0u32; num_labels + 1];
+        for &(_, l, _) in edges {
+            label_edge_off[l.index() + 1] += 1;
         }
-        for i in 1..offsets.len() {
-            offsets[i] += offsets[i - 1];
+        for i in 1..label_edge_off.len() {
+            label_edge_off[i] += label_edge_off[i - 1];
         }
-        let mut cursor: Vec<u32> = offsets[..slots].to_vec();
-        let mut targets = vec![NodeId(0); edges.len()];
+        let mut cursor: Vec<u32> = label_edge_off[..num_labels].to_vec();
+        let mut by_label: Vec<(u32, u32)> = vec![(0, 0); edges.len()];
         for &(u, l, v) in edges {
-            let s = slot(l, u);
-            targets[cursor[s] as usize] = v;
-            cursor[s] += 1;
+            by_label[cursor[l.index()] as usize] = (u.0, v.0);
+            cursor[l.index()] += 1;
         }
-        // Sort each per-slot group so neighbour slices are ordered (useful
-        // for binary search and deterministic iteration).
-        for s in 0..slots {
-            let (lo, hi) = (offsets[s] as usize, offsets[s + 1] as usize);
-            targets[lo..hi].sort_unstable();
+
+        // Per label: sort the group by (source, target), then emit one
+        // slot per distinct source. Slots are appended in (label, source)
+        // order, so each slot's end offset is the next slot's start and
+        // one shared `slot_offsets` array (plus a final terminator)
+        // suffices.
+        let mut label_offsets = Vec::with_capacity(num_labels + 1);
+        label_offsets.push(0u32);
+        let mut nodes: Vec<u32> = Vec::new();
+        let mut slot_offsets: Vec<u32> = Vec::new();
+        let mut targets = Vec::with_capacity(edges.len());
+        for l in 0..num_labels {
+            let (lo, hi) = (label_edge_off[l] as usize, label_edge_off[l + 1] as usize);
+            let group = &mut by_label[lo..hi];
+            group.sort_unstable();
+            let mut prev: Option<u32> = None;
+            for &(src, tgt) in group.iter() {
+                if prev != Some(src) {
+                    nodes.push(src);
+                    slot_offsets.push(targets.len() as u32);
+                    prev = Some(src);
+                }
+                targets.push(NodeId(tgt));
+            }
+            label_offsets.push(nodes.len() as u32);
         }
+        slot_offsets.push(targets.len() as u32);
         LabelCsr {
             num_nodes,
             num_labels,
-            offsets,
+            label_offsets,
+            nodes,
+            slot_offsets,
             targets,
         }
     }
@@ -98,21 +151,56 @@ impl LabelCsr {
         self.targets.len()
     }
 
-    /// The `label`-neighbours of `v` as a sorted contiguous slice — O(1).
+    /// `Σ_l |V_l|`: the number of `(label, node)` slots that actually hold
+    /// edges — the data-dependent term of the index's memory footprint.
+    #[inline]
+    pub fn touched_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Heap bytes of the offset/index arrays (everything except the target
+    /// ids): `O(|labels| + Σ_l |V_l|)` by construction. This is the term
+    /// the dense `label × node` layout paid `O(|labels| · |V|)` for; the
+    /// scale benchmarks assert on it.
+    pub fn offset_bytes(&self) -> usize {
+        (self.label_offsets.len() + self.nodes.len() + self.slot_offsets.len())
+            * std::mem::size_of::<u32>()
+    }
+
+    /// Total heap bytes of the index (offsets plus target ids).
+    pub fn heap_bytes(&self) -> usize {
+        self.offset_bytes() + self.targets.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// The `label`-neighbours of `v` as a sorted contiguous slice —
+    /// O(log |V_label|) for the slot lookup, O(1) after that.
     ///
-    /// Labels outside the indexed alphabet yield the empty slice, so query
-    /// symbols unknown to the graph are handled without a special case.
+    /// Labels outside the indexed alphabet (and nodes without edges for
+    /// the label) yield the empty slice, so query symbols unknown to the
+    /// graph are handled without a special case.
     #[inline]
     pub fn neighbors(&self, v: NodeId, label: Symbol) -> &[NodeId] {
         if label.index() >= self.num_labels {
             return &[];
         }
-        let s = label.index() * self.num_nodes + v.index();
-        let (lo, hi) = (self.offsets[s] as usize, self.offsets[s + 1] as usize);
-        &self.targets[lo..hi]
+        let (lo, hi) = (
+            self.label_offsets[label.index()] as usize,
+            self.label_offsets[label.index() + 1] as usize,
+        );
+        match self.nodes[lo..hi].binary_search(&v.0) {
+            Ok(p) => {
+                let slot = lo + p;
+                let (s, e) = (
+                    self.slot_offsets[slot] as usize,
+                    self.slot_offsets[slot + 1] as usize,
+                );
+                &self.targets[s..e]
+            }
+            Err(_) => &[],
+        }
     }
 
-    /// Number of `label`-neighbours of `v` — O(1).
+    /// Number of `label`-neighbours of `v` — same cost as [`Self::neighbors`].
     #[inline]
     pub fn degree(&self, v: NodeId, label: Symbol) -> usize {
         self.neighbors(v, label).len()
@@ -128,9 +216,17 @@ impl LabelCsr {
     pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, Symbol, NodeId)> + '_ {
         (0..self.num_labels).flat_map(move |l| {
             let label = Symbol(l as u32);
-            (0..self.num_nodes).flat_map(move |v| {
-                let v = NodeId(v as u32);
-                self.neighbors(v, label).iter().map(move |&w| (v, label, w))
+            let (lo, hi) = (
+                self.label_offsets[l] as usize,
+                self.label_offsets[l + 1] as usize,
+            );
+            (lo..hi).flat_map(move |slot| {
+                let v = NodeId(self.nodes[slot]);
+                let (s, e) = (
+                    self.slot_offsets[slot] as usize,
+                    self.slot_offsets[slot + 1] as usize,
+                );
+                self.targets[s..e].iter().map(move |&w| (v, label, w))
             })
         })
     }
@@ -189,5 +285,61 @@ mod tests {
         assert_eq!(csr.num_edges(), 0);
         let csr = LabelCsr::build(3, 0, &[]);
         assert_eq!(csr.neighbors(NodeId(1), Symbol(0)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn offsets_scale_with_touched_slots_not_label_node_product() {
+        // 100 nodes, 50 labels, but only 3 (label, node) slots carry
+        // edges: the offset arrays must be O(|labels| + slots), nowhere
+        // near the 100 × 50 dense cross product.
+        let csr = LabelCsr::build(100, 50, &[e(0, 0, 1), e(0, 49, 2), e(99, 7, 0)]);
+        assert_eq!(csr.touched_slots(), 3);
+        let dense_bytes = 4 * (50 * 100 + 1);
+        assert!(
+            csr.offset_bytes() < dense_bytes / 10,
+            "offsets {} not sparse vs dense {}",
+            csr.offset_bytes(),
+            dense_bytes
+        );
+        assert_eq!(csr.neighbors(NodeId(99), Symbol(7)), &[NodeId(0)]);
+        assert_eq!(csr.neighbors(NodeId(0), Symbol(49)), &[NodeId(2)]);
+        assert_eq!(csr.neighbors(NodeId(1), Symbol(0)), &[] as &[NodeId]);
+    }
+
+    /// Oracle check against a naive scan, with every node/label density mix
+    /// the sparse layout has to get right (absent slots, singleton slots,
+    /// full rows).
+    #[test]
+    fn matches_naive_adjacency_on_random_shapes() {
+        let mut state = 0x853c49e6748fea9bu64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let (n, labels) = (23u32, 9u32);
+        let mut edges: Vec<(NodeId, Symbol, NodeId)> = (0..160)
+            .map(|_| e(next() % n, next() % labels, next() % n))
+            .collect();
+        edges.sort_unstable_by_key(|&(u, l, v)| (u.0, l.0, v.0));
+        edges.dedup();
+        let csr = LabelCsr::build(n as usize, labels as usize, &edges);
+        assert_eq!(csr.num_edges(), edges.len());
+        for v in 0..n {
+            for l in 0..labels {
+                let mut expect: Vec<NodeId> = edges
+                    .iter()
+                    .filter(|&&(u, s, _)| u.0 == v && s.0 == l)
+                    .map(|&(_, _, w)| w)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(
+                    csr.neighbors(NodeId(v), Symbol(l)),
+                    &expect[..],
+                    "node {v} label {l}"
+                );
+            }
+        }
     }
 }

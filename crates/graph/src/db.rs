@@ -12,8 +12,9 @@
 //!   node stored contiguously, sorted by label then target) serving
 //!   [`GraphDb::out_edges`] / [`GraphDb::in_edges`] / [`GraphDb::edges`];
 //! * a *label-major* [`LabelCsr`] serving [`GraphDb::successors`] /
-//!   [`GraphDb::predecessors`]: the `a`-neighbours of `v` are one O(1)
-//!   contiguous slice lookup, no scan of `v`'s other labels.
+//!   [`GraphDb::predecessors`]: the `a`-neighbours of `v` are one
+//!   contiguous slice, found by a binary search in `a`'s sparse node
+//!   index (O(log |V_a|)), with no scan of `v`'s other labels.
 //!
 //! The label-partitioned index is what the RPQ product searches in
 //! [`crate::rpq`] run on; see `crates/graph/src/csr.rs` for the layout.
@@ -123,15 +124,15 @@ impl GraphDb {
         &self.in_adj[lo as usize..hi as usize]
     }
 
-    /// Targets of `v`'s outgoing `label`-edges as a sorted slice — O(1)
-    /// lookup in the label-partitioned CSR.
+    /// Targets of `v`'s outgoing `label`-edges as a sorted slice — one
+    /// O(log |V_label|) slot lookup in the label-partitioned sparse CSR.
     #[inline]
     pub fn successors_slice(&self, v: NodeId, label: Symbol) -> &[NodeId] {
         self.fwd.neighbors(v, label)
     }
 
-    /// Sources of `v`'s incoming `label`-edges as a sorted slice — O(1)
-    /// lookup in the label-partitioned CSR.
+    /// Sources of `v`'s incoming `label`-edges as a sorted slice — one
+    /// O(log |V_label|) slot lookup in the label-partitioned sparse CSR.
     #[inline]
     pub fn predecessors_slice(&self, v: NodeId, label: Symbol) -> &[NodeId] {
         self.rev.neighbors(v, label)
@@ -155,6 +156,17 @@ impl GraphDb {
     /// The reverse label-partitioned CSR index.
     pub fn reverse_csr(&self) -> &LabelCsr {
         &self.rev
+    }
+
+    /// Approximate heap bytes of the adjacency indexes (node-major flat
+    /// arrays plus both label-partitioned CSRs) — the peak-RSS proxy the
+    /// scale benchmarks record. Excludes node names and the name index,
+    /// which are workload metadata rather than query-path structures.
+    pub fn index_bytes(&self) -> usize {
+        (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<u32>()
+            + (self.out_adj.len() + self.in_adj.len()) * std::mem::size_of::<(Symbol, NodeId)>()
+            + self.fwd.heap_bytes()
+            + self.rev.heap_bytes()
     }
 
     /// Whether the edge `u -label-> v` exists (binary search in the CSR).

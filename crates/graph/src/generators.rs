@@ -94,6 +94,47 @@ pub fn random_graph(n: usize, m: usize, labels: &[&str], seed: u64) -> GraphDb {
     b.finish()
 }
 
+/// A **label-rich** random graph in the shape of practical RPQ workloads
+/// (Wikidata-style): `n` nodes, `m` edges, `num_labels` distinct labels
+/// (`l0`, `l1`, …) whose frequencies follow a Zipf law with the given
+/// `exponent` — a few very frequent predicates and a long tail of rare
+/// ones. Endpoints are uniform; the label of each edge is drawn from the
+/// Zipf distribution by inverse-CDF lookup on integer cumulative weights,
+/// so the stream is exactly reproducible per seed.
+///
+/// This is the graph family that makes a dense `label × node` index
+/// layout quadratically wasteful: most `(label, node)` slots are empty.
+pub fn zipf_label_graph(
+    n: usize,
+    m: usize,
+    num_labels: usize,
+    exponent: f64,
+    seed: u64,
+) -> GraphDb {
+    assert!(n >= 1 && num_labels >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<_> = (0..n).map(|i| b.node(&format!("v{i}"))).collect();
+    let labels: Vec<_> = (0..num_labels).map(|l| b.label(&format!("l{l}"))).collect();
+    // Integer cumulative Zipf weights: label l gets weight ∝ 1/(l+1)^s,
+    // scaled so one u64 draw plus a partition-point lookup samples it.
+    let mut cum: Vec<u64> = Vec::with_capacity(num_labels);
+    let mut total = 0u64;
+    for l in 0..num_labels {
+        let w = (1e9 / ((l + 1) as f64).powf(exponent)).ceil() as u64;
+        total += w.max(1);
+        cum.push(total);
+    }
+    for _ in 0..m {
+        let u = nodes[rng.gen_range(0..n)];
+        let v = nodes[rng.gen_range(0..n)];
+        let t = rng.gen_range(0..total);
+        let l = cum.partition_point(|&c| c <= t);
+        b.edge_ids(u, labels[l], v);
+    }
+    b.finish()
+}
+
 /// A two-level "social network": `communities` clusters of `size` members
 /// with dense intra-cluster `knows` edges (probability `p_in`) and sparse
 /// inter-cluster `follows` bridges (probability `p_out`).
@@ -215,6 +256,32 @@ mod tests {
             g3.edges().collect::<Vec<_>>(),
             "different seed, different graph (w.h.p.)"
         );
+    }
+
+    #[test]
+    fn zipf_label_graph_is_deterministic_and_skewed() {
+        let g1 = zipf_label_graph(200, 800, 40, 1.0, 9);
+        let g2 = zipf_label_graph(200, 800, 40, 1.0, 9);
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(g1.num_nodes(), 200);
+        assert_eq!(g1.alphabet().len(), 40);
+        // Zipf skew: the most frequent label must dominate the rarest by a
+        // wide margin (weight ratio 40:1 before sampling noise).
+        let mut counts = vec![0usize; 40];
+        for (_, s, _) in g1.edges() {
+            counts[s.index()] += 1;
+        }
+        assert!(
+            counts[0] > 10 * counts[39].max(1),
+            "no Zipf skew: {counts:?}"
+        );
+        // Frequencies are monotone-ish: head ≫ tail in aggregate.
+        let head: usize = counts[..4].iter().sum();
+        let tail: usize = counts[20..].iter().sum();
+        assert!(head > tail, "head {head} tail {tail}");
     }
 
     #[test]

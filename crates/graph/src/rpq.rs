@@ -85,6 +85,13 @@ impl ReachScratch {
         self.node_stamps[v] = self.epoch;
         fresh
     }
+
+    /// Test-only: forces the epoch counter, so wraparound (2³² sweeps)
+    /// can be exercised without running 2³² sweeps.
+    #[cfg(test)]
+    pub(crate) fn set_epoch_for_test(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
 }
 
 /// Nodes reachable from `src` by a path whose label is in `L(nfa)`.
@@ -325,6 +332,219 @@ fn dense_row(k: usize, n: usize) -> bool {
     k * 32 >= n
 }
 
+/// An **owned**, density-adaptive set of node ids over a fixed universe
+/// `0..n`: a sorted `u32` list while sparse, a dense [`BitSet`] once
+/// `k·32 ≥ n` (the same memory-parity point as [`RelationRow`], see
+/// [`dense_row`] — a `u32` id costs 32 bits, a bitset slot one).
+///
+/// This is the semi-join **domain** representation of the join engine: a
+/// per-variable candidate set starts at `V`, is cut down by atom
+/// source/target sets and relation rows, and is then cloned and
+/// intersected per backtracking step. With dense `|V|`-bit sets every one
+/// of those steps costs `O(|V|/64)` regardless of how few candidates
+/// survive; adaptively sparse sets make domain storage and per-step work
+/// `O(candidates)`, which is what keeps the join affordable at
+/// `|V| = 10⁵` where domains are almost always tiny after pruning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeSet {
+    /// Sorted node ids (strictly ascending) over universe `0..universe`.
+    Sparse { ids: Vec<u32>, universe: usize },
+    /// Bitset over the whole universe.
+    Dense(BitSet),
+}
+
+impl NodeSet {
+    /// The full set `0..n` (dense).
+    pub fn full(n: usize) -> Self {
+        NodeSet::Dense(BitSet::full(n))
+    }
+
+    /// The empty set over universe `0..n`.
+    pub fn empty(n: usize) -> Self {
+        NodeSet::Sparse {
+            ids: Vec::new(),
+            universe: n,
+        }
+    }
+
+    /// Builds from a sorted, deduplicated id list, choosing the cheaper
+    /// representation.
+    pub fn from_sorted_ids(ids: Vec<u32>, n: usize) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
+        let mut s = NodeSet::Sparse { ids, universe: n };
+        s.normalize();
+        s
+    }
+
+    /// One past the largest storable id.
+    pub fn universe(&self) -> usize {
+        match self {
+            NodeSet::Sparse { universe, .. } => *universe,
+            NodeSet::Dense(b) => b.capacity(),
+        }
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        match self {
+            NodeSet::Sparse { ids, .. } => ids.len(),
+            NodeSet::Dense(b) => b.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            NodeSet::Sparse { ids, .. } => ids.is_empty(),
+            NodeSet::Dense(b) => b.is_empty(),
+        }
+    }
+
+    /// Whether the set currently uses the dense representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, NodeSet::Dense(_))
+    }
+
+    /// Membership test — O(log k) sparse, O(1) dense.
+    pub fn contains(&self, v: usize) -> bool {
+        match self {
+            NodeSet::Sparse { ids, .. } => ids.binary_search(&(v as u32)).is_ok(),
+            NodeSet::Dense(b) => b.contains(v),
+        }
+    }
+
+    /// Removes `v` if present; returns whether it was. Sparse removal is
+    /// `O(k)` — callers remove a handful of μ-images, not whole domains.
+    pub fn remove(&mut self, v: usize) -> bool {
+        match self {
+            NodeSet::Sparse { ids, .. } => match ids.binary_search(&(v as u32)) {
+                Ok(p) => {
+                    ids.remove(p);
+                    true
+                }
+                Err(_) => false,
+            },
+            NodeSet::Dense(b) => b.remove(v),
+        }
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> NodeSetIter<'_> {
+        match self {
+            NodeSet::Sparse { ids, .. } => NodeSetIter::Sparse(ids.iter()),
+            NodeSet::Dense(b) => NodeSetIter::Dense(b.iter()),
+        }
+    }
+
+    /// `self ∩= other` for a dense bitset operand (e.g. a cached relation
+    /// source/target set), then re-picks the representation.
+    pub fn intersect_with_bitset(&mut self, other: &BitSet) {
+        match self {
+            NodeSet::Sparse { ids, .. } => ids.retain(|&v| other.contains(v as usize)),
+            NodeSet::Dense(b) => b.intersect_with(other),
+        }
+        self.normalize();
+    }
+
+    /// `self ∩= sorted` for a sorted id-list operand, then re-picks the
+    /// representation.
+    pub fn intersect_with_sorted(&mut self, sorted: &[u32]) {
+        match self {
+            NodeSet::Sparse { ids, .. } => {
+                let mut j = 0;
+                ids.retain(|&v| {
+                    while j < sorted.len() && sorted[j] < v {
+                        j += 1;
+                    }
+                    j < sorted.len() && sorted[j] == v
+                });
+            }
+            NodeSet::Dense(b) => b.intersect_with_sorted(sorted),
+        }
+        self.normalize();
+    }
+
+    /// `self ∩= row` for a borrowed relation row, then re-picks the
+    /// representation — the candidate-generation step of the join.
+    pub fn intersect_with_row(&mut self, row: &RelationRow<'_>) {
+        if let (NodeSet::Sparse { .. }, RelationRow::Sparse(row_ids)) = (&*self, row) {
+            // Same sorted-id merge as a plain sorted-slice operand.
+            let row_ids = *row_ids;
+            self.intersect_with_sorted(row_ids);
+            return;
+        }
+        match (&mut *self, row) {
+            (NodeSet::Sparse { ids, .. }, RelationRow::Dense(b)) => {
+                ids.retain(|&v| b.contains(v as usize));
+            }
+            (NodeSet::Dense(bits), row) => row.intersect_into(bits),
+            (NodeSet::Sparse { .. }, RelationRow::Sparse(_)) => unreachable!("handled above"),
+        }
+        self.normalize();
+    }
+
+    /// Whether the set shares an id with `row` — the semi-join fixpoint
+    /// test. `O(min(k_self, k_row))`-ish on sparse pairs, no allocation.
+    pub fn intersects_row(&self, row: &RelationRow<'_>) -> bool {
+        match (self, row) {
+            (NodeSet::Sparse { ids, .. }, RelationRow::Sparse(row_ids)) => {
+                // Walk the smaller list, binary-search the larger.
+                let (probe, table): (&[u32], &[u32]) = if ids.len() <= row_ids.len() {
+                    (ids, row_ids)
+                } else {
+                    (row_ids, ids)
+                };
+                probe.iter().any(|v| table.binary_search(v).is_ok())
+            }
+            (NodeSet::Sparse { ids, .. }, RelationRow::Dense(b)) => {
+                ids.iter().any(|&v| b.contains(v as usize))
+            }
+            (NodeSet::Dense(bits), row) => row.intersects(bits),
+        }
+    }
+
+    /// Re-picks the representation at the `k·32 ≥ n` parity point.
+    fn normalize(&mut self) {
+        match self {
+            NodeSet::Sparse { ids, universe } => {
+                if dense_row(ids.len(), *universe) {
+                    let mut b = BitSet::new(*universe);
+                    for &v in ids.iter() {
+                        b.insert(v as usize);
+                    }
+                    *self = NodeSet::Dense(b);
+                }
+            }
+            NodeSet::Dense(b) => {
+                let (k, n) = (b.len(), b.capacity());
+                if !dense_row(k, n) {
+                    let ids = b.iter().map(|v| v as u32).collect();
+                    *self = NodeSet::Sparse { ids, universe: n };
+                }
+            }
+        }
+    }
+}
+
+/// Iterator over the ids of a [`NodeSet`].
+pub enum NodeSetIter<'a> {
+    /// Sparse side.
+    Sparse(std::slice::Iter<'a, u32>),
+    /// Dense side.
+    Dense(crpq_util::bitset::BitSetIter<'a>),
+}
+
+impl Iterator for NodeSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            NodeSetIter::Sparse(it) => it.next().map(|&v| v as usize),
+            NodeSetIter::Dense(it) => it.next(),
+        }
+    }
+}
+
 /// One direction of a [`Relation`]: per-node adaptive rows backed by a
 /// single flat CSR id buffer (sparse rows) plus a bitset pool (dense
 /// rows) — one allocation for all sparse rows instead of one per row.
@@ -547,6 +767,33 @@ impl Relation {
         }
     }
 
+    /// Installs the forward row of `src` from an already-dense bitset (the
+    /// hand-off format of the blocked closure's per-source accumulators).
+    fn set_forward_row_bits(&mut self, src: NodeId, bits: BitSet) {
+        let k = bits.len();
+        self.len += k;
+        if k == 0 {
+            return;
+        }
+        self.sources.insert(src.index());
+        self.fwd.push_dense(src.index(), bits);
+    }
+
+    /// Approximate heap bytes held by the relation's row stores and cached
+    /// node sets — the peak-RSS proxy the scale benchmarks record.
+    pub fn heap_bytes(&self) -> usize {
+        let store = |s: &RowStore| {
+            s.kind.len() * std::mem::size_of::<RowKind>()
+                + s.flat.len() * 4
+                + s.dense
+                    .iter()
+                    .map(|b| b.capacity().div_ceil(64) * 8)
+                    .sum::<usize>()
+        };
+        store(&self.fwd) + store(&self.rev) + 2 * self.num_nodes().div_ceil(64) * 8
+        // sources + targets
+    }
+
     /// Builds the backward index from the installed forward rows and fills
     /// the cached target set: one counting pass sizes every column (and
     /// decides its representation), one fill pass places the ids —
@@ -705,16 +952,24 @@ pub fn rpq_relation_parallel(g: &GraphDb, nfa: &Nfa, threads: usize) -> Relation
     rpq_reach_all_parallel(g, nfa, &sources, threads)
 }
 
-/// Whether the bitset-closure materialiser ([`rpq_relation_closure`]) fits
-/// in memory for this graph × automaton: it keeps (at worst) one `|V|`-bit
-/// reachability row per product-graph SCC, `O(|V|²·|Q|)` bits, capped here
-/// at 2³⁰ bits (128 MiB). Past the cap, callers should use the per-source
-/// sweeps ([`rpq_relation`] / [`rpq_relation_parallel`]), whose adaptive
-/// sparse rows are the only `O(output)`-memory option at `|V| ≥ 10⁵`.
+/// Per-block budget for the blocked closure's reach matrix: 2³⁰ bits
+/// (128 MiB). This used to be a *hard cap* past which the closure refused
+/// to run; it is now only the working-set ceiling of one column block
+/// ([`rpq_relation_closure_blocked`]).
+pub const CLOSURE_BLOCK_BUDGET_BITS: usize = 1 << 30;
+
+/// Whether the closure materialiser's worst-case reach matrix — one
+/// `|V|`-bit row per product-graph SCC, `O(|V|²·|Q|)` bits — fits in a
+/// **single** column block of the default budget
+/// ([`CLOSURE_BLOCK_BUDGET_BITS`]). Kept for observability and tests:
+/// [`rpq_relation_closure`] no longer gates on it — past this point it
+/// processes the SCC condensation in column blocks instead of being
+/// unusable, so dense products degrade gracefully rather than falling
+/// back to quadratic per-source sweeps.
 pub fn closure_fits(g: &GraphDb, nfa: &Nfa) -> bool {
     let n = g.num_nodes() as u128;
     let pn = n * nfa.num_states() as u128;
-    pn > 0 && pn * n <= 1 << 30
+    pn > 0 && pn * n <= CLOSURE_BLOCK_BUDGET_BITS as u128
 }
 
 /// **Cost-adaptive** full-relation materialiser: starts with per-source
@@ -728,10 +983,11 @@ pub fn closure_fits(g: &GraphDb, nfa: &Nfa) -> bool {
 /// re-scans the whole product, `O(|V|·|E_Π|)`. The closure pays
 /// `O(|E_Π|)` traversal + `O(|E_Π|·|V|/64)` word-ORs once, regardless.
 /// The sample's observed edge scans project the per-source total; when the
-/// projection exceeds a small multiple of the closure's traversal bound
-/// (and the closure fits in memory, [`closure_fits`]), the sampled rows
-/// are discarded and the closure runs instead. `threads > 1` additionally
-/// partitions the remaining per-source sweeps across scoped threads.
+/// projection exceeds a small multiple of the closure's traversal bound,
+/// the sampled rows are discarded and the (column-blocked, so
+/// memory-bounded at any scale) closure runs instead. `threads > 1`
+/// additionally partitions the remaining per-source sweeps across scoped
+/// threads.
 pub fn rpq_relation_auto(
     g: &GraphDb,
     nfa: &Nfa,
@@ -748,17 +1004,24 @@ pub fn rpq_relation_auto(
     // loaders cluster by source), and a prefix sample would project that
     // bias onto the whole graph. `i·n/sample` covers the full range for
     // every n (a fixed stride would degenerate to a prefix for n just
-    // above the sample size).
-    let sampled: Vec<usize> = (0..sample).map(|i| i * n / sample.max(1)).collect();
+    // above the sample size). The division is guarded and the indices
+    // deduplicated, so a tiny or empty graph can neither divide by zero
+    // when projecting the cost nor probe (and double-install) the same
+    // source twice; the projection divides by the number of sources
+    // actually probed, not the requested sample size.
+    let mut sampled: Vec<usize> = (0..sample).map(|i| i * n / sample.max(1)).collect();
+    sampled.dedup();
     let mut sampled_scans = 0usize;
     for &v in &sampled {
         sampled_scans += rpq_reach_collect(g, nfa, NodeId(v as u32), scratch, &mut buf);
         rel.set_forward_row_ids(NodeId(v as u32), &buf);
     }
-    if sample > 0 && sample < n {
-        let projected = sampled_scans.saturating_mul(n) / sample;
+    if !sampled.is_empty() && sampled.len() < n {
+        let projected = sampled_scans.saturating_mul(n) / sampled.len();
         let closure_bound = (n + g.num_edges()) * nfa.num_states();
-        if projected > 4 * closure_bound && closure_fits(g, nfa) {
+        if projected > 4 * closure_bound {
+            // The blocked closure degrades gracefully on any product size
+            // (column blocks bound its matrix), so no memory gate here.
             return rpq_relation_closure(g, nfa);
         }
     }
@@ -791,25 +1054,45 @@ pub fn rpq_relation_auto(
 }
 
 /// Materialises the full RPQ relation by **bitset closure over the
-/// product-graph condensation** instead of one BFS per source.
+/// product-graph condensation** instead of one BFS per source, with the
+/// reach matrix capped per column block ([`CLOSURE_BLOCK_BUDGET_BITS`]).
+/// See [`rpq_relation_closure_blocked`] for the mechanics.
+pub fn rpq_relation_closure(g: &GraphDb, nfa: &Nfa) -> Relation {
+    rpq_relation_closure_blocked(g, nfa, CLOSURE_BLOCK_BUDGET_BITS)
+}
+
+/// The **column-blocked** closure materialiser.
 ///
 /// The product graph `G × A` has a node `(v, q)` per graph node and
 /// automaton state and an edge `(v, q) → (w, q′)` per graph edge
 /// `v -a-> w` with `q -a-> q′`. `row(v)` is exactly the set of graph nodes
 /// `w` such that some `(v, q₀)` with `q₀` initial reaches a `(w, q_f)`
-/// with `q_f` final. Tarjan's algorithm emits the SCCs of the product
-/// graph in reverse topological order, so one pass accumulates each SCC's
-/// reach set as the union of its members' final-state base points and its
-/// successor SCCs' already-computed sets — `O(|E_Π| · |V| / 64)` word
-/// operations total, versus `O(|V| · |E_Π|)` product-state visits for the
-/// per-source sweeps.
+/// with `q_f` final.
 ///
-/// Reach sets live in one flat word matrix (a single allocation), and an
-/// SCC with no base points and exactly one distinct successor set
-/// **shares** that successor's row instead of copying it — on sparse
-/// products most SCCs are such pass-throughs, so only genuine merge
-/// points pay for a row. Memory appetite is gated by [`closure_fits`].
-pub fn rpq_relation_closure(g: &GraphDb, nfa: &Nfa) -> Relation {
+/// **Phase 1** runs Tarjan's algorithm once over the product graph, which
+/// emits SCCs in reverse topological order. Instead of accumulating reach
+/// rows on the spot, each SCC either *shares* the row of its single
+/// distinct successor (a pass-through: no final-state members of its own —
+/// on sparse products most SCCs are such), or *claims* a row and records a
+/// **recipe**: the distinct successor rows to OR together plus the graph
+/// nodes of its final-state members. Successor rows are always claimed
+/// before the rows referencing them, so ascending row order is a valid
+/// evaluation schedule.
+///
+/// **Phase 2** replays the recipes over **column blocks**: the `|V|`
+/// target-node columns are split into blocks sized so the live reach
+/// matrix (`rows × block` bits) stays under `block_budget_bits`, and each
+/// block's row slices are ORed up in one pass — `O(|E_c| · |V| / 64)` word
+/// operations across all blocks, where `|E_c|` is the condensation edge
+/// count. When everything fits one block this is exactly the old
+/// un-blocked materialiser (rows install straight from the matrix);
+/// otherwise per-source accumulators assemble rows across blocks,
+/// upgrading from sorted ids to dense bits at the usual `k·32 ≥ n` parity
+/// point, so accumulation memory tracks the final relation's instead of
+/// the worst-case `SCCs × |V|` bits. Dense products therefore degrade
+/// gracefully instead of hitting a hard cap and falling back to
+/// `O(|V| · |E_Π|)` per-source sweeps.
+pub fn rpq_relation_closure_blocked(g: &GraphDb, nfa: &Nfa, block_budget_bits: usize) -> Relation {
     let n = g.num_nodes();
     let ns = nfa.num_states();
     let pn = n * ns;
@@ -817,6 +1100,10 @@ pub fn rpq_relation_closure(g: &GraphDb, nfa: &Nfa) -> Relation {
     if pn == 0 {
         return rel;
     }
+    assert!(
+        pn <= u32::MAX as usize,
+        "product graph exceeds u32 node ids — shard the graph"
+    );
 
     // Product-graph CSR, laid out as product node `v·ns + q`.
     let mut off = vec![0usize; pn + 1];
@@ -846,31 +1133,19 @@ pub fn rpq_relation_closure(g: &GraphDb, nfa: &Nfa) -> Relation {
         }
     }
 
-    // Iterative Tarjan; SCC reach rows accumulate at pop time (successor
-    // SCCs are always popped first). `scc_row[id]` is the SCC's row in the
-    // flat reach matrix — shared with its single successor when the SCC
-    // contributes nothing of its own. A product node is *on the Tarjan
-    // stack* iff it has an index but no SCC yet, so no separate on-stack
-    // set is needed.
+    // Phase 1 — iterative Tarjan. `scc_row[id]` is the SCC's row id —
+    // shared with its single successor when the SCC contributes nothing of
+    // its own. Claimed rows record their recipe in flat CSR form
+    // (`row_succs` / `row_bases`). A product node is *on the Tarjan stack*
+    // iff it has an index but no SCC yet, so no separate on-stack set is
+    // needed.
     const UNSET: u32 = u32::MAX;
-    let words = n.div_ceil(64);
-    // Reach matrix rows are claimed on demand: with row sharing, only
-    // merge-point SCCs own a row, so memory stays proportional to the
-    // rows actually used instead of the worst-case `pn·n` bits.
-    let mut reach: Vec<u64> = Vec::new();
-    let mut next_row = 0usize;
-    let claim_row = |reach: &mut Vec<u64>, next_row: &mut usize| -> usize {
-        let r = *next_row;
-        *next_row += 1;
-        let need = (r + 1) * words;
-        if reach.len() < need {
-            reach.reserve(need - reach.len());
-            reach.resize(need, 0);
-        }
-        r
-    };
     let mut zero_row: Option<u32> = None;
     let mut scc_row: Vec<u32> = Vec::new();
+    let mut row_succ_off: Vec<u32> = vec![0];
+    let mut row_succs: Vec<u32> = Vec::new();
+    let mut row_base_off: Vec<u32> = vec![0];
+    let mut row_bases: Vec<u32> = Vec::new();
     let mut index = vec![UNSET; pn];
     let mut lowlink = vec![0u32; pn];
     let mut scc_id = vec![UNSET; pn];
@@ -924,7 +1199,7 @@ pub fn rpq_relation_closure(g: &GraphDb, nfa: &Nfa) -> Relation {
             }
             // `v` roots an SCC: pop it, gather its distinct successor rows
             // and base points, then either share the single successor row
-            // or merge into a fresh one.
+            // or claim a fresh one with the merge recipe.
             let id = scc_row.len() as u32;
             members.clear();
             loop {
@@ -957,59 +1232,134 @@ pub fn rpq_relation_closure(g: &GraphDb, nfa: &Nfa) -> Relation {
                 match zero_row {
                     Some(r) => r,
                     None => {
-                        let r = claim_row(&mut reach, &mut next_row) as u32;
+                        // Claim one shared empty-recipe row for "reaches
+                        // nothing".
+                        let r = (row_succ_off.len() - 1) as u32;
+                        row_succ_off.push(row_succs.len() as u32);
+                        row_base_off.push(row_bases.len() as u32);
                         zero_row = Some(r);
                         r
                     }
                 }
             } else {
-                let r = claim_row(&mut reach, &mut next_row);
-                let (head, tail) = reach.split_at_mut(r * words);
-                let dst = &mut tail[..words];
-                for (si, &s) in succ_rows.iter().enumerate() {
-                    let src = &head[s as usize * words..(s as usize + 1) * words];
-                    if si == 0 {
-                        dst.copy_from_slice(src);
-                    } else {
-                        for (d, &w) in dst.iter_mut().zip(src) {
-                            *d |= w;
-                        }
-                    }
-                }
+                let r = (row_succ_off.len() - 1) as u32;
+                row_succs.extend_from_slice(&succ_rows);
+                row_succ_off.push(row_succs.len() as u32);
                 for &m in &members {
                     let m = m as usize;
                     if nfa.is_final((m % ns) as StateId) {
-                        let node = m / ns;
-                        dst[node / 64] |= 1u64 << (node % 64);
+                        row_bases.push((m / ns) as u32);
                     }
                 }
-                r as u32
+                row_base_off.push(row_bases.len() as u32);
+                r
             };
             scc_row.push(row);
         }
     }
 
-    // row(v) = union over initial states of the SCC reach rows.
+    // Phase 2 — replay the recipes per column block.
+    let rows = row_succ_off.len() - 1;
+    let words_total = n.div_ceil(64);
+    let budget_words = (block_budget_bits / 64).max(1);
+    let block_words = (budget_words / rows.max(1)).clamp(1, words_total.max(1));
+    let single_block = block_words >= words_total;
     let initials: Vec<usize> = nfa.initials().iter().collect();
-    let mut buf: Vec<u32> = Vec::new();
-    if initials.len() == 1 {
-        let q0 = initials[0];
-        for v in 0..n {
-            let r = scc_row[scc_id[v * ns + q0] as usize] as usize;
-            let row_words = &reach[r * words..(r + 1) * words];
-            rel.set_forward_row_words(NodeId(v as u32), row_words, &mut buf);
-        }
+
+    /// Per-source row accumulator for the multi-block path.
+    enum Accum {
+        Ids(Vec<u32>),
+        Bits(BitSet),
+    }
+    let mut acc: Vec<Accum> = if single_block {
+        Vec::new()
     } else {
-        let mut acc = vec![0u64; words];
-        for v in 0..n {
-            acc.iter_mut().for_each(|w| *w = 0);
-            for &q0 in &initials {
-                let r = scc_row[scc_id[v * ns + q0] as usize] as usize;
-                for (a, &w) in acc.iter_mut().zip(&reach[r * words..(r + 1) * words]) {
-                    *a |= w;
+        (0..n).map(|_| Accum::Ids(Vec::new())).collect()
+    };
+    let mut matrix = vec![0u64; rows * block_words];
+    // Sized whenever the single-initial fast path does not apply — that
+    // includes zero initial states (empty language), where the all-zero
+    // buffer is exactly the right row.
+    let mut union_buf = vec![0u64; if initials.len() == 1 { 0 } else { block_words }];
+    let mut idbuf: Vec<u32> = Vec::new();
+    let mut wlo = 0usize;
+    while wlo < words_total {
+        let bw = block_words.min(words_total - wlo);
+        let (col_lo, col_hi) = (wlo * 64, ((wlo + bw) * 64).min(n));
+        matrix[..rows * bw].iter_mut().for_each(|w| *w = 0);
+        for r in 0..rows {
+            let (head, tail) = matrix.split_at_mut(r * bw);
+            let dst = &mut tail[..bw];
+            for &s in &row_succs[row_succ_off[r] as usize..row_succ_off[r + 1] as usize] {
+                let src = &head[s as usize * bw..(s as usize + 1) * bw];
+                for (d, &w) in dst.iter_mut().zip(src) {
+                    *d |= w;
                 }
             }
-            rel.set_forward_row_words(NodeId(v as u32), &acc, &mut buf);
+            for &b in &row_bases[row_base_off[r] as usize..row_base_off[r + 1] as usize] {
+                let b = b as usize;
+                if (col_lo..col_hi).contains(&b) {
+                    let bit = b - col_lo;
+                    dst[bit / 64] |= 1u64 << (bit % 64);
+                }
+            }
+        }
+        for v in 0..n {
+            let words: &[u64] = if let [q0] = initials[..] {
+                let r = scc_row[scc_id[v * ns + q0] as usize] as usize;
+                &matrix[r * bw..(r + 1) * bw]
+            } else {
+                union_buf[..bw].iter_mut().for_each(|w| *w = 0);
+                for &q0 in &initials {
+                    let r = scc_row[scc_id[v * ns + q0] as usize] as usize;
+                    for (d, &w) in union_buf[..bw]
+                        .iter_mut()
+                        .zip(&matrix[r * bw..(r + 1) * bw])
+                    {
+                        *d |= w;
+                    }
+                }
+                &union_buf[..bw]
+            };
+            if single_block {
+                rel.set_forward_row_words(NodeId(v as u32), words, &mut idbuf);
+                continue;
+            }
+            let add: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+            if add == 0 {
+                continue;
+            }
+            let a = &mut acc[v];
+            if let Accum::Ids(ids) = a {
+                if dense_row(ids.len() + add, n) {
+                    let mut bits = BitSet::new(n);
+                    for &id in ids.iter() {
+                        bits.insert(id as usize);
+                    }
+                    *a = Accum::Bits(bits);
+                }
+            }
+            match a {
+                Accum::Ids(ids) => {
+                    for (wi, &w) in words.iter().enumerate() {
+                        let mut w = w;
+                        while w != 0 {
+                            ids.push(((wlo + wi) * 64) as u32 + w.trailing_zeros());
+                            w &= w - 1;
+                        }
+                    }
+                }
+                Accum::Bits(bits) => bits.or_words_at(wlo, words),
+            }
+        }
+        wlo += bw;
+    }
+    if !single_block {
+        for (v, a) in acc.into_iter().enumerate() {
+            match a {
+                Accum::Ids(ids) => rel.set_forward_row_ids(NodeId(v as u32), &ids),
+                Accum::Bits(bits) => rel.set_forward_row_bits(NodeId(v as u32), bits),
+            }
         }
     }
     rel.finish_reverse();
@@ -1847,6 +2197,157 @@ mod tests {
             let auto = rpq_relation_auto(&g, &nfa, &mut ReachScratch::new(), 1);
             assert_eq!(auto, per_source, "seed {seed} expr {expr}");
         }
+    }
+
+    #[test]
+    fn scratch_epoch_wraparound_has_no_stale_visits() {
+        // After 2³² sweeps the epoch counter wraps; `begin` must hard-reset
+        // the stamp arrays so stamps from 2³² sweeps ago cannot alias the
+        // fresh epoch as "already visited" (which would silently truncate
+        // sweeps). Force the wrap with the test-only setter.
+        let mut g = crate::generators::random_graph(31, 90, &["a", "b"], 13);
+        let regex = crpq_automata::parse_regex("a (a+b)*", g.alphabet_mut()).unwrap();
+        let nfa = Nfa::from_regex(&regex);
+        let mut scratch = ReachScratch::new();
+        let mut out = Vec::new();
+        let mut expected = Vec::new();
+        for src in g.nodes() {
+            // Populate stamps at a normal epoch, then force the counter to
+            // the wrap point: the next `begin` wraps to 0 and must reset.
+            rpq_reach_collect(&g, &nfa, src, &mut scratch, &mut out);
+            rpq_reach_collect(&g, &nfa, src, &mut ReachScratch::new(), &mut expected);
+            assert_eq!(out, expected, "pre-wrap sweep from {src:?}");
+            scratch.set_epoch_for_test(u32::MAX);
+            rpq_reach_collect(&g, &nfa, src, &mut scratch, &mut out);
+            assert_eq!(out, expected, "post-wrap sweep from {src:?}");
+            // One more normal sweep on the reset scratch.
+            rpq_reach_collect(&g, &nfa, src, &mut scratch, &mut out);
+            assert_eq!(out, expected, "sweep after reset from {src:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_closure_matches_per_source_at_any_block_size() {
+        // Budgets small enough to force many column blocks (down to one
+        // word per row) must not change the result.
+        for (seed, expr) in [(3u64, "a (a+b)*"), (9, "(a b)*"), (29, "a*"), (23, "∅")] {
+            let mut g = crate::generators::random_graph(150, 400, &["a", "b"], seed);
+            let regex = crpq_automata::parse_regex(expr, g.alphabet_mut()).unwrap();
+            let nfa = Nfa::from_regex(&regex);
+            let per_source = rpq_relation(&g, &nfa, &mut ReachScratch::new());
+            for budget_bits in [64, 4096, 1 << 20, usize::MAX] {
+                let blocked = rpq_relation_closure_blocked(&g, &nfa, budget_bits);
+                assert_eq!(
+                    blocked, per_source,
+                    "seed {seed} expr {expr} budget {budget_bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_dense_switch_boundary() {
+        // The ROADMAP documents the switch as "k·32 ≥ |V|": a sparse row of
+        // k u32 ids costs 32·k bits against the dense row's |V| bits, so
+        // the parity point k = |V|/32 must go dense and k = |V|/32 − 1 must
+        // stay sparse. Pin the representation on both sides of the
+        // boundary, for both row-install paths.
+        let n = 640; // n/32 = 20
+        for (k, expect_dense) in [(19usize, false), (20, true), (21, true)] {
+            let ids: Vec<u32> = (0..k as u32).collect();
+            let mut rel = Relation::empty(n);
+            rel.set_forward_row_ids(NodeId(0), &ids);
+            rel.finish_reverse();
+            assert_eq!(
+                rel.forward(NodeId(0)).is_dense(),
+                expect_dense,
+                "ids path, k = {k}"
+            );
+            let mut words = vec![0u64; n.div_ceil(64)];
+            for &v in &ids {
+                words[v as usize / 64] |= 1 << (v % 64);
+            }
+            let mut rel = Relation::empty(n);
+            let mut buf = Vec::new();
+            rel.set_forward_row_words(NodeId(0), &words, &mut buf);
+            rel.finish_reverse();
+            assert_eq!(
+                rel.forward(NodeId(0)).is_dense(),
+                expect_dense,
+                "words path, k = {k}"
+            );
+        }
+        // The NodeSet domain representation switches at the same point.
+        for (k, expect_dense) in [(19usize, false), (20, true)] {
+            let s = NodeSet::from_sorted_ids((0..k as u32).collect(), n);
+            assert_eq!(s.is_dense(), expect_dense, "NodeSet k = {k}");
+        }
+    }
+
+    #[test]
+    fn auto_materialiser_handles_tiny_and_empty_graphs() {
+        // The cost probe must not divide by zero or double-install sampled
+        // rows on graphs smaller than the sample size.
+        let empty = crate::db::GraphBuilder::new().finish();
+        let mut it = crpq_util::Interner::new();
+        it.intern("a");
+        let nfa = Nfa::from_regex(&crpq_automata::parse_regex("a*", &mut it).unwrap());
+        let rel = rpq_relation_auto(&empty, &nfa, &mut ReachScratch::new(), 1);
+        assert!(rel.is_empty());
+        for n in [1usize, 2, 3, 65] {
+            let mut g = crate::generators::labelled_cycle(n, &["a"]);
+            let star = crpq_automata::parse_regex("a*", g.alphabet_mut()).unwrap();
+            let nfa = Nfa::from_regex(&star);
+            let auto = rpq_relation_auto(&g, &nfa, &mut ReachScratch::new(), 1);
+            let reference = rpq_relation(&g, &nfa, &mut ReachScratch::new());
+            assert_eq!(auto, reference, "n = {n}");
+            assert_eq!(auto.len(), n * n, "cycle closure is complete, n = {n}");
+        }
+    }
+
+    #[test]
+    fn node_set_operations() {
+        let n = 256;
+        let mut s = NodeSet::full(n);
+        assert!(s.is_dense() && s.len() == n);
+        let keep: BitSet = [3usize, 70, 200].iter().copied().collect::<BitSet>();
+        let mut keep_sized = BitSet::new(n);
+        for v in keep.iter() {
+            keep_sized.insert(v);
+        }
+        s.intersect_with_bitset(&keep_sized);
+        assert!(!s.is_dense(), "3 of 256 ids must go sparse");
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 70, 200]);
+        assert!(s.contains(70) && !s.contains(71));
+
+        // Sparse ∩ sparse row.
+        let row_ids = [70u32, 199, 200];
+        let mut t = s.clone();
+        t.intersect_with_row(&RelationRow::Sparse(&row_ids));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![70, 200]);
+        assert!(s.intersects_row(&RelationRow::Sparse(&row_ids)));
+        assert!(!s.intersects_row(&RelationRow::Sparse(&[4u32, 71])));
+
+        // Sparse ∩ dense row, and dense ∩ sparse row.
+        let mut dense_bits = BitSet::new(n);
+        (0..n).step_by(2).for_each(|v| {
+            dense_bits.insert(v);
+        });
+        let mut t = s.clone();
+        t.intersect_with_row(&RelationRow::Dense(&dense_bits));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![70, 200]);
+        let mut d = NodeSet::Dense(dense_bits.clone());
+        d.intersect_with_row(&RelationRow::Sparse(&row_ids));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![70, 200]);
+        assert!(!d.is_dense(), "intersection result re-picks representation");
+
+        // Removal and sorted intersection.
+        assert!(d.remove(70) && !d.remove(70));
+        assert_eq!(d.len(), 1);
+        let mut u = NodeSet::from_sorted_ids(vec![1, 5, 9, 200], n);
+        u.intersect_with_sorted(&[5, 200, 201]);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![5, 200]);
+        assert_eq!(NodeSet::empty(n).len(), 0);
     }
 
     #[test]

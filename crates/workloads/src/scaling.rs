@@ -56,6 +56,41 @@ pub fn combined_complexity_graph(seed: u64) -> GraphDb {
     generators::random_graph(12, 40, &["a", "b"], seed)
 }
 
+/// Number of distinct edge labels in the label-rich (Wikidata-style)
+/// scaling family — the knob that used to blow up the dense
+/// `label × node` index layout.
+pub const LABEL_RICH_LABELS: usize = 1000;
+
+/// Zipf exponent of the label-rich family's label-frequency distribution
+/// (≈ the skew observed on practical RPQ predicate workloads: a handful of
+/// very frequent predicates, a long rare tail).
+pub const LABEL_RICH_ZIPF_EXPONENT: f64 = 1.0;
+
+/// The **label-rich scaling graph**: `n` nodes, `4n` edges over
+/// [`LABEL_RICH_LABELS`] labels with Zipf-distributed frequencies
+/// ([`crpq_graph::generators::zipf_label_graph`]). The scale benchmarks run
+/// it at `n = 10⁵`, where a per-direction dense `label × node` offset table
+/// would cost `4 · 10⁸` bytes against the sparse per-label CSR's few MB.
+pub fn label_rich_graph(n: usize, seed: u64) -> GraphDb {
+    generators::zipf_label_graph(n, 4 * n, LABEL_RICH_LABELS, LABEL_RICH_ZIPF_EXPONENT, seed)
+}
+
+/// The query evaluated over [`label_rich_graph`]: a two-atom chain over
+/// the five most frequent labels —
+/// `Q(x, y) = x -[l0 (l1+l2)*]-> y ∧ y -[l2 (l3+l4)*]-> z` (z
+/// existential). The starred sub-expressions keep the product sweeps
+/// non-trivial, the `l0`/`l2` anchors keep domains selective (a fraction
+/// of `V`, not all of it), and the chain shape leaves a real join to run —
+/// exactly the regime the adaptive (sparse) semi-join domains are built
+/// for.
+pub fn label_rich_query(alphabet: &mut Interner) -> Crpq {
+    parse_crpq(
+        "(x, y) <- x -[l0 (l1+l2)*]-> y, y -[l2 (l3+l4)*]-> z",
+        alphabet,
+    )
+    .unwrap()
+}
+
 /// A worst-case family for simple-path search: a ladder of diamonds where
 /// the number of simple paths is exponential in `n`.
 pub fn diamond_ladder(n: usize) -> GraphDb {
@@ -93,6 +128,21 @@ mod tests {
         let g = combined_complexity_graph(1);
         for sem in Semantics::ALL {
             let _ = eval_boolean(&q, &g, sem);
+        }
+    }
+
+    #[test]
+    fn label_rich_family_evaluates_consistently() {
+        // Scaled-down instance of the |V| = 10⁵ family: the join engine
+        // (adaptive domains, sparse-offset CSR) must agree with the
+        // enumeration oracle under all three semantics.
+        let mut g = crpq_graph::generators::zipf_label_graph(40, 160, 25, 1.0, 7);
+        let q = label_rich_query(g.alphabet_mut());
+        for sem in Semantics::ALL {
+            let join = crpq_core::eval_tuples_with(&q, &g, sem, crpq_core::EvalStrategy::Join);
+            let oracle =
+                crpq_core::eval_tuples_with(&q, &g, sem, crpq_core::EvalStrategy::Enumerate);
+            assert_eq!(join, oracle, "label-rich join vs oracle under {sem}");
         }
     }
 
