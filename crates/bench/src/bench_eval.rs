@@ -31,9 +31,17 @@
 //! includes it at `|V| = 10⁴` for the trajectory; `--scale-smoke` runs
 //! `|V| = 10⁵` under a hard wall-clock ceiling (the CI scale gate).
 //!
+//! The **cyclic workloads** (`cyclic_rows` in the JSON) time the
+//! worst-case-optimal executor ([`EvalStrategy::Wcoj`]) against the forced
+//! backtracking binary join ([`EvalStrategy::BinaryJoin`]) on the
+//! triangle / 4-cycle / diamond-with-chord CRPQs of
+//! [`crpq_workloads::cyclic`] — the shapes the default engine's structural
+//! dispatch sends to WCOJ. `--smoke` asserts WCOJ is no slower than the
+//! binary join on the triangle row.
+//!
 //! The JSON is hand-serialised (the workspace's `serde` is an offline no-op
-//! shim); the schema is `rows` + `scale_rows` arrays with `workload`
-//! discriminators.
+//! shim); the schema is `rows` + `scale_rows` + `cyclic_rows` arrays with
+//! `workload` discriminators.
 
 use crpq_core::{
     eval_tuples_join_unshared, eval_tuples_with, eval_tuples_with_catalog, EvalStrategy,
@@ -42,7 +50,7 @@ use crpq_core::{
 use crpq_graph::GraphDb;
 use crpq_query::Crpq;
 use crpq_util::Interner;
-use crpq_workloads::{paper_examples as paper, scaling};
+use crpq_workloads::{cyclic, paper_examples as paper, scaling};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -153,6 +161,111 @@ fn measure(workload: &str, graph_name: &str, q: &Crpq, g: &GraphDb, sem: Semanti
         catalog_misses: catalog.misses(),
         index_bytes: g.index_bytes(),
         rel_bytes: catalog.relation_bytes(),
+    }
+}
+
+/// One row of the cyclic-shape workloads (`cyclic_rows` in the JSON):
+/// wall clock of the worst-case-optimal executor vs. the backtracking
+/// binary join on the same variant plans, standard semantics.
+struct CyclicRow {
+    workload: String,
+    nodes: usize,
+    edges: usize,
+    tuples: usize,
+    /// Forced [`EvalStrategy::Wcoj`] (what [`EvalStrategy::Join`]
+    /// auto-dispatch runs on these cyclic shapes).
+    wcoj_ms: f64,
+    /// Forced [`EvalStrategy::BinaryJoin`] (the pre-WCOJ engine).
+    binary_ms: f64,
+}
+
+impl CyclicRow {
+    fn wcoj_speedup(&self) -> f64 {
+        self.binary_ms / self.wcoj_ms.max(1e-9)
+    }
+}
+
+/// Times the two join executors on one cyclic workload (standard
+/// semantics — the executors differ only in search, so `st` isolates the
+/// join cost from injective verification). Both runs include their own
+/// catalog materialisation, which is identical work on either side.
+fn measure_cyclic(workload: &str, q: &Crpq, g: &GraphDb) -> CyclicRow {
+    const SAMPLES: usize = 3;
+    let (wcoj, wcoj_ms) = time_best_of(SAMPLES, || {
+        eval_tuples_with(q, g, Semantics::Standard, EvalStrategy::Wcoj)
+    });
+    let (binary, binary_ms) = time_best_of(SAMPLES, || {
+        eval_tuples_with(q, g, Semantics::Standard, EvalStrategy::BinaryJoin)
+    });
+    assert_eq!(wcoj, binary, "wcoj/binary result mismatch on {workload}");
+    CyclicRow {
+        workload: workload.to_owned(),
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        tuples: wcoj.len(),
+        wcoj_ms,
+        binary_ms,
+    }
+}
+
+/// The cyclic workload suite: triangle (the CI floor carrier), 4-cycle and
+/// diamond-with-chord, at sizes where the binary join's intermediate
+/// bindings are felt but the smoke stays fast.
+fn measure_cyclic_rows() -> Vec<CyclicRow> {
+    let mut rows = Vec::new();
+    {
+        let mut g = cyclic::cyclic_graph(20_000, 11);
+        let q = cyclic::triangle_query(g.alphabet_mut());
+        rows.push(measure_cyclic("cyclic_triangle", &q, &g));
+    }
+    {
+        let mut g = cyclic::cyclic_graph(8_000, 13);
+        let q = cyclic::four_cycle_query(g.alphabet_mut());
+        rows.push(measure_cyclic("cyclic_4cycle", &q, &g));
+    }
+    {
+        let mut g = cyclic::cyclic_graph_with_density(3_000, 8, 17);
+        let q = cyclic::diamond_chord_query(g.alphabet_mut());
+        rows.push(measure_cyclic("cyclic_diamond_chord", &q, &g));
+    }
+    rows
+}
+
+fn cyclic_rows_json(rows: &[CyclicRow]) -> String {
+    let mut json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, \"tuples\": {}, \
+             \"wcoj_ms\": {:.4}, \"binary_ms\": {:.4}, \"wcoj_speedup\": {:.2}}}{}",
+            r.workload,
+            r.nodes,
+            r.edges,
+            r.tuples,
+            r.wcoj_ms,
+            r.binary_ms,
+            r.wcoj_speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json
+}
+
+fn print_cyclic_rows(rows: &[CyclicRow]) {
+    println!("\n## cyclic shapes — worst-case-optimal join vs. backtracking binary join (st)\n");
+    println!("| workload | n | edges | tuples | wcoj | binary | wcoj-x |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in rows {
+        println!(
+            "| {} | {} | {} | {} | {:.1}ms | {:.1}ms | {:.1}x |",
+            r.workload,
+            r.nodes,
+            r.edges,
+            r.tuples,
+            r.wcoj_ms,
+            r.binary_ms,
+            r.wcoj_speedup(),
+        );
     }
 }
 
@@ -375,6 +488,11 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
     // sparse label-index memory contract at this scale too.
     let scale_rows = vec![measure_scale(10_000, f64::INFINITY, false)];
 
+    // Cyclic shapes: the worst-case-optimal executor vs. the backtracking
+    // binary join on the same plans. The triangle row carries the CI
+    // "WCOJ no slower than the binary join" floor.
+    let cyclic_rows = measure_cyclic_rows();
+
     for r in &rows {
         println!(
             "| {} | {} | {} | {} | {} | {:.3}ms | {:.3}ms | {:.3}ms | {:.3}ms | {:.0}% | {:.1}x | {:.1}x |",
@@ -394,6 +512,7 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
     }
 
     print_scale_rows(&scale_rows);
+    print_cyclic_rows(&cyclic_rows);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -434,6 +553,9 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
     json.push_str("  ],\n");
     json.push_str("  \"scale_rows\": [\n");
     json.push_str(&scale_rows_json(&scale_rows));
+    json.push_str("  ],\n");
+    json.push_str("  \"cyclic_rows\": [\n");
+    json.push_str(&cyclic_rows_json(&cyclic_rows));
     json.push_str("  ]\n}\n");
     std::fs::write(path, &json).expect("write BENCH_eval.json");
     println!("\nwrote {path}");
@@ -473,6 +595,16 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
         "e9 multi-variant catalog-vs-per-variant speedup at |V|=10^3: {cat_speedup:.1}x \
          (target ≥ 2x)"
     );
+    let triangle = cyclic_rows
+        .iter()
+        .find(|r| r.workload == "cyclic_triangle")
+        .expect("triangle row must be measured");
+    println!(
+        "cyclic triangle wcoj vs binary join: {:.1}ms vs {:.1}ms ({:.1}x, target: wcoj no slower)",
+        triangle.wcoj_ms,
+        triangle.binary_ms,
+        triangle.wcoj_speedup()
+    );
     if enforce_floor {
         assert!(
             headline >= 10.0,
@@ -486,6 +618,17 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
             cat_speedup >= 2.0,
             "catalog-backed planner below the 2x target over the per-variant baseline: \
              {cat_speedup:.1}x"
+        );
+        assert!(
+            triangle.wcoj_ms <= triangle.binary_ms,
+            "worst-case-optimal join slower than the binary join on the triangle workload: \
+             {:.1}ms vs {:.1}ms",
+            triangle.wcoj_ms,
+            triangle.binary_ms
+        );
+        assert!(
+            triangle.tuples > 0,
+            "triangle workload returned no tuples — the WCOJ floor proves nothing"
         );
     } else {
         if headline < 10.0 {

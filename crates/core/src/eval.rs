@@ -17,8 +17,40 @@
 //!   **hit**). Hit/miss counters and materialisation wall clock are
 //!   exposed for tests and benchmarks.
 //! * **Execution** ([`JoinPlan`]): the per-variant join *borrows* catalog
-//!   entries instead of owning relations, prunes domains and runs the
-//!   backtracking join.
+//!   entries instead of owning relations, prunes domains and runs one of
+//!   two executors, picked per variant by shape (see below).
+//!
+//! # Executor dispatch: cyclic shapes go worst-case-optimal
+//!
+//! Two join executors sit behind the planner:
+//!
+//! * the **backtracking binary join** ([`JoinPlan::search_all`]) —
+//!   selectivity-ordered variable assignment with domain-clone +
+//!   row-intersection candidate generation; and
+//! * the **worst-case-optimal join** ([`crate::wcoj`]) — a Generic-Join
+//!   style executor that binds one variable at a time along a fixed
+//!   elimination order, enumerating each variable's candidates by
+//!   *leapfrog intersection* of sorted views (the pruned domain plus every
+//!   incident relation row restricted by the bound neighbours), so the
+//!   per-candidate cost tracks the **smallest** participating view instead
+//!   of the domain size.
+//!
+//! Dispatch is structural ([`JoinPlan::is_cyclic`]): a variant whose
+//! atom–variable incidence graph contains a **cycle** — a connected
+//! component with at least as many (non-self-loop) atoms as variables,
+//! which includes parallel atoms between the same variable pair — is run
+//! through the WCOJ executor; acyclic (forest-shaped) variants keep the
+//! backtracking join, whose dynamic fewest-candidates ordering is already
+//! near-optimal there. The rationale is the AGM bound: on cyclic shapes
+//! (triangle, 4-cycle, diamond-with-chord, …) any binary join plan can
+//! produce asymptotically more intermediate bindings than the output size
+//! (`O(|R|²)` vs `O(|R|^{3/2})` on the triangle), while Generic Join's
+//! per-variable intersection is worst-case optimal. Self-loop atoms
+//! (`x -L-> x`) are folded into the domains at plan-build time and close
+//! no cycle. Both executors share [`RelationCatalog`] materialisation,
+//! semi-join pruning, the duplicate-projection prune and the per-semantics
+//! [`VerifyScratch`] verification, and [`EvalStrategy`] can force either
+//! executor for differential testing and benchmarks.
 //!
 //! Relations themselves use density-adaptive rows
 //! ([`crpq_graph::rpq::RelationRow`]: sorted-`u32` sparse vs. bitset
@@ -116,12 +148,36 @@ impl std::fmt::Display for Semantics {
 /// Which full-result engine [`eval_tuples_with`] runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum EvalStrategy {
-    /// Relation-first semi-join pipeline (the default engine).
+    /// Relation-first semi-join pipeline with per-variant executor
+    /// dispatch: worst-case-optimal join on cyclic variant shapes,
+    /// backtracking binary join on acyclic ones (the default engine; see
+    /// the module docs).
     #[default]
     Join,
+    /// The semi-join pipeline with the backtracking binary join forced on
+    /// every variant shape — the pre-WCOJ behaviour, kept addressable for
+    /// differential tests and the `BENCH_eval` WCOJ-vs-binary comparison.
+    BinaryJoin,
+    /// The semi-join pipeline with the worst-case-optimal executor forced
+    /// on every variant shape (leapfrog intersection also handles acyclic
+    /// shapes, just without the dynamic variable ordering).
+    Wcoj,
     /// Legacy `|V|^arity` tuple-space enumeration — the differential-testing
     /// oracle and benchmark baseline.
     Enumerate,
+}
+
+/// Internal executor selector threaded through the catalog-backed join
+/// driver (the join-shaped strategies of [`EvalStrategy`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) enum JoinMode {
+    /// Per-variant structural dispatch ([`JoinPlan::is_cyclic`]).
+    #[default]
+    Auto,
+    /// Force the backtracking binary join.
+    Binary,
+    /// Force the worst-case-optimal executor.
+    Wcoj,
 }
 
 /// Whether `tuple ∈ Q(G)_sem`.
@@ -173,7 +229,14 @@ pub fn eval_tuples(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
 /// [`eval_tuples`] with the deletion-closed fast path of
 /// [`eval_contains_analyzed`].
 pub fn eval_tuples_analyzed(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
-    eval_tuples_join(q, g, sem, true, &mut RelationCatalog::new(g))
+    eval_tuples_join(
+        q,
+        g,
+        sem,
+        true,
+        &mut RelationCatalog::new(g),
+        JoinMode::Auto,
+    )
 }
 
 /// The full result set computed by the chosen engine. Both strategies
@@ -186,10 +249,13 @@ pub fn eval_tuples_with(
     sem: Semantics,
     strategy: EvalStrategy,
 ) -> Vec<Vec<NodeId>> {
-    match strategy {
-        EvalStrategy::Join => eval_tuples_join(q, g, sem, false, &mut RelationCatalog::new(g)),
-        EvalStrategy::Enumerate => eval_tuples_enumerate(q, g, sem),
-    }
+    let mode = match strategy {
+        EvalStrategy::Join => JoinMode::Auto,
+        EvalStrategy::BinaryJoin => JoinMode::Binary,
+        EvalStrategy::Wcoj => JoinMode::Wcoj,
+        EvalStrategy::Enumerate => return eval_tuples_enumerate(q, g, sem),
+    };
+    eval_tuples_join(q, g, sem, false, &mut RelationCatalog::new(g), mode)
 }
 
 /// [`eval_tuples`] against a caller-owned [`RelationCatalog`], so repeated
@@ -201,18 +267,21 @@ pub fn eval_tuples_with_catalog(
     sem: Semantics,
     catalog: &mut RelationCatalog,
 ) -> Vec<Vec<NodeId>> {
-    eval_tuples_join(q, g, sem, false, catalog)
+    eval_tuples_join(q, g, sem, false, catalog, JoinMode::Auto)
 }
 
 /// The catalog-backed join driver: plan every variant first (materialising
 /// each distinct atom relation once), then execute the per-variant joins
-/// against the frozen catalog.
+/// against the frozen catalog — each variant through the executor `mode`
+/// selects (under [`JoinMode::Auto`], WCOJ on cyclic shapes, backtracking
+/// join on acyclic ones).
 fn eval_tuples_join(
     q: &Crpq,
     g: &GraphDb,
     sem: Semantics,
     analyze: bool,
     catalog: &mut RelationCatalog,
+    mode: JoinMode,
 ) -> Vec<Vec<NodeId>> {
     let variants = q.epsilon_free_union();
     let plans: Vec<VariantPlan> = variants
@@ -222,7 +291,12 @@ fn eval_tuples_join(
     let mut out = FxHashSet::default();
     let mut scratch = VerifyScratch::new();
     for (variant, plan) in variants.iter().zip(plans) {
-        JoinPlan::build(variant, g, sem, plan, catalog).search_all(&mut scratch, &mut out);
+        let plan = JoinPlan::build(variant, g, sem, plan, catalog);
+        if plan.use_wcoj(mode) {
+            crate::wcoj::search_all(&plan, &mut scratch, &mut out);
+        } else {
+            plan.search_all(&mut scratch, &mut out);
+        }
     }
     sorted_tuples(out)
 }
@@ -340,8 +414,8 @@ fn enumerate_tuples<F: FnMut(&[NodeId])>(
 }
 
 pub(crate) struct CompiledAtom {
-    src: Var,
-    dst: Var,
+    pub(crate) src: Var,
+    pub(crate) dst: Var,
     nfa: Nfa,
     nfa_rev: Nfa,
     /// `ε`-freeness is guaranteed upstream; kept as a debug invariant.
@@ -601,17 +675,17 @@ pub(crate) fn plan_variant(
 /// worker threads.
 pub(crate) struct JoinPlan<'a> {
     g: &'a GraphDb,
-    q: &'a Crpq,
-    sem: Semantics,
-    atoms: Vec<CompiledAtom>,
+    pub(crate) q: &'a Crpq,
+    pub(crate) sem: Semantics,
+    pub(crate) atoms: Vec<CompiledAtom>,
     /// `relations[i]` = full standard-semantics relation of atom `i`,
     /// borrowed from the [`RelationCatalog`] it was planned against.
-    relations: Vec<&'a Relation>,
+    pub(crate) relations: Vec<&'a Relation>,
     /// Per-variable candidate domains after semi-join fixpoint —
     /// density-adaptive ([`NodeSet`]: sorted-`u32` sparse / bitset dense),
     /// so domain storage and the per-backtracking-step clone+intersect are
     /// `O(candidates)` instead of `O(|V|)` per variable.
-    domains: Vec<NodeSet>,
+    pub(crate) domains: Vec<NodeSet>,
     /// Some domain is empty — the variant contributes nothing.
     empty: bool,
 }
@@ -701,6 +775,32 @@ impl<'a> JoinPlan<'a> {
         self.empty
     }
 
+    /// Whether the variant's **atom–variable incidence graph is cyclic**:
+    /// some connected component of the variable graph (one edge per
+    /// non-self-loop atom, parallel atoms counted separately) contains a
+    /// cycle. Detected by union-find — an atom whose endpoints are already
+    /// connected closes a cycle, which covers both genuine cycles
+    /// (triangle, 4-cycle) and parallel atoms between the same variable
+    /// pair. Self-loop atoms are folded into the domains at build time and
+    /// close no cycle. This is the [`JoinMode::Auto`] dispatch predicate:
+    /// cyclic shapes run the worst-case-optimal executor ([`crate::wcoj`]).
+    pub(crate) fn is_cyclic(&self) -> bool {
+        let mut uf = crpq_util::UnionFind::new(self.q.num_vars);
+        self.atoms
+            .iter()
+            .filter(|a| a.src != a.dst)
+            .any(|a| !uf.union(a.src.index(), a.dst.index()))
+    }
+
+    /// Executor dispatch for this variant under `mode` (see module docs).
+    pub(crate) fn use_wcoj(&self, mode: JoinMode) -> bool {
+        match mode {
+            JoinMode::Auto => self.is_cyclic(),
+            JoinMode::Binary => false,
+            JoinMode::Wcoj => true,
+        }
+    }
+
     /// Runs the join to completion, inserting every result projection
     /// (tuple of free-variable images) into `out`. `scratch` pools the
     /// verification buffers across solutions (and across variants when the
@@ -745,7 +845,11 @@ impl<'a> JoinPlan<'a> {
 
     /// Writes the free-variable projection into `buf`; `false` (buffer
     /// contents unspecified) when some free variable is still unassigned.
-    fn projection_into(&self, assignment: &[Option<NodeId>], buf: &mut Vec<NodeId>) -> bool {
+    pub(crate) fn projection_into(
+        &self,
+        assignment: &[Option<NodeId>],
+        buf: &mut Vec<NodeId>,
+    ) -> bool {
         buf.clear();
         for v in &self.q.free {
             match assignment[v.index()] {
@@ -825,8 +929,9 @@ impl<'a> JoinPlan<'a> {
 
     /// Verifies a complete, relation-consistent assignment under the plan's
     /// semantics. For `st` the relations are exact, so there is nothing
-    /// left to check; the injective semantics re-check paths.
-    fn verify(&self, mu: &[NodeId], scratch: &mut VerifyScratch) -> bool {
+    /// left to check; the injective semantics re-check paths. Shared by
+    /// both executors (backtracking and [`crate::wcoj`]).
+    pub(crate) fn verify(&self, mu: &[NodeId], scratch: &mut VerifyScratch) -> bool {
         debug_assert!(self
             .atoms
             .iter()
@@ -1202,10 +1307,12 @@ pub(crate) struct VerifyScratch {
     /// Always-empty set with graph capacity — the "nothing blocked"
     /// argument of the a-inj per-atom checks. Never mutated after sizing.
     empty: BitSet,
-    /// Pooled projection buffer for the duplicate-result prune.
-    tuple: Vec<NodeId>,
-    /// Pooled complete-assignment buffer handed to verification.
-    mu: Vec<NodeId>,
+    /// Pooled projection buffer for the duplicate-result prune (shared
+    /// with the [`crate::wcoj`] executor).
+    pub(crate) tuple: Vec<NodeId>,
+    /// Pooled complete-assignment buffer handed to verification (shared
+    /// with the [`crate::wcoj`] executor).
+    pub(crate) mu: Vec<NodeId>,
 }
 
 impl VerifyScratch {
@@ -1680,6 +1787,62 @@ mod tests {
             eval_contains(&query2, &g, &[s, t], Semantics::AtomInjective),
             eval_contains_analyzed(&query2, &g, &[s, t], Semantics::AtomInjective),
         );
+    }
+
+    /// Builds the join plan of the query's first ε-free variant.
+    fn first_variant_plan_is_cyclic(q: &Crpq, g: &GraphDb) -> bool {
+        let variants = q.epsilon_free_union();
+        let mut catalog = RelationCatalog::new(g);
+        let plan = plan_variant(&variants[0], g, false, &mut catalog);
+        JoinPlan::build(&variants[0], g, Semantics::Standard, plan, &catalog).is_cyclic()
+    }
+
+    #[test]
+    fn cyclic_shape_detection() {
+        let mut g = graph(&[("u", "a", "v"), ("v", "b", "w"), ("w", "c", "u")]);
+        // Chain and star: forests, acyclic.
+        let chain = q("x -[a]-> y, y -[b]-> z", &mut g);
+        assert!(!first_variant_plan_is_cyclic(&chain, &g));
+        let star = q("x -[a]-> y, x -[b]-> z", &mut g);
+        assert!(!first_variant_plan_is_cyclic(&star, &g));
+        // Triangle closes a cycle.
+        let triangle = q("x -[a]-> y, y -[b]-> z, z -[c]-> x", &mut g);
+        assert!(first_variant_plan_is_cyclic(&triangle, &g));
+        // Parallel atoms between the same pair are a cycle in the
+        // atom–variable incidence graph.
+        let parallel = q("x -[a]-> y, x -[b]-> y", &mut g);
+        assert!(first_variant_plan_is_cyclic(&parallel, &g));
+        // A self-loop atom is folded into the domain — no cycle.
+        let self_loop = q("x -[a]-> y, y -[b c]-> y", &mut g);
+        assert!(!first_variant_plan_is_cyclic(&self_loop, &g));
+    }
+
+    #[test]
+    fn wcoj_and_binary_join_agree_on_cyclic_and_acyclic_shapes() {
+        let mut g = graph(&[
+            ("u", "a", "v"),
+            ("v", "b", "w"),
+            ("w", "c", "u"),
+            ("v", "a", "w"),
+            ("w", "b", "u"),
+            ("u", "c", "v"),
+        ]);
+        for text in [
+            "(x, y, z) <- x -[a]-> y, y -[b]-> z, z -[c]-> x",
+            "(x, y) <- x -[a]-> y, y -[b]-> z",
+            "(x) <- x -[(a b)*]-> y, y -[c*]-> x",
+        ] {
+            let query = q(text, &mut g);
+            for sem in Semantics::ALL {
+                let auto = eval_tuples_with(&query, &g, sem, EvalStrategy::Join);
+                let binary = eval_tuples_with(&query, &g, sem, EvalStrategy::BinaryJoin);
+                let wcoj = eval_tuples_with(&query, &g, sem, EvalStrategy::Wcoj);
+                let oracle = eval_tuples_with(&query, &g, sem, EvalStrategy::Enumerate);
+                assert_eq!(auto, oracle, "{text} auto vs oracle under {sem}");
+                assert_eq!(binary, oracle, "{text} binary vs oracle under {sem}");
+                assert_eq!(wcoj, oracle, "{text} wcoj vs oracle under {sem}");
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod expansion_eval;
 pub mod hierarchy;
 pub mod parallel;
 pub mod trail;
+pub(crate) mod wcoj;
 pub mod witness;
 
 pub use eval::{

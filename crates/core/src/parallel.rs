@@ -17,14 +17,14 @@
 //!   pruned domains rule out up front.
 
 use crate::eval::{
-    eval_contains, plan_variant, sorted_tuples, JoinPlan, RelationCatalog, Semantics, VariantPlan,
-    VerifyScratch,
+    eval_contains, plan_variant, sorted_tuples, JoinMode, JoinPlan, RelationCatalog, Semantics,
+    VariantPlan, VerifyScratch,
 };
+use crate::wcoj;
 use crpq_graph::{rpq, GraphDb, NodeId};
 use crpq_query::Crpq;
 use crpq_util::FxHashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Parallel version of [`crate::eval::eval_tuples`].
 ///
@@ -70,29 +70,56 @@ pub fn eval_tuples_parallel(
                 plan.search_all(&mut seq_scratch, &mut out);
             }
             Some((var, cands)) => {
+                // The WCOJ elimination order depends only on (plan, var):
+                // compute it once here, not per candidate in the workers.
+                let wcoj_order = plan
+                    .use_wcoj(JoinMode::Auto)
+                    .then(|| wcoj::fixed_order(&plan, var));
                 let next = AtomicUsize::new(0);
-                let merged: Mutex<FxHashSet<Vec<NodeId>>> = Mutex::new(FxHashSet::default());
-                std::thread::scope(|scope| {
-                    for _ in 0..threads.min(cands.len()) {
-                        scope.spawn(|| {
-                            let mut local: FxHashSet<Vec<NodeId>> = FxHashSet::default();
-                            let mut scratch = VerifyScratch::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(&node) = cands.get(i) else { break };
-                                plan.search_with_fixed(var, node, &mut scratch, &mut local);
-                            }
-                            if !local.is_empty() {
-                                merged.lock().unwrap().extend(local);
-                            }
-                        });
+                let locals = collect_worker_results(threads.min(cands.len()), || {
+                    let mut local: FxHashSet<Vec<NodeId>> = FxHashSet::default();
+                    let mut scratch = VerifyScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&node) = cands.get(i) else { break };
+                        if let Some(order) = &wcoj_order {
+                            wcoj::search_with_fixed(&plan, order, node, &mut scratch, &mut local);
+                        } else {
+                            plan.search_with_fixed(var, node, &mut scratch, &mut local);
+                        }
                     }
+                    local
                 });
-                out.extend(merged.into_inner().unwrap());
+                for local in locals {
+                    out.extend(local);
+                }
             }
         }
     }
     sorted_tuples(out)
+}
+
+/// Runs `worker` on `threads` scoped threads and returns every worker's
+/// result, in spawn order.
+///
+/// The per-worker results come back **through the join handles** — there
+/// is deliberately no shared accumulator: the old `Mutex`-merged variant
+/// meant a panicking worker poisoned the mutex, so its siblings died on a
+/// confusing `PoisonError` and the *original* panic message was lost. Here
+/// every handle is joined and the first panic payload is re-raised intact
+/// via [`std::panic::resume_unwind`] (after all workers have finished —
+/// scoped threads cannot outlive this call).
+fn collect_worker_results<R: Send>(threads: usize, worker: impl Fn() -> R + Sync) -> Vec<R> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.max(1)).map(|_| scope.spawn(&worker)).collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -134,6 +161,59 @@ mod tests {
         let q = parse_crpq("x -[a a]-> y", g.alphabet_mut()).unwrap();
         let res = eval_tuples_parallel(&q, &g, Semantics::Standard, 2);
         assert_eq!(res, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_original_payload() {
+        // Regression: a panicking worker used to poison the shared merge
+        // mutex, so sibling workers (and the caller) surfaced a
+        // `PoisonError` instead of the injected panic. The join-handle
+        // merge must re-raise the original payload intact.
+        let cursor = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(|| {
+            collect_worker_results(4, || {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i == 2 {
+                    panic!("injected worker panic {i}");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("worker panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("payload must be the original panic message");
+        assert_eq!(message, "injected worker panic 2");
+    }
+
+    #[test]
+    fn every_worker_result_is_collected() {
+        // One result per worker, none lost or duplicated. (Which worker
+        // drew which cursor value is scheduling-dependent, so spawn order
+        // itself is unobservable from identical closures — this pins
+        // completeness, not ordering.)
+        let cursor = AtomicUsize::new(0);
+        let mut results = collect_worker_results(3, || cursor.fetch_add(1, Ordering::Relaxed));
+        results.sort_unstable();
+        assert_eq!(results, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_cyclic_shape() {
+        // Cyclic (triangle) variants route workers through the WCOJ
+        // executor — the partitioned result must still match the
+        // sequential engine under every semantics.
+        let mut g = generators::random_graph(10, 40, &["a", "b", "c"], 23);
+        let q = parse_crpq(
+            "(x, y, z) <- x -[a]-> y, y -[b]-> z, z -[c]-> x",
+            g.alphabet_mut(),
+        )
+        .unwrap();
+        for sem in Semantics::ALL {
+            let seq = eval_tuples(&q, &g, sem);
+            let par = eval_tuples_parallel(&q, &g, sem, 4);
+            assert_eq!(seq, par, "mismatch under {sem}");
+        }
     }
 
     #[test]

@@ -103,6 +103,29 @@ pub fn to_graph_text(g: &GraphDb) -> String {
 const MAGIC: &[u8; 4] = b"CRPQ";
 const VERSION: u8 = 1;
 
+/// Whether `data` starts with the binary snapshot magic (`CRPQ`) — the
+/// sniff front ends use to pick a decoder for an on-disk graph.
+pub fn is_binary(data: &[u8]) -> bool {
+    data.starts_with(MAGIC)
+}
+
+/// Decodes a graph in **either** on-disk format: the binary snapshot when
+/// the magic matches ([`is_binary`]), the line-oriented text format
+/// otherwise. Raw bytes that are neither (non-UTF-8 without the magic —
+/// e.g. a truncated or foreign binary file) fail with a descriptive
+/// [`FormatError`] instead of a UTF-8 panic.
+pub fn parse_graph_auto(data: Vec<u8>) -> Result<GraphDb, FormatError> {
+    if is_binary(&data) {
+        from_binary(Bytes::from(data))
+    } else {
+        let text = String::from_utf8(data).map_err(|_| FormatError {
+            message: "neither the CRPQ binary snapshot (bad magic) nor UTF-8 text".into(),
+            line: 0,
+        })?;
+        parse_graph_text(&text)
+    }
+}
+
 /// Encodes a graph into the binary snapshot format.
 pub fn to_binary(g: &GraphDb) -> Bytes {
     let mut buf = BytesMut::new();
@@ -259,6 +282,23 @@ w c u
         assert!(parse_graph_text("u a v extra").is_err());
         let err = parse_graph_text("ok a b\nbroken").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn auto_detects_both_formats() {
+        let g = parse_graph_text(SAMPLE).unwrap();
+        // Binary bytes and text bytes both decode through the sniffer.
+        let via_bin = parse_graph_auto(to_binary(&g).to_vec()).unwrap();
+        assert_eq!(via_bin.num_edges(), g.num_edges());
+        let via_text = parse_graph_auto(SAMPLE.as_bytes().to_vec()).unwrap();
+        assert_eq!(via_text.num_edges(), g.num_edges());
+        // Corrupted binary (magic intact, payload truncated) and raw
+        // non-UTF-8 garbage both surface errors, never panics.
+        let mut truncated = to_binary(&g).to_vec();
+        truncated.truncate(9);
+        assert!(parse_graph_auto(truncated).is_err());
+        let err = parse_graph_auto(vec![0xff, 0xfe, 0x00, 0x01]).unwrap_err();
+        assert!(err.message.contains("neither"), "{err}");
     }
 
     #[test]

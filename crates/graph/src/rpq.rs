@@ -303,6 +303,21 @@ impl<'a> RelationRow<'a> {
             RelationRow::Dense(b) => b.intersects(other),
         }
     }
+
+    /// The smallest id `≥ from`, if any — the sorted-view seek primitive
+    /// of the leapfrog intersection in the worst-case-optimal join
+    /// (`crpq-core`'s `wcoj` module). `O(log k)` on sparse rows (binary
+    /// search), `O(words to the hit)` on dense rows (word scan).
+    #[inline]
+    pub fn first_at_or_after(&self, from: usize) -> Option<usize> {
+        match self {
+            RelationRow::Sparse(ids) => {
+                let i = ids.partition_point(|&v| (v as usize) < from);
+                ids.get(i).map(|&v| v as usize)
+            }
+            RelationRow::Dense(b) => b.first_at_or_after(from),
+        }
+    }
 }
 
 /// Iterator over the ids of a [`RelationRow`].
@@ -483,6 +498,20 @@ impl NodeSet {
         self.normalize();
     }
 
+    /// The smallest id `≥ from`, if any — the same sorted-view seek as
+    /// [`RelationRow::first_at_or_after`], so a pruned domain can join the
+    /// leapfrog intersection alongside relation rows.
+    #[inline]
+    pub fn first_at_or_after(&self, from: usize) -> Option<usize> {
+        match self {
+            NodeSet::Sparse { ids, .. } => {
+                let i = ids.partition_point(|&v| (v as usize) < from);
+                ids.get(i).map(|&v| v as usize)
+            }
+            NodeSet::Dense(b) => b.first_at_or_after(from),
+        }
+    }
+
     /// Whether the set shares an id with `row` — the semi-join fixpoint
     /// test. `O(min(k_self, k_row))`-ish on sparse pairs, no allocation.
     pub fn intersects_row(&self, row: &RelationRow<'_>) -> bool {
@@ -586,16 +615,9 @@ impl RowStore {
     /// limit fails loudly instead of corrupting rows).
     fn push_sparse(&mut self, i: usize, ids: &[u32]) {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
-        assert!(
-            self.flat.len() + ids.len() <= u32::MAX as usize,
-            "relation sparse-row buffer exceeds u32 offsets — shard the relation"
-        );
-        let start = self.flat.len() as u32;
+        let (start, end) = pack_sparse_span(self.flat.len() as u64, ids.len() as u64);
         self.flat.extend_from_slice(ids);
-        self.kind[i] = RowKind::Sparse {
-            start,
-            end: self.flat.len() as u32,
-        };
+        self.kind[i] = RowKind::Sparse { start, end };
     }
 
     /// Installs a dense row for node `i`.
@@ -604,6 +626,26 @@ impl RowStore {
             idx: self.dense.len() as u32,
         };
         self.dense.push(bits);
+    }
+}
+
+/// Packs the `[start, end)` span of the next sparse row into the `u32`
+/// cursor fields of [`RowKind::Sparse`]: the row's `deg` ids begin at flat
+/// offset `flat_len`. Both ends go through checked `u64 → u32` conversion
+/// **before** anything is written, so a relation whose flat id buffer
+/// crosses 2³² ids (~16 GiB per direction) fails loudly with a sharding
+/// hint instead of silently truncating offsets — the old `as u32` cast plus
+/// trailing `assert!` wrapped the `end` arithmetic in release builds before
+/// the assert could fire.
+#[inline]
+fn pack_sparse_span(flat_len: u64, deg: u64) -> (u32, u32) {
+    let end = flat_len + deg;
+    match (u32::try_from(flat_len), u32::try_from(end)) {
+        (Ok(start), Ok(end)) => (start, end),
+        _ => panic!(
+            "relation sparse-row buffer needs {end} ids — exceeds the u32 offset space \
+             of RowKind::Sparse; shard the relation"
+        ),
     }
 }
 
@@ -821,16 +863,10 @@ impl Relation {
                 };
                 rev.dense.push(BitSet::new(n));
             } else {
-                rev.kind[v] = RowKind::Sparse {
-                    start: flat_len as u32,
-                    end: flat_len as u32 + deg[v],
-                };
-                cursor[v] = flat_len as u32;
-                flat_len += deg[v] as u64;
-                assert!(
-                    flat_len <= u32::MAX as u64,
-                    "relation sparse-row buffer exceeds u32 offsets — shard the relation"
-                );
+                let (start, end) = pack_sparse_span(flat_len, u64::from(deg[v]));
+                rev.kind[v] = RowKind::Sparse { start, end };
+                cursor[v] = start;
+                flat_len = end as u64;
             }
         }
         rev.flat = vec![0u32; flat_len as usize];
@@ -885,6 +921,10 @@ pub fn rpq_reach_all_parallel(
     sources: &[NodeId],
     threads: usize,
 ) -> Relation {
+    // Resolve the knob exactly once at the public entry point; everything
+    // below takes the resolved count (`parallel_rows` must not re-apply
+    // `effective_threads`, or a `0` knob would be re-interpreted and the
+    // error fallback re-decided per layer).
     let threads = effective_threads(threads).min(sources.len().max(1));
     if threads <= 1 {
         return rpq_reach_all(g, nfa, sources.iter().copied(), &mut ReachScratch::new());
@@ -899,13 +939,18 @@ pub fn rpq_reach_all_parallel(
 
 /// Runs the per-source sweeps for `sources` across scoped worker threads
 /// (one [`ReachScratch`] each) and returns the rows in source order.
+///
+/// `threads` must be an **already-resolved** worker count (`≥ 1`, from
+/// [`effective_threads`] at the public entry point) — this helper only
+/// clamps it to the source count and never re-interprets the `0` knob.
 fn parallel_rows(
     g: &GraphDb,
     nfa: &Nfa,
     sources: &[NodeId],
     threads: usize,
 ) -> Vec<(NodeId, Vec<u32>)> {
-    let threads = effective_threads(threads).min(sources.len().max(1));
+    debug_assert!(threads >= 1, "threads must be resolved by the caller");
+    let threads = threads.min(sources.len().max(1));
     let chunk = sources.len().div_ceil(threads);
     let chunks: Vec<&[NodeId]> = sources.chunks(chunk.max(1)).collect();
     let per_chunk: Vec<Vec<(NodeId, Vec<u32>)>> = std::thread::scope(|scope| {
@@ -930,7 +975,18 @@ fn parallel_rows(
     per_chunk.into_iter().flatten().collect()
 }
 
-/// Resolves a thread-count knob: `0` = one per available CPU, capped at 16.
+/// Resolves a thread-count knob into a concrete worker count (`≥ 1`):
+/// `0` = one per available CPU, capped at 16; any other value is taken
+/// verbatim.
+///
+/// When `available_parallelism` itself errors (it can on exotic platforms,
+/// restricted sandboxes, or when cgroup limits are unreadable) the `0` knob
+/// falls back to **4 workers** — a deliberate middle ground: parallel
+/// enough to matter on typical hardware, small enough not to oversubscribe
+/// a container that hid its CPU count. Callers resolve the knob **once** at
+/// the public entry point and pass the resolved count down; internal
+/// helpers (e.g. `parallel_rows`) never re-apply this function, so the
+/// fallback decision is made in exactly one place.
 pub fn effective_threads(threads: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism().map_or(4, |n| n.get().min(16))
@@ -997,6 +1053,9 @@ pub fn rpq_relation_auto(
     let n = g.num_nodes();
     const SAMPLE: usize = 64;
     let sample = SAMPLE.min(n);
+    // Resolve the thread knob once up front (see `effective_threads`);
+    // `parallel_rows` below receives the resolved count.
+    let threads = effective_threads(threads);
     let mut rel = Relation::empty(n);
     let mut buf: Vec<u32> = Vec::new();
     // Spread the sample evenly across the whole id range — graphs often
@@ -1038,7 +1097,7 @@ pub fn rpq_relation_auto(
         })
         .map(|v| NodeId(v as u32))
         .collect();
-    if effective_threads(threads) > 1 && rest.len() > SAMPLE {
+    if threads > 1 && rest.len() > SAMPLE {
         let chunk_rows = parallel_rows(g, nfa, &rest, threads);
         for (src, ids) in chunk_rows {
             rel.set_forward_row_ids(src, &ids);
@@ -2414,6 +2473,78 @@ mod tests {
             via_words.target_set().iter().collect::<Vec<_>>(),
             [3, 40, 64, 77]
         );
+    }
+
+    #[test]
+    fn pack_sparse_span_boundary() {
+        // The pure packing helper behind `RowKind::Sparse` offsets: spans
+        // that stay inside the u32 offset space pack exactly; the first
+        // span to cross it must panic with the sharding message instead of
+        // wrapping. No giant allocation needed — this is pure arithmetic.
+        assert_eq!(pack_sparse_span(0, 0), (0, 0));
+        assert_eq!(pack_sparse_span(17, 5), (17, 22));
+        let max = u32::MAX as u64;
+        // Exactly at the boundary: still representable.
+        assert_eq!(pack_sparse_span(max - 5, 5), (u32::MAX - 5, u32::MAX));
+        assert_eq!(pack_sparse_span(max, 0), (u32::MAX, u32::MAX));
+        // One past the boundary (end > u32::MAX): loud failure, and the
+        // same for a start that is already unrepresentable.
+        for (flat_len, deg) in [(max - 5, 6), (max, 1), (max + 1, 0), (0, max + 1)] {
+            let err = std::panic::catch_unwind(|| pack_sparse_span(flat_len, deg))
+                .expect_err("span past u32::MAX must panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .expect("panic message is a String");
+            assert!(
+                msg.contains("shard the relation"),
+                "panic must carry the sharding hint, got: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_view_seek_agrees_across_representations() {
+        // RelationRow/NodeSet `first_at_or_after` (the WCOJ leapfrog seek)
+        // must agree between sparse and dense representations.
+        let ids: Vec<u32> = vec![1, 5, 64, 200];
+        let universe = 256;
+        let sparse_row = RelationRow::Sparse(&ids);
+        let bits = BitSet::from_words(
+            {
+                let mut w = vec![0u64; universe / 64];
+                for v in &ids {
+                    w[*v as usize / 64] |= 1 << (*v % 64);
+                }
+                w
+            },
+            universe,
+        );
+        let dense_row = RelationRow::Dense(&bits);
+        let sparse_set = NodeSet::from_sorted_ids(ids.clone(), universe);
+        let dense_set = NodeSet::Dense(bits.clone());
+        for from in 0..universe + 2 {
+            let expect = ids.iter().map(|&v| v as usize).find(|&v| v >= from);
+            assert_eq!(
+                sparse_row.first_at_or_after(from),
+                expect,
+                "sparse row @{from}"
+            );
+            assert_eq!(
+                dense_row.first_at_or_after(from),
+                expect,
+                "dense row @{from}"
+            );
+            assert_eq!(
+                sparse_set.first_at_or_after(from),
+                expect,
+                "sparse set @{from}"
+            );
+            assert_eq!(
+                dense_set.first_at_or_after(from),
+                expect,
+                "dense set @{from}"
+            );
+        }
     }
 
     #[test]

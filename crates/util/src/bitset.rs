@@ -208,6 +208,25 @@ impl BitSet {
     pub fn first(&self) -> Option<usize> {
         self.iter().next()
     }
+
+    /// The smallest element `≥ from`, if any — the seek primitive of
+    /// leapfrog-style sorted intersection. Masks the partial first word,
+    /// then skips zero words, so a seek costs `O(words until the hit)`
+    /// rather than restarting a full iteration.
+    pub fn first_at_or_after(&self, from: usize) -> Option<usize> {
+        if from >= self.capacity {
+            return None;
+        }
+        let mut wi = from / 64;
+        let mut word = self.words[wi] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(wi * 64 + word.trailing_zeros() as usize);
+            }
+            wi += 1;
+            word = *self.words.get(wi)?;
+        }
+    }
 }
 
 impl fmt::Debug for BitSet {
@@ -317,6 +336,20 @@ mod tests {
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 69, 128, 129]);
         s.or_words_at(7, &[u64::MAX]); // out-of-range offset is a no-op
         assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn first_at_or_after_seeks() {
+        let s: BitSet = [5usize, 1, 200, 64].into_iter().collect();
+        assert_eq!(s.first_at_or_after(0), Some(1));
+        assert_eq!(s.first_at_or_after(1), Some(1));
+        assert_eq!(s.first_at_or_after(2), Some(5));
+        assert_eq!(s.first_at_or_after(6), Some(64), "crosses a word boundary");
+        assert_eq!(s.first_at_or_after(65), Some(200), "skips zero words");
+        assert_eq!(s.first_at_or_after(200), Some(200));
+        assert_eq!(s.first_at_or_after(201), None);
+        assert_eq!(s.first_at_or_after(10_000), None, "past capacity");
+        assert_eq!(BitSet::new(0).first_at_or_after(0), None);
     }
 
     #[test]

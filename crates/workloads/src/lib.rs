@@ -11,8 +11,11 @@
 //! * [`figure1`] — per-cell containment instance families scaling with a
 //!   size parameter (E1);
 //! * [`scaling`] — evaluation scaling families: data complexity (growing
-//!   graphs) and combined complexity (growing queries) (E9).
+//!   graphs) and combined complexity (growing queries) (E9);
+//! * [`cyclic`] — cyclic-shape CRPQs (triangle, 4-cycle,
+//!   diamond-with-chord) for the worst-case-optimal join executor.
 
+pub mod cyclic;
 pub mod figure1;
 pub mod paper_examples;
 pub mod random;

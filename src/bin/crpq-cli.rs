@@ -7,12 +7,17 @@
 //! crpq-cli graph-info --graph g.txt
 //! ```
 //!
-//! Graphs use the text format of `crpq::graph::format` (one `src label dst`
-//! edge per line). Semantics names: `st`, `a-inj`, `q-inj`, `a-trail`,
-//! `q-trail`.
+//! Graphs use either on-disk format of `crpq::graph::format` — the text
+//! format (one `src label dst` edge per line) or the `CRPQ` binary
+//! snapshot — detected by content. Semantics names: `st`, `a-inj`,
+//! `q-inj`, `a-trail`, `q-trail`.
+//!
+//! Every user-facing failure (unknown flags/semantics, missing or
+//! malformed graph files, unparsable queries) exits with an `error:` line
+//! and a nonzero status — never a panic backtrace.
 
 use crpq::core::{eval_contains_trail, eval_tuples_trail, TrailSemantics};
-use crpq::graph::format::parse_graph_text;
+use crpq::graph::format::parse_graph_auto;
 use crpq::prelude::*;
 use std::process::ExitCode;
 
@@ -38,7 +43,8 @@ usage:
   crpq-cli classify   --query Q
   crpq-cli bounded    --query Q [--max-level K]
   crpq-cli graph-info --graph FILE
-semantics S: st | a-inj | q-inj | a-trail | q-trail (default: st)";
+semantics S: st | a-inj | q-inj | a-trail | q-trail (default: st)
+graph FILE: text (one `src label dst` per line) or CRPQ binary snapshot";
 
 /// Either a paper semantics or a §7 trail semantics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,9 +88,11 @@ fn run(args: &[String]) -> Result<String, String> {
 }
 
 fn load_graph(path: &str) -> Result<GraphDb, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read graph file `{path}`: {e}"))?;
-    parse_graph_text(&text).map_err(|e| e.to_string())
+    // Read raw bytes (not `read_to_string`): binary snapshots are legal
+    // input, and a non-UTF-8 file must fail with a format diagnostic, not
+    // an IO-layer UTF-8 error.
+    let data = std::fs::read(path).map_err(|e| format!("cannot read graph file `{path}`: {e}"))?;
+    parse_graph_auto(data).map_err(|e| format!("cannot parse graph file `{path}`: {e}"))
 }
 
 fn cmd_eval(args: &[String]) -> Result<String, String> {
@@ -101,6 +109,15 @@ fn cmd_eval(args: &[String]) -> Result<String, String> {
                     .ok_or_else(|| format!("unknown node `{name}`"))
             })
             .collect::<Result<_, _>>()?;
+        // Guard the library's arity assertion: a wrong-length --tuple must
+        // be a CLI error, not a panic backtrace.
+        if tuple.len() != q.free.len() {
+            return Err(format!(
+                "--tuple has {} node(s) but the query's free tuple has arity {}",
+                tuple.len(),
+                q.free.len()
+            ));
+        }
         if args.iter().any(|a| a == "--witness") {
             let AnySemantics::Core(s) = sem else {
                 return Err("--witness is implemented for st/a-inj/q-inj".into());
@@ -328,6 +345,92 @@ mod tests {
     fn unknown_command_errors() {
         assert!(run(&a(&["frobnicate"])).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn user_input_failures_are_errors_not_panics() {
+        let dir = std::env::temp_dir().join("crpq_cli_test_err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        std::fs::write(&path, "u a v\n").unwrap();
+        let p = path.to_str().unwrap();
+        // Malformed --semantics.
+        let err = run(&a(&[
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            "x -[a]-> y",
+            "--semantics",
+            "bogus",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown semantics"), "{err}");
+        // Missing graph file.
+        let err = run(&a(&[
+            "eval",
+            "--graph",
+            "/no/such/file.graph",
+            "--query",
+            "x -[a]-> y",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot read graph file"), "{err}");
+        // Unreadable (corrupted) binary graph: magic intact, body garbage.
+        let bin = dir.join("bad.bin");
+        std::fs::write(&bin, b"CRPQ\x01\xff\xff\xff\xff").unwrap();
+        let err = run(&a(&["graph-info", "--graph", bin.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("cannot parse graph file"), "{err}");
+        // Non-UTF-8 garbage without the magic.
+        let raw = dir.join("raw.bin");
+        std::fs::write(&raw, [0xffu8, 0xfe, 0x00]).unwrap();
+        let err = run(&a(&["graph-info", "--graph", raw.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("neither"), "{err}");
+        // Wrong-arity --tuple.
+        let err = run(&a(&[
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            "(x, y) <- x -[a]-> y",
+            "--tuple",
+            "u",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("arity"), "{err}");
+        // Unknown node in --tuple.
+        let err = run(&a(&[
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            "(x, y) <- x -[a]-> y",
+            "--tuple",
+            "u,ghost",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown node"), "{err}");
+    }
+
+    #[test]
+    fn binary_snapshot_graphs_load() {
+        use crpq::graph::format::{parse_graph_text, to_binary};
+        let dir = std::env::temp_dir().join("crpq_cli_test_bin");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = parse_graph_text("u a v\nv b w\n").unwrap();
+        let path = dir.join("g.bin");
+        std::fs::write(&path, to_binary(&g).to_vec()).unwrap();
+        let out = run(&a(&[
+            "eval",
+            "--graph",
+            path.to_str().unwrap(),
+            "--query",
+            "(x, y) <- x -[a b]-> y",
+        ]))
+        .unwrap();
+        assert!(out.contains("(u, w)"), "{out}");
+        let out = run(&a(&["graph-info", "--graph", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("nodes: 3"), "{out}");
     }
 
     #[test]
