@@ -20,16 +20,25 @@
 //! CSRs) and `rel_bytes` (every relation materialised by the instrumented
 //! catalog run) — the two allocation sinks that gate large-graph scaling.
 //!
-//! The **label-rich scale workload** (`scale_rows` in the JSON) evaluates
-//! [`scaling::label_rich_query`] over [`scaling::label_rich_graph`]
-//! (`4n` edges, [`scaling::LABEL_RICH_LABELS`] = 10³ Zipf-distributed
-//! labels; see `crpq_workloads::scaling` for the knobs): too large for the
-//! legacy enumeration oracle, so it records only the catalog engine's
-//! build/evaluation wall clock plus the memory proxies, and asserts the
-//! sparse per-label CSR memory contract (offsets `O(|E| + Σ_l |V_l|)`,
-//! nowhere near the dense `O(|labels|·|V|)` cross product). `--smoke`
-//! includes it at `|V| = 10⁴` for the trajectory; `--scale-smoke` runs
-//! `|V| = 10⁵` under a hard wall-clock ceiling (the CI scale gate).
+//! The **scale workloads** (`scale_rows` in the JSON) are too large for
+//! the legacy enumeration oracle, so they record only the catalog
+//! engine's build/evaluation wall clock plus the memory proxies
+//! (`index_bytes`, `name_bytes`, `rel_bytes`, `scratch_bytes`):
+//!
+//! * `scale_label_rich` evaluates [`scaling::label_rich_query`] over
+//!   [`scaling::label_rich_graph`] (`4n` edges,
+//!   [`scaling::LABEL_RICH_LABELS`] = 10³ Zipf-distributed labels) and
+//!   asserts the sparse per-label CSR memory contract (offsets
+//!   `O(|E| + Σ_l |V_l|)`, nowhere near the dense `O(|labels|·|V|)` cross
+//!   product). `--smoke` runs `|V| = 10⁴`, `--scale-smoke` `|V| = 10⁵`
+//!   under a hard wall-clock ceiling (the PR-3 CI gate, unchanged).
+//! * `scale_million` evaluates [`scaling::million_query`] over
+//!   [`scaling::million_graph`] (anonymous nodes, `4n` uniform edges over
+//!   [`scaling::MILLION_LABELS`] labels) and asserts the O(touched)
+//!   contract of the |V|-scale pipeline: zero name bytes, graph index +
+//!   names ≤ ~200 MB at 10⁶ nodes, and peak sweep-scratch bytes far below
+//!   one dense `|V|·|Q|` stamp array. `--smoke` runs `|V| = 10⁵`,
+//!   `--scale-smoke` `|V| = 10⁶ / 4·10⁶` edges under its own ceiling.
 //!
 //! The **cyclic workloads** (`cyclic_rows` in the JSON) time the
 //! worst-case-optimal executor ([`EvalStrategy::Wcoj`]) against the forced
@@ -76,6 +85,10 @@ struct Row {
     index_bytes: usize,
     /// Heap bytes of the catalog's materialised relations (peak-RSS proxy).
     rel_bytes: usize,
+    /// Peak per-materialisation sweep-scratch bytes (stamp arrays +
+    /// sparse visited maps, summed across workers) of the instrumented
+    /// catalog run — so scratch regressions show up in the baselines.
+    scratch_bytes: usize,
 }
 
 impl Row {
@@ -161,6 +174,7 @@ fn measure(workload: &str, graph_name: &str, q: &Crpq, g: &GraphDb, sem: Semanti
         catalog_misses: catalog.misses(),
         index_bytes: g.index_bytes(),
         rel_bytes: catalog.relation_bytes(),
+        scratch_bytes: catalog.peak_scratch_bytes(),
     }
 }
 
@@ -269,8 +283,11 @@ fn print_cyclic_rows(rows: &[CyclicRow]) {
     }
 }
 
-/// One row of the label-rich scale workload (`scale_rows` in the JSON).
+/// One row of the scale workloads (`scale_rows` in the JSON): the
+/// label-rich Zipf family (`scale_label_rich`) and the million-node
+/// anonymous family (`scale_million`).
 struct ScaleRow {
+    workload: &'static str,
     nodes: usize,
     edges: usize,
     labels: usize,
@@ -279,7 +296,12 @@ struct ScaleRow {
     eval_ms: f64,
     mat_ms: f64,
     index_bytes: usize,
+    /// Node-name storage bytes (single arena for named graphs, 0 for
+    /// anonymous ones) — the term that used to be per-name `String`s.
+    name_bytes: usize,
     rel_bytes: usize,
+    /// Peak sweep-scratch bytes across workers (see [`Row::scratch_bytes`]).
+    scratch_bytes: usize,
     /// Offset/index bytes of the two label-partitioned CSRs — the term
     /// that was `O(|labels|·|V|)` in the dense layout.
     csr_offset_bytes: usize,
@@ -330,6 +352,7 @@ fn measure_scale(n: usize, ceiling_ms: f64, enforce_ceiling: bool) -> ScaleRow {
         );
     }
     ScaleRow {
+        workload: "scale_label_rich",
         nodes: g.num_nodes(),
         edges: g.num_edges(),
         labels: g.alphabet().len(),
@@ -338,9 +361,90 @@ fn measure_scale(n: usize, ceiling_ms: f64, enforce_ceiling: bool) -> ScaleRow {
         eval_ms,
         mat_ms: catalog.materialise_ms(),
         index_bytes: g.index_bytes(),
+        name_bytes: g.name_bytes(),
         rel_bytes: catalog.relation_bytes(),
+        scratch_bytes: catalog.peak_scratch_bytes(),
         csr_offset_bytes,
         dense_offset_bytes,
+    }
+}
+
+/// Builds the million-node anonymous graph at `n` nodes / `4n` edges and
+/// evaluates the anchored chain query once through the catalog engine (st),
+/// asserting the |V|-scale memory contracts of the O(touched) pipeline:
+///
+/// * node-name storage is **zero** bytes (anonymous mode — the named mode
+///   would be a single arena, never per-name `String`s);
+/// * graph index + names stay under the ~200 MB budget at 10⁶ nodes (the
+///   pre-arena layout extrapolated to ≥ 1.5 GB);
+/// * no materialisation run allocated dense per-worker stamp arrays: peak
+///   sweep-scratch bytes stay far below one `|V|·|Q|` stamp array, let
+///   alone one per worker.
+///
+/// With `enforce_ceiling`, build + evaluation must also finish under
+/// `ceiling_ms` — the CI scale gate.
+fn measure_million(n: usize, ceiling_ms: f64, enforce_ceiling: bool) -> ScaleRow {
+    let (mut g, build_ms) = time_once(|| scaling::million_graph(n, 7));
+    let q = scaling::million_query(g.alphabet_mut());
+    let mut catalog = RelationCatalog::with_threads(&g, 0);
+    let (tuples, eval_ms) =
+        time_once(|| eval_tuples_with_catalog(&q, &g, Semantics::Standard, &mut catalog).len());
+    assert!(
+        tuples > 0,
+        "million-scale workload returned no tuples — the smoke proves nothing"
+    );
+    assert_eq!(
+        g.name_bytes(),
+        0,
+        "anonymous scale graph must store zero name bytes"
+    );
+    let build_bytes = g.index_bytes() + g.name_bytes();
+    const BUILD_BYTES_BUDGET: usize = 200_000_000;
+    assert!(
+        build_bytes <= BUILD_BYTES_BUDGET,
+        "graph index + names {build_bytes} B exceed the {BUILD_BYTES_BUDGET} B scale budget"
+    );
+    // One dense |V|·|Q| stamp array would be ≥ 4·|V| bytes **per worker**
+    // (that is what the pre-adaptive layout paid): peak scratch far below
+    // that pins the sparse sweep contract. `peak_scratch_bytes` sums over
+    // every worker, so the bound must scale with the resolved thread
+    // count — a fixed `O(n)` bound would fail spuriously on many-core
+    // machines whose per-worker floors add up. 256 KB/worker is ~100× the
+    // measured footprint and ~10–100× below one dense stamp array.
+    let workers = crpq_graph::rpq::effective_threads(0) + 1;
+    let scratch_budget = workers * 256 * 1024;
+    let scratch_bytes = catalog.peak_scratch_bytes();
+    assert!(
+        scratch_bytes < scratch_budget,
+        "sweep scratch {scratch_bytes} B over {workers} worker(s) exceeds the \
+         {scratch_budget} B budget — dense stamp arrays were likely allocated \
+         (one would be ≥ {} B per worker)",
+        4 * n
+    );
+    if enforce_ceiling {
+        let total = build_ms + eval_ms;
+        assert!(
+            total <= ceiling_ms,
+            "million-scale smoke exceeded the wall-clock ceiling: \
+             {total:.0}ms > {ceiling_ms:.0}ms"
+        );
+    }
+    let (fwd, rev) = (g.forward_csr(), g.reverse_csr());
+    ScaleRow {
+        workload: "scale_million",
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        labels: g.alphabet().len(),
+        tuples,
+        build_ms,
+        eval_ms,
+        mat_ms: catalog.materialise_ms(),
+        index_bytes: g.index_bytes(),
+        name_bytes: g.name_bytes(),
+        rel_bytes: catalog.relation_bytes(),
+        scratch_bytes,
+        csr_offset_bytes: fwd.offset_bytes() + rev.offset_bytes(),
+        dense_offset_bytes: 2 * 4 * (g.alphabet().len() * g.num_nodes() + 1),
     }
 }
 
@@ -349,10 +453,11 @@ fn scale_rows_json(scale_rows: &[ScaleRow]) -> String {
     for (i, r) in scale_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"workload\": \"scale_label_rich\", \"nodes\": {}, \"edges\": {}, \
+            "    {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, \
              \"labels\": {}, \"tuples\": {}, \"build_ms\": {:.4}, \"eval_ms\": {:.4}, \
-             \"mat_ms\": {:.4}, \"index_bytes\": {}, \"rel_bytes\": {}, \
-             \"csr_offset_bytes\": {}, \"dense_offset_bytes\": {}}}{}",
+             \"mat_ms\": {:.4}, \"index_bytes\": {}, \"name_bytes\": {}, \"rel_bytes\": {}, \
+             \"scratch_bytes\": {}, \"csr_offset_bytes\": {}, \"dense_offset_bytes\": {}}}{}",
+            r.workload,
             r.nodes,
             r.edges,
             r.labels,
@@ -361,7 +466,9 @@ fn scale_rows_json(scale_rows: &[ScaleRow]) -> String {
             r.eval_ms,
             r.mat_ms,
             r.index_bytes,
+            r.name_bytes,
             r.rel_bytes,
+            r.scratch_bytes,
             r.csr_offset_bytes,
             r.dense_offset_bytes,
             if i + 1 < scale_rows.len() { "," } else { "" }
@@ -371,12 +478,15 @@ fn scale_rows_json(scale_rows: &[ScaleRow]) -> String {
 }
 
 fn print_scale_rows(scale_rows: &[ScaleRow]) {
-    println!("\n## scale_label_rich — Zipf label-rich workload (catalog engine only)\n");
-    println!("| n | edges | labels | tuples | build | eval | mat | index MB | rel MB | csr offsets | dense offsets |");
-    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+    println!(
+        "\n## scale workloads — label-rich Zipf + million-node anonymous (catalog engine only)\n"
+    );
+    println!("| workload | n | edges | labels | tuples | build | eval | mat | index MB | names MB | rel MB | scratch KB | csr offsets | dense offsets |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
     for r in scale_rows {
         println!(
-            "| {} | {} | {} | {} | {:.0}ms | {:.0}ms | {:.0}ms | {:.1} | {:.1} | {} KB | {} KB |",
+            "| {} | {} | {} | {} | {} | {:.0}ms | {:.0}ms | {:.0}ms | {:.1} | {:.2} | {:.1} | {:.1} | {} KB | {} KB |",
+            r.workload,
             r.nodes,
             r.edges,
             r.labels,
@@ -385,23 +495,38 @@ fn print_scale_rows(scale_rows: &[ScaleRow]) {
             r.eval_ms,
             r.mat_ms,
             r.index_bytes as f64 / 1e6,
+            r.name_bytes as f64 / 1e6,
             r.rel_bytes as f64 / 1e6,
+            r.scratch_bytes as f64 / 1024.0,
             r.csr_offset_bytes / 1024,
             r.dense_offset_bytes / 1024,
         );
     }
 }
 
-/// The `--scale-smoke` CI gate: the `|V| = 10⁵`, 10³-label workload must
-/// complete (build + catalog evaluation) under a hard wall-clock ceiling
-/// with the sparse label-index memory contract asserted. Writes the
-/// measurements to `path` (same `scale_rows` schema as `BENCH_eval.json`).
+/// The `--scale-smoke` CI gate, two rows:
+///
+/// * `|V| = 10⁵`, 10³-label Zipf workload under its wall-clock ceiling
+///   with the sparse label-index memory contract (the PR-3 gate,
+///   unchanged);
+/// * `|V| = 10⁶` / `4·10⁶`-edge anonymous workload (build + catalog
+///   evaluation, st) under its own ceiling, with the O(touched) memory
+///   contract: zero name bytes, index + names ≤ ~200 MB, and peak sweep
+///   scratch far below one dense `|V|·|Q|` stamp array.
+///
+/// Writes the measurements to `path` (same `scale_rows` schema as
+/// `BENCH_eval.json`).
 pub fn run_scale_smoke(path: &str) {
-    // Generous ceiling: the workload runs in a few seconds on a laptop;
-    // the ceiling only has to catch quadratic regressions (a dense
-    // label × node index rebuild alone would blow straight through it).
+    // Generous ceilings: the workloads run in seconds on a laptop; the
+    // ceilings only have to catch asymptotic regressions (a dense
+    // label × node index rebuild, per-source quadratic sweeps or dense
+    // per-worker scratch at 10⁶ nodes would blow straight through them).
     const CEILING_MS: f64 = 120_000.0;
-    let rows = vec![measure_scale(100_000, CEILING_MS, true)];
+    const MILLION_CEILING_MS: f64 = 300_000.0;
+    let rows = vec![
+        measure_scale(100_000, CEILING_MS, true),
+        measure_million(1_000_000, MILLION_CEILING_MS, true),
+    ];
     print_scale_rows(&rows);
     let mut json = String::new();
     json.push_str("{\n");
@@ -482,11 +607,14 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
         }
     }
 
-    // Label-rich scale workload at |V| = 10⁴ for the trajectory (the CI
-    // scale gate runs |V| = 10⁵ via `--scale-smoke`): records build/eval
-    // wall clock plus the index/relation memory proxies, and asserts the
-    // sparse label-index memory contract at this scale too.
-    let scale_rows = vec![measure_scale(10_000, f64::INFINITY, false)];
+    // Scale workloads at trajectory sizes (the CI scale gate runs
+    // |V| = 10⁵ / 10⁶ via `--scale-smoke`): records build/eval wall clock
+    // plus the index/name/relation/scratch memory proxies, and asserts
+    // the sparse label-index and O(touched) memory contracts here too.
+    let scale_rows = vec![
+        measure_scale(10_000, f64::INFINITY, false),
+        measure_million(100_000, f64::INFINITY, false),
+    ];
 
     // Cyclic shapes: the worst-case-optimal executor vs. the backtracking
     // binary join on the same plans. The triangle row carries the CI
@@ -528,7 +656,7 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
              \"unshared_ms\": {:.4}, \"legacy_ms\": {:.4}, \"mat_ms\": {:.4}, \
              \"catalog_hits\": {}, \"catalog_misses\": {}, \"catalog_hit_rate\": {:.3}, \
              \"catalog_speedup\": {:.2}, \"speedup\": {:.2}, \"index_bytes\": {}, \
-             \"rel_bytes\": {}}}{}",
+             \"rel_bytes\": {}, \"scratch_bytes\": {}}}{}",
             r.workload,
             r.graph,
             r.nodes,
@@ -547,6 +675,7 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
             r.speedup(),
             r.index_bytes,
             r.rel_bytes,
+            r.scratch_bytes,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }

@@ -7,17 +7,20 @@
 //!
 //! With `--smoke`, runs only the evaluation benchmark (E2/E9 workloads,
 //! join-based engine vs. the legacy enumeration oracle, plus the
-//! label-rich scale workload at |V| = 10⁴) and writes the wall-clock and
-//! index/relation-memory numbers to `BENCH_eval.json` — the CI perf
-//! baseline:
+//! label-rich scale workload at |V| = 10⁴ and the anonymous million-node
+//! family at |V| = 10⁵) and writes the wall-clock and
+//! index/name/relation/scratch-memory numbers to `BENCH_eval.json` — the
+//! CI perf baseline:
 //!
 //! ```sh
 //! cargo run --release -p crpq-bench --bin experiments -- --smoke
 //! ```
 //!
-//! With `--scale-smoke`, runs only the |V| = 10⁵, ~10³-label Zipf workload
-//! under a hard wall-clock ceiling, asserting that the label-index offsets
-//! stay O(|E| + Σ_l |V_l|) (not O(|labels|·|V|)) — the CI scale gate:
+//! With `--scale-smoke`, runs the CI scale gates under hard wall-clock
+//! ceilings: the |V| = 10⁵, ~10³-label Zipf workload (label-index offsets
+//! stay O(|E| + Σ_l |V_l|), not O(|labels|·|V|)) and the |V| = 10⁶,
+//! 4·10⁶-edge anonymous workload (zero name bytes, index + names ≤
+//! ~200 MB, sweep scratch far below one dense |V|·|Q| stamp array):
 //!
 //! ```sh
 //! cargo run --release -p crpq-bench --bin experiments -- --scale-smoke

@@ -497,6 +497,10 @@ pub struct RelationCatalog {
     hits: usize,
     misses: usize,
     materialise_ms: f64,
+    /// Largest per-materialisation sweep-scratch footprint seen so far
+    /// (stamp arrays + sparse visited maps, summed across workers) — the
+    /// `scratch_bytes` observable of the scale benchmarks.
+    peak_scratch_bytes: usize,
 }
 
 impl RelationCatalog {
@@ -520,6 +524,7 @@ impl RelationCatalog {
             hits: 0,
             misses: 0,
             materialise_ms: 0.0,
+            peak_scratch_bytes: 0,
         }
     }
 
@@ -560,11 +565,22 @@ impl RelationCatalog {
         self.misses += 1;
         let t0 = Instant::now();
         let rel = match self.mode {
-            MaterialiseMode::Pr1Baseline => rpq::rpq_relation_pr1_dense(g, nfa, &mut self.scratch),
+            MaterialiseMode::Pr1Baseline => {
+                let rel = rpq::rpq_relation_pr1_dense(g, nfa, &mut self.scratch);
+                self.peak_scratch_bytes = self.peak_scratch_bytes.max(self.scratch.heap_bytes());
+                rel
+            }
             MaterialiseMode::Auto => {
-                rpq::rpq_relation_auto(g, nfa, &mut self.scratch, self.threads)
+                let (rel, stats) =
+                    rpq::rpq_relation_auto_with_stats(g, nfa, &mut self.scratch, self.threads);
+                self.peak_scratch_bytes = self.peak_scratch_bytes.max(stats.scratch_bytes);
+                rel
             }
         };
+        // Retention policy: keep the scratch warm for the common case but
+        // release what a one-off huge product forced beyond the budget
+        // (worker scratches die with their threads; this is the pooled one).
+        self.scratch.shrink_to(rpq::SCRATCH_RETAIN_STATES);
         self.materialise_ms += t0.elapsed().as_secs_f64() * 1e3;
         let id = self.relations.len();
         self.relations.push(rel);
@@ -616,6 +632,13 @@ impl RelationCatalog {
     /// peak-RSS proxy `BENCH_eval` records alongside wall clock.
     pub fn relation_bytes(&self) -> usize {
         self.relations.iter().map(Relation::heap_bytes).sum()
+    }
+
+    /// Largest per-materialisation sweep-scratch footprint (stamp arrays
+    /// across workers) seen by this catalog — recorded in the benchmark
+    /// baselines so scratch regressions are visible across PRs.
+    pub fn peak_scratch_bytes(&self) -> usize {
+        self.peak_scratch_bytes
     }
 }
 

@@ -18,10 +18,32 @@
 //!
 //! The label-partitioned index is what the RPQ product searches in
 //! [`crate::rpq`] run on; see `crates/graph/src/csr.rs` for the layout.
+//!
+//! # Node-name storage and the O(touched) memory contract
+//!
+//! Node names are workload metadata, not query-path structures, and at
+//! `|V| = 10⁶`+ they are a first-order memory term of their own. The store
+//! therefore keeps them in one of two [`NodeNames`] modes:
+//!
+//! * **Named** — a single [`NameArena`]: one shared byte buffer plus `u32`
+//!   span offsets and a hash index keyed by span. Each name's bytes are
+//!   stored exactly once (≈ `Σ len(name) + 8` bytes per node), against the
+//!   ≥ 48 bytes/node of the former `Vec<String>` + `HashMap<String, _>`
+//!   pair — no per-name heap allocation, no second copy in the index.
+//! * **Anonymous** — no names at all ([`GraphBuilder::anonymous`]): nodes
+//!   are pure dense ids. This is the mode for *generated* workloads
+//!   (benchmarks, scale smoke graphs), where `v123`-style names carry no
+//!   information the id doesn't; name storage is exactly 0 bytes.
+//!
+//! [`GraphDb::node_name`] panics on anonymous graphs (it cannot borrow a
+//! name that does not exist); display paths use [`GraphDb::display_name`],
+//! which falls back to the canonical `#id` rendering. The scale benchmarks
+//! assert the arena contract through [`GraphDb::name_bytes`].
 
 use crate::csr::LabelCsr;
-use crpq_util::{BitSet, FxHashMap, Interner, Symbol};
+use crpq_util::{BitSet, Interner, NameArena, Symbol};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt;
 
 /// Dense node identifier.
@@ -42,14 +64,35 @@ impl fmt::Debug for NodeId {
     }
 }
 
+/// Node-name storage mode: an arena of interned names, or none at all.
+/// See the module docs for the memory contract.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum NodeNames {
+    /// Every node has a name, stored once in a shared [`NameArena`];
+    /// node id `i` is arena id `i` (the builder interns in id order).
+    Named(NameArena),
+    /// Nodes are pure dense ids — generated workloads at scale.
+    Anonymous,
+}
+
+impl NodeNames {
+    /// Heap bytes of the name storage (0 for anonymous graphs).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            NodeNames::Named(arena) => arena.heap_bytes(),
+            NodeNames::Anonymous => 0,
+        }
+    }
+}
+
 /// An immutable edge-labelled directed graph with node-major flat adjacency
 /// and label-major CSR indexes in both directions.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GraphDb {
     labels: Interner,
-    node_names: Vec<String>,
-    /// Name → id (the builder's index, retained for O(1) lookup).
-    node_index: FxHashMap<String, NodeId>,
+    num_nodes: usize,
+    /// Arena-interned node names, or nothing (anonymous graphs).
+    names: NodeNames,
     num_edges: usize,
     /// `out_adj[out_offsets[v]..out_offsets[v+1]]` = sorted `(label, target)`
     /// pairs of `v`.
@@ -70,7 +113,7 @@ pub struct GraphDb {
 impl GraphDb {
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.node_names.len()
+        self.num_nodes
     }
 
     /// Number of labelled edges.
@@ -95,14 +138,59 @@ impl GraphDb {
         self.labels.iter().map(|(s, _)| s).collect()
     }
 
-    /// The name of `node`.
-    pub fn node_name(&self, node: NodeId) -> &str {
-        &self.node_names[node.index()]
+    /// How node names are stored (arena vs. anonymous).
+    pub fn names(&self) -> &NodeNames {
+        &self.names
     }
 
-    /// Looks up a node by name — O(1) via the retained builder index.
+    /// Whether this graph stores node names at all.
+    pub fn is_named(&self) -> bool {
+        matches!(self.names, NodeNames::Named(_))
+    }
+
+    /// The name of `node`. Panics on anonymous graphs — display paths that
+    /// must handle both modes use [`Self::display_name`].
+    pub fn node_name(&self, node: NodeId) -> &str {
+        match &self.names {
+            NodeNames::Named(arena) => arena.resolve(node.0),
+            NodeNames::Anonymous => {
+                panic!("node_name({node:?}) on an anonymous graph — use display_name")
+            }
+        }
+    }
+
+    /// The name of `node` if the graph is named.
+    pub fn try_node_name(&self, node: NodeId) -> Option<&str> {
+        match &self.names {
+            NodeNames::Named(arena) => Some(arena.resolve(node.0)),
+            NodeNames::Anonymous => None,
+        }
+    }
+
+    /// A printable name for `node` in either mode: the stored name, or the
+    /// canonical `#id` rendering for anonymous graphs.
+    pub fn display_name(&self, node: NodeId) -> Cow<'_, str> {
+        match self.try_node_name(node) {
+            Some(name) => Cow::Borrowed(name),
+            None => Cow::Owned(format!("#{}", node.0)),
+        }
+    }
+
+    /// Looks up a node by name — O(1) via the arena's hash index. Always
+    /// `None` on anonymous graphs.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.node_index.get(name).copied()
+        match &self.names {
+            NodeNames::Named(arena) => arena.get(name).map(NodeId),
+            NodeNames::Anonymous => None,
+        }
+    }
+
+    /// Heap bytes of the node-name storage: the arena's single byte buffer
+    /// plus offsets/index for named graphs, exactly 0 for anonymous ones.
+    /// Together with [`Self::index_bytes`] this is the build-side memory
+    /// term the scale benchmarks assert on.
+    pub fn name_bytes(&self) -> usize {
+        self.names.heap_bytes()
     }
 
     /// Iterator over all node ids.
@@ -194,8 +282,8 @@ impl GraphDb {
     pub fn reversed(&self) -> GraphDb {
         GraphDb {
             labels: self.labels.clone(),
-            node_names: self.node_names.clone(),
-            node_index: self.node_index.clone(),
+            num_nodes: self.num_nodes,
+            names: self.names.clone(),
             num_edges: self.num_edges,
             out_offsets: self.in_offsets.clone(),
             out_adj: self.in_adj.clone(),
@@ -207,25 +295,36 @@ impl GraphDb {
     }
 
     /// Converts back into a builder (e.g. to extend a generated graph).
+    /// Node ids, names (or anonymity) and the alphabet carry over.
     pub fn into_builder(self) -> GraphBuilder {
-        let mut b = GraphBuilder::with_alphabet(self.labels.clone());
-        for name in &self.node_names {
-            b.node(name);
+        let edges: Vec<(NodeId, Symbol, NodeId)> = self.edges().collect();
+        GraphBuilder {
+            labels: self.labels,
+            names: self.names,
+            num_nodes: self.num_nodes,
+            edges,
         }
-        for (u, s, v) in self.edges() {
-            b.edge_ids(u, s, v);
-        }
-        b
     }
 }
 
 /// Mutable builder for [`GraphDb`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct GraphBuilder {
     labels: Interner,
-    node_names: Vec<String>,
-    node_index: FxHashMap<String, NodeId>,
+    names: NodeNames,
+    num_nodes: usize,
     edges: Vec<(NodeId, Symbol, NodeId)>,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        GraphBuilder {
+            labels: Interner::new(),
+            names: NodeNames::Named(NameArena::new()),
+            num_nodes: 0,
+            edges: Vec::new(),
+        }
+    }
 }
 
 impl GraphBuilder {
@@ -240,6 +339,29 @@ impl GraphBuilder {
         Self {
             labels,
             ..Self::default()
+        }
+    }
+
+    /// An **anonymous** builder pre-populated with `n` nameless nodes
+    /// `0..n` — the mode for generated workloads at scale, where names
+    /// would only duplicate the dense ids (and at `|V| = 10⁶` cost tens of
+    /// MB plus millions of interner probes during construction). Edges are
+    /// added by id ([`Self::edge_ids`]); the name-based [`Self::node`] /
+    /// [`Self::edge`] APIs panic in this mode.
+    pub fn anonymous(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "node ids are u32");
+        GraphBuilder {
+            names: NodeNames::Anonymous,
+            num_nodes: n,
+            ..Self::default()
+        }
+    }
+
+    /// Like [`Self::anonymous`], reusing an existing alphabet.
+    pub fn anonymous_with_alphabet(n: usize, labels: Interner) -> Self {
+        GraphBuilder {
+            labels,
+            ..Self::anonymous(n)
         }
     }
 
@@ -258,26 +380,42 @@ impl GraphBuilder {
         self.labels.intern(name)
     }
 
-    /// Returns the node named `name`, creating it if needed.
+    /// Returns the node named `name`, creating it if needed. Panics on an
+    /// [`Self::anonymous`] builder (names would silently diverge from the
+    /// id space); use [`Self::fresh_node`] / [`Self::edge_ids`] there.
     pub fn node(&mut self, name: &str) -> NodeId {
-        if let Some(&id) = self.node_index.get(name) {
-            return id;
+        match &mut self.names {
+            NodeNames::Named(arena) => {
+                let id = arena.intern(name);
+                debug_assert!((id as usize) <= self.num_nodes, "arena/id drift");
+                self.num_nodes = self.num_nodes.max(id as usize + 1);
+                NodeId(id)
+            }
+            NodeNames::Anonymous => {
+                panic!("named node `{name}` on an anonymous GraphBuilder")
+            }
         }
-        let id = NodeId(self.node_names.len() as u32);
-        self.node_names.push(name.to_owned());
-        self.node_index.insert(name.to_owned(), id);
-        id
     }
 
-    /// Creates a fresh anonymous node.
+    /// Creates a fresh node: a nameless id on anonymous builders, a
+    /// `_n{id}`-named node otherwise.
     pub fn fresh_node(&mut self) -> NodeId {
-        let name = format!("_n{}", self.node_names.len());
-        self.node(&name)
+        match self.names {
+            NodeNames::Named(_) => {
+                let name = format!("_n{}", self.num_nodes);
+                self.node(&name)
+            }
+            NodeNames::Anonymous => {
+                assert!(self.num_nodes < u32::MAX as usize, "node ids are u32");
+                self.num_nodes += 1;
+                NodeId(self.num_nodes as u32 - 1)
+            }
+        }
     }
 
     /// Number of nodes so far.
     pub fn num_nodes(&self) -> usize {
-        self.node_names.len()
+        self.num_nodes
     }
 
     /// Adds the edge `u -label-> v` by names, creating nodes/labels as needed.
@@ -290,7 +428,7 @@ impl GraphBuilder {
 
     /// Adds the edge by pre-interned ids.
     pub fn edge_ids(&mut self, u: NodeId, label: Symbol, v: NodeId) -> &mut Self {
-        debug_assert!(u.index() < self.node_names.len() && v.index() < self.node_names.len());
+        debug_assert!(u.index() < self.num_nodes && v.index() < self.num_nodes);
         self.edges.push((u, label, v));
         self
     }
@@ -298,7 +436,7 @@ impl GraphBuilder {
     /// Finalises into an immutable, fully indexed [`GraphDb`].
     /// Duplicate edges are deduplicated.
     pub fn finish(mut self) -> GraphDb {
-        let n = self.node_names.len();
+        let n = self.num_nodes;
         // Deduplicate in (source, label, target) order — this is also the
         // order the node-major flat arrays want.
         self.edges.sort_unstable_by_key(|&(u, l, v)| (u, l, v));
@@ -341,8 +479,8 @@ impl GraphBuilder {
 
         GraphDb {
             labels: self.labels,
-            node_names: self.node_names,
-            node_index: self.node_index,
+            num_nodes: n,
+            names: self.names,
             num_edges,
             out_offsets,
             out_adj,
@@ -429,6 +567,51 @@ mod tests {
         let named = b.node("hello");
         assert_ne!(named, n1);
         assert_eq!(b.num_nodes(), 3);
+    }
+
+    #[test]
+    fn anonymous_graphs_have_ids_but_no_names() {
+        let mut b = GraphBuilder::anonymous(4);
+        let a = b.label("a");
+        b.edge_ids(NodeId(0), a, NodeId(1));
+        b.edge_ids(NodeId(1), a, NodeId(3));
+        let extra = b.fresh_node();
+        assert_eq!(extra, NodeId(4));
+        let g = b.finish();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.is_named());
+        assert_eq!(g.name_bytes(), 0, "anonymous mode stores zero name bytes");
+        assert_eq!(g.node_by_name("v0"), None);
+        assert_eq!(g.try_node_name(NodeId(0)), None);
+        assert_eq!(g.display_name(NodeId(3)), "#3");
+        assert!(g.has_edge(NodeId(0), a, NodeId(1)));
+        // Reversal and the builder round-trip preserve anonymity.
+        let r = g.reversed();
+        assert!(r.has_edge(NodeId(1), a, NodeId(0)) && !r.is_named());
+        let back = g.clone().into_builder().finish();
+        assert!(!back.is_named());
+        assert_eq!(back.num_nodes(), 5);
+        assert!(back.has_edge(NodeId(1), a, NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "anonymous GraphBuilder")]
+    fn anonymous_builder_rejects_named_nodes() {
+        GraphBuilder::anonymous(2).node("u");
+    }
+
+    #[test]
+    fn named_graphs_store_names_in_one_arena() {
+        let g = diamond();
+        assert!(g.is_named());
+        assert_eq!(g.display_name(g.node_by_name("u").unwrap()), "u");
+        assert_eq!(g.try_node_name(g.node_by_name("v").unwrap()), Some("v"));
+        // 4 single-byte names: the arena term is offsets + hash table +
+        // 4 bytes of payload — far under a per-name String layout, and
+        // strictly positive (the contract is "one arena", not "free").
+        let bytes = g.name_bytes();
+        assert!(bytes > 0 && bytes < 4 * 64, "arena bytes: {bytes}");
     }
 
     #[test]

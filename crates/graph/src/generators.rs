@@ -6,7 +6,7 @@
 //! style), cliques (hardness instances), and labelled Erdős–Rényi random
 //! graphs (data-complexity scaling).
 
-use crate::db::{GraphBuilder, GraphDb};
+use crate::db::{GraphBuilder, GraphDb, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -131,6 +131,29 @@ pub fn zipf_label_graph(
         let t = rng.gen_range(0..total);
         let l = cum.partition_point(|&c| c <= t);
         b.edge_ids(u, labels[l], v);
+    }
+    b.finish()
+}
+
+/// An **anonymous** labelled random graph for node-count scaling: `n`
+/// nameless nodes (pure dense ids — zero name storage, see
+/// [`GraphBuilder::anonymous`]), `m` uniform edges over `num_labels`
+/// uniform labels `l0, l1, …`.
+///
+/// This is the `|V| = 10⁶`-and-up workload generator: at that scale
+/// `v{i}`-style names cost tens of MB and millions of interner probes
+/// while carrying no information the id doesn't, so the builder skips the
+/// name path entirely — construction is one RNG stream straight into
+/// `edge_ids`.
+pub fn anonymous_random_graph(n: usize, m: usize, num_labels: usize, seed: u64) -> GraphDb {
+    assert!(n >= 1 && num_labels >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::anonymous(n);
+    let labels: Vec<_> = (0..num_labels).map(|l| b.label(&format!("l{l}"))).collect();
+    for _ in 0..m {
+        let u = NodeId(rng.gen_range(0..n) as u32);
+        let v = NodeId(rng.gen_range(0..n) as u32);
+        b.edge_ids(u, labels[rng.gen_range(0..num_labels)], v);
     }
     b.finish()
 }

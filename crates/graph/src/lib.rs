@@ -21,4 +21,4 @@ pub mod rpq;
 pub mod two_way;
 
 pub use csr::LabelCsr;
-pub use db::{GraphBuilder, GraphDb, NodeId};
+pub use db::{GraphBuilder, GraphDb, NodeId, NodeNames};

@@ -18,12 +18,54 @@
 //! *internal* nodes of the path (endpoints are exempt). This is exactly the
 //! hook the query-injective evaluator needs to keep paths of different atoms
 //! internally disjoint.
+//!
+//! # The O(touched) memory contract at `|V| = 10⁶`
+//!
+//! Everything on the standard-semantics materialisation path is sized by
+//! what a sweep or relation actually **touches**, never by `|V|` alone:
+//!
+//! * [`ReachScratch`] visited sets are density-adaptive — a sparse
+//!   epoch-stamped map until a sweep has visited `universe / 8` states,
+//!   the classic dense stamp array after (allocated at most once, shrunk
+//!   back by [`ReachScratch::shrink_to`]). A low-output sweep over a
+//!   `10⁶ · |Q|` product costs bytes proportional to its visit count, per
+//!   worker thread.
+//! * [`Relation::finish_reverse`] assembles the backward index in
+//!   `O(E_rel + touched)`: the forward-row installers record touched
+//!   source/target ids, and the degree, layout and fill passes run over a
+//!   compact touched-id remap instead of scanning `0..|V|` three times
+//!   ([`Relation::assembly_ops`] is the pinned observable).
+//! * All materialiser entry points ([`rpq_reach_all`],
+//!   [`rpq_reach_all_parallel`], [`rpq_relation_auto`], the blocked
+//!   closure) share those two mechanisms, so no executor path regresses to
+//!   per-relation `O(|V|)` scans; [`rpq_relation_auto_with_stats`] reports
+//!   the per-materialisation [`MaterialiseStats`] the scale benchmarks
+//!   persist.
+//!
+//! Node-name storage (the third `O(|V|)` wall at this scale) is handled in
+//! [`crate::db`]: arena-interned names or the fully name-free `Anonymous`
+//! mode for generated workloads.
 
 use crate::db::{GraphDb, NodeId};
 use crpq_automata::{Nfa, StateId};
-use crpq_util::{BitSet, FxHashSet, Symbol};
+use crpq_util::{BitSet, FxHashMap, FxHashSet, Symbol};
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
+
+/// A sweep upgrades from the sparse visited map to the dense stamp array
+/// once it has visited more than `universe / SPARSE_VISIT_FACTOR` states:
+/// a map entry costs ~8–16 bytes against the stamp's 4, so past this point
+/// the dense array is both smaller *and* faster, and once allocated it is
+/// reused (epoch reset is O(1)) by every later sweep of at least… any size
+/// it covers.
+const SPARSE_VISIT_FACTOR: usize = 8;
+
+/// Default stamp-array retention budget of [`ReachScratch::shrink_to`]
+/// callers (the relation catalog applies it after every materialisation):
+/// up to 2²⁰ stamps (4 MB per array) stay allocated for reuse; anything a
+/// one-off huger graph forced beyond that is released instead of pinning
+/// worker memory for the rest of the process.
+pub const SCRATCH_RETAIN_STATES: usize = 1 << 20;
 
 /// Reusable scratch buffers for the product-automaton BFS.
 ///
@@ -34,12 +76,56 @@ use std::ops::ControlFlow;
 /// visited set in O(1) with an epoch counter: a product state is *visited*
 /// iff its stamp equals the current epoch, and bumping the epoch invalidates
 /// every stamp at once.
+///
+/// # Density-adaptive visited set — the O(touched) sweep contract
+///
+/// The visited set is **density-adaptive**, like [`NodeSet`] and relation
+/// rows: a sweep starts on a sparse epoch-stamped hash map (`state →
+/// epoch`) and only migrates to the dense `|V|·|Q|` stamp array once it
+/// has visited more than a [`1/8`](SPARSE_VISIT_FACTOR) fraction of the
+/// product. A low-output sweep on a `10⁶ · |Q|` product therefore costs
+/// memory proportional to the states it actually touches — it never pays
+/// the multi-MB stamp allocation, which in the pre-adaptive layout was
+/// charged *per worker thread* of the parallel materialiser. The dense
+/// array is allocated at most once per scratch (first overflow) and
+/// afterwards serves any sweep it covers at the old O(1)-reset cost;
+/// [`Self::shrink_to`] releases it when a one-off huge graph would
+/// otherwise pin the high-water mark forever.
+///
+/// Epoch wraparound (every 2³² sweeps) invalidates, not zeroes: the dense
+/// arrays are re-trusted lazily, clearing only the prefix the next sweep
+/// actually reads (`trusted_*` tracks the clean prefix) instead of the
+/// full high-water capacity.
 #[derive(Clone, Debug, Default)]
 pub struct ReachScratch {
     stamps: Vec<u32>,
     /// Per-graph-node stamps for O(1) "already in the output?" checks
     /// during collecting sweeps ([`rpq_reach_collect`]).
     node_stamps: Vec<u32>,
+    /// Prefix of `stamps` / `node_stamps` holding no pre-wrap garbage
+    /// (entries are 0 or carry post-wrap epochs). Reset to 0 at wrap,
+    /// re-extended lazily to exactly the prefix a sweep reads.
+    trusted_states: usize,
+    trusted_nodes: usize,
+    /// Sparse visited maps (`id → epoch`) for sweeps below the dense
+    /// threshold. Entries persist across sweeps (stale epochs read as
+    /// unvisited) and are purged once they dominate the live ones, so a
+    /// long run of small sweeps keeps the maps at O(per-sweep visits) —
+    /// the maps are dropped entirely on migration and at wrap.
+    sparse_states: FxHashMap<u32, u32>,
+    sparse_nodes: FxHashMap<u32, u32>,
+    /// States/nodes visited by the **current** sweep (the densification
+    /// trigger — stale map entries must not count toward it, or a long
+    /// run of tiny sweeps would eventually migrate to dense arrays it
+    /// never needed).
+    live_states: usize,
+    live_nodes: usize,
+    /// Universe sizes of the current sweep (set by `begin`).
+    state_universe: usize,
+    node_universe: usize,
+    /// Whether the current sweep reads the dense arrays.
+    dense_states: bool,
+    dense_nodes: bool,
     epoch: u32,
     queue: VecDeque<(NodeId, StateId)>,
 }
@@ -51,39 +137,189 @@ impl ReachScratch {
     }
 
     /// Prepares for a sweep over `size` product states (and up to `nodes`
-    /// graph nodes): grows the stamp arrays if needed and invalidates all
-    /// previous stamps.
+    /// graph nodes): invalidates all previous stamps and picks the visited
+    /// representation (dense if the stamp arrays already cover the sweep —
+    /// their reset is O(1) — sparse otherwise).
     fn begin(&mut self, size: usize, nodes: usize) {
-        if self.stamps.len() < size {
-            self.stamps.resize(size, 0);
-        }
-        if self.node_stamps.len() < nodes {
-            self.node_stamps.resize(nodes, 0);
-        }
+        self.state_universe = size;
+        self.node_universe = nodes;
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
-            // Wrapped: stamps from 2³² sweeps ago could alias. Hard reset.
-            self.stamps.iter_mut().for_each(|s| *s = 0);
-            self.node_stamps.iter_mut().for_each(|s| *s = 0);
+            // Wrapped: stamps from 2³² sweeps ago could alias the fresh
+            // epoch. Invalidate the dense arrays lazily (only the prefix
+            // the next sweeps read is cleared, in `retrust_*`) and drop
+            // the sparse entries outright.
+            self.trusted_states = 0;
+            self.trusted_nodes = 0;
+            self.sparse_states.clear();
+            self.sparse_nodes.clear();
             self.epoch = 1;
         }
+        self.dense_states = self.stamps.len() >= size;
+        if self.dense_states {
+            self.retrust_states(size);
+        } else {
+            assert!(
+                size <= u32::MAX as usize,
+                "product exceeds u32 sweep state ids — shard the graph"
+            );
+        }
+        self.dense_nodes = self.node_stamps.len() >= nodes;
+        if self.dense_nodes {
+            self.retrust_nodes(nodes);
+        }
+        self.live_states = 0;
+        self.live_nodes = 0;
         self.queue.clear();
+    }
+
+    /// Zeroes the (post-wrap) untrusted gap of `stamps` up to `upto`.
+    fn retrust_states(&mut self, upto: usize) {
+        if self.trusted_states < upto {
+            self.stamps[self.trusted_states..upto].fill(0);
+            self.trusted_states = upto;
+        }
+    }
+
+    /// Zeroes the (post-wrap) untrusted gap of `node_stamps` up to `upto`.
+    fn retrust_nodes(&mut self, upto: usize) {
+        if self.trusted_nodes < upto {
+            self.node_stamps[self.trusted_nodes..upto].fill(0);
+            self.trusted_nodes = upto;
+        }
     }
 
     /// Marks `state` visited; returns `true` if it was not visited yet.
     #[inline]
     fn visit(&mut self, state: usize) -> bool {
-        let fresh = self.stamps[state] != self.epoch;
-        self.stamps[state] = self.epoch;
-        fresh
+        if self.dense_states {
+            let fresh = self.stamps[state] != self.epoch;
+            self.stamps[state] = self.epoch;
+            return fresh;
+        }
+        match self.sparse_states.insert(state as u32, self.epoch) {
+            Some(e) if e == self.epoch => false,
+            _ => {
+                self.live_states += 1;
+                if self.live_states * SPARSE_VISIT_FACTOR >= self.state_universe {
+                    self.densify_states();
+                } else if self.sparse_states.len() > 4 * self.live_states + 1024 {
+                    // Mostly stale entries from earlier sweeps: purge them
+                    // (amortised against the inserts that built them) so
+                    // the map tracks per-sweep visits, not their union.
+                    let epoch = self.epoch;
+                    self.sparse_states.retain(|_, e| *e == epoch);
+                }
+                true
+            }
+        }
     }
 
     /// Marks graph node `v` emitted; returns `true` on first emission.
     #[inline]
     fn visit_node(&mut self, v: usize) -> bool {
-        let fresh = self.node_stamps[v] != self.epoch;
-        self.node_stamps[v] = self.epoch;
-        fresh
+        if self.dense_nodes {
+            let fresh = self.node_stamps[v] != self.epoch;
+            self.node_stamps[v] = self.epoch;
+            return fresh;
+        }
+        match self.sparse_nodes.insert(v as u32, self.epoch) {
+            Some(e) if e == self.epoch => false,
+            _ => {
+                self.live_nodes += 1;
+                if self.live_nodes * SPARSE_VISIT_FACTOR >= self.node_universe {
+                    self.densify_nodes();
+                } else if self.sparse_nodes.len() > 4 * self.live_nodes + 1024 {
+                    let epoch = self.epoch;
+                    self.sparse_nodes.retain(|_, e| *e == epoch);
+                }
+                true
+            }
+        }
+    }
+
+    /// Migrates the current sweep's visited states into the dense stamp
+    /// array (growing it to the sweep's universe) and drops the map. Runs
+    /// at most once per universe size; later sweeps go dense from `begin`.
+    #[cold]
+    fn densify_states(&mut self) {
+        let size = self.state_universe;
+        if self.stamps.len() < size {
+            self.stamps.resize(size, 0);
+            // The freshly appended entries are zero; only a post-wrap gap
+            // below the old length can be untrusted.
+        }
+        self.retrust_states(size);
+        let epoch = self.epoch;
+        for (&s, &e) in &self.sparse_states {
+            // Stale entries (older epochs, possibly from larger universes)
+            // are dead weight — migrate only this sweep's visits.
+            if e == epoch {
+                self.stamps[s as usize] = epoch;
+            }
+        }
+        self.sparse_states = FxHashMap::default();
+        self.dense_states = true;
+    }
+
+    /// Node-stamp counterpart of [`Self::densify_states`].
+    #[cold]
+    fn densify_nodes(&mut self) {
+        let size = self.node_universe;
+        if self.node_stamps.len() < size {
+            self.node_stamps.resize(size, 0);
+        }
+        self.retrust_nodes(size);
+        let epoch = self.epoch;
+        for (&v, &e) in &self.sparse_nodes {
+            if e == epoch {
+                self.node_stamps[v as usize] = epoch;
+            }
+        }
+        self.sparse_nodes = FxHashMap::default();
+        self.dense_nodes = true;
+    }
+
+    /// Approximate heap bytes currently held (stamp arrays, sparse visited
+    /// maps, work queue) — the per-worker term the scale benchmarks record
+    /// as `scratch_bytes`.
+    pub fn heap_bytes(&self) -> usize {
+        let map = |m: &FxHashMap<u32, u32>| m.capacity() * (std::mem::size_of::<(u32, u32)>() + 1);
+        4 * (self.stamps.capacity() + self.node_stamps.capacity())
+            + map(&self.sparse_states)
+            + map(&self.sparse_nodes)
+            + self.queue.capacity() * std::mem::size_of::<(NodeId, StateId)>()
+    }
+
+    /// Releases memory beyond `max_states` entries per buffer (stamp
+    /// arrays, sparse visited maps, work queue): the retention policy
+    /// that keeps a one-off huge graph from pinning worker memory
+    /// forever. Buffers **within** budget are left untouched — this is
+    /// called after every catalog materialisation, and trimming a warm
+    /// in-budget buffer would just re-pay its growth on the next atom.
+    /// The scratch stays fully usable either way; an over-budget sweep
+    /// simply re-grows (or stays on the sparse path, if it touches
+    /// little). [`SCRATCH_RETAIN_STATES`] is the workspace default budget.
+    pub fn shrink_to(&mut self, max_states: usize) {
+        if self.stamps.len() > max_states {
+            self.stamps.truncate(max_states);
+            self.stamps.shrink_to_fit();
+            self.trusted_states = self.trusted_states.min(max_states);
+        }
+        if self.node_stamps.len() > max_states {
+            self.node_stamps.truncate(max_states);
+            self.node_stamps.shrink_to_fit();
+            self.trusted_nodes = self.trusted_nodes.min(max_states);
+        }
+        if self.sparse_states.capacity() > max_states {
+            self.sparse_states = FxHashMap::default();
+        }
+        if self.sparse_nodes.capacity() > max_states {
+            self.sparse_nodes = FxHashMap::default();
+        }
+        if self.queue.capacity() > max_states {
+            self.queue = VecDeque::new();
+        }
     }
 
     /// Test-only: forces the epoch counter, so wraparound (2³² sweeps)
@@ -666,6 +902,19 @@ pub struct Relation {
     len: usize,
     sources: BitSet,
     targets: BitSet,
+    /// Sources with a non-empty forward row, in installation order —
+    /// recorded by the `set_forward_row_*` installers so that
+    /// [`Self::finish_reverse`] can assemble the backward index without a
+    /// single `0..n` scan. Drained (and the capacity released) by
+    /// `finish_reverse`.
+    touched_sources: Vec<u32>,
+    /// Distinct targets, in first-touch order (deduplicated against the
+    /// `targets` bitset on insert). Also drained by `finish_reverse`.
+    touched_targets: Vec<u32>,
+    /// Loop iterations of the last `finish_reverse` — the observable the
+    /// O(E_rel + touched) assembly contract is pinned by (regression
+    /// tests assert it stays ≪ |V| on sparse relations over huge graphs).
+    assembly_ops: usize,
 }
 
 /// Equality is **semantic** — same pair set, regardless of row
@@ -691,6 +940,9 @@ impl Relation {
             len: 0,
             sources: BitSet::new(n),
             targets: BitSet::new(n),
+            touched_sources: Vec::new(),
+            touched_targets: Vec::new(),
+            assembly_ops: 0,
         }
     }
 
@@ -761,6 +1013,16 @@ impl Relation {
         })
     }
 
+    /// Records `src` as touched and folds `v` into the target set /
+    /// touched-target list — the bookkeeping every forward-row installer
+    /// shares so `finish_reverse` needs no `0..n` scan.
+    #[inline]
+    fn touch_target(&mut self, v: usize) {
+        if self.targets.insert(v) {
+            self.touched_targets.push(v as u32);
+        }
+    }
+
     /// Installs the forward row of `src` directly from backing words (bit
     /// `i` of word `w` = node `w·64 + i`), as produced by the closure
     /// materialiser's flat reachability matrix.
@@ -772,10 +1034,20 @@ impl Relation {
             return;
         }
         self.sources.insert(src.index());
+        self.touched_sources.push(src.0);
         if dense_row(k, n) {
+            for (wi, &w) in words.iter().enumerate() {
+                let mut w = w;
+                while w != 0 {
+                    self.touch_target(wi * 64 + w.trailing_zeros() as usize);
+                    w &= w - 1;
+                }
+            }
             self.fwd
                 .push_dense(src.index(), BitSet::from_words(words.to_vec(), n));
         } else {
+            // One bit-extraction walk serves both the sparse row and the
+            // touched-target bookkeeping.
             buf.clear();
             for (wi, &w) in words.iter().enumerate() {
                 let mut w = w;
@@ -783,6 +1055,9 @@ impl Relation {
                     buf.push((wi * 64) as u32 + w.trailing_zeros());
                     w &= w - 1;
                 }
+            }
+            for &v in buf.iter() {
+                self.touch_target(v as usize);
             }
             self.fwd.push_sparse(src.index(), buf);
         }
@@ -798,6 +1073,10 @@ impl Relation {
             return;
         }
         self.sources.insert(src.index());
+        self.touched_sources.push(src.0);
+        for &v in ids {
+            self.touch_target(v as usize);
+        }
         if dense_row(k, n) {
             let mut bits = BitSet::new(n);
             for &v in ids {
@@ -818,6 +1097,10 @@ impl Relation {
             return;
         }
         self.sources.insert(src.index());
+        self.touched_sources.push(src.0);
+        for v in bits.iter() {
+            self.touch_target(v);
+        }
         self.fwd.push_dense(src.index(), bits);
     }
 
@@ -836,55 +1119,118 @@ impl Relation {
         // sources + targets
     }
 
-    /// Builds the backward index from the installed forward rows and fills
-    /// the cached target set: one counting pass sizes every column (and
-    /// decides its representation), one fill pass places the ids —
-    /// `O(len)` total, no per-column allocation.
+    /// Loop iterations of the last backward-index assembly
+    /// ([`Self::finish_reverse`]): `O(E_rel + touched sources + touched
+    /// targets)` by construction, with **no** term scaling in `|V|`. The
+    /// scale regression tests pin this on a 10⁶-node graph whose relation
+    /// touches ~10² nodes.
+    pub fn assembly_ops(&self) -> usize {
+        self.assembly_ops
+    }
+
+    /// Builds the backward index from the installed forward rows, in
+    /// `O(E_rel + touched)`: the installers recorded the touched source
+    /// and target ids, so the degree pass, the column layout pass and the
+    /// fill pass all run over the touched sets — never `0..n`. The `deg` /
+    /// `cursor` arrays are sized over a compact touched-target remap
+    /// (direct-indexed only when the relation is dense enough to be Ω(|V|)
+    /// anyway), and the pre-allocated `rev.kind` array from
+    /// [`Relation::empty`] is reused rather than rebuilt, so a relation
+    /// touching k of 10⁶ nodes assembles its backward index in O(k·d̄),
+    /// not O(10⁶).
     fn finish_reverse(&mut self) {
         let n = self.num_nodes();
-        let mut deg = vec![0u32; n];
-        for u in 0..n {
-            for v in self.fwd.row(u).iter() {
-                deg[v] += 1;
+        let mut ops = 0usize;
+        // Install order is arbitrary (parallel workers, sampled probes);
+        // ascending source order is what keeps every column sorted below.
+        self.touched_sources.sort_unstable();
+        debug_assert!(
+            self.touched_sources.windows(2).all(|w| w[0] < w[1]),
+            "forward row installed twice"
+        );
+        let mut tgt = std::mem::take(&mut self.touched_targets);
+        tgt.sort_unstable();
+        let t = tgt.len();
+
+        // Compact remap target id → index into `tgt`. Past the usual
+        // k·32 ≥ n parity point a direct-indexed table is cheaper than
+        // per-edge binary searches (and the relation is Ω(|V|) there
+        // regardless); below it the remap costs O(t) memory and
+        // O(log t) per edge.
+        let direct: Option<Vec<u32>> = if t * 32 >= n {
+            let mut m = vec![0u32; n];
+            for (i, &v) in tgt.iter().enumerate() {
+                m[v as usize] = i as u32;
+            }
+            Some(m)
+        } else {
+            None
+        };
+        let remap = |v: usize| -> usize {
+            match &direct {
+                Some(m) => m[v] as usize,
+                None => tgt
+                    .binary_search(&(v as u32))
+                    .expect("target missing from touched set"),
+            }
+        };
+
+        // Degree pass over the touched sources' rows only.
+        let mut deg = vec![0u32; t];
+        for &u in &self.touched_sources {
+            for v in self.fwd.row(u as usize).iter() {
+                deg[remap(v)] += 1;
+                ops += 1;
             }
         }
-        let mut rev = RowStore::empty(n);
-        let mut cursor = vec![0u32; n];
+
+        // Column layout: representation choice + cursor per touched
+        // target. `rev` was pre-sized by `Relation::empty` — untouched
+        // entries keep their empty-row kind.
+        let mut rev = std::mem::replace(&mut self.rev, RowStore::empty(0));
+        rev.flat.clear();
+        rev.dense.clear();
+        let mut cursor = vec![0u32; t];
         let mut flat_len: u64 = 0;
-        for v in 0..n {
-            let d = deg[v] as usize;
-            if d == 0 {
-                continue;
-            }
-            self.targets.insert(v);
+        for (i, &v) in tgt.iter().enumerate() {
+            ops += 1;
+            let d = deg[i] as usize;
+            debug_assert!(d > 0, "touched target with zero degree");
             if dense_row(d, n) {
-                rev.kind[v] = RowKind::Dense {
+                rev.kind[v as usize] = RowKind::Dense {
                     idx: rev.dense.len() as u32,
                 };
                 rev.dense.push(BitSet::new(n));
             } else {
-                let (start, end) = pack_sparse_span(flat_len, u64::from(deg[v]));
-                rev.kind[v] = RowKind::Sparse { start, end };
-                cursor[v] = start;
+                let (start, end) = pack_sparse_span(flat_len, u64::from(deg[i]));
+                rev.kind[v as usize] = RowKind::Sparse { start, end };
+                cursor[i] = start;
                 flat_len = end as u64;
             }
         }
-        rev.flat = vec![0u32; flat_len as usize];
-        for u in 0..n {
-            // Iterating u in ascending order keeps every column sorted.
-            for v in self.fwd.row(u).iter() {
+        rev.flat.resize(flat_len as usize, 0);
+
+        // Fill pass, ascending source order keeps every column sorted.
+        for &u in &self.touched_sources {
+            for v in self.fwd.row(u as usize).iter() {
+                ops += 1;
                 match rev.kind[v] {
                     RowKind::Sparse { .. } => {
-                        rev.flat[cursor[v] as usize] = u as u32;
-                        cursor[v] += 1;
+                        let i = remap(v);
+                        rev.flat[cursor[i] as usize] = u;
+                        cursor[i] += 1;
                     }
                     RowKind::Dense { idx } => {
-                        rev.dense[idx as usize].insert(u);
+                        rev.dense[idx as usize].insert(u as usize);
                     }
                 }
             }
         }
         self.rev = rev;
+        self.assembly_ops = ops;
+        // The touched lists have served their purpose; release them so a
+        // long-lived catalog relation doesn't carry assembly scaffolding.
+        self.touched_sources = Vec::new();
     }
 }
 
@@ -930,15 +1276,35 @@ pub fn rpq_reach_all_parallel(
         return rpq_reach_all(g, nfa, sources.iter().copied(), &mut ReachScratch::new());
     }
     let mut rel = Relation::empty(g.num_nodes());
-    for (src, ids) in parallel_rows(g, nfa, sources, threads) {
+    let (rows, _scratch_bytes) = parallel_rows(g, nfa, sources, threads);
+    for (src, ids) in rows {
         rel.set_forward_row_ids(src, &ids);
     }
     rel.finish_reverse();
     rel
 }
 
+/// Observability record of one relation materialisation — what the scale
+/// benchmarks persist next to wall clock and relation bytes so scratch
+/// regressions (a sweep path silently re-growing dense stamp arrays per
+/// worker) show up in the baselines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaterialiseStats {
+    /// Peak heap bytes of the per-sweep scratch (stamp arrays, sparse
+    /// visited maps, queues), summed across the calling thread and every
+    /// worker that contributed to the materialisation.
+    pub scratch_bytes: usize,
+    /// Backward-assembly loop iterations ([`Relation::assembly_ops`]).
+    pub assembly_ops: usize,
+}
+
+/// One materialised forward row: `(source, sorted target ids)` — the
+/// hand-off format of the parallel materialiser's worker threads.
+type SourceRow = (NodeId, Vec<u32>);
+
 /// Runs the per-source sweeps for `sources` across scoped worker threads
-/// (one [`ReachScratch`] each) and returns the rows in source order.
+/// (one [`ReachScratch`] each) and returns the rows in source order, plus
+/// the summed final scratch heap bytes across the workers.
 ///
 /// `threads` must be an **already-resolved** worker count (`≥ 1`, from
 /// [`effective_threads`] at the public entry point) — this helper only
@@ -948,31 +1314,36 @@ fn parallel_rows(
     nfa: &Nfa,
     sources: &[NodeId],
     threads: usize,
-) -> Vec<(NodeId, Vec<u32>)> {
+) -> (Vec<SourceRow>, usize) {
     debug_assert!(threads >= 1, "threads must be resolved by the caller");
     let threads = threads.min(sources.len().max(1));
     let chunk = sources.len().div_ceil(threads);
     let chunks: Vec<&[NodeId]> = sources.chunks(chunk.max(1)).collect();
-    let per_chunk: Vec<Vec<(NodeId, Vec<u32>)>> = std::thread::scope(|scope| {
+    let per_chunk: Vec<(Vec<SourceRow>, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
                 scope.spawn(move || {
                     let mut scratch = ReachScratch::new();
                     let mut buf: Vec<u32> = Vec::new();
-                    chunk
+                    let rows = chunk
                         .iter()
                         .map(|&src| {
                             rpq_reach_collect(g, nfa, src, &mut scratch, &mut buf);
                             (src, buf.clone())
                         })
-                        .collect()
+                        .collect();
+                    (rows, scratch.heap_bytes())
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    per_chunk.into_iter().flatten().collect()
+    let scratch_bytes = per_chunk.iter().map(|(_, b)| b).sum();
+    (
+        per_chunk.into_iter().flat_map(|(rows, _)| rows).collect(),
+        scratch_bytes,
+    )
 }
 
 /// Resolves a thread-count knob into a concrete worker count (`≥ 1`):
@@ -1050,6 +1421,19 @@ pub fn rpq_relation_auto(
     scratch: &mut ReachScratch,
     threads: usize,
 ) -> Relation {
+    rpq_relation_auto_with_stats(g, nfa, scratch, threads).0
+}
+
+/// [`rpq_relation_auto`] that additionally reports [`MaterialiseStats`]
+/// (peak sweep-scratch bytes across workers, backward-assembly ops) — the
+/// instrumented entry point of the relation catalog.
+pub fn rpq_relation_auto_with_stats(
+    g: &GraphDb,
+    nfa: &Nfa,
+    scratch: &mut ReachScratch,
+    threads: usize,
+) -> (Relation, MaterialiseStats) {
+    let mut stats = MaterialiseStats::default();
     let n = g.num_nodes();
     const SAMPLE: usize = 64;
     let sample = SAMPLE.min(n);
@@ -1081,7 +1465,10 @@ pub fn rpq_relation_auto(
         if projected > 4 * closure_bound {
             // The blocked closure degrades gracefully on any product size
             // (column blocks bound its matrix), so no memory gate here.
-            return rpq_relation_closure(g, nfa);
+            let rel = rpq_relation_closure(g, nfa);
+            stats.scratch_bytes = scratch.heap_bytes();
+            stats.assembly_ops = rel.assembly_ops();
+            return (rel, stats);
         }
     }
     // Remaining sources: everything not in the (sorted) sample.
@@ -1098,7 +1485,8 @@ pub fn rpq_relation_auto(
         .map(|v| NodeId(v as u32))
         .collect();
     if threads > 1 && rest.len() > SAMPLE {
-        let chunk_rows = parallel_rows(g, nfa, &rest, threads);
+        let (chunk_rows, worker_scratch_bytes) = parallel_rows(g, nfa, &rest, threads);
+        stats.scratch_bytes += worker_scratch_bytes;
         for (src, ids) in chunk_rows {
             rel.set_forward_row_ids(src, &ids);
         }
@@ -1109,7 +1497,9 @@ pub fn rpq_relation_auto(
         }
     }
     rel.finish_reverse();
-    rel
+    stats.scratch_bytes += scratch.heap_bytes();
+    stats.assembly_ops = rel.assembly_ops();
+    (rel, stats)
 }
 
 /// Materialises the full RPQ relation by **bitset closure over the
@@ -1465,6 +1855,9 @@ pub fn rpq_relation_pr1_dense(g: &GraphDb, nfa: &Nfa, scratch: &mut ReachScratch
         len,
         sources,
         targets,
+        touched_sources: Vec::new(),
+        touched_targets: Vec::new(),
+        assembly_ops: 0,
     }
 }
 
@@ -2256,6 +2649,174 @@ mod tests {
             let auto = rpq_relation_auto(&g, &nfa, &mut ReachScratch::new(), 1);
             assert_eq!(auto, per_source, "seed {seed} expr {expr}");
         }
+    }
+
+    #[test]
+    fn reverse_assembly_is_touched_bounded_on_million_node_graph() {
+        // The O(E_rel + touched) contract of `finish_reverse`: a relation
+        // over a 10⁶-node graph that touches ~10² nodes must assemble its
+        // backward index in ~10² operations — no pass may scan 0..|V|.
+        let n = 1_000_000;
+        let mut b = crate::db::GraphBuilder::anonymous(n);
+        let a = b.label("a");
+        // A 128-node `a`-chain buried in the big id space (offset so the
+        // touched ids are nowhere near a prefix), plus a far-away edge.
+        let base = 700_000u32;
+        for i in 0..128u32 {
+            b.edge_ids(NodeId(base + i), a, NodeId(base + i + 1));
+        }
+        b.edge_ids(NodeId(12), a, NodeId(999_999));
+        let g = b.finish();
+        let mut it = crpq_util::Interner::new();
+        it.intern("a");
+        let nfa = Nfa::from_regex(&crpq_automata::parse_regex("a a*", &mut it).unwrap());
+
+        // Sweep only the touched region (plus untouched sources, which
+        // must cost nothing): ~200 sources of 10⁶ nodes.
+        let sources: Vec<NodeId> = (0..64)
+            .map(NodeId)
+            .chain((base..base + 129).map(NodeId))
+            .collect();
+        let mut scratch = ReachScratch::new();
+        let rel = rpq_reach_all(&g, &nfa, sources.iter().copied(), &mut scratch);
+        // Chain closure: (129·128)/2 pairs + the stray edge.
+        assert_eq!(rel.len(), 129 * 128 / 2 + 1);
+        let ops = rel.assembly_ops();
+        assert!(
+            ops <= 4 * (rel.len() + 2 * 129),
+            "assembly ops {ops} not O(E_rel + touched) for E_rel = {}",
+            rel.len()
+        );
+        assert!(
+            ops < 100_000,
+            "assembly ops {ops} scale with |V|, not touched"
+        );
+        // The sweeps never visited more than the chain: the scratch must
+        // have stayed on its sparse path instead of allocating a
+        // |V|·|Q|-stamp dense array per worker.
+        assert!(
+            scratch.heap_bytes() < 1_000_000,
+            "scratch grew O(|V|): {} bytes",
+            scratch.heap_bytes()
+        );
+        // Backward rows are correct and sorted despite the compact remap.
+        assert_eq!(
+            rel.backward(NodeId(999_999)).iter().collect::<Vec<_>>(),
+            vec![12]
+        );
+        let mid = rel.backward(NodeId(base + 64));
+        assert_eq!(mid.len(), 64, "64 chain predecessors reach the midpoint");
+        let ids: Vec<usize> = mid.iter().collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "column not sorted");
+    }
+
+    #[test]
+    fn many_small_sweeps_never_densify_the_scratch() {
+        // 2·10⁴ sweeps over a 10⁶·|Q| product, each touching ~3 states:
+        // the *union* of visits is far past the densify threshold but no
+        // single sweep is. Stale map entries must be purged, not counted —
+        // otherwise a long materialisation run would migrate every worker
+        // to a multi-MB stamp array it never needed.
+        let n = 1_000_000;
+        let mut b = crate::db::GraphBuilder::anonymous(n);
+        let a = b.label("a");
+        for i in 0..20_000u32 {
+            b.edge_ids(NodeId(i * 37), a, NodeId(i * 37 + 1));
+        }
+        let g = b.finish();
+        let mut it = crpq_util::Interner::new();
+        it.intern("a");
+        let nfa = Nfa::from_regex(&crpq_automata::parse_regex("a a*", &mut it).unwrap());
+        let mut scratch = ReachScratch::new();
+        let mut out = Vec::new();
+        for i in 0..20_000u32 {
+            rpq_reach_collect(&g, &nfa, NodeId(i * 37), &mut scratch, &mut out);
+            assert_eq!(out, vec![i * 37 + 1], "sweep {i}");
+        }
+        assert!(
+            scratch.heap_bytes() < 256 * 1024,
+            "scratch accumulated {} bytes over tiny sweeps",
+            scratch.heap_bytes()
+        );
+    }
+
+    #[test]
+    fn adaptive_scratch_matches_dense_across_densities() {
+        // The sparse→dense visited migration must be invisible in results:
+        // run sweeps whose visit counts straddle the 1/8 threshold and
+        // compare against a scratch pre-forced onto the dense path.
+        for (seed, expr) in [(3u64, "a (a+b)*"), (9, "(a b)*"), (29, "a*")] {
+            let mut g = crate::generators::random_graph(500, 2000, &["a", "b"], seed);
+            let regex = crpq_automata::parse_regex(expr, g.alphabet_mut()).unwrap();
+            let nfa = Nfa::from_regex(&regex);
+            let mut fresh = ReachScratch::new(); // starts sparse
+            let mut out = Vec::new();
+            let mut expected = Vec::new();
+            for src in g.nodes() {
+                rpq_reach_collect(&g, &nfa, src, &mut fresh, &mut out);
+                // A brand-new scratch per sweep can also migrate, but at a
+                // different point in its lifetime; both must agree.
+                rpq_reach_collect(&g, &nfa, src, &mut ReachScratch::new(), &mut expected);
+                assert_eq!(out, expected, "seed {seed} expr {expr} src {src:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_shrink_to_releases_and_stays_usable() {
+        let mut g = crate::generators::labelled_cycle(2048, &["a"]);
+        let star = crpq_automata::parse_regex("a*", g.alphabet_mut()).unwrap();
+        let nfa = Nfa::from_regex(&star);
+        let mut scratch = ReachScratch::new();
+        let mut out = Vec::new();
+        rpq_reach_collect(&g, &nfa, NodeId(0), &mut scratch, &mut out);
+        assert_eq!(out.len(), 2048);
+        let grown = scratch.heap_bytes();
+        assert!(grown >= 2048 * 4, "cycle sweep should have gone dense");
+        scratch.shrink_to(64);
+        assert!(
+            scratch.heap_bytes() < grown / 4,
+            "shrink_to kept {} of {} bytes",
+            scratch.heap_bytes(),
+            grown
+        );
+        // Still correct after shrinking (re-grows or stays sparse).
+        rpq_reach_collect(&g, &nfa, NodeId(5), &mut scratch, &mut out);
+        assert_eq!(out.len(), 2048);
+        let small = crate::generators::labelled_path(10, &["a"]);
+        rpq_reach_collect(&small, &nfa, NodeId(0), &mut scratch, &mut out);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn scratch_epoch_wrap_partial_clear_is_safe_across_sizes() {
+        // The wrap reset clears only the prefix the next sweep reads; a
+        // *larger* sweep afterwards (same post-wrap era) must extend the
+        // cleared prefix, not trust stale stamps beyond it.
+        let mut small = crate::generators::labelled_cycle(64, &["a"]);
+        let star_small = crpq_automata::parse_regex("a*", small.alphabet_mut()).unwrap();
+        let nfa_small = Nfa::from_regex(&star_small);
+        let mut big = crate::generators::labelled_cycle(1024, &["a"]);
+        let star_big = crpq_automata::parse_regex("a*", big.alphabet_mut()).unwrap();
+        let nfa_big = Nfa::from_regex(&star_big);
+        let mut scratch = ReachScratch::new();
+        let mut out = Vec::new();
+        // Grow dense stamps to the big size with real (pre-wrap) epochs.
+        rpq_reach_collect(&big, &nfa_big, NodeId(0), &mut scratch, &mut out);
+        assert_eq!(out.len(), 1024);
+        // Wrap: the next `begin` resets to epoch 1 having cleared only the
+        // small sweep's prefix.
+        scratch.set_epoch_for_test(u32::MAX);
+        rpq_reach_collect(&small, &nfa_small, NodeId(0), &mut scratch, &mut out);
+        assert_eq!(out.len(), 64, "post-wrap small sweep");
+        // The big sweep now reads beyond the cleared prefix — stale
+        // stamps from the pre-wrap era must not read as visited.
+        rpq_reach_collect(&big, &nfa_big, NodeId(0), &mut scratch, &mut out);
+        assert_eq!(
+            out.len(),
+            1024,
+            "post-wrap big sweep truncated by stale stamps"
+        );
     }
 
     #[test]

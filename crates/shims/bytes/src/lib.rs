@@ -112,6 +112,15 @@ impl BytesMut {
         Self::default()
     }
 
+    /// An empty buffer with `capacity` bytes pre-reserved (mirror of
+    /// `bytes::BytesMut::with_capacity`) — callers that know the encoded
+    /// size up front avoid the doubling-regrowth cascade.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes {

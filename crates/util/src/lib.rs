@@ -15,7 +15,7 @@ pub mod unionfind;
 
 pub use bitset::BitSet;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use interner::{Interner, Symbol};
+pub use interner::{Interner, NameArena, Symbol};
 pub use matrix::BoolMatrix;
 pub use partition::{partitions_with, Partition};
 pub use unionfind::UnionFind;

@@ -91,6 +91,40 @@ pub fn label_rich_query(alphabet: &mut Interner) -> Crpq {
     .unwrap()
 }
 
+/// Number of (uniform) edge labels in the million-node scaling family.
+/// Small enough that per-label neighbour slices stay non-trivial, large
+/// enough that single-label subgraphs (mean degree `4/16 = 0.25`) stay
+/// subcritical — so `(lᵢ+lⱼ)*` closures are bushels of small components,
+/// not one giant SCC, and relation sizes track the touched sets.
+pub const MILLION_LABELS: usize = 16;
+
+/// The **million-node scaling graph**: `n` *anonymous* nodes (pure dense
+/// ids, zero name bytes — [`crpq_graph::generators::anonymous_random_graph`])
+/// and `4n` uniform edges over [`MILLION_LABELS`] labels. The scale
+/// benchmarks run it at `n = 10⁶` / `4·10⁶` edges, where the pre-arena
+/// layout (per-node `String` + name index, dense per-sweep stamp arrays,
+/// `O(|V|)` reverse-assembly passes per relation) extrapolated to ≥ 1.5 GB
+/// — the build+eval pipeline now has to hold index + names under ~200 MB.
+pub fn million_graph(n: usize, seed: u64) -> GraphDb {
+    crpq_graph::generators::anonymous_random_graph(n, 4 * n, MILLION_LABELS, seed)
+}
+
+/// The query evaluated over [`million_graph`]: the same anchored two-atom
+/// chain shape as [`label_rich_query`] —
+/// `Q(x, y) = x -[l0 (l1+l2)*]-> y ∧ y -[l2 (l3+l4)*]-> z` (z
+/// existential). Both atoms are `l`-anchored (non-nullable, so no ε-variant
+/// blowup), and the starred tails run over subcritical single-label
+/// subgraphs: every product sweep touches a small cone of the 10⁶·|Q|
+/// product, which is exactly the regime the sparse sweep scratch and the
+/// touched-set relation assembly are built for.
+pub fn million_query(alphabet: &mut Interner) -> Crpq {
+    parse_crpq(
+        "(x, y) <- x -[l0 (l1+l2)*]-> y, y -[l2 (l3+l4)*]-> z",
+        alphabet,
+    )
+    .unwrap()
+}
+
 /// A worst-case family for simple-path search: a ladder of diamonds where
 /// the number of simple paths is exponential in `n`.
 pub fn diamond_ladder(n: usize) -> GraphDb {
@@ -143,6 +177,24 @@ mod tests {
             let oracle =
                 crpq_core::eval_tuples_with(&q, &g, sem, crpq_core::EvalStrategy::Enumerate);
             assert_eq!(join, oracle, "label-rich join vs oracle under {sem}");
+        }
+    }
+
+    #[test]
+    fn million_family_scales_down_consistently() {
+        // Scaled-down instance of the |V| = 10⁶ family: anonymous nodes,
+        // uniform labels, same query shape. The join engine (sparse sweep
+        // scratch + touched-set relation assembly) must agree with the
+        // enumeration oracle under all three semantics.
+        let mut g = crpq_graph::generators::anonymous_random_graph(40, 160, MILLION_LABELS, 3);
+        assert!(!g.is_named());
+        assert_eq!(g.name_bytes(), 0);
+        let q = million_query(g.alphabet_mut());
+        for sem in Semantics::ALL {
+            let join = crpq_core::eval_tuples_with(&q, &g, sem, crpq_core::EvalStrategy::Join);
+            let oracle =
+                crpq_core::eval_tuples_with(&q, &g, sem, crpq_core::EvalStrategy::Enumerate);
+            assert_eq!(join, oracle, "million-family join vs oracle under {sem}");
         }
     }
 

@@ -105,7 +105,22 @@ fn cmd_eval(args: &[String]) -> Result<String, String> {
         let tuple: Vec<NodeId> = tuple_text
             .split(',')
             .map(|name| {
-                g.node_by_name(name.trim())
+                let name = name.trim();
+                // `#id` addresses nodes of anonymous (nameless) graphs —
+                // the same rendering the output paths use for them. Named
+                // graphs resolve strictly by name: a stored name may
+                // legitimately start with `#`, and an id typo must error,
+                // not silently test a different node.
+                let by_id = if g.is_named() {
+                    None
+                } else {
+                    name.strip_prefix('#').and_then(|id| {
+                        let id: u32 = id.parse().ok()?;
+                        ((id as usize) < g.num_nodes()).then_some(NodeId(id))
+                    })
+                };
+                by_id
+                    .or_else(|| g.node_by_name(name))
                     .ok_or_else(|| format!("unknown node `{name}`"))
             })
             .collect::<Result<_, _>>()?;
@@ -127,7 +142,7 @@ fn cmd_eval(args: &[String]) -> Result<String, String> {
                 Some(w) => {
                     let mut out = format!("({tuple_text}) ∈ Q(G); witness paths:\n");
                     for (i, path) in w.atom_paths.iter().enumerate() {
-                        let names: Vec<&str> = path.iter().map(|&n| g.node_name(n)).collect();
+                        let names: Vec<_> = path.iter().map(|&n| g.display_name(n)).collect();
                         out.push_str(&format!("  atom {i}: {}\n", names.join(" → ")));
                     }
                     out.trim_end().to_owned()
@@ -147,7 +162,7 @@ fn cmd_eval(args: &[String]) -> Result<String, String> {
     };
     let mut out = format!("{} result(s):\n", tuples.len());
     for t in &tuples {
-        let names: Vec<&str> = t.iter().map(|&n| g.node_name(n)).collect();
+        let names: Vec<_> = t.iter().map(|&n| g.display_name(n)).collect();
         out.push_str(&format!("  ({})\n", names.join(", ")));
     }
     Ok(out.trim_end().to_owned())
@@ -410,6 +425,19 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("unknown node"), "{err}");
+        // `#id` addressing is for anonymous graphs only: on a named graph
+        // it must not silently resolve to a node id.
+        let err = run(&a(&[
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            "(x, y) <- x -[a]-> y",
+            "--tuple",
+            "u,#0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown node"), "{err}");
     }
 
     #[test]
@@ -431,6 +459,55 @@ mod tests {
         assert!(out.contains("(u, w)"), "{out}");
         let out = run(&a(&["graph-info", "--graph", path.to_str().unwrap()])).unwrap();
         assert!(out.contains("nodes: 3"), "{out}");
+    }
+
+    #[test]
+    fn anonymous_snapshot_graphs_eval_with_id_addressing() {
+        use crpq::graph::format::to_binary;
+        use crpq::graph::{GraphBuilder, NodeId};
+        let dir = std::env::temp_dir().join("crpq_cli_test_anon");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut b = GraphBuilder::anonymous(3);
+        let a_sym = b.label("a");
+        let b_sym = b.label("b");
+        b.edge_ids(NodeId(0), a_sym, NodeId(1));
+        b.edge_ids(NodeId(1), b_sym, NodeId(2));
+        let path = dir.join("g.bin");
+        std::fs::write(&path, to_binary(&b.finish()).to_vec()).unwrap();
+        let p = path.to_str().unwrap();
+        // Result tuples print the #id rendering instead of panicking.
+        let out = run(&a(&[
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            "(x, y) <- x -[a b]-> y",
+        ]))
+        .unwrap();
+        assert!(out.contains("(#0, #2)"), "{out}");
+        // …and the same rendering addresses nodes in --tuple.
+        let out = run(&a(&[
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            "(x, y) <- x -[a b]-> y",
+            "--tuple",
+            "#0,#2",
+        ]))
+        .unwrap();
+        assert!(out.contains("true"), "{out}");
+        let err = run(&a(&[
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            "(x, y) <- x -[a b]-> y",
+            "--tuple",
+            "#0,#9",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown node"), "{err}");
     }
 
     #[test]

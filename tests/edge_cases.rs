@@ -162,7 +162,7 @@ fn graph_text_roundtrip() {
         generators::grid(3, 3, "right", "down"),
         generators::clique(4, "e"),
     ] {
-        let text = format::to_graph_text(&g);
+        let text = format::to_graph_text(&g).unwrap();
         let back = format::parse_graph_text(&text).unwrap();
         assert_eq!(back.num_nodes(), g.num_nodes());
         assert_eq!(back.num_edges(), g.num_edges());

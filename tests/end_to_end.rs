@@ -180,7 +180,7 @@ fn epsilon_queries_flow_through_everything() {
 fn graph_formats_roundtrip_through_evaluation() {
     use crpq::graph::format;
     let g = crpq::graph::generators::random_graph(10, 25, &["a", "b"], 3);
-    let text = format::to_graph_text(&g);
+    let text = format::to_graph_text(&g).unwrap();
     let mut g2 = format::parse_graph_text(&text).unwrap();
     let bin = format::to_binary(&g);
     let g3 = format::from_binary(bin).unwrap();
