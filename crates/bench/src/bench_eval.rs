@@ -36,9 +36,21 @@
 //!   [`scaling::million_graph`] (anonymous nodes, `4n` uniform edges over
 //!   [`scaling::MILLION_LABELS`] labels) and asserts the O(touched)
 //!   contract of the |V|-scale pipeline: zero name bytes, graph index +
-//!   names ≤ ~200 MB at 10⁶ nodes, and peak sweep-scratch bytes far below
-//!   one dense `|V|·|Q|` stamp array. `--smoke` runs `|V| = 10⁵`,
-//!   `--scale-smoke` `|V| = 10⁶ / 4·10⁶` edges under its own ceiling.
+//!   names under an explicit per-size budget, and peak sweep-scratch bytes
+//!   far below one dense `|V|·|Q|` stamp array. `--smoke` runs `|V| = 10⁵`;
+//!   `--scale-smoke` runs both `|V| = 10⁶ / 4·10⁶` edges (~200 MB budget)
+//!   and `|V| = 10⁷ / 4·10⁷` edges (~2.4 GB index budget — the graph index
+//!   is linear in |V|; the relation + scratch side must stay O(touched)),
+//!   each under its own wall-clock ceiling.
+//!
+//! The **scheduler workloads** (`steal_rows` in `BENCH_scale.json`) time
+//! the work-stealing parallel evaluator ([`eval_tuples_parallel`]) against
+//! the static-partitioning baseline ([`eval_tuples_parallel_static`]) on a
+//! Zipf-skewed label-rich graph ([`scaling::steal_skew_graph`]), where a
+//! static top-level split strands most workers behind the hot node's
+//! subtree. `--scale-smoke` enforces the ≥ 1.5× stealing floor on machines
+//! with ≥ 4 CPUs; `scale_rows`/`steal_rows` are written append-style so
+//! the cross-PR perf trajectory stays visible in the baseline file.
 //!
 //! The **cyclic workloads** (`cyclic_rows` in the JSON) time the
 //! worst-case-optimal executor ([`EvalStrategy::Wcoj`]) against the forced
@@ -53,8 +65,8 @@
 //! `workload` discriminators.
 
 use crpq_core::{
-    eval_tuples_join_unshared, eval_tuples_with, eval_tuples_with_catalog, EvalStrategy,
-    RelationCatalog, Semantics,
+    eval_tuples_join_unshared, eval_tuples_parallel, eval_tuples_parallel_static, eval_tuples_with,
+    eval_tuples_with_catalog, EvalStrategy, RelationCatalog, Semantics,
 };
 use crpq_graph::GraphDb;
 use crpq_query::Crpq;
@@ -134,17 +146,24 @@ fn time_best_of<T>(n: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     (out.unwrap(), best)
 }
 
-fn measure(workload: &str, graph_name: &str, q: &Crpq, g: &GraphDb, sem: Semantics) -> Row {
+fn measure(
+    workload: &str,
+    graph_name: &str,
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    threads: usize,
+) -> Row {
     const SAMPLES: usize = 3;
     // Every sample gets a fresh catalog so the timing covers the full
     // materialise-and-join cost (a warm catalog would make later samples
     // all-hits and flatter the engine).
     let (join, join_ms) = time_best_of(SAMPLES, || {
-        let mut catalog = RelationCatalog::with_threads(g, 0);
+        let mut catalog = RelationCatalog::with_threads(g, threads);
         eval_tuples_with_catalog(q, g, sem, &mut catalog)
     });
     // One instrumented run for the catalog metrics.
-    let mut catalog = RelationCatalog::with_threads(g, 0);
+    let mut catalog = RelationCatalog::with_threads(g, threads);
     let _ = eval_tuples_with_catalog(q, g, sem, &mut catalog);
     let (unshared, unshared_ms) = time_best_of(SAMPLES, || eval_tuples_join_unshared(q, g, sem));
     let (legacy, legacy_ms) = time_best_of(SAMPLES, || {
@@ -314,10 +333,10 @@ struct ScaleRow {
 /// once through the catalog engine, asserting the sparse-offset memory
 /// contract. With `enforce_ceiling`, build + evaluation must also finish
 /// under `ceiling_ms` — the CI scale gate.
-fn measure_scale(n: usize, ceiling_ms: f64, enforce_ceiling: bool) -> ScaleRow {
+fn measure_scale(n: usize, ceiling_ms: f64, enforce_ceiling: bool, threads: usize) -> ScaleRow {
     let (mut g, build_ms) = time_once(|| scaling::label_rich_graph(n, 5));
     let q = scaling::label_rich_query(g.alphabet_mut());
-    let mut catalog = RelationCatalog::with_threads(&g, 0);
+    let mut catalog = RelationCatalog::with_threads(&g, threads);
     let (tuples, eval_ms) =
         time_once(|| eval_tuples_with_catalog(&q, &g, Semantics::Standard, &mut catalog).len());
 
@@ -382,11 +401,21 @@ fn measure_scale(n: usize, ceiling_ms: f64, enforce_ceiling: bool) -> ScaleRow {
 ///   alone one per worker.
 ///
 /// With `enforce_ceiling`, build + evaluation must also finish under
-/// `ceiling_ms` — the CI scale gate.
-fn measure_million(n: usize, ceiling_ms: f64, enforce_ceiling: bool) -> ScaleRow {
+/// `ceiling_ms` — the CI scale gate. `build_bytes_budget` is the explicit
+/// index + names contract for the size being measured
+/// ([`MILLION_BYTES_BUDGET`] at 10⁶ nodes, [`TEN_MILLION_BYTES_BUDGET`]
+/// at 10⁷ — the budget is per-row because the graph index itself grows
+/// linearly; what must NOT grow with |V| is the relation/scratch side).
+fn measure_million(
+    n: usize,
+    ceiling_ms: f64,
+    enforce_ceiling: bool,
+    threads: usize,
+    build_bytes_budget: usize,
+) -> ScaleRow {
     let (mut g, build_ms) = time_once(|| scaling::million_graph(n, 7));
     let q = scaling::million_query(g.alphabet_mut());
-    let mut catalog = RelationCatalog::with_threads(&g, 0);
+    let mut catalog = RelationCatalog::with_threads(&g, threads);
     let (tuples, eval_ms) =
         time_once(|| eval_tuples_with_catalog(&q, &g, Semantics::Standard, &mut catalog).len());
     assert!(
@@ -399,10 +428,9 @@ fn measure_million(n: usize, ceiling_ms: f64, enforce_ceiling: bool) -> ScaleRow
         "anonymous scale graph must store zero name bytes"
     );
     let build_bytes = g.index_bytes() + g.name_bytes();
-    const BUILD_BYTES_BUDGET: usize = 200_000_000;
     assert!(
-        build_bytes <= BUILD_BYTES_BUDGET,
-        "graph index + names {build_bytes} B exceed the {BUILD_BYTES_BUDGET} B scale budget"
+        build_bytes <= build_bytes_budget,
+        "graph index + names {build_bytes} B exceed the {build_bytes_budget} B scale budget"
     );
     // One dense |V|·|Q| stamp array would be ≥ 4·|V| bytes **per worker**
     // (that is what the pre-adaptive layout paid): peak scratch far below
@@ -411,7 +439,7 @@ fn measure_million(n: usize, ceiling_ms: f64, enforce_ceiling: bool) -> ScaleRow
     // count — a fixed `O(n)` bound would fail spuriously on many-core
     // machines whose per-worker floors add up. 256 KB/worker is ~100× the
     // measured footprint and ~10–100× below one dense stamp array.
-    let workers = crpq_graph::rpq::effective_threads(0) + 1;
+    let workers = crpq_graph::rpq::effective_threads(threads) + 1;
     let scratch_budget = workers * 256 * 1024;
     let scratch_bytes = catalog.peak_scratch_bytes();
     assert!(
@@ -504,7 +532,164 @@ fn print_scale_rows(scale_rows: &[ScaleRow]) {
     }
 }
 
-/// The `--scale-smoke` CI gate, two rows:
+/// One row of the work-stealing-vs-static scheduler comparison
+/// (`steal_rows` in `BENCH_scale.json`): full parallel evaluation (st) of
+/// [`scaling::steal_query`] over the Zipf-skewed
+/// [`scaling::steal_skew_graph`] under both schedulers, same resolved
+/// thread count.
+struct StealRow {
+    workload: &'static str,
+    nodes: usize,
+    edges: usize,
+    labels: usize,
+    /// The resolved worker count both schedulers ran with.
+    threads: usize,
+    /// Hardware parallelism actually available — the speedup column is
+    /// only meaningful (and only CI-enforced) when this is ≥ 4; on a
+    /// 1-core runner both schedulers timeshare one CPU and the ratio
+    /// hovers around 1×.
+    cpus: usize,
+    tuples: usize,
+    /// Work-stealing scheduler ([`eval_tuples_parallel`]).
+    ws_ms: f64,
+    /// Static atomic-cursor baseline ([`eval_tuples_parallel_static`]).
+    static_ms: f64,
+}
+
+impl StealRow {
+    fn speedup(&self) -> f64 {
+        self.static_ms / self.ws_ms.max(1e-9)
+    }
+}
+
+/// Measures both parallel schedulers on the skewed-Zipf workload at `n`
+/// nodes. With `enforce_floor` (the CI gate), work stealing must beat the
+/// static baseline by ≥ 1.5× — enforced only when the machine actually
+/// has ≥ 4 CPUs, since scheduling cannot buy wall clock that the hardware
+/// doesn't have.
+fn measure_steal(n: usize, threads: usize, enforce_floor: bool) -> StealRow {
+    const SAMPLES: usize = 3;
+    let mut g = scaling::steal_skew_graph(n, 19);
+    let q = scaling::steal_query(g.alphabet_mut());
+    let (ws, ws_ms) = time_best_of(SAMPLES, || {
+        eval_tuples_parallel(&q, &g, Semantics::Standard, threads)
+    });
+    let (st, static_ms) = time_best_of(SAMPLES, || {
+        eval_tuples_parallel_static(&q, &g, Semantics::Standard, threads)
+    });
+    assert_eq!(ws, st, "work-stealing/static result mismatch at n={n}");
+    assert!(
+        !ws.is_empty(),
+        "steal workload returned no tuples — the scheduler comparison proves nothing"
+    );
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let row = StealRow {
+        workload: "steal_skew_zipf",
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        labels: g.alphabet().len(),
+        threads: crpq_graph::rpq::effective_threads(threads),
+        cpus,
+        tuples: ws.len(),
+        ws_ms,
+        static_ms,
+    };
+    if enforce_floor && cpus >= 4 {
+        assert!(
+            row.speedup() >= 1.5,
+            "work stealing below the 1.5x floor over static partitioning on the skewed \
+             workload: {:.2}x ({:.1}ms vs {:.1}ms at {} threads, {} cpus)",
+            row.speedup(),
+            row.ws_ms,
+            row.static_ms,
+            row.threads,
+            row.cpus
+        );
+    }
+    row
+}
+
+fn steal_rows_json(rows: &[StealRow]) -> String {
+    let mut json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, \"labels\": {}, \
+             \"threads\": {}, \"cpus\": {}, \"tuples\": {}, \"ws_ms\": {:.4}, \
+             \"static_ms\": {:.4}, \"ws_speedup\": {:.2}}}{}",
+            r.workload,
+            r.nodes,
+            r.edges,
+            r.labels,
+            r.threads,
+            r.cpus,
+            r.tuples,
+            r.ws_ms,
+            r.static_ms,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json
+}
+
+fn print_steal_rows(rows: &[StealRow]) {
+    println!("\n## skewed-Zipf join parallelism — work-stealing vs static partitioning (st)\n");
+    println!("| workload | n | edges | threads | cpus | tuples | stealing | static | ws-x |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for r in rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.1}ms | {:.1}ms | {:.2}x |",
+            r.workload,
+            r.nodes,
+            r.edges,
+            r.threads,
+            r.cpus,
+            r.tuples,
+            r.ws_ms,
+            r.static_ms,
+            r.speedup(),
+        );
+    }
+}
+
+/// Index + names budget of the 10⁶-node scale row (the PR-5 contract,
+/// unchanged).
+const MILLION_BYTES_BUDGET: usize = 200_000_000;
+
+/// Index + names budget of the 10⁷-node / 4·10⁷-edge scale row: the graph
+/// index grows linearly with |V| and |E| (~10× the 10⁶ row, plus slack for
+/// the per-label CSR tails), so the explicit contract at this size is
+/// 2.4 GB — what must stay O(touched), and is separately asserted, is the
+/// relation + sweep-scratch side.
+const TEN_MILLION_BYTES_BUDGET: usize = 2_400_000_000;
+
+/// Extracts the rows of an existing `"name": [...]` array from a
+/// previously written baseline file, returning them with a trailing comma
+/// so new rows can be appended after them — the cross-PR perf trajectory.
+/// Defensive on purpose: a missing file, missing array or empty array all
+/// yield `""` (fresh start) rather than an error.
+fn prior_rows(path: &str, name: &str) -> String {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return String::new();
+    };
+    let open = format!("\"{name}\": [\n");
+    let Some(start) = text.find(&open) else {
+        return String::new();
+    };
+    let body = &text[start + open.len()..];
+    let Some(end) = body.find("\n  ]") else {
+        return String::new();
+    };
+    let inner = &body[..end];
+    if inner.trim().is_empty() {
+        String::new()
+    } else {
+        format!("{inner},\n")
+    }
+}
+
+/// The `--scale-smoke` CI gate, four rows:
 ///
 /// * `|V| = 10⁵`, 10³-label Zipf workload under its wall-clock ceiling
 ///   with the sparse label-index memory contract (the PR-3 gate,
@@ -512,29 +697,67 @@ fn print_scale_rows(scale_rows: &[ScaleRow]) {
 /// * `|V| = 10⁶` / `4·10⁶`-edge anonymous workload (build + catalog
 ///   evaluation, st) under its own ceiling, with the O(touched) memory
 ///   contract: zero name bytes, index + names ≤ ~200 MB, and peak sweep
-///   scratch far below one dense `|V|·|Q|` stamp array.
+///   scratch far below one dense `|V|·|Q|` stamp array (the PR-5 gate,
+///   unchanged);
+/// * `|V| = 10⁷` / `4·10⁷`-edge anonymous workload under the same
+///   O(touched) contracts at its own index budget (~2.4 GB — the graph
+///   index is linear in |V|; relations and scratch must not be);
+/// * the skewed-Zipf work-stealing row: full parallel evaluation under
+///   the work-stealing and static schedulers, with the ≥ 1.5× stealing
+///   floor enforced on machines with ≥ 4 CPUs.
 ///
 /// Writes the measurements to `path` (same `scale_rows` schema as
-/// `BENCH_eval.json`).
-pub fn run_scale_smoke(path: &str) {
+/// `BENCH_eval.json`), **appending** to any rows already present in the
+/// file so the trajectory across PRs stays visible. `threads = 0` keeps
+/// the documented fallback (one worker per CPU, capped at 16).
+pub fn run_scale_smoke(path: &str, threads: usize) {
     // Generous ceilings: the workloads run in seconds on a laptop; the
     // ceilings only have to catch asymptotic regressions (a dense
     // label × node index rebuild, per-source quadratic sweeps or dense
     // per-worker scratch at 10⁶ nodes would blow straight through them).
     const CEILING_MS: f64 = 120_000.0;
     const MILLION_CEILING_MS: f64 = 300_000.0;
+    const TEN_MILLION_CEILING_MS: f64 = 600_000.0;
     let rows = vec![
-        measure_scale(100_000, CEILING_MS, true),
-        measure_million(1_000_000, MILLION_CEILING_MS, true),
+        measure_scale(100_000, CEILING_MS, true, threads),
+        measure_million(
+            1_000_000,
+            MILLION_CEILING_MS,
+            true,
+            threads,
+            MILLION_BYTES_BUDGET,
+        ),
+        measure_million(
+            10_000_000,
+            TEN_MILLION_CEILING_MS,
+            true,
+            threads,
+            TEN_MILLION_BYTES_BUDGET,
+        ),
     ];
+    // The scheduler comparison runs at 16 workers (the CI criterion size)
+    // unless --threads overrides it.
+    let steal_rows = vec![measure_steal(
+        60_000,
+        if threads == 0 { 16 } else { threads },
+        true,
+    )];
     print_scale_rows(&rows);
+    print_steal_rows(&steal_rows);
+    let prior_scale = prior_rows(path, "scale_rows");
+    let prior_steal = prior_rows(path, "steal_rows");
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(
         "  \"generated_by\": \"cargo run --release -p crpq-bench --bin experiments -- --scale-smoke\",\n",
     );
     json.push_str("  \"scale_rows\": [\n");
+    json.push_str(&prior_scale);
     json.push_str(&scale_rows_json(&rows));
+    json.push_str("  ],\n");
+    json.push_str("  \"steal_rows\": [\n");
+    json.push_str(&prior_steal);
+    json.push_str(&steal_rows_json(&steal_rows));
     json.push_str("  ]\n}\n");
     std::fs::write(path, &json).expect("write scale smoke JSON");
     println!("\nwrote {path}");
@@ -547,7 +770,9 @@ pub fn run_scale_smoke(path: &str) {
 /// the multi-variant E9 workload, and the ≥2× catalog-vs-per-variant
 /// planner win at |V| = 10³. Without it, shortfalls are only reported —
 /// the full experiment suite should finish with measurements either way.
-pub fn run_smoke(path: &str, enforce_floor: bool) {
+/// `threads = 0` keeps the documented fallback (one materialisation
+/// worker per CPU, capped at 16).
+pub fn run_smoke(path: &str, enforce_floor: bool, threads: usize) {
     println!(
         "## BENCH_eval — catalog-backed planner vs. per-variant join vs. legacy enumeration\n"
     );
@@ -566,7 +791,7 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
         ("Gfull", paper::example21_full_separation(&sigma)),
     ] {
         for sem in Semantics::ALL {
-            rows.push(measure("e2_example21", name, &q, &g, sem));
+            rows.push(measure("e2_example21", name, &q, &g, sem, threads));
         }
     }
 
@@ -598,10 +823,18 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
                 q,
                 &g,
                 Semantics::Standard,
+                threads,
             ));
             if n <= 100 {
                 for sem in [Semantics::AtomInjective, Semantics::QueryInjective] {
-                    rows.push(measure(workload, &format!("random({n})"), q, &g, sem));
+                    rows.push(measure(
+                        workload,
+                        &format!("random({n})"),
+                        q,
+                        &g,
+                        sem,
+                        threads,
+                    ));
                 }
             }
         }
@@ -612,8 +845,8 @@ pub fn run_smoke(path: &str, enforce_floor: bool) {
     // plus the index/name/relation/scratch memory proxies, and asserts
     // the sparse label-index and O(touched) memory contracts here too.
     let scale_rows = vec![
-        measure_scale(10_000, f64::INFINITY, false),
-        measure_million(100_000, f64::INFINITY, false),
+        measure_scale(10_000, f64::INFINITY, false, threads),
+        measure_million(100_000, f64::INFINITY, false, threads, MILLION_BYTES_BUDGET),
     ];
 
     // Cyclic shapes: the worst-case-optimal executor vs. the backtracking

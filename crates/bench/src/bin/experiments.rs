@@ -18,13 +18,21 @@
 //!
 //! With `--scale-smoke`, runs the CI scale gates under hard wall-clock
 //! ceilings: the |V| = 10⁵, ~10³-label Zipf workload (label-index offsets
-//! stay O(|E| + Σ_l |V_l|), not O(|labels|·|V|)) and the |V| = 10⁶,
-//! 4·10⁶-edge anonymous workload (zero name bytes, index + names ≤
-//! ~200 MB, sweep scratch far below one dense |V|·|Q| stamp array):
+//! stay O(|E| + Σ_l |V_l|), not O(|labels|·|V|)), the |V| = 10⁶ and
+//! |V| = 10⁷ anonymous workloads at 4 edges/node (zero name bytes, index +
+//! names under explicit per-size budgets, sweep scratch far below one
+//! dense |V|·|Q| stamp array), plus the skewed-Zipf scheduler comparison
+//! (work-stealing vs. static partitioning, ≥ 1.5× floor on ≥ 4-CPU
+//! machines). Rows append to `BENCH_scale.json` across runs:
 //!
 //! ```sh
 //! cargo run --release -p crpq-bench --bin experiments -- --scale-smoke
 //! ```
+//!
+//! `--threads N` overrides the materialisation/evaluation worker count in
+//! all benchmark modes (`0` keeps the documented fallback: one worker per
+//! CPU, capped at 16), so baseline numbers are reproducible across
+//! machines.
 
 use crpq_containment::abstraction::try_contain_qinj;
 use crpq_containment::{contain, Semantics};
@@ -37,13 +45,28 @@ use std::time::Instant;
 
 use crpq_bench::bench_eval;
 
+/// Parses `--threads N` from the command line; `0` (the default) keeps
+/// the documented per-CPU fallback.
+fn threads_flag() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--threads" {
+            return pair[1]
+                .parse()
+                .unwrap_or_else(|e| panic!("bad --threads {:?}: {e}", pair[1]));
+        }
+    }
+    0
+}
+
 fn main() {
+    let threads = threads_flag();
     if std::env::args().any(|a| a == "--scale-smoke") {
-        bench_eval::run_scale_smoke("BENCH_scale.json");
+        bench_eval::run_scale_smoke("BENCH_scale.json", threads);
         return;
     }
     if std::env::args().any(|a| a == "--smoke") {
-        bench_eval::run_smoke("BENCH_eval.json", true);
+        bench_eval::run_smoke("BENCH_eval.json", true, threads);
         return;
     }
     println!("# crpq-injective experiment suite\n");
@@ -57,7 +80,7 @@ fn main() {
     e8_qbf();
     e9_evaluation();
     e10_tractability();
-    bench_eval::run_smoke("BENCH_eval.json", false);
+    bench_eval::run_smoke("BENCH_eval.json", false, threads);
     println!("\nAll experiments completed.");
 }
 

@@ -102,7 +102,7 @@
 //!   disjoint (backtracking across atoms).
 
 use crpq_automata::{Nfa, NfaKey};
-use crpq_graph::rpq::{NodeSet, ReachScratch, Relation};
+use crpq_graph::rpq::{NodeSet, ReachScratch, Relation, RelationRow};
 use crpq_graph::{rpq, GraphDb, NodeId};
 use crpq_query::{Crpq, Var};
 use crpq_util::{BitSet, FxHashMap, FxHashSet};
@@ -743,8 +743,8 @@ impl<'a> JoinPlan<'a> {
                     .collect();
                 domains[atom.src.index()].intersect_with_sorted(&diag);
             } else {
-                domains[atom.src.index()].intersect_with_bitset(rel.source_set());
-                domains[atom.dst.index()].intersect_with_bitset(rel.target_set());
+                domains[atom.src.index()].intersect_with_set(rel.source_set());
+                domains[atom.dst.index()].intersect_with_set(rel.target_set());
             }
         }
 
@@ -836,28 +836,63 @@ impl<'a> JoinPlan<'a> {
         self.search(&mut assignment, scratch, out);
     }
 
-    /// The candidate set for `var` given the current partial assignment:
-    /// pruned domain ∩ relation rows of assigned neighbours (∖ used nodes
-    /// under `q-inj`). Cloning and intersecting a sparse domain costs
-    /// `O(candidates)`, which is what this per-backtracking-step call must
-    /// stay at for large graphs.
-    fn candidates(&self, var: Var, assignment: &[Option<NodeId>]) -> NodeSet {
-        let mut cands = self.domains[var.index()].clone();
+    /// The relation rows of `var`'s assigned neighbours — the selective
+    /// constraints a partial assignment imposes on `var`'s candidates.
+    fn neighbour_rows(&self, var: Var, assignment: &[Option<NodeId>]) -> Vec<RelationRow<'_>> {
+        let mut rows = Vec::new();
         for (atom, rel) in self.atoms.iter().zip(&self.relations) {
             if atom.src == atom.dst {
                 continue; // folded into the domain at build time
             }
             if atom.src == var {
                 if let Some(dst_node) = assignment[atom.dst.index()] {
-                    cands.intersect_with_row(&rel.backward(dst_node));
+                    rows.push(rel.backward(dst_node));
                 }
             }
             if atom.dst == var {
                 if let Some(src_node) = assignment[atom.src.index()] {
-                    cands.intersect_with_row(&rel.forward(src_node));
+                    rows.push(rel.forward(src_node));
                 }
             }
         }
+        rows
+    }
+
+    /// The candidate set for `var` given the current partial assignment:
+    /// pruned domain ∩ relation rows of assigned neighbours (∖ used nodes
+    /// under `q-inj`). When any neighbour is assigned, the intersection is
+    /// **driven from the smallest neighbour row** — membership tests
+    /// against the domain and the other rows — so the per-backtracking
+    /// -step cost is `O(row)`, never `O(|V|)`: cloning a dense 10⁷-node
+    /// domain at every step is exactly the quadratic wall the 10⁷ scale
+    /// row exists to catch. Only an unconstrained variable (no neighbour
+    /// assigned — in practice the root of the search) pays for a domain
+    /// clone.
+    fn candidates(&self, var: Var, assignment: &[Option<NodeId>]) -> NodeSet {
+        let domain = &self.domains[var.index()];
+        let rows = self.neighbour_rows(var, assignment);
+        let mut cands = match rows
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.len())
+            .map(|(i, _)| i)
+        {
+            Some(driver) => {
+                let kept: Vec<u32> = rows[driver]
+                    .iter()
+                    .filter(|&u| {
+                        domain.contains(u)
+                            && rows
+                                .iter()
+                                .enumerate()
+                                .all(|(i, r)| i == driver || r.contains(u))
+                    })
+                    .map(|u| u as u32)
+                    .collect();
+                NodeSet::from_sorted_ids(kept, domain.universe())
+            }
+            None => domain.clone(),
+        };
         if self.sem == Semantics::QueryInjective {
             for node in assignment.iter().flatten() {
                 cands.remove(node.index());
@@ -883,6 +918,73 @@ impl<'a> JoinPlan<'a> {
         true
     }
 
+    /// The branch the sequential search takes from `assignment`: the
+    /// unassigned variable with the fewest candidates plus its candidate
+    /// set, or `None` when the assignment is complete. Shared by the
+    /// recursive [`Self::search`] and the work-stealing driver in
+    /// [`crate::parallel`], so a stolen subtree branches exactly like the
+    /// sequential executor would. (An empty candidate set is returned
+    /// as-is — the caller's zero-iteration loop prunes the subtree.)
+    pub(crate) fn choose_branch(&self, assignment: &[Option<NodeId>]) -> Option<(Var, NodeSet)> {
+        // Exact candidate counts are cheap for every unbound variable:
+        // row-constrained variables materialise their (small, row-driven)
+        // candidate set, unconstrained ones are counted straight off the
+        // pruned domain — materialising those would clone a possibly
+        // dense O(|V|) set per backtracking step. Only the winning
+        // unconstrained variable (at most once per search, at the root)
+        // is materialised at the end.
+        let mut best: Option<(Var, Option<NodeSet>, usize)> = None;
+        for v in 0..assignment.len() {
+            if assignment[v].is_some() {
+                continue;
+            }
+            let var = Var(v as u32);
+            let (cands, size) = if self.neighbour_rows(var, assignment).is_empty() {
+                let domain = &self.domains[v];
+                let mut size = domain.len();
+                if self.sem == Semantics::QueryInjective {
+                    size -= assignment
+                        .iter()
+                        .flatten()
+                        .filter(|node| domain.contains(node.index()))
+                        .count();
+                }
+                (None, size)
+            } else {
+                let cands = self.candidates(var, assignment);
+                let size = cands.len();
+                (Some(cands), size)
+            };
+            if size == 0 {
+                let cands = cands.unwrap_or_else(|| NodeSet::empty(self.domains[v].universe()));
+                return Some((var, cands));
+            }
+            if best.as_ref().is_none_or(|&(_, _, s)| size < s) {
+                best = Some((var, cands, size));
+                if size == 1 {
+                    break;
+                }
+            }
+        }
+        best.map(|(var, cands, _)| {
+            let cands = cands.unwrap_or_else(|| self.candidates(var, assignment));
+            (var, cands)
+        })
+    }
+
+    /// Runs the backtracking join from an arbitrary partial `assignment`
+    /// — the subtree hand-off point of the work-stealing driver
+    /// ([`crate::parallel`]): a worker that has explicitly enumerated the
+    /// stealable prefix levels delegates the remaining subtree here.
+    pub(crate) fn search_from(
+        &self,
+        assignment: &mut Vec<Option<NodeId>>,
+        scratch: &mut VerifyScratch,
+        out: &mut dyn TupleSink,
+    ) {
+        self.search(assignment, scratch, out);
+    }
+
     /// Selectivity-ordered backtracking join.
     fn search(
         &self,
@@ -901,25 +1003,7 @@ impl<'a> JoinPlan<'a> {
         if pruned {
             return;
         }
-        // Choose the unassigned variable with the fewest candidates.
-        let mut best: Option<(Var, NodeSet, usize)> = None;
-        for v in 0..assignment.len() {
-            if assignment[v].is_some() {
-                continue;
-            }
-            let cands = self.candidates(Var(v as u32), assignment);
-            let size = cands.len();
-            if size == 0 {
-                return;
-            }
-            if best.as_ref().is_none_or(|&(_, _, s)| size < s) {
-                best = Some((Var(v as u32), cands, size));
-                if size == 1 {
-                    break;
-                }
-            }
-        }
-        let Some((var, cands, _)) = best else {
+        let Some((var, cands)) = self.choose_branch(assignment) else {
             // Complete assignment: relations guaranteed it standard-wise;
             // verify the injective side and record the projection. `mu`
             // lives in the scratch pool; an owned tuple is only allocated

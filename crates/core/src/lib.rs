@@ -37,6 +37,6 @@ pub use eval::{
 };
 pub use expansion_eval::{eval_contains_via_expansions, EvalOutcome};
 pub use hierarchy::check_hierarchy;
-pub use parallel::eval_tuples_parallel;
+pub use parallel::{eval_tuples_parallel, eval_tuples_parallel_static};
 pub use trail::{eval_boolean_trail, eval_contains_trail, eval_tuples_trail, TrailSemantics};
 pub use witness::{eval_witness, verify_witness, Witness, WitnessError};

@@ -8,25 +8,63 @@
 //!   ([`crpq_graph::rpq::rpq_relation_parallel`]); the catalog also means
 //!   a relation shared by several ε-free variants is materialised once.
 //! * **Join search** — after semi-join pruning, the candidates of the
-//!   first (most selective) join variable partition the search space.
-//!   Each worker claims candidates from an atomic cursor, runs the shared
-//!   immutable [`JoinPlan`] with that variable pre-assigned (with a
-//!   per-worker verification scratch), and merges its local result set at
-//!   the end — far better work granularity than the old `|V|^arity`
-//!   tuple-space sweep, which spent most of its time rejecting tuples the
-//!   pruned domains rule out up front.
+//!   first (most selective) join variable seed a shared chunk queue, and
+//!   workers run the immutable [`JoinPlan`] with a per-worker
+//!   verification scratch and local result set, merged at the end.
+//!
+//! # Work stealing
+//!
+//! A static split of the top-level candidate range starves on skewed
+//! domains: under a Zipf label distribution one candidate's subtree can
+//! hold almost all of the search space, leaving every other worker idle
+//! while one crawls it. [`eval_tuples_parallel`] therefore schedules by
+//! **work stealing over subtree ranges**:
+//!
+//! * A [`Chunk`] is a contiguous range of one level's candidates plus the
+//!   partial assignment above it. The queue is seeded with one top-level
+//!   range per worker; drained workers block on a condvar until a chunk
+//!   is donated or every worker is idle (global quiescence).
+//! * Workers enumerate the first [`STEAL_DEPTH`] join levels
+//!   **explicitly** (via [`JoinPlan::choose_branch`] /
+//!   [`wcoj::level_candidates`], so a stolen subtree branches exactly
+//!   like the sequential executor), and hand deeper subtrees to the
+//!   sequential engines ([`JoinPlan::search_from`] /
+//!   [`wcoj::search_from_level`]).
+//! * **Split invariant**: every explicitly enumerated level re-checks for
+//!   starving siblings before each candidate, and donates the upper half
+//!   of *its own* remaining range. Because the innermost level iterates
+//!   most often, the *deepest large* remaining domain is what a starving
+//!   worker receives — not merely a slice of the top-level split — so
+//!   skewed subtrees keep splitting until all cores are busy.
+//!
+//! The intact panic-propagation contract of [`collect_worker_results`] is
+//! preserved: a panicking worker's [`ActiveGuard`] releases the
+//! quiescence count on unwind, so starving siblings wake and exit instead
+//! of deadlocking on the condvar, and the original payload reaches the
+//! caller. The previous static-partitioning scheduler is kept as
+//! [`eval_tuples_parallel_static`] — it is the baseline the
+//! work-stealing speedup is benchmarked against.
 
 use crate::eval::{
     eval_contains, plan_variant, sorted_tuples, JoinMode, JoinPlan, RelationCatalog, Semantics,
-    VariantPlan, VerifyScratch,
+    TupleSink, VariantPlan, VerifyScratch,
 };
 use crate::wcoj;
 use crpq_graph::{rpq, GraphDb, NodeId};
-use crpq_query::Crpq;
+use crpq_query::{Crpq, Var};
 use crpq_util::FxHashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// Parallel version of [`crate::eval::eval_tuples`].
+/// Number of join levels workers enumerate explicitly (and can therefore
+/// donate from) before handing the subtree to the sequential executors.
+/// Deep enough that a skewed top candidate's subtree still splits into
+/// many stealable ranges, shallow enough that the per-level candidate
+/// materialisation stays negligible against the subtree work below it.
+const STEAL_DEPTH: usize = 3;
+
+/// Parallel version of [`crate::eval::eval_tuples`], scheduled by work
+/// stealing (see the module docs for the split invariant).
 ///
 /// `threads = 0` means one thread per available CPU (capped at 16).
 pub fn eval_tuples_parallel(
@@ -34,6 +72,30 @@ pub fn eval_tuples_parallel(
     g: &GraphDb,
     sem: Semantics,
     threads: usize,
+) -> Vec<Vec<NodeId>> {
+    eval_tuples_parallel_impl(q, g, sem, threads, true)
+}
+
+/// [`eval_tuples_parallel`] with the pre-work-stealing scheduler: the
+/// top-level candidates are claimed from a single atomic cursor and each
+/// subtree runs to completion on the worker that claimed it. Kept
+/// addressable as the baseline for the work-stealing-vs-static bench
+/// comparison; on skewed domains it degenerates to one busy worker.
+pub fn eval_tuples_parallel_static(
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    threads: usize,
+) -> Vec<Vec<NodeId>> {
+    eval_tuples_parallel_impl(q, g, sem, threads, false)
+}
+
+fn eval_tuples_parallel_impl(
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    threads: usize,
+    work_stealing: bool,
 ) -> Vec<Vec<NodeId>> {
     let threads = rpq::effective_threads(threads);
     if q.free.is_empty() {
@@ -75,21 +137,11 @@ pub fn eval_tuples_parallel(
                 let wcoj_order = plan
                     .use_wcoj(JoinMode::Auto)
                     .then(|| wcoj::fixed_order(&plan, var));
-                let next = AtomicUsize::new(0);
-                let locals = collect_worker_results(threads.min(cands.len()), || {
-                    let mut local: FxHashSet<Vec<NodeId>> = FxHashSet::default();
-                    let mut scratch = VerifyScratch::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&node) = cands.get(i) else { break };
-                        if let Some(order) = &wcoj_order {
-                            wcoj::search_with_fixed(&plan, order, node, &mut scratch, &mut local);
-                        } else {
-                            plan.search_with_fixed(var, node, &mut scratch, &mut local);
-                        }
-                    }
-                    local
-                });
+                let locals = if work_stealing {
+                    run_work_stealing(&plan, wcoj_order.as_deref(), var, cands, threads)
+                } else {
+                    run_static(&plan, wcoj_order.as_deref(), var, cands, threads)
+                };
                 for local in locals {
                     out.extend(local);
                 }
@@ -97,6 +149,305 @@ pub fn eval_tuples_parallel(
         }
     }
     sorted_tuples(out)
+}
+
+/// The static baseline scheduler: top-level candidates off an atomic
+/// cursor, one whole subtree per claim.
+fn run_static(
+    plan: &JoinPlan<'_>,
+    wcoj_order: Option<&[Var]>,
+    var: Var,
+    cands: Vec<NodeId>,
+    threads: usize,
+) -> Vec<FxHashSet<Vec<NodeId>>> {
+    let next = AtomicUsize::new(0);
+    collect_worker_results(threads.min(cands.len()), || {
+        let mut local: FxHashSet<Vec<NodeId>> = FxHashSet::default();
+        let mut scratch = VerifyScratch::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&node) = cands.get(i) else { break };
+            if let Some(order) = wcoj_order {
+                wcoj::search_with_fixed(plan, order, node, &mut scratch, &mut local);
+            } else {
+                plan.search_with_fixed(var, node, &mut scratch, &mut local);
+            }
+        }
+        local
+    })
+}
+
+/// The work-stealing scheduler (see the module docs): seeds one top-level
+/// range per worker, then lets drained workers receive donated subtree
+/// ranges until global quiescence.
+fn run_work_stealing(
+    plan: &JoinPlan<'_>,
+    wcoj_order: Option<&[Var]>,
+    var: Var,
+    cands: Vec<NodeId>,
+    threads: usize,
+) -> Vec<FxHashSet<Vec<NodeId>>> {
+    let cands = Arc::new(cands);
+    let ctx = StealCtx::new();
+    {
+        // Seed: one contiguous top-level range per worker. Uneven subtree
+        // weights below these ranges are what donation redistributes.
+        let mut st = ctx.lock();
+        let pieces = threads.min(cands.len()).max(1);
+        let per = cands.len().div_ceil(pieces);
+        let mut lo = 0;
+        while lo < cands.len() {
+            let hi = (lo + per).min(cands.len());
+            st.queue.push(Chunk {
+                assignment: vec![None; plan.q.num_vars],
+                var,
+                cands: Arc::clone(&cands),
+                lo,
+                hi,
+                depth: 0,
+            });
+            lo = hi;
+        }
+    }
+    collect_worker_results(threads, || {
+        let mut local: FxHashSet<Vec<NodeId>> = FxHashSet::default();
+        let mut scratch = VerifyScratch::new();
+        while let Some(chunk) = next_chunk(&ctx) {
+            // `next_chunk` marked this worker active under the queue lock;
+            // the guard releases it even on unwind, so a panicking worker
+            // cannot leave starving siblings blocked on the condvar.
+            let _guard = ActiveGuard(&ctx);
+            let Chunk {
+                mut assignment,
+                var,
+                cands,
+                lo,
+                hi,
+                depth,
+            } = chunk;
+            enumerate_range(
+                &ctx,
+                plan,
+                wcoj_order,
+                var,
+                &cands,
+                lo,
+                hi,
+                depth,
+                &mut assignment,
+                &mut scratch,
+                &mut local,
+            );
+        }
+        local
+    })
+}
+
+/// One stealable unit of join search: the candidates `cands[lo..hi]` of
+/// `var` at explicit level `depth`, under the partial `assignment` bound
+/// above it.
+struct Chunk {
+    assignment: Vec<Option<NodeId>>,
+    var: Var,
+    cands: Arc<Vec<NodeId>>,
+    lo: usize,
+    hi: usize,
+    depth: usize,
+}
+
+/// The shared scheduler state of one plan's work-stealing run.
+struct StealState {
+    queue: Vec<Chunk>,
+    /// Workers currently processing a chunk. Quiescence — and thus worker
+    /// shutdown — is `queue.is_empty() && active == 0`: an active worker
+    /// may still donate, so an empty queue alone proves nothing.
+    active: usize,
+}
+
+struct StealCtx {
+    state: Mutex<StealState>,
+    cv: Condvar,
+    /// Workers blocked in [`next_chunk`] waiting for a donation. Read
+    /// (relaxed) by busy workers once per enumerated candidate — the
+    /// donation trigger must be cheaper than the work it redistributes.
+    starving: AtomicUsize,
+}
+
+impl StealCtx {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(StealState {
+                queue: Vec::new(),
+                active: 0,
+            }),
+            cv: Condvar::new(),
+            starving: AtomicUsize::new(0),
+        }
+    }
+
+    /// Locks the scheduler state. Poisoning is survivable here — the
+    /// critical sections below only move plain data, so a poisoned lock
+    /// (sibling panicked while unwinding through a guard) is still
+    /// consistent; `into_inner` keeps the shutdown path panic-free.
+    fn lock(&self) -> MutexGuard<'_, StealState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn donate(&self, chunk: Chunk) {
+        self.lock().queue.push(chunk);
+        self.cv.notify_one();
+    }
+
+    #[inline]
+    fn has_starving(&self) -> bool {
+        self.starving.load(Ordering::Relaxed) > 0
+    }
+}
+
+/// Decrements the active-worker count when dropped — **including on
+/// unwind**. Without this, a panicking worker would freeze `active` above
+/// zero and its starving siblings would wait on the condvar forever; the
+/// panic would then never reach [`collect_worker_results`]' join, whose
+/// contract is to re-raise the original payload.
+struct ActiveGuard<'a>(&'a StealCtx);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.0.lock();
+        st.active -= 1;
+        let idle = st.queue.is_empty() && st.active == 0;
+        drop(st);
+        if idle {
+            // Global quiescence: wake every waiter so they observe it and
+            // exit.
+            self.0.cv.notify_all();
+        }
+    }
+}
+
+/// Pops the next chunk, blocking while other workers are active (they may
+/// still donate). Returns `None` at global quiescence. The pop and the
+/// `active` increment happen under one lock acquisition, so no sibling
+/// can observe "queue empty, nobody active" while a chunk is in flight;
+/// the caller must pair a `Some` result with an [`ActiveGuard`].
+fn next_chunk(ctx: &StealCtx) -> Option<Chunk> {
+    let mut st = ctx.lock();
+    loop {
+        if let Some(chunk) = st.queue.pop() {
+            st.active += 1;
+            return Some(chunk);
+        }
+        if st.active == 0 {
+            return None;
+        }
+        ctx.starving.fetch_add(1, Ordering::Relaxed);
+        st = ctx.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        ctx.starving.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Enumerates `cands[lo..hi]` of `var` at explicit level `depth`,
+/// descending below each candidate. Before each candidate, donates the
+/// upper half of the remaining range if a sibling is starving — this
+/// check runs at *every* explicit level, and the innermost level iterates
+/// most often, so the deepest large domain donates first (the split
+/// invariant of the module docs).
+#[allow(clippy::too_many_arguments)]
+fn enumerate_range(
+    ctx: &StealCtx,
+    plan: &JoinPlan<'_>,
+    wcoj_order: Option<&[Var]>,
+    var: Var,
+    cands: &Arc<Vec<NodeId>>,
+    mut lo: usize,
+    mut hi: usize,
+    depth: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    scratch: &mut VerifyScratch,
+    out: &mut dyn TupleSink,
+) {
+    while lo < hi {
+        if hi - lo >= 2 && ctx.has_starving() {
+            // Keep [lo, mid), donate [mid, hi) — both halves non-empty.
+            let mid = (lo + hi).div_ceil(2);
+            ctx.donate(Chunk {
+                assignment: assignment.clone(),
+                var,
+                cands: Arc::clone(cands),
+                lo: mid,
+                hi,
+                depth,
+            });
+            hi = mid;
+        }
+        let node = cands[lo];
+        lo += 1;
+        assignment[var.index()] = Some(node);
+        descend(ctx, plan, wcoj_order, depth + 1, assignment, scratch, out);
+        assignment[var.index()] = None;
+    }
+}
+
+/// One explicit join level of the work-stealing search: chooses the next
+/// variable exactly as the sequential executor would, enumerates its
+/// candidates as a stealable range, and past [`STEAL_DEPTH`] (or on a
+/// complete assignment) hands the subtree to the sequential engines. The
+/// sequential entry points re-run the duplicate-projection prune; the
+/// explicit levels skip it, which only costs re-exploration — `out` is a
+/// set, so results are unaffected.
+fn descend(
+    ctx: &StealCtx,
+    plan: &JoinPlan<'_>,
+    wcoj_order: Option<&[Var]>,
+    depth: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    scratch: &mut VerifyScratch,
+    out: &mut dyn TupleSink,
+) {
+    match wcoj_order {
+        Some(order) => {
+            // `depth` doubles as the elimination-order level here: the
+            // seed chunks enumerate `order[0]`.
+            if depth >= STEAL_DEPTH || depth >= order.len() {
+                wcoj::search_from_level(plan, order, depth, assignment, scratch, out);
+                return;
+            }
+            let next = wcoj::level_candidates(plan, order, depth, assignment);
+            if next.is_empty() {
+                return;
+            }
+            let var = order[depth];
+            let next = Arc::new(next);
+            let hi = next.len();
+            enumerate_range(
+                ctx, plan, wcoj_order, var, &next, 0, hi, depth, assignment, scratch, out,
+            );
+        }
+        None => {
+            if depth >= STEAL_DEPTH {
+                plan.search_from(assignment, scratch, out);
+                return;
+            }
+            match plan.choose_branch(assignment) {
+                None => {
+                    // Complete assignment: the sequential entry verifies
+                    // and emits it.
+                    plan.search_from(assignment, scratch, out);
+                }
+                Some((var, node_set)) => {
+                    let next: Vec<NodeId> = node_set.iter().map(|n| NodeId(n as u32)).collect();
+                    if next.is_empty() {
+                        return;
+                    }
+                    let next = Arc::new(next);
+                    let hi = next.len();
+                    enumerate_range(
+                        ctx, plan, wcoj_order, var, &next, 0, hi, depth, assignment, scratch, out,
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Runs `worker` on `threads` scoped threads and returns every worker's
@@ -227,5 +578,103 @@ mod tests {
                 "mismatch under {sem}"
             );
         }
+    }
+
+    #[test]
+    fn work_stealing_matches_static_on_skewed_zipf_graph() {
+        // The workload the scheduler exists for: Zipf-skewed labels give a
+        // few candidates subtrees holding most of the search space. The
+        // work-stealing result must match both the static scheduler and
+        // the sequential engine under every semantics.
+        let mut g = generators::zipf_label_graph(36, 150, 20, 1.2, 97);
+        let q = parse_crpq(
+            "(x, y) <- x -[l0 (l1+l2)*]-> y, y -[l2 (l3+l4)*]-> z",
+            g.alphabet_mut(),
+        )
+        .unwrap();
+        for sem in Semantics::ALL {
+            let seq = eval_tuples(&q, &g, sem);
+            let ws = eval_tuples_parallel(&q, &g, sem, 4);
+            let st = eval_tuples_parallel_static(&q, &g, sem, 4);
+            assert_eq!(seq, ws, "work-stealing mismatch under {sem}");
+            assert_eq!(seq, st, "static mismatch under {sem}");
+        }
+    }
+
+    #[test]
+    fn work_stealing_matches_on_cyclic_shape() {
+        // Cyclic shape → WCOJ executor → the explicit levels go through
+        // `wcoj::level_candidates`, which must enumerate exactly what
+        // `bind_level` would.
+        let mut g = generators::random_graph(12, 60, &["a", "b", "c"], 41);
+        let q = parse_crpq(
+            "(x, z) <- x -[a+b]-> y, y -[b+c]-> z, z -[c a*]-> x",
+            g.alphabet_mut(),
+        )
+        .unwrap();
+        for sem in Semantics::ALL {
+            let seq = eval_tuples(&q, &g, sem);
+            let ws = eval_tuples_parallel(&q, &g, sem, 4);
+            assert_eq!(seq, ws, "mismatch under {sem}");
+        }
+    }
+
+    #[test]
+    fn stealing_worker_panic_releases_starving_siblings() {
+        // One chunk, three workers: the worker that claims it panics while
+        // active. Its ActiveGuard must release the quiescence count during
+        // unwind so the two starving siblings wake, observe quiescence and
+        // exit — otherwise this test deadlocks on the condvar and the
+        // panic never reaches the join handles.
+        let ctx = StealCtx::new();
+        ctx.donate(Chunk {
+            assignment: vec![None; 2],
+            var: Var(0),
+            cands: Arc::new(vec![NodeId(0)]),
+            lo: 0,
+            hi: 1,
+            depth: 0,
+        });
+        let result = std::panic::catch_unwind(|| {
+            collect_worker_results(3, || {
+                if let Some(_chunk) = next_chunk(&ctx) {
+                    let _guard = ActiveGuard(&ctx);
+                    panic!("injected steal panic");
+                }
+            })
+        });
+        let payload = result.expect_err("steal-worker panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .expect("payload must be the original panic message");
+        assert_eq!(*message, "injected steal panic");
+    }
+
+    #[test]
+    fn donated_chunks_are_drained_after_quiescence_race() {
+        // A worker that donates while siblings are between wake-up and
+        // re-check must not strand the chunk: pop/active bookkeeping share
+        // one lock, so either a sibling claims it or the donor's own loop
+        // does. Exercised by funnelling many single-candidate chunks
+        // through fewer workers.
+        let ctx = StealCtx::new();
+        for i in 0u32..32 {
+            ctx.donate(Chunk {
+                assignment: vec![None; 1],
+                var: Var(0),
+                cands: Arc::new(vec![NodeId(i)]),
+                lo: 0,
+                hi: 1,
+                depth: 0,
+            });
+        }
+        let seen = AtomicUsize::new(0);
+        collect_worker_results(4, || {
+            while let Some(chunk) = next_chunk(&ctx) {
+                let _guard = ActiveGuard(&ctx);
+                seen.fetch_add(chunk.hi - chunk.lo, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 32, "every chunk processed");
     }
 }

@@ -149,6 +149,42 @@ fn elimination_order(plan: &JoinPlan<'_>, first: Option<Var>) -> Vec<Var> {
     order
 }
 
+/// Continues the worst-case-optimal join from `level` of `order`, with the
+/// variables of `order[..level]` already bound in `assignment` — the
+/// subtree hand-off point of the work-stealing driver in
+/// [`crate::parallel`]: a worker that has explicitly enumerated the
+/// stealable prefix levels delegates the remaining subtree here.
+pub(crate) fn search_from_level(
+    plan: &JoinPlan<'_>,
+    order: &[Var],
+    level: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    scratch: &mut VerifyScratch,
+    out: &mut dyn TupleSink,
+) {
+    if plan.is_empty() {
+        return;
+    }
+    bind_level(plan, order, level, assignment, scratch, out);
+}
+
+/// The candidates the leapfrog intersection would enumerate for
+/// `order[level]` under the current partial assignment (query-injective
+/// used-node filter included) — lets the work-stealing driver materialise
+/// a level's domain as a splittable range instead of descending through
+/// it. Must agree exactly with what [`bind_level`] enumerates; both go
+/// through [`each_level_candidate`].
+pub(crate) fn level_candidates(
+    plan: &JoinPlan<'_>,
+    order: &[Var],
+    level: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+) -> Vec<NodeId> {
+    let mut cands = Vec::new();
+    each_level_candidate(plan, order, level, assignment, |_, node| cands.push(node));
+    cands
+}
+
 /// Binds `order[level..]` one variable at a time by leapfrog intersection,
 /// verifying and emitting complete assignments.
 fn bind_level(
@@ -168,7 +204,7 @@ fn bind_level(
     if pruned {
         return;
     }
-    let Some(&var) = order.get(level) else {
+    if order.get(level).is_none() {
         // Complete assignment: standard consistency is guaranteed by the
         // views; verify the injective side and record the projection.
         let mut mu = std::mem::take(&mut scratch.mu);
@@ -185,8 +221,29 @@ fn bind_level(
             out.insert_tuple(scratch.tuple.clone());
         }
         return;
-    };
+    }
+    let var = order[level];
+    each_level_candidate(plan, order, level, assignment, |assignment, node| {
+        assignment[var.index()] = Some(node);
+        bind_level(plan, order, level + 1, assignment, scratch, out);
+        assignment[var.index()] = None;
+    });
+}
 
+/// Enumerates the candidates of `order[level]` by leapfrog intersection of
+/// the restricting views, invoking `visit` once per candidate in ascending
+/// id order. Under query-injective semantics, nodes already used by the
+/// assignment are filtered as the intersection streams by; the filter
+/// re-reads `assignment` each round, so `visit` may bind and unbind
+/// deeper variables between calls.
+fn each_level_candidate(
+    plan: &JoinPlan<'_>,
+    order: &[Var],
+    level: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    mut visit: impl FnMut(&mut Vec<Option<NodeId>>, NodeId),
+) {
+    let var = order[level];
     // Collect the views restricting `var`: incident relation rows whose
     // other endpoint is bound, plus the pruned domain. Self-loop atoms
     // were folded into the domain at plan-build time.
@@ -241,8 +298,6 @@ fn bind_level(
         if inj && assignment.iter().flatten().any(|&used| used == node) {
             continue; // μ must be injective under q-inj
         }
-        assignment[var.index()] = Some(node);
-        bind_level(plan, order, level + 1, assignment, scratch, out);
-        assignment[var.index()] = None;
+        visit(assignment, node);
     }
 }

@@ -209,6 +209,12 @@ impl BitSet {
         self.iter().next()
     }
 
+    /// Heap bytes of the backing word buffer — the building block of the
+    /// O(touched) memory accounting in `crpq-graph`'s relation layer.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
     /// The smallest element `≥ from`, if any — the seek primitive of
     /// leapfrog-style sorted intersection. Masks the partial first word,
     /// then skips zero words, so a seek costs `O(words until the hit)`

@@ -125,6 +125,30 @@ pub fn million_query(alphabet: &mut Interner) -> Crpq {
     .unwrap()
 }
 
+/// Zipf exponent of the work-stealing bench family — deliberately more
+/// skewed than [`LABEL_RICH_ZIPF_EXPONENT`]: at 1.4 the head labels carry
+/// most of the edges, so a handful of top-level join candidates own most
+/// of the search space. That is the starvation case static partitioning
+/// loses on (one worker crawls the huge subtree while the rest idle) and
+/// the work-stealing scheduler exists for.
+pub const STEAL_ZIPF_EXPONENT: f64 = 1.4;
+
+/// The **work-stealing bench graph**: the label-rich family skewed to
+/// [`STEAL_ZIPF_EXPONENT`]. Benchmarked under [`steal_query`] with the
+/// work-stealing vs. static parallel schedulers in `BENCH_scale.json`'s
+/// `steal_rows`.
+pub fn steal_skew_graph(n: usize, seed: u64) -> GraphDb {
+    generators::zipf_label_graph(n, 4 * n, LABEL_RICH_LABELS, STEAL_ZIPF_EXPONENT, seed)
+}
+
+/// The query evaluated over [`steal_skew_graph`]: the same anchored
+/// two-atom chain as [`label_rich_query`] — under the skewed label
+/// distribution its `l0`/`l2` anchors produce few but heavy top-level
+/// candidates.
+pub fn steal_query(alphabet: &mut Interner) -> Crpq {
+    label_rich_query(alphabet)
+}
+
 /// A worst-case family for simple-path search: a ladder of diamonds where
 /// the number of simple paths is exponential in `n`.
 pub fn diamond_ladder(n: usize) -> GraphDb {
@@ -195,6 +219,22 @@ mod tests {
             let oracle =
                 crpq_core::eval_tuples_with(&q, &g, sem, crpq_core::EvalStrategy::Enumerate);
             assert_eq!(join, oracle, "million-family join vs oracle under {sem}");
+        }
+    }
+
+    #[test]
+    fn steal_family_schedulers_agree() {
+        // Scaled-down instance of the work-stealing bench family: the
+        // work-stealing and static parallel schedulers must agree with the
+        // sequential engine under all three semantics.
+        let mut g = crpq_graph::generators::zipf_label_graph(40, 160, 25, STEAL_ZIPF_EXPONENT, 13);
+        let q = steal_query(g.alphabet_mut());
+        for sem in Semantics::ALL {
+            let seq = crpq_core::eval_tuples(&q, &g, sem);
+            let ws = crpq_core::eval_tuples_parallel(&q, &g, sem, 4);
+            let st = crpq_core::eval_tuples_parallel_static(&q, &g, sem, 4);
+            assert_eq!(seq, ws, "work-stealing vs sequential under {sem}");
+            assert_eq!(seq, st, "static vs sequential under {sem}");
         }
     }
 

@@ -38,12 +38,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  crpq-cli eval       --graph FILE --query Q [--semantics S] [--tuple n1,n2,…] [--witness]
+  crpq-cli eval       --graph FILE --query Q [--semantics S] [--threads N] [--tuple n1,n2,…] [--witness]
   crpq-cli contain    --q1 Q --q2 Q [--semantics S]
   crpq-cli classify   --query Q
   crpq-cli bounded    --query Q [--max-level K]
   crpq-cli graph-info --graph FILE
 semantics S: st | a-inj | q-inj | a-trail | q-trail (default: st)
+threads N: parallel full enumeration on N threads (0 = one per CPU, capped at 16)
 graph FILE: text (one `src label dst` per line) or CRPQ binary snapshot";
 
 /// Either a paper semantics or a §7 trail semantics.
@@ -156,9 +157,16 @@ fn cmd_eval(args: &[String]) -> Result<String, String> {
         return Ok(format!("({tuple_text}) ∈ Q(G): {member}"));
     }
 
-    let tuples = match sem {
-        AnySemantics::Core(s) => eval_tuples(&q, &g, s),
-        AnySemantics::Trail(s) => eval_tuples_trail(&q, &g, s),
+    // `--threads N` routes full enumeration through the work-stealing
+    // parallel engine; N = 0 keeps the documented fallback (one thread
+    // per available CPU, capped at 16).
+    let threads: Option<usize> = flag(args, "threads")
+        .map(|t| t.parse().map_err(|e| format!("bad --threads: {e}")))
+        .transpose()?;
+    let tuples = match (sem, threads) {
+        (AnySemantics::Core(s), Some(t)) => eval_tuples_parallel(&q, &g, s, t),
+        (AnySemantics::Core(s), None) => eval_tuples(&q, &g, s),
+        (AnySemantics::Trail(s), _) => eval_tuples_trail(&q, &g, s),
     };
     let mut out = format!("{} result(s):\n", tuples.len());
     for t in &tuples {
@@ -354,6 +362,41 @@ mod tests {
         assert!(out.contains("true"), "{out}");
         let out = run(&a(&["graph-info", "--graph", p])).unwrap();
         assert!(out.contains("nodes: 3"), "{out}");
+    }
+
+    #[test]
+    fn eval_threads_flag() {
+        let dir = std::env::temp_dir().join("crpq_cli_test_threads");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        std::fs::write(&path, "u a v\nv a w\nw b x\n").unwrap();
+        let p = path.to_str().unwrap();
+        let query = "(x, y) <- x -[a a*]-> y, y -[b]-> z";
+        let seq = run(&a(&["eval", "--graph", p, "--query", query])).unwrap();
+        for threads in ["0", "1", "4"] {
+            let par = run(&a(&[
+                "eval",
+                "--graph",
+                p,
+                "--query",
+                query,
+                "--threads",
+                threads,
+            ]))
+            .unwrap();
+            assert_eq!(seq, par, "--threads {threads} changed the result");
+        }
+        let err = run(&a(&[
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            query,
+            "--threads",
+            "many",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bad --threads"), "{err}");
     }
 
     #[test]

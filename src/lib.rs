@@ -68,7 +68,8 @@ pub mod prelude {
     pub use crpq_core::{
         check_hierarchy, eval, eval_boolean, eval_boolean_trail, eval_contains,
         eval_contains_analyzed, eval_contains_trail, eval_tuples, eval_tuples_analyzed,
-        eval_tuples_trail, eval_witness, verify_witness, Semantics, TrailSemantics, Witness,
+        eval_tuples_parallel, eval_tuples_trail, eval_witness, verify_witness, Semantics,
+        TrailSemantics, Witness,
     };
     pub use crpq_graph::{generators, rpq, GraphBuilder, GraphDb, NodeId};
     pub use crpq_query::{parse_crpq, Cq, CqAtom, Crpq, CrpqAtom, QueryClass, UnionCrpq, Var};
