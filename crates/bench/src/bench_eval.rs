@@ -60,19 +60,33 @@
 //! dispatch sends to WCOJ. `--smoke` asserts WCOJ is no slower than the
 //! binary join on the triangle row.
 //!
+//! The **streaming workloads** (`stream_rows` in the JSON) time the
+//! early-exit enumeration API on the million-node family: warm-catalog
+//! time-to-first-tuple ([`eval_limit_with_catalog`] with k = 1),
+//! time-to-k, `ASK` ([`eval_ask_with_catalog`]) and the cold end-to-end
+//! first tuple off the pull stream ([`eval_stream`]), against the warm
+//! full materialisation over the same catalog. `--smoke` enforces the CI
+//! floors at `|V| = 10⁶`: time-to-first ≤ 10 % of the full-materialisation
+//! wall clock, and `ASK` no slower than time-to-first (small noise guard).
+//!
 //! The JSON is hand-serialised (the workspace's `serde` is an offline no-op
-//! shim); the schema is `rows` + `scale_rows` + `cyclic_rows` arrays with
-//! `workload` discriminators.
+//! shim); the schema is `rows` + `scale_rows` + `stream_rows` +
+//! `cyclic_rows` arrays with `workload` discriminators. `BENCH_scale.json`
+//! rows are written append-style but **deduped** by
+//! `(workload, |V|, threads)` — a repeated CI run replaces its own prior
+//! measurement instead of growing the file unboundedly.
 
 use crpq_core::{
-    eval_tuples_join_unshared, eval_tuples_parallel, eval_tuples_parallel_static, eval_tuples_with,
-    eval_tuples_with_catalog, EvalStrategy, RelationCatalog, Semantics,
+    eval_ask_with_catalog, eval_limit_with_catalog, eval_stream, eval_tuples_join_unshared,
+    eval_tuples_parallel, eval_tuples_parallel_static, eval_tuples_with, eval_tuples_with_catalog,
+    EvalStrategy, RelationCatalog, Semantics,
 };
 use crpq_graph::GraphDb;
 use crpq_query::Crpq;
 use crpq_util::Interner;
 use crpq_workloads::{cyclic, paper_examples as paper, scaling};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Row {
@@ -298,6 +312,155 @@ fn print_cyclic_rows(rows: &[CyclicRow]) {
             r.wcoj_ms,
             r.binary_ms,
             r.wcoj_speedup(),
+        );
+    }
+}
+
+/// One row of the streaming workloads (`stream_rows` in the JSON): the
+/// early-exit enumeration fast paths against full materialisation on the
+/// million-node family, standard semantics.
+struct StreamRow {
+    workload: &'static str,
+    nodes: usize,
+    edges: usize,
+    tuples: usize,
+    /// Warm-catalog full materialisation — the baseline the floors
+    /// compare against. Warm on both sides so the ratios measure search
+    /// early-exit, not relation-materialisation sharing.
+    full_ms: f64,
+    /// Warm-catalog time-to-first-tuple (`eval_limit` with k = 1).
+    ttf_ms: f64,
+    /// Warm-catalog time-to-k.
+    ttk_ms: f64,
+    /// The k of `ttk_ms`.
+    k: usize,
+    /// Warm-catalog existence check (`eval_ask`).
+    ask_ms: f64,
+    /// Cold end-to-end wall clock until the pull stream yields its first
+    /// tuple — includes relation materialisation, i.e. what a fresh
+    /// caller actually waits.
+    stream_first_ms: f64,
+}
+
+impl StreamRow {
+    fn ttf_fraction(&self) -> f64 {
+        self.ttf_ms / self.full_ms.max(1e-9)
+    }
+}
+
+/// Measures the streaming fast paths on the million-node family at `n`
+/// nodes. With `enforce_floor` (the CI gate at `|V| = 10⁶`):
+/// time-to-first-tuple must be ≤ 10 % of the warm full-materialisation
+/// wall clock, and `ASK` must be no slower than time-to-first (they do
+/// the same search; a 5 % + 1 ms guard absorbs timer noise).
+fn measure_stream(n: usize, threads: usize, enforce_floor: bool) -> StreamRow {
+    const SAMPLES: usize = 3;
+    const K: usize = 64;
+    let mut g = scaling::million_graph(n, 7);
+    let q = scaling::million_query(g.alphabet_mut());
+    // Warm the shared catalog once; every timed path below then runs over
+    // identical, already-materialised relations.
+    let mut catalog = RelationCatalog::with_threads(&g, threads);
+    let tuples = eval_tuples_with_catalog(&q, &g, Semantics::Standard, &mut catalog).len();
+    assert!(
+        tuples > K,
+        "stream workload returned {tuples} tuples — too few for the time-to-k comparison"
+    );
+    let (_, full_ms) = time_best_of(SAMPLES, || {
+        eval_tuples_with_catalog(&q, &g, Semantics::Standard, &mut catalog)
+    });
+    let (first, ttf_ms) = time_best_of(SAMPLES, || {
+        eval_limit_with_catalog(&q, &g, Semantics::Standard, 1, &mut catalog)
+    });
+    assert_eq!(first.len(), 1, "time-to-first run must yield one tuple");
+    let (topk, ttk_ms) = time_best_of(SAMPLES, || {
+        eval_limit_with_catalog(&q, &g, Semantics::Standard, K, &mut catalog)
+    });
+    assert_eq!(topk.len(), K, "time-to-k run must yield k tuples");
+    let (exists, ask_ms) = time_best_of(SAMPLES, || {
+        eval_ask_with_catalog(&q, &g, Semantics::Standard, &mut catalog)
+    });
+    assert!(exists, "ASK must find the witness the full run found");
+    // Cold path: a fresh stream materialises its own relations before the
+    // first tuple can surface.
+    let g = Arc::new(g);
+    let (_, stream_first_ms) = time_once(|| {
+        eval_stream(&q, &g, Semantics::Standard)
+            .next()
+            .expect("stream must yield a first tuple")
+    });
+    let row = StreamRow {
+        workload: "stream_million",
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        tuples,
+        full_ms,
+        ttf_ms,
+        ttk_ms,
+        k: K,
+        ask_ms,
+        stream_first_ms,
+    };
+    if enforce_floor {
+        assert!(
+            row.ttf_fraction() <= 0.10,
+            "time-to-first-tuple above 10% of full materialisation at n={n}: \
+             {:.2}ms vs {:.2}ms ({:.0}%)",
+            row.ttf_ms,
+            row.full_ms,
+            row.ttf_fraction() * 100.0
+        );
+        assert!(
+            row.ask_ms <= row.ttf_ms * 1.05 + 1.0,
+            "ASK slower than time-to-first-tuple at n={n}: {:.2}ms vs {:.2}ms",
+            row.ask_ms,
+            row.ttf_ms
+        );
+    }
+    row
+}
+
+fn stream_rows_json(rows: &[StreamRow]) -> String {
+    let mut json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, \"tuples\": {}, \
+             \"full_ms\": {:.4}, \"ttf_ms\": {:.4}, \"ttk_ms\": {:.4}, \"k\": {}, \
+             \"ask_ms\": {:.4}, \"stream_first_ms\": {:.4}, \"ttf_fraction\": {:.4}}}{}",
+            r.workload,
+            r.nodes,
+            r.edges,
+            r.tuples,
+            r.full_ms,
+            r.ttf_ms,
+            r.ttk_ms,
+            r.k,
+            r.ask_ms,
+            r.stream_first_ms,
+            r.ttf_fraction(),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json
+}
+
+fn print_stream_rows(rows: &[StreamRow]) {
+    println!("\n## streaming enumeration — early-exit fast paths vs full materialisation (st)\n");
+    println!("| workload | n | tuples | full (warm) | first | k={} | ask | first (cold stream) | first/full |", rows.first().map_or(64, |r| r.k));
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for r in rows {
+        println!(
+            "| {} | {} | {} | {:.1}ms | {:.2}ms | {:.2}ms | {:.2}ms | {:.1}ms | {:.1}% |",
+            r.workload,
+            r.nodes,
+            r.tuples,
+            r.full_ms,
+            r.ttf_ms,
+            r.ttk_ms,
+            r.ask_ms,
+            r.stream_first_ms,
+            r.ttf_fraction() * 100.0,
         );
     }
 }
@@ -689,6 +852,63 @@ fn prior_rows(path: &str, name: &str) -> String {
     }
 }
 
+/// The append-dedupe key of one serialised row: `(workload, |V|, threads)`.
+/// Rows without a `threads` field (the scale rows) key on 0. `None` for
+/// lines that don't look like a measurement row.
+fn row_key(line: &str) -> Option<(String, usize, usize)> {
+    fn field_num(line: &str, name: &str) -> Option<usize> {
+        let tag = format!("\"{name}\": ");
+        let rest = &line[line.find(&tag)? + tag.len()..];
+        let digits = &rest[..rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len())];
+        digits.parse().ok()
+    }
+    let tag = "\"workload\": \"";
+    let rest = &line[line.find(tag)? + tag.len()..];
+    let workload = rest[..rest.find('"')?].to_string();
+    let nodes = field_num(line, "nodes")?;
+    Some((workload, nodes, field_num(line, "threads").unwrap_or(0)))
+}
+
+/// [`prior_rows`] minus every row whose `(workload, |V|, threads)` key is
+/// re-measured in `new_rows` — and minus within-file duplicates (keeping
+/// the most recent, i.e. last, occurrence). This is what bounds
+/// `BENCH_scale.json`: repeated CI runs replace their own prior rows
+/// instead of appending forever, while rows of configurations *not*
+/// re-measured keep their trajectory.
+fn prior_rows_deduped(path: &str, name: &str, new_rows: &str) -> String {
+    let prior = prior_rows(path, name);
+    if prior.is_empty() {
+        return prior;
+    }
+    let new_keys: Vec<_> = new_rows.lines().filter_map(row_key).collect();
+    let lines: Vec<&str> = prior.lines().collect();
+    let mut kept: Vec<String> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let keep = match row_key(line) {
+            // Defensive: pass unrecognised non-empty lines through rather
+            // than silently deleting hand-edited content.
+            None => !line.trim().is_empty(),
+            Some(key) => {
+                !new_keys.contains(&key)
+                    && !lines[i + 1..]
+                        .iter()
+                        .filter_map(|l| row_key(l))
+                        .any(|k| k == key)
+            }
+        };
+        if keep {
+            kept.push(line.trim_end().trim_end_matches(',').to_string());
+        }
+    }
+    if kept.is_empty() {
+        String::new()
+    } else {
+        format!("{},\n", kept.join(",\n"))
+    }
+}
+
 /// The `--scale-smoke` CI gate, four rows:
 ///
 /// * `|V| = 10⁵`, 10³-label Zipf workload under its wall-clock ceiling
@@ -744,8 +964,10 @@ pub fn run_scale_smoke(path: &str, threads: usize) {
     )];
     print_scale_rows(&rows);
     print_steal_rows(&steal_rows);
-    let prior_scale = prior_rows(path, "scale_rows");
-    let prior_steal = prior_rows(path, "steal_rows");
+    let new_scale = scale_rows_json(&rows);
+    let new_steal = steal_rows_json(&steal_rows);
+    let prior_scale = prior_rows_deduped(path, "scale_rows", &new_scale);
+    let prior_steal = prior_rows_deduped(path, "steal_rows", &new_steal);
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(
@@ -753,11 +975,11 @@ pub fn run_scale_smoke(path: &str, threads: usize) {
     );
     json.push_str("  \"scale_rows\": [\n");
     json.push_str(&prior_scale);
-    json.push_str(&scale_rows_json(&rows));
+    json.push_str(&new_scale);
     json.push_str("  ],\n");
     json.push_str("  \"steal_rows\": [\n");
     json.push_str(&prior_steal);
-    json.push_str(&steal_rows_json(&steal_rows));
+    json.push_str(&new_steal);
     json.push_str("  ]\n}\n");
     std::fs::write(path, &json).expect("write scale smoke JSON");
     println!("\nwrote {path}");
@@ -854,6 +1076,14 @@ pub fn run_smoke(path: &str, enforce_floor: bool, threads: usize) {
     // "WCOJ no slower than the binary join" floor.
     let cyclic_rows = measure_cyclic_rows();
 
+    // Streaming fast paths on the million family: 10⁵ for the trajectory,
+    // 10⁶ as the CI floor carrier (time-to-first ≤ 10% of full, ASK no
+    // slower than time-to-first).
+    let stream_rows = vec![
+        measure_stream(100_000, threads, false),
+        measure_stream(1_000_000, threads, enforce_floor),
+    ];
+
     for r in &rows {
         println!(
             "| {} | {} | {} | {} | {} | {:.3}ms | {:.3}ms | {:.3}ms | {:.3}ms | {:.0}% | {:.1}x | {:.1}x |",
@@ -873,6 +1103,7 @@ pub fn run_smoke(path: &str, enforce_floor: bool, threads: usize) {
     }
 
     print_scale_rows(&scale_rows);
+    print_stream_rows(&stream_rows);
     print_cyclic_rows(&cyclic_rows);
 
     let mut json = String::new();
@@ -915,6 +1146,9 @@ pub fn run_smoke(path: &str, enforce_floor: bool, threads: usize) {
     json.push_str("  ],\n");
     json.push_str("  \"scale_rows\": [\n");
     json.push_str(&scale_rows_json(&scale_rows));
+    json.push_str("  ],\n");
+    json.push_str("  \"stream_rows\": [\n");
+    json.push_str(&stream_rows_json(&stream_rows));
     json.push_str("  ],\n");
     json.push_str("  \"cyclic_rows\": [\n");
     json.push_str(&cyclic_rows_json(&cyclic_rows));
@@ -999,5 +1233,56 @@ pub fn run_smoke(path: &str, enforce_floor: bool, threads: usize) {
         if cat_speedup < 2.0 {
             println!("warning: catalog speedup below the 2x target (not enforced outside --smoke)");
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{prior_rows_deduped, row_key};
+
+    #[test]
+    fn row_key_reads_workload_nodes_and_optional_threads() {
+        let steal = r#"    {"workload": "zipf_steal", "nodes": 60000, "threads": 16, "ms": 1.0},"#;
+        assert_eq!(row_key(steal), Some(("zipf_steal".to_string(), 60_000, 16)));
+        let scale = r#"    {"workload": "million", "nodes": 1000000, "eval_ms": 3.0}"#;
+        assert_eq!(row_key(scale), Some(("million".to_string(), 1_000_000, 0)));
+        assert_eq!(row_key("  ],"), None);
+    }
+
+    #[test]
+    fn prior_rows_dedupe_replaces_remeasured_and_keeps_last_duplicate() {
+        let path = std::env::temp_dir().join(format!("bench-dedupe-{}.json", std::process::id()));
+        let text = concat!(
+            "{\n",
+            "  \"scale_rows\": [\n",
+            "    {\"workload\": \"zipf\", \"nodes\": 100000, \"threads\": 4, \"eval_ms\": 1.0},\n",
+            "    {\"workload\": \"zipf\", \"nodes\": 100000, \"threads\": 4, \"eval_ms\": 2.0},\n",
+            "    {\"workload\": \"million\", \"nodes\": 1000000, \"eval_ms\": 3.0}\n",
+            "  ]\n",
+            "}\n",
+        );
+        std::fs::write(&path, text).unwrap();
+        let path_str = path.to_str().unwrap();
+
+        // Re-measuring `million` drops its prior row; the duplicated `zipf`
+        // row keeps only its last (most recent) occurrence.
+        let new_rows = "    {\"workload\": \"million\", \"nodes\": 1000000, \"eval_ms\": 9.0},\n";
+        let deduped = prior_rows_deduped(path_str, "scale_rows", new_rows);
+        assert_eq!(
+            deduped,
+            "    {\"workload\": \"zipf\", \"nodes\": 100000, \"threads\": 4, \"eval_ms\": 2.0},\n"
+        );
+
+        // Nothing re-measured: both distinct keys survive, still deduped.
+        let untouched = prior_rows_deduped(path_str, "scale_rows", "");
+        assert_eq!(untouched.lines().count(), 2);
+        assert!(untouched.contains("\"eval_ms\": 2.0"));
+        assert!(untouched.contains("\"million\""));
+        assert!(!untouched.contains("\"eval_ms\": 1.0"));
+
+        // Missing file / missing array stay a fresh start.
+        assert_eq!(prior_rows_deduped(path_str, "no_such_array", ""), "");
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(prior_rows_deduped(path_str, "scale_rows", ""), "");
     }
 }

@@ -8,9 +8,12 @@
 //! With `--smoke`, runs only the evaluation benchmark (E2/E9 workloads,
 //! join-based engine vs. the legacy enumeration oracle, plus the
 //! label-rich scale workload at |V| = 10⁴ and the anonymous million-node
-//! family at |V| = 10⁵) and writes the wall-clock and
-//! index/name/relation/scratch-memory numbers to `BENCH_eval.json` — the
-//! CI perf baseline:
+//! family at |V| = 10⁵, plus the streaming rows: time-to-first-tuple,
+//! time-to-k, and ASK latency against the warm full-materialisation wall
+//! clock at 10⁵ and 10⁶ nodes, with the ≤ 10% time-to-first floor and the
+//! ASK ≤ time-to-first floor enforced at 10⁶) and writes the wall-clock
+//! and index/name/relation/scratch-memory numbers to `BENCH_eval.json` —
+//! the CI perf baseline:
 //!
 //! ```sh
 //! cargo run --release -p crpq-bench --bin experiments -- --smoke
@@ -23,7 +26,9 @@
 //! names under explicit per-size budgets, sweep scratch far below one
 //! dense |V|·|Q| stamp array), plus the skewed-Zipf scheduler comparison
 //! (work-stealing vs. static partitioning, ≥ 1.5× floor on ≥ 4-CPU
-//! machines). Rows append to `BENCH_scale.json` across runs:
+//! machines). Rows append to `BENCH_scale.json` across runs, with
+//! re-measured `(workload, |V|, threads)` configurations replacing their
+//! prior rows instead of duplicating them:
 //!
 //! ```sh
 //! cargo run --release -p crpq-bench --bin experiments -- --scale-smoke

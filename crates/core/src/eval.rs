@@ -100,6 +100,38 @@
 //! * `q-inj` — assignments are generated injectively and atoms are *placed*
 //!   one by one, accumulating the set of used nodes so paths stay internally
 //!   disjoint (backtracking across atoms).
+//!
+//! # Streaming enumeration: the sink contract
+//!
+//! Both executors emit results through a [`TupleSink`] rather than a
+//! concrete set, and the sink steers the search: `insert_tuple` returns a
+//! [`SinkStatus`] and `should_stop` is re-checked at every search-tree
+//! node, so a sink can end the enumeration early — after the first witness
+//! ([`eval_ask`]), after `k` tuples ([`eval_limit`]), or when a streaming
+//! consumer hangs up ([`crate::stream::eval_stream`]). The contract: once a
+//! sink returns [`SinkStatus::Stop`] (or starts reporting `should_stop`),
+//! every executor — the backtracking join, the WCOJ executor
+//! ([`crate::wcoj`]) and the work-stealing scheduler ([`crate::parallel`],
+//! via a shared cancellation flag) — unwinds without inserting further
+//! tuples; a parallel worker may at most finish verifying the candidate it
+//! was already on, so overshoot is bounded by the worker count.
+//! Full-materialisation sinks never stop, which keeps [`eval_tuples`]
+//! byte-identical to the pre-streaming engine.
+//!
+//! # Inline injective verification
+//!
+//! Under `a-inj`/`q-inj` the relations over-approximate, and verification
+//! used to run post-hoc on complete assignments only — rejected candidates
+//! are exactly what stalls a stream. The search now also prunes at **bind
+//! time** ([`JoinPlan::bind_allowed`]): binding a node immediately checks
+//! every incident atom whose other endpoint is already bound for per-atom
+//! simple-path/-cycle feasibility, memoised per plan in [`VerifyScratch`].
+//! Under `a-inj` the check is exact per atom; under `q-inj` it is a sound
+//! *necessary* condition (the joint placement blocks at least as many
+//! nodes as the empty blocked set). The pruning invariant: `bind_allowed`
+//! only rejects assignments no completion of which could verify, so pruned
+//! and unpruned searches emit the same tuple set — differentially tested
+//! in `tests/stream_equivalence.rs`.
 
 use crpq_automata::{Nfa, NfaKey};
 use crpq_graph::rpq::{NodeSet, ReachScratch, Relation, RelationRow};
@@ -283,22 +315,130 @@ fn eval_tuples_join(
     catalog: &mut RelationCatalog,
     mode: JoinMode,
 ) -> Vec<Vec<NodeId>> {
+    let mut out = FxHashSet::default();
+    eval_sink_join(q, g, sem, analyze, catalog, mode, &mut out);
+    sorted_tuples(out)
+}
+
+/// The sink-driven core of the sequential join engine: runs every ε-free
+/// variant against `out`, honouring the sink's stop signal between and
+/// inside variants. [`eval_tuples_join`] feeds it a never-stopping hash
+/// set; [`eval_ask`]/[`eval_limit`] a [`LimitSink`]; [`crate::stream`] a
+/// channel-backed sink.
+pub(crate) fn eval_sink_join(
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    analyze: bool,
+    catalog: &mut RelationCatalog,
+    mode: JoinMode,
+    out: &mut dyn TupleSink,
+) -> SinkStatus {
     let variants = q.epsilon_free_union();
     let plans: Vec<VariantPlan> = variants
         .iter()
         .map(|v| plan_variant(v, g, analyze, catalog))
         .collect();
-    let mut out = FxHashSet::default();
     let mut scratch = VerifyScratch::new();
     for (variant, plan) in variants.iter().zip(plans) {
+        if out.should_stop() {
+            return SinkStatus::Stop;
+        }
         let plan = JoinPlan::build(variant, g, sem, plan, catalog);
-        if plan.use_wcoj(mode) {
-            crate::wcoj::search_all(&plan, &mut scratch, &mut out);
+        let status = if plan.use_wcoj(mode) {
+            crate::wcoj::search_all(&plan, &mut scratch, out)
         } else {
-            plan.search_all(&mut scratch, &mut out);
+            plan.search_all(&mut scratch, out)
+        };
+        if status == SinkStatus::Stop {
+            return SinkStatus::Stop;
         }
     }
-    sorted_tuples(out)
+    SinkStatus::Continue
+}
+
+/// `ASK` fast path: whether `Q(G)_sem ≠ ∅`, stopping the join search at
+/// the **first verified witness** instead of materialising the result set.
+/// Works for Boolean and non-Boolean queries alike (for the latter it asks
+/// whether any result tuple exists).
+pub fn eval_ask(q: &Crpq, g: &GraphDb, sem: Semantics) -> bool {
+    eval_ask_with_catalog(q, g, sem, &mut RelationCatalog::new(g))
+}
+
+/// [`eval_ask`] against a caller-owned catalog, so a warm catalog skips
+/// relation materialisation entirely (the time-to-first-tuple measurement
+/// of `BENCH_eval`).
+pub fn eval_ask_with_catalog(
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    catalog: &mut RelationCatalog,
+) -> bool {
+    let mut sink = LimitSink::new(1);
+    eval_sink_join(q, g, sem, false, catalog, JoinMode::Auto, &mut sink);
+    !sink.is_empty()
+}
+
+/// `LIMIT k` fast path: at most `k` distinct result tuples, stopping the
+/// search as soon as the k-th is found. The returned tuples are a subset
+/// of [`eval_tuples`]' result (sorted among themselves); *which* subset is
+/// unspecified — it depends on search order, like any engine's unordered
+/// `LIMIT`.
+pub fn eval_limit(q: &Crpq, g: &GraphDb, sem: Semantics, k: usize) -> Vec<Vec<NodeId>> {
+    eval_limit_with_catalog(q, g, sem, k, &mut RelationCatalog::new(g))
+}
+
+/// [`eval_limit`] under a forced [`EvalStrategy`] — the differential-test
+/// entry point. `Enumerate` truncates the materialised oracle result (its
+/// first `k` in sorted order), the join strategies stop the search early.
+pub fn eval_limit_with(
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    k: usize,
+    strategy: EvalStrategy,
+) -> Vec<Vec<NodeId>> {
+    let mode = match strategy {
+        EvalStrategy::Join => JoinMode::Auto,
+        EvalStrategy::BinaryJoin => JoinMode::Binary,
+        EvalStrategy::Wcoj => JoinMode::Wcoj,
+        EvalStrategy::Enumerate => {
+            let mut all = eval_tuples_enumerate(q, g, sem);
+            all.truncate(k);
+            return all;
+        }
+    };
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut sink = LimitSink::new(k);
+    eval_sink_join(
+        q,
+        g,
+        sem,
+        false,
+        &mut RelationCatalog::new(g),
+        mode,
+        &mut sink,
+    );
+    sorted_tuples(sink.into_tuples())
+}
+
+/// [`eval_limit`] against a caller-owned catalog (see
+/// [`eval_ask_with_catalog`]).
+pub fn eval_limit_with_catalog(
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    k: usize,
+    catalog: &mut RelationCatalog,
+) -> Vec<Vec<NodeId>> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut sink = LimitSink::new(k);
+    eval_sink_join(q, g, sem, false, catalog, JoinMode::Auto, &mut sink);
+    sorted_tuples(sink.into_tuples())
 }
 
 /// Sorts a deduplicated tuple set into the engines' canonical output
@@ -311,22 +451,49 @@ pub(crate) fn sorted_tuples(out: FxHashSet<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
     tuples
 }
 
+/// `ControlFlow`-style steering signal a [`TupleSink`] hands back to the
+/// executors: [`SinkStatus::Stop`] unwinds the search without inserting
+/// further tuples (see the module docs for the full contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SinkStatus {
+    /// Keep enumerating.
+    Continue,
+    /// The sink has everything it wants — unwind the search.
+    Stop,
+}
+
 /// Result-set abstraction for the join search, so the production engine
 /// can accumulate into a hash set while [`eval_tuples_join_unshared`]
-/// keeps the PR-1 `BTreeSet` accumulation it is meant to replicate.
+/// keeps the PR-1 `BTreeSet` accumulation it is meant to replicate — and
+/// so early-exit sinks ([`LimitSink`], the streaming sink of
+/// [`crate::stream`], the cancellation-aware worker sinks of
+/// [`crate::parallel`]) can end the enumeration from inside the search.
+///
+/// Contract: after `insert_tuple` returns [`SinkStatus::Stop`],
+/// `should_stop` must keep returning `true`; executors re-check it at
+/// every search-tree node, so a stopped sink is never descended past.
 pub(crate) trait TupleSink {
     /// Whether the projection is already a known result.
     fn contains_tuple(&self, t: &[NodeId]) -> bool;
-    /// Records a verified result projection.
-    fn insert_tuple(&mut self, t: Vec<NodeId>);
+    /// Records a verified result projection; [`SinkStatus::Stop`] ends the
+    /// enumeration.
+    fn insert_tuple(&mut self, t: Vec<NodeId>) -> SinkStatus;
+    /// Whether the search should unwind before doing more work. Checked at
+    /// search-node entry (and per candidate by the parallel driver), so a
+    /// stop decision made elsewhere — another worker, a hung-up stream
+    /// consumer — propagates promptly.
+    fn should_stop(&self) -> bool {
+        false
+    }
 }
 
 impl TupleSink for FxHashSet<Vec<NodeId>> {
     fn contains_tuple(&self, t: &[NodeId]) -> bool {
         self.contains(t)
     }
-    fn insert_tuple(&mut self, t: Vec<NodeId>) {
+    fn insert_tuple(&mut self, t: Vec<NodeId>) -> SinkStatus {
         self.insert(t);
+        SinkStatus::Continue
     }
 }
 
@@ -334,8 +501,57 @@ impl TupleSink for BTreeSet<Vec<NodeId>> {
     fn contains_tuple(&self, t: &[NodeId]) -> bool {
         self.contains(t)
     }
-    fn insert_tuple(&mut self, t: Vec<NodeId>) {
+    fn insert_tuple(&mut self, t: Vec<NodeId>) -> SinkStatus {
         self.insert(t);
+        SinkStatus::Continue
+    }
+}
+
+/// Early-exit sink behind [`eval_ask`] and [`eval_limit`]: accumulates at
+/// most `limit` distinct tuples, then stops the search. The length never
+/// exceeds `limit` even with racing parallel workers — an insert against a
+/// full sink is refused (and answered with [`SinkStatus::Stop`]).
+pub(crate) struct LimitSink {
+    seen: FxHashSet<Vec<NodeId>>,
+    limit: usize,
+}
+
+impl LimitSink {
+    pub(crate) fn new(limit: usize) -> Self {
+        LimitSink {
+            seen: FxHashSet::default(),
+            limit,
+        }
+    }
+
+    /// The collected tuples (≤ `limit` of them).
+    pub(crate) fn into_tuples(self) -> FxHashSet<Vec<NodeId>> {
+        self.seen
+    }
+
+    /// Whether any tuple was collected.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+impl TupleSink for LimitSink {
+    fn contains_tuple(&self, t: &[NodeId]) -> bool {
+        self.seen.contains(t)
+    }
+    fn insert_tuple(&mut self, t: Vec<NodeId>) -> SinkStatus {
+        if self.seen.len() >= self.limit {
+            return SinkStatus::Stop;
+        }
+        self.seen.insert(t);
+        if self.seen.len() >= self.limit {
+            SinkStatus::Stop
+        } else {
+            SinkStatus::Continue
+        }
+    }
+    fn should_stop(&self) -> bool {
+        self.seen.len() >= self.limit
     }
 }
 
@@ -798,6 +1014,12 @@ impl<'a> JoinPlan<'a> {
         self.empty
     }
 
+    /// Node count of the plan's graph (for sizing scratch pools from the
+    /// sibling executor modules, which cannot see the private graph ref).
+    pub(crate) fn num_nodes(&self) -> usize {
+        self.g.num_nodes()
+    }
+
     /// Whether the variant's **atom–variable incidence graph is cyclic**:
     /// some connected component of the variable graph (one edge per
     /// non-self-loop atom, parallel atoms counted separately) contains a
@@ -824,16 +1046,22 @@ impl<'a> JoinPlan<'a> {
         }
     }
 
-    /// Runs the join to completion, inserting every result projection
-    /// (tuple of free-variable images) into `out`. `scratch` pools the
-    /// verification buffers across solutions (and across variants when the
-    /// caller reuses it).
-    pub(crate) fn search_all(&self, scratch: &mut VerifyScratch, out: &mut dyn TupleSink) {
+    /// Runs the join to completion (or until the sink stops it), inserting
+    /// every result projection (tuple of free-variable images) into `out`.
+    /// `scratch` pools the verification buffers across solutions (and
+    /// across variants when the caller reuses it); the per-plan atom memo
+    /// is reset here.
+    pub(crate) fn search_all(
+        &self,
+        scratch: &mut VerifyScratch,
+        out: &mut dyn TupleSink,
+    ) -> SinkStatus {
         if self.empty {
-            return;
+            return SinkStatus::Continue;
         }
+        scratch.begin_plan(self.g.num_nodes());
         let mut assignment: Vec<Option<NodeId>> = vec![None; self.q.num_vars];
-        self.search(&mut assignment, scratch, out);
+        self.search(&mut assignment, scratch, out)
     }
 
     /// The relation rows of `var`'s assigned neighbours — the selective
@@ -981,8 +1209,8 @@ impl<'a> JoinPlan<'a> {
         assignment: &mut Vec<Option<NodeId>>,
         scratch: &mut VerifyScratch,
         out: &mut dyn TupleSink,
-    ) {
-        self.search(assignment, scratch, out);
+    ) -> SinkStatus {
+        self.search(assignment, scratch, out)
     }
 
     /// Selectivity-ordered backtracking join.
@@ -991,7 +1219,12 @@ impl<'a> JoinPlan<'a> {
         assignment: &mut Vec<Option<NodeId>>,
         scratch: &mut VerifyScratch,
         out: &mut dyn TupleSink,
-    ) {
+    ) -> SinkStatus {
+        // Early exit: a stopped sink (limit reached, stream hung up,
+        // sibling worker cancelled) unwinds the whole search.
+        if out.should_stop() {
+            return SinkStatus::Stop;
+        }
         // Prune: once all free variables are fixed, deeper levels only vary
         // existential variables — pointless if the projection is already a
         // known result. The projection goes through a pooled buffer; the
@@ -1001,7 +1234,7 @@ impl<'a> JoinPlan<'a> {
             self.projection_into(assignment, &mut proj) && out.contains_tuple(proj.as_slice());
         scratch.tuple = proj;
         if pruned {
-            return;
+            return SinkStatus::Continue;
         }
         let Some((var, cands)) = self.choose_branch(assignment) else {
             // Complete assignment: relations guaranteed it standard-wise;
@@ -1023,15 +1256,107 @@ impl<'a> JoinPlan<'a> {
                     self.q.free.len(),
                     "entry prune must have projected the complete assignment"
                 );
-                out.insert_tuple(scratch.tuple.clone());
+                return out.insert_tuple(scratch.tuple.clone());
             }
-            return;
+            return SinkStatus::Continue;
         };
         for node in cands.iter() {
-            assignment[var.index()] = Some(NodeId(node as u32));
-            self.search(assignment, scratch, out);
+            let node = NodeId(node as u32);
+            if !self.bind_allowed(var, node, assignment, scratch) {
+                continue;
+            }
+            assignment[var.index()] = Some(node);
+            let status = self.search(assignment, scratch, out);
             assignment[var.index()] = None;
+            if status == SinkStatus::Stop {
+                return SinkStatus::Stop;
+            }
         }
+        SinkStatus::Continue
+    }
+
+    /// Bind-time injectivity prune (see the module docs): whether binding
+    /// `node` to `var` can still lead to a verifying completion, judged by
+    /// the per-atom feasibility of every incident atom both of whose
+    /// endpoints are now bound. Exact per atom under `a-inj`; a sound
+    /// necessary condition under `q-inj` (the joint placement only blocks
+    /// *more* nodes). Standard semantics never prunes — the relations are
+    /// exact there.
+    pub(crate) fn bind_allowed(
+        &self,
+        var: Var,
+        node: NodeId,
+        assignment: &[Option<NodeId>],
+        scratch: &mut VerifyScratch,
+    ) -> bool {
+        if self.sem == Semantics::Standard {
+            return true;
+        }
+        for (i, atom) in self.atoms.iter().enumerate() {
+            let (s, d) = if atom.src == atom.dst {
+                if atom.src != var {
+                    continue;
+                }
+                (node, node)
+            } else if atom.src == var {
+                match assignment[atom.dst.index()] {
+                    Some(d) => (node, d),
+                    None => continue,
+                }
+            } else if atom.dst == var {
+                match assignment[atom.src.index()] {
+                    Some(s) => (s, node),
+                    None => continue,
+                }
+            } else {
+                continue;
+            };
+            if !self.atom_feasible_ainj(i, s, d, scratch) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Per-atom atom-injective feasibility of `(s, d)` for atom `i` —
+    /// the branch structure mirrors [`verify_atom_injective`] exactly
+    /// (semantics-critical), with the standard-reachability answer of the
+    /// deletion-closed fast path constant-`true`: callers only ask about
+    /// pairs already relation-consistent (candidate generation intersects
+    /// every incident row; the domain fold guarantees self-loop pairs).
+    /// Simple-path/-cycle answers are memoised per plan in `scratch`.
+    fn atom_feasible_ainj(
+        &self,
+        i: usize,
+        s: NodeId,
+        d: NodeId,
+        scratch: &mut VerifyScratch,
+    ) -> bool {
+        let atom = &self.atoms[i];
+        if atom.src != atom.dst {
+            if s == d {
+                // Simple path from a node to itself is the empty path;
+                // atoms are ε-free, so this is unsatisfiable.
+                return atom.accepts_epsilon;
+            }
+            if atom.deletion_closed {
+                // Loop-pruning lemma: standard reachability is exact, and
+                // it is already enforced by the relations.
+                return true;
+            }
+        }
+        let key = (i as u32, s.0, d.0);
+        if let Some(&ok) = scratch.atom_memo.get(&key) {
+            return ok;
+        }
+        scratch.ensure_graph(self.g.num_nodes());
+        let ok = if atom.src == atom.dst {
+            rpq::simple_cycle_exists(self.g, &atom.nfa, s, &scratch.empty)
+        } else {
+            rpq::simple_path_exists(self.g, &atom.nfa, s, d, &scratch.empty)
+        };
+        scratch.atom_memo.insert(key, ok);
+        ok
     }
 
     /// Verifies a complete, relation-consistent assignment under the plan's
@@ -1046,12 +1371,16 @@ impl<'a> JoinPlan<'a> {
             .all(|(atom, rel)| { rel.contains(mu[atom.src.index()], mu[atom.dst.index()]) }));
         match self.sem {
             Semantics::Standard => true,
-            // Deletion-closed fast path: relation membership was already
-            // enforced during the search, so `std_reach` is a constant.
-            Semantics::AtomInjective => {
-                scratch.prepare(self.g.num_nodes(), 0);
-                verify_atom_injective(self.g, &self.atoms, mu, &mut |_, _, _| true, &scratch.empty)
-            }
+            // Per-atom checks routed through the bind-time memo
+            // ([`Self::atom_feasible_ainj`], same branch structure as
+            // [`verify_atom_injective`] with constant-true `std_reach`):
+            // with inline pruning active, every atom was already checked
+            // when its second endpoint was bound, so this is a handful of
+            // hash lookups.
+            Semantics::AtomInjective => (0..self.atoms.len()).all(|i| {
+                let (s, d) = (mu[self.atoms[i].src.index()], mu[self.atoms[i].dst.index()]);
+                self.atom_feasible_ainj(i, s, d, scratch)
+            }),
             Semantics::QueryInjective => verify_query_injective(self.g, &self.atoms, mu, scratch),
         }
     }
@@ -1079,13 +1408,16 @@ impl<'a> JoinPlan<'a> {
         node: NodeId,
         scratch: &mut VerifyScratch,
         out: &mut dyn TupleSink,
-    ) {
+    ) -> SinkStatus {
         if self.empty {
-            return;
+            return SinkStatus::Continue;
         }
         let mut assignment: Vec<Option<NodeId>> = vec![None; self.q.num_vars];
+        if !self.bind_allowed(var, node, &assignment, scratch) {
+            return SinkStatus::Continue;
+        }
         assignment[var.index()] = Some(node);
-        self.search(&mut assignment, scratch, out);
+        self.search(&mut assignment, scratch, out)
     }
 }
 
@@ -1420,6 +1752,12 @@ pub(crate) struct VerifyScratch {
     /// Pooled complete-assignment buffer handed to verification (shared
     /// with the [`crate::wcoj`] executor).
     pub(crate) mu: Vec<NodeId>,
+    /// Bind-time memo of per-atom a-inj feasibility: `(atom index, src
+    /// node, dst node) → simple-path/-cycle existence`. Keyed by atom
+    /// *index*, so entries are only valid for one [`JoinPlan`] —
+    /// [`Self::begin_plan`] clears it (parallel workers get a fresh
+    /// scratch per plan instead).
+    atom_memo: FxHashMap<(u32, u32, u32), bool>,
 }
 
 impl VerifyScratch {
@@ -1432,18 +1770,34 @@ impl VerifyScratch {
             empty: BitSet::new(0),
             tuple: Vec::new(),
             mu: Vec::new(),
+            atom_memo: FxHashMap::default(),
         }
+    }
+
+    /// Sizes the graph-capacity bitsets without touching their contents
+    /// beyond a (re)allocation — cheap equality check when already sized.
+    fn ensure_graph(&mut self, n: usize) {
+        if self.used.capacity() != n {
+            self.used = BitSet::new(n);
+            self.empty = BitSet::new(n);
+        }
+    }
+
+    /// Plan boundary: sizes the pools for a graph with `n` nodes and
+    /// invalidates the per-plan atom memo. Called by both executors'
+    /// `search_all`; the subtree entry points (`search_from`,
+    /// `search_with_fixed`, `search_from_level`) deliberately don't — the
+    /// memo stays valid across subtrees of one plan.
+    pub(crate) fn begin_plan(&mut self, n: usize) {
+        self.ensure_graph(n);
+        self.atom_memo.clear();
     }
 
     /// Sizes the pools for a graph with `n` nodes and a placement search
     /// `depth` atoms deep, and clears the blocked accumulator.
     fn prepare(&mut self, n: usize, depth: usize) {
-        if self.used.capacity() != n {
-            self.used = BitSet::new(n);
-            self.empty = BitSet::new(n);
-        } else {
-            self.used.clear();
-        }
+        self.ensure_graph(n);
+        self.used.clear();
         while self.blocked.len() < depth {
             self.blocked.push(BitSet::new(0));
         }

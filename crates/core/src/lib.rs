@@ -26,17 +26,22 @@ pub mod eval;
 pub mod expansion_eval;
 pub mod hierarchy;
 pub mod parallel;
+pub mod stream;
 pub mod trail;
 pub(crate) mod wcoj;
 pub mod witness;
 
 pub use eval::{
-    eval, eval_boolean, eval_contains, eval_contains_analyzed, eval_tuples, eval_tuples_analyzed,
+    eval, eval_ask, eval_ask_with_catalog, eval_boolean, eval_contains, eval_contains_analyzed,
+    eval_limit, eval_limit_with, eval_limit_with_catalog, eval_tuples, eval_tuples_analyzed,
     eval_tuples_enumerate, eval_tuples_join_unshared, eval_tuples_with, eval_tuples_with_catalog,
     EvalStrategy, RelationCatalog, Semantics,
 };
 pub use expansion_eval::{eval_contains_via_expansions, EvalOutcome};
 pub use hierarchy::check_hierarchy;
-pub use parallel::{eval_tuples_parallel, eval_tuples_parallel_static};
+pub use parallel::{
+    eval_ask_parallel, eval_limit_parallel, eval_tuples_parallel, eval_tuples_parallel_static,
+};
+pub use stream::{eval_stream, eval_stream_parallel, eval_stream_with, TupleStream};
 pub use trail::{eval_boolean_trail, eval_contains_trail, eval_tuples_trail, TrailSemantics};
 pub use witness::{eval_witness, verify_witness, Witness, WitnessError};

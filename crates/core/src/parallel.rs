@@ -44,16 +44,35 @@
 //! caller. The previous static-partitioning scheduler is kept as
 //! [`eval_tuples_parallel_static`] — it is the baseline the
 //! work-stealing speedup is benchmarked against.
+//!
+//! # Streaming and cancellation
+//!
+//! The early-exit entry points ([`eval_ask_parallel`],
+//! [`eval_limit_parallel`] and the parallel stream of [`crate::stream`])
+//! share one **global sink** behind a mutex; each worker wraps it in a
+//! [`WorkerSink`] that filters through a local seen-set first (so the
+//! duplicate-projection prune stays lock-free) and forwards fresh tuples
+//! under the lock. The moment the global sink answers
+//! [`SinkStatus::Stop`], the worker raises the [`StealCtx`] **cancel
+//! flag**; every other worker observes it through `should_stop` — checked
+//! at search-node entry by the sequential engines and per candidate by
+//! [`enumerate_range`] — and [`next_chunk`] drains the queue, so the run
+//! reaches quiescence promptly. Overshoot is bounded: past the flag, a
+//! worker can at most finish the candidate it was already verifying (one
+//! late insert each), and the global [`crate::eval::LimitSink`] refuses
+//! inserts beyond its limit, so the answer set never exceeds `k`. The
+//! full-materialisation path keeps its per-worker local sets merged after
+//! quiescence — no shared sink, no cancellation, byte-identical results.
 
 use crate::eval::{
-    eval_contains, plan_variant, sorted_tuples, JoinMode, JoinPlan, RelationCatalog, Semantics,
-    TupleSink, VariantPlan, VerifyScratch,
+    eval_contains, plan_variant, sorted_tuples, JoinMode, JoinPlan, LimitSink, RelationCatalog,
+    Semantics, SinkStatus, TupleSink, VariantPlan, VerifyScratch,
 };
 use crate::wcoj;
 use crpq_graph::{rpq, GraphDb, NodeId};
 use crpq_query::{Crpq, Var};
 use crpq_util::FxHashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Number of join levels workers enumerate explicitly (and can therefore
@@ -189,58 +208,110 @@ fn run_work_stealing(
 ) -> Vec<FxHashSet<Vec<NodeId>>> {
     let cands = Arc::new(cands);
     let ctx = StealCtx::new();
-    {
-        // Seed: one contiguous top-level range per worker. Uneven subtree
-        // weights below these ranges are what donation redistributes.
-        let mut st = ctx.lock();
-        let pieces = threads.min(cands.len()).max(1);
-        let per = cands.len().div_ceil(pieces);
-        let mut lo = 0;
-        while lo < cands.len() {
-            let hi = (lo + per).min(cands.len());
-            st.queue.push(Chunk {
-                assignment: vec![None; plan.q.num_vars],
-                var,
-                cands: Arc::clone(&cands),
-                lo,
-                hi,
-                depth: 0,
-            });
-            lo = hi;
-        }
-    }
+    seed_chunks(&ctx, plan, var, &cands, threads);
     collect_worker_results(threads, || {
         let mut local: FxHashSet<Vec<NodeId>> = FxHashSet::default();
         let mut scratch = VerifyScratch::new();
-        while let Some(chunk) = next_chunk(&ctx) {
-            // `next_chunk` marked this worker active under the queue lock;
-            // the guard releases it even on unwind, so a panicking worker
-            // cannot leave starving siblings blocked on the condvar.
-            let _guard = ActiveGuard(&ctx);
-            let Chunk {
-                mut assignment,
-                var,
-                cands,
-                lo,
-                hi,
-                depth,
-            } = chunk;
-            enumerate_range(
-                &ctx,
-                plan,
-                wcoj_order,
-                var,
-                &cands,
-                lo,
-                hi,
-                depth,
-                &mut assignment,
-                &mut scratch,
-                &mut local,
-            );
-        }
+        drain_chunks(&ctx, plan, wcoj_order, &mut scratch, &mut local);
         local
     })
+}
+
+/// The streaming variant of [`run_work_stealing`]: every worker feeds one
+/// shared `global` sink through a [`WorkerSink`], so an early-exit sink
+/// ([`LimitSink`], the stream sink) can stop the whole fleet via the
+/// [`StealCtx`] cancel flag. Results land in `global`; per-worker local
+/// sets are only the lock-free duplicate filter.
+fn run_work_stealing_shared<S: TupleSink + Send>(
+    plan: &JoinPlan<'_>,
+    wcoj_order: Option<&[Var]>,
+    var: Var,
+    cands: Vec<NodeId>,
+    threads: usize,
+    global: &Mutex<S>,
+) {
+    let cands = Arc::new(cands);
+    let ctx = StealCtx::new();
+    seed_chunks(&ctx, plan, var, &cands, threads);
+    collect_worker_results(threads, || {
+        let mut sink = WorkerSink {
+            local: FxHashSet::default(),
+            global,
+            ctx: &ctx,
+        };
+        let mut scratch = VerifyScratch::new();
+        drain_chunks(&ctx, plan, wcoj_order, &mut scratch, &mut sink);
+    });
+}
+
+/// Seeds the queue with one contiguous top-level range per worker. Uneven
+/// subtree weights below these ranges are what donation redistributes.
+fn seed_chunks(
+    ctx: &StealCtx,
+    plan: &JoinPlan<'_>,
+    var: Var,
+    cands: &Arc<Vec<NodeId>>,
+    threads: usize,
+) {
+    let mut st = ctx.lock();
+    let pieces = threads.min(cands.len()).max(1);
+    let per = cands.len().div_ceil(pieces);
+    let mut lo = 0;
+    while lo < cands.len() {
+        let hi = (lo + per).min(cands.len());
+        st.queue.push(Chunk {
+            assignment: vec![None; plan.q.num_vars],
+            var,
+            cands: Arc::clone(cands),
+            lo,
+            hi,
+            depth: 0,
+        });
+        lo = hi;
+    }
+}
+
+/// One worker's drain loop: claim chunks until global quiescence. If a
+/// chunk's enumeration reports [`SinkStatus::Stop`], raises the cancel
+/// flag so every sibling — including ones deep in the sequential engines,
+/// which poll `should_stop` at search-node entry — winds down too.
+fn drain_chunks(
+    ctx: &StealCtx,
+    plan: &JoinPlan<'_>,
+    wcoj_order: Option<&[Var]>,
+    scratch: &mut VerifyScratch,
+    out: &mut dyn TupleSink,
+) {
+    while let Some(chunk) = next_chunk(ctx) {
+        // `next_chunk` marked this worker active under the queue lock;
+        // the guard releases it even on unwind, so a panicking worker
+        // cannot leave starving siblings blocked on the condvar.
+        let _guard = ActiveGuard(ctx);
+        let Chunk {
+            mut assignment,
+            var,
+            cands,
+            lo,
+            hi,
+            depth,
+        } = chunk;
+        let status = enumerate_range(
+            ctx,
+            plan,
+            wcoj_order,
+            var,
+            &cands,
+            lo,
+            hi,
+            depth,
+            &mut assignment,
+            scratch,
+            out,
+        );
+        if status == SinkStatus::Stop {
+            ctx.cancel();
+        }
+    }
 }
 
 /// One stealable unit of join search: the candidates `cands[lo..hi]` of
@@ -271,6 +342,12 @@ struct StealCtx {
     /// (relaxed) by busy workers once per enumerated candidate — the
     /// donation trigger must be cheaper than the work it redistributes.
     starving: AtomicUsize,
+    /// Raised when a shared early-exit sink answers [`SinkStatus::Stop`]:
+    /// [`next_chunk`] drains the queue and [`WorkerSink::should_stop`]
+    /// makes the sequential engines unwind, so the run reaches quiescence
+    /// without finishing the search. Never set by full-materialisation
+    /// runs (their sinks always continue).
+    cancel: AtomicBool,
 }
 
 impl StealCtx {
@@ -282,7 +359,20 @@ impl StealCtx {
             }),
             cv: Condvar::new(),
             starving: AtomicUsize::new(0),
+            cancel: AtomicBool::new(false),
         }
+    }
+
+    #[inline]
+    fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+        // Wake starving workers so they re-check promptly; the drained
+        // queue plus falling `active` count then reads as quiescence.
+        self.cv.notify_all();
     }
 
     /// Locks the scheduler state. Poisoning is survivable here — the
@@ -333,6 +423,12 @@ impl Drop for ActiveGuard<'_> {
 fn next_chunk(ctx: &StealCtx) -> Option<Chunk> {
     let mut st = ctx.lock();
     loop {
+        if ctx.cancelled() {
+            // Cancelled runs want quiescence, not answers: dropping all
+            // queued subtrees is what lets the fleet wind down without
+            // searching them.
+            st.queue.clear();
+        }
         if let Some(chunk) = st.queue.pop() {
             st.active += 1;
             return Some(chunk);
@@ -351,7 +447,12 @@ fn next_chunk(ctx: &StealCtx) -> Option<Chunk> {
 /// upper half of the remaining range if a sibling is starving — this
 /// check runs at *every* explicit level, and the innermost level iterates
 /// most often, so the deepest large domain donates first (the split
-/// invariant of the module docs).
+/// invariant of the module docs). Candidates that already violate
+/// injectivity under the partial assignment are pruned via
+/// [`JoinPlan::bind_allowed`] before their subtree is descended, mirroring
+/// the sequential engines; the sink's stop signal is polled once per
+/// candidate, which bounds a worker's overshoot to the subtree it had
+/// already entered.
 #[allow(clippy::too_many_arguments)]
 fn enumerate_range(
     ctx: &StealCtx,
@@ -365,8 +466,11 @@ fn enumerate_range(
     assignment: &mut Vec<Option<NodeId>>,
     scratch: &mut VerifyScratch,
     out: &mut dyn TupleSink,
-) {
+) -> SinkStatus {
     while lo < hi {
+        if out.should_stop() {
+            return SinkStatus::Stop;
+        }
         if hi - lo >= 2 && ctx.has_starving() {
             // Keep [lo, mid), donate [mid, hi) — both halves non-empty.
             let mid = (lo + hi).div_ceil(2);
@@ -382,10 +486,17 @@ fn enumerate_range(
         }
         let node = cands[lo];
         lo += 1;
+        if !plan.bind_allowed(var, node, assignment, scratch) {
+            continue;
+        }
         assignment[var.index()] = Some(node);
-        descend(ctx, plan, wcoj_order, depth + 1, assignment, scratch, out);
+        let status = descend(ctx, plan, wcoj_order, depth + 1, assignment, scratch, out);
         assignment[var.index()] = None;
+        if status == SinkStatus::Stop {
+            return SinkStatus::Stop;
+        }
     }
+    SinkStatus::Continue
 }
 
 /// One explicit join level of the work-stealing search: chooses the next
@@ -403,51 +514,189 @@ fn descend(
     assignment: &mut Vec<Option<NodeId>>,
     scratch: &mut VerifyScratch,
     out: &mut dyn TupleSink,
-) {
+) -> SinkStatus {
     match wcoj_order {
         Some(order) => {
             // `depth` doubles as the elimination-order level here: the
             // seed chunks enumerate `order[0]`.
             if depth >= STEAL_DEPTH || depth >= order.len() {
-                wcoj::search_from_level(plan, order, depth, assignment, scratch, out);
-                return;
+                return wcoj::search_from_level(plan, order, depth, assignment, scratch, out);
             }
             let next = wcoj::level_candidates(plan, order, depth, assignment);
             if next.is_empty() {
-                return;
+                return SinkStatus::Continue;
             }
             let var = order[depth];
             let next = Arc::new(next);
             let hi = next.len();
             enumerate_range(
                 ctx, plan, wcoj_order, var, &next, 0, hi, depth, assignment, scratch, out,
-            );
+            )
         }
         None => {
             if depth >= STEAL_DEPTH {
-                plan.search_from(assignment, scratch, out);
-                return;
+                return plan.search_from(assignment, scratch, out);
             }
             match plan.choose_branch(assignment) {
                 None => {
                     // Complete assignment: the sequential entry verifies
                     // and emits it.
-                    plan.search_from(assignment, scratch, out);
+                    plan.search_from(assignment, scratch, out)
                 }
                 Some((var, node_set)) => {
                     let next: Vec<NodeId> = node_set.iter().map(|n| NodeId(n as u32)).collect();
                     if next.is_empty() {
-                        return;
+                        return SinkStatus::Continue;
                     }
                     let next = Arc::new(next);
                     let hi = next.len();
                     enumerate_range(
                         ctx, plan, wcoj_order, var, &next, 0, hi, depth, assignment, scratch, out,
-                    );
+                    )
                 }
             }
         }
     }
+}
+
+/// One worker's view of a shared early-exit sink: duplicates are filtered
+/// through a lock-free local seen-set (one worker never re-offers a tuple
+/// it already forwarded), fresh tuples go to the `global` sink under its
+/// mutex, and the scheduler's cancel flag doubles as `should_stop` so the
+/// sequential engines unwind without finishing their subtree.
+///
+/// `contains_tuple` consults only the local set — cross-worker duplicate
+/// subtrees are re-explored, exactly like the full-materialisation path's
+/// per-worker local sets; the global sink dedupes on insert, so results
+/// are unaffected.
+struct WorkerSink<'a, S: TupleSink> {
+    local: FxHashSet<Vec<NodeId>>,
+    global: &'a Mutex<S>,
+    ctx: &'a StealCtx,
+}
+
+impl<S: TupleSink> TupleSink for WorkerSink<'_, S> {
+    fn contains_tuple(&self, t: &[NodeId]) -> bool {
+        self.local.contains(t)
+    }
+
+    fn insert_tuple(&mut self, t: Vec<NodeId>) -> SinkStatus {
+        if self.ctx.cancelled() {
+            return SinkStatus::Stop;
+        }
+        if !self.local.insert(t.clone()) {
+            return SinkStatus::Continue;
+        }
+        let status = lock_sink(self.global).insert_tuple(t);
+        if status == SinkStatus::Stop {
+            // Raise the flag here, not just when the Stop unwinds out of
+            // the chunk: siblings deep in a sequential subtree poll
+            // `should_stop` and wind down immediately.
+            self.ctx.cancel();
+        }
+        status
+    }
+
+    fn should_stop(&self) -> bool {
+        self.ctx.cancelled()
+    }
+}
+
+/// Locks a shared sink, surviving poisoning for the same reason as
+/// [`StealCtx::lock`]: sink state is plain data, and the panic itself is
+/// re-raised by [`collect_worker_results`].
+fn lock_sink<S: TupleSink>(m: &Mutex<S>) -> MutexGuard<'_, S> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Parallel evaluation into an arbitrary early-exit sink: the planning
+/// phase (shared catalog, parallel materialisation) matches
+/// [`eval_tuples_parallel`], but the execution phase feeds every variant's
+/// answers into one shared `global` sink and stops — across variants and
+/// across workers — the moment the sink says so. Returns the sink for the
+/// caller to unwrap.
+pub(crate) fn eval_parallel_sink<S: TupleSink + Send>(
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    threads: usize,
+    global: S,
+) -> S {
+    let threads = rpq::effective_threads(threads);
+    let global = Mutex::new(global);
+    if q.free.is_empty() {
+        if eval_contains(q, g, &[], sem) {
+            lock_sink(&global).insert_tuple(Vec::new());
+        }
+        return global.into_inner().unwrap_or_else(|e| e.into_inner());
+    }
+
+    let variants = q.epsilon_free_union();
+    let mut catalog = RelationCatalog::with_threads(g, threads);
+    let plans: Vec<VariantPlan> = variants
+        .iter()
+        .map(|v| plan_variant(v, g, false, &mut catalog))
+        .collect();
+    let catalog = catalog; // frozen for the execution phase
+
+    let mut seq_scratch = VerifyScratch::new();
+    for (variant, vplan) in variants.iter().zip(plans) {
+        if lock_sink(&global).should_stop() {
+            break;
+        }
+        let plan = JoinPlan::build(variant, g, sem, vplan, &catalog);
+        if plan.is_empty() {
+            continue;
+        }
+        match plan.split_candidates() {
+            None => {
+                plan.search_all(&mut seq_scratch, &mut *lock_sink(&global));
+            }
+            Some((_, cands)) if cands.len() <= 1 || threads <= 1 => {
+                plan.search_all(&mut seq_scratch, &mut *lock_sink(&global));
+            }
+            Some((var, cands)) => {
+                let wcoj_order = plan
+                    .use_wcoj(JoinMode::Auto)
+                    .then(|| wcoj::fixed_order(&plan, var));
+                run_work_stealing_shared(
+                    &plan,
+                    wcoj_order.as_deref(),
+                    var,
+                    cands,
+                    threads,
+                    &global,
+                );
+            }
+        }
+    }
+    global.into_inner().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Existence-only parallel evaluation: true iff the query has at least one
+/// answer. All workers stand down at the first witness via the cancel
+/// flag — on large graphs this returns in the time the search takes to
+/// reach any single verified tuple.
+pub fn eval_ask_parallel(q: &Crpq, g: &GraphDb, sem: Semantics, threads: usize) -> bool {
+    !eval_parallel_sink(q, g, sem, threads, LimitSink::new(1)).is_empty()
+}
+
+/// Parallel `LIMIT k`: at most `k` distinct answer tuples, sorted. *Which*
+/// k answers is scheduling-dependent (whatever the workers reached first);
+/// the count contract is exact — the shared [`LimitSink`] refuses inserts
+/// beyond `k` even while late workers finish their current candidate.
+pub fn eval_limit_parallel(
+    q: &Crpq,
+    g: &GraphDb,
+    sem: Semantics,
+    k: usize,
+    threads: usize,
+) -> Vec<Vec<NodeId>> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let sink = eval_parallel_sink(q, g, sem, threads, LimitSink::new(k));
+    sorted_tuples(sink.into_tuples())
 }
 
 /// Runs `worker` on `threads` scoped threads and returns every worker's
@@ -648,6 +897,150 @@ mod tests {
             .downcast_ref::<&str>()
             .expect("payload must be the original panic message");
         assert_eq!(*message, "injected steal panic");
+    }
+
+    /// A sink that answers `Stop` on its first insert — after a short
+    /// sleep so sibling workers pile up on the global mutex, maximising
+    /// the overshoot window — and counts every insert arriving after the
+    /// stop.
+    struct SlowStopSink {
+        first: Option<Vec<NodeId>>,
+        stopped: bool,
+        after_stop: usize,
+    }
+
+    impl TupleSink for SlowStopSink {
+        fn contains_tuple(&self, _t: &[NodeId]) -> bool {
+            false
+        }
+
+        fn insert_tuple(&mut self, t: Vec<NodeId>) -> SinkStatus {
+            if self.stopped {
+                self.after_stop += 1;
+                return SinkStatus::Stop;
+            }
+            // Widen the race: siblings that found a tuple concurrently are
+            // now blocked on the sink mutex and will land post-stop.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            self.first = Some(t);
+            self.stopped = true;
+            SinkStatus::Stop
+        }
+
+        fn should_stop(&self) -> bool {
+            self.stopped
+        }
+    }
+
+    #[test]
+    fn cancellation_overshoot_is_bounded_by_worker_count() {
+        // Satellite: every work-stealing worker must observe `Stop`. The
+        // only inserts that can land after the stop are from workers that
+        // were already blocked on the sink mutex when the flag went up —
+        // at most one per sibling worker; everything else (queued chunks,
+        // deep sequential subtrees) must be abandoned via the cancel flag.
+        let threads = 4;
+        let mut g = generators::zipf_label_graph(64, 400, 6, 1.1, 7);
+        let q = parse_crpq("(x, y) <- x -[(l0+l1)(l0+l1+l2)*]-> y", g.alphabet_mut()).unwrap();
+        let full = eval_tuples(&q, &g, Semantics::Standard).len();
+        assert!(full > 100, "need a big answer set, got {full}");
+        let sink = eval_parallel_sink(
+            &q,
+            &g,
+            Semantics::Standard,
+            threads,
+            SlowStopSink {
+                first: None,
+                stopped: false,
+                after_stop: 0,
+            },
+        );
+        assert!(sink.stopped, "the run must reach the sink at least once");
+        assert!(sink.first.is_some());
+        assert!(
+            sink.after_stop < threads,
+            "overshoot {} not bounded by worker count {}",
+            sink.after_stop,
+            threads
+        );
+    }
+
+    /// A sink whose first insert panics — the mid-stream analogue of the
+    /// panicking-worker tests: the panic unwinds through the sink mutex
+    /// and a worker thread, and must still reach the caller intact.
+    #[derive(Debug)]
+    struct PanickingSink;
+
+    impl TupleSink for PanickingSink {
+        fn contains_tuple(&self, _t: &[NodeId]) -> bool {
+            false
+        }
+
+        fn insert_tuple(&mut self, _t: Vec<NodeId>) -> SinkStatus {
+            panic!("injected mid-stream sink panic");
+        }
+    }
+
+    #[test]
+    fn sink_panic_mid_stream_propagates_original_payload() {
+        let mut g = generators::zipf_label_graph(32, 160, 4, 1.1, 13);
+        let q = parse_crpq("(x, y) <- x -[(l0+l1)(l0+l1)*]-> y", g.alphabet_mut()).unwrap();
+        assert!(!eval_tuples(&q, &g, Semantics::Standard).is_empty());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eval_parallel_sink(&q, &g, Semantics::Standard, 4, PanickingSink)
+        }));
+        let payload = result.expect_err("sink panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .expect("payload must be the original panic message");
+        assert_eq!(*message, "injected mid-stream sink panic");
+    }
+
+    #[test]
+    fn ask_parallel_matches_materialised_existence() {
+        let mut g = generators::random_graph(10, 30, &["a", "b"], 5);
+        let q = parse_crpq("(x, y) <- x -[a b*]-> y, y -[b]-> z", g.alphabet_mut()).unwrap();
+        for sem in Semantics::ALL {
+            let full = eval_tuples(&q, &g, sem);
+            assert_eq!(
+                eval_ask_parallel(&q, &g, sem, 4),
+                !full.is_empty(),
+                "ask mismatch under {sem}"
+            );
+        }
+        // And a query with no answers at all.
+        let q2 = parse_crpq("(x) <- x -[a a a a a a a a a a a a]-> x", g.alphabet_mut()).unwrap();
+        for sem in Semantics::ALL {
+            assert_eq!(
+                eval_ask_parallel(&q2, &g, sem, 4),
+                !eval_tuples(&q2, &g, sem).is_empty(),
+                "empty-ask mismatch under {sem}"
+            );
+        }
+    }
+
+    #[test]
+    fn limit_parallel_returns_subset_of_exact_size() {
+        let mut g = generators::zipf_label_graph(40, 180, 5, 1.2, 31);
+        let q = parse_crpq("(x, y) <- x -[(l0+l1)(l1+l2)*]-> y", g.alphabet_mut()).unwrap();
+        for sem in Semantics::ALL {
+            let full: FxHashSet<Vec<NodeId>> = eval_tuples(&q, &g, sem).into_iter().collect();
+            for k in [0usize, 1, 3, full.len(), full.len() + 10] {
+                let limited = eval_limit_parallel(&q, &g, sem, k, 4);
+                assert_eq!(
+                    limited.len(),
+                    k.min(full.len()),
+                    "limit size mismatch under {sem}, k={k}"
+                );
+                assert!(
+                    limited.iter().all(|t| full.contains(t)),
+                    "limit produced a non-answer under {sem}, k={k}"
+                );
+                let mut sorted = limited.clone();
+                sorted.sort();
+                assert_eq!(limited, sorted, "limit output must be sorted");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Pull-based answer enumeration.
+//!
+//! [`eval_stream`] returns a [`TupleStream`] — an iterator over distinct
+//! answer tuples that starts yielding while the join search is still
+//! running, instead of waiting for the full materialised set. A producer
+//! thread runs the normal engine (sequential [`eval_sink_join`] or the
+//! work-stealing scheduler for [`eval_stream_parallel`]) into a
+//! channel-backed [`StreamSink`]; the bounded channel
+//! ([`STREAM_CHANNEL_CAPACITY`]) gives backpressure, so a slow consumer
+//! throttles the search rather than buffering the whole answer set.
+//!
+//! Dropping the stream early is the cancellation path: the receiver
+//! closes, the producer's next send fails, the sink flips to `closed` and
+//! answers [`SinkStatus::Stop`] / `should_stop`, and the search unwinds —
+//! the same early-exit contract `LIMIT k` uses (see the module docs of
+//! [`crate::eval`]). `Drop` then joins the producer, so no detached
+//! thread outlives the stream; a panic on the producer is re-raised to
+//! the consumer at end-of-stream or on drop.
+//!
+//! Streams yield **distinct** tuples in discovery order; collecting and
+//! sorting a stream equals [`crate::eval_tuples`] under every semantics
+//! and executor (pinned by the differential tests in
+//! `tests/stream_equivalence.rs`).
+
+use crate::eval::{
+    eval_sink_join, eval_tuples_enumerate, EvalStrategy, JoinMode, RelationCatalog, Semantics,
+    SinkStatus, TupleSink,
+};
+use crate::parallel::eval_parallel_sink;
+use crpq_graph::{GraphDb, NodeId};
+use crpq_query::Crpq;
+use crpq_util::FxHashSet;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Bound of the producer→consumer channel: deep enough that the search is
+/// not lock-stepped with the consumer, shallow enough that an abandoned
+/// stream holds O(1) tuples, not the answer set.
+pub const STREAM_CHANNEL_CAPACITY: usize = 64;
+
+/// The producer-side sink: dedupes (so the stream yields distinct tuples
+/// and the duplicate-projection prune keeps working) and forwards each
+/// fresh tuple into the channel. A failed send means the consumer is gone
+/// — the sink closes and stops the search.
+struct StreamSink {
+    seen: FxHashSet<Vec<NodeId>>,
+    tx: SyncSender<Vec<NodeId>>,
+    closed: bool,
+}
+
+impl TupleSink for StreamSink {
+    fn contains_tuple(&self, t: &[NodeId]) -> bool {
+        self.seen.contains(t)
+    }
+
+    fn insert_tuple(&mut self, t: Vec<NodeId>) -> SinkStatus {
+        if self.closed {
+            return SinkStatus::Stop;
+        }
+        if !self.seen.insert(t.clone()) {
+            return SinkStatus::Continue;
+        }
+        if self.tx.send(t).is_err() {
+            self.closed = true;
+            return SinkStatus::Stop;
+        }
+        SinkStatus::Continue
+    }
+
+    fn should_stop(&self) -> bool {
+        self.closed
+    }
+}
+
+/// A pull-based iterator over distinct answer tuples, backed by a producer
+/// thread (see the module docs). Obtained from [`eval_stream`] /
+/// [`eval_stream_with`] / [`eval_stream_parallel`].
+pub struct TupleStream {
+    rx: Option<Receiver<Vec<NodeId>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TupleStream {
+    fn spawn(producer: impl FnOnce(SyncSender<Vec<NodeId>>) + Send + 'static) -> Self {
+        let (tx, rx) = sync_channel(STREAM_CHANNEL_CAPACITY);
+        let handle = std::thread::spawn(move || producer(tx));
+        TupleStream {
+            rx: Some(rx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Joins the finished producer, re-raising its panic (if any) on the
+    /// consumer thread — unless the consumer is already unwinding, where a
+    /// double panic would abort.
+    fn join_producer(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            if let Err(payload) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for TupleStream {
+    type Item = Vec<NodeId>;
+
+    fn next(&mut self) -> Option<Vec<NodeId>> {
+        match self.rx.as_ref()?.recv() {
+            Ok(t) => Some(t),
+            Err(_) => {
+                // Producer finished (or died): surface its panic now
+                // rather than at drop, so `for t in stream` can't silently
+                // observe a truncated answer set.
+                self.rx = None;
+                self.join_producer();
+                None
+            }
+        }
+    }
+}
+
+impl Drop for TupleStream {
+    fn drop(&mut self) {
+        // Close the channel first: the producer's next send fails, its
+        // sink stops the search, and the join below cannot deadlock.
+        self.rx = None;
+        self.join_producer();
+    }
+}
+
+/// Streaming [`crate::eval_tuples`]: yields distinct answer tuples as the
+/// (sequential) join search finds them. The graph is shared with the
+/// producer thread via `Arc`, the query is cloned.
+pub fn eval_stream(q: &Crpq, g: &Arc<GraphDb>, sem: Semantics) -> TupleStream {
+    eval_stream_with(q, g, sem, EvalStrategy::Join)
+}
+
+/// [`eval_stream`] under a forced [`EvalStrategy`] — the differential-test
+/// entry point. `Enumerate` streams the materialised oracle result (no
+/// early yield; it exists so stream-vs-oracle tests cover the same
+/// surface), the join strategies yield mid-search.
+pub fn eval_stream_with(
+    q: &Crpq,
+    g: &Arc<GraphDb>,
+    sem: Semantics,
+    strategy: EvalStrategy,
+) -> TupleStream {
+    let q = q.clone();
+    let g = Arc::clone(g);
+    let mode = match strategy {
+        EvalStrategy::Join => JoinMode::Auto,
+        EvalStrategy::BinaryJoin => JoinMode::Binary,
+        EvalStrategy::Wcoj => JoinMode::Wcoj,
+        EvalStrategy::Enumerate => {
+            return TupleStream::spawn(move |tx| {
+                for t in eval_tuples_enumerate(&q, &g, sem) {
+                    if tx.send(t).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    };
+    TupleStream::spawn(move |tx| {
+        let mut catalog = RelationCatalog::new(&g);
+        let mut sink = StreamSink {
+            seen: FxHashSet::default(),
+            tx,
+            closed: false,
+        };
+        eval_sink_join(&q, &g, sem, false, &mut catalog, mode, &mut sink);
+    })
+}
+
+/// Streaming [`crate::eval_tuples_parallel`]: the producer runs the
+/// work-stealing scheduler, every worker feeding the one channel-backed
+/// sink; dropping the stream cancels the whole fleet. Tuple arrival order
+/// is scheduling-dependent (the collected set is not).
+pub fn eval_stream_parallel(
+    q: &Crpq,
+    g: &Arc<GraphDb>,
+    sem: Semantics,
+    threads: usize,
+) -> TupleStream {
+    let q = q.clone();
+    let g = Arc::clone(g);
+    TupleStream::spawn(move |tx| {
+        let sink = StreamSink {
+            seen: FxHashSet::default(),
+            tx,
+            closed: false,
+        };
+        eval_parallel_sink(&q, &g, sem, threads, sink);
+    })
+}

@@ -28,6 +28,14 @@
 //! enumeration (the binary join removes them from its candidate clone;
 //! here they are filtered as the intersection streams by).
 //!
+//! This executor honours the streaming sink contract of
+//! [`crate::eval`]: every level checks `should_stop` on entry, candidate
+//! loops unwind on [`SinkStatus::Stop`], and each bind runs the inline
+//! injectivity prune ([`JoinPlan::bind_allowed`], memoised per-atom
+//! simple-path feasibility) before descending — both invariants are
+//! documented in the `eval` module docs and must stay aligned with the
+//! binary join.
+//!
 //! Dispatch lives in [`crate::eval`]: [`JoinPlan::is_cyclic`] sends cyclic
 //! variants here under the default strategy, and
 //! [`crate::eval::EvalStrategy::Wcoj`] forces this executor on any shape
@@ -35,7 +43,7 @@
 //! binary join and the enumeration oracle is property-tested in
 //! `tests/wcoj_equivalence.rs`.
 
-use crate::eval::{JoinPlan, Semantics, TupleSink, VerifyScratch};
+use crate::eval::{JoinPlan, Semantics, SinkStatus, TupleSink, VerifyScratch};
 use crpq_graph::rpq::{NodeSet, RelationRow};
 use crpq_graph::NodeId;
 use crpq_query::Var;
@@ -79,13 +87,14 @@ pub(crate) fn search_all(
     plan: &JoinPlan<'_>,
     scratch: &mut VerifyScratch,
     out: &mut dyn TupleSink,
-) {
+) -> SinkStatus {
     if plan.is_empty() {
-        return;
+        return SinkStatus::Continue;
     }
+    scratch.begin_plan(plan.num_nodes());
     let order = elimination_order(plan, None);
     let mut assignment: Vec<Option<NodeId>> = vec![None; plan.q.num_vars];
-    bind_level(plan, &order, 0, &mut assignment, scratch, out);
+    bind_level(plan, &order, 0, &mut assignment, scratch, out)
 }
 
 /// The elimination order for [`search_with_fixed`] with `var` pinned as
@@ -107,14 +116,17 @@ pub(crate) fn search_with_fixed(
     node: NodeId,
     scratch: &mut VerifyScratch,
     out: &mut dyn TupleSink,
-) {
+) -> SinkStatus {
     if plan.is_empty() {
-        return;
+        return SinkStatus::Continue;
     }
     let var = *order.first().expect("fixed_order pins the split variable");
     let mut assignment: Vec<Option<NodeId>> = vec![None; plan.q.num_vars];
+    if !plan.bind_allowed(var, node, &assignment, scratch) {
+        return SinkStatus::Continue;
+    }
     assignment[var.index()] = Some(node);
-    bind_level(plan, order, 1, &mut assignment, scratch, out);
+    bind_level(plan, order, 1, &mut assignment, scratch, out)
 }
 
 /// The static variable elimination order: `first` (when given) leads,
@@ -161,11 +173,11 @@ pub(crate) fn search_from_level(
     assignment: &mut Vec<Option<NodeId>>,
     scratch: &mut VerifyScratch,
     out: &mut dyn TupleSink,
-) {
+) -> SinkStatus {
     if plan.is_empty() {
-        return;
+        return SinkStatus::Continue;
     }
-    bind_level(plan, order, level, assignment, scratch, out);
+    bind_level(plan, order, level, assignment, scratch, out)
 }
 
 /// The candidates the leapfrog intersection would enumerate for
@@ -181,7 +193,10 @@ pub(crate) fn level_candidates(
     assignment: &mut Vec<Option<NodeId>>,
 ) -> Vec<NodeId> {
     let mut cands = Vec::new();
-    each_level_candidate(plan, order, level, assignment, |_, node| cands.push(node));
+    each_level_candidate(plan, order, level, assignment, |_, node| {
+        cands.push(node);
+        SinkStatus::Continue
+    });
     cands
 }
 
@@ -194,7 +209,11 @@ fn bind_level(
     assignment: &mut Vec<Option<NodeId>>,
     scratch: &mut VerifyScratch,
     out: &mut dyn TupleSink,
-) {
+) -> SinkStatus {
+    // Early exit: a stopped sink unwinds the whole search.
+    if out.should_stop() {
+        return SinkStatus::Stop;
+    }
     // Duplicate-projection prune (same as the binary join): once every
     // free variable is bound, deeper levels only vary existential
     // variables — pointless if the projection is already a known result.
@@ -202,7 +221,7 @@ fn bind_level(
     let pruned = plan.projection_into(assignment, &mut proj) && out.contains_tuple(proj.as_slice());
     scratch.tuple = proj;
     if pruned {
-        return;
+        return SinkStatus::Continue;
     }
     if order.get(level).is_none() {
         // Complete assignment: standard consistency is guaranteed by the
@@ -218,22 +237,27 @@ fn bind_level(
                 plan.q.free.len(),
                 "entry prune must have projected the complete assignment"
             );
-            out.insert_tuple(scratch.tuple.clone());
+            return out.insert_tuple(scratch.tuple.clone());
         }
-        return;
+        return SinkStatus::Continue;
     }
     let var = order[level];
     each_level_candidate(plan, order, level, assignment, |assignment, node| {
+        if !plan.bind_allowed(var, node, assignment, scratch) {
+            return SinkStatus::Continue;
+        }
         assignment[var.index()] = Some(node);
-        bind_level(plan, order, level + 1, assignment, scratch, out);
+        let status = bind_level(plan, order, level + 1, assignment, scratch, out);
         assignment[var.index()] = None;
-    });
+        status
+    })
 }
 
 /// Enumerates the candidates of `order[level]` by leapfrog intersection of
 /// the restricting views, invoking `visit` once per candidate in ascending
-/// id order. Under query-injective semantics, nodes already used by the
-/// assignment are filtered as the intersection streams by; the filter
+/// id order until exhaustion or a [`SinkStatus::Stop`] from `visit` (which
+/// is returned). Under query-injective semantics, nodes already used by
+/// the assignment are filtered as the intersection streams by; the filter
 /// re-reads `assignment` each round, so `visit` may bind and unbind
 /// deeper variables between calls.
 fn each_level_candidate(
@@ -241,8 +265,8 @@ fn each_level_candidate(
     order: &[Var],
     level: usize,
     assignment: &mut Vec<Option<NodeId>>,
-    mut visit: impl FnMut(&mut Vec<Option<NodeId>>, NodeId),
-) {
+    mut visit: impl FnMut(&mut Vec<Option<NodeId>>, NodeId) -> SinkStatus,
+) -> SinkStatus {
     let var = order[level];
     // Collect the views restricting `var`: incident relation rows whose
     // other endpoint is bound, plus the pruned domain. Self-loop atoms
@@ -298,6 +322,9 @@ fn each_level_candidate(
         if inj && assignment.iter().flatten().any(|&used| used == node) {
             continue; // μ must be injective under q-inj
         }
-        visit(assignment, node);
+        if visit(assignment, node) == SinkStatus::Stop {
+            return SinkStatus::Stop;
+        }
     }
+    SinkStatus::Continue
 }

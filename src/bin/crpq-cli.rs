@@ -16,7 +16,10 @@
 //! malformed graph files, unparsable queries) exits with an `error:` line
 //! and a nonzero status — never a panic backtrace.
 
-use crpq::core::{eval_contains_trail, eval_tuples_trail, TrailSemantics};
+use crpq::core::{
+    eval_ask, eval_ask_parallel, eval_contains_trail, eval_limit, eval_limit_parallel,
+    eval_tuples_trail, TrailSemantics,
+};
 use crpq::graph::format::parse_graph_auto;
 use crpq::prelude::*;
 use std::process::ExitCode;
@@ -24,9 +27,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(output) => {
+        Ok((output, code)) => {
             println!("{output}");
-            ExitCode::SUCCESS
+            ExitCode::from(code)
         }
         Err(message) => {
             eprintln!("error: {message}");
@@ -38,13 +41,16 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  crpq-cli eval       --graph FILE --query Q [--semantics S] [--threads N] [--tuple n1,n2,…] [--witness]
+  crpq-cli eval       --graph FILE --query Q [--semantics S] [--threads N] [--ask | --limit K]
+                      [--tuple n1,n2,…] [--witness]
   crpq-cli contain    --q1 Q --q2 Q [--semantics S]
   crpq-cli classify   --query Q
   crpq-cli bounded    --query Q [--max-level K]
   crpq-cli graph-info --graph FILE
 semantics S: st | a-inj | q-inj | a-trail | q-trail (default: st)
-threads N: parallel full enumeration on N threads (0 = one per CPU, capped at 16)
+threads N: parallel enumeration on N threads (0 = one per CPU, capped at 16)
+--ask: existence only — prints true/false, exits 0 iff an answer exists (stops at first witness)
+--limit K: prints at most K answer tuples, stopping the search early
 graph FILE: text (one `src label dst` per line) or CRPQ binary snapshot";
 
 /// Either a paper semantics or a §7 trail semantics.
@@ -76,14 +82,16 @@ fn require<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
     flag(args, name).ok_or_else(|| format!("missing --{name}"))
 }
 
-fn run(args: &[String]) -> Result<String, String> {
+/// Dispatches a command; `Ok` carries the output plus the process exit
+/// code (nonzero only for `eval --ask` on an empty answer, grep-style).
+fn run(args: &[String]) -> Result<(String, u8), String> {
     let command = args.first().ok_or("missing command")?;
     match command.as_str() {
         "eval" => cmd_eval(&args[1..]),
-        "contain" => cmd_contain(&args[1..]),
-        "classify" => cmd_classify(&args[1..]),
-        "bounded" => cmd_bounded(&args[1..]),
-        "graph-info" => cmd_graph_info(&args[1..]),
+        "contain" => cmd_contain(&args[1..]).map(|out| (out, 0)),
+        "classify" => cmd_classify(&args[1..]).map(|out| (out, 0)),
+        "bounded" => cmd_bounded(&args[1..]).map(|out| (out, 0)),
+        "graph-info" => cmd_graph_info(&args[1..]).map(|out| (out, 0)),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -96,11 +104,40 @@ fn load_graph(path: &str) -> Result<GraphDb, String> {
     parse_graph_auto(data).map_err(|e| format!("cannot parse graph file `{path}`: {e}"))
 }
 
-fn cmd_eval(args: &[String]) -> Result<String, String> {
+fn cmd_eval(args: &[String]) -> Result<(String, u8), String> {
     let mut g = load_graph(require(args, "graph")?)?;
     let query_text = require(args, "query")?;
     let q = parse_crpq(query_text, g.alphabet_mut()).map_err(|e| e.to_string())?;
     let sem = parse_semantics(flag(args, "semantics").unwrap_or("st"))?;
+
+    // `--threads N` routes enumeration through the work-stealing parallel
+    // engine; N = 0 keeps the documented fallback (one thread per
+    // available CPU, capped at 16).
+    let threads: Option<usize> = flag(args, "threads")
+        .map(|t| t.parse().map_err(|e| format!("bad --threads: {e}")))
+        .transpose()?;
+    let ask = args.iter().any(|a| a == "--ask");
+    let limit: Option<usize> = flag(args, "limit")
+        .map(|k| k.parse().map_err(|e| format!("bad --limit: {e}")))
+        .transpose()?;
+    if ask && limit.is_some() {
+        return Err("--ask and --limit are mutually exclusive".into());
+    }
+    if (ask || limit.is_some()) && flag(args, "tuple").is_some() {
+        return Err("--ask/--limit query the answer set; --tuple tests one tuple".into());
+    }
+
+    if ask {
+        let exists = match (sem, threads) {
+            (AnySemantics::Core(s), Some(t)) => eval_ask_parallel(&q, &g, s, t),
+            (AnySemantics::Core(s), None) => eval_ask(&q, &g, s),
+            // Trail semantics have no early-exit engine; existence via the
+            // materialised set keeps --ask total over every semantics.
+            (AnySemantics::Trail(s), _) => !eval_tuples_trail(&q, &g, s).is_empty(),
+        };
+        // grep-style exit status: 0 iff at least one answer exists.
+        return Ok((exists.to_string(), u8::from(!exists)));
+    }
 
     if let Some(tuple_text) = flag(args, "tuple") {
         let tuple: Vec<NodeId> = tuple_text
@@ -138,7 +175,7 @@ fn cmd_eval(args: &[String]) -> Result<String, String> {
             let AnySemantics::Core(s) = sem else {
                 return Err("--witness is implemented for st/a-inj/q-inj".into());
             };
-            return Ok(match eval_witness(&q, &g, &tuple, s) {
+            let out = match eval_witness(&q, &g, &tuple, s) {
                 None => format!("({tuple_text}) ∉ Q(G)"),
                 Some(w) => {
                     let mut out = format!("({tuple_text}) ∈ Q(G); witness paths:\n");
@@ -148,32 +185,40 @@ fn cmd_eval(args: &[String]) -> Result<String, String> {
                     }
                     out.trim_end().to_owned()
                 }
-            });
+            };
+            return Ok((out, 0));
         }
         let member = match sem {
             AnySemantics::Core(s) => eval_contains(&q, &g, &tuple, s),
             AnySemantics::Trail(s) => eval_contains_trail(&q, &g, &tuple, s),
         };
-        return Ok(format!("({tuple_text}) ∈ Q(G): {member}"));
+        return Ok((format!("({tuple_text}) ∈ Q(G): {member}"), 0));
     }
 
-    // `--threads N` routes full enumeration through the work-stealing
-    // parallel engine; N = 0 keeps the documented fallback (one thread
-    // per available CPU, capped at 16).
-    let threads: Option<usize> = flag(args, "threads")
-        .map(|t| t.parse().map_err(|e| format!("bad --threads: {e}")))
-        .transpose()?;
-    let tuples = match (sem, threads) {
-        (AnySemantics::Core(s), Some(t)) => eval_tuples_parallel(&q, &g, s, t),
-        (AnySemantics::Core(s), None) => eval_tuples(&q, &g, s),
-        (AnySemantics::Trail(s), _) => eval_tuples_trail(&q, &g, s),
+    let tuples = match (sem, threads, limit) {
+        (AnySemantics::Core(s), Some(t), Some(k)) => eval_limit_parallel(&q, &g, s, k, t),
+        (AnySemantics::Core(s), None, Some(k)) => eval_limit(&q, &g, s, k),
+        (AnySemantics::Core(s), Some(t), None) => eval_tuples_parallel(&q, &g, s, t),
+        (AnySemantics::Core(s), None, None) => eval_tuples(&q, &g, s),
+        (AnySemantics::Trail(s), _, k) => {
+            // Trail enumeration has no early-exit engine; truncating the
+            // materialised set keeps --limit total over every semantics.
+            let mut tuples = eval_tuples_trail(&q, &g, s);
+            if let Some(k) = k {
+                tuples.truncate(k);
+            }
+            tuples
+        }
     };
-    let mut out = format!("{} result(s):\n", tuples.len());
+    let mut out = match limit {
+        Some(k) => format!("{} result(s) (limit {k}):\n", tuples.len()),
+        None => format!("{} result(s):\n", tuples.len()),
+    };
     for t in &tuples {
         let names: Vec<_> = t.iter().map(|&n| g.display_name(n)).collect();
         out.push_str(&format!("  ({})\n", names.join(", ")));
     }
-    Ok(out.trim_end().to_owned())
+    Ok((out.trim_end().to_owned(), 0))
 }
 
 fn cmd_contain(args: &[String]) -> Result<String, String> {
@@ -275,6 +320,11 @@ mod tests {
         parts.iter().map(|s| s.to_string()).collect()
     }
 
+    /// [`run`] minus the exit code, for tests that only assert on output.
+    fn run_ok(args: &[String]) -> Result<String, String> {
+        run(args).map(|(out, _)| out)
+    }
+
     #[test]
     fn flag_parsing() {
         let args = a(&["--q1", "x -[a]-> y", "--semantics", "q-inj"]);
@@ -299,7 +349,7 @@ mod tests {
 
     #[test]
     fn contain_command_end_to_end() {
-        let out = run(&a(&[
+        let out = run_ok(&a(&[
             "contain",
             "--q1",
             "x -[a]-> y, y -[b]-> z",
@@ -310,7 +360,7 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains('⊄'), "{out}");
-        let out = run(&a(&[
+        let out = run_ok(&a(&[
             "contain",
             "--q1",
             "x -[a]-> y, y -[b]-> z",
@@ -325,7 +375,7 @@ mod tests {
 
     #[test]
     fn classify_command() {
-        let out = run(&a(&["classify", "--query", "(x, y) <- x -[(a b)*]-> y"])).unwrap();
+        let out = run_ok(&a(&["classify", "--query", "(x, y) <- x -[(a b)*]-> y"])).unwrap();
         assert!(out.contains("class: CRPQ"), "{out}");
         assert!(out.contains("free arity: 2"), "{out}");
     }
@@ -337,7 +387,7 @@ mod tests {
         let path = dir.join("g.txt");
         std::fs::write(&path, "u a v\nv b w\n").unwrap();
         let p = path.to_str().unwrap();
-        let out = run(&a(&[
+        let out = run_ok(&a(&[
             "eval",
             "--graph",
             p,
@@ -347,7 +397,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("1 result(s)"), "{out}");
         assert!(out.contains("(u, w)"), "{out}");
-        let out = run(&a(&[
+        let out = run_ok(&a(&[
             "eval",
             "--graph",
             p,
@@ -360,7 +410,7 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("true"), "{out}");
-        let out = run(&a(&["graph-info", "--graph", p])).unwrap();
+        let out = run_ok(&a(&["graph-info", "--graph", p])).unwrap();
         assert!(out.contains("nodes: 3"), "{out}");
     }
 
@@ -372,9 +422,9 @@ mod tests {
         std::fs::write(&path, "u a v\nv a w\nw b x\n").unwrap();
         let p = path.to_str().unwrap();
         let query = "(x, y) <- x -[a a*]-> y, y -[b]-> z";
-        let seq = run(&a(&["eval", "--graph", p, "--query", query])).unwrap();
+        let seq = run_ok(&a(&["eval", "--graph", p, "--query", query])).unwrap();
         for threads in ["0", "1", "4"] {
-            let par = run(&a(&[
+            let par = run_ok(&a(&[
                 "eval",
                 "--graph",
                 p,
@@ -386,7 +436,7 @@ mod tests {
             .unwrap();
             assert_eq!(seq, par, "--threads {threads} changed the result");
         }
-        let err = run(&a(&[
+        let err = run_ok(&a(&[
             "eval",
             "--graph",
             p,
@@ -400,8 +450,131 @@ mod tests {
     }
 
     #[test]
+    fn ask_flag_exit_codes_and_output() {
+        let dir = std::env::temp_dir().join("crpq_cli_test_ask");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        std::fs::write(&path, "u a v\nv a w\nw b x\n").unwrap();
+        let p = path.to_str().unwrap();
+        // Existing answer: prints true, exits 0 — sequential and parallel.
+        for extra in [&[][..], &["--threads", "2"][..]] {
+            let mut args = a(&[
+                "eval",
+                "--graph",
+                p,
+                "--query",
+                "(x, y) <- x -[a a]-> y",
+                "--ask",
+            ]);
+            args.extend(extra.iter().map(|s| s.to_string()));
+            let (out, code) = run(&args).unwrap();
+            assert_eq!(out, "true");
+            assert_eq!(code, 0, "existing answer must exit 0");
+        }
+        // No answer: prints false, exits nonzero (still Ok — not an error).
+        let (out, code) = run(&a(&[
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            "(x, y) <- x -[b a]-> y",
+            "--ask",
+        ]))
+        .unwrap();
+        assert_eq!(out, "false");
+        assert_eq!(code, 1, "empty answer must exit 1");
+        // Trail semantics stay total under --ask.
+        let (out, code) = run(&a(&[
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            "(x, y) <- x -[a a]-> y",
+            "--ask",
+            "--semantics",
+            "a-trail",
+        ]))
+        .unwrap();
+        assert_eq!((out.as_str(), code), ("true", 0));
+    }
+
+    #[test]
+    fn limit_flag_caps_printed_tuples() {
+        let dir = std::env::temp_dir().join("crpq_cli_test_limit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        std::fs::write(&path, "u a v\nv a w\nw a x\n").unwrap();
+        let p = path.to_str().unwrap();
+        let query = "(x, y) <- x -[a a*]-> y";
+        // The full answer set has 6 pairs; --limit k prints exactly
+        // min(k, 6) of them, each a true answer line.
+        let full = run_ok(&a(&["eval", "--graph", p, "--query", query])).unwrap();
+        assert!(full.contains("6 result(s)"), "{full}");
+        for (k, expect) in [("0", 0), ("2", 2), ("6", 6), ("10", 6)] {
+            for extra in [&[][..], &["--threads", "2"][..]] {
+                let mut args = a(&["eval", "--graph", p, "--query", query, "--limit", k]);
+                args.extend(extra.iter().map(|s| s.to_string()));
+                let out = run_ok(&args).unwrap();
+                assert!(
+                    out.starts_with(&format!("{expect} result(s) (limit {k})")),
+                    "k={k}: {out}"
+                );
+                let lines: Vec<&str> = out.lines().skip(1).collect();
+                assert_eq!(lines.len(), expect, "k={k} printed {out}");
+                assert!(
+                    lines.iter().all(|l| full.contains(l.trim())),
+                    "k={k} printed a non-answer: {out}"
+                );
+            }
+        }
+        // Trail semantics stay total under --limit.
+        let out = run_ok(&a(&[
+            "eval",
+            "--graph",
+            p,
+            "--query",
+            query,
+            "--limit",
+            "1",
+            "--semantics",
+            "a-trail",
+        ]))
+        .unwrap();
+        assert!(out.contains("1 result(s) (limit 1)"), "{out}");
+    }
+
+    #[test]
+    fn ask_and_limit_flag_misuse_errors() {
+        let dir = std::env::temp_dir().join("crpq_cli_test_misuse");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        std::fs::write(&path, "u a v\n").unwrap();
+        let p = path.to_str().unwrap();
+        let base = ["eval", "--graph", p, "--query", "(x, y) <- x -[a]-> y"];
+        // Malformed --limit values: parse errors, not panics or silences.
+        for bad in ["many", "-1", "1.5", ""] {
+            let mut args = a(&base);
+            args.extend(["--limit".to_string(), bad.to_string()]);
+            let err = run(&args).unwrap_err();
+            assert!(err.contains("bad --limit"), "--limit {bad:?}: {err}");
+        }
+        // Conflicting flag combinations.
+        let mut args = a(&base);
+        args.extend(["--ask".to_string(), "--limit".to_string(), "1".to_string()]);
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        for exclusive in [&["--ask"][..], &["--limit", "1"][..]] {
+            let mut args = a(&base);
+            args.extend(exclusive.iter().map(|s| s.to_string()));
+            args.extend(["--tuple".to_string(), "u,v".to_string()]);
+            let err = run(&args).unwrap_err();
+            assert!(err.contains("--tuple"), "{exclusive:?}: {err}");
+        }
+    }
+
+    #[test]
     fn unknown_command_errors() {
-        assert!(run(&a(&["frobnicate"])).is_err());
+        assert!(run_ok(&a(&["frobnicate"])).is_err());
         assert!(run(&[]).is_err());
     }
 
@@ -413,7 +586,7 @@ mod tests {
         std::fs::write(&path, "u a v\n").unwrap();
         let p = path.to_str().unwrap();
         // Malformed --semantics.
-        let err = run(&a(&[
+        let err = run_ok(&a(&[
             "eval",
             "--graph",
             p,
@@ -425,7 +598,7 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("unknown semantics"), "{err}");
         // Missing graph file.
-        let err = run(&a(&[
+        let err = run_ok(&a(&[
             "eval",
             "--graph",
             "/no/such/file.graph",
@@ -437,15 +610,15 @@ mod tests {
         // Unreadable (corrupted) binary graph: magic intact, body garbage.
         let bin = dir.join("bad.bin");
         std::fs::write(&bin, b"CRPQ\x01\xff\xff\xff\xff").unwrap();
-        let err = run(&a(&["graph-info", "--graph", bin.to_str().unwrap()])).unwrap_err();
+        let err = run_ok(&a(&["graph-info", "--graph", bin.to_str().unwrap()])).unwrap_err();
         assert!(err.contains("cannot parse graph file"), "{err}");
         // Non-UTF-8 garbage without the magic.
         let raw = dir.join("raw.bin");
         std::fs::write(&raw, [0xffu8, 0xfe, 0x00]).unwrap();
-        let err = run(&a(&["graph-info", "--graph", raw.to_str().unwrap()])).unwrap_err();
+        let err = run_ok(&a(&["graph-info", "--graph", raw.to_str().unwrap()])).unwrap_err();
         assert!(err.contains("neither"), "{err}");
         // Wrong-arity --tuple.
-        let err = run(&a(&[
+        let err = run_ok(&a(&[
             "eval",
             "--graph",
             p,
@@ -457,7 +630,7 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("arity"), "{err}");
         // Unknown node in --tuple.
-        let err = run(&a(&[
+        let err = run_ok(&a(&[
             "eval",
             "--graph",
             p,
@@ -470,7 +643,7 @@ mod tests {
         assert!(err.contains("unknown node"), "{err}");
         // `#id` addressing is for anonymous graphs only: on a named graph
         // it must not silently resolve to a node id.
-        let err = run(&a(&[
+        let err = run_ok(&a(&[
             "eval",
             "--graph",
             p,
@@ -491,7 +664,7 @@ mod tests {
         let g = parse_graph_text("u a v\nv b w\n").unwrap();
         let path = dir.join("g.bin");
         std::fs::write(&path, to_binary(&g).to_vec()).unwrap();
-        let out = run(&a(&[
+        let out = run_ok(&a(&[
             "eval",
             "--graph",
             path.to_str().unwrap(),
@@ -500,7 +673,7 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("(u, w)"), "{out}");
-        let out = run(&a(&["graph-info", "--graph", path.to_str().unwrap()])).unwrap();
+        let out = run_ok(&a(&["graph-info", "--graph", path.to_str().unwrap()])).unwrap();
         assert!(out.contains("nodes: 3"), "{out}");
     }
 
@@ -519,7 +692,7 @@ mod tests {
         std::fs::write(&path, to_binary(&b.finish()).to_vec()).unwrap();
         let p = path.to_str().unwrap();
         // Result tuples print the #id rendering instead of panicking.
-        let out = run(&a(&[
+        let out = run_ok(&a(&[
             "eval",
             "--graph",
             p,
@@ -529,7 +702,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("(#0, #2)"), "{out}");
         // …and the same rendering addresses nodes in --tuple.
-        let out = run(&a(&[
+        let out = run_ok(&a(&[
             "eval",
             "--graph",
             p,
@@ -540,7 +713,7 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("true"), "{out}");
-        let err = run(&a(&[
+        let err = run_ok(&a(&[
             "eval",
             "--graph",
             p,
@@ -555,16 +728,16 @@ mod tests {
 
     #[test]
     fn classify_reports_simple_path_classes() {
-        let out = run(&a(&["classify", "--query", "x -[a*]-> y, x -[(a a)*]-> y"])).unwrap();
+        let out = run_ok(&a(&["classify", "--query", "x -[a*]-> y, x -[(a a)*]-> y"])).unwrap();
         assert!(out.contains("deletion-closed"), "{out}");
         assert!(out.contains("parity-hard"), "{out}");
     }
 
     #[test]
     fn bounded_command() {
-        let out = run(&a(&["bounded", "--query", "(x, y) <- x -[a b + c]-> y"])).unwrap();
+        let out = run_ok(&a(&["bounded", "--query", "(x, y) <- x -[a b + c]-> y"])).unwrap();
         assert!(out.contains("bounded (certified)"), "{out}");
-        let out = run(&a(&[
+        let out = run_ok(&a(&[
             "bounded",
             "--query",
             "(x, y) <- x -[a a*]-> y",
@@ -582,7 +755,7 @@ mod tests {
         let path = dir.join("g.txt");
         std::fs::write(&path, "u a v\nv b w\n").unwrap();
         let p = path.to_str().unwrap();
-        let out = run(&a(&[
+        let out = run_ok(&a(&[
             "eval",
             "--graph",
             p,
