@@ -69,20 +69,35 @@
 //! floors at `|V| = 10⁶`: time-to-first ≤ 10 % of the full-materialisation
 //! wall clock, and `ASK` no slower than time-to-first (small noise guard).
 //!
+//! The **mutation workloads** (`mutate_rows` in `BENCH_scale.json`, the
+//! `--mutate-smoke` gate) exercise the dynamic-graph path: a
+//! [`DeltaGraph`] overlay over the `|V| = 10⁵` million-family graph under
+//! single-hot-label churn, queried through a persistent
+//! [`RelationCatalog`] by a mixed-label workload. Per row: mutation apply
+//! latency, warm query latency, and requery latency after
+//! **footprint-keyed** invalidation ([`RelationCatalog::invalidate_label`]
+//! — only entries whose NFA alphabet mentions the churned label are
+//! evicted) vs. after evict-all, with the CI floor that footprint keying
+//! beats evict-all and the eviction counters prove a strict subset was
+//! evicted.
+//!
 //! The JSON is hand-serialised (the workspace's `serde` is an offline no-op
 //! shim); the schema is `rows` + `scale_rows` + `stream_rows` +
-//! `cyclic_rows` arrays with `workload` discriminators. `BENCH_scale.json`
-//! rows are written append-style but **deduped** by
-//! `(workload, |V|, threads)` — a repeated CI run replaces its own prior
-//! measurement instead of growing the file unboundedly.
+//! `cyclic_rows` arrays with `workload` discriminators (`BENCH_scale.json`
+//! holds `scale_rows` + `steal_rows` + `mutate_rows`). Rows in **both**
+//! baseline files are written append-style but **deduped** by
+//! `(workload, graph, semantics, |V|, threads)` (absent fields key on
+//! empty/0) — a repeated CI run replaces its own prior measurement instead
+//! of growing the file unboundedly, while configurations no longer
+//! measured keep their trajectory.
 
 use crpq_core::{
     eval_ask_with_catalog, eval_limit_with_catalog, eval_stream, eval_tuples_join_unshared,
     eval_tuples_parallel, eval_tuples_parallel_static, eval_tuples_with, eval_tuples_with_catalog,
     EvalStrategy, RelationCatalog, Semantics,
 };
-use crpq_graph::GraphDb;
-use crpq_query::Crpq;
+use crpq_graph::{DeltaGraph, GraphDb, GraphView, NodeId};
+use crpq_query::{parse_crpq, Crpq};
 use crpq_util::Interner;
 use crpq_workloads::{cyclic, paper_examples as paper, scaling};
 use std::fmt::Write as _;
@@ -816,6 +831,268 @@ fn print_steal_rows(rows: &[StealRow]) {
     }
 }
 
+/// One row of the dynamic-graph churn workloads (`mutate_rows` in
+/// `BENCH_scale.json`): mutation apply latency, catalog-backed query
+/// latency warm / after footprint-keyed invalidation / after evict-all,
+/// and the catalog's eviction counters, on a [`DeltaGraph`] under
+/// single-hot-label churn with a mixed-label query workload.
+struct MutateRow {
+    workload: &'static str,
+    nodes: usize,
+    edges: usize,
+    threads: usize,
+    /// Mutations applied per churn batch.
+    churn_ops: usize,
+    /// Mean per-mutation apply latency (µs) across all churn batches.
+    apply_us: f64,
+    /// Catalog-backed latency for the full query workload, fully warm
+    /// catalog, no intervening mutation (the all-hits baseline).
+    warm_ms: f64,
+    /// Same workload right after a churn batch +
+    /// [`RelationCatalog::invalidate_label`] on the churned label — only
+    /// footprint-matching entries re-materialise.
+    footprint_ms: f64,
+    /// Same workload right after a churn batch +
+    /// [`RelationCatalog::invalidate_all`] — the evict-everything
+    /// baseline footprint keying is measured against.
+    evict_all_ms: f64,
+    /// Entries evicted by one footprint-keyed invalidation round.
+    evictions_footprint: usize,
+    /// Entries evicted by one evict-all round (= live entries).
+    evictions_all: usize,
+    /// Live catalog entries once the full workload is materialised.
+    cached_entries: usize,
+    catalog_hits: usize,
+    catalog_misses: usize,
+}
+
+impl MutateRow {
+    /// The headline ratio: how much cheaper requerying is when only the
+    /// churned label's footprint is evicted instead of everything.
+    fn footprint_speedup(&self) -> f64 {
+        self.evict_all_ms / self.footprint_ms.max(1e-9)
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let total = self.catalog_hits + self.catalog_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.catalog_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Deterministic splitmix64 for churn schedules — the bench must be
+/// reproducible across runs without pulling a RNG dependency in.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Measures the dynamic-graph churn workload at `n` nodes: the
+/// million-family graph wrapped in a [`DeltaGraph`], churned on one hot
+/// label (`l0`, alternating inserts and deletes), queried through a
+/// persistent [`RelationCatalog`] by a **mixed-label workload** — the
+/// scale query (footprint `l0..l4`) plus a disjoint-footprint twin over
+/// `l8..l12`. Per batch the catalog is invalidated either by
+/// [`RelationCatalog::invalidate_label`] on the churned label (only the
+/// one `l0`-footprint entry re-materialises) or by
+/// [`RelationCatalog::invalidate_all`] (every entry does).
+///
+/// With `enforce_floor` (the CI gate): footprint-keyed requery must be
+/// strictly cheaper than requery after evict-all, and the eviction
+/// counters must show footprint keying actually evicted a strict,
+/// non-empty subset of the live entries.
+fn measure_mutate(n: usize, threads: usize, enforce_floor: bool) -> MutateRow {
+    const SAMPLES: usize = 3;
+    const CHURN_OPS: usize = 2_000;
+    let mut base = scaling::million_graph(n, 7);
+    let q_hot = scaling::million_query(base.alphabet_mut());
+    // Same chain shape over labels disjoint from `q_hot`'s footprint: the
+    // entries footprint keying must keep alive across `l0` churn.
+    let q_cold = parse_crpq(
+        "(x, y) <- x -[l8 (l9+l10)*]-> y, y -[l10 (l11+l12)*]-> z",
+        base.alphabet_mut(),
+    )
+    .unwrap();
+    let mut g = DeltaGraph::new(base);
+    let hot = g.label("l0");
+
+    let mut catalog = RelationCatalog::with_threads(&g, threads);
+    let tuples = eval_tuples_with_catalog(&q_hot, &g, Semantics::Standard, &mut catalog).len()
+        + eval_tuples_with_catalog(&q_cold, &g, Semantics::Standard, &mut catalog).len();
+    assert!(
+        tuples > 0,
+        "mutate workload returned no tuples — the churn smoke proves nothing"
+    );
+    let cached_entries = catalog.cached_entries();
+    assert!(
+        cached_entries >= 4,
+        "expected at least four distinct atom relations, got {cached_entries}"
+    );
+    let (_, warm_ms) = time_best_of(SAMPLES, || {
+        eval_tuples_with_catalog(&q_hot, &g, Semantics::Standard, &mut catalog).len()
+            + eval_tuples_with_catalog(&q_cold, &g, Semantics::Standard, &mut catalog).len()
+    });
+
+    let mut rng = SplitMix(0xC0FFEE ^ n as u64);
+    let mut apply_us_sum = 0.0;
+    let mut batches = 0usize;
+    let churn = |g: &mut DeltaGraph, rng: &mut SplitMix| -> f64 {
+        let t0 = Instant::now();
+        for i in 0..CHURN_OPS {
+            let u = NodeId(rng.below(n) as u32);
+            let v = NodeId(rng.below(n) as u32);
+            if i % 2 == 0 {
+                g.insert_edge(u, hot, v);
+            } else {
+                g.delete_edge(u, hot, v);
+            }
+        }
+        t0.elapsed().as_secs_f64() * 1e6 / CHURN_OPS as f64
+    };
+
+    let mut footprint_ms = f64::INFINITY;
+    let mut evict_all_ms = f64::INFINITY;
+    let mut evictions_footprint = 0usize;
+    let mut evictions_all = 0usize;
+    for _ in 0..SAMPLES {
+        // Footprint-keyed round: churn, evict only the hot label's
+        // entries, requery the whole workload.
+        apply_us_sum += churn(&mut g, &mut rng);
+        batches += 1;
+        evictions_footprint = catalog.invalidate_label(hot);
+        let (_, ms) = time_once(|| {
+            eval_tuples_with_catalog(&q_hot, &g, Semantics::Standard, &mut catalog).len()
+                + eval_tuples_with_catalog(&q_cold, &g, Semantics::Standard, &mut catalog).len()
+        });
+        footprint_ms = footprint_ms.min(ms);
+        // Evict-all round on the same (already mutated) graph.
+        apply_us_sum += churn(&mut g, &mut rng);
+        batches += 1;
+        evictions_all = catalog.invalidate_all();
+        let (_, ms) = time_once(|| {
+            eval_tuples_with_catalog(&q_hot, &g, Semantics::Standard, &mut catalog).len()
+                + eval_tuples_with_catalog(&q_cold, &g, Semantics::Standard, &mut catalog).len()
+        });
+        evict_all_ms = evict_all_ms.min(ms);
+    }
+    // Soundness of footprint-keyed invalidation: after one more churn +
+    // label-keyed eviction, the catalog-backed answers equal a fresh
+    // catalog-free evaluation of the mutated view.
+    apply_us_sum += churn(&mut g, &mut rng);
+    batches += 1;
+    catalog.invalidate_label(hot);
+    let via_catalog = eval_tuples_with_catalog(&q_hot, &g, Semantics::Standard, &mut catalog);
+    assert_eq!(
+        via_catalog,
+        crpq_core::eval_tuples(&q_hot, &g, Semantics::Standard),
+        "catalog-backed answers diverged from a fresh evaluation after churn"
+    );
+
+    let row = MutateRow {
+        workload: "mutate_churn_million",
+        nodes: GraphView::num_nodes(&g),
+        edges: GraphView::num_edges(&g),
+        threads: crpq_graph::rpq::effective_threads(threads),
+        churn_ops: CHURN_OPS,
+        apply_us: apply_us_sum / batches as f64,
+        warm_ms,
+        footprint_ms,
+        evict_all_ms,
+        evictions_footprint,
+        evictions_all,
+        cached_entries,
+        catalog_hits: catalog.hits(),
+        catalog_misses: catalog.misses(),
+    };
+    if enforce_floor {
+        assert!(
+            row.evictions_footprint > 0 && row.evictions_footprint < row.evictions_all,
+            "footprint keying must evict a strict non-empty subset: {} vs {} entries",
+            row.evictions_footprint,
+            row.evictions_all
+        );
+        assert!(
+            row.footprint_ms < row.evict_all_ms,
+            "footprint-keyed requery not cheaper than evict-all on the mixed-label \
+             workload: {:.2}ms vs {:.2}ms",
+            row.footprint_ms,
+            row.evict_all_ms
+        );
+    }
+    row
+}
+
+fn mutate_rows_json(rows: &[MutateRow]) -> String {
+    let mut json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, \"threads\": {}, \
+             \"churn_ops\": {}, \"apply_us\": {:.4}, \"warm_ms\": {:.4}, \
+             \"footprint_ms\": {:.4}, \"evict_all_ms\": {:.4}, \"footprint_speedup\": {:.2}, \
+             \"evictions_footprint\": {}, \"evictions_all\": {}, \"cached_entries\": {}, \
+             \"catalog_hits\": {}, \"catalog_misses\": {}, \"catalog_hit_rate\": {:.3}}}{}",
+            r.workload,
+            r.nodes,
+            r.edges,
+            r.threads,
+            r.churn_ops,
+            r.apply_us,
+            r.warm_ms,
+            r.footprint_ms,
+            r.evict_all_ms,
+            r.footprint_speedup(),
+            r.evictions_footprint,
+            r.evictions_all,
+            r.cached_entries,
+            r.catalog_hits,
+            r.catalog_misses,
+            r.hit_rate(),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json
+}
+
+fn print_mutate_rows(rows: &[MutateRow]) {
+    println!(
+        "\n## dynamic graphs — base+delta churn, footprint-keyed vs evict-all invalidation (st)\n"
+    );
+    println!("| workload | n | edges | threads | apply/op | warm | footprint | evict-all | fp-x | evicted | hit-rate |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+    for r in rows {
+        println!(
+            "| {} | {} | {} | {} | {:.2}µs | {:.1}ms | {:.1}ms | {:.1}ms | {:.2}x | {}/{} | {:.0}% |",
+            r.workload,
+            r.nodes,
+            r.edges,
+            r.threads,
+            r.apply_us,
+            r.warm_ms,
+            r.footprint_ms,
+            r.evict_all_ms,
+            r.footprint_speedup(),
+            r.evictions_footprint,
+            r.evictions_all,
+            r.hit_rate() * 100.0,
+        );
+    }
+}
+
 /// Index + names budget of the 10⁶-node scale row (the PR-5 contract,
 /// unchanged).
 const MILLION_BYTES_BUDGET: usize = 200_000_000;
@@ -852,10 +1129,13 @@ fn prior_rows(path: &str, name: &str) -> String {
     }
 }
 
-/// The append-dedupe key of one serialised row: `(workload, |V|, threads)`.
-/// Rows without a `threads` field (the scale rows) key on 0. `None` for
-/// lines that don't look like a measurement row.
-fn row_key(line: &str) -> Option<(String, usize, usize)> {
+/// The append-dedupe key of one serialised row:
+/// `(workload, graph, semantics, |V|, threads)`. Rows without a `threads`
+/// field (the scale rows) key on 0; rows without `graph` / `semantics`
+/// discriminators (everything except `BENCH_eval.json`'s `rows`) key on
+/// the empty string. `None` for lines that don't look like a measurement
+/// row.
+fn row_key(line: &str) -> Option<(String, String, String, usize, usize)> {
     fn field_num(line: &str, name: &str) -> Option<usize> {
         let tag = format!("\"{name}\": ");
         let rest = &line[line.find(&tag)? + tag.len()..];
@@ -864,11 +1144,20 @@ fn row_key(line: &str) -> Option<(String, usize, usize)> {
             .unwrap_or(rest.len())];
         digits.parse().ok()
     }
-    let tag = "\"workload\": \"";
-    let rest = &line[line.find(tag)? + tag.len()..];
-    let workload = rest[..rest.find('"')?].to_string();
+    fn field_str(line: &str, name: &str) -> Option<String> {
+        let tag = format!("\"{name}\": \"");
+        let rest = &line[line.find(&tag)? + tag.len()..];
+        Some(rest[..rest.find('"')?].to_string())
+    }
+    let workload = field_str(line, "workload")?;
     let nodes = field_num(line, "nodes")?;
-    Some((workload, nodes, field_num(line, "threads").unwrap_or(0)))
+    Some((
+        workload,
+        field_str(line, "graph").unwrap_or_default(),
+        field_str(line, "semantics").unwrap_or_default(),
+        nodes,
+        field_num(line, "threads").unwrap_or(0),
+    ))
 }
 
 /// [`prior_rows`] minus every row whose `(workload, |V|, threads)` key is
@@ -907,6 +1196,48 @@ fn prior_rows_deduped(path: &str, name: &str, new_rows: &str) -> String {
     } else {
         format!("{},\n", kept.join(",\n"))
     }
+}
+
+/// Re-emits a [`prior_rows`] extraction verbatim as a complete array body
+/// (no new rows appended): strips the trailing separator comma so the
+/// array stays valid JSON. Used to carry arrays a bench mode does *not*
+/// re-measure through its rewrite of a shared baseline file.
+fn array_body(prior: &str) -> String {
+    match prior.strip_suffix(",\n") {
+        Some(inner) => format!("{inner}\n"),
+        None => prior.to_string(),
+    }
+}
+
+/// The `--mutate-smoke` CI gate: the dynamic-graph churn workload at
+/// `|V| = 10⁵` (see [`measure_mutate`]), with the footprint-vs-evict-all
+/// floor enforced. Writes `mutate_rows` into `path` (`BENCH_scale.json`),
+/// appending to prior rows with `(workload, |V|, threads)` dedupe and
+/// carrying the file's `scale_rows` / `steal_rows` through untouched.
+pub fn run_mutate_smoke(path: &str, threads: usize) {
+    let rows = vec![measure_mutate(100_000, threads, true)];
+    print_mutate_rows(&rows);
+    let new_mutate = mutate_rows_json(&rows);
+    let prior_mutate = prior_rows_deduped(path, "mutate_rows", &new_mutate);
+    let scale = array_body(&prior_rows(path, "scale_rows"));
+    let steal = array_body(&prior_rows(path, "steal_rows"));
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p crpq-bench --bin experiments -- --mutate-smoke\",\n",
+    );
+    json.push_str("  \"scale_rows\": [\n");
+    json.push_str(&scale);
+    json.push_str("  ],\n");
+    json.push_str("  \"steal_rows\": [\n");
+    json.push_str(&steal);
+    json.push_str("  ],\n");
+    json.push_str("  \"mutate_rows\": [\n");
+    json.push_str(&prior_mutate);
+    json.push_str(&new_mutate);
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, &json).expect("write mutate smoke JSON");
+    println!("\nwrote {path}");
 }
 
 /// The `--scale-smoke` CI gate, four rows:
@@ -968,6 +1299,9 @@ pub fn run_scale_smoke(path: &str, threads: usize) {
     let new_steal = steal_rows_json(&steal_rows);
     let prior_scale = prior_rows_deduped(path, "scale_rows", &new_scale);
     let prior_steal = prior_rows_deduped(path, "steal_rows", &new_steal);
+    // Not re-measured here — carried through so --scale-smoke and
+    // --mutate-smoke can rewrite the shared file in either order.
+    let mutate = array_body(&prior_rows(path, "mutate_rows"));
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(
@@ -980,6 +1314,9 @@ pub fn run_scale_smoke(path: &str, threads: usize) {
     json.push_str("  \"steal_rows\": [\n");
     json.push_str(&prior_steal);
     json.push_str(&new_steal);
+    json.push_str("  ],\n");
+    json.push_str("  \"mutate_rows\": [\n");
+    json.push_str(&mutate);
     json.push_str("  ]\n}\n");
     std::fs::write(path, &json).expect("write scale smoke JSON");
     println!("\nwrote {path}");
@@ -1106,15 +1443,10 @@ pub fn run_smoke(path: &str, enforce_floor: bool, threads: usize) {
     print_stream_rows(&stream_rows);
     print_cyclic_rows(&cyclic_rows);
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(
-        "  \"generated_by\": \"cargo run --release -p crpq-bench --bin experiments -- --smoke\",\n",
-    );
-    json.push_str("  \"rows\": [\n");
+    let mut new_rows = String::new();
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
-            json,
+            new_rows,
             "    {{\"workload\": \"{}\", \"graph\": \"{}\", \"nodes\": {}, \"edges\": {}, \
              \"arity\": {}, \"semantics\": \"{}\", \"tuples\": {}, \"join_ms\": {:.4}, \
              \"unshared_ms\": {:.4}, \"legacy_ms\": {:.4}, \"mat_ms\": {:.4}, \
@@ -1143,15 +1475,32 @@ pub fn run_smoke(path: &str, enforce_floor: bool, threads: usize) {
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
+    // Every array appends to the prior baseline with per-configuration
+    // dedupe — same policy as BENCH_scale.json, so configurations dropped
+    // from a future smoke keep their last measurement on record.
+    let new_scale = scale_rows_json(&scale_rows);
+    let new_stream = stream_rows_json(&stream_rows);
+    let new_cyclic = cyclic_rows_json(&cyclic_rows);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p crpq-bench --bin experiments -- --smoke\",\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    json.push_str(&prior_rows_deduped(path, "rows", &new_rows));
+    json.push_str(&new_rows);
     json.push_str("  ],\n");
     json.push_str("  \"scale_rows\": [\n");
-    json.push_str(&scale_rows_json(&scale_rows));
+    json.push_str(&prior_rows_deduped(path, "scale_rows", &new_scale));
+    json.push_str(&new_scale);
     json.push_str("  ],\n");
     json.push_str("  \"stream_rows\": [\n");
-    json.push_str(&stream_rows_json(&stream_rows));
+    json.push_str(&prior_rows_deduped(path, "stream_rows", &new_stream));
+    json.push_str(&new_stream);
     json.push_str("  ],\n");
     json.push_str("  \"cyclic_rows\": [\n");
-    json.push_str(&cyclic_rows_json(&cyclic_rows));
+    json.push_str(&prior_rows_deduped(path, "cyclic_rows", &new_cyclic));
+    json.push_str(&new_cyclic);
     json.push_str("  ]\n}\n");
     std::fs::write(path, &json).expect("write BENCH_eval.json");
     println!("\nwrote {path}");
@@ -1241,11 +1590,36 @@ mod tests {
     use super::{prior_rows_deduped, row_key};
 
     #[test]
-    fn row_key_reads_workload_nodes_and_optional_threads() {
+    fn row_key_reads_workload_nodes_and_optional_discriminators() {
         let steal = r#"    {"workload": "zipf_steal", "nodes": 60000, "threads": 16, "ms": 1.0},"#;
-        assert_eq!(row_key(steal), Some(("zipf_steal".to_string(), 60_000, 16)));
+        assert_eq!(
+            row_key(steal),
+            Some((
+                "zipf_steal".to_string(),
+                String::new(),
+                String::new(),
+                60_000,
+                16
+            ))
+        );
         let scale = r#"    {"workload": "million", "nodes": 1000000, "eval_ms": 3.0}"#;
-        assert_eq!(row_key(scale), Some(("million".to_string(), 1_000_000, 0)));
+        assert_eq!(
+            row_key(scale),
+            Some((
+                "million".to_string(),
+                String::new(),
+                String::new(),
+                1_000_000,
+                0
+            ))
+        );
+        // The eval rows carry graph + semantics discriminators, so the
+        // three semantics of one workload/graph pair stay distinct keys.
+        let eval = r#"    {"workload": "e2", "graph": "G", "nodes": 5, "semantics": "a-inj"},"#;
+        assert_eq!(
+            row_key(eval),
+            Some(("e2".to_string(), "G".to_string(), "a-inj".to_string(), 5, 0))
+        );
         assert_eq!(row_key("  ],"), None);
     }
 

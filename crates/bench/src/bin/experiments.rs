@@ -34,6 +34,20 @@
 //! cargo run --release -p crpq-bench --bin experiments -- --scale-smoke
 //! ```
 //!
+//! With `--mutate-smoke`, runs the dynamic-graph churn gate: the
+//! `|V| = 10⁵` million-family graph wrapped in a `DeltaGraph` overlay,
+//! churned on one hot label and queried through a persistent catalog by a
+//! mixed-label workload, asserting that footprint-keyed invalidation
+//! (evict only the entries whose NFA alphabet mentions the churned label)
+//! requeries strictly cheaper than evict-all, and that the eviction
+//! counters show a strict non-empty subset was evicted. Writes
+//! `mutate_rows` into `BENCH_scale.json` (append + dedupe, other arrays
+//! carried through):
+//!
+//! ```sh
+//! cargo run --release -p crpq-bench --bin experiments -- --mutate-smoke
+//! ```
+//!
 //! `--threads N` overrides the materialisation/evaluation worker count in
 //! all benchmark modes (`0` keeps the documented fallback: one worker per
 //! CPU, capped at 16), so baseline numbers are reproducible across
@@ -68,6 +82,10 @@ fn main() {
     let threads = threads_flag();
     if std::env::args().any(|a| a == "--scale-smoke") {
         bench_eval::run_scale_smoke("BENCH_scale.json", threads);
+        return;
+    }
+    if std::env::args().any(|a| a == "--mutate-smoke") {
+        bench_eval::run_mutate_smoke("BENCH_scale.json", threads);
         return;
     }
     if std::env::args().any(|a| a == "--smoke") {

@@ -1,5 +1,31 @@
 //! Direct evaluation of CRPQs under the three semantics (§2.1).
 //!
+//! # Graphs are read through [`GraphView`]
+//!
+//! Every entry point is generic over `G: `[`GraphView`] — the read-only
+//! trait from `crpq_graph` whose contract (ascending per-label iterators,
+//! node-major `(label, node)` order, post-build labels read as empty) is
+//! documented in `crpq_graph::view`. Frozen [`GraphDb`]s monomorphise to
+//! the original CSR-slice loops at zero cost; `DeltaGraph` overlays run
+//! the identical algorithms over the base+delta merge. An evaluation
+//! borrows `&G` for its whole run, so it always observes one consistent
+//! snapshot.
+//!
+//! # The footprint invariant under mutation
+//!
+//! The [`RelationCatalog`] caches materialised atom relations across
+//! queries, and each entry records its NFA's **label footprint** (the
+//! alphabet symbols the compiled automaton can read). The invariant that
+//! keeps the cache sound on a mutable graph: *a cached relation is
+//! invalidated by a mutation to label `ℓ` iff `ℓ` is in its footprint* —
+//! an RPQ relation is a function of exactly the edges whose labels its NFA
+//! mentions, so disjoint-footprint entries stay byte-for-byte valid and
+//! keep serving hits. Owners of a mutable graph call
+//! [`RelationCatalog::invalidate_label`] after each batch of mutations to
+//! a label (or [`RelationCatalog::rebind`] when the node universe
+//! changes); see the catalog's own docs for the slot-reuse mechanics and
+//! the eviction counters the benchmarks assert on.
+//!
 //! # Planner / executor architecture
 //!
 //! Injective semantics force evaluating every ε-free variant of a query
@@ -135,9 +161,9 @@
 
 use crpq_automata::{Nfa, NfaKey};
 use crpq_graph::rpq::{NodeSet, ReachScratch, Relation, RelationRow};
-use crpq_graph::{rpq, GraphDb, NodeId};
+use crpq_graph::{rpq, GraphView, NodeId};
 use crpq_query::{Crpq, Var};
-use crpq_util::{BitSet, FxHashMap, FxHashSet};
+use crpq_util::{BitSet, FxHashMap, FxHashSet, Symbol};
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 use std::time::Instant;
@@ -213,7 +239,7 @@ pub(crate) enum JoinMode {
 }
 
 /// Whether `tuple ∈ Q(G)_sem`.
-pub fn eval_contains(q: &Crpq, g: &GraphDb, tuple: &[NodeId], sem: Semantics) -> bool {
+pub fn eval_contains<G: GraphView>(q: &Crpq, g: &G, tuple: &[NodeId], sem: Semantics) -> bool {
     assert_eq!(
         q.free.len(),
         tuple.len(),
@@ -234,7 +260,12 @@ pub fn eval_contains(q: &Crpq, g: &GraphDb, tuple: &[NodeId], sem: Semantics) ->
 /// whose label stays in the language, so the (NP-hard in general)
 /// simple-path check degenerates to reachability — the executable content
 /// of the tractable side of the trichotomy the paper cites as [3].
-pub fn eval_contains_analyzed(q: &Crpq, g: &GraphDb, tuple: &[NodeId], sem: Semantics) -> bool {
+pub fn eval_contains_analyzed<G: GraphView>(
+    q: &Crpq,
+    g: &G,
+    tuple: &[NodeId],
+    sem: Semantics,
+) -> bool {
     assert_eq!(
         q.free.len(),
         tuple.len(),
@@ -247,20 +278,20 @@ pub fn eval_contains_analyzed(q: &Crpq, g: &GraphDb, tuple: &[NodeId], sem: Sema
 
 /// Whether the Boolean query holds: `Q(G)_sem ≠ ∅` (for Boolean `Q` this is
 /// membership of the empty tuple).
-pub fn eval_boolean(q: &Crpq, g: &GraphDb, sem: Semantics) -> bool {
+pub fn eval_boolean<G: GraphView>(q: &Crpq, g: &G, sem: Semantics) -> bool {
     assert!(q.is_boolean(), "eval_boolean requires a Boolean query");
     eval_contains(q, g, &[], sem)
 }
 
 /// The full result set `Q(G)_sem`, sorted and deduplicated — join-based
 /// engine (see the module docs for the pipeline).
-pub fn eval_tuples(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
+pub fn eval_tuples<G: GraphView>(q: &Crpq, g: &G, sem: Semantics) -> Vec<Vec<NodeId>> {
     eval_tuples_with(q, g, sem, EvalStrategy::Join)
 }
 
 /// [`eval_tuples`] with the deletion-closed fast path of
 /// [`eval_contains_analyzed`].
-pub fn eval_tuples_analyzed(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
+pub fn eval_tuples_analyzed<G: GraphView>(q: &Crpq, g: &G, sem: Semantics) -> Vec<Vec<NodeId>> {
     eval_tuples_join(
         q,
         g,
@@ -275,9 +306,9 @@ pub fn eval_tuples_analyzed(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<No
 /// return exactly the same set — property-tested in
 /// `tests/join_equivalence.rs` and `tests/catalog_equivalence.rs` — which
 /// is what keeps the legacy enumerator useful as an oracle.
-pub fn eval_tuples_with(
+pub fn eval_tuples_with<G: GraphView>(
     q: &Crpq,
-    g: &GraphDb,
+    g: &G,
     sem: Semantics,
     strategy: EvalStrategy,
 ) -> Vec<Vec<NodeId>> {
@@ -293,9 +324,9 @@ pub fn eval_tuples_with(
 /// [`eval_tuples`] against a caller-owned [`RelationCatalog`], so repeated
 /// evaluations on the same graph (other queries sharing atoms, other
 /// semantics, re-runs) reuse every relation materialised so far.
-pub fn eval_tuples_with_catalog(
+pub fn eval_tuples_with_catalog<G: GraphView>(
     q: &Crpq,
-    g: &GraphDb,
+    g: &G,
     sem: Semantics,
     catalog: &mut RelationCatalog,
 ) -> Vec<Vec<NodeId>> {
@@ -307,9 +338,9 @@ pub fn eval_tuples_with_catalog(
 /// against the frozen catalog — each variant through the executor `mode`
 /// selects (under [`JoinMode::Auto`], WCOJ on cyclic shapes, backtracking
 /// join on acyclic ones).
-fn eval_tuples_join(
+fn eval_tuples_join<G: GraphView>(
     q: &Crpq,
-    g: &GraphDb,
+    g: &G,
     sem: Semantics,
     analyze: bool,
     catalog: &mut RelationCatalog,
@@ -325,9 +356,9 @@ fn eval_tuples_join(
 /// inside variants. [`eval_tuples_join`] feeds it a never-stopping hash
 /// set; [`eval_ask`]/[`eval_limit`] a [`LimitSink`]; [`crate::stream`] a
 /// channel-backed sink.
-pub(crate) fn eval_sink_join(
+pub(crate) fn eval_sink_join<G: GraphView>(
     q: &Crpq,
-    g: &GraphDb,
+    g: &G,
     sem: Semantics,
     analyze: bool,
     catalog: &mut RelationCatalog,
@@ -361,16 +392,16 @@ pub(crate) fn eval_sink_join(
 /// the **first verified witness** instead of materialising the result set.
 /// Works for Boolean and non-Boolean queries alike (for the latter it asks
 /// whether any result tuple exists).
-pub fn eval_ask(q: &Crpq, g: &GraphDb, sem: Semantics) -> bool {
+pub fn eval_ask<G: GraphView>(q: &Crpq, g: &G, sem: Semantics) -> bool {
     eval_ask_with_catalog(q, g, sem, &mut RelationCatalog::new(g))
 }
 
 /// [`eval_ask`] against a caller-owned catalog, so a warm catalog skips
 /// relation materialisation entirely (the time-to-first-tuple measurement
 /// of `BENCH_eval`).
-pub fn eval_ask_with_catalog(
+pub fn eval_ask_with_catalog<G: GraphView>(
     q: &Crpq,
-    g: &GraphDb,
+    g: &G,
     sem: Semantics,
     catalog: &mut RelationCatalog,
 ) -> bool {
@@ -384,16 +415,16 @@ pub fn eval_ask_with_catalog(
 /// of [`eval_tuples`]' result (sorted among themselves); *which* subset is
 /// unspecified — it depends on search order, like any engine's unordered
 /// `LIMIT`.
-pub fn eval_limit(q: &Crpq, g: &GraphDb, sem: Semantics, k: usize) -> Vec<Vec<NodeId>> {
+pub fn eval_limit<G: GraphView>(q: &Crpq, g: &G, sem: Semantics, k: usize) -> Vec<Vec<NodeId>> {
     eval_limit_with_catalog(q, g, sem, k, &mut RelationCatalog::new(g))
 }
 
 /// [`eval_limit`] under a forced [`EvalStrategy`] — the differential-test
 /// entry point. `Enumerate` truncates the materialised oracle result (its
 /// first `k` in sorted order), the join strategies stop the search early.
-pub fn eval_limit_with(
+pub fn eval_limit_with<G: GraphView>(
     q: &Crpq,
-    g: &GraphDb,
+    g: &G,
     sem: Semantics,
     k: usize,
     strategy: EvalStrategy,
@@ -426,9 +457,9 @@ pub fn eval_limit_with(
 
 /// [`eval_limit`] against a caller-owned catalog (see
 /// [`eval_ask_with_catalog`]).
-pub fn eval_limit_with_catalog(
+pub fn eval_limit_with_catalog<G: GraphView>(
     q: &Crpq,
-    g: &GraphDb,
+    g: &G,
     sem: Semantics,
     k: usize,
     catalog: &mut RelationCatalog,
@@ -561,7 +592,11 @@ impl TupleSink for LimitSink {
 /// dense rows, no cross-variant sharing. Exists so the benchmark suite can
 /// quantify what the planner layer buys on multi-variant queries; not
 /// meant for production callers.
-pub fn eval_tuples_join_unshared(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
+pub fn eval_tuples_join_unshared<G: GraphView>(
+    q: &Crpq,
+    g: &G,
+    sem: Semantics,
+) -> Vec<Vec<NodeId>> {
     // PR 1 accumulated straight into a `BTreeSet` of tuples; keep that
     // here so the baseline's result handling costs what the old engine's
     // did.
@@ -578,12 +613,12 @@ pub fn eval_tuples_join_unshared(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<V
 /// Legacy full-result engine: `|V|^arity` candidate tuples, one membership
 /// test each. Retained as the differential-testing oracle for the join
 /// engine and as the `BENCH_eval` baseline.
-pub fn eval_tuples_enumerate(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
+pub fn eval_tuples_enumerate<G: GraphView>(q: &Crpq, g: &G, sem: Semantics) -> Vec<Vec<NodeId>> {
     let mut out = BTreeSet::new();
     let variants = q.epsilon_free_union();
     // One evaluator per variant, shared across candidate tuples so the
     // reachability caches amortise.
-    let mut evals: Vec<VariantEval> = variants
+    let mut evals: Vec<VariantEval<G>> = variants
         .iter()
         .map(|v| VariantEval::new(v, g, sem))
         .collect();
@@ -598,23 +633,23 @@ pub fn eval_tuples_enumerate(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<N
 }
 
 /// Alias for [`eval_tuples`] (the general entry point).
-pub fn eval(q: &Crpq, g: &GraphDb, sem: Semantics) -> Vec<Vec<NodeId>> {
+pub fn eval<G: GraphView>(q: &Crpq, g: &G, sem: Semantics) -> Vec<Vec<NodeId>> {
     eval_tuples(q, g, sem)
 }
 
 /// Whether `tuple ∈ (Q₁ ∨ … ∨ Qₖ)(G)_sem` — union semantics is the union
 /// of branch results.
-pub fn eval_contains_union(
+pub fn eval_contains_union<G: GraphView>(
     u: &crpq_query::UnionCrpq,
-    g: &GraphDb,
+    g: &G,
     tuple: &[NodeId],
     sem: Semantics,
 ) -> bool {
     u.branches.iter().any(|q| eval_contains(q, g, tuple, sem))
 }
 
-fn enumerate_tuples<F: FnMut(&[NodeId])>(
-    g: &GraphDb,
+fn enumerate_tuples<G: GraphView, F: FnMut(&[NodeId])>(
+    g: &G,
     tuple: &mut Vec<NodeId>,
     pos: usize,
     f: &mut F,
@@ -623,7 +658,7 @@ fn enumerate_tuples<F: FnMut(&[NodeId])>(
         f(tuple);
         return;
     }
-    for v in g.nodes() {
+    for v in (0..g.num_nodes()).map(|v| NodeId(v as u32)) {
         tuple[pos] = v;
         enumerate_tuples(g, tuple, pos + 1, f);
     }
@@ -697,6 +732,20 @@ enum MaterialiseMode {
 /// budget at any product size). Sweeps run sequentially
 /// with a pooled [`ReachScratch`] by default and partition across scoped
 /// threads when built via [`RelationCatalog::with_threads`].
+///
+/// # Label-footprint invalidation under mutation
+///
+/// The catalog is correct across **edge mutations** of its bound graph
+/// (a [`crpq_graph::DeltaGraph`]) through footprint-keyed eviction: every
+/// entry records the alphabet of its NFA at insert, and an atom relation
+/// depends only on edges carrying labels in that alphabet. After mutating
+/// edges with label `ℓ`, calling [`Self::invalidate_label`]`(ℓ)` evicts
+/// exactly the entries whose footprint mentions `ℓ` — everything else
+/// remains a valid cache hit (the invariant the differential suite
+/// `tests/delta_equivalence.rs` counter-asserts). Node additions change
+/// the universe every relation is sized by, so they require a full
+/// [`Self::rebind`]. Labels interned *after* a relation was cached cannot
+/// appear in its footprint, hence need no eviction path of their own.
 pub struct RelationCatalog {
     /// Node count of the graph this catalog is bound to (O(1) misuse
     /// guard on every lookup).
@@ -707,11 +756,24 @@ pub struct RelationCatalog {
     fingerprint: u64,
     index: FxHashMap<NfaKey, usize>,
     relations: Vec<Relation>,
+    /// `footprints[slot]` = sorted alphabet of the NFA whose relation
+    /// occupies `slot` — the eviction key of [`Self::invalidate_label`].
+    footprints: Vec<Vec<Symbol>>,
+    /// Slots vacated by eviction, reused by the next materialisation.
+    free_slots: Vec<usize>,
+    /// The bound graph mutated since the fingerprint was last sampled
+    /// (set by the invalidation entry points, which have no `&G` in hand);
+    /// the next lookup re-samples instead of tripping the misuse guard.
+    fingerprint_stale: bool,
     scratch: ReachScratch,
     threads: usize,
     mode: MaterialiseMode,
     hits: usize,
     misses: usize,
+    /// Entries evicted by [`Self::invalidate_label`] /
+    /// [`Self::invalidate_all`] / [`Self::rebind`] — surfaced in the
+    /// `--mutate-smoke` bench rows.
+    evictions: usize,
     materialise_ms: f64,
     /// Largest per-materialisation sweep-scratch footprint seen so far
     /// (stamp arrays + sparse visited maps, summed across workers) — the
@@ -721,24 +783,28 @@ pub struct RelationCatalog {
 
 impl RelationCatalog {
     /// An empty catalog for `g`, materialising on a single thread.
-    pub fn new(g: &GraphDb) -> Self {
+    pub fn new<G: GraphView>(g: &G) -> Self {
         Self::with_threads(g, 1)
     }
 
     /// An empty catalog for `g` whose per-source BFS sweeps partition
     /// across `threads` scoped threads (`0` = one per available CPU,
     /// capped at 16); the sampled closure escalation is unaffected.
-    pub fn with_threads(g: &GraphDb, threads: usize) -> Self {
+    pub fn with_threads<G: GraphView>(g: &G, threads: usize) -> Self {
         RelationCatalog {
             num_nodes: g.num_nodes(),
             fingerprint: graph_fingerprint(g),
             index: FxHashMap::default(),
             relations: Vec::new(),
+            footprints: Vec::new(),
+            free_slots: Vec::new(),
+            fingerprint_stale: false,
             scratch: ReachScratch::new(),
             threads: rpq::effective_threads(threads),
             mode: MaterialiseMode::Auto,
             hits: 0,
             misses: 0,
+            evictions: 0,
             materialise_ms: 0.0,
             peak_scratch_bytes: 0,
         }
@@ -748,7 +814,7 @@ impl RelationCatalog {
     /// engine: per-source BFS, unconditionally dense rows, sequential.
     /// Only meant for `BENCH_eval`'s catalog-vs-per-variant comparison —
     /// see [`eval_tuples_join_unshared`].
-    pub fn pr1_baseline(g: &GraphDb) -> Self {
+    pub fn pr1_baseline<G: GraphView>(g: &G) -> Self {
         RelationCatalog {
             mode: MaterialiseMode::Pr1Baseline,
             ..Self::new(g)
@@ -762,12 +828,19 @@ impl RelationCatalog {
     /// plus a sample of edges), so a swapped graph with the same node
     /// count is caught in tests without taxing the all-hits fast path
     /// (`GraphDb` is structurally immutable once built).
-    pub fn get_or_materialize(&mut self, g: &GraphDb, nfa: &Nfa) -> usize {
+    pub fn get_or_materialize<G: GraphView>(&mut self, g: &G, nfa: &Nfa) -> usize {
         assert_eq!(
             self.num_nodes,
             g.num_nodes(),
             "RelationCatalog is bound to a different graph"
         );
+        if self.fingerprint_stale {
+            // A mutation was reported since the last sample; surviving
+            // entries are valid by the footprint invariant, so only the
+            // misuse guard needs re-anchoring.
+            self.fingerprint = graph_fingerprint(g);
+            self.fingerprint_stale = false;
+        }
         debug_assert_eq!(
             self.fingerprint,
             graph_fingerprint(g),
@@ -798,10 +871,96 @@ impl RelationCatalog {
         // (worker scratches die with their threads; this is the pooled one).
         self.scratch.shrink_to(rpq::SCRATCH_RETAIN_STATES);
         self.materialise_ms += t0.elapsed().as_secs_f64() * 1e3;
-        let id = self.relations.len();
-        self.relations.push(rel);
+        let footprint = nfa.symbols();
+        let id = match self.free_slots.pop() {
+            Some(slot) => {
+                self.relations[slot] = rel;
+                self.footprints[slot] = footprint;
+                slot
+            }
+            None => {
+                let id = self.relations.len();
+                self.relations.push(rel);
+                self.footprints.push(footprint);
+                id
+            }
+        };
         self.index.insert(key, id);
         id
+    }
+
+    /// Evicts every entry whose label footprint mentions `label` — the
+    /// invalidation hook for edge mutations: an atom relation depends only
+    /// on edges labelled from its NFA alphabet, so after inserting or
+    /// deleting `label`-edges, entries not mentioning `label` stay exact.
+    /// Marks the misuse-guard fingerprint stale (re-sampled at the next
+    /// lookup). Returns the number of entries evicted.
+    pub fn invalidate_label(&mut self, label: Symbol) -> usize {
+        self.fingerprint_stale = true;
+        let footprints = &self.footprints;
+        let evicted: Vec<usize> = {
+            let mut gone = Vec::new();
+            self.index.retain(|_, &mut slot| {
+                if footprints[slot].contains(&label) {
+                    gone.push(slot);
+                    false
+                } else {
+                    true
+                }
+            });
+            gone
+        };
+        for &slot in &evicted {
+            // Release the relation's heap now (`Relation::empty` is O(1));
+            // the slot id is recycled by the next materialisation.
+            self.relations[slot] = Relation::empty(self.num_nodes);
+            self.footprints[slot].clear();
+            self.free_slots.push(slot);
+        }
+        self.evictions += evicted.len();
+        evicted.len()
+    }
+
+    /// Evicts **every** entry — the structure-oblivious baseline the
+    /// `--mutate-smoke` benchmark compares footprint-keyed eviction
+    /// against. Returns the number of entries evicted.
+    pub fn invalidate_all(&mut self) -> usize {
+        self.fingerprint_stale = true;
+        let evicted = self.index.len();
+        self.index.clear();
+        for slot in 0..self.relations.len() {
+            if !self.footprints[slot].is_empty() || !self.relations[slot].is_empty() {
+                self.relations[slot] = Relation::empty(self.num_nodes);
+            }
+            self.footprints[slot].clear();
+        }
+        self.free_slots = (0..self.relations.len()).collect();
+        self.evictions += evicted;
+        evicted
+    }
+
+    /// Rebinds the catalog after a change to the **node universe** (e.g.
+    /// [`crpq_graph::DeltaGraph::add_node`] or compaction): relations and
+    /// domains are sized by `num_nodes`, so nothing cached survives.
+    pub fn rebind<G: GraphView>(&mut self, g: &G) {
+        self.evictions += self.index.len();
+        self.index.clear();
+        self.relations.clear();
+        self.footprints.clear();
+        self.free_slots.clear();
+        self.num_nodes = g.num_nodes();
+        self.fingerprint = graph_fingerprint(g);
+        self.fingerprint_stale = false;
+    }
+
+    /// Entries evicted so far by the invalidation entry points.
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Number of currently cached (non-evicted) entries.
+    pub fn cached_entries(&self) -> usize {
+        self.index.len()
     }
 
     /// The materialised relation with the given id.
@@ -862,7 +1021,7 @@ impl RelationCatalog {
 /// up to 64 stride-sampled edges. Cheap enough to recompute on every
 /// catalog lookup, strong enough to catch the realistic misuse modes
 /// (different graph with the same node count, mutated graph).
-fn graph_fingerprint(g: &GraphDb) -> u64 {
+fn graph_fingerprint<G: GraphView>(g: &G) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = crpq_util::FxHasher::default();
     g.num_nodes().hash(&mut h);
@@ -872,7 +1031,7 @@ fn graph_fingerprint(g: &GraphDb) -> u64 {
     let mut v = 0;
     while v < n {
         let node = NodeId(v as u32);
-        for &(sym, to) in g.out_edges(node) {
+        for (sym, to) in g.out_edges_iter(node) {
             (v as u32, sym.0, to.0).hash(&mut h);
         }
         v += stride;
@@ -890,9 +1049,9 @@ pub(crate) struct VariantPlan {
 
 /// Compiles a variant's atoms and resolves each against the catalog,
 /// materialising only relations never seen before.
-pub(crate) fn plan_variant(
+pub(crate) fn plan_variant<G: GraphView>(
     variant: &Crpq,
-    g: &GraphDb,
+    g: &G,
     analyze: bool,
     catalog: &mut RelationCatalog,
 ) -> VariantPlan {
@@ -912,8 +1071,8 @@ pub(crate) fn plan_variant(
 /// per-atom relations plus semi-join-pruned per-variable domains.
 /// Immutable once built, so [`crate::parallel`] can share one plan across
 /// worker threads.
-pub(crate) struct JoinPlan<'a> {
-    g: &'a GraphDb,
+pub(crate) struct JoinPlan<'a, G: GraphView> {
+    g: &'a G,
     pub(crate) q: &'a Crpq,
     pub(crate) sem: Semantics,
     pub(crate) atoms: Vec<CompiledAtom>,
@@ -929,12 +1088,12 @@ pub(crate) struct JoinPlan<'a> {
     empty: bool,
 }
 
-impl<'a> JoinPlan<'a> {
+impl<'a, G: GraphView> JoinPlan<'a, G> {
     /// Resolves a [`VariantPlan`] against the (now frozen) catalog and
     /// prunes variable domains to the semi-join fixpoint.
     pub(crate) fn build(
         variant: &'a Crpq,
-        g: &'a GraphDb,
+        g: &'a G,
         sem: Semantics,
         plan: VariantPlan,
         catalog: &'a RelationCatalog,
@@ -1426,8 +1585,8 @@ impl<'a> JoinPlan<'a> {
 // ---------------------------------------------------------------------------
 
 /// Evaluation of a single ε-free variant.
-pub(crate) struct VariantEval<'a> {
-    g: &'a GraphDb,
+pub(crate) struct VariantEval<'a, G: GraphView> {
+    g: &'a G,
     q: &'a Crpq,
     atoms: Vec<CompiledAtom>,
     sem: Semantics,
@@ -1436,18 +1595,18 @@ pub(crate) struct VariantEval<'a> {
     scratch: VerifyScratch,
 }
 
-impl<'a> VariantEval<'a> {
-    pub(crate) fn new(variant: &'a Crpq, g: &'a GraphDb, sem: Semantics) -> Self {
+impl<'a, G: GraphView> VariantEval<'a, G> {
+    pub(crate) fn new(variant: &'a Crpq, g: &'a G, sem: Semantics) -> Self {
         Self::build(variant, g, sem, false)
     }
 
     /// Like [`VariantEval::new`], but classifies every atom language and
     /// marks factor-deletion-closed atoms for the reachability fast path.
-    pub(crate) fn new_analyzed(variant: &'a Crpq, g: &'a GraphDb, sem: Semantics) -> Self {
+    pub(crate) fn new_analyzed(variant: &'a Crpq, g: &'a G, sem: Semantics) -> Self {
         Self::build(variant, g, sem, true)
     }
 
-    fn build(variant: &'a Crpq, g: &'a GraphDb, sem: Semantics, analyze: bool) -> Self {
+    fn build(variant: &'a Crpq, g: &'a G, sem: Semantics, analyze: bool) -> Self {
         VariantEval {
             g,
             q: variant,
@@ -1608,7 +1767,7 @@ impl<'a> VariantEval<'a> {
 
         let mut cands: Vec<NodeId> = match domain {
             Some(d) => d.iter().map(|i| NodeId(i as u32)).collect(),
-            None => self.g.nodes().collect(),
+            None => (0..self.g.num_nodes()).map(|v| NodeId(v as u32)).collect(),
         };
 
         // Self-loop atoms: reachability from the node back to itself.
@@ -1654,7 +1813,7 @@ impl<'a> VariantEval<'a> {
                     scratch,
                     ..
                 } = self;
-                let g: &GraphDb = g;
+                let g: &G = g;
                 let atoms: &[CompiledAtom] = atoms.as_slice();
                 scratch.prepare(g.num_nodes(), 0);
                 let mut std_reach = |i: usize, s: NodeId, d: NodeId| {
@@ -1821,8 +1980,8 @@ impl Default for VerifyScratch {
 /// membership engine. `empty` is a pooled always-empty blocked set sized
 /// for `g` (see [`VerifyScratch`]). Branch order is semantics-critical;
 /// keep the two callers on this one implementation.
-fn verify_atom_injective(
-    g: &GraphDb,
+fn verify_atom_injective<G: GraphView>(
+    g: &G,
     atoms: &[CompiledAtom],
     mu: &[NodeId],
     std_reach: &mut dyn FnMut(usize, NodeId, NodeId) -> bool,
@@ -1851,8 +2010,8 @@ fn verify_atom_injective(
 /// Shared query-injective verification backing both engines: jointly place
 /// internally disjoint simple paths for all atoms, with every μ-image
 /// blocked as a path internal. All working sets come from `scratch`.
-fn verify_query_injective(
-    g: &GraphDb,
+fn verify_query_injective<G: GraphView>(
+    g: &G,
     atoms: &[CompiledAtom],
     mu: &[NodeId],
     scratch: &mut VerifyScratch,
@@ -1873,8 +2032,8 @@ fn verify_query_injective(
 /// node path for every atom from `i` onwards (earlier entries untouched).
 /// Callers must have run `scratch.prepare(n, atoms.len())` and seeded
 /// `scratch.used` with the μ-images.
-fn place_atoms(
-    g: &GraphDb,
+fn place_atoms<G: GraphView>(
+    g: &G,
     atoms: &[CompiledAtom],
     mu: &[NodeId],
     i: usize,
@@ -1908,8 +2067,8 @@ fn place_atoms(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn try_rest(
-    g: &GraphDb,
+fn try_rest<G: GraphView>(
+    g: &G,
     atoms: &[CompiledAtom],
     mu: &[NodeId],
     i: usize,
@@ -1954,7 +2113,7 @@ fn try_rest(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crpq_graph::GraphBuilder;
+    use crpq_graph::{GraphBuilder, GraphDb};
     use crpq_query::parse_crpq;
 
     /// Builds a graph and keeps the shared alphabet for queries.
@@ -2320,5 +2479,91 @@ mod tests {
                 assert!(st.contains(t), "a-inj ⊆ st violated at {t:?}");
             }
         }
+    }
+
+    /// Compiles the `i`-th atom NFA of a single-variant query — the unit
+    /// catalog lookups are keyed by.
+    fn atom_nfa(query: &Crpq, i: usize) -> Nfa {
+        compile_atoms(&query.epsilon_free_union()[0], false)[i]
+            .nfa
+            .clone()
+    }
+
+    #[test]
+    fn invalidate_label_evicts_only_footprint_matches() {
+        let mut g = graph(&[("u", "a", "v"), ("v", "b", "w"), ("w", "c", "u")]);
+        let query = q("(x, y) <- x -[a b*]-> y, y -[c]-> z", &mut g);
+        let (ab, c) = (atom_nfa(&query, 0), atom_nfa(&query, 1));
+        let mut catalog = RelationCatalog::new(&g);
+        let ab_id = catalog.get_or_materialize(&g, &ab);
+        let c_id = catalog.get_or_materialize(&g, &c);
+        assert_eq!(catalog.cached_entries(), 2);
+
+        // A `b`-mutation touches only the `a b*` atom's footprint.
+        let b = g.alphabet().get("b").unwrap();
+        assert_eq!(catalog.invalidate_label(b), 1);
+        assert_eq!(catalog.evictions(), 1);
+        assert_eq!(catalog.cached_entries(), 1);
+        // The `c` entry survives as a hit; the evicted one re-materialises
+        // into its recycled slot.
+        let hits_before = catalog.hits();
+        assert_eq!(catalog.get_or_materialize(&g, &c), c_id);
+        assert_eq!(catalog.hits(), hits_before + 1);
+        let misses_before = catalog.misses();
+        assert_eq!(catalog.get_or_materialize(&g, &ab), ab_id);
+        assert_eq!(catalog.misses(), misses_before + 1);
+
+        // A label no footprint mentions evicts nothing.
+        let d = g.alphabet_mut().intern("d");
+        assert_eq!(catalog.invalidate_label(d), 0);
+        assert_eq!(catalog.cached_entries(), 2);
+    }
+
+    #[test]
+    fn invalidate_all_and_rebind_clear_everything() {
+        let mut g = graph(&[("u", "a", "v"), ("v", "b", "w")]);
+        let query = q("(x, z) <- x -[a]-> y, y -[b]-> z", &mut g);
+        let (a, b) = (atom_nfa(&query, 0), atom_nfa(&query, 1));
+        let mut catalog = RelationCatalog::new(&g);
+        catalog.get_or_materialize(&g, &a);
+        catalog.get_or_materialize(&g, &b);
+        assert_eq!(catalog.invalidate_all(), 2);
+        assert_eq!(catalog.cached_entries(), 0);
+        assert_eq!(catalog.evictions(), 2);
+
+        catalog.get_or_materialize(&g, &a);
+        catalog.rebind(&g);
+        assert_eq!(catalog.cached_entries(), 0);
+        assert_eq!(catalog.evictions(), 3);
+        // Rebinding re-anchors the fingerprint; lookups keep working.
+        catalog.get_or_materialize(&g, &a);
+        assert_eq!(catalog.cached_entries(), 1);
+    }
+
+    #[test]
+    fn catalog_serves_delta_graph_across_mutations() {
+        use crpq_graph::DeltaGraph;
+        let base = graph(&[("u", "a", "v"), ("v", "b", "w"), ("u", "b", "w")]);
+        let mut g = DeltaGraph::new(base);
+        let mut alphabet = g.base().alphabet().clone();
+        let query = parse_crpq("(x, y) <- x -[a b]-> y", &mut alphabet).unwrap();
+        let nfa = atom_nfa(&query, 0);
+        let (a, b) = (alphabet.get("a").unwrap(), alphabet.get("b").unwrap());
+
+        let mut catalog = RelationCatalog::new(&g);
+        let before = eval_tuples_with_catalog(&query, &g, Semantics::Standard, &mut catalog);
+        assert_eq!(before.len(), 1, "u -a-> v -b-> w");
+
+        // Mutate `b`: the cached `a b` relation must be evicted (its
+        // footprint is {a, b}) and the post-mutation answers must match a
+        // from-scratch evaluation.
+        let (u, w) = (NodeId(0), NodeId(2));
+        assert!(g.delete_edge(NodeId(1), b, w));
+        assert!(g.insert_edge(w, a, u));
+        assert_eq!(catalog.invalidate_label(b), 1);
+        let after = eval_tuples_with_catalog(&query, &g, Semantics::Standard, &mut catalog);
+        let fresh = eval_tuples(&query, &g, Semantics::Standard);
+        assert_eq!(after, fresh, "catalog reuse must match rebuild");
+        assert!(catalog.get_or_materialize(&g, &nfa) < catalog.len());
     }
 }

@@ -69,7 +69,7 @@ use crate::eval::{
     Semantics, SinkStatus, TupleSink, VariantPlan, VerifyScratch,
 };
 use crate::wcoj;
-use crpq_graph::{rpq, GraphDb, NodeId};
+use crpq_graph::{rpq, GraphView, NodeId};
 use crpq_query::{Crpq, Var};
 use crpq_util::FxHashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -86,9 +86,9 @@ const STEAL_DEPTH: usize = 3;
 /// stealing (see the module docs for the split invariant).
 ///
 /// `threads = 0` means one thread per available CPU (capped at 16).
-pub fn eval_tuples_parallel(
+pub fn eval_tuples_parallel<G: GraphView>(
     q: &Crpq,
-    g: &GraphDb,
+    g: &G,
     sem: Semantics,
     threads: usize,
 ) -> Vec<Vec<NodeId>> {
@@ -100,18 +100,18 @@ pub fn eval_tuples_parallel(
 /// subtree runs to completion on the worker that claimed it. Kept
 /// addressable as the baseline for the work-stealing-vs-static bench
 /// comparison; on skewed domains it degenerates to one busy worker.
-pub fn eval_tuples_parallel_static(
+pub fn eval_tuples_parallel_static<G: GraphView>(
     q: &Crpq,
-    g: &GraphDb,
+    g: &G,
     sem: Semantics,
     threads: usize,
 ) -> Vec<Vec<NodeId>> {
     eval_tuples_parallel_impl(q, g, sem, threads, false)
 }
 
-fn eval_tuples_parallel_impl(
+fn eval_tuples_parallel_impl<G: GraphView>(
     q: &Crpq,
-    g: &GraphDb,
+    g: &G,
     sem: Semantics,
     threads: usize,
     work_stealing: bool,
@@ -172,8 +172,8 @@ fn eval_tuples_parallel_impl(
 
 /// The static baseline scheduler: top-level candidates off an atomic
 /// cursor, one whole subtree per claim.
-fn run_static(
-    plan: &JoinPlan<'_>,
+fn run_static<G: GraphView>(
+    plan: &JoinPlan<'_, G>,
     wcoj_order: Option<&[Var]>,
     var: Var,
     cands: Vec<NodeId>,
@@ -199,8 +199,8 @@ fn run_static(
 /// The work-stealing scheduler (see the module docs): seeds one top-level
 /// range per worker, then lets drained workers receive donated subtree
 /// ranges until global quiescence.
-fn run_work_stealing(
-    plan: &JoinPlan<'_>,
+fn run_work_stealing<G: GraphView>(
+    plan: &JoinPlan<'_, G>,
     wcoj_order: Option<&[Var]>,
     var: Var,
     cands: Vec<NodeId>,
@@ -222,8 +222,8 @@ fn run_work_stealing(
 /// ([`LimitSink`], the stream sink) can stop the whole fleet via the
 /// [`StealCtx`] cancel flag. Results land in `global`; per-worker local
 /// sets are only the lock-free duplicate filter.
-fn run_work_stealing_shared<S: TupleSink + Send>(
-    plan: &JoinPlan<'_>,
+fn run_work_stealing_shared<G: GraphView, S: TupleSink + Send>(
+    plan: &JoinPlan<'_, G>,
     wcoj_order: Option<&[Var]>,
     var: Var,
     cands: Vec<NodeId>,
@@ -246,9 +246,9 @@ fn run_work_stealing_shared<S: TupleSink + Send>(
 
 /// Seeds the queue with one contiguous top-level range per worker. Uneven
 /// subtree weights below these ranges are what donation redistributes.
-fn seed_chunks(
+fn seed_chunks<G: GraphView>(
     ctx: &StealCtx,
-    plan: &JoinPlan<'_>,
+    plan: &JoinPlan<'_, G>,
     var: Var,
     cands: &Arc<Vec<NodeId>>,
     threads: usize,
@@ -275,9 +275,9 @@ fn seed_chunks(
 /// chunk's enumeration reports [`SinkStatus::Stop`], raises the cancel
 /// flag so every sibling — including ones deep in the sequential engines,
 /// which poll `should_stop` at search-node entry — winds down too.
-fn drain_chunks(
+fn drain_chunks<G: GraphView>(
     ctx: &StealCtx,
-    plan: &JoinPlan<'_>,
+    plan: &JoinPlan<'_, G>,
     wcoj_order: Option<&[Var]>,
     scratch: &mut VerifyScratch,
     out: &mut dyn TupleSink,
@@ -454,9 +454,9 @@ fn next_chunk(ctx: &StealCtx) -> Option<Chunk> {
 /// candidate, which bounds a worker's overshoot to the subtree it had
 /// already entered.
 #[allow(clippy::too_many_arguments)]
-fn enumerate_range(
+fn enumerate_range<G: GraphView>(
     ctx: &StealCtx,
-    plan: &JoinPlan<'_>,
+    plan: &JoinPlan<'_, G>,
     wcoj_order: Option<&[Var]>,
     var: Var,
     cands: &Arc<Vec<NodeId>>,
@@ -506,9 +506,9 @@ fn enumerate_range(
 /// sequential entry points re-run the duplicate-projection prune; the
 /// explicit levels skip it, which only costs re-exploration — `out` is a
 /// set, so results are unaffected.
-fn descend(
+fn descend<G: GraphView>(
     ctx: &StealCtx,
-    plan: &JoinPlan<'_>,
+    plan: &JoinPlan<'_, G>,
     wcoj_order: Option<&[Var]>,
     depth: usize,
     assignment: &mut Vec<Option<NodeId>>,
@@ -615,9 +615,9 @@ fn lock_sink<S: TupleSink>(m: &Mutex<S>) -> MutexGuard<'_, S> {
 /// answers into one shared `global` sink and stops — across variants and
 /// across workers — the moment the sink says so. Returns the sink for the
 /// caller to unwrap.
-pub(crate) fn eval_parallel_sink<S: TupleSink + Send>(
+pub(crate) fn eval_parallel_sink<G: GraphView, S: TupleSink + Send>(
     q: &Crpq,
-    g: &GraphDb,
+    g: &G,
     sem: Semantics,
     threads: usize,
     global: S,
@@ -677,7 +677,7 @@ pub(crate) fn eval_parallel_sink<S: TupleSink + Send>(
 /// answer. All workers stand down at the first witness via the cancel
 /// flag — on large graphs this returns in the time the search takes to
 /// reach any single verified tuple.
-pub fn eval_ask_parallel(q: &Crpq, g: &GraphDb, sem: Semantics, threads: usize) -> bool {
+pub fn eval_ask_parallel<G: GraphView>(q: &Crpq, g: &G, sem: Semantics, threads: usize) -> bool {
     !eval_parallel_sink(q, g, sem, threads, LimitSink::new(1)).is_empty()
 }
 
@@ -685,9 +685,9 @@ pub fn eval_ask_parallel(q: &Crpq, g: &GraphDb, sem: Semantics, threads: usize) 
 /// k answers is scheduling-dependent (whatever the workers reached first);
 /// the count contract is exact — the shared [`LimitSink`] refuses inserts
 /// beyond `k` even while late workers finish their current candidate.
-pub fn eval_limit_parallel(
+pub fn eval_limit_parallel<G: GraphView>(
     q: &Crpq,
-    g: &GraphDb,
+    g: &G,
     sem: Semantics,
     k: usize,
     threads: usize,

@@ -27,7 +27,7 @@ use crate::eval::{
     SinkStatus, TupleSink,
 };
 use crate::parallel::eval_parallel_sink;
-use crpq_graph::{GraphDb, NodeId};
+use crpq_graph::{GraphView, NodeId};
 use crpq_query::Crpq;
 use crpq_util::FxHashSet;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -135,7 +135,11 @@ impl Drop for TupleStream {
 /// Streaming [`crate::eval_tuples`]: yields distinct answer tuples as the
 /// (sequential) join search finds them. The graph is shared with the
 /// producer thread via `Arc`, the query is cloned.
-pub fn eval_stream(q: &Crpq, g: &Arc<GraphDb>, sem: Semantics) -> TupleStream {
+pub fn eval_stream<G: GraphView + Send + Sync + 'static>(
+    q: &Crpq,
+    g: &Arc<G>,
+    sem: Semantics,
+) -> TupleStream {
     eval_stream_with(q, g, sem, EvalStrategy::Join)
 }
 
@@ -143,9 +147,9 @@ pub fn eval_stream(q: &Crpq, g: &Arc<GraphDb>, sem: Semantics) -> TupleStream {
 /// entry point. `Enumerate` streams the materialised oracle result (no
 /// early yield; it exists so stream-vs-oracle tests cover the same
 /// surface), the join strategies yield mid-search.
-pub fn eval_stream_with(
+pub fn eval_stream_with<G: GraphView + Send + Sync + 'static>(
     q: &Crpq,
-    g: &Arc<GraphDb>,
+    g: &Arc<G>,
     sem: Semantics,
     strategy: EvalStrategy,
 ) -> TupleStream {
@@ -157,7 +161,7 @@ pub fn eval_stream_with(
         EvalStrategy::Wcoj => JoinMode::Wcoj,
         EvalStrategy::Enumerate => {
             return TupleStream::spawn(move |tx| {
-                for t in eval_tuples_enumerate(&q, &g, sem) {
+                for t in eval_tuples_enumerate(&q, &*g, sem) {
                     if tx.send(t).is_err() {
                         break;
                     }
@@ -166,13 +170,13 @@ pub fn eval_stream_with(
         }
     };
     TupleStream::spawn(move |tx| {
-        let mut catalog = RelationCatalog::new(&g);
+        let mut catalog = RelationCatalog::new(&*g);
         let mut sink = StreamSink {
             seen: FxHashSet::default(),
             tx,
             closed: false,
         };
-        eval_sink_join(&q, &g, sem, false, &mut catalog, mode, &mut sink);
+        eval_sink_join(&q, &*g, sem, false, &mut catalog, mode, &mut sink);
     })
 }
 
@@ -180,9 +184,9 @@ pub fn eval_stream_with(
 /// work-stealing scheduler, every worker feeding the one channel-backed
 /// sink; dropping the stream cancels the whole fleet. Tuple arrival order
 /// is scheduling-dependent (the collected set is not).
-pub fn eval_stream_parallel(
+pub fn eval_stream_parallel<G: GraphView + Send + Sync + 'static>(
     q: &Crpq,
-    g: &Arc<GraphDb>,
+    g: &Arc<G>,
     sem: Semantics,
     threads: usize,
 ) -> TupleStream {
@@ -194,6 +198,6 @@ pub fn eval_stream_parallel(
             tx,
             closed: false,
         };
-        eval_parallel_sink(&q, &g, sem, threads, sink);
+        eval_parallel_sink(&q, &*g, sem, threads, sink);
     })
 }

@@ -45,6 +45,7 @@
 
 use crate::eval::{JoinPlan, Semantics, SinkStatus, TupleSink, VerifyScratch};
 use crpq_graph::rpq::{NodeSet, RelationRow};
+use crpq_graph::GraphView;
 use crpq_graph::NodeId;
 use crpq_query::Var;
 
@@ -83,8 +84,8 @@ impl View<'_> {
 /// Runs the worst-case-optimal join to completion, inserting every
 /// verified result projection into `out` — the WCOJ counterpart of
 /// [`JoinPlan::search_all`].
-pub(crate) fn search_all(
-    plan: &JoinPlan<'_>,
+pub(crate) fn search_all<G: GraphView>(
+    plan: &JoinPlan<'_, G>,
     scratch: &mut VerifyScratch,
     out: &mut dyn TupleSink,
 ) -> SinkStatus {
@@ -101,7 +102,7 @@ pub(crate) fn search_all(
 /// its head. The order depends only on `(plan, var)` — workers partitioning
 /// candidates of `var` compute it **once** and reuse it across every
 /// `search_with_fixed` call instead of rebuilding it per candidate node.
-pub(crate) fn fixed_order(plan: &JoinPlan<'_>, var: Var) -> Vec<Var> {
+pub(crate) fn fixed_order<G: GraphView>(plan: &JoinPlan<'_, G>, var: Var) -> Vec<Var> {
     elimination_order(plan, Some(var))
 }
 
@@ -110,8 +111,8 @@ pub(crate) fn fixed_order(plan: &JoinPlan<'_>, var: Var) -> Vec<Var> {
 /// [`crate::parallel`]. `var` is pinned as the (already bound) head of the
 /// elimination order so the remaining levels see it exactly as the
 /// sequential executor would.
-pub(crate) fn search_with_fixed(
-    plan: &JoinPlan<'_>,
+pub(crate) fn search_with_fixed<G: GraphView>(
+    plan: &JoinPlan<'_, G>,
     order: &[Var],
     node: NodeId,
     scratch: &mut VerifyScratch,
@@ -136,7 +137,7 @@ pub(crate) fn search_with_fixed(
 /// of a new connected component). Connectivity-first matters: a level
 /// whose variable has no bound neighbour intersects nothing but its
 /// domain, which degenerates to a cross product.
-fn elimination_order(plan: &JoinPlan<'_>, first: Option<Var>) -> Vec<Var> {
+fn elimination_order<G: GraphView>(plan: &JoinPlan<'_, G>, first: Option<Var>) -> Vec<Var> {
     let n = plan.q.num_vars;
     let mut order: Vec<Var> = Vec::with_capacity(n);
     let mut placed = vec![false; n];
@@ -166,8 +167,8 @@ fn elimination_order(plan: &JoinPlan<'_>, first: Option<Var>) -> Vec<Var> {
 /// subtree hand-off point of the work-stealing driver in
 /// [`crate::parallel`]: a worker that has explicitly enumerated the
 /// stealable prefix levels delegates the remaining subtree here.
-pub(crate) fn search_from_level(
-    plan: &JoinPlan<'_>,
+pub(crate) fn search_from_level<G: GraphView>(
+    plan: &JoinPlan<'_, G>,
     order: &[Var],
     level: usize,
     assignment: &mut Vec<Option<NodeId>>,
@@ -186,8 +187,8 @@ pub(crate) fn search_from_level(
 /// a level's domain as a splittable range instead of descending through
 /// it. Must agree exactly with what [`bind_level`] enumerates; both go
 /// through [`each_level_candidate`].
-pub(crate) fn level_candidates(
-    plan: &JoinPlan<'_>,
+pub(crate) fn level_candidates<G: GraphView>(
+    plan: &JoinPlan<'_, G>,
     order: &[Var],
     level: usize,
     assignment: &mut Vec<Option<NodeId>>,
@@ -202,8 +203,8 @@ pub(crate) fn level_candidates(
 
 /// Binds `order[level..]` one variable at a time by leapfrog intersection,
 /// verifying and emitting complete assignments.
-fn bind_level(
-    plan: &JoinPlan<'_>,
+fn bind_level<G: GraphView>(
+    plan: &JoinPlan<'_, G>,
     order: &[Var],
     level: usize,
     assignment: &mut Vec<Option<NodeId>>,
@@ -260,8 +261,8 @@ fn bind_level(
 /// the assignment are filtered as the intersection streams by; the filter
 /// re-reads `assignment` each round, so `visit` may bind and unbind
 /// deeper variables between calls.
-fn each_level_candidate(
-    plan: &JoinPlan<'_>,
+fn each_level_candidate<G: GraphView>(
+    plan: &JoinPlan<'_, G>,
     order: &[Var],
     level: usize,
     assignment: &mut Vec<Option<NodeId>>,

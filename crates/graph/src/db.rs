@@ -19,6 +19,17 @@
 //! The label-partitioned index is what the RPQ product searches in
 //! [`crate::rpq`] run on; see `crates/graph/src/csr.rs` for the layout.
 //!
+//! A frozen [`GraphDb`] is the canonical implementor of
+//! [`GraphView`](crate::view::GraphView), the read-path trait every query
+//! algorithm is generic over: its trait iterators are `Copied` slice
+//! iterators over the two indexes above, so generic code monomorphised
+//! here is the concrete slice code. Mutation never touches a built
+//! [`GraphDb`] — dynamic workloads wrap it in a
+//! [`DeltaGraph`](crate::delta::DeltaGraph) overlay and periodically
+//! compact back to a frozen snapshot. The one mutable entry point,
+//! [`GraphDb::alphabet_mut`], only *interns labels*; labels interned after
+//! the CSR build read as empty (see the post-build guard on that method).
+//!
 //! # Node-name storage and the O(touched) memory contract
 //!
 //! Node names are workload metadata, not query-path structures, and at
@@ -129,6 +140,16 @@ impl GraphDb {
     /// Mutable access to the alphabet (append-only; existing ids are stable).
     /// Useful to parse queries mentioning labels the graph does not use —
     /// the CSR indexes treat such labels as having no edges.
+    ///
+    /// **Post-build guard**: a symbol interned here *after* the CSR was
+    /// built has an id at or past the CSR's label count. Every adjacency
+    /// accessor ([`Self::successors_slice`], [`Self::predecessors_slice`],
+    /// [`Self::has_edge`] and the [`crate::view::GraphView`] surface)
+    /// bounds-checks the label id and answers with an **empty slice /
+    /// `false`**, never a panic or a stale row — the contract
+    /// `labels_interned_after_finish_have_empty_slices` pins. This is also
+    /// what [`crate::delta::DeltaGraph::label`] relies on: fresh labels
+    /// live purely in the overlay until compaction.
     pub fn alphabet_mut(&mut self) -> &mut Interner {
         &mut self.labels
     }
@@ -651,12 +672,27 @@ mod tests {
     }
 
     #[test]
-    fn labels_interned_after_finish_have_no_edges() {
+    fn labels_interned_after_finish_have_empty_slices() {
+        use crate::view::GraphView;
         let mut g = diamond();
         let zz = g.alphabet_mut().intern("zz");
-        let u = g.node_by_name("u").unwrap();
-        assert_eq!(g.successors_slice(u, zz), &[] as &[NodeId]);
-        assert_eq!(g.predecessors_slice(u, zz), &[] as &[NodeId]);
-        assert!(!g.has_edge(u, zz, u));
+        assert!(
+            zz.index() >= g.fwd.num_labels(),
+            "post-build symbol must land past the CSR's label count"
+        );
+        for v in 0..g.num_nodes() {
+            let v = NodeId(v as u32);
+            // Inherent slice API: explicit empty slices, no panic.
+            assert_eq!(g.successors_slice(v, zz), &[] as &[NodeId]);
+            assert_eq!(g.predecessors_slice(v, zz), &[] as &[NodeId]);
+            assert!(!g.has_edge(v, zz, v));
+            // GraphView surface must agree: empty iterators, zero degrees.
+            assert_eq!(GraphView::successors(&g, v, zz).count(), 0);
+            assert_eq!(GraphView::predecessors(&g, v, zz).count(), 0);
+            assert_eq!(GraphView::out_degree(&g, v, zz), 0);
+            assert_eq!(GraphView::in_degree(&g, v, zz), 0);
+            // Node-major enumeration never mentions the fresh label.
+            assert!(GraphView::out_edges_iter(&g, v).all(|(s, _)| s != zz));
+        }
     }
 }

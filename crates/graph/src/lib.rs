@@ -15,10 +15,14 @@
 
 pub mod csr;
 pub mod db;
+pub mod delta;
 pub mod format;
 pub mod generators;
 pub mod rpq;
 pub mod two_way;
+pub mod view;
 
 pub use csr::LabelCsr;
 pub use db::{GraphBuilder, GraphDb, NodeId, NodeNames};
+pub use delta::{DeltaGraph, GraphDelta};
+pub use view::GraphView;

@@ -19,6 +19,21 @@
 //! hook the query-injective evaluator needs to keep paths of different atoms
 //! internally disjoint.
 //!
+//! # Graphs are read through [`GraphView`](crate::view::GraphView)
+//!
+//! Every sweep and materialiser here is generic over
+//! `G: `[`GraphView`](crate::view::GraphView) rather than taking a concrete
+//! `&GraphDb`: the only operations used are the trait's per-label
+//! successor/predecessor iterators (strictly ascending node ids), degrees,
+//! and the node-major edge iterators — see the contract in
+//! [`crate::view`]. Monomorphised at [`GraphDb`](crate::db::GraphDb) the
+//! iterators are `Copied<slice::Iter>` over the CSR slices, i.e. exactly
+//! the pre-generalisation loops; monomorphised at
+//! [`DeltaGraph`](crate::delta::DeltaGraph) the same algorithms read the
+//! base+overlay merge, which is how mutated graphs are queried without a
+//! rebuild. Nothing here mutates a graph or caches across view values:
+//! each call sees one consistent snapshot for its whole run.
+//!
 //! # The O(touched) memory contract at `|V| = 10⁷`
 //!
 //! Everything on the standard-semantics materialisation path is sized by
@@ -57,7 +72,8 @@
 //! [`crate::db`]: arena-interned names or the fully name-free `Anonymous`
 //! mode for generated workloads.
 
-use crate::db::{GraphDb, NodeId};
+use crate::db::NodeId;
+use crate::view::GraphView;
 use crpq_automata::{Nfa, StateId};
 use crpq_util::{BitSet, FxHashMap, FxHashSet, Symbol};
 use std::collections::VecDeque;
@@ -342,7 +358,7 @@ impl ReachScratch {
 }
 
 /// Nodes reachable from `src` by a path whose label is in `L(nfa)`.
-pub fn rpq_reach(g: &GraphDb, nfa: &Nfa, src: NodeId) -> BitSet {
+pub fn rpq_reach<G: GraphView>(g: &G, nfa: &Nfa, src: NodeId) -> BitSet {
     let mut result = g.node_set();
     rpq_reach_with(g, nfa, src, &mut ReachScratch::new(), &mut result);
     result
@@ -357,8 +373,8 @@ pub fn rpq_reach(g: &GraphDb, nfa: &Nfa, src: NodeId) -> BitSet {
 /// of `v` come from the label-partitioned CSR as one contiguous slice
 /// ([`GraphDb::successors_slice`]), so nodes with large mixed-label edge
 /// lists are never scanned label-by-label.
-pub fn rpq_reach_with(
-    g: &GraphDb,
+pub fn rpq_reach_with<G: GraphView>(
+    g: &G,
     nfa: &Nfa,
     src: NodeId,
     scratch: &mut ReachScratch,
@@ -377,7 +393,7 @@ pub fn rpq_reach_with(
     }
     while let Some((v, q)) = scratch.queue.pop_front() {
         for &(sym, q2) in nfa.transitions_from(q) {
-            for &to in g.successors_slice(v, sym) {
+            for to in g.successors(v, sym) {
                 if scratch.visit(to.index() * ns + q2 as usize) {
                     if nfa.is_final(q2) {
                         result.insert(to.index());
@@ -395,8 +411,8 @@ pub fn rpq_reach_with(
 /// touches `O(|V|/64)` words of clear/scan. Returns the number of
 /// graph-edge scans the sweep performed, which the adaptive materialiser
 /// ([`rpq_relation_auto`]) uses as its observed per-source cost.
-pub fn rpq_reach_collect(
-    g: &GraphDb,
+pub fn rpq_reach_collect<G: GraphView>(
+    g: &G,
     nfa: &Nfa,
     src: NodeId,
     scratch: &mut ReachScratch,
@@ -416,9 +432,8 @@ pub fn rpq_reach_collect(
     }
     while let Some((v, q)) = scratch.queue.pop_front() {
         for &(sym, q2) in nfa.transitions_from(q) {
-            let targets = g.successors_slice(v, sym);
-            edge_scans += targets.len();
-            for &to in targets {
+            edge_scans += g.out_degree(v, sym);
+            for to in g.successors(v, sym) {
                 if scratch.visit(to.index() * ns + q2 as usize) {
                     if nfa.is_final(q2) && scratch.visit_node(to.index()) {
                         out.push(to.0);
@@ -440,15 +455,15 @@ pub fn rpq_reach_collect(
 /// reverse label-partitioned CSR the graph already carries
 /// ([`GraphDb::predecessors_slice`]), so callers needing both directions
 /// (e.g. bidirectional candidate pruning) avoid a full graph clone.
-pub fn rpq_reach_back(g: &GraphDb, nfa_rev: &Nfa, dst: NodeId) -> BitSet {
+pub fn rpq_reach_back<G: GraphView>(g: &G, nfa_rev: &Nfa, dst: NodeId) -> BitSet {
     let mut result = g.node_set();
     rpq_reach_back_with(g, nfa_rev, dst, &mut ReachScratch::new(), &mut result);
     result
 }
 
 /// [`rpq_reach_back`] with caller-provided buffers (see [`rpq_reach_with`]).
-pub fn rpq_reach_back_with(
-    g: &GraphDb,
+pub fn rpq_reach_back_with<G: GraphView>(
+    g: &G,
     nfa_rev: &Nfa,
     dst: NodeId,
     scratch: &mut ReachScratch,
@@ -467,7 +482,7 @@ pub fn rpq_reach_back_with(
     }
     while let Some((v, q)) = scratch.queue.pop_front() {
         for &(sym, q2) in nfa_rev.transitions_from(q) {
-            for &from in g.predecessors_slice(v, sym) {
+            for from in g.predecessors(v, sym) {
                 if scratch.visit(from.index() * ns + q2 as usize) {
                     if nfa_rev.is_final(q2) {
                         result.insert(from.index());
@@ -1488,8 +1503,8 @@ impl Relation {
 /// label in L(nfa)}` by a product BFS from every source in `sources`,
 /// reusing `scratch` across sweeps (no per-source reallocation beyond the
 /// output rows themselves).
-pub fn rpq_reach_all(
-    g: &GraphDb,
+pub fn rpq_reach_all<G: GraphView>(
+    g: &G,
     nfa: &Nfa,
     sources: impl IntoIterator<Item = NodeId>,
     scratch: &mut ReachScratch,
@@ -1511,8 +1526,8 @@ pub fn rpq_reach_all(
 /// backward index is assembled once at the end. `threads = 0` means one
 /// thread per available CPU (capped at 16); `threads ≤ 1` degenerates to
 /// the sequential [`rpq_reach_all`].
-pub fn rpq_reach_all_parallel(
-    g: &GraphDb,
+pub fn rpq_reach_all_parallel<G: GraphView>(
+    g: &G,
     nfa: &Nfa,
     sources: &[NodeId],
     threads: usize,
@@ -1559,8 +1574,8 @@ type SourceRow = (NodeId, Vec<u32>);
 /// `threads` must be an **already-resolved** worker count (`≥ 1`, from
 /// [`effective_threads`] at the public entry point) — this helper only
 /// clamps it to the source count and never re-interprets the `0` knob.
-fn parallel_rows(
-    g: &GraphDb,
+fn parallel_rows<G: GraphView>(
+    g: &G,
     nfa: &Nfa,
     sources: &[NodeId],
     threads: usize,
@@ -1618,14 +1633,15 @@ pub fn effective_threads(threads: usize) -> usize {
 
 /// [`rpq_reach_all`] from every node of the graph: the atom's complete
 /// standard-semantics relation.
-pub fn rpq_relation(g: &GraphDb, nfa: &Nfa, scratch: &mut ReachScratch) -> Relation {
-    rpq_reach_all(g, nfa, g.nodes(), scratch)
+pub fn rpq_relation<G: GraphView>(g: &G, nfa: &Nfa, scratch: &mut ReachScratch) -> Relation {
+    let sources = (0..g.num_nodes()).map(|v| NodeId(v as u32));
+    rpq_reach_all(g, nfa, sources, scratch)
 }
 
 /// [`rpq_relation`] with the per-source sweeps partitioned across scoped
 /// threads ([`rpq_reach_all_parallel`]).
-pub fn rpq_relation_parallel(g: &GraphDb, nfa: &Nfa, threads: usize) -> Relation {
-    let sources: Vec<NodeId> = g.nodes().collect();
+pub fn rpq_relation_parallel<G: GraphView>(g: &G, nfa: &Nfa, threads: usize) -> Relation {
+    let sources: Vec<NodeId> = (0..g.num_nodes()).map(|v| NodeId(v as u32)).collect();
     rpq_reach_all_parallel(g, nfa, &sources, threads)
 }
 
@@ -1643,7 +1659,7 @@ pub const CLOSURE_BLOCK_BUDGET_BITS: usize = 1 << 30;
 /// processes the SCC condensation in column blocks instead of being
 /// unusable, so dense products degrade gracefully rather than falling
 /// back to quadratic per-source sweeps.
-pub fn closure_fits(g: &GraphDb, nfa: &Nfa) -> bool {
+pub fn closure_fits<G: GraphView>(g: &G, nfa: &Nfa) -> bool {
     let n = g.num_nodes() as u128;
     let pn = n * nfa.num_states() as u128;
     pn > 0 && pn * n <= CLOSURE_BLOCK_BUDGET_BITS as u128
@@ -1665,8 +1681,8 @@ pub fn closure_fits(g: &GraphDb, nfa: &Nfa) -> bool {
 /// memory-bounded at any scale) closure runs instead. `threads > 1`
 /// additionally partitions the remaining per-source sweeps across scoped
 /// threads.
-pub fn rpq_relation_auto(
-    g: &GraphDb,
+pub fn rpq_relation_auto<G: GraphView>(
+    g: &G,
     nfa: &Nfa,
     scratch: &mut ReachScratch,
     threads: usize,
@@ -1677,8 +1693,8 @@ pub fn rpq_relation_auto(
 /// [`rpq_relation_auto`] that additionally reports [`MaterialiseStats`]
 /// (peak sweep-scratch bytes across workers, backward-assembly ops) — the
 /// instrumented entry point of the relation catalog.
-pub fn rpq_relation_auto_with_stats(
-    g: &GraphDb,
+pub fn rpq_relation_auto_with_stats<G: GraphView>(
+    g: &G,
     nfa: &Nfa,
     scratch: &mut ReachScratch,
     threads: usize,
@@ -1756,7 +1772,7 @@ pub fn rpq_relation_auto_with_stats(
 /// product-graph condensation** instead of one BFS per source, with the
 /// reach matrix capped per column block ([`CLOSURE_BLOCK_BUDGET_BITS`]).
 /// See [`rpq_relation_closure_blocked`] for the mechanics.
-pub fn rpq_relation_closure(g: &GraphDb, nfa: &Nfa) -> Relation {
+pub fn rpq_relation_closure<G: GraphView>(g: &G, nfa: &Nfa) -> Relation {
     rpq_relation_closure_blocked(g, nfa, CLOSURE_BLOCK_BUDGET_BITS)
 }
 
@@ -1791,7 +1807,11 @@ pub fn rpq_relation_closure(g: &GraphDb, nfa: &Nfa) -> Relation {
 /// the worst-case `SCCs × |V|` bits. Dense products therefore degrade
 /// gracefully instead of hitting a hard cap and falling back to
 /// `O(|V| · |E_Π|)` per-source sweeps.
-pub fn rpq_relation_closure_blocked(g: &GraphDb, nfa: &Nfa, block_budget_bits: usize) -> Relation {
+pub fn rpq_relation_closure_blocked<G: GraphView>(
+    g: &G,
+    nfa: &Nfa,
+    block_budget_bits: usize,
+) -> Relation {
     let n = g.num_nodes();
     let ns = nfa.num_states();
     let pn = n * ns;
@@ -1810,7 +1830,7 @@ pub fn rpq_relation_closure_blocked(g: &GraphDb, nfa: &Nfa, block_budget_bits: u
         for q in 0..ns {
             let mut deg = 0;
             for &(sym, _) in nfa.transitions_from(q as StateId) {
-                deg += g.successors_slice(NodeId(v as u32), sym).len();
+                deg += g.out_degree(NodeId(v as u32), sym);
             }
             off[v * ns + q + 1] = deg;
         }
@@ -1824,7 +1844,7 @@ pub fn rpq_relation_closure_blocked(g: &GraphDb, nfa: &Nfa, block_budget_bits: u
         for q in 0..ns {
             let p = v * ns + q;
             for &(sym, q2) in nfa.transitions_from(q as StateId) {
-                for &w in g.successors_slice(NodeId(v as u32), sym) {
+                for w in g.successors(NodeId(v as u32), sym) {
                     adj[cursor[p]] = (w.index() * ns) as u32 + q2;
                     cursor[p] += 1;
                 }
@@ -2071,14 +2091,18 @@ pub fn rpq_relation_closure_blocked(g: &GraphDb, nfa: &Nfa, block_budget_bits: u
 /// transpose. Kept solely as the measurement baseline for `BENCH_eval`'s
 /// catalog-vs-per-variant comparison — production callers use
 /// [`rpq_relation_closure`] / [`rpq_relation`] / [`rpq_relation_parallel`].
-pub fn rpq_relation_pr1_dense(g: &GraphDb, nfa: &Nfa, scratch: &mut ReachScratch) -> Relation {
+pub fn rpq_relation_pr1_dense<G: GraphView>(
+    g: &G,
+    nfa: &Nfa,
+    scratch: &mut ReachScratch,
+) -> Relation {
     let n = g.num_nodes();
     let mut fwd = vec![BitSet::new(n); n];
     let mut rev = vec![BitSet::new(n); n];
     let mut len = 0;
     let mut sources = BitSet::new(n);
     let mut targets = BitSet::new(n);
-    for src in g.nodes() {
+    for src in (0..n).map(|v| NodeId(v as u32)) {
         let row = &mut fwd[src.index()];
         rpq_reach_with(g, nfa, src, scratch, row);
         len += row.len();
@@ -2116,7 +2140,7 @@ pub fn rpq_relation_pr1_dense(g: &GraphDb, nfa: &Nfa, scratch: &mut ReachScratch
 
 /// Whether some (arbitrary) path from `src` to `dst` has its label in
 /// `L(nfa)` — standard-semantics RPQ matching.
-pub fn rpq_exists(g: &GraphDb, nfa: &Nfa, src: NodeId, dst: NodeId) -> bool {
+pub fn rpq_exists<G: GraphView>(g: &G, nfa: &Nfa, src: NodeId, dst: NodeId) -> bool {
     rpq_reach(g, nfa, src).contains(dst.index())
 }
 
@@ -2128,7 +2152,12 @@ pub fn rpq_exists(g: &GraphDb, nfa: &Nfa, src: NodeId, dst: NodeId) -> bool {
 /// BFS over the product of the graph with the NFA, with parent pointers —
 /// the constructive counterpart of [`rpq_exists`] used for standard-semantics
 /// witness extraction.
-pub fn shortest_path(g: &GraphDb, nfa: &Nfa, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+pub fn shortest_path<G: GraphView>(
+    g: &G,
+    nfa: &Nfa,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Vec<NodeId>> {
     if src == dst && nfa.accepts_epsilon() {
         return Some(vec![src]);
     }
@@ -2144,7 +2173,7 @@ pub fn shortest_path(g: &GraphDb, nfa: &Nfa, src: NodeId, dst: NodeId) -> Option
     }
     while let Some((v, q)) = queue.pop_front() {
         for &(sym, q2) in nfa.transitions_from(q) {
-            for &to in g.successors_slice(v, sym) {
+            for to in g.successors(v, sym) {
                 if visited.insert(flat(to, q2)) {
                     parent[flat(to, q2)] = Some((v, q));
                     if to == dst && nfa.is_final(q2) {
@@ -2167,7 +2196,7 @@ pub fn shortest_path(g: &GraphDb, nfa: &Nfa, src: NodeId, dst: NodeId) -> Option
 }
 
 /// All pairs `(u, v)` related by the RPQ under standard semantics.
-pub fn rpq_pairs(g: &GraphDb, nfa: &Nfa) -> Vec<(NodeId, NodeId)> {
+pub fn rpq_pairs<G: GraphView>(g: &G, nfa: &Nfa) -> Vec<(NodeId, NodeId)> {
     rpq_relation(g, nfa, &mut ReachScratch::new())
         .iter()
         .collect()
@@ -2178,8 +2207,8 @@ pub fn rpq_pairs(g: &GraphDb, nfa: &Nfa) -> Vec<(NodeId, NodeId)> {
 ///
 /// When `src == dst` the only simple path is the empty one, so the answer is
 /// `ε ∈ L(nfa)`.
-pub fn simple_path_exists(
-    g: &GraphDb,
+pub fn simple_path_exists<G: GraphView>(
+    g: &G,
     nfa: &Nfa,
     src: NodeId,
     dst: NodeId,
@@ -2200,8 +2229,8 @@ pub fn simple_path_exists(
 /// The same node sequence may be visited more than once if parallel edges
 /// with different labels both complete an accepting run. Returns `true` if
 /// enumeration ran to completion (no early break).
-pub fn for_each_simple_path<F>(
-    g: &GraphDb,
+pub fn for_each_simple_path<G, F>(
+    g: &G,
     nfa: &Nfa,
     src: NodeId,
     dst: NodeId,
@@ -2209,6 +2238,7 @@ pub fn for_each_simple_path<F>(
     mut visit: F,
 ) -> bool
 where
+    G: GraphView,
     F: FnMut(&[NodeId]) -> ControlFlow<()>,
 {
     if src == dst {
@@ -2242,8 +2272,8 @@ where
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dfs_simple<F>(
-    g: &GraphDb,
+fn dfs_simple<G, F>(
+    g: &G,
     nfa: &Nfa,
     dst: NodeId,
     blocked: &BitSet,
@@ -2254,10 +2284,11 @@ fn dfs_simple<F>(
     visit: &mut F,
 ) -> ControlFlow<()>
 where
+    G: GraphView,
     F: FnMut(&[NodeId]) -> ControlFlow<()>,
 {
     let here = *path.last().unwrap();
-    for &(sym, to) in g.out_edges(here) {
+    for (sym, to) in g.out_edges_iter(here) {
         if to == dst {
             let image = nfa.delta_set(&states, sym);
             if image.intersects(nfa.finals()) {
@@ -2289,7 +2320,7 @@ where
 /// Whether a **simple cycle** at `at` (internal nodes pairwise distinct and
 /// different from `at`) has its label in `L(nfa)`, with no internal node in
 /// `blocked`. The empty cycle counts iff `ε ∈ L(nfa)`.
-pub fn simple_cycle_exists(g: &GraphDb, nfa: &Nfa, at: NodeId, blocked: &BitSet) -> bool {
+pub fn simple_cycle_exists<G: GraphView>(g: &G, nfa: &Nfa, at: NodeId, blocked: &BitSet) -> bool {
     let mut found = false;
     for_each_simple_cycle(g, nfa, at, blocked, |_| {
         found = true;
@@ -2301,14 +2332,15 @@ pub fn simple_cycle_exists(g: &GraphDb, nfa: &Nfa, at: NodeId, blocked: &BitSet)
 /// Enumerates simple cycles at `at` with label in `L(nfa)`, visiting the node
 /// sequence `[at, …, at]` (the empty cycle yields `[at]`).
 /// Returns `true` if enumeration completed.
-pub fn for_each_simple_cycle<F>(
-    g: &GraphDb,
+pub fn for_each_simple_cycle<G, F>(
+    g: &G,
     nfa: &Nfa,
     at: NodeId,
     blocked: &BitSet,
     mut visit: F,
 ) -> bool
 where
+    G: GraphView,
     F: FnMut(&[NodeId]) -> ControlFlow<()>,
 {
     if nfa.accepts_epsilon() && visit(&[at]).is_break() {
@@ -2338,8 +2370,8 @@ where
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dfs_cycle<F>(
-    g: &GraphDb,
+fn dfs_cycle<G, F>(
+    g: &G,
     nfa: &Nfa,
     at: NodeId,
     blocked: &BitSet,
@@ -2350,10 +2382,11 @@ fn dfs_cycle<F>(
     visit: &mut F,
 ) -> ControlFlow<()>
 where
+    G: GraphView,
     F: FnMut(&[NodeId]) -> ControlFlow<()>,
 {
     let here = *path.last().unwrap();
-    for &(sym, to) in g.out_edges(here) {
+    for (sym, to) in g.out_edges_iter(here) {
         if to == at {
             let image = nfa.delta_set(&states, sym);
             if image.intersects(nfa.finals()) {
@@ -2388,7 +2421,7 @@ pub type Edge = (NodeId, Symbol, NodeId);
 /// Whether a **trail** (no repeated edge) from `src` to `dst` has its label
 /// in `L(nfa)`. Edge-injective analogue of [`simple_path_exists`]
 /// (paper §7 outlook).
-pub fn trail_exists(g: &GraphDb, nfa: &Nfa, src: NodeId, dst: NodeId) -> bool {
+pub fn trail_exists<G: GraphView>(g: &G, nfa: &Nfa, src: NodeId, dst: NodeId) -> bool {
     let mut found = false;
     for_each_trail(g, nfa, src, dst, &FxHashSet::default(), |_| {
         found = true;
@@ -2406,8 +2439,8 @@ pub fn trail_exists(g: &GraphDb, nfa: &Nfa, src: NodeId, dst: NodeId) -> bool {
 /// The same edge sequence is visited at most once; unlike simple paths,
 /// trails may revisit nodes, so the search space is bounded by `|E|!` in
 /// the worst case — callers should bound `g` accordingly.
-pub fn for_each_trail<F>(
-    g: &GraphDb,
+pub fn for_each_trail<G, F>(
+    g: &G,
     nfa: &Nfa,
     src: NodeId,
     dst: NodeId,
@@ -2415,6 +2448,7 @@ pub fn for_each_trail<F>(
     mut visit: F,
 ) -> bool
 where
+    G: GraphView,
     F: FnMut(&[Edge]) -> ControlFlow<()>,
 {
     if src == dst && nfa.accepts_epsilon() && visit(&[]).is_break() {
@@ -2435,8 +2469,8 @@ where
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dfs_trail<F>(
-    g: &GraphDb,
+fn dfs_trail<G, F>(
+    g: &G,
     nfa: &Nfa,
     here: NodeId,
     dst: NodeId,
@@ -2448,9 +2482,10 @@ fn dfs_trail<F>(
     visit: &mut F,
 ) -> ControlFlow<()>
 where
+    G: GraphView,
     F: FnMut(&[Edge]) -> ControlFlow<()>,
 {
-    for &(sym, to) in g.out_edges(here) {
+    for (sym, to) in g.out_edges_iter(here) {
         let edge = (here, sym, to);
         if used.contains(&edge) || blocked.contains(&edge) {
             continue;
@@ -2479,7 +2514,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::db::GraphBuilder;
+    use crate::db::{GraphBuilder, GraphDb};
     use crpq_automata::parse_regex;
 
     /// Builds the graph and an NFA over its alphabet.

@@ -71,7 +71,7 @@ pub mod prelude {
         eval_tuples_parallel, eval_tuples_trail, eval_witness, verify_witness, Semantics,
         TrailSemantics, Witness,
     };
-    pub use crpq_graph::{generators, rpq, GraphBuilder, GraphDb, NodeId};
+    pub use crpq_graph::{generators, rpq, DeltaGraph, GraphBuilder, GraphDb, GraphView, NodeId};
     pub use crpq_query::{parse_crpq, Cq, CqAtom, Crpq, CrpqAtom, QueryClass, UnionCrpq, Var};
     pub use crpq_util::{Interner, Symbol};
 }
