@@ -55,7 +55,7 @@ impl Regex {
         }
         match flat.len() {
             0 => Regex::Epsilon,
-            1 => flat.pop().unwrap(),
+            1 => flat.pop().unwrap(), // invariant: the len-1 match arm
             _ => Regex::Concat(flat),
         }
     }
@@ -79,7 +79,7 @@ impl Regex {
         }
         match flat.len() {
             0 => Regex::Empty,
-            1 => flat.pop().unwrap(),
+            1 => flat.pop().unwrap(), // invariant: the len-1 match arm
             _ => Regex::Alt(flat),
         }
     }
@@ -173,7 +173,7 @@ impl Regex {
                 out.insert(*s);
             }
             Regex::Concat(parts) | Regex::Alt(parts) => {
-                parts.iter().for_each(|p| p.collect_symbols(out))
+                parts.iter().for_each(|p| p.collect_symbols(out));
             }
             Regex::Star(r) | Regex::Plus(r) | Regex::Optional(r) => r.collect_symbols(out),
         }

@@ -55,7 +55,7 @@ fn bench_parallel_containment(c: &mut Criterion) {
                     },
                 );
                 assert!(out.is_contained());
-            })
+            });
         });
     }
     group.finish();
@@ -70,10 +70,10 @@ fn bench_engines(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(1));
     for sem in Semantics::ALL {
         group.bench_function(BenchmarkId::new("direct", sem.short_name()), |b| {
-            b.iter(|| eval_boolean(&q, &g, sem))
+            b.iter(|| eval_boolean(&q, &g, sem));
         });
         group.bench_function(BenchmarkId::new("expansion", sem.short_name()), |b| {
-            b.iter(|| expansion_eval::eval_contains_complete(&q, &g, &[], sem))
+            b.iter(|| expansion_eval::eval_contains_complete(&q, &g, &[], sem));
         });
     }
     group.finish();
@@ -87,10 +87,10 @@ fn bench_parallel_eval(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
     group.bench_function("sequential", |b| {
-        b.iter(|| eval_tuples(&q, &g, Semantics::AtomInjective))
+        b.iter(|| eval_tuples(&q, &g, Semantics::AtomInjective));
     });
     group.bench_function("parallel_4", |b| {
-        b.iter(|| eval_tuples_parallel(&q, &g, Semantics::AtomInjective, 4))
+        b.iter(|| eval_tuples_parallel(&q, &g, Semantics::AtomInjective, 4));
     });
     group.finish();
 }
@@ -107,10 +107,10 @@ fn bench_path_primitives(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
     group.bench_function("standard_reach", |b| {
-        b.iter(|| rpq::rpq_exists(&g, &nfa, s, t))
+        b.iter(|| rpq::rpq_exists(&g, &nfa, s, t));
     });
     group.bench_function("simple_path", |b| {
-        b.iter(|| rpq::simple_path_exists(&g, &nfa, s, t, &g.node_set()))
+        b.iter(|| rpq::simple_path_exists(&g, &nfa, s, t, &g.node_set()));
     });
     group.bench_function("trail", |b| b.iter(|| rpq::trail_exists(&g, &nfa, s, t)));
     group.finish();

@@ -44,7 +44,7 @@ fn bench_classify(c: &mut Criterion) {
                 let nfa = Nfa::from_regex(&parse_regex(e, &mut sigma).unwrap());
                 let alphabet: Vec<_> = nfa.symbols();
                 classify(&nfa, &alphabet, AnalysisLimits::default())
-            })
+            });
         });
     }
     group.finish();
@@ -59,10 +59,10 @@ fn bench_fastpath(c: &mut Criterion) {
         let (mut g, s, t) = clique_with_unreachable_target(n);
         let q = parse_crpq("(x, y) <- x -[a a*]-> y", g.alphabet_mut()).unwrap();
         group.bench_with_input(BenchmarkId::new("exact", n), &n, |bench, _| {
-            bench.iter(|| eval_contains(&q, &g, &[s, t], Semantics::AtomInjective))
+            bench.iter(|| eval_contains(&q, &g, &[s, t], Semantics::AtomInjective));
         });
         group.bench_with_input(BenchmarkId::new("analyzed", n), &n, |bench, _| {
-            bench.iter(|| eval_contains_analyzed(&q, &g, &[s, t], Semantics::AtomInjective))
+            bench.iter(|| eval_contains_analyzed(&q, &g, &[s, t], Semantics::AtomInjective));
         });
     }
     // The analyzed engine stays flat far beyond the exact engine's horizon.
@@ -70,7 +70,7 @@ fn bench_fastpath(c: &mut Criterion) {
         let (mut g, s, t) = clique_with_unreachable_target(n);
         let q = parse_crpq("(x, y) <- x -[a a*]-> y", g.alphabet_mut()).unwrap();
         group.bench_with_input(BenchmarkId::new("analyzed", n), &n, |bench, _| {
-            bench.iter(|| eval_contains_analyzed(&q, &g, &[s, t], Semantics::AtomInjective))
+            bench.iter(|| eval_contains_analyzed(&q, &g, &[s, t], Semantics::AtomInjective));
         });
     }
     group.finish();
@@ -85,10 +85,10 @@ fn bench_hard_class(c: &mut Criterion) {
         let (mut g, s, t) = clique_with_unreachable_target(n);
         let q = parse_crpq("(x, y) <- x -[(a a)*]-> y", g.alphabet_mut()).unwrap();
         group.bench_with_input(BenchmarkId::new("exact", n), &n, |bench, _| {
-            bench.iter(|| eval_contains(&q, &g, &[s, t], Semantics::AtomInjective))
+            bench.iter(|| eval_contains(&q, &g, &[s, t], Semantics::AtomInjective));
         });
         group.bench_with_input(BenchmarkId::new("analyzed", n), &n, |bench, _| {
-            bench.iter(|| eval_contains_analyzed(&q, &g, &[s, t], Semantics::AtomInjective))
+            bench.iter(|| eval_contains_analyzed(&q, &g, &[s, t], Semantics::AtomInjective));
         });
     }
     group.finish();

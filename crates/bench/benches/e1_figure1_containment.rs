@@ -27,7 +27,7 @@ fn bench_cells(c: &mut Criterion) {
             let inst = instance(pair, n, true, &mut it);
             let id = BenchmarkId::new(format!("{}::{}", pair.name(), sem.short_name()), n);
             group.bench_function(id, |bench| {
-                bench.iter(|| contain(std::hint::black_box(&inst.q1), &inst.q2, sem))
+                bench.iter(|| contain(std::hint::black_box(&inst.q1), &inst.q2, sem));
             });
         }
     }
@@ -45,7 +45,7 @@ fn bench_forall_blowup(c: &mut Criterion) {
         let mut it = Interner::new();
         let inst = instance(ClassPair::CrpqFinCrpqFin, n, true, &mut it);
         group.bench_with_input(BenchmarkId::new("st", n), &n, |b, _| {
-            b.iter(|| contain(&inst.q1, &inst.q2, Semantics::Standard))
+            b.iter(|| contain(&inst.q1, &inst.q2, Semantics::Standard));
         });
     }
     group.finish();

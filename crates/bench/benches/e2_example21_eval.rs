@@ -22,7 +22,7 @@ fn bench_example21(c: &mut Criterion) {
     for (name, g) in &graphs {
         for sem in Semantics::ALL {
             group.bench_function(BenchmarkId::new(*name, sem.short_name()), |b| {
-                b.iter(|| eval_tuples(std::hint::black_box(&q), g, sem))
+                b.iter(|| eval_tuples(std::hint::black_box(&q), g, sem));
             });
         }
     }

@@ -23,7 +23,7 @@ fn bench_selectivity(c: &mut Criterion) {
                     let report = check_hierarchy(&q, &g);
                     assert!(report.holds());
                     report
-                })
+                });
             },
         );
         // Per-semantics evaluation cost at this density.

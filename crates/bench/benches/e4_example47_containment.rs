@@ -17,22 +17,22 @@ fn bench_example47(c: &mut Criterion) {
     group.bench_function("Q1_sube_qinj_Q2", |b| {
         b.iter(|| {
             assert!(contain(&q1, &q2, Semantics::QueryInjective).is_contained());
-        })
+        });
     });
     group.bench_function("Q1_not_sube_ainj_Q2", |b| {
         b.iter(|| {
             assert!(contain(&q1, &q2, Semantics::AtomInjective).is_not_contained());
-        })
+        });
     });
     group.bench_function("Q1p_sube_ainj_Q2p", |b| {
         b.iter(|| {
             assert!(contain(&q1p, &q2p, Semantics::AtomInjective).is_contained());
-        })
+        });
     });
     group.bench_function("Q1p_not_sube_qinj_Q2p", |b| {
         b.iter(|| {
             assert!(contain(&q1p, &q2p, Semantics::QueryInjective).is_not_contained());
-        })
+        });
     });
     group.finish();
 }

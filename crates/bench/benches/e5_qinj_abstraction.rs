@@ -45,7 +45,7 @@ fn bench_abstraction_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("abstraction", k), &k, |b, _| {
             b.iter(|| {
                 assert_eq!(try_contain_qinj(&q1, &q2), Some(true));
-            })
+            });
         });
     }
     group.finish();
@@ -61,10 +61,10 @@ fn bench_vs_naive(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
     group.bench_function("naive_finite", |b| {
-        b.iter(|| contain(&q1, &q2, Semantics::QueryInjective))
+        b.iter(|| contain(&q1, &q2, Semantics::QueryInjective));
     });
     group.bench_function("abstraction_finite", |b| {
-        b.iter(|| try_contain_qinj(&q1, &q2))
+        b.iter(|| try_contain_qinj(&q1, &q2));
     });
     group.finish();
 }

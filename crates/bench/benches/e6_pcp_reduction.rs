@@ -23,10 +23,10 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let mut it = Interner::new();
             pcp_to_ainj_containment(&inst, &mut it)
-        })
+        });
     });
     group.bench_function("solve_bounded", |b| {
-        b.iter(|| pcp_brute_force(&inst, 6).unwrap())
+        b.iter(|| pcp_brute_force(&inst, 6).unwrap());
     });
     let mut it = Interner::new();
     let red = pcp_to_ainj_containment(&inst, &mut it);
@@ -35,7 +35,7 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let w = witness_expansion(&red, &inst, &sol, false);
             assert!(satisfies_wellformedness(&red, &w));
-        })
+        });
     });
     group.finish();
 }
@@ -59,7 +59,7 @@ fn bench_witness_scaling(c: &mut Criterion) {
             b.iter(|| {
                 let w = witness_expansion(&red, &inst, &sol, false);
                 satisfies_wellformedness(&red, &w)
-            })
+            });
         });
     }
     group.finish();

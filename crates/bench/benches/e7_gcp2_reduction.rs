@@ -20,7 +20,7 @@ fn bench_gcp2(c: &mut Criterion) {
     for n in [3usize, 4, 5] {
         let inst = cycle_instance(n);
         group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
-            b.iter(|| gcp2_brute_force(&inst))
+            b.iter(|| gcp2_brute_force(&inst));
         });
         group.bench_with_input(BenchmarkId::new("via_reduction", n), &n, |b, _| {
             b.iter(|| {
@@ -30,7 +30,7 @@ fn bench_gcp2(c: &mut Criterion) {
                 // Cn is 2-colourable iff n even: positive ⟺ not contained.
                 assert_eq!(out.as_bool(), Some(n % 2 == 1));
                 out
-            })
+            });
         });
     }
     group.finish();

@@ -34,22 +34,22 @@ fn bench_qbf(c: &mut Criterion) {
         let inst = xor_instance(n);
         assert!(qbf_brute_force(&inst));
         group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
-            b.iter(|| qbf_brute_force(&inst))
+            b.iter(|| qbf_brute_force(&inst));
         });
         group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
             b.iter(|| {
                 let mut it = Interner::new();
                 qbf_to_ainj_containment(&inst, &mut it)
-            })
+            });
         });
         let mut it = Interner::new();
         let red = qbf_to_ainj_containment(&inst, &mut it);
         group.bench_with_input(BenchmarkId::new("clean_quotients", n), &n, |b, _| {
-            b.iter(|| assert!(check_reduction_clean_quotients(&inst, &red)))
+            b.iter(|| assert!(check_reduction_clean_quotients(&inst, &red)));
         });
         group.bench_with_input(BenchmarkId::new("single_quotient", n), &n, |b, _| {
             let xs = vec![true; n];
-            b.iter(|| clean_quotient(&red, &xs))
+            b.iter(|| clean_quotient(&red, &xs));
         });
     }
     group.finish();

@@ -24,7 +24,7 @@ fn bench_data_complexity(c: &mut Criterion) {
         let tuple = [NodeId(0), NodeId((n - 1) as u32)];
         for sem in Semantics::ALL {
             group.bench_with_input(BenchmarkId::new(sem.short_name(), n), &n, |b, _| {
-                b.iter(|| eval_contains(&q, &g, &tuple, sem))
+                b.iter(|| eval_contains(&q, &g, &tuple, sem));
             });
         }
     }
@@ -42,7 +42,7 @@ fn bench_combined_complexity(c: &mut Criterion) {
         let q = scaling::combined_complexity_query(k, &mut sigma);
         for sem in Semantics::ALL {
             group.bench_with_input(BenchmarkId::new(sem.short_name(), k), &k, |b, _| {
-                b.iter(|| eval_boolean(&q, &g, sem))
+                b.iter(|| eval_boolean(&q, &g, sem));
             });
         }
     }
@@ -66,11 +66,11 @@ fn bench_simple_path_wall(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("simple_path_fail", n), &n, |b, _| {
             b.iter(|| {
                 assert!(!rpq::simple_path_exists(&g, &nfa, s, t, &g.node_set()));
-            })
+            });
         });
         // Standard reachability on the same instance is instant.
         group.bench_with_input(BenchmarkId::new("standard_reach", n), &n, |b, _| {
-            b.iter(|| rpq::rpq_exists(&g, &nfa, s, t))
+            b.iter(|| rpq::rpq_exists(&g, &nfa, s, t));
         });
     }
     group.finish();

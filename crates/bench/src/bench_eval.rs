@@ -165,14 +165,13 @@ fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// this with the same `n` — asymmetric sampling would bias the reported
 /// speedups.
 fn time_best_of<T>(n: usize, mut f: impl FnMut() -> T) -> (T, f64) {
-    let mut best = f64::INFINITY;
-    let mut out = None;
-    for _ in 0..n {
+    let (mut out, mut best) = time_once(&mut f);
+    for _ in 1..n {
         let (v, ms) = time_once(&mut f);
         best = best.min(ms);
-        out = Some(v);
+        out = v;
     }
-    (out.unwrap(), best)
+    (out, best)
 }
 
 fn measure(
@@ -402,7 +401,7 @@ fn measure_stream(n: usize, threads: usize, enforce_floor: bool) -> StreamRow {
     let (_, stream_first_ms) = time_once(|| {
         eval_stream(&q, &g, Semantics::Standard)
             .next()
-            .expect("stream must yield a first tuple")
+            .expect("stream must yield a first tuple") // invariant: the workload has answers (asserted above)
     });
     let row = StreamRow {
         workload: "stream_million",
@@ -760,7 +759,7 @@ fn measure_steal(n: usize, threads: usize, enforce_floor: bool) -> StealRow {
         !ws.is_empty(),
         "steal workload returned no tuples — the scheduler comparison proves nothing"
     );
-    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let cpus = crpq_util::sync::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let row = StealRow {
         workload: "steal_skew_zipf",
         nodes: g.num_nodes(),
@@ -926,7 +925,7 @@ fn measure_mutate(n: usize, threads: usize, enforce_floor: bool) -> MutateRow {
         "(x, y) <- x -[l8 (l9+l10)*]-> y, y -[l10 (l11+l12)*]-> z",
         base.alphabet_mut(),
     )
-    .unwrap();
+    .unwrap(); // invariant: fixed bench query text parses
     let mut g = DeltaGraph::new(base);
     let hot = g.label("l0");
 
@@ -1236,7 +1235,7 @@ pub fn run_mutate_smoke(path: &str, threads: usize) {
     json.push_str(&prior_mutate);
     json.push_str(&new_mutate);
     json.push_str("  ]\n}\n");
-    std::fs::write(path, &json).expect("write mutate smoke JSON");
+    std::fs::write(path, &json).expect("write mutate smoke JSON"); // invariant: harness IO is fail-fast
     println!("\nwrote {path}");
 }
 
@@ -1318,7 +1317,7 @@ pub fn run_scale_smoke(path: &str, threads: usize) {
     json.push_str("  \"mutate_rows\": [\n");
     json.push_str(&mutate);
     json.push_str("  ]\n}\n");
-    std::fs::write(path, &json).expect("write scale smoke JSON");
+    std::fs::write(path, &json).expect("write scale smoke JSON"); // invariant: harness IO is fail-fast
     println!("\nwrote {path}");
 }
 
@@ -1502,7 +1501,7 @@ pub fn run_smoke(path: &str, enforce_floor: bool, threads: usize) {
     json.push_str(&prior_rows_deduped(path, "cyclic_rows", &new_cyclic));
     json.push_str(&new_cyclic);
     json.push_str("  ]\n}\n");
-    std::fs::write(path, &json).expect("write BENCH_eval.json");
+    std::fs::write(path, &json).expect("write BENCH_eval.json"); // invariant: harness IO is fail-fast
     println!("\nwrote {path}");
 
     // Headline numbers the CI smoke asserts on, over the E9 rows at
@@ -1543,7 +1542,7 @@ pub fn run_smoke(path: &str, enforce_floor: bool, threads: usize) {
     let triangle = cyclic_rows
         .iter()
         .find(|r| r.workload == "cyclic_triangle")
-        .expect("triangle row must be measured");
+        .expect("triangle row must be measured"); // invariant: cyclic_triangle is in the fixed workload list
     println!(
         "cyclic triangle wcoj vs binary join: {:.1}ms vs {:.1}ms ({:.1}x, target: wcoj no slower)",
         triangle.wcoj_ms,

@@ -1,0 +1,949 @@
+//! The scheduling engine: serialized execution of model threads plus
+//! exploration of the scheduling decision tree.
+//!
+//! # How a run works
+//!
+//! Every *model thread* is a real OS thread, but at most one is ever
+//! *scheduled* at a time: each shadow-primitive operation (lock, unlock,
+//! condvar wait/notify, atomic access, channel send/recv, spawn, join,
+//! sleep) is a **yield point** that hands control back to the engine,
+//! which picks the next thread to run from the set of runnable threads.
+//! Under this serialization, the run's behaviour is a pure function of
+//! the *schedule* — the sequence of pick-decisions — so re-running the
+//! closure under a different schedule explores a different interleaving,
+//! deterministically.
+//!
+//! # Exploration
+//!
+//! [`explore`] runs the closure repeatedly. In [`Mode::Exhaustive`] the
+//! decisions form a tree walked depth-first: each run follows a replayed
+//! *prefix* of decisions and defaults to "keep running the current
+//! thread" past it, recording how many alternatives existed at every
+//! step; the next run's prefix is the deepest not-yet-taken branch. The
+//! walk is bounded by [`Config::max_schedules`] (and per-run by
+//! [`Config::max_steps`]). [`Mode::Random`] instead draws every decision
+//! from an explicitly seeded xorshift stream — no ambient entropy — which
+//! reaches deep schedules the bounded DFS frontier cannot.
+//!
+//! # Failure detection
+//!
+//! * **Deadlock** — no thread is runnable but some are blocked. Reported
+//!   with every blocked thread's wait reason and the trailing schedule
+//!   trace.
+//! * **Lost wakeup** — a deadlock in which at least one thread sits in a
+//!   condvar wait: no reachable notify exists in the state the schedule
+//!   steered into. Classified separately because it is the signature of
+//!   a missing-notify protocol bug rather than a lock cycle.
+//! * **Invariant violation** — any panic escaping the closure (a failed
+//!   `assert!` in the test harness, or a protocol panic the harness did
+//!   not expect). The original payload is preserved.
+//!
+//! On failure the engine stops serializing: every thread is woken, the
+//! shadow primitives degrade to their real `std` counterparts so
+//! unwinding destructors cannot wedge, and the failing schedule's trace
+//! is attached to the report.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+thread_local! {
+    static CURRENT: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// The engine + model-thread-id pair installed in every model thread's
+/// thread-local storage for the duration of a run.
+#[derive(Clone)]
+pub(crate) struct ThreadCtx {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) tid: usize,
+}
+
+/// The current thread's model context, if it is a model thread of a live
+/// run. Shadow primitives capture this at construction and consult it per
+/// operation; `None` means "behave exactly like `std`".
+pub(crate) fn current_ctx() -> Option<ThreadCtx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn install_ctx(ctx: Option<ThreadCtx>) -> Option<ThreadCtx> {
+    CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), ctx))
+}
+
+/// Sentinel panic payload used to tear down a schedule once its outcome
+/// is decided (failure detected or step budget exhausted). Distinguished
+/// from user panics by downcast in [`try_explore`].
+pub(crate) struct SchedAbort;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked(Wait),
+    Finished,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Wait {
+    Mutex(usize),
+    Condvar(usize),
+    Join(usize),
+    ChanSend(usize),
+    ChanRecv(usize),
+}
+
+impl fmt::Display for Wait {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Wait::Mutex(id) => write!(f, "mutex#{id}"),
+            Wait::Condvar(id) => write!(f, "condvar#{id} (waiting for a notify)"),
+            Wait::Join(tid) => write!(f, "join of t{tid}"),
+            Wait::ChanSend(id) => write!(f, "channel#{id} send (buffer full)"),
+            Wait::ChanRecv(id) => write!(f, "channel#{id} recv (buffer empty)"),
+        }
+    }
+}
+
+struct Thr {
+    status: Status,
+}
+
+#[derive(Default)]
+struct MutexSt {
+    held: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+#[derive(Default)]
+struct CvSt {
+    /// `(waiting thread, the model mutex it released and must re-acquire)`.
+    waiters: VecDeque<(usize, usize)>,
+}
+
+struct ChanSt {
+    len: usize,
+    cap: usize,
+    senders: usize,
+    recv_alive: bool,
+    send_waiters: VecDeque<usize>,
+    recv_waiters: VecDeque<usize>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum RunOutcome {
+    Running,
+    /// Step budget exhausted — the schedule is abandoned, not a failure.
+    Truncated,
+    Deadlock(String),
+    LostWakeup(String),
+}
+
+#[derive(Clone, Copy)]
+struct TraceStep {
+    tid: usize,
+    op: &'static str,
+    res: usize,
+}
+
+/// How many trailing schedule steps are kept for failure reports.
+const TRACE_KEEP: usize = 64;
+
+struct EngineState {
+    threads: Vec<Thr>,
+    cur: usize,
+    /// Replayed decision prefix (exhaustive mode).
+    prefix: Vec<u32>,
+    cursor: usize,
+    /// Every decision of this run: `(chosen index, runnable count)`.
+    path: Vec<(u32, u32)>,
+    trace: VecDeque<TraceStep>,
+    steps: usize,
+    outcome: RunOutcome,
+    /// Seeded xorshift state (random mode); `None` = exhaustive default
+    /// policy (keep running the current thread).
+    rng: Option<u64>,
+    mutexes: Vec<MutexSt>,
+    condvars: Vec<CvSt>,
+    chans: Vec<ChanSt>,
+    atomics: usize,
+}
+
+impl EngineState {
+    fn running(&self) -> bool {
+        self.outcome == RunOutcome::Running
+    }
+
+    fn push_trace(&mut self, tid: usize, op: &'static str, res: usize) {
+        if self.trace.len() == TRACE_KEEP {
+            self.trace.pop_front();
+        }
+        self.trace.push_back(TraceStep { tid, op, res });
+    }
+
+    fn trace_string(&self) -> String {
+        let mut s = String::new();
+        if self.steps > TRACE_KEEP {
+            s.push_str(&format!("… ({} earlier steps)\n", self.steps - TRACE_KEEP));
+        }
+        for step in &self.trace {
+            s.push_str(&format!("t{} {} #{}\n", step.tid, step.op, step.res));
+        }
+        s
+    }
+
+    fn describe_blocked(&self) -> String {
+        let mut s = String::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            if let Status::Blocked(w) = t.status {
+                s.push_str(&format!("t{i} blocked on {w}; "));
+            }
+        }
+        s
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The per-run scheduling engine. One engine per explored schedule; shadow
+/// primitives hold it via `Arc` and compare pointer identity with the
+/// current thread's context, so objects leaking across runs silently fall
+/// back to real `std` behaviour instead of corrupting a later run.
+pub(crate) struct Engine {
+    st: StdMutex<EngineState>,
+    cv: StdCondvar,
+    max_steps: usize,
+}
+
+impl Engine {
+    fn new(prefix: Vec<u32>, rng: Option<u64>, max_steps: usize) -> Self {
+        Engine {
+            st: StdMutex::new(EngineState {
+                threads: vec![Thr {
+                    status: Status::Runnable,
+                }],
+                cur: 0,
+                prefix,
+                cursor: 0,
+                path: Vec::new(),
+                trace: VecDeque::new(),
+                steps: 0,
+                outcome: RunOutcome::Running,
+                rng,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                chans: Vec::new(),
+                atomics: 0,
+            }),
+            cv: StdCondvar::new(),
+            max_steps,
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, EngineState> {
+        self.st
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Tears down the calling thread's participation once the run is over
+    /// (failure or truncation). Outside unwinding, the thread aborts via
+    /// the [`SchedAbort`] panic; during unwinding (drop guards of an
+    /// already-aborting thread) it simply returns, letting the caller fall
+    /// back to the real primitive so destructors finish.
+    fn bail(&self) {
+        if !std::thread::panicking() {
+            std::panic::panic_any(SchedAbort);
+        }
+    }
+
+    /// Picks the next thread to run. Must be called with the state lock
+    /// held, by the thread that is currently scheduled (or finishing).
+    fn reschedule(&self, st: &mut EngineState) {
+        if !st.running() {
+            return;
+        }
+        let mut runnable: Vec<usize> = Vec::with_capacity(st.threads.len());
+        // Current-thread-first ordering: the default decision (index 0)
+        // means "no preemption", which keeps default schedules short and
+        // makes the DFS explore context switches as deviations.
+        if st.threads[st.cur].status == Status::Runnable {
+            runnable.push(st.cur);
+        }
+        for i in 0..st.threads.len() {
+            if i != st.cur && st.threads[i].status == Status::Runnable {
+                runnable.push(i);
+            }
+        }
+        if runnable.is_empty() {
+            if st
+                .threads
+                .iter()
+                .any(|t| matches!(t.status, Status::Blocked(_)))
+            {
+                let desc = st.describe_blocked();
+                let lost = st
+                    .threads
+                    .iter()
+                    .any(|t| matches!(t.status, Status::Blocked(Wait::Condvar(_))));
+                st.outcome = if lost {
+                    RunOutcome::LostWakeup(desc)
+                } else {
+                    RunOutcome::Deadlock(desc)
+                };
+                self.cv.notify_all();
+            }
+            // All finished: the run ends naturally.
+            return;
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            st.outcome = RunOutcome::Truncated;
+            self.cv.notify_all();
+            return;
+        }
+        let count = runnable.len() as u32;
+        let idx = if st.cursor < st.prefix.len() {
+            let i = st.prefix[st.cursor];
+            st.cursor += 1;
+            i.min(count - 1)
+        } else if let Some(seed) = st.rng.as_mut() {
+            (xorshift(seed) % u64::from(count)) as u32
+        } else {
+            0
+        };
+        st.path.push((idx, count));
+        st.cur = runnable[idx as usize];
+        self.cv.notify_all();
+    }
+
+    /// Blocks until this thread is the scheduled, runnable one (or the
+    /// run is over).
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, EngineState>,
+        tid: usize,
+    ) -> StdMutexGuard<'a, EngineState> {
+        loop {
+            if !st.running() {
+                return st;
+            }
+            if st.cur == tid && st.threads[tid].status == Status::Runnable {
+                return st;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// A plain scheduling point: record the op, let the scheduler pick.
+    pub(crate) fn yield_op(&self, tid: usize, op: &'static str, res: usize) {
+        let mut st = self.lock();
+        if !st.running() {
+            drop(st);
+            self.bail();
+            return;
+        }
+        st.push_trace(tid, op, res);
+        self.reschedule(&mut st);
+        let st = self.wait_for_turn(st, tid);
+        if !st.running() {
+            drop(st);
+            self.bail();
+        }
+    }
+
+    // ---- resources -----------------------------------------------------
+
+    pub(crate) fn new_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutexes.push(MutexSt::default());
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn new_condvar(&self) -> usize {
+        let mut st = self.lock();
+        st.condvars.push(CvSt::default());
+        st.condvars.len() - 1
+    }
+
+    pub(crate) fn new_atomic(&self) -> usize {
+        let mut st = self.lock();
+        st.atomics += 1;
+        st.atomics - 1
+    }
+
+    pub(crate) fn new_chan(&self, cap: usize) -> usize {
+        let mut st = self.lock();
+        st.chans.push(ChanSt {
+            len: 0,
+            cap,
+            senders: 1,
+            recv_alive: true,
+            send_waiters: VecDeque::new(),
+            recv_waiters: VecDeque::new(),
+        });
+        st.chans.len() - 1
+    }
+
+    // ---- mutex ---------------------------------------------------------
+
+    /// Model-acquires `id` for `tid`, blocking (model-blocking) while it
+    /// is held. Ownership is handed off FIFO by [`Self::mutex_release`].
+    /// The caller takes the *real* lock afterwards, which is free by
+    /// construction (the previous holder releases the real lock before
+    /// the model one).
+    pub(crate) fn mutex_acquire(&self, tid: usize, id: usize) {
+        let mut st = self.lock();
+        if !st.running() {
+            drop(st);
+            self.bail();
+            return;
+        }
+        st.push_trace(tid, "lock", id);
+        self.reschedule(&mut st);
+        let mut st = self.wait_for_turn(st, tid);
+        if !st.running() {
+            drop(st);
+            self.bail();
+            return;
+        }
+        if st.mutexes[id].held.is_none() {
+            st.mutexes[id].held = Some(tid);
+            return;
+        }
+        st.mutexes[id].waiters.push_back(tid);
+        st.threads[tid].status = Status::Blocked(Wait::Mutex(id));
+        self.reschedule(&mut st);
+        let st = self.wait_for_turn(st, tid);
+        if !st.running() {
+            drop(st);
+            self.bail();
+            return;
+        }
+        debug_assert_eq!(st.mutexes[id].held, Some(tid));
+    }
+
+    pub(crate) fn mutex_release(&self, tid: usize, id: usize) {
+        let mut st = self.lock();
+        if !st.running() {
+            return;
+        }
+        st.push_trace(tid, "unlock", id);
+        Self::transfer_mutex(&mut st, id);
+        self.reschedule(&mut st);
+        let st = self.wait_for_turn(st, tid);
+        if !st.running() {
+            drop(st);
+            self.bail();
+        }
+    }
+
+    /// FIFO handoff: the head waiter (if any) becomes the holder and is
+    /// made runnable; otherwise the mutex is free.
+    fn transfer_mutex(st: &mut EngineState, id: usize) {
+        let m = &mut st.mutexes[id];
+        if let Some(w) = m.waiters.pop_front() {
+            m.held = Some(w);
+            st.threads[w].status = Status::Runnable;
+        } else {
+            m.held = None;
+        }
+    }
+
+    // ---- condvar -------------------------------------------------------
+
+    /// Atomically (in model terms) releases `mutex`, parks on `cv`, and
+    /// re-acquires `mutex` once notified. The caller must have dropped
+    /// the real mutex guard first and re-takes it afterwards.
+    pub(crate) fn condvar_wait(&self, tid: usize, cv: usize, mutex: usize) {
+        let mut st = self.lock();
+        if !st.running() {
+            drop(st);
+            self.bail();
+            return;
+        }
+        st.push_trace(tid, "cv-wait", cv);
+        debug_assert_eq!(st.mutexes[mutex].held, Some(tid));
+        Self::transfer_mutex(&mut st, mutex);
+        st.condvars[cv].waiters.push_back((tid, mutex));
+        st.threads[tid].status = Status::Blocked(Wait::Condvar(cv));
+        self.reschedule(&mut st);
+        let st = self.wait_for_turn(st, tid);
+        if !st.running() {
+            drop(st);
+            self.bail();
+            return;
+        }
+        // A notify moved us to the mutex (granted directly or queued);
+        // by the time we are scheduled again we must hold it.
+        debug_assert_eq!(st.mutexes[mutex].held, Some(tid));
+    }
+
+    pub(crate) fn condvar_notify(&self, tid: usize, cv: usize, all: bool) {
+        let mut st = self.lock();
+        if !st.running() {
+            return;
+        }
+        st.push_trace(tid, if all { "notify-all" } else { "notify-one" }, cv);
+        while let Some((w, m)) = st.condvars[cv].waiters.pop_front() {
+            // The woken waiter re-acquires its mutex: granted now if
+            // free, else queued FIFO behind the current holder.
+            if st.mutexes[m].held.is_none() {
+                st.mutexes[m].held = Some(w);
+                st.threads[w].status = Status::Runnable;
+            } else {
+                st.mutexes[m].waiters.push_back(w);
+                st.threads[w].status = Status::Blocked(Wait::Mutex(m));
+            }
+            if !all {
+                break;
+            }
+        }
+        self.reschedule(&mut st);
+        let st = self.wait_for_turn(st, tid);
+        if !st.running() {
+            drop(st);
+            self.bail();
+        }
+    }
+
+    // ---- threads -------------------------------------------------------
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(Thr {
+            status: Status::Runnable,
+        });
+        st.threads.len() - 1
+    }
+
+    /// First scheduling of a freshly spawned model thread: parks until
+    /// the scheduler picks it.
+    pub(crate) fn wait_first_schedule(&self, tid: usize) {
+        let st = self.lock();
+        let st = self.wait_for_turn(st, tid);
+        if !st.running() {
+            drop(st);
+            self.bail();
+        }
+    }
+
+    pub(crate) fn thread_finished(&self, tid: usize) {
+        let mut st = self.lock();
+        if !st.running() {
+            return;
+        }
+        st.push_trace(tid, "exit", tid);
+        st.threads[tid].status = Status::Finished;
+        for i in 0..st.threads.len() {
+            if st.threads[i].status == Status::Blocked(Wait::Join(tid)) {
+                st.threads[i].status = Status::Runnable;
+            }
+        }
+        self.reschedule(&mut st);
+        // No wait_for_turn: this thread is done.
+    }
+
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        let mut st = self.lock();
+        if !st.running() {
+            drop(st);
+            self.bail();
+            return;
+        }
+        st.push_trace(tid, "join", target);
+        if st.threads[target].status != Status::Finished {
+            st.threads[tid].status = Status::Blocked(Wait::Join(target));
+        }
+        self.reschedule(&mut st);
+        let st = self.wait_for_turn(st, tid);
+        if !st.running() {
+            drop(st);
+            self.bail();
+        }
+    }
+
+    // ---- channels ------------------------------------------------------
+
+    /// Reserves one buffer slot, model-blocking while the channel is full.
+    /// `Err` means the receiver is gone. On `Ok` the caller pushes the
+    /// value into the real buffer *before its next scheduling point*, so
+    /// a later-scheduled receiver always finds the data its reservation
+    /// promised.
+    pub(crate) fn chan_send(&self, tid: usize, id: usize) -> Result<(), ()> {
+        let mut st = self.lock();
+        if !st.running() {
+            drop(st);
+            self.bail();
+            return Err(());
+        }
+        st.push_trace(tid, "send", id);
+        self.reschedule(&mut st);
+        let mut st = self.wait_for_turn(st, tid);
+        loop {
+            if !st.running() {
+                drop(st);
+                self.bail();
+                return Err(());
+            }
+            let c = &mut st.chans[id];
+            if !c.recv_alive {
+                return Err(());
+            }
+            if c.len < c.cap {
+                c.len += 1;
+                if let Some(w) = c.recv_waiters.pop_front() {
+                    st.threads[w].status = Status::Runnable;
+                }
+                return Ok(());
+            }
+            c.send_waiters.push_back(tid);
+            st.threads[tid].status = Status::Blocked(Wait::ChanSend(id));
+            self.reschedule(&mut st);
+            st = self.wait_for_turn(st, tid);
+        }
+    }
+
+    /// Claims one buffered value, model-blocking while the channel is
+    /// empty. `Err` means every sender is gone *and* the buffer is
+    /// drained. On `Ok` the caller pops the real buffer immediately.
+    pub(crate) fn chan_recv(&self, tid: usize, id: usize) -> Result<(), ()> {
+        let mut st = self.lock();
+        if !st.running() {
+            drop(st);
+            self.bail();
+            return Err(());
+        }
+        st.push_trace(tid, "recv", id);
+        self.reschedule(&mut st);
+        let mut st = self.wait_for_turn(st, tid);
+        loop {
+            if !st.running() {
+                drop(st);
+                self.bail();
+                return Err(());
+            }
+            let c = &mut st.chans[id];
+            if c.len > 0 {
+                c.len -= 1;
+                if let Some(w) = c.send_waiters.pop_front() {
+                    st.threads[w].status = Status::Runnable;
+                }
+                return Ok(());
+            }
+            if c.senders == 0 {
+                return Err(());
+            }
+            c.recv_waiters.push_back(tid);
+            st.threads[tid].status = Status::Blocked(Wait::ChanRecv(id));
+            self.reschedule(&mut st);
+            st = self.wait_for_turn(st, tid);
+        }
+    }
+
+    pub(crate) fn chan_sender_cloned(&self, id: usize) {
+        let mut st = self.lock();
+        if st.running() {
+            st.chans[id].senders += 1;
+        }
+    }
+
+    pub(crate) fn chan_sender_dropped(&self, id: usize) {
+        let mut st = self.lock();
+        if !st.running() {
+            return;
+        }
+        let c = &mut st.chans[id];
+        c.senders -= 1;
+        if c.senders == 0 {
+            // Receivers blocked on an empty buffer must re-check and see
+            // the disconnect.
+            let waiters = std::mem::take(&mut c.recv_waiters);
+            for w in waiters {
+                st.threads[w].status = Status::Runnable;
+            }
+            self.cv.notify_all();
+        }
+    }
+
+    pub(crate) fn chan_recv_dropped(&self, id: usize) {
+        let mut st = self.lock();
+        if !st.running() {
+            return;
+        }
+        let c = &mut st.chans[id];
+        c.recv_alive = false;
+        let waiters = std::mem::take(&mut c.send_waiters);
+        for w in waiters {
+            st.threads[w].status = Status::Runnable;
+        }
+        self.cv.notify_all();
+    }
+
+    // ---- run finalisation ---------------------------------------------
+
+    /// Joins every still-unfinished model thread from the root. Stuck
+    /// threads surface as deadlock via the normal detection path.
+    fn root_drain(&self) {
+        loop {
+            let target = {
+                let st = self.lock();
+                if !st.running() {
+                    drop(st);
+                    self.bail();
+                    return;
+                }
+                (1..st.threads.len()).find(|&i| st.threads[i].status != Status::Finished)
+            };
+            match target {
+                Some(t) => self.join_thread(0, t),
+                None => return,
+            }
+        }
+    }
+
+    fn finish(&self) -> (Vec<(u32, u32)>, RunOutcome, String) {
+        let st = self.lock();
+        (st.path.clone(), st.outcome.clone(), st.trace_string())
+    }
+}
+
+// ---- public exploration API ---------------------------------------------
+
+/// Decision policy of an exploration (see the module docs).
+#[derive(Clone, Copy, Debug)]
+pub enum Mode {
+    /// Bounded depth-first enumeration of all schedules.
+    Exhaustive,
+    /// Every decision drawn from a xorshift stream seeded explicitly —
+    /// schedules may repeat, but arbitrarily deep deviations are
+    /// reachable, unlike the DFS frontier under a tight budget.
+    Random {
+        /// The explicit seed; the i-th run uses a stream derived from
+        /// `seed` and `i`, so reports are reproducible by seed.
+        seed: u64,
+    },
+}
+
+/// Exploration budget and policy.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum number of schedules to run.
+    pub max_schedules: usize,
+    /// Maximum scheduling decisions per run; longer schedules are
+    /// truncated (counted, not failed).
+    pub max_steps: usize,
+    /// Decision policy.
+    pub mode: Mode,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 2_000,
+            max_steps: 20_000,
+            mode: Mode::Exhaustive,
+        }
+    }
+}
+
+impl Config {
+    /// Exhaustive exploration bounded to `max_schedules` runs.
+    #[must_use]
+    pub fn exhaustive(max_schedules: usize) -> Self {
+        Config {
+            max_schedules,
+            ..Config::default()
+        }
+    }
+
+    /// Seeded random exploration of exactly `max_schedules` runs.
+    #[must_use]
+    pub fn random(seed: u64, max_schedules: usize) -> Self {
+        Config {
+            max_schedules,
+            max_steps: Config::default().max_steps,
+            mode: Mode::Random { seed },
+        }
+    }
+}
+
+/// What an exploration covered.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Schedules actually run. In exhaustive mode every one is a distinct
+    /// interleaving (the DFS never repeats a decision sequence).
+    pub schedules: usize,
+    /// Whether the exhaustive walk visited the *entire* decision tree
+    /// within the budget (always `false` in random mode).
+    pub exhausted: bool,
+    /// Schedules abandoned at [`Config::max_steps`].
+    pub truncated: usize,
+}
+
+/// A failed exploration: the schedule that broke plus why.
+#[derive(Debug)]
+pub enum Failure {
+    /// No runnable thread, at least one blocked, none in a condvar wait.
+    Deadlock {
+        /// Per-thread wait reasons.
+        blocked: String,
+        /// Trailing schedule trace.
+        trace: String,
+    },
+    /// A deadlock in which some thread waits on a condvar: the schedule
+    /// reached a state from which no matching notify is reachable.
+    LostWakeup {
+        /// Per-thread wait reasons.
+        blocked: String,
+        /// Trailing schedule trace.
+        trace: String,
+    },
+    /// A panic escaped the closure: a failed harness assertion or an
+    /// unexpected protocol panic.
+    Panic {
+        /// The panic message, if it was a string payload.
+        message: String,
+        /// Trailing schedule trace.
+        trace: String,
+    },
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Deadlock { blocked, trace } => {
+                write!(f, "deadlock: {blocked}\nschedule trace:\n{trace}")
+            }
+            Failure::LostWakeup { blocked, trace } => write!(
+                f,
+                "lost wakeup (deadlock with a condvar waiter): {blocked}\nschedule trace:\n{trace}"
+            ),
+            Failure::Panic { message, trace } => write!(
+                f,
+                "invariant violation: {message}\nschedule trace:\n{trace}"
+            ),
+        }
+    }
+}
+
+/// Runs `f` under exhaustive/randomised bounded interleaving exploration;
+/// panics with the failing schedule's trace on the first failure. See
+/// [`try_explore`] for the non-panicking variant.
+pub fn explore(config: &Config, f: impl Fn()) -> Report {
+    match try_explore(config, f) {
+        Ok(report) => report,
+        Err(failure) => panic!("model check failed: {failure}"),
+    }
+}
+
+/// Runs `f` repeatedly under controlled schedules (see the module docs)
+/// and reports either the coverage achieved or the first failing
+/// schedule.
+///
+/// `f` must be deterministic apart from the scheduling the engine
+/// controls: no ambient entropy, no wall-clock branching. All shadow
+/// primitives it constructs are registered in construction order, which
+/// is what makes a recorded decision prefix replayable.
+pub fn try_explore(config: &Config, f: impl Fn()) -> Result<Report, Failure> {
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut schedules = 0usize;
+    let mut truncated = 0usize;
+    loop {
+        let (rng, replay) = match config.mode {
+            Mode::Exhaustive => (None, std::mem::take(&mut prefix)),
+            Mode::Random { seed } => (
+                Some(
+                    seed.wrapping_add(schedules as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        | 1,
+                ),
+                Vec::new(),
+            ),
+        };
+        let engine = Arc::new(Engine::new(replay, rng, config.max_steps));
+        let prev = install_ctx(Some(ThreadCtx {
+            engine: Arc::clone(&engine),
+            tid: 0,
+        }));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            f();
+            engine.root_drain();
+        }));
+        install_ctx(prev);
+        schedules += 1;
+        let (path, outcome, trace) = engine.finish();
+        match result {
+            Ok(()) => match outcome {
+                RunOutcome::Truncated => truncated += 1,
+                RunOutcome::Running => {}
+                // A decided outcome with a clean return can only happen if
+                // the closure raced the teardown; treat it as the failure
+                // it is.
+                RunOutcome::Deadlock(blocked) => return Err(Failure::Deadlock { blocked, trace }),
+                RunOutcome::LostWakeup(blocked) => {
+                    return Err(Failure::LostWakeup { blocked, trace })
+                }
+            },
+            Err(payload) => {
+                if payload.downcast_ref::<SchedAbort>().is_some() {
+                    match outcome {
+                        RunOutcome::Deadlock(blocked) => {
+                            return Err(Failure::Deadlock { blocked, trace })
+                        }
+                        RunOutcome::LostWakeup(blocked) => {
+                            return Err(Failure::LostWakeup { blocked, trace })
+                        }
+                        // Truncation tears down via the same abort path.
+                        RunOutcome::Truncated => truncated += 1,
+                        RunOutcome::Running => {
+                            return Err(Failure::Panic {
+                                message: "schedule aborted without a recorded outcome".into(),
+                                trace,
+                            })
+                        }
+                    }
+                } else {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    return Err(Failure::Panic { message, trace });
+                }
+            }
+        }
+        if schedules >= config.max_schedules {
+            return Ok(Report {
+                schedules,
+                exhausted: false,
+                truncated,
+            });
+        }
+        match config.mode {
+            Mode::Random { .. } => {}
+            Mode::Exhaustive => {
+                // DFS: deepest decision with an untaken alternative.
+                let Some(i) = (0..path.len()).rfind(|&i| path[i].0 + 1 < path[i].1) else {
+                    return Ok(Report {
+                        schedules,
+                        exhausted: true,
+                        truncated,
+                    });
+                };
+                prefix = path[..i].iter().map(|&(c, _)| c).collect();
+                prefix.push(path[i].0 + 1);
+            }
+        }
+    }
+}

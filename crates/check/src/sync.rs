@@ -1,0 +1,479 @@
+//! Shadow synchronisation primitives.
+//!
+//! Each type wraps its real `std::sync` counterpart plus an optional
+//! *model handle* captured at construction: if the constructing thread
+//! was a model thread of a live [`crate::engine`] run, every operation
+//! first routes through the engine (a scheduling point, plus model-level
+//! blocking), and only then touches the real primitive — which by
+//! construction is uncontended, because the engine serializes execution.
+//! Constructed outside a run (or touched by a non-model thread), the
+//! types behave exactly like `std`; this graceful fallback is what lets
+//! an entire workspace build under `--cfg crpq_model_check` without
+//! gating every non-model test.
+//!
+//! Poisoning is faithful: the real primitive underneath poisons when a
+//! guard drops during unwind, and the shadow types surface that as the
+//! same `std::sync::PoisonError` the façade's `std` build produces.
+
+use crate::engine::{current_ctx, Engine};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+pub use std::sync::{LockResult, PoisonError};
+
+/// The engine this primitive was registered with, plus its resource id.
+struct ModelHandle {
+    engine: Arc<Engine>,
+    id: usize,
+}
+
+impl ModelHandle {
+    /// The calling thread's model tid — only if it belongs to the *same*
+    /// run as the primitive. A primitive leaking across runs (or used
+    /// from a non-model thread) falls back to real `std` behaviour.
+    fn active_tid(&self) -> Option<usize> {
+        let ctx = current_ctx()?;
+        Arc::ptr_eq(&ctx.engine, &self.engine).then_some(ctx.tid)
+    }
+}
+
+fn model_handle(register: impl FnOnce(&Engine) -> usize) -> Option<ModelHandle> {
+    current_ctx().map(|ctx| ModelHandle {
+        id: register(&ctx.engine),
+        engine: ctx.engine,
+    })
+}
+
+// ---- Mutex ---------------------------------------------------------------
+
+/// Shadow of [`std::sync::Mutex`]; see the module docs.
+pub struct Mutex<T> {
+    model: Option<ModelHandle>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self {
+        Mutex {
+            model: model_handle(Engine::new_mutex),
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Shadow of [`std::sync::Mutex::lock`], with the same poisoning
+    /// contract.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some(m) = &self.model {
+            if let Some(tid) = m.active_tid() {
+                m.engine.mutex_acquire(tid, m.id);
+            }
+        }
+        // Uncontended when model-scheduled; real contention only in
+        // fallback mode.
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+            })),
+        }
+    }
+
+    /// Shadow of [`std::sync::Mutex::into_inner`].
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner().map_err(|p| {
+            let t = p.into_inner();
+            PoisonError::new(t)
+        })
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Shadow of [`std::sync::MutexGuard`].
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// `None` only transiently inside [`Condvar::wait`] disassembly.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> MutexGuard<'_, T> {
+    fn real(&self) -> &std::sync::MutexGuard<'_, T> {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("shadow guard used after disassembly"),
+        }
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real()
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("shadow guard used after disassembly"),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Order matters: the real lock must be free before the model
+        // handoff makes a waiter runnable, otherwise the waiter could be
+        // scheduled into a real block while the engine believes it runs.
+        drop(self.inner.take());
+        if let Some(m) = &self.lock.model {
+            if let Some(tid) = m.active_tid() {
+                m.engine.mutex_release(tid, m.id);
+            }
+        }
+    }
+}
+
+// ---- Condvar -------------------------------------------------------------
+
+/// Shadow of [`std::sync::Condvar`]; see the module docs. Spurious
+/// wakeups are **not** modelled — an engine-scheduled wait returns only
+/// after a matching notify, which is exactly what makes lost-wakeup
+/// detection sound.
+pub struct Condvar {
+    model: Option<ModelHandle>,
+    inner: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    #[must_use]
+    pub fn new() -> Self {
+        Condvar {
+            model: model_handle(Engine::new_condvar),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Shadow of [`std::sync::Condvar::wait`].
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        let model = match (&self.model, &lock.model) {
+            (Some(cv), Some(m)) => match (cv.active_tid(), m.active_tid()) {
+                (Some(tid), Some(_)) if Arc::ptr_eq(&cv.engine, &m.engine) => Some((cv, m.id, tid)),
+                _ => None,
+            },
+            _ => None,
+        };
+        match model {
+            Some((cv, mutex_id, tid)) => {
+                // Disassemble the guard: drop the real lock, neutralise
+                // the shadow guard's drop (the engine wait below releases
+                // and re-acquires the model side itself).
+                drop(guard.inner.take());
+                std::mem::forget(guard);
+                cv.engine.condvar_wait(tid, cv.id, mutex_id);
+                // Model-side re-acquired; the real lock is free.
+                match lock.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(p.into_inner()),
+                    })),
+                }
+            }
+            None => {
+                let inner = match guard.inner.take() {
+                    Some(g) => g,
+                    None => unreachable!("shadow guard used after disassembly"),
+                };
+                std::mem::forget(guard);
+                match self.inner.wait(inner) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(p.into_inner()),
+                    })),
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some(cv) = &self.model {
+            if let Some(tid) = cv.active_tid() {
+                cv.engine.condvar_notify(tid, cv.id, false);
+            }
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some(cv) = &self.model {
+            if let Some(tid) = cv.active_tid() {
+                cv.engine.condvar_notify(tid, cv.id, true);
+            }
+        }
+        self.inner.notify_all();
+    }
+}
+
+// ---- atomics -------------------------------------------------------------
+
+pub mod atomic {
+    //! Shadow atomics: every access is a scheduling point; the value
+    //! itself lives in the real `std` atomic (execution is serialized,
+    //! so sequential consistency is what the engine explores).
+    use super::{model_handle, ModelHandle};
+    use crate::engine::Engine;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! shadow_atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            /// Shadow of the corresponding `std::sync::atomic` type; see
+            /// the module docs.
+            pub struct $name {
+                model: Option<ModelHandle>,
+                inner: $std,
+            }
+
+            impl $name {
+                pub fn new(v: $prim) -> Self {
+                    $name {
+                        model: model_handle(Engine::new_atomic),
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                fn yield_point(&self, op: &'static str) {
+                    if let Some(m) = &self.model {
+                        if let Some(tid) = m.active_tid() {
+                            m.engine.yield_op(tid, op, m.id);
+                        }
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    self.yield_point("atomic-load");
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    self.yield_point("atomic-store");
+                    self.inner.store(v, order);
+                }
+
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    self.yield_point("atomic-swap");
+                    self.inner.swap(v, order)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+        };
+    }
+
+    shadow_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    shadow_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    impl AtomicUsize {
+        pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+            self.yield_point("atomic-fetch-add");
+            self.inner.fetch_add(v, order)
+        }
+
+        pub fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
+            self.yield_point("atomic-fetch-sub");
+            self.inner.fetch_sub(v, order)
+        }
+    }
+}
+
+// ---- mpsc ----------------------------------------------------------------
+
+pub mod mpsc {
+    //! Shadow of the subset of [`std::sync::mpsc`] the workspace uses:
+    //! bounded [`sync_channel`] with blocking `send`/`recv` and
+    //! disconnect-on-drop semantics.
+    use crate::engine::{current_ctx, Engine};
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The model-mode channel: engine ledger decides blocking and
+    /// capacity; the values themselves live in `buf`. The buffer mutex is
+    /// never contended (serialized execution) — it exists to make the
+    /// type `Sync` without unsafe code.
+    struct ModelChan<T> {
+        engine: Arc<Engine>,
+        id: usize,
+        buf: std::sync::Mutex<VecDeque<T>>,
+    }
+
+    impl<T> ModelChan<T> {
+        fn tid(&self) -> Option<usize> {
+            let ctx = current_ctx()?;
+            Arc::ptr_eq(&ctx.engine, &self.engine).then_some(ctx.tid)
+        }
+
+        fn push(&self, t: T) {
+            self.buf
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push_back(t);
+        }
+
+        fn pop(&self) -> Option<T> {
+            self.buf
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pop_front()
+        }
+    }
+
+    enum SenderImpl<T> {
+        Std(std::sync::mpsc::SyncSender<T>),
+        Model(Arc<ModelChan<T>>),
+    }
+
+    /// Shadow of [`std::sync::mpsc::SyncSender`].
+    pub struct SyncSender<T>(SenderImpl<T>);
+
+    impl<T> SyncSender<T> {
+        /// Shadow of [`std::sync::mpsc::SyncSender::send`]: blocks while
+        /// the buffer is full, errors once the receiver is gone.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderImpl::Std(tx) => tx.send(t),
+                SenderImpl::Model(chan) => match chan.tid() {
+                    Some(tid) => match chan.engine.chan_send(tid, chan.id) {
+                        Ok(()) => {
+                            // Must complete before this thread's next
+                            // scheduling point — see `Engine::chan_send`.
+                            chan.push(t);
+                            Ok(())
+                        }
+                        Err(()) => Err(SendError(t)),
+                    },
+                    // Non-model caller of a model channel: no engine
+                    // semantics to honour, just move the value.
+                    None => {
+                        chan.push(t);
+                        Ok(())
+                    }
+                },
+            }
+        }
+    }
+
+    impl<T> Clone for SyncSender<T> {
+        fn clone(&self) -> Self {
+            match &self.0 {
+                SenderImpl::Std(tx) => SyncSender(SenderImpl::Std(tx.clone())),
+                SenderImpl::Model(chan) => {
+                    chan.engine.chan_sender_cloned(chan.id);
+                    SyncSender(SenderImpl::Model(Arc::clone(chan)))
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for SyncSender<T> {
+        fn drop(&mut self) {
+            if let SenderImpl::Model(chan) = &self.0 {
+                chan.engine.chan_sender_dropped(chan.id);
+            }
+        }
+    }
+
+    enum ReceiverImpl<T> {
+        Std(std::sync::mpsc::Receiver<T>),
+        Model(Arc<ModelChan<T>>),
+    }
+
+    /// Shadow of [`std::sync::mpsc::Receiver`].
+    pub struct Receiver<T>(ReceiverImpl<T>);
+
+    impl<T> Receiver<T> {
+        /// Shadow of [`std::sync::mpsc::Receiver::recv`]: blocks while
+        /// the buffer is empty, errors once it is drained and every
+        /// sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            match &self.0 {
+                ReceiverImpl::Std(rx) => rx.recv(),
+                ReceiverImpl::Model(chan) => match chan.tid() {
+                    Some(tid) => match chan.engine.chan_recv(tid, chan.id) {
+                        Ok(()) => match chan.pop() {
+                            Some(t) => Ok(t),
+                            None => Err(RecvError),
+                        },
+                        Err(()) => Err(RecvError),
+                    },
+                    None => chan.pop().ok_or(RecvError),
+                },
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if let ReceiverImpl::Model(chan) = &self.0 {
+                chan.engine.chan_recv_dropped(chan.id);
+            }
+        }
+    }
+
+    /// Shadow of [`std::sync::mpsc::sync_channel`].
+    #[must_use]
+    pub fn sync_channel<T>(bound: usize) -> (SyncSender<T>, Receiver<T>) {
+        match current_ctx() {
+            Some(ctx) => {
+                let chan = Arc::new(ModelChan {
+                    id: ctx.engine.new_chan(bound),
+                    engine: ctx.engine,
+                    buf: std::sync::Mutex::new(VecDeque::new()),
+                });
+                (
+                    SyncSender(SenderImpl::Model(Arc::clone(&chan))),
+                    Receiver(ReceiverImpl::Model(chan)),
+                )
+            }
+            None => {
+                let (tx, rx) = std::sync::mpsc::sync_channel(bound);
+                (
+                    SyncSender(SenderImpl::Std(tx)),
+                    Receiver(ReceiverImpl::Std(rx)),
+                )
+            }
+        }
+    }
+}
+
+// Re-export so `crpq_check::sync::{...}` mirrors the façade layout.
+pub use atomic::{AtomicBool, AtomicUsize};

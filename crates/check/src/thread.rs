@@ -1,0 +1,238 @@
+//! Shadow threading: `scope`/`spawn`/join with engine-controlled
+//! scheduling.
+//!
+//! Model threads are real OS threads wrapped so that (1) they install
+//! the engine context in their thread-local before running, (2) they
+//! park until the scheduler first picks them, and (3) a drop guard marks
+//! them finished — **including on panic** — so joiners wake and the
+//! scheduler never waits on a dead thread.
+//!
+//! `scope` additionally model-joins every thread spawned through it
+//! before the real `std::thread::scope` performs its implicit join:
+//! without that, the parent would block in a *real* join while its
+//! children still wait to be scheduled, wedging the run.
+
+use crate::engine::{current_ctx, install_ctx, Engine, ThreadCtx};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use std::thread::{available_parallelism, panicking, Result};
+
+/// Marks the model thread finished on drop — on normal exit *and* on
+/// unwind — so joiners and the scheduler observe the exit either way.
+struct FinishGuard {
+    engine: Arc<Engine>,
+    tid: usize,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.engine.thread_finished(self.tid);
+    }
+}
+
+fn run_model_thread<T>(engine: Arc<Engine>, tid: usize, f: impl FnOnce() -> T) -> T {
+    install_ctx(Some(ThreadCtx {
+        engine: Arc::clone(&engine),
+        tid,
+    }));
+    let _fin = FinishGuard { engine, tid };
+    _fin.engine.wait_first_schedule(tid);
+    f()
+}
+
+/// Yields at the spawn point (the child-runs-first / parent-runs-first
+/// orders are both explored). Must be called **after** the real OS thread
+/// exists: if the scheduler picks the child here, the parent parks until
+/// the child's next op, and a child that was never really spawned would
+/// wedge the whole run.
+fn yield_spawn(engine: &Arc<Engine>, parent: usize, child: usize) {
+    engine.yield_op(parent, "spawn", child);
+}
+
+// ---- free spawn ----------------------------------------------------------
+
+/// Shadow of [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    model: Option<(Arc<Engine>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Shadow of `std::thread::JoinHandle::join`: model-joins first (a
+    /// blocking scheduling point), then collects the real result, so the
+    /// panic payload passes through untouched.
+    pub fn join(self) -> Result<T> {
+        model_join(self.model.as_ref());
+        self.inner.join()
+    }
+}
+
+fn model_join(model: Option<&(Arc<Engine>, usize)>) {
+    if let Some((engine, target)) = model {
+        if let Some(ctx) = current_ctx() {
+            if Arc::ptr_eq(&ctx.engine, engine) {
+                engine.join_thread(ctx.tid, *target);
+            }
+        }
+    }
+}
+
+/// Shadow of [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_ctx() {
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            model: None,
+        },
+        Some(ctx) => {
+            let tid = ctx.engine.register_thread();
+            let engine = Arc::clone(&ctx.engine);
+            let inner = std::thread::spawn(move || run_model_thread(engine, tid, f));
+            yield_spawn(&ctx.engine, ctx.tid, tid);
+            JoinHandle {
+                inner,
+                model: Some((ctx.engine, tid)),
+            }
+        }
+    }
+}
+
+// ---- scoped spawn --------------------------------------------------------
+
+struct ScopeModel {
+    engine: Arc<Engine>,
+    /// Threads spawned through this scope, model-joined before the real
+    /// scope join. Parent-thread-only access (the `Rc` makes the model
+    /// `Scope` deliberately not `Send`/`Sync`), and owned rather than
+    /// borrowed so no local borrow has to satisfy the caller's `'env`.
+    tids: Rc<RefCell<Vec<usize>>>,
+}
+
+/// Shadow of [`std::thread::Scope`]. Passed to the closure **by value**
+/// (call sites using `scope.spawn(...)` compile identically against the
+/// `std` re-export, which passes `&Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    model: Option<ScopeModel>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Shadow of [`std::thread::Scope::spawn`].
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.model {
+            None => ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+                model: None,
+            },
+            Some(m) => {
+                let parent = match current_ctx() {
+                    Some(ctx) if Arc::ptr_eq(&ctx.engine, &m.engine) => ctx.tid,
+                    // The scope was created inside a run but is being
+                    // driven from outside it — degrade to real spawning.
+                    _ => {
+                        return ScopedJoinHandle {
+                            inner: self.inner.spawn(f),
+                            model: None,
+                        }
+                    }
+                };
+                let tid = m.engine.register_thread();
+                m.tids.borrow_mut().push(tid);
+                let engine = Arc::clone(&m.engine);
+                let inner = self.inner.spawn(move || run_model_thread(engine, tid, f));
+                yield_spawn(&m.engine, parent, tid);
+                ScopedJoinHandle {
+                    inner,
+                    model: Some((Arc::clone(&m.engine), tid)),
+                }
+            }
+        }
+    }
+}
+
+/// Shadow of [`std::thread::ScopedJoinHandle`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    model: Option<(Arc<Engine>, usize)>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Shadow of `std::thread::ScopedJoinHandle::join`; see
+    /// [`JoinHandle::join`].
+    pub fn join(self) -> Result<T> {
+        model_join(self.model.as_ref());
+        self.inner.join()
+    }
+}
+
+/// Model-joins every scope-spawned thread on drop — on the closure's
+/// normal exit *and* on unwind — so the real scope join below it never
+/// blocks on an unscheduled model thread.
+struct ScopeJoinGuard {
+    ctx: Option<ThreadCtx>,
+    tids: Rc<RefCell<Vec<usize>>>,
+}
+
+impl Drop for ScopeJoinGuard {
+    fn drop(&mut self) {
+        if let Some(ctx) = &self.ctx {
+            let tids = std::mem::take(&mut *self.tids.borrow_mut());
+            for tid in tids {
+                ctx.engine.join_thread(ctx.tid, tid);
+            }
+        }
+    }
+}
+
+/// Shadow of [`std::thread::scope`]; see the module docs.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> T,
+{
+    let ctx = current_ctx();
+    let tids = Rc::new(RefCell::new(Vec::new()));
+    std::thread::scope(|s| {
+        let _join_guard = ScopeJoinGuard {
+            ctx: ctx.clone(),
+            tids: Rc::clone(&tids),
+        };
+        f(Scope {
+            inner: s,
+            model: ctx.as_ref().map(|c| ScopeModel {
+                engine: Arc::clone(&c.engine),
+                tids: Rc::clone(&tids),
+            }),
+        })
+    })
+}
+
+// ---- misc ----------------------------------------------------------------
+
+/// Shadow of [`std::thread::sleep`]: under a model run, time is
+/// abstracted away — sleeping is just a scheduling point (any real delay
+/// would leak wall-clock nondeterminism into the schedule).
+pub fn sleep(dur: Duration) {
+    match current_ctx() {
+        Some(ctx) => ctx.engine.yield_op(ctx.tid, "sleep", 0),
+        None => std::thread::sleep(dur),
+    }
+}
+
+/// Shadow of [`std::thread::yield_now`]: a bare scheduling point.
+pub fn yield_now() {
+    match current_ctx() {
+        Some(ctx) => ctx.engine.yield_op(ctx.tid, "yield", 0),
+        None => std::thread::yield_now(),
+    }
+}

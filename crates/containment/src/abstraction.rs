@@ -250,7 +250,7 @@ impl GlobalAutomaton {
                 for &(sym, t) in nfa.transitions_from(q) {
                     delta
                         .get_mut(&sym)
-                        .unwrap()
+                        .unwrap() // invariant: delta is pre-seeded with every alphabet symbol
                         .set(offset + q as usize, offset + t as usize);
                 }
                 if nfa.is_initial(q) {
@@ -465,8 +465,6 @@ fn achievable_fact_sets(
 /// internal nodes `n1 + 2i` (`u_{i,1}`) and `n1 + 2i + 1` (`u_{i,2}`).
 struct Subdivision {
     num_nodes: usize,
-    #[allow(dead_code)]
-    n1: usize,
     /// Out-adjacency: `(target, atom, position 0..2)`.
     out: Vec<Vec<(usize, usize, u8)>>,
 }
@@ -482,7 +480,7 @@ impl Subdivision {
             out[u1].push((u2, i, 1));
             out[u2].push((atom.dst.index(), i, 2));
         }
-        Subdivision { num_nodes, n1, out }
+        Subdivision { num_nodes, out }
     }
 }
 
@@ -626,7 +624,6 @@ type EmitFn<'a> = dyn FnMut(&[Vec<(usize, usize, u8)>], &[Vec<usize>]) -> Contro
 
 /// Places the path of `Q2` atom `i` (and recursively the rest), assigning
 /// variable images on demand.
-#[allow(clippy::too_many_arguments)]
 fn place_q2_atom(
     q2: &Crpq,
     sub: &Subdivision,
@@ -669,9 +666,9 @@ fn place_q2_atom(
         }
         return ControlFlow::Continue(());
     }
-    let start = assignment[src].unwrap();
-    // DFS for (simple) paths from start to the image of dst; dst may be
-    // unassigned (then any reachable fresh node, or `start` for self-loops).
+    let start = assignment[src].unwrap(); // invariant: src is assigned before the walk starts
+                                          // DFS for (simple) paths from start to the image of dst; dst may be
+                                          // unassigned (then any reachable fresh node, or `start` for self-loops).
     let mut seq = vec![start];
     let mut edges: Vec<(usize, usize, u8)> = Vec::new();
     dfs_place(
@@ -679,7 +676,6 @@ fn place_q2_atom(
     )
 }
 
-#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
 fn dfs_place(
     q2: &Crpq,
     sub: &Subdivision,
@@ -694,14 +690,14 @@ fn dfs_place(
     edges: &mut Vec<(usize, usize, u8)>,
     emit: &mut EmitFn<'_>,
 ) -> ControlFlow<()> {
-    let here = *seq.last().unwrap();
+    let here = *seq.last().unwrap(); // invariant: seq starts non-empty
     for &(to, atom, pos) in &sub.out[here] {
         // Case 1: `to` completes the path (it is, or becomes, the image of
         // `dst`). For unassigned `dst` the node must be fresh and distinct
         // from the source image (h is injective).
         if match assignment[dst] {
             Some(node) => to == node,
-            None => !used.contains(to) && to != *seq.first().unwrap(),
+            None => !used.contains(to) && to != *seq.first().unwrap(), // invariant: seq starts non-empty
         } {
             let had = assignment[dst].is_some();
             if !had {

@@ -18,9 +18,9 @@ use crpq_core::{eval, Semantics};
 use crpq_graph::NodeId;
 use crpq_query::expansion::{enumerate_expansions, ExpansionLimits};
 use crpq_query::{enumerate_a_inj_expansions, Cq, Crpq};
+use crpq_util::sync::atomic::{AtomicBool, Ordering};
+use crpq_util::sync::Mutex;
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
 
 /// Result of a containment check.
 #[derive(Clone, Debug)]
@@ -248,7 +248,7 @@ fn contain_parallel(q1: &Crpq, q2: &Crpq, sem: Semantics, config: ContainmentCon
             return;
         }
         let (stop_ref, found_ref) = (&stop, &found);
-        std::thread::scope(|scope| {
+        crpq_util::sync::thread::scope(|scope| {
             let chunk = batch.len().div_ceil(config.threads).max(1);
             for part in batch.chunks(chunk) {
                 scope.spawn(move || {
@@ -257,7 +257,7 @@ fn contain_parallel(q1: &Crpq, q2: &Crpq, sem: Semantics, config: ContainmentCon
                             return;
                         }
                         if is_counter_example(&cand.witness, q2, sem, num_symbols) {
-                            *found_ref.lock().unwrap() = Some(cand.clone());
+                            *found_ref.lock().unwrap() = Some(cand.clone()); // poison: re-raise a panicked sibling worker
                             stop_ref.store(true, Ordering::Relaxed);
                             return;
                         }
@@ -300,7 +300,7 @@ fn contain_parallel(q1: &Crpq, q2: &Crpq, sem: Semantics, config: ContainmentCon
     };
     process_batch(&mut batch);
 
-    let result = found.into_inner().unwrap();
+    let result = found.into_inner().unwrap(); // poison: re-raise a panicked sibling worker
     match result {
         Some(c) => Outcome::NotContained(c),
         None if outcome.complete => Outcome::Contained,

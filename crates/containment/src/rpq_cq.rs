@@ -67,7 +67,7 @@ pub fn try_contain_rpq_cq_st(q1: &Crpq, q2: &Crpq) -> Option<bool> {
 fn collapsed_variant_contained(variant: &Crpq, q2: &Crpq) -> bool {
     // Build the 1-node-per-variable graph of the (atomless) variant and
     // evaluate Q2 on it with the pinned tuple — both are tiny.
-    let cq = variant.as_cq().expect("atomless variant is a CQ");
+    let cq = variant.as_cq().expect("atomless variant is a CQ"); // invariant: the caller only passes atomless variants
     let g = cq.to_graph_anon(1);
     let tuple: Vec<NodeId> = cq.free.iter().map(|v| NodeId(v.0)).collect();
     eval::eval_contains(q2, &g, &tuple, Semantics::Standard)
@@ -131,7 +131,7 @@ fn single_atom_variant_contained(variant: &Crpq, q2: &Cq) -> Option<bool> {
     let contained = match component_nfas.len() {
         0 => true, // W = Σ*: every expansion admits a hom
         _ => {
-            let mut w = component_nfas.pop().unwrap();
+            let mut w = component_nfas.pop().unwrap(); // invariant: every component contributes an NFA
             for other in &component_nfas {
                 w = w.product(other);
             }

@@ -1156,7 +1156,7 @@ impl<'a, G: GraphView> JoinPlan<'a, G> {
             }
         }
 
-        let empty = domains.iter().any(|d| d.is_empty()) && variant.num_vars > 0;
+        let empty = domains.iter().any(crpq_graph::rpq::NodeSet::is_empty) && variant.num_vars > 0;
         JoinPlan {
             g,
             q: variant,
@@ -1402,7 +1402,7 @@ impl<'a, G: GraphView> JoinPlan<'a, G> {
             // for solutions that actually verify.
             let mut mu = std::mem::take(&mut scratch.mu);
             mu.clear();
-            mu.extend(assignment.iter().map(|a| a.unwrap()));
+            mu.extend(assignment.iter().map(|a| a.unwrap())); // invariant: every variable is bound at a leaf
             let ok = self.verify(&mu, scratch);
             scratch.mu = mu;
             if ok {
@@ -1712,7 +1712,7 @@ impl<'a, G: GraphView> VariantEval<'a, G> {
             }
         }
         let Some((var, cands)) = best else {
-            let full: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect();
+            let full: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect(); // invariant: every variable is bound at a leaf
             return visit(self, &full);
         };
         for node in cands {
@@ -2066,7 +2066,6 @@ fn place_atoms<G: GraphView>(
     placed
 }
 
-#[allow(clippy::too_many_arguments)]
 fn try_rest<G: GraphView>(
     g: &G,
     atoms: &[CompiledAtom],

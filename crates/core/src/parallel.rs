@@ -71,9 +71,10 @@ use crate::eval::{
 use crate::wcoj;
 use crpq_graph::{rpq, GraphView, NodeId};
 use crpq_query::{Crpq, Var};
+use crpq_util::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crpq_util::sync::{thread, Condvar, Mutex, MutexGuard};
 use crpq_util::FxHashSet;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 
 /// Number of join levels workers enumerate explicitly (and can therefore
 /// donate from) before handing the subtree to the sequential executors.
@@ -238,6 +239,7 @@ fn run_work_stealing_shared<G: GraphView, S: TupleSink + Send>(
             local: FxHashSet::default(),
             global,
             ctx: &ctx,
+            post_cancel: 0,
         };
         let mut scratch = VerifyScratch::new();
         drain_chunks(&ctx, plan, wcoj_order, &mut scratch, &mut sink);
@@ -372,6 +374,15 @@ impl StealCtx {
         self.cancel.store(true, Ordering::Relaxed);
         // Wake starving workers so they re-check promptly; the drained
         // queue plus falling `active` count then reads as quiescence.
+        //
+        // The notify must happen under the state lock (defect found by the
+        // model checker, see CONCURRENCY.md invariant I2): a starving
+        // worker that has already read `cancelled() == false` holds the
+        // lock until `cv.wait` parks it and releases. Notifying without
+        // the lock can land in that window — before the park — and the
+        // wakeup is lost; the worker then sleeps until global quiescence
+        // instead of observing the cancel promptly.
+        let _st = self.lock();
         self.cv.notify_all();
     }
 
@@ -380,7 +391,9 @@ impl StealCtx {
     /// (sibling panicked while unwinding through a guard) is still
     /// consistent; `into_inner` keeps the shutdown path panic-free.
     fn lock(&self) -> MutexGuard<'_, StealState> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn donate(&self, chunk: Chunk) {
@@ -437,7 +450,10 @@ fn next_chunk(ctx: &StealCtx) -> Option<Chunk> {
             return None;
         }
         ctx.starving.fetch_add(1, Ordering::Relaxed);
-        st = ctx.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        st = ctx
+            .cv
+            .wait(st)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         ctx.starving.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -453,7 +469,6 @@ fn next_chunk(ctx: &StealCtx) -> Option<Chunk> {
 /// the sequential engines; the sink's stop signal is polled once per
 /// candidate, which bounds a worker's overshoot to the subtree it had
 /// already entered.
-#[allow(clippy::too_many_arguments)]
 fn enumerate_range<G: GraphView>(
     ctx: &StealCtx,
     plan: &JoinPlan<'_, G>,
@@ -573,6 +588,11 @@ struct WorkerSink<'a, S: TupleSink> {
     local: FxHashSet<Vec<NodeId>>,
     global: &'a Mutex<S>,
     ctx: &'a StealCtx,
+    /// Inserts this worker abandoned because a sibling raised cancel while
+    /// it was blocked on the sink mutex. Protocol invariant (pinned by the
+    /// model checker, CONCURRENCY.md I3): at most one per worker, because
+    /// the resulting `Stop` unwinds the worker out of its subtree.
+    post_cancel: usize,
 }
 
 impl<S: TupleSink> TupleSink for WorkerSink<'_, S> {
@@ -587,13 +607,35 @@ impl<S: TupleSink> TupleSink for WorkerSink<'_, S> {
         if !self.local.insert(t.clone()) {
             return SinkStatus::Continue;
         }
-        let status = lock_sink(self.global).insert_tuple(t);
+        let mut global = lock_sink(self.global);
+        if self.ctx.cancelled() {
+            // Lost the stop race: cancel was raised while this worker was
+            // blocked on the sink mutex. Suppress the insert — the sink
+            // already said "enough" — so the global sink never sees a
+            // post-stop tuple at all (the old code forwarded it and leaned
+            // on the sink's own exact-k logic to drop it).
+            self.post_cancel += 1;
+            debug_assert!(
+                self.post_cancel <= 1,
+                "a worker lost the stop race twice: Stop must unwind the subtree"
+            );
+            return SinkStatus::Stop;
+        }
+        let status = global.insert_tuple(t);
         if status == SinkStatus::Stop {
             // Raise the flag here, not just when the Stop unwinds out of
             // the chunk: siblings deep in a sequential subtree poll
-            // `should_stop` and wind down immediately.
+            // `should_stop` and wind down immediately. Raised while still
+            // holding the sink mutex: the next worker to acquire it then
+            // re-checks `cancelled` above and suppresses its insert, so
+            // the global sink never observes a post-stop tuple (releasing
+            // first would open a window where a sibling's insert lands
+            // between the unlock and the flag store). `cancel` takes the
+            // scheduler state lock; sink→state is the one cross-lock edge
+            // in this module — never the reverse, so no cycle.
             self.ctx.cancel();
         }
+        drop(global);
         status
     }
 
@@ -606,7 +648,7 @@ impl<S: TupleSink> TupleSink for WorkerSink<'_, S> {
 /// [`StealCtx::lock`]: sink state is plain data, and the panic itself is
 /// re-raised by [`collect_worker_results`].
 fn lock_sink<S: TupleSink>(m: &Mutex<S>) -> MutexGuard<'_, S> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Parallel evaluation into an arbitrary early-exit sink: the planning
@@ -628,7 +670,9 @@ pub(crate) fn eval_parallel_sink<G: GraphView, S: TupleSink + Send>(
         if eval_contains(q, g, &[], sem) {
             lock_sink(&global).insert_tuple(Vec::new());
         }
-        return global.into_inner().unwrap_or_else(|e| e.into_inner());
+        return global
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
     }
 
     let variants = q.epsilon_free_union();
@@ -670,7 +714,9 @@ pub(crate) fn eval_parallel_sink<G: GraphView, S: TupleSink + Send>(
             }
         }
     }
-    global.into_inner().unwrap_or_else(|e| e.into_inner())
+    global
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Existence-only parallel evaluation: true iff the query has at least one
@@ -710,7 +756,7 @@ pub fn eval_limit_parallel<G: GraphView>(
 /// via [`std::panic::resume_unwind`] (after all workers have finished —
 /// scoped threads cannot outlive this call).
 fn collect_worker_results<R: Send>(threads: usize, worker: impl Fn() -> R + Sync) -> Vec<R> {
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         let handles: Vec<_> = (0..threads.max(1)).map(|_| scope.spawn(&worker)).collect();
         handles
             .into_iter()
@@ -921,7 +967,7 @@ mod tests {
             }
             // Widen the race: siblings that found a tuple concurrently are
             // now blocked on the sink mutex and will land post-stop.
-            std::thread::sleep(std::time::Duration::from_millis(2));
+            thread::sleep(std::time::Duration::from_millis(2));
             self.first = Some(t);
             self.stopped = true;
             SinkStatus::Stop
@@ -1069,5 +1115,284 @@ mod tests {
             }
         });
         assert_eq!(seen.load(Ordering::Relaxed), 32, "every chunk processed");
+    }
+}
+
+#[cfg(all(test, crpq_model_check))]
+mod model_tests {
+    //! Model-checked protocol invariants (CONCURRENCY.md I1–I4 and I6), plus the
+    //! mutation-validation tests proving the checker catches this
+    //! protocol's known failure modes. Compiled and run only under the
+    //! model-check cfg:
+    //!
+    //! ```text
+    //! RUSTFLAGS="--cfg crpq_model_check" cargo test -p crpq-core --lib model_
+    //! ```
+    //!
+    //! (or `cargo xtask model-check`, which wraps exactly that).
+
+    use super::*;
+    use crate::eval::eval_tuples;
+    use crpq_check::{explore, try_explore, Config, Failure};
+    use crpq_graph::generators;
+    use crpq_query::parse_crpq;
+    use std::panic::AssertUnwindSafe;
+
+    fn tiny_chunk() -> Chunk {
+        Chunk {
+            assignment: vec![None],
+            var: Var(0),
+            cands: Arc::new(vec![NodeId(0)]),
+            lo: 0,
+            hi: 1,
+            depth: 0,
+        }
+    }
+
+    // ---- invariants ---------------------------------------------------
+
+    /// I1 — quiescence termination: under every explored interleaving of
+    /// the full work-stealing pipeline (seed → steal → donate → drain),
+    /// every worker exits and the answer set matches the sequential
+    /// engine.
+    #[test]
+    fn model_quiescence_terminates_with_correct_answers() {
+        let mut g = generators::labelled_path(3, &["a"]);
+        let q = parse_crpq("(x, y) <- x -[a a*]-> y", g.alphabet_mut()).unwrap();
+        let expected = eval_tuples(&q, &g, Semantics::Standard);
+        assert!(!expected.is_empty());
+        let run = || {
+            let got = eval_tuples_parallel(&q, &g, Semantics::Standard, 2);
+            assert_eq!(got, expected);
+        };
+        let report = explore(&Config::exhaustive(1_000), run);
+        assert!(report.schedules >= 1_000 || report.exhausted);
+        assert_eq!(report.truncated, 0, "runs must fit the step budget");
+        // The DFS frontier only deviates early in the run; a seeded
+        // random pass reaches deep interleavings of the drain/donate
+        // phase too.
+        let deep = explore(&Config::random(0xC0FFEE, 200), run);
+        assert_eq!(deep.schedules, 200);
+    }
+
+    /// I3 — post-stop suppression: once the shared sink answers `Stop`,
+    /// no later insert reaches it on ANY schedule (the worker that loses
+    /// the stop race re-checks the cancel flag under the sink mutex).
+    ///
+    /// Drives the `WorkerSink`/cancel protocol directly rather than
+    /// through a full evaluation: the stop race sits so deep in a real
+    /// run's schedule that a bounded DFS spends its whole budget on
+    /// planning-phase deviations and never branches there (verified by
+    /// mutating the re-check away — the full-eval form does NOT catch
+    /// it; this form does). This pins the fix the checker surfaced: the
+    /// pre-fix code forwarded the racing insert and relied on the global
+    /// sink to ignore it.
+    #[test]
+    fn model_cancel_overshoot_is_suppressed() {
+        struct StopAfterFirst {
+            first: Option<Vec<NodeId>>,
+            post_stop: usize,
+        }
+        impl TupleSink for StopAfterFirst {
+            fn contains_tuple(&self, _t: &[NodeId]) -> bool {
+                false
+            }
+            fn insert_tuple(&mut self, t: Vec<NodeId>) -> SinkStatus {
+                if self.first.is_some() {
+                    self.post_stop += 1;
+                    return SinkStatus::Stop;
+                }
+                self.first = Some(t);
+                SinkStatus::Stop
+            }
+            fn should_stop(&self) -> bool {
+                self.first.is_some()
+            }
+        }
+        let report = explore(&Config::exhaustive(10_000), || {
+            let ctx = StealCtx::new();
+            let global = Mutex::new(StopAfterFirst {
+                first: None,
+                post_stop: 0,
+            });
+            thread::scope(|s| {
+                for w in 0..2u32 {
+                    let (ctx, global) = (&ctx, &global);
+                    s.spawn(move || {
+                        let mut sink = WorkerSink {
+                            local: FxHashSet::default(),
+                            global,
+                            ctx,
+                            post_cancel: 0,
+                        };
+                        // Each worker offers one distinct fresh tuple —
+                        // the two offers race on the sink mutex.
+                        let _ = sink.insert_tuple(vec![NodeId(w)]);
+                        assert!(sink.post_cancel <= 1, "overshoot bound");
+                    });
+                }
+            });
+            let final_state = global.into_inner().unwrap_or_else(|e| e.into_inner());
+            assert!(final_state.first.is_some(), "some answer must land");
+            assert_eq!(
+                final_state.post_stop, 0,
+                "an insert reached the sink post-stop"
+            );
+        });
+        assert!(report.schedules >= 1_000, "coverage floor");
+    }
+
+    /// I6 — worker panic propagation: a panicking worker's payload
+    /// reaches the caller intact under every schedule, and its siblings
+    /// wind down instead of deadlocking (the `ActiveGuard` drop runs on
+    /// unwind).
+    #[test]
+    fn model_worker_panic_propagates() {
+        let report = explore(&Config::exhaustive(1_000), || {
+            let turn = AtomicUsize::new(0);
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                collect_worker_results(2, || {
+                    if turn.fetch_add(1, Ordering::Relaxed) == 0 {
+                        panic!("injected worker panic");
+                    }
+                });
+            }));
+            let payload = caught.expect_err("worker panic must reach the caller");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .expect("payload must survive intact");
+            assert_eq!(*msg, "injected worker panic");
+        });
+        assert!(report.schedules > 1, "exploration must branch");
+    }
+
+    /// I4 — exact-k under races: `LIMIT k` returns exactly `k` distinct
+    /// real answers no matter how workers interleave on the shared
+    /// `LimitSink`.
+    #[test]
+    fn model_limit_sink_exact_k_under_races() {
+        let mut g = generators::labelled_path(4, &["a"]);
+        let q = parse_crpq("(x, y) <- x -[a a*]-> y", g.alphabet_mut()).unwrap();
+        let all = eval_tuples(&q, &g, Semantics::Standard);
+        assert!(all.len() > 2, "need more answers than the limit");
+        let run = || {
+            let got = eval_limit_parallel(&q, &g, Semantics::Standard, 2, 2);
+            assert_eq!(got.len(), 2, "LIMIT k must be exact, got {got:?}");
+            for t in &got {
+                assert!(all.contains(t), "emitted a non-answer: {t:?}");
+            }
+        };
+        let report = explore(&Config::exhaustive(1_000), run);
+        assert!(report.schedules >= 1_000 || report.exhausted);
+        // Deep-schedule pass — the cancel/limit races live late in the
+        // run, past the bounded DFS frontier.
+        let deep = explore(&Config::random(0xBEEF, 200), run);
+        assert_eq!(deep.schedules, 200);
+    }
+
+    // ---- mutation validation ------------------------------------------
+    //
+    // Each test re-creates one protocol mutant against the REAL scheduler
+    // pieces and asserts the checker reports the failure class the mutant
+    // causes. If a refactor ever makes one of these pass cleanly, the
+    // checker lost its teeth — treat that as a CI failure.
+
+    /// Mutant: the `ActiveGuard` release is dropped. A sibling parked in
+    /// `next_chunk` waits for `active` to fall and must be reported as a
+    /// lost wakeup / deadlock.
+    #[test]
+    fn model_mutant_leaked_active_guard_is_caught() {
+        let failure = try_explore(&Config::exhaustive(2_000), || {
+            let ctx = StealCtx::new();
+            ctx.lock().queue.push(tiny_chunk());
+            thread::scope(|s| {
+                s.spawn(|| {
+                    if next_chunk(&ctx).is_some() {
+                        // MUTANT: `active` is never released.
+                        std::mem::forget(ActiveGuard(&ctx));
+                    }
+                });
+                s.spawn(|| {
+                    while next_chunk(&ctx).is_some() {
+                        drop(ActiveGuard(&ctx));
+                    }
+                });
+            });
+        })
+        .expect_err("a leaked ActiveGuard must strand a sibling");
+        assert!(
+            matches!(
+                failure,
+                Failure::LostWakeup { .. } | Failure::Deadlock { .. }
+            ),
+            "wrong failure class: {failure}"
+        );
+    }
+
+    /// Mutant: `donate` without its notify. The starving sibling never
+    /// learns about the queued chunk: lost wakeup.
+    #[test]
+    fn model_mutant_unnotified_donation_is_caught() {
+        let failure = try_explore(&Config::exhaustive(2_000), || {
+            let ctx = StealCtx::new();
+            ctx.lock().queue.push(tiny_chunk());
+            thread::scope(|s| {
+                s.spawn(|| {
+                    if next_chunk(&ctx).is_some() {
+                        let guard = ActiveGuard(&ctx);
+                        // MUTANT: `donate()` minus `cv.notify_one()`.
+                        ctx.lock().queue.push(tiny_chunk());
+                        drop(guard);
+                    }
+                });
+                s.spawn(|| {
+                    while next_chunk(&ctx).is_some() {
+                        drop(ActiveGuard(&ctx));
+                    }
+                });
+            });
+        })
+        .expect_err("a silent donation must strand a starving sibling");
+        assert!(
+            matches!(failure, Failure::LostWakeup { .. }),
+            "wrong failure class: {failure}"
+        );
+    }
+
+    /// Mutant: `LimitSink`'s count-then-insert runs without the sink
+    /// mutex (modelled as a non-atomic read-check-write). Two workers can
+    /// both pass the `< k` check and the limit overshoots — the checker
+    /// must find that interleaving.
+    #[test]
+    fn model_mutant_racy_limit_increment_is_caught() {
+        let failure = try_explore(&Config::exhaustive(2_000), || {
+            let k = 1usize;
+            // MUTANT: the guarded `count += 1; insert` critical section,
+            // with the guard removed.
+            let count = AtomicUsize::new(0);
+            // Correctly-atomic bookkeeping of how many inserts happened.
+            let emitted = AtomicUsize::new(0);
+            thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        let seen = count.load(Ordering::Relaxed);
+                        if seen < k {
+                            count.store(seen + 1, Ordering::Relaxed);
+                            emitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert!(
+                emitted.load(Ordering::Relaxed) <= k,
+                "limit overshot: {} inserts past k={k}",
+                emitted.load(Ordering::Relaxed)
+            );
+        })
+        .expect_err("the unguarded limit increment must be caught");
+        assert!(
+            matches!(failure, Failure::Panic { .. }),
+            "wrong failure class: {failure}"
+        );
     }
 }

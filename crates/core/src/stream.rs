@@ -29,10 +29,10 @@ use crate::eval::{
 use crate::parallel::eval_parallel_sink;
 use crpq_graph::{GraphView, NodeId};
 use crpq_query::Crpq;
+use crpq_util::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use crpq_util::sync::thread::{self, JoinHandle};
 use crpq_util::FxHashSet;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Bound of the producer→consumer channel: deep enough that the search is
 /// not lock-stepped with the consumer, shallow enough that an abandoned
@@ -84,7 +84,7 @@ pub struct TupleStream {
 impl TupleStream {
     fn spawn(producer: impl FnOnce(SyncSender<Vec<NodeId>>) + Send + 'static) -> Self {
         let (tx, rx) = sync_channel(STREAM_CHANNEL_CAPACITY);
-        let handle = std::thread::spawn(move || producer(tx));
+        let handle = thread::spawn(move || producer(tx));
         TupleStream {
             rx: Some(rx),
             handle: Some(handle),
@@ -97,7 +97,7 @@ impl TupleStream {
     fn join_producer(&mut self) {
         if let Some(handle) = self.handle.take() {
             if let Err(payload) = handle.join() {
-                if !std::thread::panicking() {
+                if !thread::panicking() {
                     std::panic::resume_unwind(payload);
                 }
             }
@@ -200,4 +200,117 @@ pub fn eval_stream_parallel<G: GraphView + Send + Sync + 'static>(
         };
         eval_parallel_sink(&q, &*g, sem, threads, sink);
     })
+}
+
+#[cfg(all(test, crpq_model_check))]
+mod model_tests {
+    //! Model-checked protocol tests for the stream producer/consumer
+    //! contract (invariant I5 of `CONCURRENCY.md`). Run with:
+    //!
+    //! ```text
+    //! RUSTFLAGS="--cfg crpq_model_check" cargo test -p crpq-core --lib model_
+    //! ```
+
+    use super::*;
+    use crpq_check::{explore, try_explore, Config, Failure};
+    use crpq_graph::generators;
+    use crpq_query::parse_crpq;
+
+    /// I5 — dropping a stream never deadlocks the producer: on every
+    /// explored interleaving of consumer drop vs. producer send, `Drop`
+    /// closes the channel first, the producer's pending/next send fails,
+    /// the sink stops the search, and the join returns.
+    #[test]
+    fn model_stream_drop_never_deadlocks_producer() {
+        let mut g = generators::labelled_path(4, &["a"]);
+        let q = parse_crpq("(x, y) <- x -[a a*]-> y", g.alphabet_mut()).unwrap();
+        let g = Arc::new(g);
+        let run = || {
+            let mut stream = eval_stream(&q, &g, Semantics::Standard);
+            assert!(stream.next().is_some(), "path graph has answers");
+            drop(stream);
+        };
+        let report = explore(&Config::exhaustive(1_000), run);
+        assert_eq!(report.truncated, 0, "runs must fit the step budget");
+        // Seeded-random pass for deep interleavings of the mid-search
+        // drop (the DFS frontier only deviates early in the run).
+        let deep = explore(&Config::random(0x51EA_D12, 200), run);
+        assert_eq!(deep.schedules, 200);
+    }
+
+    /// I5, parallel flavour: dropping the parallel stream cancels the
+    /// whole work-stealing fleet through the one shared sink — producer
+    /// and both workers exit on every schedule.
+    #[test]
+    fn model_stream_parallel_drop_cancels_fleet() {
+        let mut g = generators::labelled_path(4, &["a"]);
+        let q = parse_crpq("(x, y) <- x -[a a*]-> y", g.alphabet_mut()).unwrap();
+        let g = Arc::new(g);
+        let run = || {
+            let mut stream = eval_stream_parallel(&q, &g, Semantics::Standard, 2);
+            assert!(stream.next().is_some(), "path graph has answers");
+            drop(stream);
+        };
+        let report = explore(&Config::exhaustive(1_000), run);
+        assert_eq!(report.truncated, 0, "runs must fit the step budget");
+        let deep = explore(&Config::random(0xF1EE7, 200), run);
+        assert_eq!(deep.schedules, 200);
+    }
+
+    /// Backpressure protocol, driven directly: a producer pushing through
+    /// a capacity-1 `StreamSink` channel blocks once the buffer is full;
+    /// the consumer taking one tuple and hanging up must — on every
+    /// interleaving — fail the producer's next send, flip the sink to
+    /// `closed`, and let it exit.
+    #[test]
+    fn model_backpressure_hangup_unblocks_producer() {
+        let report = explore(&Config::exhaustive(5_000), || {
+            let (tx, rx) = sync_channel::<Vec<NodeId>>(1);
+            let producer = thread::spawn(move || {
+                let mut sink = StreamSink {
+                    seen: FxHashSet::default(),
+                    tx,
+                    closed: false,
+                };
+                for i in 0..4u32 {
+                    if sink.insert_tuple(vec![NodeId(i)]) == SinkStatus::Stop {
+                        break;
+                    }
+                }
+                assert!(sink.closed, "hangup must close the sink");
+                assert!(sink.should_stop(), "closed sink must stop the search");
+            });
+            assert_eq!(rx.recv().unwrap(), vec![NodeId(0)], "FIFO order");
+            drop(rx);
+            producer.join().unwrap();
+        });
+        assert!(report.exhausted, "direct protocol must be fully explored");
+    }
+
+    /// Mutant: joining the producer while the receiver is still open.
+    /// With the channel full the producer is parked in `send` and the
+    /// consumer in `join` — the checker must report the deadlock. This
+    /// pins the ordering contract of `TupleStream::drop` (`rx = None`
+    /// BEFORE `join_producer`).
+    #[test]
+    fn model_mutant_join_before_close_is_caught() {
+        let failure = try_explore(&Config::exhaustive(2_000), || {
+            let (tx, rx) = sync_channel::<Vec<NodeId>>(1);
+            let producer = thread::spawn(move || {
+                for i in 0..3u32 {
+                    if tx.send(vec![NodeId(i)]).is_err() {
+                        return;
+                    }
+                }
+            });
+            // MUTANT ordering: join first, hang up after.
+            producer.join().unwrap();
+            drop(rx);
+        })
+        .expect_err("join-before-close must strand the producer");
+        assert!(
+            matches!(failure, Failure::Deadlock { .. }),
+            "wrong failure class: {failure}"
+        );
+    }
 }

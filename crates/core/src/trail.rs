@@ -215,7 +215,7 @@ impl<'a> TrailEval<'a> {
             }
         }
         let Some((var, cands)) = best else {
-            let full: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect();
+            let full: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect(); // invariant: every variable is bound at a leaf
             return visit(self, &full);
         };
         for node in cands {

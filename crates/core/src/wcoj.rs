@@ -121,7 +121,7 @@ pub(crate) fn search_with_fixed<G: GraphView>(
     if plan.is_empty() {
         return SinkStatus::Continue;
     }
-    let var = *order.first().expect("fixed_order pins the split variable");
+    let var = *order.first().expect("fixed_order pins the split variable"); // invariant: guaranteed by fixed_order
     let mut assignment: Vec<Option<NodeId>> = vec![None; plan.q.num_vars];
     if !plan.bind_allowed(var, node, &assignment, scratch) {
         return SinkStatus::Continue;
@@ -155,7 +155,7 @@ fn elimination_order<G: GraphView>(plan: &JoinPlan<'_, G>, first: Option<Var>) -
         let next = (0..n)
             .filter(|&v| !placed[v])
             .min_by_key(|&v| (!adjacent(v), plan.domains[v].len()))
-            .expect("some variable is still unordered");
+            .expect("some variable is still unordered"); // invariant: the loop runs only while variables remain unordered
         order.push(Var(next as u32));
         placed[next] = true;
     }
@@ -229,7 +229,7 @@ fn bind_level<G: GraphView>(
         // views; verify the injective side and record the projection.
         let mut mu = std::mem::take(&mut scratch.mu);
         mu.clear();
-        mu.extend(assignment.iter().map(|a| a.unwrap()));
+        mu.extend(assignment.iter().map(|a| a.unwrap())); // invariant: every variable is bound at a leaf
         let ok = plan.verify(&mu, scratch);
         scratch.mu = mu;
         if ok {
@@ -296,7 +296,7 @@ fn each_level_candidate<G: GraphView>(
         .enumerate()
         .min_by_key(|(_, v)| v.lead_weight())
         .map(|(i, _)| i)
-        .unwrap();
+        .unwrap(); // invariant: a join plan has at least one view
     views.swap(0, lead);
 
     let inj = plan.sem == Semantics::QueryInjective;

@@ -217,7 +217,7 @@ impl DeltaGraph {
         // Revive a tombstoned base edge: drop the tombstone.
         if let Some(dels) = self.delta.dels_out.get_mut(&u.0) {
             if sorted_remove(dels, (label, v)) {
-                let dels_in = self.delta.dels_in.get_mut(&v.0).expect("tombstone pair");
+                let dels_in = self.delta.dels_in.get_mut(&v.0).expect("tombstone pair"); // invariant: adds/dels maps are kept pairwise consistent
                 let removed = sorted_remove(dels_in, (label, u));
                 debug_assert!(removed, "tombstone missing reverse orientation");
                 self.delta.deleted -= 1;
@@ -242,7 +242,7 @@ impl DeltaGraph {
     pub fn delete_edge(&mut self, u: NodeId, label: Symbol, v: NodeId) -> bool {
         if let Some(adds) = self.delta.adds_out.get_mut(&u.0) {
             if sorted_remove(adds, (label, v)) {
-                let adds_in = self.delta.adds_in.get_mut(&v.0).expect("insert pair");
+                let adds_in = self.delta.adds_in.get_mut(&v.0).expect("insert pair"); // invariant: adds/dels maps are kept pairwise consistent
                 let removed = sorted_remove(adds_in, (label, u));
                 debug_assert!(removed, "insert missing reverse orientation");
                 self.delta.inserted -= 1;

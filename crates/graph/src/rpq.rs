@@ -1011,7 +1011,7 @@ impl RowStore {
     fn push_sparse(&mut self, i: usize, ids: &[u32]) {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
         let kind = self.reserve_span(ids.len());
-        self.shards.last_mut().unwrap().extend_from_slice(ids);
+        self.shards.last_mut().unwrap().extend_from_slice(ids); // invariant: shards is never empty
         self.push_kind(i, kind);
     }
 
@@ -1413,7 +1413,7 @@ impl Relation {
                 Some(m) => m[v] as usize,
                 None => tgt
                     .binary_search(&(v as u32))
-                    .expect("target missing from touched set"),
+                    .expect("target missing from touched set"), // invariant: the BFS inserted every reached target
             }
         };
 
@@ -1584,7 +1584,7 @@ fn parallel_rows<G: GraphView>(
     let threads = threads.min(sources.len().max(1));
     let chunk = sources.len().div_ceil(threads);
     let chunks: Vec<&[NodeId]> = sources.chunks(chunk.max(1)).collect();
-    let per_chunk: Vec<(Vec<SourceRow>, usize)> = std::thread::scope(|scope| {
+    let per_chunk: Vec<(Vec<SourceRow>, usize)> = crpq_util::sync::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
@@ -1602,7 +1602,7 @@ fn parallel_rows<G: GraphView>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles.into_iter().map(|h| h.join().unwrap()).collect() // invariant: worker panics propagate to the caller by design
     });
     let scratch_bytes = per_chunk.iter().map(|(_, b)| b).sum();
     (
@@ -1625,7 +1625,7 @@ fn parallel_rows<G: GraphView>(
 /// fallback decision is made in exactly one place.
 pub fn effective_threads(threads: usize) -> usize {
     if threads == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get().min(16))
+        crpq_util::sync::thread::available_parallelism().map_or(4, |n| n.get().min(16))
     } else {
         threads
     }
@@ -1922,7 +1922,7 @@ pub fn rpq_relation_closure_blocked<G: GraphView>(
             let id = scc_row.len() as u32;
             members.clear();
             loop {
-                let w = stack.pop().unwrap();
+                let w = stack.pop().unwrap(); // invariant: the loop guard keeps the stack non-empty
                 scc_id[w as usize] = id;
                 members.push(w);
                 if w as usize == v {
@@ -2271,7 +2271,6 @@ where
     .is_continue()
 }
 
-#[allow(clippy::too_many_arguments)]
 fn dfs_simple<G, F>(
     g: &G,
     nfa: &Nfa,
@@ -2287,7 +2286,7 @@ where
     G: GraphView,
     F: FnMut(&[NodeId]) -> ControlFlow<()>,
 {
-    let here = *path.last().unwrap();
+    let here = *path.last().unwrap(); // invariant: path starts seeded with the source
     for (sym, to) in g.out_edges_iter(here) {
         if to == dst {
             let image = nfa.delta_set(&states, sym);
@@ -2369,7 +2368,6 @@ where
     .is_continue()
 }
 
-#[allow(clippy::too_many_arguments)]
 fn dfs_cycle<G, F>(
     g: &G,
     nfa: &Nfa,
@@ -2385,7 +2383,7 @@ where
     G: GraphView,
     F: FnMut(&[NodeId]) -> ControlFlow<()>,
 {
-    let here = *path.last().unwrap();
+    let here = *path.last().unwrap(); // invariant: path starts seeded with the source
     for (sym, to) in g.out_edges_iter(here) {
         if to == at {
             let image = nfa.delta_set(&states, sym);
@@ -2468,7 +2466,6 @@ where
     .is_continue()
 }
 
-#[allow(clippy::too_many_arguments)]
 fn dfs_trail<G, F>(
     g: &G,
     nfa: &Nfa,

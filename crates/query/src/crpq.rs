@@ -349,18 +349,18 @@ pub fn nfa_to_regex(nfa: &Nfa) -> Regex {
             .collect();
         for &i in &preds {
             for &j in &succs {
-                let mut parts = vec![edge[i][k].clone().unwrap()];
+                let mut parts = vec![edge[i][k].clone().unwrap()]; // invariant: checked Some above
                 if let Some(ls) = &loop_star {
                     parts.push(ls.clone());
                 }
-                parts.push(edge[k][j].clone().unwrap());
+                parts.push(edge[k][j].clone().unwrap()); // invariant: checked Some above
                 add(&mut edge, i, j, Regex::concat(parts));
             }
         }
-        for row in edge.iter_mut() {
+        for row in &mut edge {
             row[k] = None;
         }
-        for cell in edge[k].iter_mut() {
+        for cell in &mut edge[k] {
             *cell = None;
         }
     }

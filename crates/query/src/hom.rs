@@ -178,7 +178,7 @@ where
         }
         let Some((var, cands)) = best else {
             // All variables assigned: emit.
-            let full: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect();
+            let full: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect(); // invariant: every variable is bound at a leaf
             return (self.visit)(&full);
         };
         for node in cands {

@@ -192,7 +192,7 @@ impl PcpLabels {
         table
             .iter()
             .find(|&&(ch, _)| ch == c)
-            .expect("letter out of alphabet")
+            .expect("letter out of alphabet") // invariant: PCP instances are built over the declared alphabet
             .1
     }
 }
@@ -561,7 +561,7 @@ pub fn witness_expansion_with(
             .sigma_hat
             .iter()
             .position(|&(_, s)| s == cur)
-            .expect("mutated position must hold a hatted letter");
+            .expect("mutated position must hold a hatted letter"); // invariant: the mutation site was hatted by construction
         wh_a[e] = lbl.sigma_hat[(at + 1) % lbl.sigma_hat.len()].1;
     }
 

@@ -191,7 +191,7 @@ pub fn qbf_to_ainj_containment(inst: &QbfInstance, alphabet: &mut Interner) -> Q
         // Pad the clause to `width` by repeating the last literal.
         let mut lits = clause.clone();
         while lits.len() < width {
-            lits.push(*lits.last().expect("clauses must be non-empty"));
+            lits.push(*lits.last().expect("clauses must be non-empty")); // invariant: the builder rejects empty clauses
         }
         let cnodes: Vec<Var> = (0..width).map(|_| fresh2()).collect();
         for r in 1..width {
@@ -261,7 +261,7 @@ pub fn qbf_to_ainj_containment(inst: &QbfInstance, alphabet: &mut Interner) -> Q
 /// The **clean quotient** of `Q₁` for a universal assignment: merge
 /// `(pᵢ, qᵢ)` in the strict gadget exactly for the `false` variables.
 pub fn clean_quotient(red: &QbfReduction, xs: &[bool]) -> Cq {
-    let cq = red.q1.as_cq().expect("Q1 is a CQ");
+    let cq = red.q1.as_cq().expect("Q1 is a CQ"); // invariant: the reduction emits an atomless Q1
     let merges: Vec<(Var, Var)> = red
         .d_pairs
         .iter()

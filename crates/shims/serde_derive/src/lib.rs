@@ -38,7 +38,7 @@ fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
         // emit nothing for generics (the marker traits are never required).
         Some((name, false)) => format!("impl ::serde::{trait_name} for {name} {{}}")
             .parse()
-            .unwrap(),
+            .unwrap(), // invariant: the generated impl text is valid Rust
         _ => TokenStream::new(),
     }
 }

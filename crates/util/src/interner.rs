@@ -50,7 +50,7 @@ impl Interner {
         if let Some(&sym) = self.index.get(name) {
             return sym;
         }
-        let sym = Symbol(u32::try_from(self.names.len()).expect("interner overflow"));
+        let sym = Symbol(u32::try_from(self.names.len()).expect("interner overflow")); // invariant: u32 capacity overflow is fail-fast by design
         self.names.push(name.to_owned());
         self.index.insert(name.to_owned(), sym);
         sym
@@ -168,6 +168,7 @@ impl NameArena {
         let (start, end) = self.span(id);
         // Safety by construction: `intern` only ever appends whole `&str`
         // byte runs at span boundaries.
+        // invariant: the arena only stores utf-8 spans
         std::str::from_utf8(&self.buf[start..end]).expect("arena spans are valid utf-8")
     }
 
@@ -223,7 +224,7 @@ impl NameArena {
                 _ => slot = (slot + 1) & mask,
             }
         }
-        let id = u32::try_from(self.ends.len()).expect("name arena id overflow");
+        let id = u32::try_from(self.ends.len()).expect("name arena id overflow"); // invariant: u32 capacity overflow is fail-fast by design
         let end = self.buf.len() + name.len();
         assert!(
             u32::try_from(end).is_ok(),

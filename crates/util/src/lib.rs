@@ -11,6 +11,7 @@ pub mod hash;
 pub mod interner;
 pub mod matrix;
 pub mod partition;
+pub mod sync;
 pub mod unionfind;
 
 pub use bitset::BitSet;

@@ -24,6 +24,7 @@ use crpq_util::Interner;
 /// `Q(x, y, z) = x -[a]-> y ∧ y -[b]-> z ∧ z -[c]-> x` — the canonical
 /// cyclic shape (3 variables, 3 atoms, one cycle).
 pub fn triangle_query(alphabet: &mut Interner) -> Crpq {
+    // invariant: fixed workload query text parses
     parse_crpq("(x, y, z) <- x -[a]-> y, y -[b]-> z, z -[c]-> x", alphabet).unwrap()
 }
 
@@ -34,7 +35,7 @@ pub fn four_cycle_query(alphabet: &mut Interner) -> Crpq {
         "(x, y, z, w) <- x -[a]-> y, y -[b]-> z, z -[c]-> w, w -[d]-> x",
         alphabet,
     )
-    .unwrap()
+    .unwrap() // invariant: fixed workload query text parses
 }
 
 /// The diamond-with-chord CRPQ: the 4-cycle of [`four_cycle_query`] plus
@@ -46,7 +47,7 @@ pub fn diamond_chord_query(alphabet: &mut Interner) -> Crpq {
         "(x, y, z, w) <- x -[a]-> y, y -[b]-> z, z -[c]-> w, w -[d]-> x, x -[e]-> z",
         alphabet,
     )
-    .unwrap()
+    .unwrap() // invariant: fixed workload query text parses
 }
 
 /// A starred triangle whose atoms are all ε-bearing
@@ -59,7 +60,7 @@ pub fn starred_triangle_query(alphabet: &mut Interner) -> Crpq {
         "(x, y) <- x -[(a b)*]-> y, y -[c*]-> z, z -[(b c)*]-> x",
         alphabet,
     )
-    .unwrap()
+    .unwrap() // invariant: fixed workload query text parses
 }
 
 /// The number of edge labels the cyclic workload graphs carry — one per

@@ -143,9 +143,9 @@ pub fn instance(
         ClassPair::CqCrpq => {
             let q1 = chain_cq(n, alphabet);
             let q2 = if contained {
-                parse_crpq("x -[a a*]-> y", alphabet).unwrap()
+                parse_crpq("x -[a a*]-> y", alphabet).unwrap() // invariant: fixed workload query text parses
             } else {
-                parse_crpq("x -[b b*]-> y", alphabet).unwrap()
+                parse_crpq("x -[b b*]-> y", alphabet).unwrap() // invariant: fixed workload query text parses
             };
             (q1, q2)
         }
@@ -206,7 +206,7 @@ pub fn instance(
             (q1, q2)
         }
         ClassPair::CrpqCrpqFin => {
-            let q1 = parse_crpq("(x, y) <- x -[a a*]-> y", alphabet).unwrap();
+            let q1 = parse_crpq("(x, y) <- x -[a a*]-> y", alphabet).unwrap(); // invariant: fixed workload query text parses
             let q2 = if contained {
                 // a + … + a^n ∪ tail-absorbing: contained only for words ≤ n,
                 // so make Q2 = a (ε-free single) with Q1 = exactly a^{≤n}:
@@ -253,9 +253,9 @@ pub fn instance(
         ClassPair::CrpqFinCrpq => {
             let q1 = chain_fin(n, alphabet);
             let q2 = if contained {
-                parse_crpq("x -[(a+b)(a+b)*]-> y", alphabet).unwrap()
+                parse_crpq("x -[(a+b)(a+b)*]-> y", alphabet).unwrap() // invariant: fixed workload query text parses
             } else {
-                parse_crpq("x -[a (a+b)*]-> y", alphabet).unwrap() // all-b expansion escapes
+                parse_crpq("x -[a (a+b)*]-> y", alphabet).unwrap() // all-b expansion escapes; invariant: fixed workload query text parses
             };
             (q1, q2)
         }

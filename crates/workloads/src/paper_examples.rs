@@ -12,7 +12,7 @@ use crpq_util::Interner;
 /// The Example 2.1 query `Q(x, y) = x -(ab)*-> y ∧ y -c*-> x`, parsed
 /// against `alphabet`.
 pub fn example21_query(alphabet: &mut Interner) -> Crpq {
-    parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", alphabet).unwrap()
+    parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", alphabet).unwrap() // invariant: fixed workload query text parses
 }
 
 /// Figure-2 style `G`: separates a-inj from q-inj and has `Q(G)_st =
@@ -64,17 +64,17 @@ pub fn example21_full_separation(alphabet: &Interner) -> GraphDb {
 /// `Q₁ = x -a-> y ∧ y -b-> z`, `Q₂ = x -[ab]-> y`,
 /// `Q₁′ = x -a-> y ∧ x -b-> y`, `Q₂′ = x -a-> y ∧ x′ -b-> y′`.
 pub fn example47_queries(alphabet: &mut Interner) -> (Crpq, Crpq, Crpq, Crpq) {
-    let q1 = parse_crpq("x -[a]-> y, y -[b]-> z", alphabet).unwrap();
-    let q2 = parse_crpq("x -[a b]-> y", alphabet).unwrap();
-    let q1p = parse_crpq("x -[a]-> y, x -[b]-> y", alphabet).unwrap();
-    let q2p = parse_crpq("x -[a]-> y, x' -[b]-> y'", alphabet).unwrap();
+    let q1 = parse_crpq("x -[a]-> y, y -[b]-> z", alphabet).unwrap(); // invariant: fixed workload query text parses
+    let q2 = parse_crpq("x -[a b]-> y", alphabet).unwrap(); // invariant: fixed workload query text parses
+    let q1p = parse_crpq("x -[a]-> y, x -[b]-> y", alphabet).unwrap(); // invariant: fixed workload query text parses
+    let q2p = parse_crpq("x -[a]-> y, x' -[b]-> y'", alphabet).unwrap(); // invariant: fixed workload query text parses
     (q1, q2, q1p, q2p)
 }
 
 /// The §1 introduction query
 /// `Q = ∃x,y,z (x -(a+b)⁺-> y ∧ x -(b+c)⁺-> z)`.
 pub fn intro_query(alphabet: &mut Interner) -> Crpq {
-    parse_crpq("x -[(a+b)(a+b)*]-> y, x -[(b+c)(b+c)*]-> z", alphabet).unwrap()
+    parse_crpq("x -[(a+b)(a+b)*]-> y, x -[(b+c)(b+c)*]-> z", alphabet).unwrap() // invariant: fixed workload query text parses
 }
 
 /// The intro's motivating database: a directed path of `n` `b`-edges

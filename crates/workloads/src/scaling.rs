@@ -13,7 +13,7 @@ use crpq_util::Interner;
 /// A fixed 2-atom query exercising all three semantics
 /// (`Q(x,y) = x -(ab)*-> y ∧ y -c*-> x`).
 pub fn data_complexity_query(alphabet: &mut Interner) -> Crpq {
-    parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", alphabet).unwrap()
+    parse_crpq("(x, y) <- x -[(a b)*]-> y, y -[c*]-> x", alphabet).unwrap() // invariant: fixed workload query text parses
 }
 
 /// Growing graph for the data-complexity sweep: `n` nodes, `3n` edges over
@@ -33,7 +33,7 @@ pub fn multi_variant_query(alphabet: &mut Interner) -> Crpq {
         "(x, y) <- x -[(a b)*]-> y, y -[c*]-> z, z -[(b c)*]-> x",
         alphabet,
     )
-    .unwrap()
+    .unwrap() // invariant: fixed workload query text parses
 }
 
 /// Growing chain query for the combined-complexity sweep: `k` atoms
@@ -88,7 +88,7 @@ pub fn label_rich_query(alphabet: &mut Interner) -> Crpq {
         "(x, y) <- x -[l0 (l1+l2)*]-> y, y -[l2 (l3+l4)*]-> z",
         alphabet,
     )
-    .unwrap()
+    .unwrap() // invariant: fixed workload query text parses
 }
 
 /// Number of (uniform) edge labels in the million-node scaling family.
@@ -122,7 +122,7 @@ pub fn million_query(alphabet: &mut Interner) -> Crpq {
         "(x, y) <- x -[l0 (l1+l2)*]-> y, y -[l2 (l3+l4)*]-> z",
         alphabet,
     )
-    .unwrap()
+    .unwrap() // invariant: fixed workload query text parses
 }
 
 /// Zipf exponent of the work-stealing bench family — deliberately more

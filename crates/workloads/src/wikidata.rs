@@ -65,7 +65,7 @@ pub fn query_of_shape(shape: LogShape, alphabet: &mut Interner, rng: &mut StdRng
             format!("(x, y) <- x -[{p1}]-> z, z -[{p2} {p2}*]-> y")
         }
     };
-    parse_crpq(&text, alphabet).expect("generated query parses")
+    parse_crpq(&text, alphabet).expect("generated query parses") // invariant: fixed workload query text parses
 }
 
 /// A query-log sample of `n` queries (seeded).

@@ -317,7 +317,7 @@ mod tests {
     use super::*;
 
     fn a(parts: &[&str]) -> Vec<String> {
-        parts.iter().map(|s| s.to_string()).collect()
+        parts.iter().map(std::string::ToString::to_string).collect()
     }
 
     /// [`run`] minus the exit code, for tests that only assert on output.
@@ -466,7 +466,7 @@ mod tests {
                 "(x, y) <- x -[a a]-> y",
                 "--ask",
             ]);
-            args.extend(extra.iter().map(|s| s.to_string()));
+            args.extend(extra.iter().map(std::string::ToString::to_string));
             let (out, code) = run(&args).unwrap();
             assert_eq!(out, "true");
             assert_eq!(code, 0, "existing answer must exit 0");
@@ -513,7 +513,7 @@ mod tests {
         for (k, expect) in [("0", 0), ("2", 2), ("6", 6), ("10", 6)] {
             for extra in [&[][..], &["--threads", "2"][..]] {
                 let mut args = a(&["eval", "--graph", p, "--query", query, "--limit", k]);
-                args.extend(extra.iter().map(|s| s.to_string()));
+                args.extend(extra.iter().map(std::string::ToString::to_string));
                 let out = run_ok(&args).unwrap();
                 assert!(
                     out.starts_with(&format!("{expect} result(s) (limit {k})")),
@@ -565,7 +565,7 @@ mod tests {
         assert!(err.contains("mutually exclusive"), "{err}");
         for exclusive in [&["--ask"][..], &["--limit", "1"][..]] {
             let mut args = a(&base);
-            args.extend(exclusive.iter().map(|s| s.to_string()));
+            args.extend(exclusive.iter().map(std::string::ToString::to_string));
             args.extend(["--tuple".to_string(), "u,v".to_string()]);
             let err = run(&args).unwrap_err();
             assert!(err.contains("--tuple"), "{exclusive:?}: {err}");

@@ -168,10 +168,10 @@ fn abstraction_agrees_on_starred_instances_with_planted_words() {
                 assert!(
                     !abs,
                     "bounded refutation vs abstraction `true`:\n{q1:?}\n{q2:?}"
-                )
+                );
             }
             Outcome::Contained => {
-                assert!(abs, "exhaustive containment vs abstraction `false`")
+                assert!(abs, "exhaustive containment vs abstraction `false`");
             }
             Outcome::Inconclusive { .. } => {
                 // Single-atom q-inj containment coincides with language

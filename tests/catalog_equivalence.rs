@@ -154,7 +154,11 @@ fn canonical_keys_unify_across_variants() {
 fn atom_canonical_key_matches_nfa_key() {
     let mut sigma = Interner::new();
     let q = parse_crpq("x -[a b]-> y, y -[a b]-> z, z -[b a]-> w", &mut sigma).unwrap();
-    let keys: Vec<_> = q.atoms.iter().map(|a| a.canonical_key()).collect();
+    let keys: Vec<_> = q
+        .atoms
+        .iter()
+        .map(crpq::prelude::CrpqAtom::canonical_key)
+        .collect();
     assert_eq!(keys[0], keys[1], "identical regexes share a key");
     assert_ne!(keys[0], keys[2], "different languages differ");
     assert_eq!(keys[0], q.atoms[0].nfa().canonical_key());

@@ -103,7 +103,7 @@ proptest! {
             let expect: Vec<usize> = g
                 .nodes()
                 .filter(|&u| reference.contains(u, v))
-                .map(|u| u.index())
+                .map(crpq::prelude::NodeId::index)
                 .collect();
             prop_assert_eq!(back, expect, "column {} seed {}", v.index(), seed);
         }

@@ -55,7 +55,7 @@ fn triangle_empty_output_matches_oracle() {
     let mut g = cyclic::triangle_free_graph(6);
     let q = cyclic::triangle_query(g.alphabet_mut());
     let per_sem = assert_engines_agree(&q, &g, "triangle-free");
-    assert!(per_sem.iter().all(|tuples| tuples.is_empty()));
+    assert!(per_sem.iter().all(std::vec::Vec::is_empty));
 }
 
 #[test]
