@@ -84,7 +84,9 @@
 //! The JSON is hand-serialised (the workspace's `serde` is an offline no-op
 //! shim); the schema is `rows` + `scale_rows` + `stream_rows` +
 //! `cyclic_rows` arrays with `workload` discriminators (`BENCH_scale.json`
-//! holds `scale_rows` + `steal_rows` + `mutate_rows`). Rows in **both**
+//! holds `scale_rows` + `steal_rows` + `mutate_rows` + `wal_rows` — the
+//! last measured by the `--wal-smoke` durability gate: WAL apply latency
+//! per sync policy plus recovery wall clock). Rows in **both**
 //! baseline files are written append-style but **deduped** by
 //! `(workload, graph, semantics, |V|, threads)` (absent fields key on
 //! empty/0) — a repeated CI run replaces its own prior measurement instead
@@ -96,7 +98,7 @@ use crpq_core::{
     eval_tuples_parallel, eval_tuples_parallel_static, eval_tuples_with, eval_tuples_with_catalog,
     EvalStrategy, RelationCatalog, Semantics,
 };
-use crpq_graph::{DeltaGraph, GraphDb, GraphView, NodeId};
+use crpq_graph::{DeltaGraph, DurableGraph, EdgeMutation, GraphDb, GraphView, NodeId, SyncPolicy};
 use crpq_query::{parse_crpq, Crpq};
 use crpq_util::Interner;
 use crpq_workloads::{cyclic, paper_examples as paper, scaling};
@@ -954,7 +956,7 @@ fn measure_mutate(n: usize, threads: usize, enforce_floor: bool) -> MutateRow {
         for i in 0..CHURN_OPS {
             let u = NodeId(rng.below(n) as u32);
             let v = NodeId(rng.below(n) as u32);
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 g.insert_edge(u, hot, v);
             } else {
                 g.delete_edge(u, hot, v);
@@ -1220,6 +1222,7 @@ pub fn run_mutate_smoke(path: &str, threads: usize) {
     let prior_mutate = prior_rows_deduped(path, "mutate_rows", &new_mutate);
     let scale = array_body(&prior_rows(path, "scale_rows"));
     let steal = array_body(&prior_rows(path, "steal_rows"));
+    let wal = array_body(&prior_rows(path, "wal_rows"));
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(
@@ -1234,8 +1237,229 @@ pub fn run_mutate_smoke(path: &str, threads: usize) {
     json.push_str("  \"mutate_rows\": [\n");
     json.push_str(&prior_mutate);
     json.push_str(&new_mutate);
+    json.push_str("  ],\n");
+    json.push_str("  \"wal_rows\": [\n");
+    json.push_str(&wal);
     json.push_str("  ]\n}\n");
     std::fs::write(path, &json).expect("write mutate smoke JSON"); // invariant: harness IO is fail-fast
+    println!("\nwrote {path}");
+}
+
+/// One row of the durability workloads (`wal_rows` in `BENCH_scale.json`):
+/// per-mutation WAL apply latency under one sync policy, plus the
+/// recovery (reopen + replay) wall clock, at `|V| = 10⁵` single-label
+/// churn over the real filesystem ([`crpq_util::StdStorage`]).
+struct WalRow {
+    /// `wal_churn_<policy>` — the policy is part of the workload name so
+    /// the append-dedupe key keeps one row per policy.
+    workload: &'static str,
+    nodes: usize,
+    edges: usize,
+    policy: String,
+    churn_ops: usize,
+    /// Mean per-mutation apply latency (µs), WAL append + policy sync
+    /// included.
+    apply_us: f64,
+    /// Reopen wall clock: read checkpoint, verify, replay the full WAL.
+    recover_ms: f64,
+    /// Records replayed by that reopen (= records logged by the churn).
+    replayed: usize,
+    /// WAL size after the churn (bytes).
+    wal_bytes: usize,
+}
+
+fn wal_rows_json(rows: &[WalRow]) -> String {
+    let mut json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, \"policy\": \"{}\", \
+             \"churn_ops\": {}, \"apply_us\": {:.4}, \"recover_ms\": {:.4}, \
+             \"replayed\": {}, \"wal_bytes\": {}}}{}",
+            r.workload,
+            r.nodes,
+            r.edges,
+            r.policy,
+            r.churn_ops,
+            r.apply_us,
+            r.recover_ms,
+            r.replayed,
+            r.wal_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json
+}
+
+fn print_wal_rows(rows: &[WalRow]) {
+    println!("\n## durable graphs — WAL apply + recovery vs sync policy (single-label churn)\n");
+    println!("| workload | n | edges | policy | apply/op | recover | replayed | wal bytes |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for r in rows {
+        println!(
+            "| {} | {} | {} | {} | {:.2}µs | {:.1}ms | {} | {} |",
+            r.workload,
+            r.nodes,
+            r.edges,
+            r.policy,
+            r.apply_us,
+            r.recover_ms,
+            r.replayed,
+            r.wal_bytes,
+        );
+    }
+}
+
+/// Measures one durability row: churn `ops` single-label mutations at `n`
+/// nodes through a [`DurableGraph`] on the real filesystem under
+/// `policy`, then reopen and time recovery. `Always` drives group-commit
+/// batches (100 mutations per `apply_batch`, one sync each); the other
+/// policies apply single mutations. With `enforce_ceiling` (the CI gate),
+/// the mean apply latency and the recovery wall clock must stay under
+/// generous ceilings — like the scale gates, these only catch asymptotic
+/// regressions (an fsync per byte, or recovery re-reading the WAL per
+/// record, would blow straight through).
+fn measure_wal(
+    n: usize,
+    ops: usize,
+    workload: &'static str,
+    policy: SyncPolicy,
+    enforce_ceiling: bool,
+) -> WalRow {
+    const APPLY_CEILING_US: f64 = 2_000.0;
+    const RECOVER_CEILING_MS: f64 = 60_000.0;
+    let dir = std::env::temp_dir().join(format!("crpq_wal_smoke_{workload}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create wal smoke dir"); // invariant: harness IO is fail-fast
+    let snap = dir.join("g.snap");
+    let wal = dir.join("g.wal");
+    let (snap, wal) = (snap.to_str().unwrap(), wal.to_str().unwrap()); // invariant: temp paths are UTF-8
+
+    let base = scaling::million_graph(n, 7);
+    let mut d =
+        DurableGraph::create(snap, wal, base, policy).expect("init durable store for wal smoke"); // invariant: harness IO is fail-fast
+    let hot = d.label("l0").expect("million graph interns l0"); // invariant: million_graph always interns l0
+    let mut rng = SplitMix(0xD04AB1E ^ n as u64);
+    let mutation = |rng: &mut SplitMix, i: usize| {
+        let u = NodeId(rng.below(n) as u32);
+        let v = NodeId(rng.below(n) as u32);
+        if i.is_multiple_of(2) {
+            EdgeMutation::Insert { u, label: hot, v }
+        } else {
+            EdgeMutation::Delete { u, label: hot, v }
+        }
+    };
+    let t0 = Instant::now();
+    if policy == SyncPolicy::Always {
+        // Group commit: one append + one fsync per 100-mutation batch —
+        // per-mutation fsync would measure the disk, not the WAL.
+        for batch_start in (0..ops).step_by(100) {
+            let batch: Vec<EdgeMutation> = (batch_start..(batch_start + 100).min(ops))
+                .map(|i| mutation(&mut rng, i))
+                .collect();
+            d.apply_batch(&batch).expect("wal smoke batch"); // invariant: harness IO is fail-fast
+        }
+    } else {
+        for i in 0..ops {
+            match mutation(&mut rng, i) {
+                EdgeMutation::Insert { u, label, v } => d.insert_edge(u, label, v),
+                EdgeMutation::Delete { u, label, v } => d.delete_edge(u, label, v),
+            }
+            .expect("wal smoke mutation"); // invariant: harness IO is fail-fast
+        }
+        d.sync_wal().expect("wal smoke final sync"); // invariant: harness IO is fail-fast
+    }
+    let apply_us = t0.elapsed().as_secs_f64() * 1e6 / ops as f64;
+    let logged = d.records_since_checkpoint();
+    let live_edges = GraphView::num_edges(d.graph());
+    drop(d);
+
+    let wal_bytes = std::fs::metadata(wal).expect("stat wal").len() as usize; // invariant: harness IO is fail-fast
+    let ((d2, report), recover_ms) =
+        time_once(|| DurableGraph::open(snap, wal, policy).expect("wal smoke recovery")); // invariant: harness IO is fail-fast
+    assert_eq!(
+        report.replayed, logged,
+        "recovery replayed a different record count than the writer logged"
+    );
+    assert_eq!(
+        GraphView::num_edges(d2.graph()),
+        live_edges,
+        "recovered edge count diverged from the live graph"
+    );
+    assert_eq!(
+        report.mutated_labels,
+        vec![hot],
+        "single-label churn must report exactly the hot label"
+    );
+    let row = WalRow {
+        workload,
+        nodes: GraphView::num_nodes(d2.graph()),
+        edges: live_edges,
+        policy: policy.to_string(),
+        churn_ops: ops,
+        apply_us,
+        recover_ms,
+        replayed: report.replayed,
+        wal_bytes,
+    };
+    if enforce_ceiling {
+        assert!(
+            row.apply_us < APPLY_CEILING_US,
+            "wal apply exceeded the per-mutation ceiling under {}: {:.1}µs > {APPLY_CEILING_US}µs",
+            row.policy,
+            row.apply_us
+        );
+        assert!(
+            row.recover_ms < RECOVER_CEILING_MS,
+            "wal recovery exceeded the wall-clock ceiling under {}: {:.0}ms > {RECOVER_CEILING_MS}ms",
+            row.policy,
+            row.recover_ms
+        );
+    }
+    drop(d2);
+    let _ = std::fs::remove_dir_all(&dir);
+    row
+}
+
+/// The `--wal-smoke` CI gate: single-label churn through the durability
+/// layer at `|V| = 10⁵` under each sync policy (`always` via 100-mutation
+/// group commits, `every:64`, `never`), with apply-latency and
+/// recovery-wall-clock ceilings enforced. Writes `wal_rows` into `path`
+/// (`BENCH_scale.json`), appending with the usual `(workload, |V|)`
+/// dedupe and carrying the other arrays through untouched.
+pub fn run_wal_smoke(path: &str) {
+    const OPS: usize = 10_000;
+    const N: usize = 100_000;
+    let rows = vec![
+        measure_wal(N, OPS, "wal_churn_always", SyncPolicy::Always, true),
+        measure_wal(N, OPS, "wal_churn_every64", SyncPolicy::EveryN(64), true),
+        measure_wal(N, OPS, "wal_churn_never", SyncPolicy::Never, true),
+    ];
+    print_wal_rows(&rows);
+    let new_wal = wal_rows_json(&rows);
+    let prior_wal = prior_rows_deduped(path, "wal_rows", &new_wal);
+    let scale = array_body(&prior_rows(path, "scale_rows"));
+    let steal = array_body(&prior_rows(path, "steal_rows"));
+    let mutate = array_body(&prior_rows(path, "mutate_rows"));
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p crpq-bench --bin experiments -- --wal-smoke\",\n",
+    );
+    json.push_str("  \"scale_rows\": [\n");
+    json.push_str(&scale);
+    json.push_str("  ],\n");
+    json.push_str("  \"steal_rows\": [\n");
+    json.push_str(&steal);
+    json.push_str("  ],\n");
+    json.push_str("  \"mutate_rows\": [\n");
+    json.push_str(&mutate);
+    json.push_str("  ],\n");
+    json.push_str("  \"wal_rows\": [\n");
+    json.push_str(&prior_wal);
+    json.push_str(&new_wal);
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, &json).expect("write wal smoke JSON"); // invariant: harness IO is fail-fast
     println!("\nwrote {path}");
 }
 
@@ -1298,9 +1522,10 @@ pub fn run_scale_smoke(path: &str, threads: usize) {
     let new_steal = steal_rows_json(&steal_rows);
     let prior_scale = prior_rows_deduped(path, "scale_rows", &new_scale);
     let prior_steal = prior_rows_deduped(path, "steal_rows", &new_steal);
-    // Not re-measured here — carried through so --scale-smoke and
-    // --mutate-smoke can rewrite the shared file in either order.
+    // Not re-measured here — carried through so the smoke modes can
+    // rewrite the shared file in any order.
     let mutate = array_body(&prior_rows(path, "mutate_rows"));
+    let wal = array_body(&prior_rows(path, "wal_rows"));
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(
@@ -1316,6 +1541,9 @@ pub fn run_scale_smoke(path: &str, threads: usize) {
     json.push_str("  ],\n");
     json.push_str("  \"mutate_rows\": [\n");
     json.push_str(&mutate);
+    json.push_str("  ],\n");
+    json.push_str("  \"wal_rows\": [\n");
+    json.push_str(&wal);
     json.push_str("  ]\n}\n");
     std::fs::write(path, &json).expect("write scale smoke JSON"); // invariant: harness IO is fail-fast
     println!("\nwrote {path}");

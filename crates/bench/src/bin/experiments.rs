@@ -48,6 +48,18 @@
 //! cargo run --release -p crpq-bench --bin experiments -- --mutate-smoke
 //! ```
 //!
+//! With `--wal-smoke`, runs the durability gate: `|V| = 10⁵` single-label
+//! churn through the write-ahead-logged `DurableGraph` on the real
+//! filesystem under each sync policy (`always` via group commit,
+//! `every:64`, `never`), asserting per-mutation apply latency and
+//! recovery (reopen + replay) wall clock stay under their ceilings.
+//! Writes `wal_rows` into `BENCH_scale.json` (append + dedupe, other
+//! arrays carried through):
+//!
+//! ```sh
+//! cargo run --release -p crpq-bench --bin experiments -- --wal-smoke
+//! ```
+//!
 //! `--threads N` overrides the materialisation/evaluation worker count in
 //! all benchmark modes (`0` keeps the documented fallback: one worker per
 //! CPU, capped at 16), so baseline numbers are reproducible across
@@ -86,6 +98,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--mutate-smoke") {
         bench_eval::run_mutate_smoke("BENCH_scale.json", threads);
+        return;
+    }
+    if std::env::args().any(|a| a == "--wal-smoke") {
+        bench_eval::run_wal_smoke("BENCH_scale.json");
         return;
     }
     if std::env::args().any(|a| a == "--smoke") {

@@ -921,6 +921,36 @@ impl RelationCatalog {
         evicted.len()
     }
 
+    /// Replays a crash-recovery report against the catalog: evicts every
+    /// entry whose footprint mentions a label the recovered WAL mutated
+    /// (the same invalidations the pre-crash process had applied
+    /// incrementally), and rebinds outright when the node universe is not
+    /// the one this catalog was sized for. A process that reopens a
+    /// durable graph and carries a warm catalog (e.g. deserialized, or a
+    /// server restarting onto the same snapshot) must call this before
+    /// serving queries — `tests/durability.rs` asserts the recovered
+    /// catalog then answers exactly like a cold one. Returns the number
+    /// of entries evicted.
+    pub fn rehydrate_after_recovery<G: GraphView>(
+        &mut self,
+        g: &G,
+        report: &crpq_graph::wal::RecoveryReport,
+    ) -> usize {
+        if self.num_nodes != g.num_nodes() {
+            let evicted = self.cached_entries();
+            self.rebind(g);
+            return evicted;
+        }
+        // The fingerprint was sampled against the pre-crash state; force a
+        // re-sample even when no label-footprint entry is evicted.
+        self.fingerprint_stale = true;
+        report
+            .mutated_labels
+            .iter()
+            .map(|&l| self.invalidate_label(l))
+            .sum()
+    }
+
     /// Evicts **every** entry — the structure-oblivious baseline the
     /// `--mutate-smoke` benchmark compares footprint-keyed eviction
     /// against. Returns the number of entries evicted.

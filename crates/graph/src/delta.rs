@@ -272,6 +272,12 @@ impl DeltaGraph {
         self.compact_threshold
     }
 
+    /// Reconfigure the mutation budget (takes effect on the next
+    /// [`Self::should_compact`] check).
+    pub fn set_compact_threshold(&mut self, compact_threshold: usize) {
+        self.compact_threshold = compact_threshold;
+    }
+
     /// Rebuild a frozen [`GraphDb`] equivalent to this view (full
     /// counting-sort CSR build, `O(V + E)`); the overlay is consumed.
     /// Overlay-added nodes on a named base are assigned fresh `_d{id}`
@@ -316,6 +322,22 @@ impl DeltaGraph {
         let compacted = b.finish();
         debug_assert_eq!(compacted.num_edges(), self.num_edges);
         compacted
+    }
+
+    /// In-place [`compact`](Self::compact): folds the overlay into a fresh
+    /// frozen base and leaves `self` holding it with an empty delta, the
+    /// configured threshold preserved. Spares callers the
+    /// `mem::replace` dance the by-value `compact` forces on `&mut`
+    /// holders.
+    pub fn compact_in_place(&mut self) {
+        if self.delta.is_empty() && self.added_nodes == 0 {
+            return;
+        }
+        let threshold = self.compact_threshold;
+        let placeholder =
+            DeltaGraph::with_compact_threshold(GraphBuilder::anonymous(0).finish(), threshold);
+        let owned = std::mem::replace(self, placeholder);
+        *self = DeltaGraph::with_compact_threshold(owned.compact(), threshold);
     }
 }
 

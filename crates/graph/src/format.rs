@@ -203,11 +203,12 @@ const CRC32_TABLE: [u32; 256] = {
     table
 };
 
-/// CRC-32 (IEEE) of `data` — the integrity check of binary snapshots. A
-/// flipped bit anywhere in the payload changes the checksum, so a snapshot
-/// corrupted at rest or in transit fails loudly at load instead of
-/// decoding into a structurally different graph.
-fn crc32(data: &[u8]) -> u32 {
+/// CRC-32 (IEEE) of `data` — the integrity check of binary snapshots and
+/// (via `crate::wal`) of write-ahead-log records. A flipped bit anywhere
+/// in the payload changes the checksum, so a snapshot corrupted at rest
+/// or in transit fails loudly at load instead of decoding into a
+/// structurally different graph.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &byte in data {
         crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
@@ -289,27 +290,31 @@ pub fn to_binary(g: &GraphDb) -> Bytes {
 }
 
 /// Decodes a binary snapshot (version 1 or 2; see [`VERSION`]).
+///
+/// Decode errors name the absolute byte offset of the failure, so a
+/// corrupted or truncated snapshot can be located with a hex dump.
 pub fn from_binary(mut data: Bytes) -> Result<GraphDb, FormatError> {
-    let err = |m: &str| FormatError {
-        message: m.to_owned(),
+    let total = data.remaining();
+    let err = |m: String, off: usize| FormatError {
+        message: format!("{m} at byte offset {off}"),
         line: 0,
     };
     if data.remaining() < 5 || &data.copy_to_bytes(4)[..] != MAGIC {
-        return Err(err("bad magic"));
+        return Err(err("bad magic".into(), 0));
     }
     let version = data.get_u8();
     if version != 1 && version != 2 {
-        return Err(err("unsupported version"));
+        return Err(err(format!("unsupported version {version}"), 4));
     }
     // Cheap refcounted clone of the unparsed payload: after the structural
     // decode we know how many bytes the sections consumed, and can verify
     // the trailing checksum (when present) against exactly those bytes.
     let payload = data.clone();
-    let num_labels = checked_u32(&mut data, "label count")?;
+    let num_labels = checked_u32(&mut data, total, "label count")?;
     let mut labels = crpq_util::Interner::new();
     let mut label_syms = Vec::with_capacity(num_labels as usize);
     for _ in 0..num_labels {
-        let name = get_str(&mut data)?;
+        let name = get_str(&mut data, total)?;
         label_syms.push(labels.intern(&name));
     }
     // v1 node sections are always named; v2 carries an explicit mode byte.
@@ -317,42 +322,52 @@ pub fn from_binary(mut data: Bytes) -> Result<GraphDb, FormatError> {
         true
     } else {
         if data.remaining() < 1 {
-            return Err(err("truncated names mode"));
+            return Err(err("truncated names mode".into(), total - data.remaining()));
         }
         match data.get_u8() {
             NAMES_NAMED => true,
             NAMES_ANONYMOUS => false,
-            _ => return Err(err("bad names mode byte")),
+            _ => {
+                return Err(err(
+                    "bad names mode byte".into(),
+                    total - data.remaining() - 1,
+                ))
+            }
         }
     };
-    let num_nodes = checked_u32(&mut data, "node count")? as usize;
+    let num_nodes = checked_u32(&mut data, total, "node count")? as usize;
     let mut b = if named {
         let mut b = GraphBuilder::with_alphabet(labels);
         for _ in 0..num_nodes {
-            let name = get_str(&mut data)?;
+            let name = get_str(&mut data, total)?;
             b.node(&name);
         }
         if b.num_nodes() != num_nodes {
-            return Err(err("duplicate node name in snapshot"));
+            return Err(err(
+                "duplicate node name in snapshot".into(),
+                total - data.remaining(),
+            ));
         }
         b
     } else {
         GraphBuilder::anonymous_with_alphabet(num_nodes, labels)
     };
     if data.remaining() < 8 {
-        return Err(err("truncated edge count"));
+        return Err(err("truncated edge count".into(), total - data.remaining()));
     }
     let num_edges = data.get_u64_le();
     for _ in 0..num_edges {
-        let u = checked_u32(&mut data, "edge src")? as usize;
-        let l = checked_u32(&mut data, "edge label")? as usize;
-        let v = checked_u32(&mut data, "edge dst")? as usize;
+        let u = checked_u32(&mut data, total, "edge src")? as usize;
+        let l = checked_u32(&mut data, total, "edge label")? as usize;
+        let v = checked_u32(&mut data, total, "edge dst")? as usize;
+        // Offset of this 12-byte edge record (all three ids consumed).
+        let record_off = total - data.remaining() - 12;
         if u >= num_nodes || v >= num_nodes {
-            return Err(err("edge endpoint out of range"));
+            return Err(err("edge endpoint out of range".into(), record_off));
         }
         let &l = label_syms
             .get(l)
-            .ok_or_else(|| err("edge label out of range"))?;
+            .ok_or_else(|| err("edge label out of range".into(), record_off))?;
         b.edge_ids(NodeId(u as u32), l, NodeId(v as u32));
     }
     // Integrity check. v1 and pre-checksum v2 snapshots end exactly at the
@@ -368,17 +383,18 @@ pub fn from_binary(mut data: Bytes) -> Result<GraphDb, FormatError> {
                 return Err(FormatError {
                     message: format!(
                         "checksum mismatch: snapshot payload hashes to {actual:#010x} but the \
-                         trailer says {expected:#010x} — the file is corrupted"
+                         trailer at byte offset {} says {expected:#010x} — the file is corrupted",
+                        total - 4
                     ),
                     line: 0,
                 });
             }
         }
         (_, n) => {
-            return Err(FormatError {
-                message: format!("{n} unexpected trailing bytes after the edge section"),
-                line: 0,
-            })
+            return Err(err(
+                format!("{n} unexpected trailing bytes after the edge section"),
+                total - data.remaining(),
+            ))
         }
     }
     Ok(b.finish())
@@ -389,24 +405,31 @@ fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(data: &mut Bytes) -> Result<String, FormatError> {
-    let len = checked_u32(data, "string length")? as usize;
+fn get_str(data: &mut Bytes, total: usize) -> Result<String, FormatError> {
+    let len = checked_u32(data, total, "string length")? as usize;
     if data.remaining() < len {
         return Err(FormatError {
-            message: "truncated string".into(),
+            message: format!(
+                "truncated string at byte offset {}",
+                total - data.remaining()
+            ),
             line: 0,
         });
     }
+    let off = total - data.remaining();
     String::from_utf8(data.copy_to_bytes(len).to_vec()).map_err(|_| FormatError {
-        message: "invalid utf-8".into(),
+        message: format!("invalid utf-8 at byte offset {off}"),
         line: 0,
     })
 }
 
-fn checked_u32(data: &mut Bytes, what: &str) -> Result<u32, FormatError> {
+fn checked_u32(data: &mut Bytes, total: usize, what: &str) -> Result<u32, FormatError> {
     if data.remaining() < 4 {
         return Err(FormatError {
-            message: format!("truncated {what}"),
+            message: format!(
+                "truncated {what} at byte offset {}",
+                total - data.remaining()
+            ),
             line: 0,
         });
     }
@@ -678,5 +701,26 @@ w c u
         let mut bytes = to_binary(&g).to_vec();
         bytes.truncate(bytes.len() - 3);
         assert!(from_binary(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn binary_errors_name_the_byte_offset() {
+        let g = parse_graph_text(SAMPLE).unwrap();
+        let clean = to_binary(&g).to_vec();
+        // Truncation mid-payload: the error names where the bytes ran out.
+        let mut truncated = clean.clone();
+        truncated.truncate(clean.len() / 2);
+        let err = from_binary(Bytes::from(truncated)).unwrap_err();
+        assert!(err.message.contains("byte offset"), "{err}");
+        // Checksum corruption: the error names the trailer offset.
+        let mut corrupt = clean.clone();
+        let idx = corrupt.len() - 8;
+        corrupt[idx] ^= 0x01;
+        let err = from_binary(Bytes::from(corrupt)).unwrap_err();
+        assert!(
+            err.message
+                .contains(&format!("byte offset {}", clean.len() - 4)),
+            "{err}"
+        );
     }
 }

@@ -21,8 +21,10 @@ pub mod generators;
 pub mod rpq;
 pub mod two_way;
 pub mod view;
+pub mod wal;
 
 pub use csr::LabelCsr;
 pub use db::{GraphBuilder, GraphDb, NodeId, NodeNames};
 pub use delta::{DeltaGraph, GraphDelta};
 pub use view::GraphView;
+pub use wal::{DurableGraph, EdgeMutation, RecoveryReport, SyncPolicy, WalError};

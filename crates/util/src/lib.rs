@@ -11,6 +11,7 @@ pub mod hash;
 pub mod interner;
 pub mod matrix;
 pub mod partition;
+pub mod storage;
 pub mod sync;
 pub mod unionfind;
 
@@ -19,4 +20,5 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use interner::{Interner, NameArena, Symbol};
 pub use matrix::BoolMatrix;
 pub use partition::{partitions_with, Partition};
+pub use storage::{FaultPlan, FaultyStorage, StdStorage, Storage};
 pub use unionfind::UnionFind;

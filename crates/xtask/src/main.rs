@@ -4,7 +4,8 @@
 //!
 //! * `cargo xtask lint` — source-level invariant scan (see [`lint`]):
 //!   the `crpq_util::sync` façade is the only door to the concurrency
-//!   primitives, and library code has no undocumented panic sites.
+//!   primitives, the `crpq_util::storage` façade the only door to the
+//!   filesystem, and library code has no undocumented panic sites.
 //! * `cargo xtask model-check` — build and run the bounded-exploration
 //!   concurrency suite (`crates/check` unit tests plus every `model_*`
 //!   protocol test) under `--cfg crpq_model_check`.
@@ -82,6 +83,9 @@ fn lint() -> ExitCode {
          - facade-only: import concurrency primitives through `crpq_util::sync`,\n\
            never `std::sync`/`std::thread` directly (the model checker must be\n\
            able to interpose on every acquire/release/park point).\n\
+         - storage-facade: library code must not touch `std::fs` directly;\n\
+           route file IO through `crpq_util::storage::Storage` so the\n\
+           crash-fault harness can interpose on every write/sync/rename.\n\
          - documented-panic: library code must not panic without a stated\n\
            reason; restructure, or add a `// invariant: ...` (why it cannot\n\
            fail) or `// poison: ...` (poisoning policy) comment on or above\n\
@@ -130,10 +134,23 @@ fn panic_rule_applies(rel: &str) -> bool {
     !(exempt_dir || exempt_crate)
 }
 
+/// Whether the storage-façade rule applies: library sources only (same
+/// scoping as the panic rule), minus the façade itself and the bench
+/// harness (whose result-file IO is deliberately outside the crash-fault
+/// seam). Everything durable in library code must flow through
+/// `crpq_util::storage` so `FaultyStorage` can interpose on every write,
+/// sync, and rename.
+fn storage_rule_applies(rel: &str) -> bool {
+    panic_rule_applies(rel)
+        && rel != "crates/util/src/storage.rs"
+        && !rel.starts_with("crates/bench/")
+}
+
 fn scan_file(rel: &str, src: &str, out: &mut Vec<Violation>) {
     let facade_rule = !FACADE_EXEMPT.iter().any(|p| rel.starts_with(p));
     let panic_rule = panic_rule_applies(rel);
-    if !facade_rule && !panic_rule {
+    let storage_rule = storage_rule_applies(rel);
+    if !facade_rule && !panic_rule && !storage_rule {
         return;
     }
 
@@ -192,6 +209,15 @@ fn scan_file(rel: &str, src: &str, out: &mut Vec<Violation>) {
                     text: trimmed.to_string(),
                 });
             }
+        }
+
+        if storage_rule && code.contains("std::fs") {
+            out.push(Violation {
+                file: rel.to_string(),
+                line,
+                rule: "storage-facade",
+                text: trimmed.to_string(),
+            });
         }
 
         if panic_rule

@@ -5,6 +5,9 @@
 //! crpq-cli contain  --q1 "x -[a]-> y, y -[b]-> z" --q2 "x -[a b]-> y" --semantics a-inj
 //! crpq-cli classify --query "x -[(a b)*]-> y"
 //! crpq-cli graph-info --graph g.txt
+//! crpq-cli db-init  --graph g.txt --snapshot g.snap --wal g.wal
+//! crpq-cli db-apply --snapshot g.snap --wal g.wal --mutations m.txt --sync every:8
+//! crpq-cli db-info  --snapshot g.snap --wal g.wal
 //! ```
 //!
 //! Graphs use either on-disk format of `crpq::graph::format` — the text
@@ -21,6 +24,7 @@ use crpq::core::{
     eval_tuples_trail, TrailSemantics,
 };
 use crpq::graph::format::parse_graph_auto;
+use crpq::graph::{DurableGraph, SyncPolicy};
 use crpq::prelude::*;
 use std::process::ExitCode;
 
@@ -47,7 +51,13 @@ usage:
   crpq-cli classify   --query Q
   crpq-cli bounded    --query Q [--max-level K]
   crpq-cli graph-info --graph FILE
+  crpq-cli db-init    --graph FILE --snapshot SNAP --wal WAL [--sync P]
+  crpq-cli db-apply   --snapshot SNAP --wal WAL --mutations FILE [--sync P] [--compact]
+  crpq-cli db-info    --snapshot SNAP --wal WAL
 semantics S: st | a-inj | q-inj | a-trail | q-trail (default: st)
+sync P: always | never | every:N (default: always)
+mutations FILE: one `insert SRC LABEL DST`, `delete SRC LABEL DST` or `add-node`
+  per line; `#` comments; db-info exits 1 when recovery dropped a torn WAL tail
 threads N: parallel enumeration on N threads (0 = one per CPU, capped at 16)
 --ask: existence only — prints true/false, exits 0 iff an answer exists (stops at first witness)
 --limit K: prints at most K answer tuples, stopping the search early
@@ -92,6 +102,9 @@ fn run(args: &[String]) -> Result<(String, u8), String> {
         "classify" => cmd_classify(&args[1..]).map(|out| (out, 0)),
         "bounded" => cmd_bounded(&args[1..]).map(|out| (out, 0)),
         "graph-info" => cmd_graph_info(&args[1..]).map(|out| (out, 0)),
+        "db-init" => cmd_db_init(&args[1..]).map(|out| (out, 0)),
+        "db-apply" => cmd_db_apply(&args[1..]).map(|out| (out, 0)),
+        "db-info" => cmd_db_info(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -310,6 +323,147 @@ fn cmd_graph_info(args: &[String]) -> Result<String, String> {
         g.num_edges(),
         labels.join(", ")
     ))
+}
+
+fn parse_sync(args: &[String]) -> Result<SyncPolicy, String> {
+    SyncPolicy::parse(flag(args, "sync").unwrap_or("always"))
+}
+
+/// Node addressing for durable-store mutations — same contract as
+/// `--tuple`: named snapshots resolve strictly by name, anonymous ones by
+/// `#id` (bounds-checked against the *recovered* node count, so nodes
+/// appended by `add-node` records are addressable).
+fn resolve_node(g: &DeltaGraph, name: &str) -> Result<NodeId, String> {
+    let by_id = if g.base().is_named() {
+        None
+    } else {
+        name.strip_prefix('#').and_then(|id| {
+            let id: u32 = id.parse().ok()?;
+            ((id as usize) < GraphView::num_nodes(g)).then_some(NodeId(id))
+        })
+    };
+    by_id
+        .or_else(|| g.base().node_by_name(name))
+        .ok_or_else(|| format!("unknown node `{name}`"))
+}
+
+fn cmd_db_init(args: &[String]) -> Result<String, String> {
+    let g = load_graph(require(args, "graph")?)?;
+    let snap = require(args, "snapshot")?;
+    let wal = require(args, "wal")?;
+    let policy = parse_sync(args)?;
+    let d = DurableGraph::create(snap, wal, g, policy).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "initialised durable store ({} node(s), {} edge(s))\nsnapshot: {snap}\nwal: {wal}\nsync policy: {policy}",
+        GraphView::num_nodes(d.graph()),
+        GraphView::num_edges(d.graph()),
+    ))
+}
+
+fn cmd_db_apply(args: &[String]) -> Result<String, String> {
+    let snap = require(args, "snapshot")?;
+    let wal = require(args, "wal")?;
+    let policy = parse_sync(args)?;
+    let path = require(args, "mutations")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read mutations file `{path}`: {e}"))?;
+    let (mut d, report) = DurableGraph::open(snap, wal, policy).map_err(|e| e.to_string())?;
+    let mut applied = 0usize;
+    let mut noops = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let at = |e: String| format!("{path}:{}: {e}", idx + 1);
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let changed = match parts.as_slice() {
+            ["add-node"] => {
+                d.add_node().map_err(|e| at(e.to_string()))?;
+                true
+            }
+            ["insert", u, l, v] | ["delete", u, l, v] => {
+                let un = resolve_node(d.graph(), u).map_err(at)?;
+                let vn = resolve_node(d.graph(), v).map_err(at)?;
+                let sym = d.label(l).map_err(|e| at(e.to_string()))?;
+                let res = if parts[0] == "insert" {
+                    d.insert_edge(un, sym, vn)
+                } else {
+                    d.delete_edge(un, sym, vn)
+                };
+                res.map_err(|e| at(e.to_string()))?
+            }
+            _ => {
+                return Err(at(format!(
+                    "expected `insert SRC LABEL DST`, `delete SRC LABEL DST` or `add-node`, \
+                     got `{line}`"
+                )))
+            }
+        };
+        if changed {
+            applied += 1;
+        } else {
+            noops += 1;
+        }
+    }
+    d.sync_wal().map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "recovered {} record(s), applied {applied} mutation(s) ({noops} no-op(s))",
+        report.replayed
+    );
+    if args.iter().any(|a| a == "--compact") {
+        d.compact().map_err(|e| e.to_string())?;
+        out.push_str("\ncompacted: checkpoint rewritten, wal truncated");
+    } else {
+        out.push_str(&format!(
+            "\nwal records since checkpoint: {}",
+            d.records_since_checkpoint()
+        ));
+    }
+    Ok(out)
+}
+
+/// Opens the store (running recovery) and reports what was found. Exits 1
+/// — message naming the byte offset — when recovery dropped a torn WAL
+/// tail, so scripted health checks notice data loss; corruption behind
+/// durable records is a hard `error:` exit like every other failure.
+fn cmd_db_info(args: &[String]) -> Result<(String, u8), String> {
+    let snap = require(args, "snapshot")?;
+    let wal = require(args, "wal")?;
+    let (d, report) =
+        DurableGraph::open(snap, wal, SyncPolicy::Never).map_err(|e| e.to_string())?;
+    let g = d.graph();
+    let mut out = format!(
+        "nodes: {}\nedges: {}\nwal records replayed: {}\nwal bytes: {}",
+        GraphView::num_nodes(g),
+        GraphView::num_edges(g),
+        report.replayed,
+        report.good_wal_bytes,
+    );
+    if report.fresh_wal {
+        out.push_str("\nwal: fresh");
+    }
+    if report.stale_wal {
+        out.push_str("\nwal: stale (discarded; superseded by the checkpoint)");
+    }
+    if !report.mutated_labels.is_empty() {
+        let names: Vec<&str> = report
+            .mutated_labels
+            .iter()
+            .map(|&l| GraphView::alphabet(g).resolve(l))
+            .collect();
+        out.push_str(&format!("\nmutated labels: {}", names.join(", ")));
+    }
+    match &report.dropped_tail {
+        Some(tail) => {
+            out.push_str(&format!(
+                "\nwarning: torn wal tail dropped at byte offset {}: {}",
+                tail.offset, tail.reason
+            ));
+            Ok((out, 1))
+        }
+        None => Ok((out, 0)),
+    }
 }
 
 #[cfg(test)]
@@ -746,6 +900,223 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("unbounded evidence"), "{out}");
+    }
+
+    /// Fresh per-test scratch dir (durability tests mutate real files, so
+    /// a stale store from an earlier run must not leak in).
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("crpq_cli_test_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn db_roundtrip_init_apply_info() {
+        let dir = scratch("db");
+        let g = dir.join("g.txt");
+        std::fs::write(&g, "u a v\nv b w\n").unwrap();
+        let m = dir.join("m.txt");
+        std::fs::write(
+            &m,
+            "# churn\ninsert u a w\ninsert v a u\ndelete u a v\nadd-node\n",
+        )
+        .unwrap();
+        let (snap, wal) = (dir.join("g.snap"), dir.join("g.wal"));
+        let (snap, wal) = (snap.to_str().unwrap(), wal.to_str().unwrap());
+
+        let out = run_ok(&a(&[
+            "db-init",
+            "--graph",
+            g.to_str().unwrap(),
+            "--snapshot",
+            snap,
+            "--wal",
+            wal,
+        ]))
+        .unwrap();
+        assert!(out.contains("3 node(s), 2 edge(s)"), "{out}");
+        let out = run_ok(&a(&[
+            "db-apply",
+            "--snapshot",
+            snap,
+            "--wal",
+            wal,
+            "--mutations",
+            m.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("applied 4 mutation(s)"), "{out}");
+        // Reopen: the four records replay; exit 0 (no torn tail).
+        let (out, code) = run(&a(&["db-info", "--snapshot", snap, "--wal", wal])).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("nodes: 4"), "{out}");
+        assert!(out.contains("wal records replayed: 4"), "{out}");
+        assert!(out.contains("mutated labels: a"), "{out}");
+        // Re-applying the same file is all no-ops except add-node.
+        let out = run_ok(&a(&[
+            "db-apply",
+            "--snapshot",
+            snap,
+            "--wal",
+            wal,
+            "--mutations",
+            m.to_str().unwrap(),
+            "--compact",
+        ]))
+        .unwrap();
+        assert!(out.contains("recovered 4 record(s)"), "{out}");
+        assert!(out.contains("compacted"), "{out}");
+        // After compaction the checkpoint IS the graph: plain eval sees the
+        // applied mutations, and the WAL is bare.
+        let out = run_ok(&a(&[
+            "eval",
+            "--graph",
+            snap,
+            "--query",
+            "(x, y) <- x -[a]-> y",
+        ]))
+        .unwrap();
+        assert!(out.contains("(u, w)") && out.contains("(v, u)"), "{out}");
+        assert!(!out.contains("(u, v)"), "deleted edge resurfaced: {out}");
+        let (out, code) = run(&a(&["db-info", "--snapshot", snap, "--wal", wal])).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("wal records replayed: 0"), "{out}");
+        // Bad mutation lines are positional errors, not panics.
+        std::fs::write(&m, "insert u a\n").unwrap();
+        let err = run(&a(&[
+            "db-apply",
+            "--snapshot",
+            snap,
+            "--wal",
+            wal,
+            "--mutations",
+            m.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains(":1:") && err.contains("expected"), "{err}");
+        std::fs::write(&m, "insert u a ghost\n").unwrap();
+        let err = run(&a(&[
+            "db-apply",
+            "--snapshot",
+            snap,
+            "--wal",
+            wal,
+            "--mutations",
+            m.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown node `ghost`"), "{err}");
+    }
+
+    /// Satellite: a truncated v2 snapshot errors with the byte offset —
+    /// nonzero exit, no panic.
+    #[test]
+    fn db_truncated_snapshot_names_byte_offset() {
+        use crpq::graph::format::{parse_graph_text, to_binary};
+        let dir = scratch("db_trunc");
+        let bytes = to_binary(&parse_graph_text("u a v\nv b w\n").unwrap()).to_vec();
+        let snap = dir.join("g.snap");
+        std::fs::write(&snap, &bytes[..bytes.len() - 6]).unwrap();
+        let wal = dir.join("g.wal");
+        let err = run(&a(&[
+            "db-info",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--wal",
+            wal.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("byte offset"), "{err}");
+        assert!(err.contains("g.snap"), "{err}");
+    }
+
+    /// Satellite: a bad-CRC snapshot errors with the trailer's byte offset.
+    #[test]
+    fn db_bad_crc_snapshot_names_byte_offset() {
+        use crpq::graph::format::{parse_graph_text, to_binary};
+        let dir = scratch("db_crc");
+        // Flip bit 0 of the last edge's dst id (`u` = node 0 → node 1):
+        // still a valid node id, so the structural decode succeeds and the
+        // checksum is what catches the corruption.
+        let mut bytes = to_binary(&parse_graph_text("u a v\nw b u\n").unwrap()).to_vec();
+        let idx = bytes.len() - 8;
+        bytes[idx] ^= 0x01;
+        let snap = dir.join("g.snap");
+        std::fs::write(&snap, &bytes).unwrap();
+        let err = run(&a(&[
+            "db-info",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--wal",
+            dir.join("g.wal").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        assert!(
+            err.contains(&format!("byte offset {}", bytes.len() - 4)),
+            "{err}"
+        );
+    }
+
+    /// Satellite: WAL damage — a bad-CRC record *behind* durable records
+    /// is a hard error naming the byte offset; a torn tail is dropped with
+    /// a warning naming the byte offset and a nonzero exit.
+    #[test]
+    fn db_bad_crc_and_torn_wal_name_byte_offsets() {
+        let dir = scratch("db_wal");
+        let g = dir.join("g.txt");
+        std::fs::write(&g, "u a v\nv b w\n").unwrap();
+        let m = dir.join("m.txt");
+        std::fs::write(&m, "insert u a w\ninsert v a u\ninsert w b u\n").unwrap();
+        let (snap, wal) = (dir.join("g.snap"), dir.join("g.wal"));
+        let (snap, wal) = (snap.to_str().unwrap(), wal.to_str().unwrap());
+        run_ok(&a(&[
+            "db-init",
+            "--graph",
+            g.to_str().unwrap(),
+            "--snapshot",
+            snap,
+            "--wal",
+            wal,
+        ]))
+        .unwrap();
+        run_ok(&a(&[
+            "db-apply",
+            "--snapshot",
+            snap,
+            "--wal",
+            wal,
+            "--mutations",
+            m.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let pristine = std::fs::read(wal).unwrap();
+
+        // Flip a byte in the FIRST mutation record (header is 21 bytes):
+        // two intact records follow, so this is mid-log corruption — hard
+        // error at the damaged frame's offset, never a silent truncation.
+        let mut bad = pristine.clone();
+        bad[26] ^= 0x10;
+        std::fs::write(wal, &bad).unwrap();
+        let err = run(&a(&["db-info", "--snapshot", snap, "--wal", wal])).unwrap_err();
+        assert!(err.contains("byte offset 21"), "{err}");
+
+        // Tear the final record mid-payload: recovery drops it, reports the
+        // offset, and exits 1.
+        std::fs::write(wal, &pristine[..pristine.len() - 7]).unwrap();
+        let (out, code) = run(&a(&["db-info", "--snapshot", snap, "--wal", wal])).unwrap();
+        assert_eq!(code, 1, "torn tail must exit nonzero: {out}");
+        // The dropped frame starts one 21-byte edge record before EOF.
+        assert!(
+            out.contains(&format!("byte offset {}", pristine.len() - 21)),
+            "{out}"
+        );
+        assert!(out.contains("wal records replayed: 2"), "{out}");
+        // The store stays usable after the lossy recovery (tail truncated).
+        let (out, code) = run(&a(&["db-info", "--snapshot", snap, "--wal", wal])).unwrap();
+        assert_eq!(code, 0, "recovery must have repaired the wal: {out}");
+        assert!(out.contains("wal records replayed: 2"), "{out}");
     }
 
     #[test]

@@ -159,9 +159,9 @@ proptest! {
                 let expect = rebuild(&g);
                 assert_all_executors_agree(&q, &g, &format!("pre-compact seed {seed} step {step}"));
                 let threshold = g.compact_threshold();
-                let frozen = g.compact();
-                assert_eq!(frozen.num_edges(), expect.num_edges(), "compact edge count");
-                g = DeltaGraph::with_compact_threshold(frozen, threshold);
+                g.compact_in_place();
+                assert_eq!(g.base().num_edges(), expect.num_edges(), "compact edge count");
+                assert_eq!(g.compact_threshold(), threshold, "threshold survives");
                 assert!(g.delta().is_empty(), "fresh overlay after compaction");
                 assert_all_executors_agree(&q, &g, &format!("post-compact seed {seed} step {step}"));
                 compactions += 1;
